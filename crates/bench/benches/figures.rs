@@ -1,0 +1,24 @@
+//! One criterion bench per paper table/figure: times the end-to-end
+//! regeneration of each experiment (the harness the paper's plots would
+//! be rebuilt from).
+
+use cllm_core::experiments::all_experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_every_figure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_figures");
+    // Experiments are deterministic; a few samples suffice and keep the
+    // full-suite `cargo bench --workspace` run short.
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (id, runner) in all_experiments() {
+        group.bench_function(id, |b| b.iter(|| black_box(runner())));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_every_figure);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the functional inference engine: decode rate of
+//! the tiny model at f32 and int8, mirroring the paper's dtype comparison
+//! at miniature scale.
+
+use cllm_infer::generate::{generate, Sampling};
+use cllm_infer::model::{TinyConfig, TinyModel};
+use cllm_infer::tokenizer::BpeTokenizer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_forward(c: &mut Criterion) {
+    let model = TinyModel::init(&TinyConfig::test_small(), 42);
+    let quant = model.quantized();
+    c.bench_function("tiny_forward_f32", |b| {
+        b.iter(|| {
+            let mut cache = model.new_cache();
+            black_box(model.forward(17, &mut cache))
+        })
+    });
+    c.bench_function("tiny_forward_int8", |b| {
+        b.iter(|| {
+            let mut cache = quant.new_cache();
+            black_box(quant.forward(17, &mut cache))
+        })
+    });
+}
+
+fn bench_decode_with_context(c: &mut Criterion) {
+    let model = TinyModel::init(&TinyConfig::test_small(), 42);
+    let mut group = c.benchmark_group("tiny_decode_by_context");
+    for context in [8usize, 32, 96] {
+        group.bench_function(format!("ctx{context}"), |b| {
+            b.iter(|| {
+                let mut cache = model.new_cache();
+                for t in 0..context {
+                    let _ = model.forward(t % 256, &mut cache);
+                }
+                black_box(model.forward(0, &mut cache))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let model = TinyModel::init(&TinyConfig::test_small(), 42);
+    c.bench_function("tiny_generate_16_tokens", |b| {
+        b.iter(|| black_box(generate(&model, &[1, 2, 3], 16, Sampling::Greedy, 0)))
+    });
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let corpus = "the quick brown fox jumps over the lazy dog ".repeat(20);
+    let tok = BpeTokenizer::train(&corpus, 50);
+    c.bench_function("bpe_encode_1KiB", |b| {
+        let text = corpus.as_str();
+        b.iter(|| black_box(tok.encode(black_box(text))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_decode_with_context,
+    bench_generate,
+    bench_tokenizer
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches for the simulator itself (how fast the instrument
+//! runs) and ablations of its design choices: noise model on/off, EPC
+//! size, enclave-exit rate, and the GPU bounce-buffer cost.
+
+use cllm_hw::DType;
+use cllm_perf::{simulate_cpu, simulate_gpu, CpuTarget};
+use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, MeeParams, SgxParams};
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulators(c: &mut Criterion) {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(6, 1024, 128).with_beam(4);
+    let target = CpuTarget::emr1_single_socket();
+    c.bench_function("simulate_cpu_128_tokens", |b| {
+        b.iter(|| {
+            black_box(simulate_cpu(
+                black_box(&model),
+                &req,
+                DType::Bf16,
+                &target,
+                &CpuTeeConfig::tdx(),
+            ))
+        })
+    });
+    let gpu = cllm_hw::presets::h100_nvl();
+    c.bench_function("simulate_gpu_128_tokens", |b| {
+        b.iter(|| {
+            black_box(simulate_gpu(
+                black_box(&model),
+                &req,
+                DType::Bf16,
+                &gpu,
+                &GpuTeeConfig::confidential(),
+            ))
+        })
+    });
+}
+
+/// Ablation: how the MEE noise model affects the reported mean (DESIGN.md
+/// calls out the noise/outlier model as a design choice).
+fn bench_noise_ablation(c: &mut Criterion) {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(1, 1024, 128);
+    let target = CpuTarget::emr1_single_socket();
+    let mut quiet_tdx = CpuTeeConfig::tdx();
+    if let Some(mee) = quiet_tdx.mee.as_mut() {
+        *mee = MeeParams {
+            noise_sigma: 0.0,
+            outlier_prob: 0.0,
+            ..*mee
+        };
+    }
+    let mut group = c.benchmark_group("ablation_noise_model");
+    group.bench_function("with_noise", |b| {
+        b.iter(|| black_box(simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx())))
+    });
+    group.bench_function("no_noise", |b| {
+        b.iter(|| black_box(simulate_cpu(&model, &req, DType::Bf16, &target, &quiet_tdx)))
+    });
+    group.finish();
+}
+
+/// Ablation: EPC pressure — shrink the EPC below the working set and
+/// watch SGX paging costs appear (the paper used the largest EPC to avoid
+/// exactly this).
+fn bench_epc_ablation(c: &mut Criterion) {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(1, 1024, 32);
+    let target = CpuTarget::emr1_single_socket();
+    let mut group = c.benchmark_group("ablation_epc_size");
+    for (name, epc_gib) in [("epc_512g", 512.0), ("epc_8g", 8.0)] {
+        let mut sgx = CpuTeeConfig::sgx();
+        if let Some(p) = sgx.sgx.as_mut() {
+            *p = SgxParams {
+                epc_bytes: epc_gib * cllm_hw::GIB,
+                ..*p
+            };
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(simulate_cpu(&model, &req, DType::Bf16, &target, &sgx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators, bench_noise_ablation, bench_epc_ablation);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the retrieval engine: the *measured* per-query
+//! costs of the three RAG methods (Figure 14's bare-metal bars, on real
+//! code instead of the analytical work model).
+
+use cllm_retrieval::beir::{generate, BeirSpec};
+use cllm_retrieval::engine::{Engine, SearchMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn loaded_engine() -> (Engine, Vec<String>) {
+    let data = generate(&BeirSpec::default());
+    let mut engine = Engine::new(128);
+    for (id, text) in &data.docs {
+        engine.put(*id, text);
+    }
+    let queries = data.queries.iter().map(|(_, q)| q.clone()).collect();
+    (engine, queries)
+}
+
+fn bench_search_modes(c: &mut Criterion) {
+    let (engine, queries) = loaded_engine();
+    let mut group = c.benchmark_group("rag_query");
+    for (name, mode) in [
+        ("bm25", SearchMode::Bm25),
+        ("reranked_bm25", SearchMode::RerankedBm25 { candidates: 50 }),
+        ("sbert", SearchMode::Sbert),
+    ] {
+        group.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(engine.search(black_box(q), mode, 10))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_indexing(c: &mut Criterion) {
+    let data = generate(&BeirSpec {
+        topics: 4,
+        docs_per_topic: 25,
+        queries_per_topic: 1,
+        doc_len: 48,
+        seed: 7,
+    });
+    c.bench_function("bulk_index_100_docs", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(128);
+            for (id, text) in &data.docs {
+                engine.put(*id, text);
+            }
+            black_box(engine.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_search_modes, bench_indexing);
+criterion_main!(benches);

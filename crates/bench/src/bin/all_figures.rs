@@ -1,0 +1,9 @@
+//! Regenerate every table and figure of the paper in order, printing each
+//! table and writing JSON under `results/`.
+
+fn main() {
+    for (id, _) in cllm_core::experiments::all_experiments() {
+        let _ = cllm_bench::run_and_emit(id);
+        println!();
+    }
+}

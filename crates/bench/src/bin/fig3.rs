@@ -1,0 +1,5 @@
+//! Regenerate fig3 of the paper (see DESIGN.md's experiment index).
+
+fn main() {
+    let _ = cllm_bench::run_and_emit("fig3");
+}

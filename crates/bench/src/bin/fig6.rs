@@ -1,0 +1,5 @@
+//! Regenerate fig6 of the paper (see DESIGN.md's experiment index).
+
+fn main() {
+    let _ = cllm_bench::run_and_emit("fig6");
+}

@@ -1,0 +1,12 @@
+//! Check the paper's 12 insights against the simulator and print the
+//! evidence for each.
+
+fn main() {
+    let summary = cllm_core::summary::build();
+    println!("{}", summary.render());
+    let ok = summary.confirmed();
+    println!("{ok}/12 insights confirmed");
+    if ok != 12 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerate the model_sizes experiment (see DESIGN.md's experiment index).
+
+fn main() {
+    let _ = cllm_bench::run_and_emit("model_sizes");
+}

@@ -1,0 +1,53 @@
+//! Benchmark-harness support: shared runner for the per-figure binaries.
+//!
+//! Each `figN` binary regenerates one table/figure of the paper: it runs
+//! the corresponding `cllm-core` experiment, prints the aligned table the
+//! paper's plot encodes, and writes machine-readable JSON next to the
+//! repository's `results/` directory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cllm_core::experiments::{run_by_id, ExperimentResult};
+use std::path::PathBuf;
+
+/// Run one experiment by id, print its table, and persist JSON under
+/// `results/<id>.json`. Exits the process with an error message if the id
+/// is unknown.
+pub fn run_and_emit(id: &str) -> ExperimentResult {
+    let Some(result) = run_by_id(id) else {
+        eprintln!("unknown experiment id: {id}");
+        std::process::exit(2);
+    };
+    println!("{}", result.render());
+    if let Err(e) = persist(&result) {
+        eprintln!("warning: could not write results JSON: {e}");
+    }
+    result
+}
+
+fn persist(result: &ExperimentResult) -> std::io::Result<()> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{}.json", result.id));
+    let json = serde_json::to_string_pretty(&result.to_json())?;
+    std::fs::write(&path, json)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn results_dir_points_into_repo() {
+        let d = super::results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,106 @@
+//! B100 (Blackwell) projection — Section V-D3: "While B100s address these
+//! issues [HBM and NVLink encryption], we expect that they will add a
+//! non-negligible overhead to H100s' results, since we identified memory
+//! encryption as a significant cost in CPUs."
+//!
+//! The projection applies the CPU-calibrated memory-encryption derate to
+//! the B100's HBM path and compares the resulting CC overhead with the
+//! H100's (which leaves HBM unencrypted).
+
+use super::{num, pct, ExperimentResult};
+use cllm_hw::{DType, GpuModel};
+use cllm_perf::{simulate_gpu, throughput_overhead_pct};
+use cllm_tee::platform::GpuTeeConfig;
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+
+fn cc_overhead(gpu: &GpuModel, batch: u64, input: u64) -> f64 {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(batch, input, 128);
+    let raw = simulate_gpu(&model, &req, DType::Bf16, gpu, &GpuTeeConfig::native());
+    let cc = simulate_gpu(&model, &req, DType::Bf16, gpu, &GpuTeeConfig::confidential());
+    throughput_overhead_pct(raw.e2e_tps, cc.e2e_tps)
+}
+
+/// CC overhead on the H100 at one shape.
+#[must_use]
+pub fn h100_overhead(batch: u64, input: u64) -> f64 {
+    cc_overhead(&cllm_hw::presets::h100_nvl(), batch, input)
+}
+
+/// Projected CC overhead on the B100 at one shape.
+#[must_use]
+pub fn b100_overhead(batch: u64, input: u64) -> f64 {
+    cc_overhead(&cllm_hw::presets::b100(), batch, input)
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "b100",
+        "Blackwell projection: CC overhead with encrypted HBM vs H100",
+        &["batch", "input", "h100_cc_overhead", "b100_cc_overhead", "b100_speedup"],
+    );
+    let h100 = cllm_hw::presets::h100_nvl();
+    let b100 = cllm_hw::presets::b100();
+    let model = zoo::llama2_7b();
+    for (batch, input) in [(1u64, 128u64), (8, 512), (32, 512), (128, 1024)] {
+        let req = RequestSpec::new(batch, input, 128);
+        let h = simulate_gpu(&model, &req, DType::Bf16, &h100, &GpuTeeConfig::confidential());
+        let b = simulate_gpu(&model, &req, DType::Bf16, &b100, &GpuTeeConfig::confidential());
+        r.push_row(vec![
+            batch.to_string(),
+            input.to_string(),
+            pct(h100_overhead(batch, input)),
+            pct(b100_overhead(batch, input)),
+            format!("{}x", num(b.e2e_tps / h.e2e_tps, 2)),
+        ]);
+    }
+    r.note("paper expectation: B100's HBM/NVLink encryption will add non-negligible overhead over H100 results");
+    r.note("the projection reuses the memory-encryption derate calibrated on the CPU side");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b100_cc_costs_more_than_h100_cc_at_memory_bound_shapes() {
+        // At large batch/input the workload is HBM-bound, so B100's
+        // encrypted HBM shows while H100's unencrypted HBM does not.
+        let h = h100_overhead(128, 1024);
+        let b = b100_overhead(128, 1024);
+        assert!(b > h + 1.0, "B100 {b}% !> H100 {h}%");
+    }
+
+    #[test]
+    fn b100_still_faster_in_absolute_terms() {
+        let model = zoo::llama2_7b();
+        let req = RequestSpec::new(32, 512, 64);
+        let h = simulate_gpu(
+            &model,
+            &req,
+            DType::Bf16,
+            &cllm_hw::presets::h100_nvl(),
+            &GpuTeeConfig::confidential(),
+        );
+        let b = simulate_gpu(
+            &model,
+            &req,
+            DType::Bf16,
+            &cllm_hw::presets::b100(),
+            &GpuTeeConfig::confidential(),
+        );
+        assert!(b.e2e_tps > h.e2e_tps);
+    }
+
+    #[test]
+    fn overheads_stay_single_digit() {
+        for (batch, input) in [(1u64, 128u64), (32, 512), (128, 1024)] {
+            let b = b100_overhead(batch, input);
+            assert!((2.0..15.0).contains(&b), "b{batch}/in{input}: {b}%");
+        }
+    }
+}

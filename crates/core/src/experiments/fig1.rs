@@ -1,0 +1,77 @@
+//! Figure 1: headline TEE overheads for Llama2-7B plus the attack
+//! taxonomy TEEs defend against.
+
+use super::{num, pct, ExperimentResult};
+use cllm_hw::DType;
+use cllm_perf::{simulate_cpu, simulate_gpu, throughput_overhead_pct, CpuTarget};
+use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, TeeKind};
+use cllm_tee::threat::{protection, Attack};
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+
+/// Run the experiment.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig1",
+        "Headline Llama2-7B throughput under CPU and GPU TEEs (1024 in / 128 out)",
+        &["platform", "throughput_tps", "overhead_vs_baseline"],
+    );
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(6, 1024, 128).with_beam(4);
+    let target = CpuTarget::emr1_single_socket();
+
+    let bare = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::bare_metal());
+    for tee in [CpuTeeConfig::tdx(), CpuTeeConfig::sgx()] {
+        let sim = simulate_cpu(&model, &req, DType::Bf16, &target, &tee);
+        r.push_row(vec![
+            format!("{} (CPU)", tee.kind.label()),
+            num(sim.decode_tps, 1),
+            pct(throughput_overhead_pct(bare.decode_tps, sim.decode_tps)),
+        ]);
+    }
+
+    let gpu = cllm_hw::presets::h100_nvl();
+    let gpu_req = RequestSpec::new(6, 1024, 128);
+    let raw = simulate_gpu(&model, &gpu_req, DType::Bf16, &gpu, &GpuTeeConfig::native());
+    let cc = simulate_gpu(&model, &gpu_req, DType::Bf16, &gpu, &GpuTeeConfig::confidential());
+    r.push_row(vec![
+        "cGPU (H100)".to_owned(),
+        num(cc.decode_tps, 1),
+        pct(throughput_overhead_pct(raw.decode_tps, cc.decode_tps)),
+    ]);
+
+    r.note("paper: TEEs incur only 4-7% throughput reduction for cLLMs");
+    for attack in Attack::all() {
+        r.note(format!(
+            "threat [{}]: TDX {} / SGX {} / cGPU {}",
+            attack.description(),
+            protection(TeeKind::Tdx, attack).glyph(),
+            protection(TeeKind::Sgx, attack).glyph(),
+            protection(TeeKind::GpuCc, attack).glyph(),
+        ));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn headline_overheads_in_band() {
+        let r = super::run();
+        for row in &r.rows {
+            let ovh: f64 = row[2].trim_end_matches('%').parse().unwrap();
+            assert!(
+                (2.0..12.0).contains(&ovh),
+                "{}: headline overhead {ovh}% outside band",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn covers_all_three_tees() {
+        let r = super::run();
+        assert_eq!(r.rows.len(), 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 10: input-size scaling of TDX generation-throughput overhead
+//! (EMR2, single socket, batch 64, 128 output tokens).
+
+use super::{num, pct, ExperimentResult};
+use cllm_hw::DType;
+use cllm_perf::{simulate_cpu, throughput_overhead_pct, CpuTarget};
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+
+/// TDX overhead at one input size, on both throughput metrics:
+/// `(decode_overhead_pct, e2e_overhead_pct)`.
+///
+/// The paper's two mechanisms live on different metrics in our
+/// reproduction: the initial *decrease* ("the workload saturating the
+/// AMX units and becoming more compute-bound") shows on the end-to-end
+/// rate as the compute-bound prefill's share grows, while the *increase*
+/// past ~2048 tokens (KV cache blowing TLB reach) shows on the
+/// steady-state decode rate.
+#[must_use]
+pub fn overheads(dtype: DType, input: u64) -> (f64, f64) {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(64, input, 128);
+    let target = CpuTarget::emr2_single_socket();
+    let bare = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
+    let tdx = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::tdx());
+    (
+        throughput_overhead_pct(bare.decode_tps, tdx.decode_tps),
+        throughput_overhead_pct(bare.e2e_tps, tdx.e2e_tps),
+    )
+}
+
+const INPUTS: [u64; 7] = [32, 128, 512, 1024, 2048, 3072, 4096];
+
+/// Run the experiment.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig10",
+        "Input-size scaling of TDX overhead, Llama2-7B, batch 64 (EMR2)",
+        &[
+            "dtype",
+            "input_tokens",
+            "decode_overhead",
+            "e2e_overhead",
+            "kv_cache_gib",
+        ],
+    );
+    let model = zoo::llama2_7b();
+    for dtype in [DType::Bf16, DType::Int8] {
+        for input in INPUTS {
+            let kv = cllm_workload::kv::kv_bytes_total(&model, 64, input + 128, dtype)
+                / cllm_hw::GIB;
+            let (decode, e2e) = overheads(dtype, input);
+            r.push_row(vec![
+                dtype.label().to_owned(),
+                input.to_string(),
+                pct(decode),
+                pct(e2e),
+                num(kv, 1),
+            ]);
+        }
+    }
+    r.note("paper: overhead decreases with input size until ~2048 tokens, then rises as the KV cache makes the workload memory-bound (TLB pressure)");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2e_overhead_dips_with_input() {
+        // Growing compute-bound prefill share lowers the end-to-end
+        // overhead (the paper's "saturating the AMX units").
+        for dtype in [DType::Bf16, DType::Int8] {
+            let (_, small) = overheads(dtype, 32);
+            let (_, mid) = overheads(dtype, 2048);
+            assert!(mid < small, "{dtype:?}: no dip ({small} -> {mid})");
+        }
+    }
+
+    #[test]
+    fn decode_overhead_rises_at_long_input() {
+        // KV cache outgrows TLB reach -> translation costs rise under
+        // TDX's 2 MiB pages (the paper's increase past ~2048 tokens).
+        for dtype in [DType::Bf16, DType::Int8] {
+            let (short, _) = overheads(dtype, 512);
+            let (long, _) = overheads(dtype, 4096);
+            assert!(
+                long > short,
+                "{dtype:?}: no rise at long input ({short} -> {long})"
+            );
+        }
+    }
+
+    #[test]
+    fn all_overheads_moderate() {
+        for input in INPUTS {
+            let (decode, e2e) = overheads(DType::Bf16, input);
+            assert!((2.0..15.0).contains(&decode), "input {input}: {decode}%");
+            assert!((1.0..15.0).contains(&e2e), "input {input}: e2e {e2e}%");
+        }
+    }
+
+    #[test]
+    fn kv_outgrows_weights_at_long_input() {
+        // The crossover driver: at batch 64 and 4096 tokens the KV cache
+        // dwarfs the 13.5 GiB of weights.
+        let model = zoo::llama2_7b();
+        let kv = cllm_workload::kv::kv_bytes_total(&model, 64, 4096, DType::Bf16);
+        assert!(kv > 3.0 * model.streamed_weight_bytes(DType::Bf16));
+    }
+}

@@ -1,0 +1,158 @@
+//! Figure 12: vCPU scaling and cost of generating one million tokens
+//! (EMR2, Llama2-7B bf16, 128 in / 128 out, single socket, 128 GiB of
+//! memory held constant), with the cGPU cost line.
+
+use super::{num, pct, ExperimentResult};
+use cllm_cost::{cost_per_mtok, CostPoint, CpuPricing, GpuPricing};
+use cllm_hw::DType;
+use cllm_perf::{simulate_cpu, simulate_gpu, throughput_overhead_pct, CpuTarget};
+use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+
+/// Hyperthreads billed per physical core (GCP bills vCPUs).
+pub const VCPUS_PER_CORE: u32 = 2;
+
+/// Memory held constant across the sweep, GiB (the paper found 128 GiB
+/// sufficient for Llama2-7B in all shown cases).
+pub const MEMORY_GIB: f64 = 128.0;
+
+/// Core counts swept (per socket).
+pub const CORES: [u32; 6] = [4, 8, 16, 32, 48, 60];
+
+/// TDX generation throughput at a core count and batch size (e2e,
+/// includes first-token latency, as the figure caption specifies).
+#[must_use]
+pub fn tdx_e2e_tps(cores: u32, batch: u64) -> f64 {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(batch, 128, 128);
+    let target = CpuTarget::emr2_single_socket().with_cores(cores);
+    simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx()).e2e_tps
+}
+
+fn bare_e2e_tps(cores: u32, batch: u64) -> f64 {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(batch, 128, 128);
+    let target = CpuTarget::emr2_single_socket().with_cores(cores);
+    simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::bare_metal()).e2e_tps
+}
+
+/// cGPU $/Mtoken at a batch size (the orange line of Figure 12).
+#[must_use]
+pub fn cgpu_usd_per_mtok(batch: u64) -> f64 {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(batch, 128, 128);
+    let sim = simulate_gpu(
+        &model,
+        &req,
+        DType::Bf16,
+        &cllm_hw::presets::h100_nvl(),
+        &GpuTeeConfig::confidential(),
+    );
+    cost_per_mtok(GpuPricing::azure_ncc_h100().per_hr, sim.e2e_tps)
+}
+
+/// The TDX cost sweep over core counts at one batch size.
+#[must_use]
+pub fn tdx_cost_sweep(batch: u64) -> Vec<CostPoint> {
+    let pricing = CpuPricing::gcp_spot_us_east1();
+    CORES
+        .iter()
+        .map(|&cores| {
+            let price = pricing.instance_cost_per_hr(cores * VCPUS_PER_CORE, MEMORY_GIB);
+            CostPoint::new(u64::from(cores), tdx_e2e_tps(cores, batch), price)
+        })
+        .collect()
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig12",
+        "vCPU scaling and $/Mtoken, Llama2-7B bf16 on EMR2 vs confidential H100",
+        &[
+            "batch",
+            "cores",
+            "tdx_tps",
+            "tdx_overhead",
+            "usd_per_mtok",
+            "cgpu_usd_per_mtok",
+        ],
+    );
+    for batch in [1u64, 16, 64, 128] {
+        let gpu_cost = cgpu_usd_per_mtok(batch);
+        for point in tdx_cost_sweep(batch) {
+            let cores = u32::try_from(point.x).expect("core counts are small");
+            r.push_row(vec![
+                batch.to_string(),
+                point.x.to_string(),
+                num(point.tokens_per_s, 0),
+                pct(throughput_overhead_pct(
+                    bare_e2e_tps(cores, batch),
+                    point.tokens_per_s,
+                )),
+                num(point.usd_per_mtok, 3),
+                num(gpu_cost, 3),
+            ]);
+        }
+    }
+    r.note("paper: workload is compute-bound until ~32 cores, then memory-bound");
+    r.note("paper: cGPUs are up to 100% more expensive at small batch; parity near batch 128");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cllm_cost::{cheapest_point, cost_advantage_pct};
+
+    #[test]
+    fn throughput_knee_near_32_cores() {
+        // Figure 12: minimal gain above ~32 cores.
+        let t16 = tdx_e2e_tps(16, 64);
+        let t32 = tdx_e2e_tps(32, 64);
+        let t60 = tdx_e2e_tps(60, 64);
+        assert!(t32 > 1.05 * t16, "still scaling into 32 cores");
+        assert!(t60 < 1.15 * t32, "should flatten past 32 cores");
+    }
+
+    #[test]
+    fn cost_curve_is_u_shaped() {
+        // Memory dominates at low cores; throughput plateau raises cost at
+        // high cores -> the cheapest point is interior.
+        let sweep = tdx_cost_sweep(64);
+        let best = cheapest_point(&sweep).unwrap();
+        assert!(
+            best.x > CORES[0].into() && best.x <= 48,
+            "valley at {} cores",
+            best.x
+        );
+    }
+
+    #[test]
+    fn cpu_advantage_fades_with_batch() {
+        // Paper: CPU TEEs up to ~100% cheaper at batch 1; parity around
+        // batch 128.
+        let adv = |batch| {
+            let cpu_best = cheapest_point(&tdx_cost_sweep(batch)).unwrap().usd_per_mtok;
+            cost_advantage_pct(cpu_best, cgpu_usd_per_mtok(batch))
+        };
+        let b1 = adv(1);
+        let b64 = adv(64);
+        let b128 = adv(128);
+        assert!(b1 > 40.0, "batch-1 CPU advantage only {b1}%");
+        assert!(b1 < 220.0, "batch-1 CPU advantage implausibly high: {b1}%");
+        assert!(b64 < b1, "advantage must fade: b64 {b64} !< b1 {b1}");
+        assert!(b128 < 35.0, "near-parity expected at batch 128, got {b128}%");
+        assert!(b128 < b64);
+    }
+
+    #[test]
+    fn overheads_moderate_across_core_counts() {
+        for cores in CORES {
+            let ovh = throughput_overhead_pct(bare_e2e_tps(cores, 64), tdx_e2e_tps(cores, 64));
+            assert!((2.0..14.0).contains(&ovh), "{cores} cores: {ovh}%");
+        }
+    }
+}

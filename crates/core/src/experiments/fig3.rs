@@ -1,0 +1,78 @@
+//! Figure 3: CPU inference framework comparison on EMR1 (bare metal,
+//! single socket, Llama2-7B, 1024 in / 128 out, batch = beam = 1).
+
+use super::{num, ExperimentResult};
+use cllm_hw::DType;
+use cllm_perf::{simulate_cpu, CpuTarget, Framework};
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+
+fn runtime_s(fw: Framework, dtype: DType) -> f64 {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(1, 1024, 128);
+    let target = CpuTarget::emr1_single_socket().with_framework(fw);
+    let sim = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
+    sim.prefill_s + sim.token_latencies_s.iter().sum::<f64>()
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig3",
+        "Framework/dtype wall runtime for Llama2-7B, 1024 in / 128 out, batch 1 (EMR1)",
+        &["framework", "dtype", "runtime_s", "vs_ipex"],
+    );
+    let configs = [
+        (Framework::HuggingFace, DType::F32),
+        (Framework::HuggingFace, DType::Bf16),
+        (Framework::Vllm, DType::F32),
+        (Framework::Vllm, DType::Bf16),
+        (Framework::LlamaCpp, DType::Bf16), // mixed-precision GGUF
+        (Framework::Ipex, DType::Bf16),
+    ];
+    let ipex = runtime_s(Framework::Ipex, DType::Bf16);
+    for (fw, dtype) in configs {
+        let t = runtime_s(fw, dtype);
+        r.push_row(vec![
+            fw.label().to_owned(),
+            dtype.label().to_owned(),
+            num(t, 2),
+            format!("{:.2}x", t / ipex),
+        ]);
+    }
+    r.note("paper: IPEX fastest; vLLM ~50% slower; HuggingFace ~100% slower");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipex_wins_and_ordering_matches_paper() {
+        let ipex = runtime_s(Framework::Ipex, DType::Bf16);
+        let vllm = runtime_s(Framework::Vllm, DType::Bf16);
+        let hf = runtime_s(Framework::HuggingFace, DType::Bf16);
+        let hf32 = runtime_s(Framework::HuggingFace, DType::F32);
+        assert!(vllm > ipex * 1.2, "vLLM should be noticeably slower");
+        assert!(vllm < ipex * 2.2, "vLLM ~50% slower in the paper");
+        assert!(hf > ipex * 1.7, "HF ~100% slower in the paper");
+        assert!(hf32 > hf, "f32 slower than bf16");
+    }
+
+    #[test]
+    fn llamacpp_between_ipex_and_hf() {
+        let ipex = runtime_s(Framework::Ipex, DType::Bf16);
+        let lcpp = runtime_s(Framework::LlamaCpp, DType::Bf16);
+        let hf = runtime_s(Framework::HuggingFace, DType::Bf16);
+        assert!(lcpp > ipex * 0.6);
+        assert!(lcpp < hf * 1.5);
+    }
+
+    #[test]
+    fn table_has_six_configs() {
+        assert_eq!(super::run().rows.len(), 6);
+    }
+}

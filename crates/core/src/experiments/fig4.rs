@@ -1,0 +1,130 @@
+//! Figure 4: single-socket throughput and latency overheads of SGX, VM
+//! and TDX on EMR1 for bf16 and int8 (1024 in / 128 out; throughput at
+//! batch 6 / beam 4, latency at batch 1 / beam 1).
+
+use super::{num, pct, ExperimentResult};
+use cllm_hw::DType;
+use cllm_perf::{overhead_pct, simulate_cpu, throughput_overhead_pct, CpuTarget};
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+
+/// One platform/dtype measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Point {
+    /// Throughput overhead vs bare metal, percent.
+    pub thr_overhead_pct: f64,
+    /// Latency overhead vs bare metal, percent.
+    pub lat_overhead_pct: f64,
+    /// Absolute throughput, tokens/s.
+    pub throughput_tps: f64,
+    /// Absolute next-token latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// Compute the Figure 4 point for one TEE and dtype.
+#[must_use]
+pub fn point(tee: &CpuTeeConfig, dtype: DType) -> Fig4Point {
+    let model = zoo::llama2_7b();
+    let target = CpuTarget::emr1_single_socket();
+    let thr_req = RequestSpec::new(6, 1024, 128).with_beam(4);
+    let lat_req = RequestSpec::new(1, 1024, 128);
+
+    let bare_t = simulate_cpu(&model, &thr_req, dtype, &target, &CpuTeeConfig::bare_metal());
+    let bare_l = simulate_cpu(&model, &lat_req, dtype, &target, &CpuTeeConfig::bare_metal());
+    let t = simulate_cpu(&model, &thr_req, dtype, &target, tee);
+    let l = simulate_cpu(&model, &lat_req, dtype, &target, tee);
+
+    Fig4Point {
+        thr_overhead_pct: throughput_overhead_pct(bare_t.decode_tps, t.decode_tps),
+        lat_overhead_pct: overhead_pct(bare_l.summary.mean, l.summary.mean),
+        throughput_tps: t.decode_tps,
+        latency_ms: l.summary.mean * 1e3,
+    }
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig4",
+        "Single-socket TEE overheads, Llama2-7B on EMR1",
+        &[
+            "platform",
+            "dtype",
+            "thr_overhead",
+            "lat_overhead",
+            "throughput_tps",
+            "latency_ms",
+        ],
+    );
+    for dtype in [DType::Bf16, DType::Int8] {
+        for tee in [CpuTeeConfig::vm(), CpuTeeConfig::sgx(), CpuTeeConfig::tdx()] {
+            let p = point(&tee, dtype);
+            r.push_row(vec![
+                tee.kind.label().to_owned(),
+                dtype.label().to_owned(),
+                pct(p.thr_overhead_pct),
+                pct(p.lat_overhead_pct),
+                num(p.throughput_tps, 1),
+                num(p.latency_ms, 1),
+            ]);
+        }
+    }
+    r.note("paper: SGX 4.80-6.15%, TDX 5.51-10.68%, VM 1.82-5.38% (throughput)");
+    r.note("paper: int8 has similar throughput to bf16 but roughly half the latency");
+    r.note("paper: all latencies well below the 200 ms/word reading-speed standard");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bands_hold() {
+        for dtype in [DType::Bf16, DType::Int8] {
+            let vm = point(&CpuTeeConfig::vm(), dtype);
+            let sgx = point(&CpuTeeConfig::sgx(), dtype);
+            let tdx = point(&CpuTeeConfig::tdx(), dtype);
+            assert!(
+                (1.0..5.5).contains(&vm.thr_overhead_pct),
+                "VM {dtype:?}: {}",
+                vm.thr_overhead_pct
+            );
+            assert!(
+                (4.0..7.0).contains(&sgx.thr_overhead_pct),
+                "SGX {dtype:?}: {}",
+                sgx.thr_overhead_pct
+            );
+            assert!(
+                (5.0..11.0).contains(&tdx.thr_overhead_pct),
+                "TDX {dtype:?}: {}",
+                tdx.thr_overhead_pct
+            );
+            // Latency overheads stay under the abstract's 20% bound.
+            assert!(sgx.lat_overhead_pct < 20.0);
+            assert!(tdx.lat_overhead_pct < 20.0);
+            // SGX sits between VM and TDX (Insight 5).
+            assert!(sgx.thr_overhead_pct > vm.thr_overhead_pct);
+            assert!(sgx.thr_overhead_pct < tdx.thr_overhead_pct);
+        }
+    }
+
+    #[test]
+    fn int8_halves_latency() {
+        let bf16 = point(&CpuTeeConfig::tdx(), DType::Bf16);
+        let int8 = point(&CpuTeeConfig::tdx(), DType::Int8);
+        let ratio = bf16.latency_ms / int8.latency_ms;
+        assert!((1.5..2.5).contains(&ratio), "latency ratio {ratio}");
+    }
+
+    #[test]
+    fn latencies_below_reading_speed() {
+        for dtype in [DType::Bf16, DType::Int8] {
+            for tee in [CpuTeeConfig::vm(), CpuTeeConfig::sgx(), CpuTeeConfig::tdx()] {
+                assert!(point(&tee, dtype).latency_ms < 200.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Figure 7: per-decoder-block-layer duration and TDX overhead (EMR2,
+//! single socket, batch 4, 128 in / 128 out).
+
+use super::{num, pct, ExperimentResult};
+use cllm_hw::DType;
+use cllm_perf::{simulate_cpu, CpuTarget, OpTrace};
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+
+fn trace(tee: &CpuTeeConfig) -> Vec<OpTrace> {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(4, 128, 128);
+    let target = CpuTarget::emr2_single_socket();
+    simulate_cpu(&model, &req, DType::Bf16, &target, tee).decode_trace
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig7",
+        "Per-layer duration and TDX overhead, Llama2-7B decode block (EMR2, batch 4)",
+        &["layer", "bare_us", "tdx_us", "tdx_overhead", "share_of_block"],
+    );
+    let bare = trace(&CpuTeeConfig::bare_metal());
+    let tdx = trace(&CpuTeeConfig::tdx());
+    let total: f64 = bare.iter().map(|t| t.time_s).sum();
+    for (b, t) in bare.iter().zip(&tdx) {
+        debug_assert_eq!(b.op, t.op);
+        r.push_row(vec![
+            b.op.label().to_owned(),
+            num(b.time_s * 1e6, 1),
+            num(t.time_s * 1e6, 1),
+            pct((t.time_s / b.time_s - 1.0) * 100.0),
+            pct(b.time_s / total * 100.0),
+        ]);
+    }
+    r.note("paper: decoder blocks take 99.9% of inference time");
+    r.note("paper: self-attention and linear SiLU dominate raw cost; layer norms have the largest relative overheads but ~3% of block time");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cllm_workload::ops::BlockOp;
+
+    fn time_of(tr: &[OpTrace], ops: &[BlockOp]) -> f64 {
+        tr.iter()
+            .filter(|t| ops.contains(&t.op))
+            .map(|t| t.time_s)
+            .sum()
+    }
+
+    #[test]
+    fn attention_and_silu_dominate() {
+        let bare = trace(&CpuTeeConfig::bare_metal());
+        let total: f64 = bare.iter().map(|t| t.time_s).sum();
+        let heavy = time_of(
+            &bare,
+            &[
+                BlockOp::QkvProj,
+                BlockOp::AttnScores,
+                BlockOp::AttnContext,
+                BlockOp::OProj,
+                BlockOp::GateUpSilu,
+            ],
+        );
+        assert!(heavy / total > 0.6, "share {}", heavy / total);
+    }
+
+    #[test]
+    fn norms_are_small_share() {
+        let bare = trace(&CpuTeeConfig::bare_metal());
+        let total: f64 = bare.iter().map(|t| t.time_s).sum();
+        let norms = time_of(&bare, &[BlockOp::InputNorm, BlockOp::PostAttnNorm]);
+        assert!(norms / total < 0.08, "norm share {}", norms / total);
+    }
+
+    #[test]
+    fn every_layer_pays_some_tdx_overhead() {
+        let bare = trace(&CpuTeeConfig::bare_metal());
+        let tdx = trace(&CpuTeeConfig::tdx());
+        for (b, t) in bare.iter().zip(&tdx) {
+            assert!(
+                t.time_s >= b.time_s,
+                "{}: TDX faster than bare?",
+                b.op.label()
+            );
+        }
+    }
+
+    #[test]
+    fn table_covers_all_block_ops() {
+        assert_eq!(super::run().rows.len(), BlockOp::all().len());
+    }
+
+    #[test]
+    fn norms_have_largest_relative_overhead() {
+        // Figure 7: "The most significant overheads are incurred in input
+        // and post-attention layer norms" — despite their tiny time share.
+        let bare = trace(&CpuTeeConfig::bare_metal());
+        let tdx = trace(&CpuTeeConfig::tdx());
+        let rel = |op: BlockOp| {
+            let b = bare.iter().find(|t| t.op == op).unwrap().time_s;
+            let t = tdx.iter().find(|t| t.op == op).unwrap().time_s;
+            t / b - 1.0
+        };
+        let norm_ovh = rel(BlockOp::InputNorm);
+        for gemm in [BlockOp::QkvProj, BlockOp::GateUpSilu, BlockOp::DownProj] {
+            assert!(
+                norm_ovh > 2.0 * rel(gemm),
+                "norm {norm_ovh} !>> {:?} {}",
+                gemm,
+                rel(gemm)
+            );
+        }
+    }
+}

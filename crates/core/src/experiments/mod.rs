@@ -1,0 +1,246 @@
+//! Paper-experiment runners: one per table/figure.
+//!
+//! Every runner regenerates the *shape* of a published result — who wins,
+//! by roughly what factor, where crossovers fall — from the calibrated
+//! simulator, and returns a uniform [`ExperimentResult`] that renders as
+//! an aligned text table and serializes to JSON (consumed by
+//! `EXPERIMENTS.md` and the `cllm-bench` binaries).
+//!
+//! | Runner | Reproduces |
+//! |--------|-----------|
+//! | [`fig1`] | Figure 1 — headline TEE overheads + threat model |
+//! | [`fig3`] | Figure 3 — framework comparison (HF/vLLM/llama.cpp/IPEX) |
+//! | [`fig4`] | Figure 4 — single-socket throughput/latency overheads |
+//! | [`fig5`] | Figure 5 — Llama2-70B NUMA binding (VM B / TDX / VM NB) |
+//! | [`fig6`] | Figure 6 — hugepages (VM FH / VM TH / TDX), dual socket |
+//! | [`fig7`] | Figure 7 — per-decoder-block-layer trace |
+//! | [`fig8`] | Figure 8 — AMX vs no-AMX batch scaling |
+//! | [`fig9`] | Figure 9 — batch-size scaling of overheads |
+//! | [`fig10`] | Figure 10 — input-size scaling of overheads |
+//! | [`fig11`] | Figure 11 — cGPU batch/input scaling |
+//! | [`fig12`] | Figure 12 — vCPU scaling + $/Mtoken vs cGPU |
+//! | [`fig13`] | Figure 13 — input scaling + $/Mtoken vs cGPU |
+//! | [`fig14`] | Figure 14 — RAG pipelines (BM25/reranked/SBERT) in TDX |
+//! | [`table1`] | Table I — security/performance/cost summary matrix |
+//! | [`model_zoo`] | §III-C3 — overheads across 5 additional LLMs |
+//! | [`snc`] | §IV-A — sub-NUMA clustering ablation |
+//! | [`sev_snp`] | §III — AMD SEV-SNP cross-check (close to TDX) |
+//! | [`b100`] | §V-D3 — Blackwell encrypted-HBM projection |
+//! | [`scaleout`] | §V-D4 — multi-GPU vs multi-socket scale-out |
+//! | [`model_sizes`] | abstract — Llama2 7B/13B/70B sweep |
+//! | [`serving`] | extension — online SLO attainment under TEEs |
+//! | [`tco`] | extension — rent vs buy on the paper's list prices |
+//! | [`moe`] | extension — mixture-of-experts (Mixtral) under TDX |
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod b100;
+pub mod model_sizes;
+pub mod model_zoo;
+pub mod moe;
+pub mod scaleout;
+pub mod serving;
+pub mod sev_snp;
+pub mod snc;
+pub mod table1;
+pub mod tco;
+
+use serde::Serialize;
+
+/// A named experiment runner, as listed by [`all_experiments`].
+pub type ExperimentEntry = (&'static str, fn() -> ExperimentResult);
+
+/// A uniform experiment result: a titled table plus notes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExperimentResult {
+    /// Short id, e.g. `"fig4"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (same arity as `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes: paper bands, measured values, caveats.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Start a result.
+    #[must_use]
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        ExperimentResult {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Serialize to a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("result serializes")
+    }
+
+    /// Find a cell by row key (first column) and column header.
+    #[must_use]
+    pub fn cell(&self, row_key: &str, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == row_key)
+            .map(|r| r[col].as_str())
+    }
+}
+
+/// Format a percentage with one decimal.
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Format a float with `digits` decimals.
+#[must_use]
+pub fn num(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Registry of every experiment, in paper order.
+#[must_use]
+pub fn all_experiments() -> Vec<ExperimentEntry> {
+    vec![
+        ("fig1", fig1::run as fn() -> ExperimentResult),
+        ("fig3", fig3::run),
+        ("fig4", fig4::run),
+        ("fig5", fig5::run),
+        ("fig6", fig6::run),
+        ("fig7", fig7::run),
+        ("fig8", fig8::run),
+        ("fig9", fig9::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("fig14", fig14::run),
+        ("table1", table1::run),
+        ("model_zoo", model_zoo::run),
+        ("snc", snc::run),
+        ("sev_snp", sev_snp::run),
+        ("b100", b100::run),
+        ("scaleout", scaleout::run),
+        ("model_sizes", model_sizes::run),
+        ("serving", serving::run),
+        ("tco", tco::run),
+        ("moe", moe::run),
+    ]
+}
+
+/// Run an experiment by id.
+#[must_use]
+pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
+    all_experiments()
+        .into_iter()
+        .find(|(eid, _)| *eid == id)
+        .map(|(_, f)| f())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_includes_notes() {
+        let mut r = ExperimentResult::new("t", "demo", &["a", "long_column"]);
+        r.push_row(vec!["x".into(), "1".into()]);
+        r.note("hello");
+        let s = r.render();
+        assert!(s.contains("long_column"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut r = ExperimentResult::new("t", "demo", &["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut r = ExperimentResult::new("t", "demo", &["key", "val"]);
+        r.push_row(vec!["k1".into(), "42".into()]);
+        assert_eq!(r.cell("k1", "val"), Some("42"));
+        assert_eq!(r.cell("k2", "val"), None);
+        assert_eq!(r.cell("k1", "nope"), None);
+    }
+
+    #[test]
+    fn registry_is_complete() {
+        let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 23);
+        assert!(ids.contains(&"fig4"));
+        assert!(ids.contains(&"table1"));
+        assert!(run_by_id("nope").is_none());
+    }
+}

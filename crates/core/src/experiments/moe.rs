@@ -1,0 +1,112 @@
+//! Mixture-of-experts extension: the paper's intro notes the Llama family
+//! moving to mixtures of experts (Llama 4); this experiment asks what
+//! that does to TEE overheads.
+//!
+//! MoE inference keeps *all* experts resident (large footprint — heavy
+//! TLB pressure under TDX's 2 MiB pages) while streaming only the routed
+//! experts per step (sparse traffic). The footprint/traffic ratio is what
+//! TEE address translation taxes, so MoE is a worst-ish case for VM TEEs.
+
+use super::{num, pct, ExperimentResult};
+use cllm_hw::DType;
+use cllm_perf::{simulate_cpu, throughput_overhead_pct, CpuTarget, SimResult};
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::{zoo, ModelConfig};
+
+fn sim(model: &ModelConfig, batch: u64, tee: &CpuTeeConfig) -> SimResult {
+    // Mixtral's full expert set wants dual-socket memory headroom, like
+    // the 70B dense model.
+    let req = RequestSpec::new(batch, 512, 64);
+    simulate_cpu(model, &req, DType::Bf16, &CpuTarget::emr2_dual_socket(), tee)
+}
+
+/// TDX overhead for a model at a batch size.
+#[must_use]
+pub fn overhead(model: &ModelConfig, batch: u64) -> f64 {
+    let bare = sim(model, batch, &CpuTeeConfig::bare_metal());
+    let tdx = sim(model, batch, &CpuTeeConfig::tdx());
+    throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "moe",
+        "Mixture-of-experts under TDX: Mixtral 8x7B vs dense Llama2 (2 sockets)",
+        &[
+            "model",
+            "batch",
+            "experts_touched",
+            "tdx_tps",
+            "tdx_overhead",
+        ],
+    );
+    for model in [zoo::llama2_13b(), zoo::mixtral_8x7b()] {
+        for batch in [1u64, 8, 64] {
+            let tdx = sim(&model, batch, &CpuTeeConfig::tdx());
+            r.push_row(vec![
+                model.name.clone(),
+                batch.to_string(),
+                num(model.experts_touched(batch), 1),
+                num(tdx.decode_tps, 1),
+                pct(overhead(&model, batch)),
+            ]);
+        }
+    }
+    r.note("MoE keeps all experts resident (footprint) but streams only routed experts (traffic); the widened footprint/traffic ratio is what TDX's 2 MiB-page translation taxes");
+    r.note("extension beyond the paper, motivated by its intro's note on the Llama family's move to mixtures of experts");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moe_overhead_at_least_dense() {
+        // Same active-parameter class (Mixtral top-2 ≈ 13B dense): the
+        // MoE's resident footprint should make TDX overhead >= dense.
+        let dense = overhead(&zoo::llama2_13b(), 1);
+        let moe = overhead(&zoo::mixtral_8x7b(), 1);
+        assert!(moe >= dense - 0.5, "MoE {moe}% vs dense {dense}%");
+    }
+
+    #[test]
+    fn batch_activates_more_experts_and_traffic() {
+        let m = zoo::mixtral_8x7b();
+        let t1 = sim(&m, 1, &CpuTeeConfig::tdx());
+        let t64 = sim(&m, 64, &CpuTeeConfig::tdx());
+        // Throughput still improves with batch, but sublinearly versus a
+        // dense model because expert traffic grows with coverage.
+        let moe_scaling = t64.decode_tps / t1.decode_tps;
+        let d = zoo::llama2_13b();
+        let d1 = sim(&d, 1, &CpuTeeConfig::tdx());
+        let d64 = sim(&d, 64, &CpuTeeConfig::tdx());
+        let dense_scaling = d64.decode_tps / d1.decode_tps;
+        assert!(moe_scaling > 1.5, "MoE must still batch: {moe_scaling}");
+        assert!(
+            moe_scaling < dense_scaling,
+            "MoE batching gain {moe_scaling} should trail dense {dense_scaling}"
+        );
+    }
+
+    #[test]
+    fn moe_batch1_faster_than_equivalent_dense_total() {
+        // Sparse streaming: at batch 1, Mixtral (47B resident, ~13B
+        // active) must decode much faster than a dense 70B and in the
+        // same class as a dense 13B.
+        let moe = sim(&zoo::mixtral_8x7b(), 1, &CpuTeeConfig::bare_metal());
+        let dense70 = sim(&zoo::llama2_70b(), 1, &CpuTeeConfig::bare_metal());
+        assert!(moe.summary.mean < dense70.summary.mean * 0.6);
+    }
+
+    #[test]
+    fn overheads_in_plausible_band() {
+        for batch in [1u64, 8, 64] {
+            let o = overhead(&zoo::mixtral_8x7b(), batch);
+            assert!((5.0..35.0).contains(&o), "batch {batch}: {o}%");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Section IV-A sub-NUMA clustering ablation: TEE drivers do not support
+//! sub-NUMA domains, so enabling SNC inflates TDX overhead from ~5% to
+//! ~42% — which is why the paper disables it.
+
+use super::{pct, ExperimentResult};
+use cllm_hw::{DType, SubNumaClustering};
+use cllm_perf::{simulate_cpu, throughput_overhead_pct, CpuTarget};
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+
+/// TDX throughput overhead with a given SNC setting.
+#[must_use]
+pub fn overhead(snc: SubNumaClustering) -> f64 {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(6, 1024, 128).with_beam(4);
+    let mut target = CpuTarget::emr2_single_socket();
+    target.topology.snc = snc;
+    let bare = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::bare_metal());
+    let tdx = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx());
+    throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "snc",
+        "Sub-NUMA clustering ablation: TDX overhead with SNC off/on (EMR2)",
+        &["snc", "tdx_overhead"],
+    );
+    for (name, snc) in [
+        ("off", SubNumaClustering::Off),
+        ("SNC-2", SubNumaClustering::Snc2),
+    ] {
+        r.push_row(vec![name.to_owned(), pct(overhead(snc))]);
+    }
+    r.note("paper: enabling sub-NUMA domains increased overhead more than eight times, from ~5% to ~42%; we therefore disable SNC");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snc_blows_up_tee_overhead() {
+        let off = overhead(SubNumaClustering::Off);
+        let on = overhead(SubNumaClustering::Snc2);
+        assert!((4.0..12.0).contains(&off), "SNC off: {off}%");
+        assert!((25.0..60.0).contains(&on), "SNC on: {on}%");
+        assert!(on > 3.0 * off, "SNC must multiply overhead: {off} -> {on}");
+    }
+}

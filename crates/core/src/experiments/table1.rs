@@ -1,0 +1,140 @@
+//! Table I: the summary matrix of evaluated systems — security,
+//! performance and cost characteristics per platform.
+
+use super::{pct, ExperimentResult};
+use cllm_tee::platform::TeeKind;
+use cllm_tee::threat::{security_score, Attack};
+
+/// Run the experiment (most cells come from `cllm_tee::threat`; the
+/// performance rows cite the measured single-resource overheads from the
+/// other experiments).
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "table1",
+        "Summary of evaluated systems (Table I)",
+        &["property", "SGX (process TEE)", "TDX (VM TEE)", "H100 cGPU"],
+    );
+
+    let kinds = [TeeKind::Sgx, TeeKind::Tdx, TeeKind::GpuCc];
+    let glyph = |k: TeeKind, a: Attack| cllm_tee::threat::protection(k, a).glyph().to_owned();
+
+    for attack in Attack::all() {
+        r.push_row(vec![
+            format!("security: {}", attack.description()),
+            glyph(kinds[0], attack),
+            glyph(kinds[1], attack),
+            glyph(kinds[2], attack),
+        ]);
+    }
+    r.push_row(vec![
+        "security score".to_owned(),
+        pct(security_score(TeeKind::Sgx) * 100.0),
+        pct(security_score(TeeKind::Tdx) * 100.0),
+        pct(security_score(TeeKind::GpuCc) * 100.0),
+    ]);
+
+    // Performance rows measured by the other experiments.
+    let fig4_sgx = super::fig4::point(
+        &cllm_tee::platform::CpuTeeConfig::sgx(),
+        cllm_hw::DType::Bf16,
+    );
+    let fig4_tdx = super::fig4::point(
+        &cllm_tee::platform::CpuTeeConfig::tdx(),
+        cllm_hw::DType::Bf16,
+    );
+    let gpu = super::fig11::overhead(8, 512);
+    r.push_row(vec![
+        "single-resource overhead".to_owned(),
+        pct(fig4_sgx.thr_overhead_pct),
+        pct(fig4_tdx.thr_overhead_pct),
+        pct(gpu),
+    ]);
+    r.push_row(vec![
+        "batch size up -> overhead".to_owned(),
+        "down".to_owned(),
+        "down".to_owned(),
+        "down".to_owned(),
+    ]);
+    r.push_row(vec![
+        "input size up -> overhead".to_owned(),
+        "down then up".to_owned(),
+        "down then up".to_owned(),
+        "down".to_owned(),
+    ]);
+    r.push_row(vec![
+        "scale-up (multi-socket / multi-GPU)".to_owned(),
+        "prohibitive (no NUMA)".to_owned(),
+        "12-24% (bindings ignored)".to_owned(),
+        "host detour, ~3 GB/s".to_owned(),
+    ]);
+    r.push_row(vec![
+        "sources of overhead".to_owned(),
+        "EPC paging, enclave exits, memory, NUMA".to_owned(),
+        "virtualization tax, hugepages, memory, NUMA".to_owned(),
+        "PCIe transfers, kernel launch".to_owned(),
+    ]);
+    r.push_row(vec![
+        "development effort".to_owned(),
+        "high (libOS, manifest)".to_owned(),
+        "low (standard VM)".to_owned(),
+        "low (unchanged CUDA)".to_owned(),
+    ]);
+    r.push_row(vec![
+        "cost-efficient for".to_owned(),
+        "small inputs/batches".to_owned(),
+        "small inputs/batches".to_owned(),
+        "large inputs/batches".to_owned(),
+    ]);
+    r.note("glyphs: ■ full, ◪ partial, □ none (as in the paper)");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cllm_tee::threat::Protection;
+
+    #[test]
+    fn table_covers_security_and_performance() {
+        let t = run();
+        assert!(t.rows.len() >= 13);
+        assert!(t
+            .rows
+            .iter()
+            .any(|row| row[0] == "single-resource overhead"));
+    }
+
+    #[test]
+    fn h100_has_partial_cells_cpu_tees_do_not() {
+        // Table I: H100's HBM/NVLink gaps show as partial protection.
+        let partial = Protection::Partial.glyph();
+        let t = run();
+        let gpu_partials = t
+            .rows
+            .iter()
+            .filter(|row| row[0].starts_with("security:") && row[3] == partial)
+            .count();
+        let sgx_partials = t
+            .rows
+            .iter()
+            .filter(|row| row[0].starts_with("security:") && row[1] == partial)
+            .count();
+        assert!(gpu_partials >= 2, "H100 should have partial cells");
+        assert_eq!(sgx_partials, 0, "SGX should have no partial cells");
+    }
+
+    #[test]
+    fn single_resource_overheads_single_digit() {
+        let t = run();
+        let row = t
+            .rows
+            .iter()
+            .find(|row| row[0] == "single-resource overhead")
+            .unwrap();
+        for cell in &row[1..] {
+            let v: f64 = cell.trim_end_matches('%').parse().unwrap();
+            assert!((2.0..12.0).contains(&v), "{cell}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Rent-vs-buy extension: the paper prices its hardware (Xeon 6530
+//! $2,130, Platinum 8580 $10,710, H100 NVL ~$30,000) and rents from
+//! GCP/Azure; this experiment closes the loop with an amortized
+//! total-cost-of-ownership comparison for sustained confidential serving.
+
+use super::{num, pct, ExperimentResult};
+use cllm_cost::{cost_per_mtok, CpuPricing, GpuPricing, OnPremCost};
+use cllm_hw::DType;
+use cllm_perf::{simulate_cpu, simulate_gpu, CpuTarget};
+use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+
+/// Sustained TDX throughput of a dual-socket EMR2 server at batch 64.
+fn cpu_tps() -> f64 {
+    simulate_cpu(
+        &zoo::llama2_7b(),
+        &RequestSpec::new(64, 128, 128),
+        DType::Bf16,
+        &CpuTarget::emr2_dual_socket(),
+        &CpuTeeConfig::tdx(),
+    )
+    .e2e_tps
+}
+
+/// Sustained cGPU throughput at batch 64.
+fn gpu_tps() -> f64 {
+    simulate_gpu(
+        &zoo::llama2_7b(),
+        &RequestSpec::new(64, 128, 128),
+        DType::Bf16,
+        &cllm_hw::presets::h100_nvl(),
+        &GpuTeeConfig::confidential(),
+    )
+    .e2e_tps
+}
+
+/// Cloud $/hr for the CPU config (both sockets' cores + 256 GiB).
+fn cpu_cloud_per_hr() -> f64 {
+    CpuPricing::gcp_spot_us_east1().instance_cost_per_hr(2 * 60 * 2, 256.0)
+}
+
+/// Run the experiment.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "tco",
+        "Rent vs buy for sustained confidential serving (Llama2-7B, batch 64)",
+        &[
+            "option",
+            "usd_per_hr",
+            "usd_per_mtok",
+            "break_even_utilization",
+        ],
+    );
+    let cpu_rate = cpu_tps();
+    let gpu_rate = gpu_tps();
+    let rows: [(&str, f64, f64, Option<f64>); 4] = [
+        (
+            "EMR2 TDX (GCP spot)",
+            cpu_cloud_per_hr(),
+            cpu_rate,
+            None,
+        ),
+        (
+            "EMR2 TDX (owned)",
+            OnPremCost::emr2_server().cost_per_hr(),
+            cpu_rate,
+            Some(OnPremCost::emr2_server().break_even_utilization(cpu_cloud_per_hr())),
+        ),
+        (
+            "cGPU H100 (Azure)",
+            GpuPricing::azure_ncc_h100().per_hr,
+            gpu_rate,
+            None,
+        ),
+        (
+            "cGPU H100 (owned)",
+            OnPremCost::h100_server_share().cost_per_hr(),
+            gpu_rate,
+            Some(
+                OnPremCost::h100_server_share()
+                    .break_even_utilization(GpuPricing::azure_ncc_h100().per_hr),
+            ),
+        ),
+    ];
+    for (name, per_hr, tps, break_even) in rows {
+        r.push_row(vec![
+            name.to_owned(),
+            num(per_hr, 3),
+            num(cost_per_mtok(per_hr, tps), 3),
+            break_even.map_or_else(|| "-".to_owned(), |b| pct(b * 100.0)),
+        ]);
+    }
+    r.note("break-even utilization: fraction of wall time the machine must be busy before owning beats renting");
+    r.note("extension beyond the paper, built on its published hardware list prices");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owning_h100_beats_azure_at_modest_utilization() {
+        let be = OnPremCost::h100_server_share()
+            .break_even_utilization(GpuPricing::azure_ncc_h100().per_hr);
+        assert!(be < 0.5, "H100 break-even {be}");
+    }
+
+    #[test]
+    fn spot_cpu_renting_is_hard_to_beat() {
+        // Spot CPU pricing is so low that owning requires high utilization.
+        let be = OnPremCost::emr2_server().break_even_utilization(cpu_cloud_per_hr());
+        // Owning a CPU server only pays off near half-time utilization
+        // against spot rates — much later than the H100's break-even.
+        let gpu_be = OnPremCost::h100_server_share()
+            .break_even_utilization(GpuPricing::azure_ncc_h100().per_hr);
+        assert!(be > 0.35, "CPU break-even {be}");
+        assert!(be > 2.0 * gpu_be, "CPU {be} vs GPU {gpu_be}");
+    }
+
+    #[test]
+    fn table_has_four_options() {
+        assert_eq!(run().rows.len(), 4);
+    }
+}

@@ -1,0 +1,61 @@
+//! Full-paper summary: Table I plus the 12 insights, rendered as text or
+//! JSON (the `table1` binary and `EXPERIMENTS.md` use this).
+
+use crate::experiments::{self, ExperimentResult};
+use crate::insights::{check_all, InsightCheck};
+
+/// The complete reproduction summary.
+#[derive(Debug)]
+pub struct PaperSummary {
+    /// Table I.
+    pub table1: ExperimentResult,
+    /// The 12 insight checks.
+    pub insights: Vec<InsightCheck>,
+}
+
+/// Build the summary (runs the underlying simulations).
+#[must_use]
+pub fn build() -> PaperSummary {
+    PaperSummary {
+        table1: experiments::table1::run(),
+        insights: check_all(),
+    }
+}
+
+impl PaperSummary {
+    /// Render as text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = self.table1.render();
+        out.push('\n');
+        out.push_str("== 12 insights ==\n");
+        for c in &self.insights {
+            out.push_str(&format!(
+                "[{}] insight {:2}: {}\n    evidence: {}\n",
+                if c.holds { "ok" } else { "!!" },
+                c.id,
+                c.statement,
+                c.evidence
+            ));
+        }
+        out
+    }
+
+    /// How many insights the reproduction confirms.
+    #[must_use]
+    pub fn confirmed(&self) -> usize {
+        self.insights.iter().filter(|c| c.holds).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn summary_confirms_all_insights() {
+        let s = super::build();
+        assert_eq!(s.confirmed(), 12);
+        let text = s.render();
+        assert!(text.contains("insight 12"));
+        assert!(text.contains("Table I"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Cloud pricing model and cost-per-token analysis.
+//!
+//! Section V-D2 evaluates the cost of confidential inference using GCP
+//! spot prices (US-East-1) for CPU machines — where vCPU count and memory
+//! are priced separately — against Azure's confidential H100 instances.
+//! The paper's findings this crate reproduces:
+//!
+//! * Memory dominates rental cost at low core counts; the $/Mtoken curve
+//!   is U-shaped in the number of vCPUs (Figure 12).
+//! * cGPUs are up to ~100% more expensive per token at small batches; the
+//!   advantage fades and equalizes around batch 128 (Figure 12).
+//! * CPU TEEs are much more sensitive to input size than cGPUs: doubling
+//!   the input can flip an 86% cost advantage to -10% (Figure 13).
+//!
+//! # Example
+//!
+//! ```
+//! use cllm_cost::{CpuPricing, cost_per_mtok};
+//!
+//! let gcp = CpuPricing::gcp_spot_us_east1();
+//! let hourly = gcp.instance_cost_per_hr(32, 128.0);
+//! let price = cost_per_mtok(hourly, 700.0); // $ per 1M tokens at 700 tok/s
+//! assert!(price > 0.0 && price < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Per-resource CPU machine pricing (vCPU and memory priced separately,
+/// as GCP custom machine types allow).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPricing {
+    /// Dollars per vCPU-hour.
+    pub per_vcpu_hr: f64,
+    /// Dollars per GiB-hour of memory.
+    pub per_gib_hr: f64,
+}
+
+impl CpuPricing {
+    /// GCP spot prices for Emerald-Rapids-class machines in US-East-1
+    /// (the paper's setting).
+    #[must_use]
+    pub fn gcp_spot_us_east1() -> Self {
+        CpuPricing {
+            per_vcpu_hr: 0.0105,
+            per_gib_hr: 0.0013,
+        }
+    }
+
+    /// A Sapphire-Rapids-class alternative: "an almost 2x cheaper Sapphire
+    /// Rapid performing up to 40% worse" (Section V-D2).
+    #[must_use]
+    pub fn gcp_spot_spr() -> Self {
+        CpuPricing {
+            per_vcpu_hr: 0.0057,
+            per_gib_hr: 0.0013,
+        }
+    }
+
+    /// Hourly cost of an instance with `vcpus` vCPUs and `mem_gib` GiB.
+    #[must_use]
+    pub fn instance_cost_per_hr(&self, vcpus: u32, mem_gib: f64) -> f64 {
+        f64::from(vcpus) * self.per_vcpu_hr + mem_gib * self.per_gib_hr
+    }
+}
+
+/// Fixed-shape GPU instance pricing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuPricing {
+    /// Dollars per hour for the whole instance.
+    pub per_hr: f64,
+}
+
+impl GpuPricing {
+    /// Azure `NCCads_H100_v5` (confidential H100 NVL + 40 vCPU host).
+    #[must_use]
+    pub fn azure_ncc_h100() -> Self {
+        GpuPricing { per_hr: 6.98 }
+    }
+
+    /// Azure `NCads_H100_v5` (non-confidential twin).
+    #[must_use]
+    pub fn azure_nc_h100() -> Self {
+        GpuPricing { per_hr: 6.73 }
+    }
+}
+
+/// Dollars to generate one million tokens at a sustained throughput.
+///
+/// Returns `f64::INFINITY` when throughput is not positive.
+#[must_use]
+pub fn cost_per_mtok(cost_per_hr: f64, tokens_per_s: f64) -> f64 {
+    if tokens_per_s <= 0.0 {
+        return f64::INFINITY;
+    }
+    cost_per_hr / (tokens_per_s * 3600.0) * 1.0e6
+}
+
+/// Relative cost advantage of `ours` versus `theirs`, in percent:
+/// `+100` means `theirs` costs twice as much per token.
+#[must_use]
+pub fn cost_advantage_pct(ours: f64, theirs: f64) -> f64 {
+    (theirs / ours - 1.0) * 100.0
+}
+
+/// On-premises total-cost-of-ownership model: the paper lists hardware
+/// list prices (Xeon 6530 $2,130, Platinum 8580 $10,710, H100 NVL
+/// ~$30,000), which invite the classic rent-vs-buy comparison for
+/// sustained confidential workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnPremCost {
+    /// Hardware purchase price, USD (CPUs/GPUs + host share).
+    pub capex_usd: f64,
+    /// Amortization horizon in years.
+    pub years: f64,
+    /// Average power draw under load, watts.
+    pub power_w: f64,
+    /// Datacenter power-usage effectiveness multiplier.
+    pub pue: f64,
+    /// Electricity price, USD per kWh.
+    pub usd_per_kwh: f64,
+    /// Yearly operations overhead as a fraction of capex (space,
+    /// maintenance, staff share).
+    pub opex_fraction: f64,
+}
+
+impl OnPremCost {
+    /// A dual-socket EMR2 server (2x Platinum 8580 + chassis/DRAM).
+    #[must_use]
+    pub fn emr2_server() -> Self {
+        OnPremCost {
+            capex_usd: 2.0 * 10_710.0 + 12_000.0,
+            years: 4.0,
+            power_w: 900.0,
+            pue: 1.3,
+            usd_per_kwh: 0.11,
+            opex_fraction: 0.08,
+        }
+    }
+
+    /// An H100 NVL server share (card + 1/4 of an 8-way host).
+    #[must_use]
+    pub fn h100_server_share() -> Self {
+        OnPremCost {
+            capex_usd: 30_000.0 + 10_000.0,
+            years: 4.0,
+            power_w: 700.0,
+            pue: 1.3,
+            usd_per_kwh: 0.11,
+            opex_fraction: 0.08,
+        }
+    }
+
+    /// Effective cost per hour of continuous operation.
+    #[must_use]
+    pub fn cost_per_hr(&self) -> f64 {
+        let hours = self.years * 365.25 * 24.0;
+        let amortized = self.capex_usd * (1.0 + self.opex_fraction * self.years) / hours;
+        let energy = self.power_w / 1000.0 * self.pue * self.usd_per_kwh;
+        amortized + energy
+    }
+
+    /// Utilization (0..=1] below which renting at `cloud_per_hr` beats
+    /// owning: own-cost is fixed; rent scales with use.
+    ///
+    /// Returns 1.0 if owning never wins (cloud cheaper even at 100%).
+    #[must_use]
+    pub fn break_even_utilization(&self, cloud_per_hr: f64) -> f64 {
+        if cloud_per_hr <= 0.0 {
+            return 1.0;
+        }
+        (self.cost_per_hr() / cloud_per_hr).min(1.0)
+    }
+}
+
+/// One point of a cost sweep (Figures 12/13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostPoint {
+    /// Sweep coordinate (vCPUs for Figure 12, input tokens for Figure 13).
+    pub x: u64,
+    /// Throughput at this point, tokens/second.
+    pub tokens_per_s: f64,
+    /// Instance cost, dollars/hour.
+    pub cost_per_hr: f64,
+    /// Dollars per million tokens.
+    pub usd_per_mtok: f64,
+}
+
+impl CostPoint {
+    /// Build a point from throughput and hourly price.
+    #[must_use]
+    pub fn new(x: u64, tokens_per_s: f64, cost_per_hr: f64) -> Self {
+        CostPoint {
+            x,
+            tokens_per_s,
+            cost_per_hr,
+            usd_per_mtok: cost_per_mtok(cost_per_hr, tokens_per_s),
+        }
+    }
+}
+
+/// Find the sweep coordinate with the lowest $/Mtoken.
+#[must_use]
+pub fn cheapest_point(points: &[CostPoint]) -> Option<&CostPoint> {
+    points
+        .iter()
+        .min_by(|a, b| a.usd_per_mtok.partial_cmp(&b.usd_per_mtok).expect("no NaN"))
+}
+
+/// Find the first sweep coordinate at which `a` stops being cheaper than
+/// `b` (the Figure 12 "equalization" batch size). Points must share x
+/// coordinates in order.
+#[must_use]
+pub fn crossover_x(a: &[CostPoint], b: &[CostPoint]) -> Option<u64> {
+    a.iter()
+        .zip(b)
+        .find(|(pa, pb)| pa.usd_per_mtok >= pb.usd_per_mtok)
+        .map(|(pa, _)| pa.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_cost_linear() {
+        let p = CpuPricing::gcp_spot_us_east1();
+        let base = p.instance_cost_per_hr(16, 128.0);
+        let double_cpu = p.instance_cost_per_hr(32, 128.0);
+        assert!(double_cpu > base);
+        assert!((double_cpu - base - 16.0 * p.per_vcpu_hr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_dominates_at_low_core_counts() {
+        // Figure 12: "Memory initially dominates the cost of renting".
+        let p = CpuPricing::gcp_spot_us_east1();
+        let mem_cost = 128.0 * p.per_gib_hr;
+        let cpu_cost = 4.0 * p.per_vcpu_hr;
+        assert!(mem_cost > cpu_cost * 2.0);
+    }
+
+    #[test]
+    fn cost_per_mtok_scales() {
+        let c = cost_per_mtok(3.6, 1000.0);
+        assert!((c - 1.0).abs() < 1e-9);
+        assert!(cost_per_mtok(3.6, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn advantage_signs() {
+        assert!((cost_advantage_pct(1.0, 2.0) - 100.0).abs() < 1e-9);
+        assert!(cost_advantage_pct(2.0, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn spr_is_roughly_half_price() {
+        let emr = CpuPricing::gcp_spot_us_east1().per_vcpu_hr;
+        let spr = CpuPricing::gcp_spot_spr().per_vcpu_hr;
+        let ratio = emr / spr;
+        assert!((1.6..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn gpu_pricing_cc_premium() {
+        assert!(GpuPricing::azure_ncc_h100().per_hr > GpuPricing::azure_nc_h100().per_hr);
+    }
+
+    #[test]
+    fn u_shape_detection() {
+        // Synthetic U: costs fall then rise; cheapest must be the valley.
+        let pts: Vec<CostPoint> = [(4u64, 100.0), (8, 260.0), (16, 420.0), (32, 470.0), (60, 480.0)]
+            .iter()
+            .map(|&(c, tps)| {
+                CostPoint::new(
+                    c,
+                    tps,
+                    CpuPricing::gcp_spot_us_east1().instance_cost_per_hr(c as u32 * 2, 128.0),
+                )
+            })
+            .collect();
+        let best = cheapest_point(&pts).unwrap();
+        assert!(best.x > 4 && best.x < 60, "valley at {}", best.x);
+    }
+
+    #[test]
+    fn onprem_cost_components() {
+        let c = OnPremCost::emr2_server();
+        let hr = c.cost_per_hr();
+        // Dual-socket EMR2 server: roughly $1-2/hr amortized + energy.
+        assert!((0.5..3.0).contains(&hr), "got ${hr}/hr");
+        // Energy alone is ~13 cents/hr at 900 W and PUE 1.3.
+        let energy = 0.9 * 1.3 * 0.11;
+        assert!(hr > energy);
+    }
+
+    #[test]
+    fn break_even_logic() {
+        let c = OnPremCost::emr2_server();
+        // Against an expensive cloud rate, owning wins early.
+        let u = c.break_even_utilization(10.0);
+        assert!(u < 0.3, "break-even at {u}");
+        // Against a dirt-cheap spot rate, owning may never win.
+        assert_eq!(c.break_even_utilization(0.0), 1.0);
+        assert!(c.break_even_utilization(0.05) >= 1.0);
+    }
+
+    #[test]
+    fn gpu_server_costs_more_than_cpu_server() {
+        assert!(OnPremCost::h100_server_share().cost_per_hr()
+            > OnPremCost::emr2_server().cost_per_hr() * 0.8);
+    }
+
+    #[test]
+    fn crossover_found() {
+        let a: Vec<CostPoint> = (0..5).map(|i| CostPoint::new(i, 100.0 + 0.0 * i as f64, 1.0)).collect();
+        let b: Vec<CostPoint> = (0..5)
+            .map(|i| CostPoint::new(i, 50.0 * (i + 1) as f64, 1.0))
+            .collect();
+        // a is cheaper until b's throughput passes 100 tok/s at x=1.
+        assert_eq!(crossover_x(&a, &b), Some(1));
+    }
+}

@@ -1,0 +1,168 @@
+//! Diffie-Hellman key agreement over GF(2^127 - 1).
+//!
+//! The attested-session protocol needs an ephemeral key agreement so the
+//! model owner and the enclave can derive a channel key that the
+//! attestation quote can *bind* (preventing relay/MITM). We implement
+//! textbook DH over the Mersenne prime `p = 2^127 - 1`.
+//!
+//! This group is large enough to exercise the real protocol logic and far
+//! too small for actual security — like the rest of `cllm-crypto` it is a
+//! faithful functional stand-in, not production cryptography (a real
+//! deployment uses X25519/P-384 inside the quote's report data).
+
+use crate::drbg::HashDrbg;
+
+/// The Mersenne prime 2^127 - 1.
+pub const P: u128 = (1u128 << 127) - 1;
+
+/// Group generator (a small primitive-ish element; any generator of a
+/// large subgroup suffices for the simulation).
+pub const G: u128 = 43;
+
+/// `(a + b) mod p` without overflow (inputs < p < 2^127).
+fn addmod(a: u128, b: u128) -> u128 {
+    let s = a + b; // < 2^128, no overflow since a,b < 2^127
+    if s >= P {
+        s - P
+    } else {
+        s
+    }
+}
+
+/// `(a * b) mod p` by Russian-peasant multiplication (no 256-bit type).
+#[must_use]
+pub fn mulmod(mut a: u128, mut b: u128, _p: u128) -> u128 {
+    a %= P;
+    b %= P;
+    let mut acc = 0u128;
+    while b > 0 {
+        if b & 1 == 1 {
+            acc = addmod(acc, a);
+        }
+        a = addmod(a, a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// `g^e mod p` by square-and-multiply.
+#[must_use]
+pub fn modpow(mut base: u128, mut exp: u128, _p: u128) -> u128 {
+    base %= P;
+    let mut acc = 1u128;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, P);
+        }
+        base = mulmod(base, base, P);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// An ephemeral DH key pair.
+#[derive(Clone)]
+pub struct DhKeyPair {
+    secret: u128,
+    /// The public value `g^secret mod p`.
+    pub public: u128,
+}
+
+impl std::fmt::Debug for DhKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DhKeyPair {{ public: {:#x}, .. }}", self.public)
+    }
+}
+
+impl DhKeyPair {
+    /// Generate a key pair from the given DRBG.
+    #[must_use]
+    pub fn generate(drbg: &mut HashDrbg) -> Self {
+        let mut bytes = [0u8; 16];
+        drbg.fill(&mut bytes);
+        // Clamp into [2, p-2].
+        let secret = (u128::from_be_bytes(bytes) % (P - 3)) + 2;
+        DhKeyPair {
+            secret,
+            public: modpow(G, secret, P),
+        }
+    }
+
+    /// Compute the shared secret with a peer's public value.
+    ///
+    /// Returns `None` for degenerate peer values (0, 1, p-1) — small
+    /// subgroup / identity elements a MITM could force.
+    #[must_use]
+    pub fn shared_secret(&self, peer_public: u128) -> Option<[u8; 16]> {
+        let peer = peer_public % P;
+        if peer <= 1 || peer == P - 1 {
+            return None;
+        }
+        let s = modpow(peer, self.secret, P);
+        Some((s % (1u128 << 127)).to_be_bytes()[0..16].try_into().expect("16 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mulmod_matches_small_cases() {
+        assert_eq!(mulmod(7, 9, P), 63);
+        assert_eq!(mulmod(P - 1, 2, P), P - 2); // (-1)*2 = -2 mod p
+        assert_eq!(mulmod(P - 1, P - 1, P), 1); // (-1)^2 = 1
+    }
+
+    #[test]
+    fn modpow_basics() {
+        assert_eq!(modpow(2, 10, P), 1024);
+        assert_eq!(modpow(G, 0, P), 1);
+        assert_eq!(modpow(G, 1, P), G);
+        // Fermat: g^(p-1) = 1 mod p.
+        assert_eq!(modpow(G, P - 1, P), 1);
+    }
+
+    #[test]
+    fn dh_agreement() {
+        let mut d1 = HashDrbg::new(b"alice");
+        let mut d2 = HashDrbg::new(b"bob");
+        let a = DhKeyPair::generate(&mut d1);
+        let b = DhKeyPair::generate(&mut d2);
+        let s1 = a.shared_secret(b.public).unwrap();
+        let s2 = b.shared_secret(a.public).unwrap();
+        assert_eq!(s1, s2, "both sides derive the same secret");
+        assert_ne!(a.public, b.public);
+    }
+
+    #[test]
+    fn third_party_gets_different_secret() {
+        let mut d = HashDrbg::new(b"seed");
+        let a = DhKeyPair::generate(&mut d);
+        let b = DhKeyPair::generate(&mut d);
+        let eve = DhKeyPair::generate(&mut d);
+        assert_ne!(
+            a.shared_secret(b.public).unwrap(),
+            eve.shared_secret(b.public).unwrap()
+        );
+    }
+
+    #[test]
+    fn degenerate_publics_rejected() {
+        let mut d = HashDrbg::new(b"x");
+        let a = DhKeyPair::generate(&mut d);
+        assert!(a.shared_secret(0).is_none());
+        assert!(a.shared_secret(1).is_none());
+        assert!(a.shared_secret(P - 1).is_none());
+        assert!(a.shared_secret(P).is_none()); // p ≡ 0
+    }
+
+    #[test]
+    fn debug_hides_secret() {
+        let mut d = HashDrbg::new(b"dbg");
+        let kp = DhKeyPair::generate(&mut d);
+        let s = format!("{kp:?}");
+        assert!(s.contains("public"));
+        assert!(!s.contains(&format!("{}", kp.secret)));
+    }
+}

@@ -1,0 +1,93 @@
+//! HMAC-SHA256 (RFC 2104), validated against RFC 4231 test vectors.
+
+use crate::sha256::{sha256, Sha256};
+
+/// Compute `HMAC-SHA256(key, message)`.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..32].copy_from_slice(&sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; 64];
+    let mut opad = [0x5cu8; 64];
+    for i in 0..64 {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Verify an HMAC tag in constant time.
+#[must_use]
+pub fn verify_hmac(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    crate::ct_eq(&hmac_sha256(key, message), tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        // key = 20 x 0xaa, data = 50 x 0xdd.
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            to_hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed_first() {
+        // Keys longer than the block size must hash down; just check the
+        // call works and differs from the truncated-key result.
+        let long_key = [0x42u8; 100];
+        let short_key = &long_key[..64];
+        assert_ne!(hmac_sha256(&long_key, b"m"), hmac_sha256(short_key, b"m"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(verify_hmac(b"k", b"m", &tag));
+        let mut bad = tag;
+        bad[31] ^= 1;
+        assert!(!verify_hmac(b"k", b"m", &bad));
+        assert!(!verify_hmac(b"k", b"m", &tag[..31]));
+    }
+}

@@ -1,0 +1,112 @@
+//! HKDF key derivation (RFC 5869) over HMAC-SHA256.
+//!
+//! Mirrors the sealing-key derivation of SGX (`EGETKEY`) / TDX: a hardware
+//! root secret is combined with the enclave measurement and a usage label
+//! so that only the same enclave on the same "hardware" can re-derive keys.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: derive a pseudorandom key from input key material.
+#[must_use]
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: expand `prk` into `len` output bytes bound to `info`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (RFC 5869 limit).
+#[must_use]
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "HKDF-Expand length limit exceeded");
+    let mut okm = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        t = block.to_vec();
+        okm.extend_from_slice(&block);
+        counter = counter.checked_add(1).expect("len limit enforced above");
+    }
+    okm.truncate(len);
+    okm
+}
+
+/// One-shot HKDF: extract then expand.
+#[must_use]
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    hkdf_expand(&hkdf_extract(salt, ikm), info, len)
+}
+
+/// Derive a 16-byte AES sealing key from a root secret, a measurement and
+/// a usage label — the shape of SGX's `EGETKEY(SEAL_KEY, MRENCLAVE)`.
+#[must_use]
+pub fn derive_sealing_key(root_secret: &[u8], measurement: &[u8; 32], label: &str) -> [u8; 16] {
+    let mut info = Vec::with_capacity(measurement.len() + label.len() + 5);
+    info.extend_from_slice(b"seal:");
+    info.extend_from_slice(measurement);
+    info.extend_from_slice(label.as_bytes());
+    let okm = hkdf(b"cllm-sealing-v1", root_secret, &info, 16);
+    okm.try_into().expect("requested 16 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::{from_hex, to_hex};
+
+    #[test]
+    fn rfc5869_test_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = from_hex("000102030405060708090a0b0c").unwrap();
+        let info = from_hex("f0f1f2f3f4f5f6f7f8f9").unwrap();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn expand_is_prefix_consistent() {
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let short = hkdf_expand(&prk, b"info", 16);
+        let long = hkdf_expand(&prk, b"info", 64);
+        assert_eq!(short, long[..16]);
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let prk = hkdf_extract(b"s", b"k");
+        assert_ne!(hkdf_expand(&prk, b"a", 32), hkdf_expand(&prk, b"b", 32));
+    }
+
+    #[test]
+    fn sealing_key_binds_to_measurement() {
+        let m1 = [1u8; 32];
+        let m2 = [2u8; 32];
+        let k1 = derive_sealing_key(b"root", &m1, "weights");
+        let k2 = derive_sealing_key(b"root", &m2, "weights");
+        let k3 = derive_sealing_key(b"root", &m1, "kvcache");
+        assert_ne!(k1, k2, "different enclaves must get different keys");
+        assert_ne!(k1, k3, "different labels must get different keys");
+        assert_eq!(k1, derive_sealing_key(b"root", &m1, "weights"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length limit")]
+    fn expand_rejects_oversize() {
+        let prk = [0u8; 32];
+        let _ = hkdf_expand(&prk, b"", 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Block-cipher modes: CTR streaming and GCM authenticated encryption.
+
+use crate::aes::Aes128;
+
+/// AES-128-CTR keystream cipher.
+///
+/// Used by the LUKS-like full-disk layer (`cllm-tee::sealed::BlockDevice`):
+/// each sector gets a distinct initial counter derived from its index, like
+/// ESSIV/XTS sector tweaking in spirit.
+#[derive(Debug, Clone)]
+pub struct Ctr {
+    cipher: Aes128,
+}
+
+impl Ctr {
+    /// Create a CTR cipher from a 16-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        Ctr {
+            cipher: Aes128::new(key),
+        }
+    }
+
+    /// XOR `data` in place with the keystream starting at (`iv`, `counter`).
+    ///
+    /// Encryption and decryption are the same operation.
+    pub fn apply(&self, iv: &[u8; 12], mut counter: u32, data: &mut [u8]) {
+        let mut block = [0u8; 16];
+        block[..12].copy_from_slice(iv);
+        for chunk in data.chunks_mut(16) {
+            block[12..].copy_from_slice(&counter.to_be_bytes());
+            let ks = self.cipher.encrypt(&block);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+}
+
+/// AES-128-GCM authenticated encryption (NIST SP 800-38D).
+///
+/// Used for Gramine-protected-file-style sealed blobs and attestation
+/// channel payloads.
+#[derive(Debug, Clone)]
+pub struct Gcm {
+    cipher: Aes128,
+    /// GHASH subkey H = E_K(0^128), as a 128-bit big-endian integer.
+    h: u128,
+}
+
+impl Gcm {
+    /// Create a GCM instance from a 16-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let h = u128::from_be_bytes(cipher.encrypt(&[0u8; 16]));
+        Gcm { cipher, h }
+    }
+
+    /// Encrypt `plaintext` with additional authenticated data `aad`.
+    /// Returns `(ciphertext, tag)`.
+    #[must_use]
+    pub fn encrypt(&self, iv: &[u8; 12], plaintext: &[u8], aad: &[u8]) -> (Vec<u8>, [u8; 16]) {
+        let mut ct = plaintext.to_vec();
+        // CTR starts at 2 for data; counter 1 is reserved for the tag mask.
+        self.ctr_xor(iv, 2, &mut ct);
+        let tag = self.compute_tag(iv, &ct, aad);
+        (ct, tag)
+    }
+
+    /// Decrypt and verify. Returns `None` on tag mismatch.
+    #[must_use]
+    pub fn decrypt(
+        &self,
+        iv: &[u8; 12],
+        ciphertext: &[u8],
+        aad: &[u8],
+        tag: &[u8; 16],
+    ) -> Option<Vec<u8>> {
+        let expected = self.compute_tag(iv, ciphertext, aad);
+        if !crate::ct_eq(&expected, tag) {
+            return None;
+        }
+        let mut pt = ciphertext.to_vec();
+        self.ctr_xor(iv, 2, &mut pt);
+        Some(pt)
+    }
+
+    fn ctr_xor(&self, iv: &[u8; 12], start_counter: u32, data: &mut [u8]) {
+        let mut block = [0u8; 16];
+        block[..12].copy_from_slice(iv);
+        let mut counter = start_counter;
+        for chunk in data.chunks_mut(16) {
+            block[12..].copy_from_slice(&counter.to_be_bytes());
+            let ks = self.cipher.encrypt(&block);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    fn compute_tag(&self, iv: &[u8; 12], ciphertext: &[u8], aad: &[u8]) -> [u8; 16] {
+        let mut ghash = Ghash::new(self.h);
+        ghash.update_padded(aad);
+        ghash.update_padded(ciphertext);
+        let mut len_block = [0u8; 16];
+        len_block[..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
+        len_block[8..].copy_from_slice(&((ciphertext.len() as u64) * 8).to_be_bytes());
+        ghash.update_block(&len_block);
+        let s = ghash.finalize();
+
+        // Tag = GHASH ^ E_K(J0) where J0 = IV || 0^31 || 1.
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(iv);
+        j0[15] = 1;
+        let ek_j0 = self.cipher.encrypt(&j0);
+        let mut tag = [0u8; 16];
+        for i in 0..16 {
+            tag[i] = s[i] ^ ek_j0[i];
+        }
+        tag
+    }
+}
+
+/// GHASH universal hash over GF(2^128).
+struct Ghash {
+    h: u128,
+    y: u128,
+}
+
+impl Ghash {
+    fn new(h: u128) -> Self {
+        Ghash { h, y: 0 }
+    }
+
+    fn update_block(&mut self, block: &[u8; 16]) {
+        self.y ^= u128::from_be_bytes(*block);
+        self.y = gf_mul(self.y, self.h);
+    }
+
+    /// Absorb data, zero-padding the final partial block.
+    fn update_padded(&mut self, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            self.update_block(&block);
+        }
+    }
+
+    fn finalize(self) -> [u8; 16] {
+        self.y.to_be_bytes()
+    }
+}
+
+/// Multiply two elements of GF(2^128) with the GCM polynomial
+/// x^128 + x^7 + x^2 + x + 1, using the GCM bit order (bit 0 = MSB).
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::{from_hex, to_hex};
+
+    #[test]
+    fn nist_gcm_test_case_1() {
+        // Key 0^128, IV 0^96, empty pt/aad -> tag 58e2fccefa7e3061367f1d57a4e7455a.
+        let gcm = Gcm::new(&[0u8; 16]);
+        let (ct, tag) = gcm.encrypt(&[0u8; 12], b"", b"");
+        assert!(ct.is_empty());
+        assert_eq!(to_hex(&tag), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    #[test]
+    fn nist_gcm_test_case_2() {
+        // Key 0^128, IV 0^96, pt 0^128 ->
+        // ct 0388dace60b6a392f328c2b971b2fe78, tag ab6e47d42cec13bdf53a67b21257bddf.
+        let gcm = Gcm::new(&[0u8; 16]);
+        let (ct, tag) = gcm.encrypt(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(to_hex(&ct), "0388dace60b6a392f328c2b971b2fe78");
+        assert_eq!(to_hex(&tag), "ab6e47d42cec13bdf53a67b21257bddf");
+    }
+
+    #[test]
+    fn gcm_roundtrip_with_aad() {
+        let key: [u8; 16] = from_hex("feffe9928665731c6d6a8f9467308308")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let gcm = Gcm::new(&key);
+        let iv = [3u8; 12];
+        let (ct, tag) = gcm.encrypt(&iv, b"confidential weights", b"manifest-v1");
+        let pt = gcm.decrypt(&iv, &ct, b"manifest-v1", &tag).unwrap();
+        assert_eq!(pt, b"confidential weights");
+        assert!(gcm.decrypt(&iv, &ct, b"manifest-v2", &tag).is_none());
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_seekability() {
+        let ctr = Ctr::new(&[5u8; 16]);
+        let iv = [9u8; 12];
+        let mut data = b"sector payload for the LUKS-like device".to_vec();
+        let orig = data.clone();
+        ctr.apply(&iv, 7, &mut data);
+        assert_ne!(data, orig);
+        ctr.apply(&iv, 7, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn ctr_different_counters_differ() {
+        let ctr = Ctr::new(&[5u8; 16]);
+        let iv = [0u8; 12];
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        ctr.apply(&iv, 0, &mut a);
+        ctr.apply(&iv, 1, &mut b);
+        assert_ne!(a, b);
+        // Counter 1's keystream block equals the second block of counter 0.
+        assert_eq!(&a[16..32], &b[..16]);
+    }
+
+    #[test]
+    fn gf_mul_identity_and_commutativity() {
+        // In GCM bit order, the multiplicative identity is 0x80...0 (bit0=MSB).
+        let one: u128 = 1 << 127;
+        let x = 0x0123456789abcdef0123456789abcdefu128;
+        assert_eq!(gf_mul(x, one), x);
+        assert_eq!(gf_mul(one, x), x);
+        let y = 0xfedcba9876543210fedcba9876543210u128;
+        assert_eq!(gf_mul(x, y), gf_mul(y, x));
+    }
+
+    #[test]
+    fn gf_mul_distributes_over_xor() {
+        let a = 0xdeadbeefdeadbeefdeadbeefdeadbeefu128;
+        let b = 0x0badf00d0badf00d0badf00d0badf00du128;
+        let c = 0x11112222333344445555666677778888u128;
+        assert_eq!(gf_mul(a ^ b, c), gf_mul(a, c) ^ gf_mul(b, c));
+    }
+}

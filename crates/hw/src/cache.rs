@@ -1,0 +1,100 @@
+//! Cache-hierarchy description used to decide when a working set spills to
+//! DRAM and how effective bandwidth degrades as footprints grow.
+
+use crate::MIB;
+
+/// One level of the on-chip cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheLevel {
+    /// Total capacity in bytes (per core for L1/L2, per socket for LLC).
+    pub capacity_bytes: f64,
+    /// Sustained bandwidth in bytes/second available from this level to the
+    /// cores that share it.
+    pub bandwidth_bytes_per_s: f64,
+    /// Load-to-use latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// A three-level cache hierarchy (L1D, L2 per core; LLC per socket).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheHierarchy {
+    /// Per-core L1 data cache.
+    pub l1d: CacheLevel,
+    /// Per-core unified L2.
+    pub l2: CacheLevel,
+    /// Shared last-level cache (per socket).
+    pub llc: CacheLevel,
+}
+
+impl CacheHierarchy {
+    /// Emerald-Rapids-class hierarchy: 48 KiB L1D and 2 MiB L2 per core,
+    /// large shared LLC per socket (`llc_mib` varies by SKU: 160 MiB on the
+    /// Xeon Gold 6530, 300 MiB on the Platinum 8580).
+    #[must_use]
+    pub fn emerald_rapids(llc_mib: f64) -> Self {
+        CacheHierarchy {
+            l1d: CacheLevel {
+                capacity_bytes: 48.0 * 1024.0,
+                bandwidth_bytes_per_s: 1.0e12,
+                latency_ns: 1.0,
+            },
+            l2: CacheLevel {
+                capacity_bytes: 2.0 * MIB,
+                bandwidth_bytes_per_s: 4.0e11,
+                latency_ns: 4.5,
+            },
+            llc: CacheLevel {
+                capacity_bytes: llc_mib * MIB,
+                bandwidth_bytes_per_s: 8.0e11,
+                latency_ns: 21.0,
+            },
+        }
+    }
+
+    /// Fraction of a streaming working set of `footprint_bytes` that is
+    /// served from the LLC rather than DRAM.
+    ///
+    /// For LLM decode, weights are streamed once per token, so reuse is
+    /// only possible for the slice of the model that fits in the LLC.
+    #[must_use]
+    pub fn llc_hit_fraction(&self, footprint_bytes: f64) -> f64 {
+        if footprint_bytes <= 0.0 {
+            return 1.0;
+        }
+        (self.llc.capacity_bytes / footprint_bytes).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GIB;
+
+    #[test]
+    fn emr_hierarchy_is_ordered() {
+        let h = CacheHierarchy::emerald_rapids(160.0);
+        assert!(h.l1d.capacity_bytes < h.l2.capacity_bytes);
+        assert!(h.l2.capacity_bytes < h.llc.capacity_bytes);
+        assert!(h.l1d.latency_ns < h.l2.latency_ns);
+        assert!(h.l2.latency_ns < h.llc.latency_ns);
+    }
+
+    #[test]
+    fn llc_hit_fraction_saturates() {
+        let h = CacheHierarchy::emerald_rapids(300.0);
+        assert_eq!(h.llc_hit_fraction(1.0 * MIB), 1.0);
+        let big = h.llc_hit_fraction(13.0 * GIB);
+        assert!(big > 0.0 && big < 0.05);
+    }
+
+    #[test]
+    fn llc_hit_fraction_monotone_in_footprint() {
+        let h = CacheHierarchy::emerald_rapids(160.0);
+        let mut prev = 1.0;
+        for gib in [0.1, 0.5, 1.0, 4.0, 16.0, 64.0] {
+            let f = h.llc_hit_fraction(gib * GIB);
+            assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+}

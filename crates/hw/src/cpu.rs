@@ -1,0 +1,135 @@
+//! CPU socket/package model.
+
+use crate::{CacheHierarchy, DType, Isa, TlbModel};
+
+/// CPU vendor (the paper restricts itself to Intel because only Intel
+/// offers both a process TEE and a VM TEE on the same part, plus AMX).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CpuVendor {
+    /// Intel (SGX + TDX + AMX).
+    Intel,
+    /// AMD (SEV-SNP; modelled for completeness, overheads close to TDX
+    /// per Misono et al. [55]).
+    Amd,
+}
+
+/// An analytical model of one CPU package (socket) and its memory system.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CpuModel {
+    /// Marketing name, e.g. `"Intel Xeon Gold 6530"`.
+    pub name: String,
+    /// Vendor.
+    pub vendor: CpuVendor,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Sustained all-core frequency in Hz under AMX-heavy load (AMX lowers
+    /// turbo bins; we use the all-core AMX frequency).
+    pub all_core_hz: f64,
+    /// Best available ISA on this part.
+    pub best_isa: Isa,
+    /// Cache hierarchy.
+    pub caches: CacheHierarchy,
+    /// TLB model.
+    pub tlb: TlbModel,
+    /// Sustained DRAM bandwidth per socket in bytes/second (8 channels of
+    /// DDR5-4800 ≈ 307 GB/s theoretical, ~78% achievable when streaming).
+    pub dram_bw_bytes_per_s: f64,
+    /// DRAM random-access latency in nanoseconds.
+    pub dram_latency_ns: f64,
+    /// Installed memory per socket in bytes.
+    pub dram_capacity_bytes: f64,
+    /// List price of the CPU in USD (from Intel ARK, as cited in the paper).
+    pub list_price_usd: f64,
+}
+
+impl CpuModel {
+    /// Peak MAC throughput in FLOP/s for `cores` cores using `isa` on
+    /// `dtype` data.
+    #[must_use]
+    pub fn peak_flops(&self, isa: Isa, dtype: DType, cores: u32) -> f64 {
+        isa.flops_per_cycle(dtype) * self.all_core_hz * f64::from(cores)
+    }
+
+    /// Peak MAC throughput with the best ISA this part supports.
+    #[must_use]
+    pub fn peak_flops_best(&self, dtype: DType, cores: u32) -> f64 {
+        self.peak_flops(self.best_isa, dtype, cores)
+    }
+
+    /// Sustained DRAM bandwidth available to `cores` active cores, bytes/s.
+    ///
+    /// A single core cannot saturate the socket's memory controllers; the
+    /// per-core achievable bandwidth is limited by outstanding-miss
+    /// capacity (~20 GB/s/core on Golden Cove). Bandwidth therefore ramps
+    /// roughly linearly with cores until the socket limit.
+    #[must_use]
+    pub fn dram_bw_for_cores(&self, cores: u32) -> f64 {
+        const PER_CORE_BW: f64 = 21.0e9;
+        (f64::from(cores) * PER_CORE_BW).min(self.dram_bw_bytes_per_s)
+    }
+
+    /// Number of cores at which the socket's DRAM bandwidth saturates —
+    /// beyond this, memory-bound phases gain nothing from more cores
+    /// (Figure 12 finds the knee at ~32 cores on EMR2).
+    #[must_use]
+    pub fn bw_saturation_cores(&self) -> u32 {
+        let c = (self.dram_bw_bytes_per_s / 21.0e9).ceil();
+        // A socket always has at least one core's worth of bandwidth.
+        c.max(1.0) as u32
+    }
+
+    /// Machine balance in FLOP/byte at full-socket AMX throughput: the
+    /// arithmetic intensity above which a kernel becomes compute-bound.
+    #[must_use]
+    pub fn balance_flops_per_byte(&self, dtype: DType) -> f64 {
+        self.peak_flops_best(dtype, self.cores_per_socket) / self.dram_bw_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+    use crate::{DType, Isa};
+
+    #[test]
+    fn emr1_peak_bf16_amx_in_expected_range() {
+        let c = presets::emr1();
+        let tflops = c.peak_flops(Isa::Amx, DType::Bf16, c.cores_per_socket) / 1e12;
+        // 32 cores x 2048 flop/cycle x ~1.9 GHz ≈ 125 TFLOP/s.
+        assert!(tflops > 80.0 && tflops < 200.0, "got {tflops} TFLOP/s");
+    }
+
+    #[test]
+    fn bandwidth_saturates_near_32_cores() {
+        let c = presets::emr2();
+        let knee = c.bw_saturation_cores();
+        assert!(
+            (8..=40).contains(&knee),
+            "Figure 12 expects a knee near 32 cores, got {knee}"
+        );
+        // Beyond the knee, bandwidth no longer grows.
+        assert_eq!(
+            c.dram_bw_for_cores(knee + 8),
+            c.dram_bw_for_cores(knee + 16)
+        );
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_cores() {
+        let c = presets::emr2();
+        let mut prev = 0.0;
+        for cores in [1, 2, 4, 8, 16, 32, 60] {
+            let bw = c.dram_bw_for_cores(cores);
+            assert!(bw >= prev);
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn balance_shows_decode_is_memory_bound() {
+        // Decode GEMV intensity is ~1 flop/byte; machine balance with AMX
+        // is hundreds, so decode sits deep in the memory-bound region.
+        let c = presets::emr2();
+        assert!(c.balance_flops_per_byte(DType::Bf16) > 100.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! GPU accelerator model (Hopper-class, for the cGPU experiments).
+
+use crate::{DType, Interconnect};
+
+/// GPU micro-architecture generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum GpuArch {
+    /// NVIDIA Hopper (H100): first confidential-computing GPU. HBM is NOT
+    /// encrypted; NVLink is unprotected; PCIe uses an encrypted bounce
+    /// buffer (Section V-A).
+    Hopper,
+    /// NVIDIA Blackwell (B100): adds HBM and NVLink encryption; modelled
+    /// for the paper's forward-looking discussion (Section V-D3).
+    Blackwell,
+}
+
+impl GpuArch {
+    /// Whether device memory (HBM) is encrypted in confidential mode.
+    #[must_use]
+    pub fn hbm_encrypted(self) -> bool {
+        matches!(self, GpuArch::Blackwell)
+    }
+
+    /// Whether NVLink traffic is protected in confidential mode.
+    #[must_use]
+    pub fn nvlink_protected(self) -> bool {
+        matches!(self, GpuArch::Blackwell)
+    }
+}
+
+/// Analytical model of one GPU.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GpuModel {
+    /// Marketing name, e.g. `"NVIDIA H100 NVL 94GB"`.
+    pub name: String,
+    /// Architecture generation.
+    pub arch: GpuArch,
+    /// Dense tensor-core throughput for bf16 in FLOP/s.
+    pub bf16_flops: f64,
+    /// Dense tensor-core throughput for int8 in OP/s.
+    pub int8_flops: f64,
+    /// HBM capacity in bytes.
+    pub hbm_capacity_bytes: f64,
+    /// Sustained HBM bandwidth in bytes/second.
+    pub hbm_bw_bytes_per_s: f64,
+    /// Kernel-launch latency in microseconds without confidential compute.
+    pub kernel_launch_us: f64,
+    /// Additional per-launch latency in microseconds under confidential
+    /// compute (encrypted/authenticated command buffers, Section V-A).
+    pub cc_launch_adder_us: f64,
+    /// Host link (PCIe), including the CC bounce-buffer behaviour.
+    pub host_link: Interconnect,
+    /// Purchase price in USD (the paper cites ~$30,000 for an H100 NVL).
+    pub list_price_usd: f64,
+}
+
+impl GpuModel {
+    /// Peak throughput for the given data type, FLOP/s (OP/s for int8).
+    #[must_use]
+    pub fn peak_flops(&self, dtype: DType) -> f64 {
+        match dtype {
+            DType::F32 => self.bf16_flops / 2.0,
+            DType::Bf16 => self.bf16_flops,
+            DType::Int8 => self.int8_flops,
+        }
+    }
+
+    /// Machine balance in FLOP/byte against HBM.
+    #[must_use]
+    pub fn balance_flops_per_byte(&self, dtype: DType) -> f64 {
+        self.peak_flops(dtype) / self.hbm_bw_bytes_per_s
+    }
+
+    /// Effective HBM bandwidth under confidential compute: derated only if
+    /// the architecture encrypts HBM (B100), which the paper expects to add
+    /// a non-negligible overhead analogous to CPU memory encryption.
+    #[must_use]
+    pub fn hbm_bw_confidential(&self) -> f64 {
+        if self.arch.hbm_encrypted() {
+            self.hbm_bw_bytes_per_s * 0.93
+        } else {
+            self.hbm_bw_bytes_per_s
+        }
+    }
+
+    /// Total kernel-launch latency in seconds for one launch.
+    #[must_use]
+    pub fn launch_latency_s(&self, confidential: bool) -> f64 {
+        let us = if confidential {
+            self.kernel_launch_us + self.cc_launch_adder_us
+        } else {
+            self.kernel_launch_us
+        };
+        us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn h100_hbm_not_encrypted() {
+        let g = presets::h100_nvl();
+        assert!(!g.arch.hbm_encrypted());
+        assert_eq!(g.hbm_bw_confidential(), g.hbm_bw_bytes_per_s);
+    }
+
+    #[test]
+    fn b100_encrypts_hbm_and_nvlink() {
+        assert!(GpuArch::Blackwell.hbm_encrypted());
+        assert!(GpuArch::Blackwell.nvlink_protected());
+    }
+
+    #[test]
+    fn cc_adds_launch_latency() {
+        let g = presets::h100_nvl();
+        assert!(g.launch_latency_s(true) > g.launch_latency_s(false));
+    }
+
+    #[test]
+    fn gpu_vastly_outclasses_cpu_raw() {
+        let g = presets::h100_nvl();
+        let c = presets::emr2();
+        let gpu = g.peak_flops(crate::DType::Bf16);
+        let cpu = c.peak_flops_best(crate::DType::Bf16, c.cores_per_socket);
+        assert!(gpu / cpu > 3.0, "H100 should be >3x one EMR socket peak");
+    }
+
+    #[test]
+    fn h100_balance_reasonable() {
+        // ~990 TFLOP/s over ~3.35 TB/s sustained ≈ 300 flop/byte.
+        let g = presets::h100_nvl();
+        let b = g.balance_flops_per_byte(crate::DType::Bf16);
+        assert!(b > 150.0 && b < 500.0);
+    }
+}

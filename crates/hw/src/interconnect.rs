@@ -1,0 +1,192 @@
+//! Links between sockets and devices: UPI, PCIe, NVLink.
+//!
+//! Section IV-A1 attributes a large share of multi-socket TEE overhead to
+//! the dedicated cryptographic unit on the socket interconnect: any data
+//! moving between sockets must be encrypted and integrity-protected on the
+//! critical path. Section V notes that cGPU PCIe traffic goes through an
+//! encrypted bounce buffer while NVLink is unprotected on H100s (forcing
+//! secure multi-GPU traffic through the host).
+
+/// The physical kind of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LinkKind {
+    /// Intel Ultra Path Interconnect between CPU sockets.
+    Upi,
+    /// PCI Express between host and device.
+    Pcie,
+    /// NVIDIA NVLink between GPUs.
+    NvLink,
+    /// Datacenter network (for scale-out comparisons, Section V-D4).
+    Network,
+}
+
+/// Whether and how a link's traffic is protected in a confidential setup.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LinkSecurity {
+    /// Link has no line-rate protection; confidential traffic must not use
+    /// it (e.g. NVLink on H100 CC) or must be tunnelled via the host.
+    Unprotected,
+    /// Hardware line-rate encryption + integrity (e.g. UPI crypto unit).
+    InlineCrypto {
+        /// Multiplicative bandwidth derate from the crypto unit (0..1].
+        bandwidth_derate: f64,
+        /// Additional one-way latency in nanoseconds.
+        latency_adder_ns: f64,
+    },
+    /// Software bounce-buffer encryption (H100 CC PCIe path): data is
+    /// staged, encrypted/authenticated by the driver, and copied again.
+    BounceBuffer {
+        /// Effective bandwidth derate of the staged, encrypt-then-copy path.
+        bandwidth_derate: f64,
+        /// Fixed per-transfer cost in microseconds (buffer setup + auth).
+        per_transfer_us: f64,
+    },
+}
+
+/// A point-to-point link with optional confidential-computing protection.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Interconnect {
+    /// What this link physically is.
+    pub kind: LinkKind,
+    /// Raw unidirectional bandwidth, bytes/second.
+    pub bandwidth_bytes_per_s: f64,
+    /// One-way latency, nanoseconds.
+    pub latency_ns: f64,
+    /// Protection applied when running confidentially.
+    pub security: LinkSecurity,
+}
+
+impl Interconnect {
+    /// UPI between Emerald Rapids sockets: 3-4 links at 20 GT/s, roughly
+    /// 100 GB/s sustained aggregate each direction, with an inline crypto
+    /// unit that the paper identifies as a critical-path cost in
+    /// multi-socket TEEs.
+    #[must_use]
+    pub fn upi_emr() -> Self {
+        Interconnect {
+            kind: LinkKind::Upi,
+            bandwidth_bytes_per_s: 100.0e9,
+            latency_ns: 120.0,
+            security: LinkSecurity::InlineCrypto {
+                bandwidth_derate: 0.92,
+                latency_adder_ns: 45.0,
+            },
+        }
+    }
+
+    /// PCIe Gen5 x16 to an H100: 64 GB/s raw; under confidential compute
+    /// all transfers are staged through an encrypted bounce buffer
+    /// (Section V-A), halving effective bandwidth and adding per-transfer
+    /// setup cost.
+    #[must_use]
+    pub fn pcie_gen5_cc() -> Self {
+        Interconnect {
+            kind: LinkKind::Pcie,
+            bandwidth_bytes_per_s: 64.0e9,
+            latency_ns: 500.0,
+            security: LinkSecurity::BounceBuffer {
+                bandwidth_derate: 0.45,
+                per_transfer_us: 6.0,
+            },
+        }
+    }
+
+    /// NVLink 4 between H100s (900 GB/s aggregate), *unprotected* under CC:
+    /// confidential multi-GPU traffic must detour through the host, capping
+    /// throughput near 3 GB/s (Section V-D4).
+    #[must_use]
+    pub fn nvlink4_h100() -> Self {
+        Interconnect {
+            kind: LinkKind::NvLink,
+            bandwidth_bytes_per_s: 900.0e9,
+            latency_ns: 300.0,
+            security: LinkSecurity::Unprotected,
+        }
+    }
+
+    /// Effective bandwidth in bytes/second when `confidential` protections
+    /// are active. Unprotected links keep raw bandwidth when not
+    /// confidential; when confidential they are modelled at the host-detour
+    /// rate of 3 GB/s reported by the paper for cGPU instances without
+    /// RDMA/GPUDirect.
+    #[must_use]
+    pub fn effective_bandwidth(&self, confidential: bool) -> f64 {
+        if !confidential {
+            return self.bandwidth_bytes_per_s;
+        }
+        match self.security {
+            LinkSecurity::Unprotected => 3.0e9,
+            LinkSecurity::InlineCrypto {
+                bandwidth_derate, ..
+            } => self.bandwidth_bytes_per_s * bandwidth_derate,
+            LinkSecurity::BounceBuffer {
+                bandwidth_derate, ..
+            } => self.bandwidth_bytes_per_s * bandwidth_derate,
+        }
+    }
+
+    /// Time in seconds to move `bytes` across the link as `transfers`
+    /// discrete operations, with `confidential` protections active.
+    #[must_use]
+    pub fn transfer_time_s(&self, bytes: f64, transfers: f64, confidential: bool) -> f64 {
+        let bw = self.effective_bandwidth(confidential);
+        let mut t = bytes / bw + transfers * self.latency_ns * 1e-9;
+        if confidential {
+            match self.security {
+                LinkSecurity::InlineCrypto {
+                    latency_adder_ns, ..
+                } => t += transfers * latency_adder_ns * 1e-9,
+                LinkSecurity::BounceBuffer {
+                    per_transfer_us, ..
+                } => t += transfers * per_transfer_us * 1e-6,
+                LinkSecurity::Unprotected => {}
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upi_crypto_derates_bandwidth() {
+        let upi = Interconnect::upi_emr();
+        let plain = upi.effective_bandwidth(false);
+        let conf = upi.effective_bandwidth(true);
+        assert!(conf < plain);
+        assert!(conf / plain > 0.85, "UPI crypto derate should be mild");
+    }
+
+    #[test]
+    fn nvlink_collapses_under_cc() {
+        let nv = Interconnect::nvlink4_h100();
+        assert_eq!(nv.effective_bandwidth(false), 900.0e9);
+        // Paper: confidential instances cap inter-GPU traffic at ~3 GB/s.
+        assert_eq!(nv.effective_bandwidth(true), 3.0e9);
+    }
+
+    #[test]
+    fn bounce_buffer_hits_small_transfers_hardest() {
+        let pcie = Interconnect::pcie_gen5_cc();
+        let small_plain = pcie.transfer_time_s(4096.0, 1.0, false);
+        let small_cc = pcie.transfer_time_s(4096.0, 1.0, true);
+        let big_plain = pcie.transfer_time_s(1e9, 1.0, false);
+        let big_cc = pcie.transfer_time_s(1e9, 1.0, true);
+        let small_ratio = small_cc / small_plain;
+        let big_ratio = big_cc / big_plain;
+        assert!(
+            small_ratio > big_ratio,
+            "relative CC cost must shrink with transfer size (Insight 10)"
+        );
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes() {
+        let upi = Interconnect::upi_emr();
+        let t1 = upi.transfer_time_s(1e6, 1.0, true);
+        let t2 = upi.transfer_time_s(2e6, 1.0, true);
+        assert!(t2 > t1);
+    }
+}

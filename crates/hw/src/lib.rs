@@ -1,0 +1,153 @@
+//! Hardware models for confidential-LLM performance simulation.
+//!
+//! This crate provides parameterized, data-driven models of the hardware the
+//! paper *"Confidential LLM Inference: Performance and Cost Across CPU and
+//! GPU TEEs"* (IISWC 2025) was evaluated on:
+//!
+//! * [`CpuModel`] — multi-socket Xeon-class CPUs with AMX/AVX-512 matrix
+//!   units, cache hierarchies, DDR5 memory channels and UPI socket links.
+//!   Presets [`presets::emr1`] and [`presets::emr2`] replicate the paper's
+//!   two Emerald Rapids testbeds (Xeon Gold 6530 and Platinum 8580).
+//! * [`GpuModel`] — Hopper-class accelerators; [`presets::h100_nvl`]
+//!   replicates the paper's H100 NVL 94 GB card.
+//! * [`TlbModel`] / [`PageSize`] — translation look-aside buffer reach and
+//!   page-walk costs for 4 KiB, 2 MiB and 1 GiB pages, including the doubled
+//!   (two-dimensional) walks under virtualization.
+//! * [`NumaTopology`] and [`Interconnect`] — socket topology, sub-NUMA
+//!   clustering, and encrypted links (UPI, PCIe, NVLink).
+//!
+//! The models are intentionally *analytical*: they expose peak and sustained
+//! rates (`flops`, `bytes/s`, latencies) that the `cllm-perf` roofline
+//! simulator consumes. Nothing in this crate executes on real hardware; the
+//! numbers are taken from public spec sheets and the paper itself, so the
+//! simulator reproduces the paper's performance *ratios* on any machine.
+//!
+//! # Example
+//!
+//! ```
+//! use cllm_hw::{presets, DType, Isa};
+//!
+//! let emr2 = presets::emr2();
+//! // Peak bf16 AMX throughput of one socket, in FLOP/s.
+//! let peak = emr2.peak_flops(Isa::Amx, DType::Bf16, emr2.cores_per_socket);
+//! assert!(peak > 1e14); // > 100 TFLOP/s per socket with AMX
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod cpu;
+mod dtype;
+mod gpu;
+mod interconnect;
+pub mod presets;
+mod tlb;
+mod topology;
+
+pub use cache::{CacheHierarchy, CacheLevel};
+pub use cpu::{CpuModel, CpuVendor};
+pub use dtype::DType;
+pub use gpu::{GpuArch, GpuModel};
+pub use interconnect::{Interconnect, LinkKind, LinkSecurity};
+pub use tlb::{HugePagePolicy, PageSize, TlbModel};
+pub use topology::{NumaBinding, NumaTopology, SubNumaClustering};
+
+/// Instruction-set extensions relevant to LLM inference on CPUs.
+///
+/// The paper's Insight 3/8 show that AMX (Advanced Matrix Extensions) both
+/// doubles-to-sextuples raw inference performance and *reduces* TEE
+/// overheads; the ISA chosen therefore feeds directly into the roofline
+/// compute term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Isa {
+    /// Scalar fallback (no vector units). Used to model pathological paths
+    /// such as IPEX int8 without AMX (Section IV-C: 96% throughput / 1700%
+    /// latency overhead).
+    Scalar,
+    /// 256-bit AVX2 with FMA.
+    Avx2,
+    /// 512-bit AVX-512 with BF16 and VNNI extensions.
+    Avx512,
+    /// Advanced Matrix Extensions: 16x16 tile matrix-multiply units with
+    /// native bfloat16 and int8 support.
+    Amx,
+}
+
+impl Isa {
+    /// Multiply-accumulate throughput in *operations per core per cycle*
+    /// for the given data type (1 FLOP = one multiply or one add).
+    ///
+    /// Derived from Intel's optimization manuals: AMX performs a
+    /// 16x16x32 bf16 tile-matmul on one TMUL unit sustaining roughly
+    /// 2048 flop/cycle; int8 doubles that. AVX-512 with two 512-bit FMA
+    /// ports sustains 64 f32 flop/cycle, 128 bf16 flop/cycle
+    /// (`VDPBF16PS`), and 256 int8 ops/cycle (VNNI).
+    #[must_use]
+    pub fn flops_per_cycle(self, dtype: DType) -> f64 {
+        match (self, dtype) {
+            (Isa::Amx, DType::Int8) => 4096.0,
+            (Isa::Amx, DType::Bf16) => 2048.0,
+            // AMX has no f32 tiles; falls back to AVX-512 rates.
+            (Isa::Amx, DType::F32) => 64.0,
+            (Isa::Avx512, DType::Int8) => 256.0,
+            (Isa::Avx512, DType::Bf16) => 128.0,
+            (Isa::Avx512, DType::F32) => 64.0,
+            (Isa::Avx2, DType::Int8) => 64.0,
+            (Isa::Avx2, DType::Bf16) => 16.0, // emulated via f32 convert
+            (Isa::Avx2, DType::F32) => 32.0,
+            (Isa::Scalar, _) => 2.0,
+        }
+    }
+
+    /// Whether this ISA has native matrix-tile support for the data type.
+    ///
+    /// IPEX int8 kernels are only implemented for AMX; when AMX is disabled
+    /// the int8 path degrades to a near-scalar reference implementation
+    /// (paper Section IV-C).
+    #[must_use]
+    pub fn has_native_tiles(self, dtype: DType) -> bool {
+        matches!((self, dtype), (Isa::Amx, DType::Bf16 | DType::Int8))
+    }
+}
+
+/// Convenience constant: bytes in one GiB.
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+/// Convenience constant: bytes in one MiB.
+pub const MIB: f64 = 1024.0 * 1024.0;
+/// Convenience constant: bytes in one KiB.
+pub const KIB: f64 = 1024.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amx_beats_avx512_on_bf16() {
+        assert!(Isa::Amx.flops_per_cycle(DType::Bf16) > Isa::Avx512.flops_per_cycle(DType::Bf16));
+    }
+
+    #[test]
+    fn int8_doubles_bf16_on_amx() {
+        let bf16 = Isa::Amx.flops_per_cycle(DType::Bf16);
+        let int8 = Isa::Amx.flops_per_cycle(DType::Int8);
+        assert!((int8 / bf16 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_is_slowest_everywhere() {
+        for dt in [DType::F32, DType::Bf16, DType::Int8] {
+            for isa in [Isa::Avx2, Isa::Avx512, Isa::Amx] {
+                assert!(isa.flops_per_cycle(dt) > Isa::Scalar.flops_per_cycle(dt));
+            }
+        }
+    }
+
+    #[test]
+    fn native_tiles_only_amx() {
+        assert!(Isa::Amx.has_native_tiles(DType::Bf16));
+        assert!(Isa::Amx.has_native_tiles(DType::Int8));
+        assert!(!Isa::Amx.has_native_tiles(DType::F32));
+        assert!(!Isa::Avx512.has_native_tiles(DType::Bf16));
+    }
+}

@@ -1,0 +1,196 @@
+//! Hardware presets replicating the paper's testbeds.
+//!
+//! * `EMR1`: dual-socket Intel Xeon Gold 6530, 32 cores/socket,
+//!   16x32 GiB DDR5-4800, list price $2,130 (Section III-C1).
+//! * `EMR2`: dual-socket Intel Xeon Platinum 8580, 60 cores/socket,
+//!   16x32 GiB DDR5-4800, list price $10,710.
+//! * `SPR`: a Sapphire Rapids alternative the paper mentions as "almost 2x
+//!   cheaper, performing up to 40% worse" for memory-bound work.
+//! * `H100 NVL`: 94 GB HBM3, rented from Azure (NCCads_H100_v5), card
+//!   price ~$30,000 (Section V-B).
+
+use crate::{
+    CacheHierarchy, CpuModel, CpuVendor, GpuArch, GpuModel, Interconnect, Isa, TlbModel, GIB,
+};
+
+/// Sustained fraction of theoretical DDR5 channel bandwidth achievable by
+/// a streaming workload (copy/triad-like efficiency).
+const DDR5_EFFICIENCY: f64 = 0.78;
+
+/// Theoretical bandwidth of 8 DDR5-4800 channels, bytes/second.
+const DDR5_4800_8CH: f64 = 8.0 * 4800.0e6 * 8.0;
+
+/// EMR1: dual-socket Intel Xeon Gold 6530 (32 cores, 160 MiB LLC).
+///
+/// This is the machine behind Figures 3-6. `all_core_hz` is the sustained
+/// all-core frequency under AMX-heavy load (between the 2.1 GHz base and
+/// the 2.7 GHz all-core turbo).
+#[must_use]
+pub fn emr1() -> CpuModel {
+    CpuModel {
+        name: "Intel Xeon Gold 6530 (EMR1)".to_owned(),
+        vendor: CpuVendor::Intel,
+        cores_per_socket: 32,
+        all_core_hz: 2.4e9,
+        best_isa: Isa::Amx,
+        caches: CacheHierarchy::emerald_rapids(160.0),
+        tlb: TlbModel::golden_cove(),
+        dram_bw_bytes_per_s: DDR5_4800_8CH * DDR5_EFFICIENCY,
+        dram_latency_ns: 105.0,
+        dram_capacity_bytes: 8.0 * 32.0 * GIB,
+        list_price_usd: 2130.0,
+    }
+}
+
+/// EMR2: dual-socket Intel Xeon Platinum 8580 (60 cores, 300 MiB LLC).
+///
+/// This is the machine behind Figures 7-10 and 12-14.
+#[must_use]
+pub fn emr2() -> CpuModel {
+    CpuModel {
+        name: "Intel Xeon Platinum 8580 (EMR2)".to_owned(),
+        vendor: CpuVendor::Intel,
+        cores_per_socket: 60,
+        all_core_hz: 2.3e9,
+        best_isa: Isa::Amx,
+        caches: CacheHierarchy::emerald_rapids(300.0),
+        tlb: TlbModel::golden_cove(),
+        dram_bw_bytes_per_s: DDR5_4800_8CH * DDR5_EFFICIENCY,
+        dram_latency_ns: 105.0,
+        dram_capacity_bytes: 8.0 * 32.0 * GIB,
+        list_price_usd: 10710.0,
+    }
+}
+
+/// A Sapphire Rapids stand-in: the paper notes renting an "almost 2x
+/// cheaper Sapphire Rapid performing up to 40% worse" is an even more
+/// affordable option for memory-bound workloads (Section V-D2).
+#[must_use]
+pub fn spr() -> CpuModel {
+    CpuModel {
+        name: "Intel Xeon Platinum 8480+ (SPR)".to_owned(),
+        vendor: CpuVendor::Intel,
+        cores_per_socket: 56,
+        all_core_hz: 2.0e9,
+        best_isa: Isa::Amx,
+        caches: CacheHierarchy::emerald_rapids(105.0),
+        tlb: TlbModel::golden_cove(),
+        // DDR5-4400 on SPR plus a less efficient mesh.
+        dram_bw_bytes_per_s: 8.0 * 4400.0e6 * 8.0 * 0.72,
+        dram_latency_ns: 118.0,
+        dram_capacity_bytes: 8.0 * 32.0 * GIB,
+        list_price_usd: 5600.0,
+    }
+}
+
+/// AMD EPYC 9654 "Genoa": the SEV-SNP counterpart (Zen 4 with AVX-512
+/// but no AMX — one reason the paper selects Intel). Used by the
+/// `sev_snp` cross-check experiment; Misono et al. [55] report SEV-SNP
+/// overheads close to TDX's.
+#[must_use]
+pub fn genoa() -> CpuModel {
+    CpuModel {
+        name: "AMD EPYC 9654 (Genoa)".to_owned(),
+        vendor: CpuVendor::Amd,
+        cores_per_socket: 96,
+        all_core_hz: 2.6e9,
+        best_isa: Isa::Avx512,
+        caches: CacheHierarchy::emerald_rapids(384.0),
+        tlb: TlbModel::golden_cove(),
+        // 12 channels of DDR5-4800.
+        dram_bw_bytes_per_s: 12.0 * 4800.0e6 * 8.0 * 0.74,
+        dram_latency_ns: 112.0,
+        dram_capacity_bytes: 12.0 * 32.0 * GIB,
+        list_price_usd: 11805.0,
+    }
+}
+
+/// H100 NVL 94 GB as rented from Azure (NCCads_H100_v5 /
+/// NCads_H100_v5). Dense bf16 tensor throughput ~990 TFLOP/s (no
+/// sparsity), HBM3 ~3.9 TB/s raw / ~3.35 TB/s sustained.
+#[must_use]
+pub fn h100_nvl() -> GpuModel {
+    GpuModel {
+        name: "NVIDIA H100 NVL 94GB".to_owned(),
+        arch: GpuArch::Hopper,
+        bf16_flops: 990.0e12,
+        int8_flops: 1980.0e12,
+        hbm_capacity_bytes: 94.0 * GIB,
+        hbm_bw_bytes_per_s: 3.35e12,
+        kernel_launch_us: 4.0,
+        cc_launch_adder_us: 3.6,
+        host_link: Interconnect::pcie_gen5_cc(),
+        list_price_usd: 30000.0,
+    }
+}
+
+/// NVIDIA B100 (Blackwell) projection: the paper expects HBM and NVLink
+/// encryption to add a "non-negligible overhead" over H100 results
+/// (Section V-D3). Specs from NVIDIA's Blackwell announcement.
+#[must_use]
+pub fn b100() -> GpuModel {
+    GpuModel {
+        name: "NVIDIA B100 (projection)".to_owned(),
+        arch: GpuArch::Blackwell,
+        bf16_flops: 1750.0e12,
+        int8_flops: 3500.0e12,
+        hbm_capacity_bytes: 192.0 * GIB,
+        hbm_bw_bytes_per_s: 7.0e12,
+        kernel_launch_us: 4.0,
+        cc_launch_adder_us: 3.6,
+        host_link: Interconnect::pcie_gen5_cc(),
+        list_price_usd: 40000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emr_bandwidth_near_240_gbs() {
+        let bw = emr1().dram_bw_bytes_per_s / 1e9;
+        assert!((200.0..280.0).contains(&bw), "got {bw} GB/s");
+    }
+
+    #[test]
+    fn emr2_has_more_cores_and_costs_more() {
+        let (a, b) = (emr1(), emr2());
+        assert!(b.cores_per_socket > a.cores_per_socket);
+        assert!(b.list_price_usd > a.list_price_usd);
+    }
+
+    #[test]
+    fn spr_is_cheaper_and_slower_than_emr2() {
+        let (s, e) = (spr(), emr2());
+        assert!(s.list_price_usd < e.list_price_usd / 1.5);
+        assert!(s.dram_bw_bytes_per_s < e.dram_bw_bytes_per_s);
+    }
+
+    #[test]
+    fn genoa_has_more_cores_no_amx() {
+        let g = genoa();
+        assert!(g.cores_per_socket > emr2().cores_per_socket);
+        assert_eq!(g.best_isa, Isa::Avx512);
+        assert!(g.dram_bw_bytes_per_s > emr2().dram_bw_bytes_per_s);
+    }
+
+    #[test]
+    fn b100_encrypts_hbm() {
+        let b = b100();
+        assert!(b.arch.hbm_encrypted());
+        assert!(b.hbm_bw_confidential() < b.hbm_bw_bytes_per_s);
+        assert!(b.bf16_flops > h100_nvl().bf16_flops);
+    }
+
+    #[test]
+    fn h100_capacity_fits_7b_not_70b() {
+        use crate::GIB;
+        let g = h100_nvl();
+        let w7b_bf16 = 7.0e9 * 2.0;
+        let w70b_bf16 = 70.0e9 * 2.0;
+        assert!(w7b_bf16 < g.hbm_capacity_bytes);
+        assert!(w70b_bf16 > g.hbm_capacity_bytes);
+        assert!((g.hbm_capacity_bytes / GIB - 94.0).abs() < 1e-9);
+    }
+}

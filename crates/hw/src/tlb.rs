@@ -1,0 +1,238 @@
+//! TLB and page-size modeling.
+//!
+//! Insights 6–7 of the paper hinge on address-translation behaviour: TDX
+//! silently falls back to 2 MiB transparent huge pages even when 1 GiB pages
+//! are reserved, and virtualization doubles page-walk depth (two-dimensional
+//! EPT walks). This module computes TLB reach, miss rates for streaming
+//! working sets, and the per-byte translation cost the roofline charges.
+
+/// Page size used to map the inference working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PageSize {
+    /// Base 4 KiB pages.
+    Base4K,
+    /// 2 MiB huge pages (transparent or explicit).
+    Huge2M,
+    /// 1 GiB huge pages (explicit reservation only).
+    Huge1G,
+}
+
+impl PageSize {
+    /// Page size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> f64 {
+        match self {
+            PageSize::Base4K => 4096.0,
+            PageSize::Huge2M => 2.0 * 1024.0 * 1024.0,
+            PageSize::Huge1G => 1024.0 * 1024.0 * 1024.0,
+        }
+    }
+
+    /// Human-readable label (`4K`, `2M`, `1G`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PageSize::Base4K => "4K",
+            PageSize::Huge2M => "2M",
+            PageSize::Huge1G => "1G",
+        }
+    }
+}
+
+/// How the hypervisor / OS provides huge pages to the workload.
+///
+/// Figure 6 compares `VM FH` (explicit 1 GiB pages), `VM TH` (2 MiB
+/// transparent huge pages) and TDX, which *ignores manually reserved 1 GiB
+/// pages* and self-allocates transparent 2 MiB pages (Insight 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum HugePagePolicy {
+    /// No huge pages: everything on 4 KiB base pages.
+    None,
+    /// Transparent 2 MiB huge pages (`VM TH`).
+    Transparent2M,
+    /// Explicitly reserved 1 GiB pages (`VM FH`).
+    Explicit1G,
+}
+
+impl HugePagePolicy {
+    /// The page size the workload actually runs on under this policy,
+    /// given whether the platform honours explicit reservations.
+    ///
+    /// TDX does not honour 1 GiB reservations; requesting [`Explicit1G`]
+    /// under TDX yields [`PageSize::Huge2M`] (paper Section IV-A2).
+    ///
+    /// [`Explicit1G`]: HugePagePolicy::Explicit1G
+    #[must_use]
+    pub fn effective_page(self, honours_reservations: bool) -> PageSize {
+        match self {
+            HugePagePolicy::None => PageSize::Base4K,
+            HugePagePolicy::Transparent2M => PageSize::Huge2M,
+            HugePagePolicy::Explicit1G => {
+                if honours_reservations {
+                    PageSize::Huge1G
+                } else {
+                    PageSize::Huge2M
+                }
+            }
+        }
+    }
+}
+
+/// Second-level (unified) TLB model with per-page-size entry counts and
+/// page-walk costs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TlbModel {
+    /// STLB entries available for 4 KiB translations.
+    pub entries_4k: u32,
+    /// STLB entries available for 2 MiB translations.
+    pub entries_2m: u32,
+    /// STLB entries available for 1 GiB translations.
+    pub entries_1g: u32,
+    /// Cost of one native (one-dimensional) page walk, nanoseconds.
+    pub walk_ns_native: f64,
+    /// Cost of one virtualized (two-dimensional, EPT) page walk,
+    /// nanoseconds. A 4-level guest walk under a 4-level EPT requires up to
+    /// 24 memory references instead of 4, so this is roughly 3-4x the
+    /// native cost.
+    pub walk_ns_virtualized: f64,
+}
+
+impl TlbModel {
+    /// Golden-Cove-class STLB: 2048 entries shared for 4K/2M, 16 for 1G.
+    #[must_use]
+    pub fn golden_cove() -> Self {
+        TlbModel {
+            entries_4k: 2048,
+            entries_2m: 2048,
+            entries_1g: 16,
+            walk_ns_native: 40.0,
+            walk_ns_virtualized: 150.0,
+        }
+    }
+
+    /// TLB reach in bytes for a given page size: entries x page size.
+    #[must_use]
+    pub fn reach_bytes(&self, page: PageSize) -> f64 {
+        let entries = match page {
+            PageSize::Base4K => self.entries_4k,
+            PageSize::Huge2M => self.entries_2m,
+            PageSize::Huge1G => self.entries_1g,
+        };
+        f64::from(entries) * page.bytes()
+    }
+
+    /// Expected TLB misses per byte for a working set that is *streamed*
+    /// (touched sequentially once per pass), of total size
+    /// `footprint_bytes`.
+    ///
+    /// If the footprint fits in TLB reach, translations are cached across
+    /// passes and the miss rate is ~0. Beyond reach, every page crossing
+    /// misses, i.e. one miss per `page.bytes()` bytes, scaled by the
+    /// fraction of the footprint that exceeds reach.
+    #[must_use]
+    pub fn misses_per_byte(&self, page: PageSize, footprint_bytes: f64) -> f64 {
+        if footprint_bytes <= 0.0 {
+            return 0.0;
+        }
+        let reach = self.reach_bytes(page);
+        if footprint_bytes <= reach {
+            return 0.0;
+        }
+        let uncovered_fraction = 1.0 - reach / footprint_bytes;
+        uncovered_fraction / page.bytes()
+    }
+
+    /// Average extra nanoseconds of translation work per byte streamed, for
+    /// the given page size, footprint and virtualization depth.
+    ///
+    /// `virtualized` selects the two-dimensional walk cost; `overlap`
+    /// in `[0, 1)` is the fraction of walk latency hidden by out-of-order
+    /// execution and concurrent page walkers (modern cores have 2-4).
+    #[must_use]
+    pub fn translation_ns_per_byte(
+        &self,
+        page: PageSize,
+        footprint_bytes: f64,
+        virtualized: bool,
+        overlap: f64,
+    ) -> f64 {
+        let walk = if virtualized {
+            self.walk_ns_virtualized
+        } else {
+            self.walk_ns_native
+        };
+        let exposed = walk * (1.0 - overlap.clamp(0.0, 0.999));
+        self.misses_per_byte(page, footprint_bytes) * exposed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GIB;
+
+    #[test]
+    fn page_sizes() {
+        assert_eq!(PageSize::Base4K.bytes(), 4096.0);
+        assert_eq!(PageSize::Huge2M.bytes(), 2097152.0);
+        assert_eq!(PageSize::Huge1G.bytes(), 1073741824.0);
+    }
+
+    #[test]
+    fn tdx_ignores_1g_reservations() {
+        // Insight 7: TDX uses self-allocated THP even when 1G pages exist.
+        assert_eq!(
+            HugePagePolicy::Explicit1G.effective_page(false),
+            PageSize::Huge2M
+        );
+        assert_eq!(
+            HugePagePolicy::Explicit1G.effective_page(true),
+            PageSize::Huge1G
+        );
+    }
+
+    #[test]
+    fn reach_ordering() {
+        let t = TlbModel::golden_cove();
+        assert!(t.reach_bytes(PageSize::Base4K) < t.reach_bytes(PageSize::Huge2M));
+        // 16 x 1G = 16 GiB still exceeds 2048 x 2M = 4 GiB.
+        assert!(t.reach_bytes(PageSize::Huge2M) < t.reach_bytes(PageSize::Huge1G));
+    }
+
+    #[test]
+    fn no_misses_within_reach() {
+        let t = TlbModel::golden_cove();
+        assert_eq!(t.misses_per_byte(PageSize::Huge2M, 1.0 * GIB), 0.0);
+    }
+
+    #[test]
+    fn misses_grow_with_footprint_beyond_reach() {
+        let t = TlbModel::golden_cove();
+        let a = t.misses_per_byte(PageSize::Huge2M, 8.0 * GIB);
+        let b = t.misses_per_byte(PageSize::Huge2M, 16.0 * GIB);
+        assert!(a > 0.0);
+        assert!(b > a);
+        // Asymptote: one miss per page.
+        assert!(b < 1.0 / PageSize::Huge2M.bytes());
+    }
+
+    #[test]
+    fn virtualized_walks_cost_more() {
+        let t = TlbModel::golden_cove();
+        let native = t.translation_ns_per_byte(PageSize::Huge2M, 16.0 * GIB, false, 0.5);
+        let virt = t.translation_ns_per_byte(PageSize::Huge2M, 16.0 * GIB, true, 0.5);
+        assert!(virt > 2.0 * native);
+    }
+
+    #[test]
+    fn larger_pages_translate_cheaper() {
+        let t = TlbModel::golden_cove();
+        let p4k = t.translation_ns_per_byte(PageSize::Base4K, 16.0 * GIB, true, 0.5);
+        let p2m = t.translation_ns_per_byte(PageSize::Huge2M, 16.0 * GIB, true, 0.5);
+        // 1 GiB pages: 16 GiB footprint exactly equals reach -> zero misses.
+        let p1g = t.translation_ns_per_byte(PageSize::Huge1G, 16.0 * GIB, true, 0.5);
+        assert!(p4k > p2m);
+        assert!(p2m > p1g);
+        assert_eq!(p1g, 0.0);
+    }
+}

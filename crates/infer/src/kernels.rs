@@ -1,0 +1,204 @@
+//! Compute kernels: matmul, RMSNorm, softmax, SiLU, RoPE.
+
+use crate::tensor::Matrix;
+
+/// `out = x · w^T` for a single input row `x` (`1 x in`), with `w` stored
+/// as `out_dim x in_dim` (each row of `w` is one output neuron) — the
+/// GEMV at the heart of decode.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn gemv(x: &[f32], w: &Matrix, out: &mut [f32]) {
+    assert_eq!(x.len(), w.cols, "gemv input dim");
+    assert_eq!(out.len(), w.rows, "gemv output dim");
+    for (row, o) in out.iter_mut().enumerate() {
+        let wr = w.row(row);
+        let mut acc = 0.0f32;
+        // Unrolled-by-4 dot product: the scalar stand-in for AMX tiles.
+        let chunks = x.len() / 4 * 4;
+        let mut i = 0;
+        while i < chunks {
+            acc += x[i] * wr[i]
+                + x[i + 1] * wr[i + 1]
+                + x[i + 2] * wr[i + 2]
+                + x[i + 3] * wr[i + 3];
+            i += 4;
+        }
+        for j in chunks..x.len() {
+            acc += x[j] * wr[j];
+        }
+        *o = acc;
+    }
+}
+
+/// RMSNorm: `x * g / sqrt(mean(x^2) + eps)`.
+pub fn rmsnorm(x: &mut [f32], gain: &[f32], eps: f32) {
+    assert_eq!(x.len(), gain.len());
+    let ms: f32 = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    for (v, g) in x.iter_mut().zip(gain) {
+        *v *= inv * g;
+    }
+}
+
+/// Numerically-stable in-place softmax.
+pub fn softmax(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in x.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// SiLU activation: `x * sigmoid(x)`.
+#[must_use]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Apply rotary position embedding to a head vector of even length at
+/// sequence position `pos`, with base `theta` (Llama uses 10000).
+pub fn rope(head: &mut [f32], pos: usize, theta: f32) {
+    let d = head.len();
+    assert_eq!(d % 2, 0, "rope needs even head dim");
+    for i in (0..d).step_by(2) {
+        #[allow(clippy::cast_precision_loss)]
+        let freq = 1.0 / theta.powf(i as f32 / d as f32);
+        #[allow(clippy::cast_precision_loss)]
+        let angle = pos as f32 * freq;
+        let (sin, cos) = angle.sin_cos();
+        let (a, b) = (head[i], head[i + 1]);
+        head[i] = a * cos - b * sin;
+        head[i + 1] = a * sin + b * cos;
+    }
+}
+
+/// Argmax index of a slice (ties broken by lowest index).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn argmax(x: &[f32]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, v) in x.iter().enumerate() {
+        if *v > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemv_identity() {
+        let mut w = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            w.set(i, i, 1.0);
+        }
+        let mut out = [0.0; 3];
+        gemv(&[1.0, 2.0, 3.0], &w, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gemv_matches_naive() {
+        let w = Matrix::from_vec(2, 5, (0..10).map(|i| i as f32 * 0.5).collect());
+        let x: Vec<f32> = (0..5).map(|i| 1.0 - i as f32 * 0.1).collect();
+        let mut out = [0.0; 2];
+        gemv(&x, &w, &mut out);
+        for (r, got) in out.iter().enumerate() {
+            let expect: f32 = (0..5).map(|c| x[c] * w.get(r, c)).sum();
+            assert!((got - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut x = [1.0, 3.0, 2.0];
+        softmax(&mut x);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(x[1] > x[2] && x[2] > x[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let mut x = [1000.0, 1000.0];
+        softmax(&mut x);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmsnorm_unit_scale() {
+        let mut x = vec![3.0, 4.0];
+        let g = vec![1.0, 1.0];
+        rmsnorm(&mut x, &g, 1e-6);
+        // RMS of (3,4) is sqrt(12.5); normalized values keep the ratio.
+        assert!((x[1] / x[0] - 4.0 / 3.0).abs() < 1e-5);
+        let ms: f32 = x.iter().map(|v| v * v).sum::<f32>() / 2.0;
+        assert!((ms - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn silu_properties() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!(silu(5.0) > 4.9);
+        assert!(silu(-5.0) > -0.05 && silu(-5.0) < 0.0);
+    }
+
+    #[test]
+    fn rope_preserves_norm() {
+        let mut h = vec![1.0, 2.0, 3.0, 4.0];
+        let before: f32 = h.iter().map(|v| v * v).sum();
+        rope(&mut h, 17, 10000.0);
+        let after: f32 = h.iter().map(|v| v * v).sum();
+        assert!((before - after).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rope_position_zero_is_identity() {
+        let mut h = vec![1.0, 2.0, 3.0, 4.0];
+        let orig = h.clone();
+        rope(&mut h, 0, 10000.0);
+        for (a, b) in h.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rope_relative_property() {
+        // Dot product of two rotated vectors depends only on the position
+        // difference (the defining property of RoPE).
+        let q = vec![0.5, -1.0];
+        let k = vec![1.5, 0.25];
+        let dot = |a: &[f32], b: &[f32]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>();
+        let mut q1 = q.clone();
+        let mut k1 = k.clone();
+        rope(&mut q1, 5, 10000.0);
+        rope(&mut k1, 3, 10000.0);
+        let mut q2 = q.clone();
+        let mut k2 = k.clone();
+        rope(&mut q2, 12, 10000.0);
+        rope(&mut k2, 10, 10000.0);
+        assert!((dot(&q1, &k1) - dot(&q2, &k2)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax(&[2.0, 2.0]), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! A functional, pure-Rust transformer inference engine.
+//!
+//! The performance study in `cllm-perf` models Llama-class inference
+//! analytically; this crate complements it with a *real, executable*
+//! engine so the confidential pipeline in `cllm-core` can demonstrably
+//! decrypt weights inside an enclave, run a forward pass, and produce
+//! tokens — end to end, with no external ML framework.
+//!
+//! It implements, from scratch:
+//!
+//! * [`tensor`] — a minimal row-major f32 tensor.
+//! * [`kernels`] — blocked matmul, RMSNorm, softmax, SiLU, rotary position
+//!   embeddings, and the attention primitive.
+//! * [`quant`] — per-row int8 weight quantization with f32 accumulation,
+//!   mirroring the paper's int8 deployments.
+//! * [`model`] — a Llama-architecture decoder (RMSNorm → QKV → RoPE →
+//!   attention with KV cache → gated SiLU MLP) at any size; deterministic
+//!   weight initialization for reproducible tests.
+//! * [`tokenizer`] — byte-level tokenizer with trainable BPE merges.
+//! * [`generate`] — greedy and temperature sampling loops.
+//!
+//! The engine is deliberately small-scale (tests run models with
+//! hidden sizes of 64-128), but architecturally faithful: the same
+//! operator sequence whose FLOP/byte counts `cllm-workload` prices.
+//!
+//! # Example
+//!
+//! ```
+//! use cllm_infer::model::{TinyConfig, TinyModel};
+//! use cllm_infer::generate::{generate, Sampling};
+//!
+//! let config = TinyConfig::test_small();
+//! let model = TinyModel::init(&config, 42);
+//! let out = generate(&model, &[1, 2, 3], 8, Sampling::Greedy, 0);
+//! assert_eq!(out.len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod kernels;
+pub mod model;
+pub mod quant;
+pub mod sampling;
+pub mod serialize;
+pub mod tensor;
+pub mod tokenizer;

@@ -1,0 +1,142 @@
+//! Per-row int8 weight quantization with f32 accumulation.
+//!
+//! The paper's int8 deployments quantize model weights post-training;
+//! activations and accumulation stay in higher precision. This module
+//! implements that scheme exactly: each weight row gets a scale
+//! `max(|row|)/127`, elements are rounded to `i8`, and the GEMV
+//! dequantizes on the fly.
+
+use crate::tensor::Matrix;
+
+/// An int8-quantized matrix with one f32 scale per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMatrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantMatrix {
+    /// Quantize an f32 matrix row-wise.
+    #[must_use]
+    pub fn quantize(m: &Matrix) -> Self {
+        let mut data = Vec::with_capacity(m.rows * m.cols);
+        let mut scales = Vec::with_capacity(m.rows);
+        for r in 0..m.rows {
+            let row = m.row(r);
+            let max = row.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+            let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+            scales.push(scale);
+            for &v in row {
+                let q = (v / scale).round().clamp(-127.0, 127.0);
+                #[allow(clippy::cast_possible_truncation)]
+                data.push(q as i8);
+            }
+        }
+        QuantMatrix {
+            rows: m.rows,
+            cols: m.cols,
+            data,
+            scales,
+        }
+    }
+
+    /// Dequantize back to f32 (for error measurement).
+    #[must_use]
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let scale = self.scales[r];
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = f32::from(self.data[r * self.cols + c]) * scale;
+            }
+        }
+        out
+    }
+
+    /// `out = x · w^T` with on-the-fly dequantization and f32 accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn gemv(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "qgemv input dim");
+        assert_eq!(out.len(), self.rows, "qgemv output dim");
+        for (r, o) in out.iter_mut().enumerate() {
+            let base = r * self.cols;
+            let mut acc = 0.0f32;
+            for (c, &xv) in x.iter().enumerate() {
+                acc += xv * f32::from(self.data[base + c]);
+            }
+            *o = acc * self.scales[r];
+        }
+    }
+
+    /// Storage bytes (data + scales) — roughly a quarter of f32.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize, seed: u32) -> Matrix {
+        // Small deterministic pseudo-random matrix.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect())
+    }
+
+    #[test]
+    fn quantization_error_is_small() {
+        let m = sample(16, 64, 7);
+        let q = QuantMatrix::quantize(&m);
+        let d = q.dequantize();
+        for r in 0..m.rows {
+            for c in 0..m.cols {
+                let err = (m.get(r, c) - d.get(r, c)).abs();
+                assert!(err <= 0.5 / 127.0 + 1e-6, "err {err} at {r},{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn qgemv_close_to_f32_gemv() {
+        let m = sample(8, 32, 11);
+        let q = QuantMatrix::quantize(&m);
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut exact = vec![0.0; 8];
+        crate::kernels::gemv(&x, &m, &mut exact);
+        let mut approx = vec![0.0; 8];
+        q.gemv(&x, &mut approx);
+        for (e, a) in exact.iter().zip(&approx) {
+            let scale = e.abs().max(1.0);
+            assert!((e - a).abs() / scale < 0.02, "exact {e} approx {a}");
+        }
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_safely() {
+        let m = Matrix::zeros(4, 4);
+        let q = QuantMatrix::quantize(&m);
+        assert_eq!(q.dequantize(), m);
+    }
+
+    #[test]
+    fn storage_is_quarter_of_f32() {
+        let m = sample(64, 64, 3);
+        let q = QuantMatrix::quantize(&m);
+        let f32_bytes = 64 * 64 * 4;
+        assert!(q.storage_bytes() < f32_bytes / 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Byte-level tokenizer with trainable BPE merges.
+//!
+//! Token ids 0-255 are raw bytes; ids 256+ are learned byte-pair merges.
+//! This is the same construction as GPT-2/Llama byte-level BPE, scaled
+//! down, and is what the examples use to feed real text through the
+//! confidential pipeline.
+
+use std::collections::HashMap;
+
+/// A trained byte-pair-encoding tokenizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpeTokenizer {
+    /// Learned merges in training order: (left, right) -> new id.
+    merges: Vec<(usize, usize)>,
+    /// Lookup from pair to merged id.
+    merge_ids: HashMap<(usize, usize), usize>,
+}
+
+impl BpeTokenizer {
+    /// A bytes-only tokenizer (no merges).
+    #[must_use]
+    pub fn bytes_only() -> Self {
+        BpeTokenizer {
+            merges: Vec::new(),
+            merge_ids: HashMap::new(),
+        }
+    }
+
+    /// Train `num_merges` BPE merges on a corpus.
+    #[must_use]
+    pub fn train(corpus: &str, num_merges: usize) -> Self {
+        let mut tokens: Vec<usize> = corpus.bytes().map(usize::from).collect();
+        let mut merges = Vec::with_capacity(num_merges);
+        let mut merge_ids = HashMap::new();
+        for step in 0..num_merges {
+            let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+            for w in tokens.windows(2) {
+                *counts.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+            // Deterministic tie-break: highest count, then lowest pair.
+            let Some((&pair, &count)) = counts
+                .iter()
+                .max_by_key(|(&(a, b), &c)| (c, std::cmp::Reverse((a, b))))
+            else {
+                break;
+            };
+            if count < 2 {
+                break;
+            }
+            let new_id = 256 + step;
+            merges.push(pair);
+            merge_ids.insert(pair, new_id);
+            tokens = merge_once(&tokens, pair, new_id);
+        }
+        BpeTokenizer { merges, merge_ids }
+    }
+
+    /// Vocabulary size (256 bytes + merges).
+    #[must_use]
+    pub fn vocab_size(&self) -> usize {
+        256 + self.merges.len()
+    }
+
+    /// Encode text to token ids.
+    #[must_use]
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        let mut tokens: Vec<usize> = text.bytes().map(usize::from).collect();
+        for (i, &pair) in self.merges.iter().enumerate() {
+            tokens = merge_once(&tokens, pair, 256 + i);
+        }
+        tokens
+    }
+
+    /// Decode token ids back to text (lossy on invalid UTF-8).
+    #[must_use]
+    pub fn decode(&self, tokens: &[usize]) -> String {
+        let mut bytes = Vec::new();
+        for &t in tokens {
+            self.expand(t, &mut bytes);
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    fn expand(&self, token: usize, out: &mut Vec<u8>) {
+        if token < 256 {
+            #[allow(clippy::cast_possible_truncation)]
+            out.push(token as u8);
+        } else if let Some(&(a, b)) = self.merges.get(token - 256) {
+            self.expand(a, out);
+            self.expand(b, out);
+        }
+    }
+}
+
+fn merge_once(tokens: &[usize], pair: (usize, usize), new_id: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if i + 1 < tokens.len() && (tokens[i], tokens[i + 1]) == pair {
+            out.push(new_id);
+            i += 2;
+        } else {
+            out.push(tokens[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &str = "the patient presented with the same symptoms as the other patient";
+
+    #[test]
+    fn bytes_only_roundtrip() {
+        let t = BpeTokenizer::bytes_only();
+        let ids = t.encode("hello, enclave!");
+        assert_eq!(t.decode(&ids), "hello, enclave!");
+        assert_eq!(ids.len(), 15);
+    }
+
+    #[test]
+    fn trained_roundtrip_exact() {
+        let t = BpeTokenizer::train(CORPUS, 20);
+        for text in [CORPUS, "the the the", "unseen words entirely", ""] {
+            assert_eq!(t.decode(&t.encode(text)), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn merges_compress() {
+        let t = BpeTokenizer::train(CORPUS, 30);
+        let plain = BpeTokenizer::bytes_only().encode(CORPUS).len();
+        let merged = t.encode(CORPUS).len();
+        assert!(merged < plain, "BPE should compress: {merged} !< {plain}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = BpeTokenizer::train(CORPUS, 10);
+        let b = BpeTokenizer::train(CORPUS, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vocab_size_tracks_merges() {
+        let t = BpeTokenizer::train(CORPUS, 5);
+        assert!(t.vocab_size() >= 256 && t.vocab_size() <= 261);
+    }
+
+    #[test]
+    fn utf8_text_roundtrips() {
+        let t = BpeTokenizer::train("héllo wörld héllo wörld", 8);
+        let s = "héllo wörld";
+        assert_eq!(t.decode(&t.encode(s)), s);
+    }
+}

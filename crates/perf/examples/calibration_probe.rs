@@ -1,0 +1,164 @@
+//! Calibration probe: prints the simulator's overheads next to the
+//! paper's reported bands for quick tuning of `calib` constants.
+
+use cllm_hw::DType;
+use cllm_perf::{simulate_cpu, simulate_gpu, throughput_overhead_pct, CpuTarget};
+use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+
+fn main() {
+    let m7 = zoo::llama2_7b();
+
+    println!("== Fig 4: EMR1 single socket, 1024/128 ==");
+    for dtype in [DType::Bf16, DType::Int8] {
+        let thr_req = RequestSpec::new(6, 1024, 128).with_beam(4);
+        let lat_req = RequestSpec::new(1, 1024, 128);
+        let t1 = CpuTarget::emr1_single_socket();
+        let bare_t = simulate_cpu(&m7, &thr_req, dtype, &t1, &CpuTeeConfig::bare_metal());
+        let bare_l = simulate_cpu(&m7, &lat_req, dtype, &t1, &CpuTeeConfig::bare_metal());
+        for tee in [CpuTeeConfig::vm(), CpuTeeConfig::sgx(), CpuTeeConfig::tdx()] {
+            let t = simulate_cpu(&m7, &thr_req, dtype, &t1, &tee);
+            let l = simulate_cpu(&m7, &lat_req, dtype, &t1, &tee);
+            println!(
+                "{:5} {:4}: thr_ovh {:5.2}%  lat_ovh {:5.2}%  (thr {:6.1} tps, lat {:6.1} ms)",
+                tee.kind.label(),
+                dtype.label(),
+                throughput_overhead_pct(bare_t.decode_tps, t.decode_tps),
+                (l.summary.mean / bare_l.summary.mean - 1.0) * 100.0,
+                t.decode_tps,
+                l.summary.mean * 1e3,
+            );
+        }
+    }
+
+    println!("\n== Fig 6: EMR1 dual socket, 1024/128, bf16 ==");
+    let t2 = CpuTarget::emr1_dual_socket();
+    let thr_req = RequestSpec::new(6, 1024, 128).with_beam(4);
+    let lat_req = RequestSpec::new(1, 1024, 128);
+    let bare_t = simulate_cpu(&m7, &thr_req, DType::Bf16, &t2, &CpuTeeConfig::bare_metal());
+    let bare_l = simulate_cpu(&m7, &lat_req, DType::Bf16, &t2, &CpuTeeConfig::bare_metal());
+    for tee in [
+        CpuTeeConfig::vm(),
+        CpuTeeConfig::vm_thp(),
+        CpuTeeConfig::tdx(),
+        CpuTeeConfig::sgx(),
+    ] {
+        let t = simulate_cpu(&m7, &thr_req, DType::Bf16, &t2, &tee);
+        let l = simulate_cpu(&m7, &lat_req, DType::Bf16, &t2, &tee);
+        let name = match (&tee.kind, tee.hugepage_policy) {
+            (cllm_tee::TeeKind::Vm, cllm_hw::HugePagePolicy::Transparent2M) => "VM TH",
+            (cllm_tee::TeeKind::Vm, _) => "VM FH",
+            (k, _) => k.label(),
+        };
+        println!(
+            "{name:5}: thr_ovh {:6.2}%  lat_ovh {:6.2}%",
+            throughput_overhead_pct(bare_t.decode_tps, t.decode_tps),
+            (l.summary.mean / bare_l.summary.mean - 1.0) * 100.0,
+        );
+    }
+
+    println!("\n== Fig 9: EMR2 batch sweep (thr 1 socket), 128/128 ==");
+    let e2 = CpuTarget::emr2_single_socket();
+    for dtype in [DType::Bf16, DType::Int8] {
+        print!("{:4}: ", dtype.label());
+        for batch in [1u64, 4, 16, 64, 256, 512] {
+            let req = RequestSpec::new(batch, 128, 128);
+            let bare = simulate_cpu(&m7, &req, dtype, &e2, &CpuTeeConfig::bare_metal());
+            let tdx = simulate_cpu(&m7, &req, dtype, &e2, &CpuTeeConfig::tdx());
+            print!(
+                "b{batch}={:.1}%({:.0}tps) ",
+                throughput_overhead_pct(bare.decode_tps, tdx.decode_tps),
+                bare.decode_tps
+            );
+        }
+        println!();
+    }
+
+    println!("\n== Fig 10: EMR2 input sweep (b=64, out 128) bf16 ==");
+    for input in [32u64, 128, 512, 1024, 2048, 4096] {
+        let req = RequestSpec::new(64, input, 128);
+        let bare = simulate_cpu(&m7, &req, DType::Bf16, &e2, &CpuTeeConfig::bare_metal());
+        let tdx = simulate_cpu(&m7, &req, DType::Bf16, &e2, &CpuTeeConfig::tdx());
+        print!(
+            "in{input}={:.1}% ",
+            throughput_overhead_pct(bare.e2e_tps, tdx.e2e_tps)
+        );
+    }
+    println!();
+
+    println!("\n== Fig 8: AMX ablation EMR2, 128/128, thr 1 socket ==");
+    for dtype in [DType::Bf16, DType::Int8] {
+        for batch in [1u64, 16, 64] {
+            let req = RequestSpec::new(batch, 128, 128);
+            let amx = simulate_cpu(&m7, &req, dtype, &e2, &CpuTeeConfig::bare_metal());
+            let noamx = simulate_cpu(
+                &m7,
+                &req,
+                dtype,
+                &e2.clone().with_amx(false),
+                &CpuTeeConfig::bare_metal(),
+            );
+            let tdx_amx = simulate_cpu(&m7, &req, dtype, &e2, &CpuTeeConfig::tdx());
+            let tdx_noamx = simulate_cpu(
+                &m7,
+                &req,
+                dtype,
+                &e2.clone().with_amx(false),
+                &CpuTeeConfig::tdx(),
+            );
+            println!(
+                "{} b{batch}: amx_speedup {:.2}x | tdx_ovh amx {:.1}% noamx {:.1}%",
+                dtype.label(),
+                noamx.summary.mean / amx.summary.mean,
+                throughput_overhead_pct(amx.decode_tps, tdx_amx.decode_tps),
+                throughput_overhead_pct(noamx.decode_tps, tdx_noamx.decode_tps),
+            );
+        }
+    }
+
+    println!("\n== Fig 11: GPU batch/input sweep bf16 ==");
+    let gpu = cllm_hw::presets::h100_nvl();
+    for batch in [1u64, 8, 32, 128] {
+        for input in [128u64, 1024] {
+            let req = RequestSpec::new(batch, input, 128);
+            let raw = simulate_gpu(&m7, &req, DType::Bf16, &gpu, &GpuTeeConfig::native());
+            let cc = simulate_gpu(&m7, &req, DType::Bf16, &gpu, &GpuTeeConfig::confidential());
+            print!(
+                "b{batch}/in{input}={:.1}%({:.0}tps) ",
+                throughput_overhead_pct(raw.e2e_tps, cc.e2e_tps),
+                raw.e2e_tps
+            );
+        }
+    }
+    println!();
+
+    println!("\n== Fig 5: 70B dual socket bf16 (lat b=1) ==");
+    let m70 = zoo::llama2_70b();
+    let req = RequestSpec::new(1, 1024, 32);
+    let vm_b = simulate_cpu(&m70, &req, DType::Bf16, &t2, &CpuTeeConfig::vm());
+    let vm_nb = simulate_cpu(&m70, &req, DType::Bf16, &t2, &CpuTeeConfig::vm_unbound());
+    let tdx = simulate_cpu(&m70, &req, DType::Bf16, &t2, &CpuTeeConfig::tdx());
+    println!(
+        "VM B {:.0}ms | TDX {:.0}ms (+{:.1}% vs VM B) | VM NB {:.0}ms (+{:.1}%)",
+        vm_b.summary.mean * 1e3,
+        tdx.summary.mean * 1e3,
+        (tdx.summary.mean / vm_b.summary.mean - 1.0) * 100.0,
+        vm_nb.summary.mean * 1e3,
+        (vm_nb.summary.mean / vm_b.summary.mean - 1.0) * 100.0,
+    );
+
+    println!("\n== Fig 12 knee: EMR2 core sweep b=64 128/128 bf16 ==");
+    for cores in [4u32, 8, 16, 32, 48, 60] {
+        let req = RequestSpec::new(64, 128, 128);
+        let tgt = CpuTarget::emr2_single_socket().with_cores(cores);
+        let bare = simulate_cpu(&m7, &req, DType::Bf16, &tgt, &CpuTeeConfig::bare_metal());
+        let tdx = simulate_cpu(&m7, &req, DType::Bf16, &tgt, &CpuTeeConfig::tdx());
+        print!(
+            "c{cores}={:.0}tps({:.1}%) ",
+            bare.e2e_tps,
+            throughput_overhead_pct(bare.e2e_tps, tdx.e2e_tps)
+        );
+    }
+    println!();
+}

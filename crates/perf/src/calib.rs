@@ -1,0 +1,128 @@
+//! Calibration constants.
+//!
+//! Each constant is tied to a figure or insight of the paper; integration
+//! tests (`tests/paper_bands.rs` at the workspace root) assert that the
+//! simulator reproduces the published bands with these values. The physics
+//! (roofline structure, footprint arithmetic, per-mechanism costs) lives
+//! in the simulator; these constants set the magnitudes that depend on
+//! unpublished micro-details of the testbed.
+
+/// Fraction of DRAM page-walk latency *not* hidden by out-of-order
+/// execution and concurrent hardware walkers during streaming access.
+pub const WALK_EXPOSURE: f64 = 0.8;
+
+/// Per-step software tax of running on transparent 2 MiB hugepages instead
+/// of reserved 1 GiB pages: khugepaged scanning, promotion faults and
+/// compaction. Figure 6 measures the full VM-TH vs VM-FH gap at 3.19-5.20%;
+/// the page-walk model covers part of it and this constant the rest.
+pub const THP_MANAGEMENT_TAX: f64 = 0.012;
+
+/// Exposure of the MEE latency adder as a function of decode batch:
+/// `exposure = LAT_EXPOSURE_BATCH0 / (LAT_EXPOSURE_BATCH0 + batch)`.
+/// Small batches are memory-latency-bound (GEMV chains), so the AES
+/// pipeline latency shows; large batches stream and hide it. This drives
+/// the latency-vs-throughput overhead asymmetry of Figure 4.
+pub const LAT_EXPOSURE_BATCH0: f64 = 1.6;
+
+/// Fraction of the algorithmically-required tensor-parallel allreduce
+/// traffic that crosses sockets in a 2-socket oneCCL deployment.
+pub const ALLREDUCE_CROSS_FRACTION: f64 = 1.0;
+
+/// Number of allreduce operations per decoder layer in tensor-parallel
+/// inference (one after attention, one after the MLP).
+pub const ALLREDUCES_PER_LAYER: f64 = 2.0;
+
+/// Per-core efficiency of IPEX AMX GEMM kernels relative to peak tile
+/// throughput (sustained / theoretical; includes tile load/store and
+/// re-layout overheads).
+pub const IPEX_AMX_EFFICIENCY: f64 = 0.42;
+
+/// Relative compute efficiency of IPEX's int8 path *without* AMX: no AVX
+/// implementation exists (Section IV-C), so execution falls back to a
+/// slow reference kernel. Calibrated to reproduce "up to 96% of overhead
+/// in throughput and 1700% in latency for int8".
+pub const IPEX_INT8_NO_AMX_EFFICIENCY: f64 = 0.17;
+
+/// Extra activation-traffic factor of AVX-512 (non-AMX) kernels: without
+/// tile registers, blocked GEMMs spill more intermediate data, raising
+/// NUMA/memory traffic. Explains why AMX *reduces* TDX overheads
+/// (Section IV-C: "lower NUMA traffic caused by AMX").
+pub const NO_AMX_ACT_TRAFFIC: f64 = 1.7;
+
+/// Relative AMX/GEMM efficiency of CPU attention kernels compared to
+/// plain linear layers: flash-style tiled attention interleaves softmax,
+/// masking and small reductions with the matmuls, so the tile units stay
+/// partially idle. This is what makes long-context prefill so expensive
+/// on CPUs relative to GPUs (Figure 13's cost crossover).
+pub const ATTN_GEMM_EFFICIENCY: f64 = 0.45;
+
+/// Per-decode-step software overhead of the serving stack (Python,
+/// scheduler, sampling) in microseconds, for the IPEX path.
+pub const FRAMEWORK_STEP_US: f64 = 900.0;
+
+/// Effective GPU kernel launches per decode step under vLLM with CUDA
+/// graphs (fused; far fewer than raw layer count).
+pub const GPU_LAUNCHES_PER_STEP: f64 = 64.0;
+
+/// GPU tensor-core sustained efficiency under vLLM.
+pub const GPU_EFFICIENCY: f64 = 0.55;
+
+/// Host<->device bytes exchanged per decode step per sequence (token ids
+/// down, sampled token + metadata up).
+pub const GPU_STEP_HOST_BYTES_PER_SEQ: f64 = 512.0;
+
+/// Host<->device transfers per decode step (one down, one up).
+pub const GPU_STEP_TRANSFERS: f64 = 2.0;
+
+/// Per-decode-step software overhead of the GPU serving stack (vLLM
+/// scheduler, sampling, Python) in microseconds. This is why measured
+/// H100 decode rates sit well below the HBM roofline at batch 1.
+pub const GPU_STEP_SOFTWARE_US: f64 = 2200.0;
+
+/// Proportional slowdown of GPU execution under confidential compute:
+/// protected DMA descriptors, doorbells and synchronization on every
+/// kernel. This is the floor the paper's cGPU overhead approaches at
+/// large batch/input sizes (~4.4%, Figure 11).
+pub const GPU_CC_PROPORTIONAL: f64 = 0.045;
+
+/// Fraction of local DRAM bandwidth that remote (cross-socket) accesses
+/// can sustain through UPI per direction, before the crypto derate.
+pub const REMOTE_ACCESS_BW_FRACTION: f64 = 0.55;
+
+/// Latency-exposure multiplier for small vector ops (layer norms, RoPE):
+/// element-wise passes over short vectors are dependent-access chains
+/// that cannot hide the MEE pipeline latency, which is why Figure 7 finds
+/// the *largest relative* TDX overheads in the input/post-attention
+/// norms (while they remain ~3% of block time).
+pub const SMALL_OP_LAT_EXPOSURE: f64 = 4.0;
+
+/// Per-invocation dispatch cost of a small vector op in microseconds:
+/// OpenMP fork/barrier for the norm/RoPE kernels. This is why the two
+/// layer norms account for ~3% of block time in Figure 7 despite moving
+/// almost no data.
+pub const VECTOR_OP_DISPATCH_US: f64 = 9.0;
+
+/// Extra fraction a TDX guest pays on thread-barrier dispatch (IPIs and
+/// timer interrupts take vmexit round trips through the TDX module).
+pub const TDX_BARRIER_PENALTY: f64 = 0.45;
+
+/// Extra fraction Gramine-SGX pays on thread-barrier dispatch (futex
+/// paths that exit the enclave).
+pub const SGX_BARRIER_PENALTY: f64 = 0.30;
+
+/// Seed namespace for the deterministic noise model.
+pub const NOISE_SEED: u64 = 0x00C1_1A0F_EE5E_ED00;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn constants_in_sane_ranges() {
+        assert!((0.0..=1.0).contains(&super::WALK_EXPOSURE));
+        assert!((0.0..0.1).contains(&super::THP_MANAGEMENT_TAX));
+        assert!(super::IPEX_AMX_EFFICIENCY > super::IPEX_INT8_NO_AMX_EFFICIENCY * 2.0);
+        assert!(super::NO_AMX_ACT_TRAFFIC >= 1.0);
+        assert!((0.0..=1.0).contains(&super::GPU_EFFICIENCY));
+        assert!((0.0..=1.0).contains(&super::REMOTE_ACCESS_BW_FRACTION));
+    }
+}

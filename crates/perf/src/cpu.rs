@@ -1,0 +1,432 @@
+//! CPU inference simulation.
+
+use crate::memsys::MemSystem;
+use crate::{calib, stats, CpuTarget};
+use cllm_hw::{DType, Isa};
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::ops::BlockOp;
+use cllm_workload::phase::{RequestSpec, StepWorkload};
+use cllm_workload::{kv, ModelConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Per-operator time of one decoder layer at the median decode step
+/// (noise-free) — the data behind Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpTrace {
+    /// The operator.
+    pub op: BlockOp,
+    /// Time per layer in seconds.
+    pub time_s: f64,
+}
+
+/// Result of simulating one request on a CPU platform.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Prefill (first-token) time in seconds.
+    pub prefill_s: f64,
+    /// Raw per-generated-token latencies (with deterministic noise and
+    /// outliers; filter with [`stats::z_filter`] as the paper does).
+    pub token_latencies_s: Vec<f64>,
+    /// Z>3-filtered summary of token latencies.
+    pub summary: stats::Summary,
+    /// Per-operator trace of one decoder layer at the median decode step.
+    pub decode_trace: Vec<OpTrace>,
+    /// Steady-state decode throughput in user-visible tokens/second
+    /// (batch streams x 1 token per step / step time).
+    pub decode_tps: f64,
+    /// End-to-end throughput including the prefill (Figure 12/13's
+    /// "generation throughput includes the first token latency").
+    pub e2e_tps: f64,
+}
+
+impl SimResult {
+    /// Mean next-token latency after Z>3 filtering (the paper's latency
+    /// metric).
+    #[must_use]
+    pub fn mean_token_latency_s(&self) -> f64 {
+        self.summary.mean
+    }
+}
+
+/// Pricing engine shared by prefill and decode.
+struct Engine<'a> {
+    target: &'a CpuTarget,
+    tee: &'a CpuTeeConfig,
+    memsys: MemSystem,
+    /// Peak GEMM FLOP/s after framework efficiency and dtype tax.
+    gemm_flops: f64,
+    /// Peak vector FLOP/s for non-GEMM ops.
+    vector_flops: f64,
+    act_factor: f64,
+    weight_factor: f64,
+    virt_tax: f64,
+    /// Streaming working set (weights + KV + activations), bytes.
+    footprint: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        model: &ModelConfig,
+        req: &RequestSpec,
+        dtype: DType,
+        target: &'a CpuTarget,
+        tee: &'a CpuTeeConfig,
+    ) -> Self {
+        let fw = target.framework;
+        let isa = fw.effective_isa(target.hw_isa(), dtype);
+        let eff = fw.compute_efficiency(isa, dtype);
+        let cores = target.total_cores();
+        let gemm_flops =
+            target.cpu.peak_flops(isa, dtype, cores) * eff / dtype.compute_tax();
+        let vector_isa = match target.hw_isa() {
+            Isa::Amx | Isa::Avx512 => Isa::Avx512,
+            other => other,
+        };
+        // Vector (norm/rope/softmax) ops run in f32 regardless of dtype.
+        let vector_flops = target.cpu.peak_flops(vector_isa, DType::F32, cores) * 0.5;
+
+        let footprint = kv::working_set_bytes(model, req.decode_batch(), req.median_context(), dtype)
+            * fw.weight_bytes_factor(dtype);
+        let memsys = MemSystem::build(target, tee, footprint);
+        let virt_tax = tee.virt.map_or(0.0, |v| v.cpu_tax);
+
+        Engine {
+            target,
+            tee,
+            memsys,
+            gemm_flops,
+            vector_flops,
+            act_factor: fw.act_traffic_factor(isa),
+            weight_factor: fw.weight_bytes_factor(dtype),
+            virt_tax,
+            footprint,
+        }
+    }
+
+    /// Roofline time of one operator (one layer), in seconds.
+    fn op_time(&self, op: BlockOp, cost: &cllm_workload::ops::OpCost, exposure_batch: u64) -> f64 {
+        let peak = if matches!(op, BlockOp::AttnScores | BlockOp::AttnContext) {
+            // Fused attention keeps tile units partially idle.
+            self.gemm_flops * calib::ATTN_GEMM_EFFICIENCY
+        } else if op.is_gemm() {
+            self.gemm_flops
+        } else {
+            self.vector_flops
+        };
+        let t_compute = cost.flops / peak;
+        let bytes = cost.weight_bytes * self.weight_factor
+            + cost.act_bytes * self.act_factor
+            + cost.kv_read_bytes
+            + cost.kv_write_bytes;
+        // Small vector ops (norms, RoPE) expose the MEE latency far more
+        // than streaming GEMMs (Figure 7).
+        let exposure_mult = if op.is_gemm() {
+            1.0
+        } else {
+            calib::SMALL_OP_LAT_EXPOSURE
+        };
+        let t_memory = self
+            .memsys
+            .memory_time_exposed(bytes, exposure_batch, exposure_mult);
+        let mut t = t_compute.max(t_memory);
+        if !op.is_gemm() {
+            // OpenMP fork/barrier per small kernel; TEEs pay extra on the
+            // IPI/futex paths (Figure 7's norm-layer overheads and noise).
+            let barrier_penalty = if self.tee.virt.is_some() && self.tee.kind.is_confidential() {
+                calib::TDX_BARRIER_PENALTY
+            } else if self.tee.sgx.is_some() {
+                calib::SGX_BARRIER_PENALTY
+            } else {
+                0.0
+            };
+            t += calib::VECTOR_OP_DISPATCH_US * 1e-6 * (1.0 + barrier_penalty);
+        }
+        t
+    }
+
+    /// Time of a whole forward pass, excluding noise.
+    fn step_time(&self, step: &StepWorkload, exposure_batch: u64) -> f64 {
+        let mut per_layer = 0.0;
+        for (op, cost) in &step.per_op {
+            per_layer += self.op_time(*op, cost, exposure_batch);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let mut t = per_layer * step.layers as f64;
+        // Embedding gather + LM head.
+        t += self.op_time(BlockOp::OProj, &step.embedding, exposure_batch);
+        t += self.op_time(BlockOp::DownProj, &step.lm_head, exposure_batch);
+        // Cross-socket tensor-parallel allreduces (oneCCL).
+        t += self.comm_time(step);
+        // Fixed per-step costs.
+        t += self.fixed_step_cost();
+        // Virtualization tax applies to the whole critical path (vmexits,
+        // virtual timers/APIC stalls).
+        t * (1.0 + self.virt_tax)
+    }
+
+    fn comm_time(&self, step: &StepWorkload) -> f64 {
+        let sockets = self.target.topology.sockets;
+        if sockets <= 1 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let hidden_bytes = step
+            .per_op
+            .iter()
+            .find(|(op, _)| *op == BlockOp::OProj)
+            .map_or(0.0, |(_, c)| c.act_bytes / 3.0); // one activation slab
+        let comm_bytes = calib::ALLREDUCES_PER_LAYER
+            * step.layers as f64
+            * hidden_bytes
+            * self.act_factor
+            * calib::ALLREDUCE_CROSS_FRACTION;
+        let transfers = calib::ALLREDUCES_PER_LAYER * step.layers as f64;
+        let confidential = self.tee.kind.is_confidential();
+        self.target
+            .topology
+            .link
+            .transfer_time_s(comm_bytes, transfers, confidential)
+    }
+
+    fn fixed_step_cost(&self) -> f64 {
+        let mut t = self.target.framework.step_overhead_s();
+        if let Some(virt) = self.tee.virt {
+            t += virt.td_transition_us_per_token * 1e-6;
+        }
+        if let Some(sgx) = self.tee.sgx {
+            t += sgx.exits_per_token * sgx.exit_cost_us * 1e-6;
+            // EPC paging: if the working set exceeds the EPC, the excess is
+            // re-paged (encrypt + verify) every pass.
+            let excess = (self.footprint - sgx.epc_bytes).max(0.0);
+            t += excess * sgx.paging_ns_per_byte * 1e-9;
+        }
+        t
+    }
+}
+
+/// Deterministic multiplicative noise for one token.
+fn noise_factor(rng: &mut StdRng, tee: &CpuTeeConfig) -> f64 {
+    let Some(mee) = tee.mee else {
+        // Baselines still jitter a little (scheduling), but far less.
+        return lognormal(rng, 0.006);
+    };
+    let mut f = lognormal(rng, mee.noise_sigma);
+    if rng.random::<f64>() < mee.outlier_prob {
+        f *= mee.outlier_factor;
+    }
+    f
+}
+
+/// Log-normal multiplier with unit mean.
+fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
+    // Box-Muller.
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z - sigma * sigma / 2.0).exp()
+}
+
+fn seed_for(target: &CpuTarget, tee: &CpuTeeConfig, dtype: DType, req: &RequestSpec) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    tee.kind.hash(&mut h);
+    dtype.hash(&mut h);
+    req.hash(&mut h);
+    target.topology.sockets.hash(&mut h);
+    target.cores_per_socket.hash(&mut h);
+    target.amx_enabled.hash(&mut h);
+    target.framework.hash(&mut h);
+    calib::NOISE_SEED ^ h.finish()
+}
+
+/// Time of a single decode step for `batch` sequences at `context`
+/// tokens of history — the per-iteration cost a serving scheduler pays
+/// (noise-free; used by `cllm-serve`).
+#[must_use]
+pub fn decode_step_time_s(
+    model: &ModelConfig,
+    dtype: DType,
+    target: &CpuTarget,
+    tee: &CpuTeeConfig,
+    batch: u64,
+    context: u64,
+) -> f64 {
+    let req = RequestSpec::new(batch.max(1), context.max(1), 1);
+    let engine = Engine::new(model, &req, dtype, target, tee);
+    let step = req.decode_step(model, dtype, 0);
+    engine.step_time(&step, batch.max(1))
+}
+
+/// Time to prefill `prompt_tokens` for `batch` sequences (noise-free;
+/// used by `cllm-serve` for admission/prefill charging).
+#[must_use]
+pub fn prefill_time_s(
+    model: &ModelConfig,
+    dtype: DType,
+    target: &CpuTarget,
+    tee: &CpuTeeConfig,
+    batch: u64,
+    prompt_tokens: u64,
+) -> f64 {
+    let req = RequestSpec::new(batch.max(1), prompt_tokens.max(1), 1);
+    let engine = Engine::new(model, &req, dtype, target, tee);
+    let step = req.prefill_step(model, dtype);
+    engine.step_time(&step, batch.max(1) * prompt_tokens.max(1))
+}
+
+/// Simulate one request end to end on a CPU platform.
+///
+/// Returns per-token latencies (with the paper's noise/outlier model),
+/// filtered summaries, throughput and the per-operator decode trace.
+#[must_use]
+pub fn simulate_cpu(
+    model: &ModelConfig,
+    req: &RequestSpec,
+    dtype: DType,
+    target: &CpuTarget,
+    tee: &CpuTeeConfig,
+) -> SimResult {
+    let engine = Engine::new(model, req, dtype, target, tee);
+    let mut rng = StdRng::seed_from_u64(seed_for(target, tee, dtype, req));
+
+    // Prefill: all prompt tokens at once; exposure batch is huge (pure
+    // streaming), so pass the token count.
+    let prefill_step = req.prefill_step(model, dtype);
+    let prefill_s =
+        engine.step_time(&prefill_step, req.batch * req.input_tokens.max(1)) * noise_factor(&mut rng, tee);
+
+    // Decode: one pass per generated token.
+    let exposure_batch = req.decode_batch();
+    let mut token_latencies_s = Vec::with_capacity(req.output_tokens as usize);
+    let mut total_decode = 0.0;
+    for pos in 0..req.output_tokens {
+        let step = req.decode_step(model, dtype, pos);
+        let t = engine.step_time(&step, exposure_batch) * noise_factor(&mut rng, tee);
+        token_latencies_s.push(t);
+        total_decode += t;
+    }
+
+    // Per-op trace at the median decode step, noise-free.
+    let median = req.decode_step(model, dtype, req.output_tokens / 2);
+    let decode_trace = median
+        .per_op
+        .iter()
+        .map(|(op, cost)| OpTrace {
+            op: *op,
+            time_s: engine.op_time(*op, cost, exposure_batch),
+        })
+        .collect();
+
+    let summary = stats::summarize_filtered(&token_latencies_s);
+    #[allow(clippy::cast_precision_loss)]
+    let decode_tps = if summary.mean > 0.0 {
+        req.batch as f64 / summary.mean
+    } else {
+        0.0
+    };
+    #[allow(clippy::cast_precision_loss)]
+    let e2e_tps = (req.batch * req.output_tokens) as f64 / (prefill_s + total_decode);
+
+    SimResult {
+        prefill_s,
+        token_latencies_s,
+        summary,
+        decode_trace,
+        decode_tps,
+        e2e_tps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cllm_workload::zoo;
+
+    fn run(tee: &CpuTeeConfig, dtype: DType, batch: u64) -> SimResult {
+        let model = zoo::llama2_7b();
+        let req = RequestSpec::new(batch, 1024, 64);
+        let target = CpuTarget::emr1_single_socket();
+        simulate_cpu(&model, &req, dtype, &target, tee)
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(&CpuTeeConfig::tdx(), DType::Bf16, 1);
+        let b = run(&CpuTeeConfig::tdx(), DType::Bf16, 1);
+        assert_eq!(a.token_latencies_s, b.token_latencies_s);
+    }
+
+    #[test]
+    fn ordering_bare_vm_tdx() {
+        let bare = run(&CpuTeeConfig::bare_metal(), DType::Bf16, 6);
+        let vm = run(&CpuTeeConfig::vm(), DType::Bf16, 6);
+        let tdx = run(&CpuTeeConfig::tdx(), DType::Bf16, 6);
+        assert!(bare.summary.mean < vm.summary.mean);
+        assert!(vm.summary.mean < tdx.summary.mean);
+    }
+
+    #[test]
+    fn int8_roughly_halves_latency() {
+        let bf16 = run(&CpuTeeConfig::bare_metal(), DType::Bf16, 1);
+        let int8 = run(&CpuTeeConfig::bare_metal(), DType::Int8, 1);
+        let ratio = bf16.summary.mean / int8.summary.mean;
+        assert!((1.5..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn latency_below_reading_speed() {
+        // Section III-D: all systems stay under the 200 ms/word standard.
+        for tee in [CpuTeeConfig::bare_metal(), CpuTeeConfig::sgx(), CpuTeeConfig::tdx()] {
+            let r = run(&tee, DType::Bf16, 1);
+            assert!(r.summary.mean < 0.2, "{:?}: {}", tee.kind, r.summary.mean);
+        }
+    }
+
+    #[test]
+    fn throughput_grows_with_batch() {
+        let a = run(&CpuTeeConfig::bare_metal(), DType::Bf16, 1);
+        let b = run(&CpuTeeConfig::bare_metal(), DType::Bf16, 16);
+        assert!(b.decode_tps > 2.0 * a.decode_tps);
+    }
+
+    #[test]
+    fn trace_attention_and_silu_dominate() {
+        // Figure 7: self-attention and linear-SiLU are the biggest raw
+        // contributors per block.
+        let r = run(&CpuTeeConfig::tdx(), DType::Bf16, 4);
+        let total: f64 = r.decode_trace.iter().map(|t| t.time_s).sum();
+        let attn: f64 = r
+            .decode_trace
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t.op,
+                    BlockOp::AttnScores | BlockOp::AttnContext | BlockOp::QkvProj
+                )
+            })
+            .map(|t| t.time_s)
+            .sum();
+        let silu: f64 = r
+            .decode_trace
+            .iter()
+            .filter(|t| matches!(t.op, BlockOp::GateUpSilu))
+            .map(|t| t.time_s)
+            .sum();
+        assert!(attn + silu > 0.6 * total);
+    }
+
+    #[test]
+    fn norms_are_small_fraction_of_block_time() {
+        let r = run(&CpuTeeConfig::tdx(), DType::Bf16, 4);
+        let total: f64 = r.decode_trace.iter().map(|t| t.time_s).sum();
+        let norms: f64 = r
+            .decode_trace
+            .iter()
+            .filter(|t| matches!(t.op, BlockOp::InputNorm | BlockOp::PostAttnNorm))
+            .map(|t| t.time_s)
+            .sum();
+        assert!(norms / total < 0.1, "norm share {}", norms / total);
+    }
+}

@@ -1,0 +1,213 @@
+//! Inference-framework models.
+//!
+//! Figure 3 compares Hugging Face `transformers`, vLLM, Llama.cpp and
+//! Intel's IPEX on CPU; IPEX wins by ~2x thanks to AMX kernels and oneCCL
+//! (Insight 3). Frameworks differ in three modelled dimensions: sustained
+//! compute efficiency per ISA/dtype, extra activation traffic, and
+//! per-step software overhead.
+
+use crate::calib;
+use cllm_hw::{DType, Isa};
+use serde::{Deserialize, Serialize};
+
+/// A CPU inference framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Framework {
+    /// Hugging Face `transformers` (eager PyTorch).
+    HuggingFace,
+    /// vLLM's CPU backend (paged attention, AVX-512 kernels).
+    Vllm,
+    /// Llama.cpp with mixed-precision GGUF quantization.
+    LlamaCpp,
+    /// Intel Extension for PyTorch: AMX + oneDNN + oneCCL (the paper's
+    /// selected framework).
+    Ipex,
+}
+
+impl Framework {
+    /// All frameworks in Figure 3's comparison.
+    #[must_use]
+    pub fn all() -> [Framework; 4] {
+        [
+            Framework::HuggingFace,
+            Framework::Vllm,
+            Framework::LlamaCpp,
+            Framework::Ipex,
+        ]
+    }
+
+    /// Figure-legend label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Framework::HuggingFace => "HF",
+            Framework::Vllm => "vLLM",
+            Framework::LlamaCpp => "llama.cpp",
+            Framework::Ipex => "IPEX",
+        }
+    }
+
+    /// The ISA this framework's GEMM kernels actually use, given what the
+    /// hardware offers. Only IPEX engages AMX; the others ship AVX-512
+    /// kernels at best. IPEX int8 *requires* AMX — without it execution
+    /// falls to a reference path (Section IV-C).
+    #[must_use]
+    pub fn effective_isa(self, hw_best: Isa, dtype: DType) -> Isa {
+        match self {
+            Framework::Ipex => {
+                if hw_best == Isa::Amx && hw_best.has_native_tiles(dtype) {
+                    Isa::Amx
+                } else if dtype == DType::Int8 {
+                    // No AVX int8 path in IPEX.
+                    Isa::Scalar
+                } else {
+                    Isa::Avx512.min_with(hw_best)
+                }
+            }
+            Framework::Vllm | Framework::LlamaCpp | Framework::HuggingFace => {
+                Isa::Avx512.min_with(hw_best)
+            }
+        }
+    }
+
+    /// Sustained fraction of the ISA's peak the framework's kernels reach.
+    #[must_use]
+    pub fn compute_efficiency(self, isa: Isa, dtype: DType) -> f64 {
+        match self {
+            Framework::Ipex => match isa {
+                Isa::Amx => calib::IPEX_AMX_EFFICIENCY,
+                Isa::Scalar if dtype == DType::Int8 => calib::IPEX_INT8_NO_AMX_EFFICIENCY,
+                _ => 0.50,
+            },
+            Framework::Vllm => 0.42,
+            Framework::LlamaCpp => 0.38,
+            Framework::HuggingFace => 0.22,
+        }
+    }
+
+    /// Multiplier on activation traffic (kernel fusion quality; tile
+    /// registers avoid spills).
+    #[must_use]
+    pub fn act_traffic_factor(self, isa: Isa) -> f64 {
+        let base = match self {
+            Framework::Ipex => 1.0,
+            Framework::Vllm => 1.25,
+            Framework::LlamaCpp => 1.35,
+            Framework::HuggingFace => 2.2,
+        };
+        if isa == Isa::Amx {
+            base
+        } else {
+            base * calib::NO_AMX_ACT_TRAFFIC
+        }
+    }
+
+    /// Per-decode-step software overhead in seconds.
+    #[must_use]
+    pub fn step_overhead_s(self) -> f64 {
+        let us = match self {
+            Framework::Ipex => calib::FRAMEWORK_STEP_US,
+            Framework::Vllm => calib::FRAMEWORK_STEP_US * 1.2,
+            Framework::LlamaCpp => calib::FRAMEWORK_STEP_US * 0.5,
+            Framework::HuggingFace => calib::FRAMEWORK_STEP_US * 3.0,
+        };
+        us * 1e-6
+    }
+
+    /// Effective weight bytes factor: Llama.cpp's mixed quantization packs
+    /// weights to ~4.5 bits/param regardless of the nominal dtype.
+    #[must_use]
+    pub fn weight_bytes_factor(self, dtype: DType) -> f64 {
+        match self {
+            Framework::LlamaCpp => 0.56 / dtype.bytes() * 2.0, // ~4.5 bit
+            _ => 1.0,
+        }
+    }
+}
+
+/// Ordering helper on ISA capability.
+trait IsaExt {
+    fn min_with(self, other: Isa) -> Isa;
+}
+
+impl IsaExt for Isa {
+    fn min_with(self, other: Isa) -> Isa {
+        fn rank(i: Isa) -> u8 {
+            match i {
+                Isa::Scalar => 0,
+                Isa::Avx2 => 1,
+                Isa::Avx512 => 2,
+                Isa::Amx => 3,
+            }
+        }
+        if rank(self) <= rank(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_ipex_uses_amx() {
+        for fw in Framework::all() {
+            let isa = fw.effective_isa(Isa::Amx, DType::Bf16);
+            if fw == Framework::Ipex {
+                assert_eq!(isa, Isa::Amx);
+            } else {
+                assert_eq!(isa, Isa::Avx512);
+            }
+        }
+    }
+
+    #[test]
+    fn ipex_int8_without_amx_falls_to_scalar() {
+        // Section IV-C: "a lack of AVX implementation for int8 in IPEX".
+        assert_eq!(
+            Framework::Ipex.effective_isa(Isa::Avx512, DType::Int8),
+            Isa::Scalar
+        );
+        assert_eq!(
+            Framework::Ipex.effective_isa(Isa::Avx512, DType::Bf16),
+            Isa::Avx512
+        );
+    }
+
+    #[test]
+    fn ipex_is_most_efficient() {
+        let ipex = Framework::Ipex.compute_efficiency(Isa::Amx, DType::Bf16)
+            * Isa::Amx.flops_per_cycle(DType::Bf16);
+        for other in [Framework::Vllm, Framework::LlamaCpp, Framework::HuggingFace] {
+            let eff = other.compute_efficiency(Isa::Avx512, DType::Bf16)
+                * Isa::Avx512.flops_per_cycle(DType::Bf16);
+            assert!(ipex > 2.0 * eff, "{other:?}");
+        }
+    }
+
+    #[test]
+    fn hf_has_most_traffic_and_overhead() {
+        assert!(
+            Framework::HuggingFace.act_traffic_factor(Isa::Avx512)
+                > Framework::Vllm.act_traffic_factor(Isa::Avx512)
+        );
+        assert!(Framework::HuggingFace.step_overhead_s() > Framework::Ipex.step_overhead_s());
+    }
+
+    #[test]
+    fn llamacpp_quantization_shrinks_weights() {
+        assert!(Framework::LlamaCpp.weight_bytes_factor(DType::Bf16) < 1.0);
+        assert!((Framework::Ipex.weight_bytes_factor(DType::Bf16) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amx_reduces_act_traffic() {
+        assert!(
+            Framework::Ipex.act_traffic_factor(Isa::Amx)
+                < Framework::Ipex.act_traffic_factor(Isa::Avx512)
+        );
+    }
+}

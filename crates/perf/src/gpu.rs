@@ -1,0 +1,323 @@
+//! GPU inference simulation (H100 / cGPU).
+//!
+//! Section V: confidential H100s encrypt PCIe transfers via a bounce
+//! buffer and authenticate command buffers (extra kernel-launch latency);
+//! HBM itself is *not* encrypted, so there is no steady-state bandwidth
+//! derate — which is why cGPU overheads (7.5% → 4.4%) shrink as batch and
+//! input sizes grow (Insight 10).
+
+use crate::{calib, stats};
+use cllm_hw::{DType, GpuModel};
+use cllm_tee::platform::GpuTeeConfig;
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::ModelConfig;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Result of simulating one request on a GPU.
+#[derive(Debug, Clone)]
+pub struct GpuSimResult {
+    /// Prefill (first-token) time, seconds.
+    pub prefill_s: f64,
+    /// Per-token decode latencies, seconds.
+    pub token_latencies_s: Vec<f64>,
+    /// Z>3-filtered latency summary.
+    pub summary: stats::Summary,
+    /// Steady-state decode throughput, user-visible tokens/second.
+    pub decode_tps: f64,
+    /// End-to-end throughput including prefill.
+    pub e2e_tps: f64,
+}
+
+impl GpuSimResult {
+    /// Mean next-token latency after filtering.
+    #[must_use]
+    pub fn mean_token_latency_s(&self) -> f64 {
+        self.summary.mean
+    }
+}
+
+fn step_time(
+    model: &ModelConfig,
+    gpu: &GpuModel,
+    cfg: &GpuTeeConfig,
+    dtype: DType,
+    batch: u64,
+    new_tokens: u64,
+    past_tokens: u64,
+) -> f64 {
+    let step = cllm_workload::phase::step_cost(model, dtype, batch, new_tokens, past_tokens);
+    let peak = gpu.peak_flops(dtype) * calib::GPU_EFFICIENCY / dtype.compute_tax();
+    let t_compute = step.flops / peak;
+    let hbm_bw = if cfg.confidential {
+        gpu.hbm_bw_confidential()
+    } else {
+        gpu.hbm_bw_bytes_per_s
+    };
+    let t_memory = step.total_bytes() / hbm_bw;
+
+    // Kernel launches: authenticated command buffers add latency under CC.
+    let launches = calib::GPU_LAUNCHES_PER_STEP;
+    let t_launch = launches * gpu.launch_latency_s(cfg.confidential);
+
+    // Host<->device token traffic through the (possibly bounce-buffered)
+    // PCIe link.
+    #[allow(clippy::cast_precision_loss)]
+    let host_bytes = calib::GPU_STEP_HOST_BYTES_PER_SEQ * batch as f64 * new_tokens.max(1) as f64;
+    let t_pcie = gpu.host_link.transfer_time_s(
+        host_bytes,
+        calib::GPU_STEP_TRANSFERS,
+        cfg.confidential,
+    );
+
+    let mut core = t_compute.max(t_memory);
+    if cfg.confidential {
+        core *= 1.0 + calib::GPU_CC_PROPORTIONAL;
+    }
+    core + t_launch + t_pcie + calib::GPU_STEP_SOFTWARE_US * 1e-6
+}
+
+/// Simulate one request on a GPU platform.
+#[must_use]
+pub fn simulate_gpu(
+    model: &ModelConfig,
+    req: &RequestSpec,
+    dtype: DType,
+    gpu: &GpuModel,
+    cfg: &GpuTeeConfig,
+) -> GpuSimResult {
+    let mut rng = StdRng::seed_from_u64(
+        calib::NOISE_SEED
+            ^ (u64::from(cfg.confidential) << 1)
+            ^ (req.batch << 8)
+            ^ (req.input_tokens << 24),
+    );
+    // GPUs show far lower noise than CPU TEEs (no encrypted DRAM on the
+    // critical path) — Section V-C.
+    let sigma = if cfg.confidential { 0.004 } else { 0.003 };
+
+    let prefill_s = step_time(model, gpu, cfg, dtype, req.batch, req.input_tokens, 0)
+        * jitter(&mut rng, sigma);
+
+    let batch = req.decode_batch();
+    let mut token_latencies_s = Vec::with_capacity(req.output_tokens as usize);
+    let mut total = 0.0;
+    for pos in 0..req.output_tokens {
+        let t = step_time(model, gpu, cfg, dtype, batch, 1, req.input_tokens + pos)
+            * jitter(&mut rng, sigma);
+        token_latencies_s.push(t);
+        total += t;
+    }
+
+    let summary = stats::summarize_filtered(&token_latencies_s);
+    #[allow(clippy::cast_precision_loss)]
+    let decode_tps = req.batch as f64 / summary.mean;
+    #[allow(clippy::cast_precision_loss)]
+    let e2e_tps = (req.batch * req.output_tokens) as f64 / (prefill_s + total);
+
+    GpuSimResult {
+        prefill_s,
+        token_latencies_s,
+        summary,
+        decode_tps,
+        e2e_tps,
+    }
+}
+
+/// Whether a model's weights fit across `num_gpus` devices at `dtype`.
+#[must_use]
+pub fn fits_on_gpus(model: &ModelConfig, dtype: DType, gpu: &GpuModel, num_gpus: u32) -> bool {
+    model.weight_bytes(dtype) * 1.1 <= gpu.hbm_capacity_bytes * f64::from(num_gpus)
+}
+
+/// Simulate tensor-parallel inference across `num_gpus` devices.
+///
+/// Each device holds `1/num_gpus` of the weights and KV cache; every
+/// decoder layer performs two allreduces over the inter-GPU fabric.
+/// Under confidential compute the NVLink fabric is unprotected
+/// (Section V-D4), so secure traffic detours through the host at
+/// ~3 GB/s — the mechanism that makes confidential scale-out
+/// uneconomical for throughput-oriented batches.
+///
+/// # Panics
+///
+/// Panics if `num_gpus == 0` or the model does not fit.
+#[must_use]
+pub fn simulate_multi_gpu(
+    model: &ModelConfig,
+    req: &RequestSpec,
+    dtype: DType,
+    gpu: &GpuModel,
+    cfg: &GpuTeeConfig,
+    num_gpus: u32,
+) -> GpuSimResult {
+    assert!(num_gpus >= 1, "need at least one GPU");
+    assert!(
+        fits_on_gpus(model, dtype, gpu, num_gpus),
+        "{} does not fit on {num_gpus} x {}",
+        model.name,
+        gpu.name
+    );
+    let mut rng = StdRng::seed_from_u64(
+        calib::NOISE_SEED
+            ^ (u64::from(cfg.confidential) << 1)
+            ^ (u64::from(num_gpus) << 40)
+            ^ (req.batch << 8),
+    );
+    let sigma = 0.004;
+    let n = f64::from(num_gpus);
+    let fabric = cllm_hw::Interconnect::nvlink4_h100();
+
+    let shard_step = |batch: u64, new_tokens: u64, past: u64| -> f64 {
+        let step = cllm_workload::phase::step_cost(model, dtype, batch, new_tokens, past);
+        let peak = gpu.peak_flops(dtype) * calib::GPU_EFFICIENCY / dtype.compute_tax() * n;
+        let t_compute = step.flops / peak;
+        let hbm_bw = if cfg.confidential {
+            gpu.hbm_bw_confidential()
+        } else {
+            gpu.hbm_bw_bytes_per_s
+        } * n;
+        let t_memory = step.total_bytes() / hbm_bw;
+        let mut core = t_compute.max(t_memory);
+        if cfg.confidential {
+            core *= 1.0 + calib::GPU_CC_PROPORTIONAL;
+        }
+        // Two allreduces per layer over the fabric (host detour under CC).
+        #[allow(clippy::cast_precision_loss)]
+        let comm_bytes =
+            2.0 * model.layers as f64 * (batch * new_tokens * model.hidden) as f64 * dtype.act_bytes();
+        #[allow(clippy::cast_precision_loss)]
+        let transfers = 2.0 * model.layers as f64;
+        let t_comm = if num_gpus > 1 {
+            fabric.transfer_time_s(comm_bytes, transfers, cfg.confidential)
+        } else {
+            0.0
+        };
+        let t_launch = calib::GPU_LAUNCHES_PER_STEP * gpu.launch_latency_s(cfg.confidential);
+        core + t_comm + t_launch + calib::GPU_STEP_SOFTWARE_US * 1e-6
+    };
+
+    let prefill_s = shard_step(req.batch, req.input_tokens, 0) * jitter(&mut rng, sigma);
+    let batch = req.decode_batch();
+    let mut token_latencies_s = Vec::with_capacity(req.output_tokens as usize);
+    let mut total = 0.0;
+    for pos in 0..req.output_tokens {
+        let t = shard_step(batch, 1, req.input_tokens + pos) * jitter(&mut rng, sigma);
+        token_latencies_s.push(t);
+        total += t;
+    }
+    let summary = stats::summarize_filtered(&token_latencies_s);
+    #[allow(clippy::cast_precision_loss)]
+    let decode_tps = req.batch as f64 / summary.mean;
+    #[allow(clippy::cast_precision_loss)]
+    let e2e_tps = (req.batch * req.output_tokens) as f64 / (prefill_s + total);
+    GpuSimResult {
+        prefill_s,
+        token_latencies_s,
+        summary,
+        decode_tps,
+        e2e_tps,
+    }
+}
+
+fn jitter(rng: &mut StdRng, sigma: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z - sigma * sigma / 2.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cllm_hw::presets;
+    use cllm_workload::zoo;
+
+    fn run(confidential: bool, batch: u64, input: u64) -> GpuSimResult {
+        let cfg = if confidential {
+            GpuTeeConfig::confidential()
+        } else {
+            GpuTeeConfig::native()
+        };
+        simulate_gpu(
+            &zoo::llama2_7b(),
+            &RequestSpec::new(batch, input, 64),
+            DType::Bf16,
+            &presets::h100_nvl(),
+            &cfg,
+        )
+    }
+
+    #[test]
+    fn cc_costs_single_digit_percent() {
+        let raw = run(false, 16, 512);
+        let cc = run(true, 16, 512);
+        let overhead = cc.summary.mean / raw.summary.mean - 1.0;
+        assert!(
+            (0.01..0.15).contains(&overhead),
+            "cGPU overhead {overhead}"
+        );
+    }
+
+    #[test]
+    fn overhead_shrinks_with_batch() {
+        // Insight 10.
+        let small = run(true, 1, 128).summary.mean / run(false, 1, 128).summary.mean;
+        let large = run(true, 128, 128).summary.mean / run(false, 128, 128).summary.mean;
+        assert!(large < small, "batch 128 {large} !< batch 1 {small}");
+    }
+
+    #[test]
+    fn gpu_much_faster_than_cpu() {
+        let gpu = run(false, 1, 512);
+        // H100 decode of a 7B at bf16 should be a few ms/token.
+        assert!(gpu.summary.mean < 0.02, "token {}", gpu.summary.mean);
+    }
+
+    #[test]
+    fn throughput_scales_with_batch() {
+        let a = run(true, 1, 128);
+        let b = run(true, 64, 128);
+        assert!(b.decode_tps > 10.0 * a.decode_tps);
+    }
+
+    #[test]
+    fn native_multi_gpu_scales_cc_does_not() {
+        // Section V-D4: confidential instances route inter-GPU traffic
+        // through the host at ~3 GB/s.
+        let m70 = zoo::llama2_70b();
+        let req = RequestSpec::new(64, 128, 32);
+        let gpu = presets::h100_nvl();
+        let native2 =
+            simulate_multi_gpu(&m70, &req, DType::Bf16, &gpu, &GpuTeeConfig::native(), 2);
+        let cc2 =
+            simulate_multi_gpu(&m70, &req, DType::Bf16, &gpu, &GpuTeeConfig::confidential(), 2);
+        let penalty = native2.decode_tps / cc2.decode_tps;
+        assert!(
+            penalty > 1.5,
+            "CC scale-out should be crippled: only {penalty:.2}x slower"
+        );
+    }
+
+    #[test]
+    fn capacity_check_enforced() {
+        let m70 = zoo::llama2_70b();
+        let gpu = presets::h100_nvl();
+        assert!(!fits_on_gpus(&m70, DType::Bf16, &gpu, 1));
+        assert!(fits_on_gpus(&m70, DType::Bf16, &gpu, 2));
+        assert!(fits_on_gpus(&zoo::llama2_7b(), DType::Bf16, &gpu, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_model_panics() {
+        let _ = simulate_multi_gpu(
+            &zoo::llama2_70b(),
+            &RequestSpec::new(1, 32, 4),
+            DType::Bf16,
+            &presets::h100_nvl(),
+            &GpuTeeConfig::native(),
+            1,
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Roofline performance simulator for LLM inference under CPU and GPU TEEs.
+//!
+//! This crate is the measurement instrument of the reproduction: it
+//! executes the `cllm-workload` operator graph on a `cllm-hw` hardware
+//! model under a `cllm-tee` platform configuration and produces per-token
+//! latencies, throughput and per-operator traces — the quantities every
+//! figure of the paper plots.
+//!
+//! # Model
+//!
+//! Per operator the simulator evaluates a roofline with TEE terms:
+//!
+//! ```text
+//! t_compute = flops * dtype_tax / (peak(isa, dtype, cores) * framework_eff) * (1 + virt_tax)
+//! t_memory  = local_bytes / eff_bw  ⊔  remote_bytes / upi_bw   (overlapped channels)
+//! eff_bw    = dram_bw(cores) * mee_derate / (1 + latency_exposure)
+//!             minus page-walk cost per byte (2D walks under virtualization)
+//! t_op      = max(t_compute, t_memory)
+//! t_token   = Σ_ops t_op * layers + fixed (TD transitions, enclave exits,
+//!             framework per-step overhead)
+//! ```
+//!
+//! Every mechanism the paper identifies is its own model component:
+//! memory-encryption bandwidth/latency (Insight 4), virtualization tax
+//! (Insight 5), broken NUMA bindings and SNC (Insight 6), transparent-
+//! hugepage fallback (Insight 7), AMX compute and traffic effects
+//! (Insight 8), compute-boundedness (Insight 9), and GPU bounce-buffer /
+//! kernel-launch costs (Insight 10).
+//!
+//! # Example
+//!
+//! ```
+//! use cllm_perf::{simulate_cpu, CpuTarget};
+//! use cllm_tee::CpuTeeConfig;
+//! use cllm_workload::{zoo, phase::RequestSpec};
+//! use cllm_hw::DType;
+//!
+//! let model = zoo::llama2_7b();
+//! let req = RequestSpec::new(1, 1024, 128);
+//! let target = CpuTarget::emr1_single_socket();
+//!
+//! let bare = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::bare_metal());
+//! let tdx = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx());
+//! let overhead = tdx.mean_token_latency_s() / bare.mean_token_latency_s() - 1.0;
+//! assert!(overhead > 0.0 && overhead < 0.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+mod cpu;
+mod framework;
+mod gpu;
+mod memsys;
+pub mod stats;
+mod target;
+
+pub use cpu::{decode_step_time_s, prefill_time_s, simulate_cpu, OpTrace, SimResult};
+pub use framework::Framework;
+pub use gpu::{fits_on_gpus, simulate_gpu, simulate_multi_gpu, GpuSimResult};
+pub use memsys::MemSystem;
+pub use target::CpuTarget;
+
+/// Relative overhead of `observed` versus `baseline` in percent:
+/// positive means `observed` is slower / worse.
+#[must_use]
+pub fn overhead_pct(baseline: f64, observed: f64) -> f64 {
+    (observed / baseline - 1.0) * 100.0
+}
+
+/// Relative throughput overhead in percent (throughput is
+/// higher-is-better, so the ratio flips).
+#[must_use]
+pub fn throughput_overhead_pct(baseline_tps: f64, observed_tps: f64) -> f64 {
+    (baseline_tps / observed_tps - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_signs() {
+        assert!((overhead_pct(100.0, 110.0) - 10.0).abs() < 1e-9);
+        assert!(overhead_pct(100.0, 90.0) < 0.0);
+        assert!((throughput_overhead_pct(110.0, 100.0) - 10.0).abs() < 1e-9);
+        assert!(throughput_overhead_pct(100.0, 110.0) < 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Effective memory-system model: bandwidth under encryption, page-walk
+//! costs, NUMA placement and hugepage policies.
+
+use crate::calib;
+use crate::CpuTarget;
+use cllm_hw::PageSize;
+use cllm_tee::CpuTeeConfig;
+
+/// The resolved memory system for one (target, TEE, footprint) triple.
+///
+/// Built once per simulation; [`MemSystem::memory_time`] then prices the
+/// byte traffic of each operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemSystem {
+    /// Aggregate local DRAM bandwidth across the sockets in use, bytes/s
+    /// (already derated by the MEE).
+    pub local_bw: f64,
+    /// Sustainable cross-socket bandwidth for remote accesses, bytes/s
+    /// (already derated by UPI inline crypto when confidential).
+    pub remote_bw: f64,
+    /// Fraction of accesses landing on a remote NUMA domain.
+    pub remote_fraction: f64,
+    /// Address-translation cost per byte streamed, seconds.
+    pub translation_s_per_byte: f64,
+    /// MEE latency adder relative to DRAM latency (0 when no MEE).
+    pub latency_factor: f64,
+    /// Multiplicative tax of transparent-hugepage management.
+    pub thp_tax: f64,
+    /// SGX multi-socket pathology: all memory on one node.
+    pub single_node_alloc: bool,
+    /// Per-socket (not aggregate) local bandwidth, for the single-node
+    /// bottleneck path.
+    per_socket_bw: f64,
+    /// Extra exposure of memory latency on non-AMX kernel paths (more
+    /// dependent loads without tile registers).
+    pub latency_exposure_mult: f64,
+    /// The page size translation actually uses.
+    pub effective_page: PageSize,
+}
+
+impl MemSystem {
+    /// Resolve the memory system for a simulation.
+    ///
+    /// `footprint_bytes` is the streaming working set (weights + KV +
+    /// activations) that determines TLB pressure.
+    #[must_use]
+    pub fn build(target: &CpuTarget, tee: &CpuTeeConfig, footprint_bytes: f64) -> Self {
+        let cpu = &target.cpu;
+        let sockets = target.topology.sockets;
+        let confidential = tee.kind.is_confidential();
+
+        let mee_derate = tee.mee.map_or(1.0, |m| m.bandwidth_derate);
+        let latency_factor = tee
+            .mee
+            .map_or(0.0, |m| m.latency_adder_ns / cpu.dram_latency_ns);
+
+        let per_socket_bw = cpu.dram_bw_for_cores(target.cores_per_socket) * mee_derate;
+        let local_bw = per_socket_bw * f64::from(sockets);
+
+        // Remote path: UPI per-direction bandwidth across the link pair,
+        // capped by what a socket's controllers can serve remotely.
+        let link_bw = target.topology.link.effective_bandwidth(confidential);
+        let remote_bw = (2.0 * link_bw).min(per_socket_bw) * calib::REMOTE_ACCESS_BW_FRACTION;
+
+        let binding = tee.effective_binding();
+        let single_node_alloc =
+            tee.sgx.is_some_and(|s| !s.numa_aware) && sockets > 1;
+        let remote_fraction = if single_node_alloc {
+            // Threads on the far socket see 100% remote; half the threads.
+            0.5
+        } else {
+            target.topology.remote_fraction(binding, confidential)
+        };
+
+        let effective_page = tee.effective_page();
+        // Page-walker caches thrash once the footprint dwarfs TLB reach
+        // (Figure 10's right-hand overhead rise): walk latency grows
+        // logarithmically with the over-subscription.
+        let reach = cpu.tlb.reach_bytes(effective_page);
+        let thrash = if footprint_bytes > 16.0 * reach {
+            1.0 + 0.4 * (footprint_bytes / (16.0 * reach)).log2()
+        } else {
+            1.0
+        };
+        let translation_s_per_byte = cpu.tlb.translation_ns_per_byte(
+            effective_page,
+            footprint_bytes,
+            tee.virtualized_walks(),
+            1.0 - calib::WALK_EXPOSURE,
+        ) * 1e-9
+            * thrash;
+
+        // Broken sub-NUMA placement (Insight 6): when SNC is enabled and a
+        // TEE cannot place memory within sub-domains, traffic criss-crosses
+        // the mesh and each sub-domain's controllers serve foreign rows,
+        // costing a large slice of effective bandwidth (the paper measured
+        // ~5% -> ~42% overhead with SNC on).
+        let snc_broken = confidential
+            && target.topology.snc != cllm_hw::SubNumaClustering::Off;
+        let local_bw = if snc_broken { local_bw * 0.72 } else { local_bw };
+
+        let latency_exposure_mult = if target.amx_enabled { 1.0 } else { 1.5 };
+
+        let thp_tax = if effective_page == PageSize::Huge2M {
+            calib::THP_MANAGEMENT_TAX
+        } else if effective_page == PageSize::Base4K {
+            calib::THP_MANAGEMENT_TAX * 2.0
+        } else {
+            0.0
+        };
+
+        MemSystem {
+            local_bw,
+            remote_bw,
+            remote_fraction,
+            translation_s_per_byte,
+            latency_factor,
+            thp_tax,
+            single_node_alloc,
+            per_socket_bw,
+            latency_exposure_mult,
+            effective_page,
+        }
+    }
+
+    /// Latency exposure of the MEE adder at a given decode batch: GEMV
+    /// chains at batch 1 are latency-bound; large batches stream.
+    #[must_use]
+    pub fn latency_exposure(batch: u64) -> f64 {
+        calib::LAT_EXPOSURE_BATCH0 / (calib::LAT_EXPOSURE_BATCH0 + batch as f64)
+    }
+
+    /// Time in seconds to move `bytes` through the memory system at decode
+    /// batch `batch`.
+    #[must_use]
+    pub fn memory_time(&self, bytes: f64, batch: u64) -> f64 {
+        self.memory_time_exposed(bytes, batch, 1.0)
+    }
+
+    /// [`MemSystem::memory_time`] with an extra latency-exposure
+    /// multiplier for op classes that cannot hide access latency (small
+    /// vector ops like layer norms — Figure 7's per-layer overheads).
+    #[must_use]
+    pub fn memory_time_exposed(&self, bytes: f64, batch: u64, exposure_mult: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        let lat_penalty = 1.0
+            + self.latency_factor
+                * Self::latency_exposure(batch)
+                * self.latency_exposure_mult
+                * exposure_mult;
+        let t = if self.single_node_alloc {
+            // Every byte is served by one socket's controllers, and the far
+            // socket's half additionally crosses UPI with partial overlap.
+            bytes / self.per_socket_bw
+                + 0.5 * bytes * self.remote_fraction / self.remote_bw
+        } else {
+            // Remote accesses serialize behind the narrower UPI path while
+            // local traffic proceeds; the blend is a weighted harmonic sum.
+            bytes * (1.0 - self.remote_fraction) / self.local_bw
+                + bytes * self.remote_fraction / self.remote_bw
+        };
+        (t * lat_penalty + bytes * self.translation_s_per_byte) * (1.0 + self.thp_tax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cllm_hw::GIB;
+
+    fn footprint() -> f64 {
+        14.0 * GIB
+    }
+
+    #[test]
+    fn tdx_slower_than_vm_slower_than_bare() {
+        let target = CpuTarget::emr1_single_socket();
+        let bare = MemSystem::build(&target, &CpuTeeConfig::bare_metal(), footprint());
+        let vm = MemSystem::build(&target, &CpuTeeConfig::vm(), footprint());
+        let tdx = MemSystem::build(&target, &CpuTeeConfig::tdx(), footprint());
+        let bytes = 13.0 * GIB;
+        let (tb, tv, tt) = (
+            bare.memory_time(bytes, 6),
+            vm.memory_time(bytes, 6),
+            tdx.memory_time(bytes, 6),
+        );
+        // The raw-VM memory path only differs from bare metal through
+        // page-walk/translation effects (its CPU tax is charged by the
+        // simulator, not here); TDX additionally pays the MEE.
+        assert!(tb <= tv, "bare {tb} !<= vm {tv}");
+        assert!(tv < tt, "vm {tv} !< tdx {tt}");
+    }
+
+    #[test]
+    fn latency_exposure_shrinks_with_batch() {
+        assert!(MemSystem::latency_exposure(1) > MemSystem::latency_exposure(8));
+        assert!(MemSystem::latency_exposure(8) > MemSystem::latency_exposure(512));
+        assert!(MemSystem::latency_exposure(512) < 0.01);
+    }
+
+    #[test]
+    fn sgx_dual_socket_collapses() {
+        // Insight 6: SGX presents a single NUMA node; two-socket runs pay
+        // dearly (paper: up to 230% overhead).
+        let t2 = CpuTarget::emr1_dual_socket();
+        let bare = MemSystem::build(&t2, &CpuTeeConfig::bare_metal(), footprint());
+        let sgx = MemSystem::build(&t2, &CpuTeeConfig::sgx(), footprint());
+        assert!(sgx.single_node_alloc);
+        let bytes = 13.0 * GIB;
+        let ratio = sgx.memory_time(bytes, 6) / bare.memory_time(bytes, 6);
+        assert!(ratio > 2.0, "SGX dual socket ratio only {ratio}");
+    }
+
+    #[test]
+    fn single_socket_has_no_remote_traffic() {
+        let t = CpuTarget::emr1_single_socket();
+        let tdx = MemSystem::build(&t, &CpuTeeConfig::tdx(), footprint());
+        assert_eq!(tdx.remote_fraction, 0.0);
+    }
+
+    #[test]
+    fn tdx_dual_socket_has_remote_traffic_vm_does_not() {
+        let t2 = CpuTarget::emr1_dual_socket();
+        let vm = MemSystem::build(&t2, &CpuTeeConfig::vm(), footprint());
+        let tdx = MemSystem::build(&t2, &CpuTeeConfig::tdx(), footprint());
+        assert_eq!(vm.remote_fraction, 0.0);
+        assert!(tdx.remote_fraction > 0.02);
+    }
+
+    #[test]
+    fn unbound_vm_worse_than_tdx_worse_than_bound_vm() {
+        // Figure 5's ordering for the 70B two-socket case.
+        let t2 = CpuTarget::emr1_dual_socket();
+        let bytes = 100.0 * GIB;
+        let fp = 140.0 * GIB;
+        let vm_b = MemSystem::build(&t2, &CpuTeeConfig::vm(), fp).memory_time(bytes, 1);
+        let tdx = MemSystem::build(&t2, &CpuTeeConfig::tdx(), fp).memory_time(bytes, 1);
+        let vm_nb = MemSystem::build(&t2, &CpuTeeConfig::vm_unbound(), fp).memory_time(bytes, 1);
+        assert!(vm_b < tdx);
+        assert!(tdx < vm_nb);
+    }
+
+    #[test]
+    fn translation_cost_rises_with_footprint() {
+        let t = CpuTarget::emr2_single_socket();
+        let small = MemSystem::build(&t, &CpuTeeConfig::tdx(), 3.0 * GIB);
+        let large = MemSystem::build(&t, &CpuTeeConfig::tdx(), 80.0 * GIB);
+        assert!(large.translation_s_per_byte > small.translation_s_per_byte);
+    }
+
+    #[test]
+    fn memory_time_monotone_in_bytes() {
+        let t = CpuTarget::emr2_single_socket();
+        let ms = MemSystem::build(&t, &CpuTeeConfig::tdx(), footprint());
+        assert!(ms.memory_time(2.0 * GIB, 4) > ms.memory_time(1.0 * GIB, 4));
+        assert_eq!(ms.memory_time(0.0, 4), 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Statistics helpers: summaries, Z-score outlier filtering.
+//!
+//! The paper excludes per-token outliers with a Z-score > 3 (~0.64% of
+//! samples) caused by memory-encryption variability before plotting the
+//! violins of Figure 4.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Sample count after filtering.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub median: f64,
+    /// Standard deviation (population).
+    pub std: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Compute mean and population standard deviation.
+#[must_use]
+pub fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Percentile by linear interpolation on the sorted sample (`q` in 0..=1).
+#[must_use]
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Remove samples with |Z| > `z_max` (the paper uses 3.0).
+#[must_use]
+pub fn z_filter(samples: &[f64], z_max: f64) -> Vec<f64> {
+    let (mean, std) = mean_std(samples);
+    if !std.is_finite() || std == 0.0 {
+        return samples.to_vec();
+    }
+    samples
+        .iter()
+        .copied()
+        .filter(|x| ((x - mean) / std).abs() <= z_max)
+        .collect()
+}
+
+/// Summarize after Z>3 filtering, as the paper does.
+#[must_use]
+pub fn summarize_filtered(samples: &[f64]) -> Summary {
+    let kept = z_filter(samples, 3.0);
+    summarize(&kept)
+}
+
+/// Summarize a sample without filtering.
+#[must_use]
+pub fn summarize(samples: &[f64]) -> Summary {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let (mean, std) = mean_std(&sorted);
+    Summary {
+        n: sorted.len(),
+        mean,
+        median: percentile(&sorted, 0.5),
+        std,
+        p5: percentile(&sorted, 0.05),
+        p95: percentile(&sorted, 0.95),
+        min: sorted.first().copied().unwrap_or(f64::NAN),
+        max: sorted.last().copied().unwrap_or(f64::NAN),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 4.0);
+        assert!((percentile(&s, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_filter_drops_outliers() {
+        let mut samples = vec![10.0; 200];
+        samples.push(1000.0);
+        let kept = z_filter(&samples, 3.0);
+        assert_eq!(kept.len(), 200);
+        assert!(kept.iter().all(|&x| x == 10.0));
+    }
+
+    #[test]
+    fn z_filter_keeps_uniform_sample() {
+        let samples = vec![5.0; 50];
+        assert_eq!(z_filter(&samples, 3.0).len(), 50);
+    }
+
+    #[test]
+    fn summary_orders_percentiles() {
+        let samples: Vec<f64> = (1..=1000).map(f64::from).collect();
+        let s = summarize(&samples);
+        assert!(s.min <= s.p5 && s.p5 <= s.median);
+        assert!(s.median <= s.p95 && s.p95 <= s.max);
+        assert_eq!(s.n, 1000);
+    }
+
+    #[test]
+    fn empty_sample_is_nan() {
+        let s = summarize(&[]);
+        assert!(s.mean.is_nan());
+        assert_eq!(s.n, 0);
+    }
+}

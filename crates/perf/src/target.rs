@@ -1,0 +1,132 @@
+//! Execution targets: which CPU, how many sockets/cores, which ISA.
+
+use crate::Framework;
+use cllm_hw::{CpuModel, Isa, NumaTopology};
+use serde::{Deserialize, Serialize};
+
+/// A concrete CPU deployment target for a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuTarget {
+    /// The CPU model (per socket).
+    pub cpu: CpuModel,
+    /// Socket topology and interconnect.
+    pub topology: NumaTopology,
+    /// Cores used per socket (the paper sweeps this in Figure 12).
+    pub cores_per_socket: u32,
+    /// Whether AMX is enabled (Figure 8 disables it).
+    pub amx_enabled: bool,
+    /// Inference framework.
+    pub framework: Framework,
+}
+
+impl CpuTarget {
+    /// EMR1, one socket, all cores, AMX, IPEX — the Figure 3/4 setup.
+    #[must_use]
+    pub fn emr1_single_socket() -> Self {
+        let cpu = cllm_hw::presets::emr1();
+        CpuTarget {
+            cores_per_socket: cpu.cores_per_socket,
+            cpu,
+            topology: NumaTopology::single_socket(),
+            amx_enabled: true,
+            framework: Framework::Ipex,
+        }
+    }
+
+    /// EMR1, both sockets — the Figure 5/6 setup.
+    #[must_use]
+    pub fn emr1_dual_socket() -> Self {
+        CpuTarget {
+            topology: NumaTopology::dual_socket(),
+            ..Self::emr1_single_socket()
+        }
+    }
+
+    /// EMR2, one socket — the Figure 7/9/10/12 setup.
+    #[must_use]
+    pub fn emr2_single_socket() -> Self {
+        let cpu = cllm_hw::presets::emr2();
+        CpuTarget {
+            cores_per_socket: cpu.cores_per_socket,
+            cpu,
+            topology: NumaTopology::single_socket(),
+            amx_enabled: true,
+            framework: Framework::Ipex,
+        }
+    }
+
+    /// EMR2, both sockets — the Figure 8 latency setup.
+    #[must_use]
+    pub fn emr2_dual_socket() -> Self {
+        CpuTarget {
+            topology: NumaTopology::dual_socket(),
+            ..Self::emr2_single_socket()
+        }
+    }
+
+    /// Restrict the number of cores per socket (Figure 12's sweep).
+    #[must_use]
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores_per_socket = cores.clamp(1, self.cpu.cores_per_socket);
+        self
+    }
+
+    /// Enable/disable AMX (Figure 8's ablation).
+    #[must_use]
+    pub fn with_amx(mut self, on: bool) -> Self {
+        self.amx_enabled = on;
+        self
+    }
+
+    /// Select the framework (Figure 3's sweep).
+    #[must_use]
+    pub fn with_framework(mut self, fw: Framework) -> Self {
+        self.framework = fw;
+        self
+    }
+
+    /// The best ISA available to kernels on this target.
+    #[must_use]
+    pub fn hw_isa(&self) -> Isa {
+        if self.amx_enabled {
+            self.cpu.best_isa
+        } else {
+            Isa::Avx512
+        }
+    }
+
+    /// Total cores in use across sockets.
+    #[must_use]
+    pub fn total_cores(&self) -> u32 {
+        self.cores_per_socket * self.topology.sockets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_use_all_cores() {
+        assert_eq!(CpuTarget::emr1_single_socket().total_cores(), 32);
+        assert_eq!(CpuTarget::emr1_dual_socket().total_cores(), 64);
+        assert_eq!(CpuTarget::emr2_single_socket().total_cores(), 60);
+    }
+
+    #[test]
+    fn with_cores_clamps() {
+        let t = CpuTarget::emr2_single_socket().with_cores(1000);
+        assert_eq!(t.cores_per_socket, 60);
+        let t = CpuTarget::emr2_single_socket().with_cores(0);
+        assert_eq!(t.cores_per_socket, 1);
+    }
+
+    #[test]
+    fn amx_toggle_changes_isa() {
+        assert_eq!(CpuTarget::emr2_single_socket().hw_isa(), Isa::Amx);
+        assert_eq!(
+            CpuTarget::emr2_single_socket().with_amx(false).hw_isa(),
+            Isa::Avx512
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Retrieval-augmented-generation pipelines under TEE performance models.
+//!
+//! Section VI evaluates three RAG retrieval methods (BM25, reranked BM25,
+//! SBERT) over BEIR with an Elasticsearch store, running the whole
+//! pipeline inside TDX, and finds 6-7% overhead — similar to plain LLM
+//! inference (Insight 12).
+//!
+//! This crate provides:
+//!
+//! * [`RagPipeline`] — ingest a corpus, retrieve per query, and build the
+//!   context string that would be prepended to an LLM prompt, using the
+//!   real `cllm-retrieval` engine.
+//! * [`eval`] — BEIR-style quality evaluation (nDCG@10, recall, MRR) plus
+//!   per-query work accounting.
+//! * [`tee`] — the TEE cost model for retrieval workloads: RAG is a blend
+//!   of memory-streaming (index scans) and compute (scoring, hashing), so
+//!   its TDX overhead lands below pure decode but in the same ballpark.
+//!
+//! # Example
+//!
+//! ```
+//! use cllm_rag::{RagConfig, RagPipeline};
+//! use cllm_retrieval::engine::SearchMode;
+//!
+//! let mut rag = RagPipeline::new(RagConfig::default());
+//! rag.ingest([(0, "enclave attestation report"), (1, "garden soil tips")]);
+//! let ctx = rag.answer_context("attestation enclave");
+//! assert!(ctx.contains("attestation"));
+//! # let _ = SearchMode::Bm25;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod tee;
+
+use cllm_retrieval::engine::{Engine, SearchMode};
+use cllm_retrieval::index::Hit;
+
+/// RAG pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RagConfig {
+    /// Retrieval method (the Figure 14 x-axis).
+    pub method: SearchMode,
+    /// Documents retrieved per query.
+    pub top_k: usize,
+    /// Embedding dimension of the dense index.
+    pub embedding_dim: usize,
+}
+
+impl Default for RagConfig {
+    fn default() -> Self {
+        RagConfig {
+            method: SearchMode::Bm25,
+            top_k: 5,
+            embedding_dim: 128,
+        }
+    }
+}
+
+/// A retrieval-augmented-generation pipeline (retrieval half; generation
+/// is composed in `cllm-core`).
+#[derive(Debug)]
+pub struct RagPipeline {
+    engine: Engine,
+    config: RagConfig,
+}
+
+impl RagPipeline {
+    /// Create an empty pipeline.
+    #[must_use]
+    pub fn new(config: RagConfig) -> Self {
+        RagPipeline {
+            engine: Engine::new(config.embedding_dim),
+            config,
+        }
+    }
+
+    /// Pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &RagConfig {
+        &self.config
+    }
+
+    /// Ingest documents into the store.
+    pub fn ingest<'a>(&mut self, docs: impl IntoIterator<Item = (u64, &'a str)>) {
+        self.engine.bulk(docs);
+    }
+
+    /// Number of documents in the store.
+    #[must_use]
+    pub fn corpus_size(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Retrieve the top-k documents for a query.
+    #[must_use]
+    pub fn retrieve(&self, query: &str) -> Vec<Hit> {
+        self.engine.search(query, self.config.method, self.config.top_k)
+    }
+
+    /// Retrieve and concatenate document texts into the context block an
+    /// LLM prompt would receive.
+    #[must_use]
+    pub fn answer_context(&self, query: &str) -> String {
+        let hits = self.retrieve(query);
+        let mut ctx = String::new();
+        for (i, h) in hits.iter().enumerate() {
+            if let Some(text) = self.engine.get(h.doc) {
+                ctx.push_str(&format!("[{i}] {text}\n"));
+            }
+        }
+        ctx
+    }
+
+    /// Work units for one query in the configured mode (drives the
+    /// Figure 14 latency model).
+    #[must_use]
+    pub fn query_cost_units(&self) -> f64 {
+        self.engine.query_cost_units(self.config.method)
+    }
+
+    /// Borrow the underlying engine (for evaluation).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline(method: SearchMode) -> RagPipeline {
+        let mut p = RagPipeline::new(RagConfig {
+            method,
+            top_k: 3,
+            embedding_dim: 128,
+        });
+        p.ingest([
+            (0u64, "tdx trust domains encrypt guest memory"),
+            (1, "bm25 ranks documents by keyword relevance"),
+            (2, "tomato plants need six hours of sunlight"),
+            (3, "guest memory encryption protects llm weights"),
+        ]);
+        p
+    }
+
+    #[test]
+    fn context_contains_relevant_docs() {
+        let p = pipeline(SearchMode::Bm25);
+        let ctx = p.answer_context("guest memory encryption");
+        assert!(ctx.contains("guest memory"));
+        assert!(!ctx.contains("tomato"));
+    }
+
+    #[test]
+    fn all_methods_work_end_to_end() {
+        for mode in [
+            SearchMode::Bm25,
+            SearchMode::RerankedBm25 { candidates: 4 },
+            SearchMode::Sbert,
+        ] {
+            let p = pipeline(mode);
+            let hits = p.retrieve("memory encryption");
+            assert!(!hits.is_empty(), "{}", mode.label());
+            assert!(hits.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn top_k_respected() {
+        let p = pipeline(SearchMode::Bm25);
+        assert!(p.retrieve("memory").len() <= p.config().top_k);
+    }
+
+    #[test]
+    fn corpus_size_tracks_ingest() {
+        let p = pipeline(SearchMode::Bm25);
+        assert_eq!(p.corpus_size(), 4);
+    }
+}

@@ -1,0 +1,84 @@
+//! TEE cost model for retrieval workloads (Figure 14).
+//!
+//! A RAG query is a different workload from LLM decode: index scans and
+//! postings traversal are memory-streaming, while scoring, hashing and
+//! reranking are compute. The paper nonetheless measures a similar
+//! overhead level — 6-7% for TDX (Insight 12) — because the same
+//! mechanisms (memory encryption, virtualization tax, hugepage handling)
+//! apply to the memory-bound share.
+
+use cllm_perf::{CpuTarget, MemSystem};
+use cllm_tee::CpuTeeConfig;
+
+/// Fraction of RAG query time that is memory-bound (index scans); the
+/// rest is compute (scoring, hashing, reranking).
+pub const RAG_MEMORY_BOUND_FRACTION: f64 = 0.55;
+
+/// Multiplicative slowdown of a RAG workload on `tee` relative to bare
+/// metal on the same `target`.
+///
+/// The memory-bound share is priced by the same [`MemSystem`] the LLM
+/// simulator uses (at an effective batch of a few concurrent queries);
+/// the compute share pays only the virtualization tax.
+#[must_use]
+pub fn rag_slowdown_factor(target: &CpuTarget, tee: &CpuTeeConfig) -> f64 {
+    // A representative per-query scan footprint: a few hundred MiB of
+    // index pages — big enough to stream, small enough to stay in TLB
+    // reach on huge pages.
+    let footprint = 0.4 * cllm_hw::GIB;
+    let bytes = 0.2 * cllm_hw::GIB;
+    let bare = MemSystem::build(target, &CpuTeeConfig::bare_metal(), footprint);
+    let teed = MemSystem::build(target, tee, footprint);
+    let mem_ratio = teed.memory_time(bytes, 4) / bare.memory_time(bytes, 4);
+    let cpu_tax = 1.0 + tee.virt.map_or(0.0, |v| v.cpu_tax);
+    let blended = RAG_MEMORY_BOUND_FRACTION * mem_ratio
+        + (1.0 - RAG_MEMORY_BOUND_FRACTION) * cpu_tax;
+    // Per-query fixed costs (syscalls into the network stack, TD
+    // transitions) are small relative to multi-millisecond queries.
+    blended
+}
+
+/// Mean evaluation time per query under a TEE, given the bare-metal
+/// measured/simulated time.
+#[must_use]
+pub fn eval_time_under_tee(bare_time_s: f64, target: &CpuTarget, tee: &CpuTeeConfig) -> f64 {
+    bare_time_s * rag_slowdown_factor(target, tee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tdx_rag_overhead_in_paper_band() {
+        // Figure 14: "6-7% degradation for TDX".
+        let target = CpuTarget::emr2_single_socket();
+        let f = rag_slowdown_factor(&target, &CpuTeeConfig::tdx());
+        let pct = (f - 1.0) * 100.0;
+        assert!((4.0..9.0).contains(&pct), "TDX RAG overhead {pct}%");
+    }
+
+    #[test]
+    fn bare_metal_factor_is_one() {
+        let target = CpuTarget::emr2_single_socket();
+        let f = rag_slowdown_factor(&target, &CpuTeeConfig::bare_metal());
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_vm_below_tdx() {
+        let target = CpuTarget::emr2_single_socket();
+        let vm = rag_slowdown_factor(&target, &CpuTeeConfig::vm());
+        let tdx = rag_slowdown_factor(&target, &CpuTeeConfig::tdx());
+        assert!(vm < tdx);
+        assert!(vm > 1.0);
+    }
+
+    #[test]
+    fn eval_time_scales_linearly() {
+        let target = CpuTarget::emr2_single_socket();
+        let t1 = eval_time_under_tee(1.0, &target, &CpuTeeConfig::tdx());
+        let t2 = eval_time_under_tee(2.0, &target, &CpuTeeConfig::tdx());
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

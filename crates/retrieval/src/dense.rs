@@ -1,0 +1,195 @@
+//! Dense retrieval: a deterministic sentence embedder and a brute-force
+//! vector index — the SBERT stand-in of Section VI.
+//!
+//! The embedder hashes unigrams and bigrams of the analyzed text into a
+//! fixed-dimension feature vector (feature hashing / "hashing trick"),
+//! then L2-normalizes. Documents about the same topic share vocabulary,
+//! so their vectors land close in cosine space — the property the RAG
+//! quality metrics need — while remaining fully deterministic and
+//! dependency-free.
+
+use crate::text::analyze;
+
+/// Feature-hashing sentence embedder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Embedder {
+    /// Embedding dimension.
+    pub dim: usize,
+}
+
+impl Embedder {
+    /// An embedder producing `dim`-dimensional unit vectors.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 8, "embedding dimension too small");
+        Embedder { dim }
+    }
+
+    /// Embed text into an L2-normalized vector.
+    #[must_use]
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let terms = analyze(text);
+        let mut v = vec![0.0f32; self.dim];
+        let mut add = |feature: &str, weight: f32| {
+            let h = fxhash(feature.as_bytes());
+            let idx = (h as usize) % self.dim;
+            // Second hash bit decides sign, keeping features roughly
+            // zero-mean (standard hashing-trick practice).
+            let sign = if h & (1 << 63) == 0 { 1.0 } else { -1.0 };
+            v[idx] += sign * weight;
+        };
+        for t in &terms {
+            add(t, 1.0);
+        }
+        for w in terms.windows(2) {
+            add(&format!("{} {}", w[0], w[1]), 0.5);
+        }
+        l2_normalize(&mut v);
+        v
+    }
+}
+
+/// FNV-1a 64-bit hash.
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Cosine similarity of two unit vectors (plain dot product).
+#[must_use]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// A brute-force cosine-similarity vector index.
+#[derive(Debug, Default)]
+pub struct VectorIndex {
+    ids: Vec<u64>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl VectorIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Add a vector under a document id.
+    pub fn add(&mut self, doc: u64, vector: Vec<f32>) {
+        self.ids.push(doc);
+        self.vectors.push(vector);
+    }
+
+    /// Top-`k` documents by cosine similarity to `query`.
+    #[must_use]
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<crate::index::Hit> {
+        let mut hits: Vec<crate::index::Hit> = self
+            .ids
+            .iter()
+            .zip(&self.vectors)
+            .map(|(&doc, v)| crate::index::Hit {
+                doc,
+                score: f64::from(cosine(query, v)),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("cosine is finite")
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = Embedder::new(64);
+        let v = e.embed("confidential llm inference");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn embedding_deterministic() {
+        let e = Embedder::new(64);
+        assert_eq!(e.embed("same text"), e.embed("same text"));
+    }
+
+    #[test]
+    fn similar_texts_closer_than_dissimilar() {
+        let e = Embedder::new(128);
+        let a = e.embed("running llama inference inside trusted enclaves");
+        let b = e.embed("llama inference within a trusted enclave runtime");
+        let c = e.embed("baking sourdough bread with wild yeast culture");
+        assert!(
+            cosine(&a, &b) > cosine(&a, &c) + 0.2,
+            "topical similarity not captured: {} vs {}",
+            cosine(&a, &b),
+            cosine(&a, &c)
+        );
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = Embedder::new(32);
+        let v = e.embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn vector_search_finds_nearest() {
+        let e = Embedder::new(128);
+        let mut idx = VectorIndex::new();
+        idx.add(0, e.embed("secure enclave attestation and sealing"));
+        idx.add(1, e.embed("pasta carbonara recipe with eggs"));
+        idx.add(2, e.embed("enclave sealing keys derived from measurement"));
+        let hits = idx.search(&e.embed("enclave sealing"), 2);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.doc != 1));
+    }
+
+    #[test]
+    fn search_scores_sorted() {
+        let e = Embedder::new(64);
+        let mut idx = VectorIndex::new();
+        for (i, t) in ["alpha beta", "beta gamma", "delta epsilon"].iter().enumerate() {
+            idx.add(i as u64, e.embed(t));
+        }
+        let hits = idx.search(&e.embed("beta"), 3);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

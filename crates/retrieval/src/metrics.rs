@@ -1,0 +1,127 @@
+//! Retrieval-quality metrics: nDCG@k, recall@k, MRR.
+
+use crate::index::Hit;
+use std::collections::HashMap;
+
+/// Discounted cumulative gain at `k` for a ranked list against graded
+/// relevance judgments.
+#[must_use]
+pub fn dcg_at_k(ranking: &[Hit], qrels: &HashMap<u64, u32>, k: usize) -> f64 {
+    ranking
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, h)| {
+            let grade = f64::from(qrels.get(&h.doc).copied().unwrap_or(0));
+            let gain = 2.0f64.powf(grade) - 1.0;
+            gain / (i as f64 + 2.0).log2()
+        })
+        .sum()
+}
+
+/// Normalized DCG at `k`: DCG divided by the ideal DCG of the judgments.
+#[must_use]
+pub fn ndcg_at_k(ranking: &[Hit], qrels: &HashMap<u64, u32>, k: usize) -> f64 {
+    let mut ideal: Vec<u32> = qrels.values().copied().collect();
+    ideal.sort_unstable_by(|a, b| b.cmp(a));
+    let idcg: f64 = ideal
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &g)| (2.0f64.powf(f64::from(g)) - 1.0) / (i as f64 + 2.0).log2())
+        .sum();
+    if idcg == 0.0 {
+        return 0.0;
+    }
+    dcg_at_k(ranking, qrels, k) / idcg
+}
+
+/// Fraction of relevant documents retrieved in the top `k`.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn recall_at_k(ranking: &[Hit], qrels: &HashMap<u64, u32>, k: usize) -> f64 {
+    let relevant = qrels.values().filter(|&&g| g > 0).count();
+    if relevant == 0 {
+        return 0.0;
+    }
+    let found = ranking
+        .iter()
+        .take(k)
+        .filter(|h| qrels.get(&h.doc).copied().unwrap_or(0) > 0)
+        .count();
+    found as f64 / relevant as f64
+}
+
+/// Reciprocal rank of the first relevant document (0 if none retrieved).
+#[must_use]
+pub fn reciprocal_rank(ranking: &[Hit], qrels: &HashMap<u64, u32>) -> f64 {
+    for (i, h) in ranking.iter().enumerate() {
+        if qrels.get(&h.doc).copied().unwrap_or(0) > 0 {
+            return 1.0 / (i as f64 + 1.0);
+        }
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(ids: &[u64]) -> Vec<Hit> {
+        ids.iter()
+            .enumerate()
+            .map(|(i, &doc)| Hit {
+                doc,
+                score: 10.0 - i as f64,
+            })
+            .collect()
+    }
+
+    fn qrels(pairs: &[(u64, u32)]) -> HashMap<u64, u32> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_ranking_ndcg_one() {
+        let q = qrels(&[(1, 3), (2, 2), (3, 1)]);
+        let n = ndcg_at_k(&hits(&[1, 2, 3]), &q, 10);
+        assert!((n - 1.0).abs() < 1e-12, "ndcg {n}");
+    }
+
+    #[test]
+    fn reversed_ranking_worse() {
+        let q = qrels(&[(1, 3), (2, 2), (3, 1)]);
+        let best = ndcg_at_k(&hits(&[1, 2, 3]), &q, 10);
+        let worst = ndcg_at_k(&hits(&[3, 2, 1]), &q, 10);
+        assert!(worst < best);
+        assert!(worst > 0.0);
+    }
+
+    #[test]
+    fn irrelevant_only_is_zero() {
+        let q = qrels(&[(1, 3)]);
+        assert_eq!(ndcg_at_k(&hits(&[7, 8, 9]), &q, 10), 0.0);
+        assert_eq!(reciprocal_rank(&hits(&[7, 8, 9]), &q), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_top_k_only() {
+        let q = qrels(&[(1, 1), (2, 1), (3, 1), (4, 1)]);
+        let r = recall_at_k(&hits(&[1, 9, 2, 3, 4]), &q, 3);
+        assert!((r - 0.5).abs() < 1e-12, "recall {r}");
+    }
+
+    #[test]
+    fn mrr_position() {
+        let q = qrels(&[(5, 2)]);
+        assert!((reciprocal_rank(&hits(&[9, 5, 1]), &q) - 0.5).abs() < 1e-12);
+        assert!((reciprocal_rank(&hits(&[5]), &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_qrels_safe() {
+        let q = qrels(&[]);
+        assert_eq!(ndcg_at_k(&hits(&[1]), &q, 10), 0.0);
+        assert_eq!(recall_at_k(&hits(&[1]), &q, 10), 0.0);
+    }
+}

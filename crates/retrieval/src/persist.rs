@@ -1,0 +1,168 @@
+//! Engine snapshots: logical persistence of the document store.
+//!
+//! Like Elasticsearch snapshots, persistence works at the document level:
+//! a snapshot captures every stored document; restoring replays them
+//! through the analyzers, rebuilding both indexes deterministically. The
+//! byte format is a simple length-prefixed binary layout so snapshots can
+//! be sealed/encrypted by the TEE layer without further dependencies.
+
+use crate::engine::Engine;
+
+/// A serializable snapshot of an engine's documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Embedding dimension the engine was built with.
+    pub embedding_dim: usize,
+    /// All stored documents.
+    pub docs: Vec<(u64, String)>,
+}
+
+/// Errors while decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(&'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 4] = b"CIDX";
+
+impl Snapshot {
+    /// Capture a snapshot of an engine.
+    #[must_use]
+    pub fn capture(engine: &Engine, embedding_dim: usize) -> Self {
+        let mut docs: Vec<(u64, String)> = engine
+            .doc_ids()
+            .into_iter()
+            .filter_map(|id| engine.get(id).map(|t| (id, t.to_owned())))
+            .collect();
+        docs.sort_by_key(|(id, _)| *id);
+        Snapshot {
+            embedding_dim,
+            docs,
+        }
+    }
+
+    /// Encode to bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.embedding_dim as u32).to_le_bytes());
+        out.extend_from_slice(&(self.docs.len() as u32).to_le_bytes());
+        for (id, text) in &self.docs {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
+        out
+    }
+
+    /// Decode from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], DecodeError> {
+            let end = pos.checked_add(n).ok_or(DecodeError("overflow"))?;
+            if end > bytes.len() {
+                return Err(DecodeError("truncated"));
+            }
+            let s = &bytes[*pos..end];
+            *pos = end;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(DecodeError("bad magic"));
+        }
+        let dim = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let mut docs = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let id = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let text = std::str::from_utf8(take(&mut pos, len)?)
+                .map_err(|_| DecodeError("invalid utf8"))?
+                .to_owned();
+            docs.push((id, text));
+        }
+        if pos != bytes.len() {
+            return Err(DecodeError("trailing bytes"));
+        }
+        Ok(Snapshot {
+            embedding_dim: dim,
+            docs,
+        })
+    }
+
+    /// Rebuild an engine from the snapshot (re-analyzes all documents —
+    /// deterministic, so search results match the original exactly).
+    #[must_use]
+    pub fn restore(&self) -> Engine {
+        let mut engine = Engine::new(self.embedding_dim);
+        for (id, text) in &self.docs {
+            engine.put(*id, text);
+        }
+        engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SearchMode;
+
+    fn sample() -> Engine {
+        let mut e = Engine::new(64);
+        e.bulk([
+            (3u64, "trusted enclave attestation quote"),
+            (1, "bm25 ranking of keyword documents"),
+            (7, "tomato gardening in raised beds"),
+        ]);
+        e
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        let original = sample();
+        let snap = Snapshot::capture(&original, 64);
+        let restored = Snapshot::from_bytes(&snap.to_bytes()).unwrap().restore();
+        for mode in [SearchMode::Bm25, SearchMode::Sbert] {
+            let a = original.search("enclave attestation", mode, 5);
+            let b = restored.search("enclave attestation", mode, 5);
+            assert_eq!(a, b, "{}", mode.label());
+        }
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.get(7), Some("tomato gardening in raised beds"));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let e = sample();
+        assert_eq!(
+            Snapshot::capture(&e, 64).to_bytes(),
+            Snapshot::capture(&e, 64).to_bytes()
+        );
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(Snapshot::from_bytes(b"nope").is_err());
+        let mut good = Snapshot::capture(&sample(), 64).to_bytes();
+        good.truncate(good.len() - 3);
+        assert!(Snapshot::from_bytes(&good).is_err());
+        let mut trailing = Snapshot::capture(&sample(), 64).to_bytes();
+        trailing.push(0);
+        assert!(Snapshot::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn empty_engine_roundtrips() {
+        let e = Engine::new(32);
+        let snap = Snapshot::capture(&e, 32);
+        let restored = Snapshot::from_bytes(&snap.to_bytes()).unwrap().restore();
+        assert!(restored.is_empty());
+    }
+}

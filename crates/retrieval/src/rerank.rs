@@ -1,0 +1,148 @@
+//! Cross-encoder reranking.
+//!
+//! The paper's "Reranked BM25" first retrieves BM25 candidates, then
+//! re-scores each (query, document) pair with a cross-encoder. Our
+//! cross-encoder stand-in scores pairs jointly — like the real thing it
+//! sees both texts at once — by blending IDF-weighted term overlap with
+//! embedding cosine similarity. It is much more expensive per pair than
+//! BM25 scoring (it re-analyzes both texts), preserving the cost shape
+//! the RAG latency experiment needs.
+
+use crate::dense::{cosine, Embedder};
+use crate::index::{Hit, InvertedIndex};
+use crate::text::analyze;
+use std::collections::HashSet;
+
+/// Cross-encoder-style pair scorer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossEncoder {
+    embedder: Embedder,
+    /// Weight of lexical-overlap evidence.
+    pub alpha: f64,
+    /// Weight of semantic-similarity evidence.
+    pub beta: f64,
+}
+
+impl CrossEncoder {
+    /// Default blend (tuned on the synthetic BEIR corpus).
+    #[must_use]
+    pub fn new(embedding_dim: usize) -> Self {
+        CrossEncoder {
+            embedder: Embedder::new(embedding_dim),
+            alpha: 0.6,
+            beta: 0.4,
+        }
+    }
+
+    /// Score one (query, document) pair; higher is more relevant.
+    /// `idf` supplies corpus statistics for the lexical part.
+    #[must_use]
+    pub fn score(&self, query: &str, document: &str, idf: &InvertedIndex) -> f64 {
+        let q_terms = analyze(query);
+        let d_terms: HashSet<String> = analyze(document).into_iter().collect();
+        let mut overlap = 0.0;
+        let mut total = 0.0;
+        for t in &q_terms {
+            let w = idf.idf(t).max(0.1);
+            total += w;
+            if d_terms.contains(t) {
+                overlap += w;
+            }
+        }
+        let lexical = if total > 0.0 { overlap / total } else { 0.0 };
+        let semantic = f64::from(cosine(
+            &self.embedder.embed(query),
+            &self.embedder.embed(document),
+        ));
+        self.alpha * lexical + self.beta * semantic
+    }
+
+    /// Rerank `candidates` (doc id -> text lookup via `doc_text`),
+    /// returning the same set re-ordered by cross-encoder score.
+    #[must_use]
+    pub fn rerank<'a, F>(
+        &self,
+        query: &str,
+        candidates: &[Hit],
+        idf: &InvertedIndex,
+        mut doc_text: F,
+    ) -> Vec<Hit>
+    where
+        F: FnMut(u64) -> &'a str,
+    {
+        let mut rescored: Vec<Hit> = candidates
+            .iter()
+            .map(|h| Hit {
+                doc: h.doc,
+                score: self.score(query, doc_text(h.doc), idf),
+            })
+            .collect();
+        rescored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(a.doc.cmp(&b.doc))
+        });
+        rescored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> (InvertedIndex, Vec<&'static str>) {
+        let docs = vec![
+            "trusted execution environment protects llm weights",   // 0
+            "llm inference with large batch sizes on gpus",          // 1
+            "weights of the llm stay encrypted in the enclave",      // 2
+            "gardening tips for growing tomatoes",                   // 3
+        ];
+        let mut idx = InvertedIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            idx.add(i as u64, d);
+        }
+        (idx, docs)
+    }
+
+    #[test]
+    fn reranking_promotes_semantic_match() {
+        let (idx, docs) = corpus();
+        let ce = CrossEncoder::new(128);
+        let candidates = idx.search("encrypted llm weights enclave", 4);
+        let reranked = ce.rerank("encrypted llm weights enclave", &candidates, &idx, |d| {
+            docs[d as usize]
+        });
+        assert_eq!(reranked[0].doc, 2);
+    }
+
+    #[test]
+    fn irrelevant_docs_score_low() {
+        let (idx, docs) = corpus();
+        let ce = CrossEncoder::new(128);
+        let s_rel = ce.score("protect llm weights", docs[0], &idx);
+        let s_irr = ce.score("protect llm weights", docs[3], &idx);
+        assert!(s_rel > s_irr + 0.2, "{s_rel} vs {s_irr}");
+    }
+
+    #[test]
+    fn rerank_preserves_candidate_set() {
+        let (idx, docs) = corpus();
+        let ce = CrossEncoder::new(64);
+        let candidates = idx.search("llm", 3);
+        let reranked = ce.rerank("llm", &candidates, &idx, |d| docs[d as usize]);
+        let mut a: Vec<u64> = candidates.iter().map(|h| h.doc).collect();
+        let mut b: Vec<u64> = reranked.iter().map(|h| h.doc).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_query_scores_zeroish() {
+        let (idx, docs) = corpus();
+        let ce = CrossEncoder::new(64);
+        let s = ce.score("", docs[0], &idx);
+        assert!(s.abs() < 0.25);
+    }
+}

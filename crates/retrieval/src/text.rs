@@ -1,0 +1,104 @@
+//! Text analysis: tokenization, stopwords, light stemming.
+
+/// English stopwords pruned from indexing and queries.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is",
+    "it", "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there",
+    "these", "they", "this", "to", "was", "will", "with",
+];
+
+/// Whether a token is a stopword.
+#[must_use]
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.contains(&token)
+}
+
+/// Light suffix-stripping stemmer (Porter-inspired, much simpler): strips
+/// plural/verbal suffixes so `enclaves`/`enclave` and `ranked`/`ranking`
+/// collide.
+#[must_use]
+pub fn stem(token: &str) -> String {
+    let mut t = token.to_owned();
+    for (suffix, min_stem) in [
+        ("ations", 4),
+        ("ation", 4),
+        ("ing", 4),
+        ("edly", 4),
+        ("ies", 3),
+        ("ed", 4),
+        ("ly", 4),
+        ("es", 3),
+        ("s", 3),
+    ] {
+        if let Some(stripped) = t.strip_suffix(suffix) {
+            if stripped.len() >= min_stem {
+                t = stripped.to_owned();
+                break;
+            }
+        }
+    }
+    // Porter-style cleanup: drop a trailing 'e' and collapse doubled
+    // final consonants so `enclave`/`enclaves` and `run`/`running`
+    // collide.
+    if t.len() > 3 && t.ends_with('e') {
+        t.pop();
+    }
+    let bytes = t.as_bytes();
+    if t.len() > 3 && bytes[t.len() - 1] == bytes[t.len() - 2] {
+        t.pop();
+    }
+    t
+}
+
+/// Analyze text into index terms: lowercase, split on non-alphanumerics,
+/// drop stopwords and one-character tokens, stem.
+#[must_use]
+pub fn analyze(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.len() > 1 && !is_stopword(t))
+        .map(stem)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_basic() {
+        let terms = analyze("The Enclaves are Running, securely!");
+        assert_eq!(terms, vec!["enclav", "run", "secur"]);
+        // Singular and plural collide on the same stem.
+        assert_eq!(stem("enclave"), stem("enclaves"));
+        assert_eq!(stem("run"), stem("running"));
+    }
+
+    #[test]
+    fn stopwords_removed() {
+        assert!(analyze("the of and").is_empty());
+    }
+
+    #[test]
+    fn stemming_collides_variants() {
+        assert_eq!(stem("ranked"), "rank");
+        assert_eq!(stem("ranks"), "rank");
+        assert_eq!(stem("querying"), "query");
+    }
+
+    #[test]
+    fn short_tokens_dropped() {
+        assert!(analyze("a b c").is_empty());
+    }
+
+    #[test]
+    fn numbers_kept() {
+        assert_eq!(analyze("llama2 70b"), vec!["llama2", "70b"]);
+    }
+
+    #[test]
+    fn stem_keeps_short_words() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("bus"), "bus");
+    }
+}

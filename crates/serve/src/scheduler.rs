@@ -1,0 +1,268 @@
+//! Iteration-level (continuous) batching.
+//!
+//! Like vLLM's scheduler: between decode iterations, waiting requests are
+//! admitted into the running batch if the batch cap and the KV-memory
+//! budget allow. Requests that finish free their slots immediately.
+
+use crate::workload::Request;
+use cllm_hw::DType;
+use cllm_workload::{kv, ModelConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A request resident in the running batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActiveRequest {
+    /// The underlying request.
+    pub request: Request,
+    /// Decode steps completed so far.
+    pub generated: u64,
+    /// Time the prefill finished (first token), seconds.
+    pub first_token_s: f64,
+}
+
+impl ActiveRequest {
+    /// Current context length (prompt + generated).
+    #[must_use]
+    pub fn context(&self) -> u64 {
+        self.request.prompt_tokens + self.generated
+    }
+
+    /// Whether the output budget is exhausted.
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.generated >= self.request.output_tokens
+    }
+}
+
+/// Scheduler limits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerLimits {
+    /// Maximum concurrent sequences in the batch.
+    pub max_batch: usize,
+    /// KV-cache memory budget in bytes.
+    pub kv_budget_bytes: f64,
+}
+
+/// The continuous batcher: a FIFO admission queue plus the running batch.
+#[derive(Debug)]
+pub struct ContinuousBatcher {
+    limits: SchedulerLimits,
+    queue: VecDeque<Request>,
+    running: Vec<ActiveRequest>,
+}
+
+impl ContinuousBatcher {
+    /// An empty scheduler.
+    #[must_use]
+    pub fn new(limits: SchedulerLimits) -> Self {
+        ContinuousBatcher {
+            limits,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+        }
+    }
+
+    /// Enqueue an arriving request.
+    pub fn enqueue(&mut self, request: Request) {
+        self.queue.push_back(request);
+    }
+
+    /// Requests waiting for admission.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The running batch.
+    #[must_use]
+    pub fn running(&self) -> &[ActiveRequest] {
+        &self.running
+    }
+
+    /// KV bytes the running batch holds for `model` at `dtype`.
+    #[must_use]
+    pub fn kv_in_use(&self, model: &ModelConfig, dtype: DType) -> f64 {
+        self.running
+            .iter()
+            .map(|a| kv::kv_bytes_per_sequence(model, a.context(), dtype))
+            .sum()
+    }
+
+    /// Admit queued requests (FIFO) while the batch cap and KV budget
+    /// allow, reserving each request's *full* KV extent (prompt + output)
+    /// so admitted requests never have to be evicted. Returns the newly
+    /// admitted requests (their prefills must be charged by the caller).
+    pub fn admit(&mut self, model: &ModelConfig, dtype: DType, now_s: f64) -> Vec<Request> {
+        let mut admitted = Vec::new();
+        let mut kv_reserved: f64 = self
+            .running
+            .iter()
+            .map(|a| {
+                kv::kv_bytes_per_sequence(
+                    model,
+                    a.request.prompt_tokens + a.request.output_tokens,
+                    dtype,
+                )
+            })
+            .sum();
+        while self.running.len() + admitted.len() < self.limits.max_batch {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            let need = kv::kv_bytes_per_sequence(
+                model,
+                front.prompt_tokens + front.output_tokens,
+                dtype,
+            );
+            if kv_reserved + need > self.limits.kv_budget_bytes {
+                break; // FIFO head-of-line blocking, like vLLM's default
+            }
+            kv_reserved += need;
+            let request = self.queue.pop_front().expect("front checked");
+            admitted.push(request);
+            let _ = now_s;
+        }
+        admitted
+    }
+
+    /// Insert an admitted request whose prefill completed at
+    /// `first_token_s`.
+    pub fn start(&mut self, request: Request, first_token_s: f64) {
+        self.running.push(ActiveRequest {
+            request,
+            generated: 1, // the prefill produced the first token
+            first_token_s,
+        });
+    }
+
+    /// Advance every running request by one decode step; remove and
+    /// return the ones that finished.
+    pub fn step(&mut self) -> Vec<ActiveRequest> {
+        for a in &mut self.running {
+            a.generated += 1;
+        }
+        let mut finished = Vec::new();
+        self.running.retain(|a| {
+            if a.done() {
+                finished.push(*a);
+                false
+            } else {
+                true
+            }
+        });
+        finished
+    }
+
+    /// Whether any work remains (queued or running).
+    #[must_use]
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty() && self.running.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cllm_workload::zoo;
+
+    fn req(id: u64, prompt: u64, output: u64) -> Request {
+        Request {
+            id,
+            arrival_s: 0.0,
+            prompt_tokens: prompt,
+            output_tokens: output,
+        }
+    }
+
+    fn limits(max_batch: usize, kv_gib: f64) -> SchedulerLimits {
+        SchedulerLimits {
+            max_batch,
+            kv_budget_bytes: kv_gib * cllm_hw::GIB,
+        }
+    }
+
+    #[test]
+    fn batch_cap_enforced() {
+        let model = zoo::llama2_7b();
+        let mut s = ContinuousBatcher::new(limits(2, 100.0));
+        for i in 0..5 {
+            s.enqueue(req(i, 64, 16));
+        }
+        let admitted = s.admit(&model, DType::Bf16, 0.0);
+        assert_eq!(admitted.len(), 2);
+        assert_eq!(s.queued(), 3);
+    }
+
+    #[test]
+    fn kv_budget_enforced() {
+        let model = zoo::llama2_7b();
+        // One 2048-token sequence holds ~1 GiB of KV at bf16; a 1.5 GiB
+        // budget admits exactly one.
+        let mut s = ContinuousBatcher::new(limits(16, 1.5));
+        s.enqueue(req(0, 2000, 48));
+        s.enqueue(req(1, 2000, 48));
+        let admitted = s.admit(&model, DType::Bf16, 0.0);
+        assert_eq!(admitted.len(), 1);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let model = zoo::llama2_7b();
+        let mut s = ContinuousBatcher::new(limits(3, 100.0));
+        for i in 0..3 {
+            s.enqueue(req(i, 32, 8));
+        }
+        let admitted = s.admit(&model, DType::Bf16, 0.0);
+        let ids: Vec<u64> = admitted.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn requests_finish_after_output_budget() {
+        let model = zoo::llama2_7b();
+        let mut s = ContinuousBatcher::new(limits(4, 100.0));
+        s.enqueue(req(0, 16, 3));
+        for r in s.admit(&model, DType::Bf16, 0.0) {
+            s.start(r, 0.1);
+        }
+        // first token came from prefill; two more decode steps finish it.
+        assert!(s.step().is_empty());
+        let finished = s.step();
+        assert_eq!(finished.len(), 1);
+        assert!(s.idle());
+    }
+
+    #[test]
+    fn continuous_admission_between_steps() {
+        let model = zoo::llama2_7b();
+        let mut s = ContinuousBatcher::new(limits(2, 100.0));
+        s.enqueue(req(0, 16, 2));
+        s.enqueue(req(1, 16, 8));
+        s.enqueue(req(2, 16, 8));
+        for r in s.admit(&model, DType::Bf16, 0.0) {
+            s.start(r, 0.1);
+        }
+        assert_eq!(s.running().len(), 2);
+        let _ = s.step(); // request 0 finishes (budget 2: prefill + 1 step)
+        assert_eq!(s.running().len(), 1);
+        // The freed slot admits request 2 at the next boundary.
+        let admitted = s.admit(&model, DType::Bf16, 0.2);
+        assert_eq!(admitted.len(), 1);
+        assert_eq!(admitted[0].id, 2);
+    }
+
+    #[test]
+    fn kv_in_use_tracks_context() {
+        let model = zoo::llama2_7b();
+        let mut s = ContinuousBatcher::new(limits(2, 100.0));
+        s.enqueue(req(0, 100, 10));
+        for r in s.admit(&model, DType::Bf16, 0.0) {
+            s.start(r, 0.0);
+        }
+        let before = s.kv_in_use(&model, DType::Bf16);
+        let _ = s.step();
+        let after = s.kv_in_use(&model, DType::Bf16);
+        assert!(after > before);
+    }
+}

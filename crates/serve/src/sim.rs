@@ -1,0 +1,266 @@
+//! The serving event loop.
+//!
+//! Time advances iteration by iteration: at each boundary the scheduler
+//! admits waiting requests (charging their prefill), then the whole batch
+//! performs one decode step priced by the calibrated `cllm-perf` roofline
+//! under the chosen TEE. Per-request records capture time to first token
+//! (TTFT) and time per output token (TPOT).
+
+use crate::scheduler::{ContinuousBatcher, SchedulerLimits};
+use crate::slo::{percentile_of, ServingReport};
+use crate::workload::{ArrivalProcess, Request};
+use cllm_hw::DType;
+use cllm_perf::{decode_step_time_s, prefill_time_s, CpuTarget};
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::{zoo, ModelConfig};
+use serde::{Deserialize, Serialize};
+
+/// One completed request's timing record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Request id.
+    pub id: u64,
+    /// Time to first token (queueing + prefill), seconds.
+    pub ttft_s: f64,
+    /// Mean time per output token after the first, seconds.
+    pub tpot_s: f64,
+    /// End-to-end completion time, seconds.
+    pub e2e_s: f64,
+}
+
+/// Serving-simulation configuration.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Workload model whose costs are simulated.
+    pub model: ModelConfig,
+    /// Data type.
+    pub dtype: DType,
+    /// Execution target.
+    pub target: CpuTarget,
+    /// Scheduler limits.
+    pub limits: SchedulerLimits,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Trace horizon, seconds of arrivals.
+    pub duration_s: f64,
+}
+
+impl ServingConfig {
+    /// A small, fast configuration for tests: Llama2-7B shapes at a light
+    /// load on one EMR2 socket.
+    #[must_use]
+    pub fn small_test() -> Self {
+        ServingConfig {
+            model: zoo::llama2_7b(),
+            dtype: DType::Bf16,
+            target: CpuTarget::emr2_single_socket(),
+            limits: SchedulerLimits {
+                max_batch: 16,
+                kv_budget_bytes: 64.0 * cllm_hw::GIB,
+            },
+            arrivals: ArrivalProcess {
+                rate_per_s: 1.0,
+                prompt_range: (32, 256),
+                output_range: (8, 64),
+                seed: 11,
+            },
+            duration_s: 30.0,
+        }
+    }
+
+    /// A production-like configuration (heavier load, chat shapes).
+    #[must_use]
+    pub fn chat_production(rate_per_s: f64) -> Self {
+        ServingConfig {
+            arrivals: ArrivalProcess::chat(rate_per_s, 42),
+            duration_s: 120.0,
+            ..Self::small_test()
+        }
+    }
+}
+
+/// Run the discrete-event serving simulation under `tee`.
+///
+/// # Panics
+///
+/// Panics if the arrival trace is empty.
+#[must_use]
+pub fn simulate_serving(cfg: &ServingConfig, tee: &CpuTeeConfig) -> ServingReport {
+    let trace = cfg.arrivals.trace(cfg.duration_s);
+    assert!(!trace.is_empty(), "empty arrival trace");
+    let mut pending: std::collections::VecDeque<Request> = trace.iter().copied().collect();
+    let total_arrivals = pending.len();
+    let mut scheduler = ContinuousBatcher::new(cfg.limits);
+    let mut now = 0.0f64;
+    let mut records: Vec<RequestRecord> = Vec::with_capacity(total_arrivals);
+    let mut generated_tokens = 0u64;
+
+    while !(pending.is_empty() && scheduler.idle()) {
+        // Deliver arrivals that have happened by `now`.
+        while pending.front().is_some_and(|r| r.arrival_s <= now) {
+            scheduler.enqueue(pending.pop_front().expect("front checked"));
+        }
+        // If nothing is runnable, jump to the next arrival.
+        if scheduler.idle() {
+            if let Some(next) = pending.front() {
+                now = next.arrival_s;
+                continue;
+            }
+            break;
+        }
+
+        // Admission + prefill at the iteration boundary.
+        let admitted = scheduler.admit(&cfg.model, cfg.dtype, now);
+        for r in admitted {
+            let t_prefill =
+                prefill_time_s(&cfg.model, cfg.dtype, &cfg.target, tee, 1, r.prompt_tokens);
+            now += t_prefill;
+            scheduler.start(r, now);
+            generated_tokens += 1; // the prefill emits the first token
+        }
+
+        if scheduler.running().is_empty() {
+            continue;
+        }
+
+        // One decode iteration for the whole running batch at its mean
+        // context length.
+        let batch = scheduler.running().len() as u64;
+        #[allow(clippy::cast_precision_loss)]
+        let mean_context = (scheduler
+            .running()
+            .iter()
+            .map(|a| a.context())
+            .sum::<u64>() as f64
+            / batch as f64)
+            .round() as u64;
+        now += decode_step_time_s(&cfg.model, cfg.dtype, &cfg.target, tee, batch, mean_context);
+        generated_tokens += batch;
+
+        for fin in scheduler.step() {
+            let ttft = fin.first_token_s - fin.request.arrival_s;
+            let decode_span = now - fin.first_token_s;
+            #[allow(clippy::cast_precision_loss)]
+            let tpot = decode_span / (fin.request.output_tokens.saturating_sub(1).max(1)) as f64;
+            records.push(RequestRecord {
+                id: fin.request.id,
+                ttft_s: ttft,
+                tpot_s: tpot,
+                e2e_s: now - fin.request.arrival_s,
+            });
+        }
+    }
+
+    build_report(total_arrivals, generated_tokens, now, records)
+}
+
+fn build_report(
+    arrivals: usize,
+    generated_tokens: u64,
+    makespan_s: f64,
+    mut records: Vec<RequestRecord>,
+) -> ServingReport {
+    records.sort_by_key(|a| a.id);
+    let ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
+    let tpot: Vec<f64> = records.iter().map(|r| r.tpot_s).collect();
+    #[allow(clippy::cast_precision_loss)]
+    ServingReport {
+        arrivals,
+        completed: records.len(),
+        makespan_s,
+        goodput_tps: generated_tokens as f64 / makespan_s.max(1e-9),
+        ttft_p50_s: percentile_of(&ttft, 0.50),
+        ttft_p95_s: percentile_of(&ttft, 0.95),
+        tpot_p50_s: percentile_of(&tpot, 0.50),
+        tpot_p95_s: percentile_of(&tpot, 0.95),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_all_requests() {
+        let cfg = ServingConfig::small_test();
+        let report = simulate_serving(&cfg, &CpuTeeConfig::bare_metal());
+        assert_eq!(report.completed, report.arrivals);
+        assert!(report.goodput_tps > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ServingConfig::small_test();
+        let a = simulate_serving(&cfg, &CpuTeeConfig::tdx());
+        let b = simulate_serving(&cfg, &CpuTeeConfig::tdx());
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn tee_raises_tail_latencies() {
+        let cfg = ServingConfig::small_test();
+        let bare = simulate_serving(&cfg, &CpuTeeConfig::bare_metal());
+        let tdx = simulate_serving(&cfg, &CpuTeeConfig::tdx());
+        assert!(tdx.tpot_p50_s > bare.tpot_p50_s);
+        assert!(tdx.ttft_p95_s >= bare.ttft_p95_s * 0.99);
+        // The online overhead stays in the same regime as offline.
+        let overhead = tdx.tpot_p50_s / bare.tpot_p50_s - 1.0;
+        assert!(overhead < 0.30, "online TDX overhead {overhead}");
+    }
+
+    #[test]
+    fn overload_grows_queueing_delay() {
+        let light = simulate_serving(
+            &ServingConfig {
+                arrivals: ArrivalProcess {
+                    rate_per_s: 0.3,
+                    ..ServingConfig::small_test().arrivals
+                },
+                ..ServingConfig::small_test()
+            },
+            &CpuTeeConfig::tdx(),
+        );
+        let heavy = simulate_serving(
+            &ServingConfig {
+                arrivals: ArrivalProcess {
+                    rate_per_s: 12.0,
+                    ..ServingConfig::small_test().arrivals
+                },
+                ..ServingConfig::small_test()
+            },
+            &CpuTeeConfig::tdx(),
+        );
+        assert!(
+            heavy.ttft_p95_s > 2.0 * light.ttft_p95_s,
+            "heavy {} vs light {}",
+            heavy.ttft_p95_s,
+            light.ttft_p95_s
+        );
+    }
+
+    #[test]
+    fn ttft_exceeds_prefill_floor() {
+        let cfg = ServingConfig::small_test();
+        let report = simulate_serving(&cfg, &CpuTeeConfig::bare_metal());
+        // TTFT includes at least the request's own prefill time.
+        assert!(report.ttft_p50_s > 0.0);
+        assert!(report.records.iter().all(|r| r.ttft_s > 0.0));
+        assert!(report.records.iter().all(|r| r.e2e_s >= r.ttft_s));
+    }
+
+    #[test]
+    fn batching_improves_goodput() {
+        let mut solo = ServingConfig::small_test();
+        solo.limits.max_batch = 1;
+        let batched = ServingConfig::small_test();
+        let s = simulate_serving(&solo, &CpuTeeConfig::tdx());
+        let b = simulate_serving(&batched, &CpuTeeConfig::tdx());
+        assert!(
+            b.goodput_tps > s.goodput_tps,
+            "batched {} !> solo {}",
+            b.goodput_tps,
+            s.goodput_tps
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Service-level reporting: TTFT/TPOT percentiles and SLO attainment.
+
+use crate::sim::RequestRecord;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one serving simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Requests that arrived.
+    pub arrivals: usize,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Wall time to drain the trace, seconds.
+    pub makespan_s: f64,
+    /// Generated tokens per second over the makespan.
+    pub goodput_tps: f64,
+    /// Median time to first token, seconds.
+    pub ttft_p50_s: f64,
+    /// 95th-percentile time to first token, seconds.
+    pub ttft_p95_s: f64,
+    /// Median time per output token, seconds.
+    pub tpot_p50_s: f64,
+    /// 95th-percentile time per output token, seconds.
+    pub tpot_p95_s: f64,
+    /// Per-request records (sorted by id).
+    pub records: Vec<RequestRecord>,
+}
+
+/// An SLO: bounds on first-token and per-token latency.
+///
+/// The paper's reading-speed standard (200 ms/word, Section III-D) is the
+/// natural TPOT bound for interactive use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slo {
+    /// Maximum acceptable time to first token, seconds.
+    pub ttft_s: f64,
+    /// Maximum acceptable time per output token, seconds.
+    pub tpot_s: f64,
+}
+
+impl Slo {
+    /// Interactive chat: 2 s to first token, reading speed per token.
+    #[must_use]
+    pub fn interactive() -> Self {
+        Slo {
+            ttft_s: 2.0,
+            tpot_s: 0.2,
+        }
+    }
+}
+
+impl ServingReport {
+    /// Fraction of completed requests meeting the SLO.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn slo_attainment(&self, slo: Slo) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .records
+            .iter()
+            .filter(|r| r.ttft_s <= slo.ttft_s && r.tpot_s <= slo.tpot_s)
+            .count();
+        ok as f64 / self.records.len() as f64
+    }
+}
+
+/// Percentile by linear interpolation over an unsorted sample.
+#[must_use]
+pub fn percentile_of(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    cllm_perf::stats::percentile(&sorted, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, ttft: f64, tpot: f64) -> RequestRecord {
+        RequestRecord {
+            id,
+            ttft_s: ttft,
+            tpot_s: tpot,
+            e2e_s: ttft + tpot * 10.0,
+        }
+    }
+
+    fn report(records: Vec<RequestRecord>) -> ServingReport {
+        ServingReport {
+            arrivals: records.len(),
+            completed: records.len(),
+            makespan_s: 10.0,
+            goodput_tps: 100.0,
+            ttft_p50_s: 0.0,
+            ttft_p95_s: 0.0,
+            tpot_p50_s: 0.0,
+            tpot_p95_s: 0.0,
+            records,
+        }
+    }
+
+    #[test]
+    fn attainment_counts_both_bounds() {
+        let r = report(vec![
+            record(0, 1.0, 0.05),  // ok
+            record(1, 3.0, 0.05),  // ttft violated
+            record(2, 1.0, 0.50),  // tpot violated
+            record(3, 0.5, 0.199), // ok
+        ]);
+        let a = r.slo_attainment(Slo::interactive());
+        assert!((a - 0.5).abs() < 1e-12, "attainment {a}");
+    }
+
+    #[test]
+    fn empty_report_attains_nothing() {
+        assert_eq!(report(vec![]).slo_attainment(Slo::interactive()), 0.0);
+    }
+
+    #[test]
+    fn percentile_helper_sorts() {
+        let p = percentile_of(&[3.0, 1.0, 2.0], 0.5);
+        assert!((p - 2.0).abs() < 1e-12);
+        assert!(percentile_of(&[], 0.5).is_nan());
+    }
+}

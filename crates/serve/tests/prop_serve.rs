@@ -1,0 +1,71 @@
+//! Property tests on the serving simulator.
+
+use cllm_serve::scheduler::{ContinuousBatcher, SchedulerLimits};
+use cllm_serve::sim::{simulate_serving, ServingConfig};
+use cllm_serve::workload::{ArrivalProcess, Request};
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::zoo;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every arrival eventually completes, with sane per-request records.
+    #[test]
+    fn conservation_of_requests(rate in 0.2f64..4.0, seed in 0u64..50) {
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess { rate_per_s: rate, prompt_range: (16, 128),
+                                       output_range: (4, 32), seed },
+            duration_s: 20.0,
+            ..ServingConfig::small_test()
+        };
+        let report = simulate_serving(&cfg, &CpuTeeConfig::tdx());
+        prop_assert_eq!(report.completed, report.arrivals);
+        for r in &report.records {
+            prop_assert!(r.ttft_s > 0.0, "id {}", r.id);
+            prop_assert!(r.tpot_s > 0.0);
+            prop_assert!(r.e2e_s >= r.ttft_s);
+        }
+    }
+
+    /// The scheduler never exceeds its batch cap, for any request mix.
+    #[test]
+    fn batch_cap_invariant(cap in 1usize..8,
+                           prompts in proptest::collection::vec((1u64..512, 1u64..64), 1..24)) {
+        let model = zoo::llama2_7b();
+        let mut s = ContinuousBatcher::new(SchedulerLimits {
+            max_batch: cap,
+            kv_budget_bytes: 256.0 * cllm_hw::GIB,
+        });
+        for (i, (p, o)) in prompts.iter().enumerate() {
+            s.enqueue(Request { id: i as u64, arrival_s: 0.0, prompt_tokens: *p, output_tokens: *o });
+        }
+        let mut guard = 0;
+        while !s.idle() {
+            for r in s.admit(&model, cllm_hw::DType::Bf16, 0.0) {
+                s.start(r, 0.0);
+            }
+            prop_assert!(s.running().len() <= cap, "cap {cap} exceeded");
+            let _ = s.step();
+            guard += 1;
+            prop_assert!(guard < 10_000, "scheduler did not drain");
+        }
+    }
+
+    /// Higher arrival rates never reduce total goodput (work conserving).
+    #[test]
+    fn goodput_monotone_in_rate(seed in 0u64..20) {
+        let run = |rate: f64| {
+            simulate_serving(&ServingConfig {
+                arrivals: ArrivalProcess { rate_per_s: rate, prompt_range: (16, 64),
+                                           output_range: (4, 16), seed },
+                duration_s: 20.0,
+                ..ServingConfig::small_test()
+            }, &CpuTeeConfig::bare_metal())
+        };
+        let slow = run(0.5);
+        let fast = run(4.0);
+        prop_assert!(fast.goodput_tps >= slow.goodput_tps * 0.9,
+            "fast {} vs slow {}", fast.goodput_tps, slow.goodput_tps);
+    }
+}

@@ -1,0 +1,53 @@
+//! Trusted-execution-environment substrate.
+//!
+//! This crate models the *security machinery* of the paper's three TEE
+//! families and implements, for real, the software services that surround
+//! them:
+//!
+//! * [`platform`] — parameterized mechanism models for bare metal, raw VMs,
+//!   Intel TDX, Intel SGX (Gramine), and NVIDIA confidential GPUs. These
+//!   carry the calibrated constants (memory-encryption derate, EPC size,
+//!   virtualization tax, bounce-buffer cost, …) that the `cllm-perf`
+//!   roofline consumes.
+//! * [`attestation`] — measurement, report and quote generation plus
+//!   verification, shaped after SGX DCAP / TDX quotes, using the real
+//!   SHA-256/HMAC from `cllm-crypto`.
+//! * [`sealed`] — sealed blobs (Gramine protected files) and a LUKS-like
+//!   encrypted block device for TDX full-disk encryption; both genuinely
+//!   encrypt with AES-GCM / AES-CTR.
+//! * [`manifest`] — Gramine-manifest-shaped deployment descriptors with
+//!   trusted-file hash verification.
+//! * [`enclave`] — a functional enclave lifecycle: build a measurement from
+//!   a manifest, attest, derive sealing keys, count enclave exits.
+//! * [`threat`] — the attack taxonomy of Figure 1 and the per-platform
+//!   protection matrix of Table I.
+//!
+//! # Example
+//!
+//! ```
+//! use cllm_tee::enclave::Enclave;
+//! use cllm_tee::manifest::Manifest;
+//!
+//! let manifest = Manifest::builder("llama-infer")
+//!     .enclave_size_gib(64)
+//!     .threads(32)
+//!     .trusted_file("model.bin", b"fake weights")
+//!     .build();
+//! let enclave = Enclave::launch(&manifest, b"hw-root-secret").unwrap();
+//! let quote = enclave.quote(b"user nonce");
+//! assert!(cllm_tee::attestation::verify_quote(&quote, b"hw-root-secret", b"user nonce").is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attestation;
+pub mod enclave;
+pub mod manifest;
+pub mod manifest_text;
+pub mod platform;
+pub mod sealed;
+pub mod session;
+pub mod threat;
+
+pub use platform::{CpuTeeConfig, GpuTeeConfig, Platform, TeeKind};

@@ -1,0 +1,196 @@
+//! Threat model: the attack taxonomy of Figure 1 and the security matrix
+//! of Table I.
+
+use crate::platform::TeeKind;
+use serde::{Deserialize, Serialize};
+
+/// Attacks on cloud-hosted LLMs that TEEs are meant to stop (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attack {
+    /// Stealing model weights (IP theft) by reading guest memory.
+    WeightTheft,
+    /// Leaking confidential user prompts or outputs from memory.
+    PromptLeak,
+    /// Tampering with inference results (integrity attack).
+    OutputTamper,
+    /// Physical or DMA snooping of DRAM / HBM contents.
+    MemorySnoop,
+    /// A malicious hypervisor or cloud administrator introspecting the VM.
+    HypervisorIntrospection,
+    /// A co-located tenant reading data over shared interconnects
+    /// (unencrypted NVLink / PCIe).
+    InterconnectSnoop,
+    /// Substituting a tampered model or runtime at load time.
+    SupplyChainSwap,
+}
+
+impl Attack {
+    /// All modelled attacks.
+    #[must_use]
+    pub fn all() -> [Attack; 7] {
+        [
+            Attack::WeightTheft,
+            Attack::PromptLeak,
+            Attack::OutputTamper,
+            Attack::MemorySnoop,
+            Attack::HypervisorIntrospection,
+            Attack::InterconnectSnoop,
+            Attack::SupplyChainSwap,
+        ]
+    }
+
+    /// Short description for reports.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Attack::WeightTheft => "model weight exfiltration from memory",
+            Attack::PromptLeak => "confidential prompt/output leakage",
+            Attack::OutputTamper => "inference result tampering",
+            Attack::MemorySnoop => "physical/DMA memory snooping",
+            Attack::HypervisorIntrospection => "hypervisor/admin introspection",
+            Attack::InterconnectSnoop => "interconnect (PCIe/NVLink) snooping",
+            Attack::SupplyChainSwap => "model/runtime substitution at load",
+        }
+    }
+}
+
+/// Degree of protection a platform offers against an attack
+/// (Table I's full/partial/none squares).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protection {
+    /// Fully mitigated by hardware + attestation.
+    Full,
+    /// Mitigated with caveats (e.g. larger trust boundary, or requires
+    /// routing around an unprotected link).
+    Partial,
+    /// Not mitigated.
+    None,
+}
+
+impl Protection {
+    /// Table-cell glyph matching the paper's notation.
+    #[must_use]
+    pub fn glyph(self) -> &'static str {
+        match self {
+            Protection::Full => "■",
+            Protection::Partial => "◪",
+            Protection::None => "□",
+        }
+    }
+}
+
+/// What protection `platform` offers against `attack` (Table I, Security
+/// rows, plus Section V-D3's discussion).
+#[must_use]
+pub fn protection(platform: TeeKind, attack: Attack) -> Protection {
+    use Attack as A;
+    use Protection as P;
+    use TeeKind as T;
+    match (platform, attack) {
+        // Baselines protect against nothing relevant.
+        (T::BareMetal | T::Vm | T::GpuNative, _) => P::None,
+
+        // SGX: smallest TCB, encrypted + integrity-protected memory.
+        (T::Sgx, A::WeightTheft | A::PromptLeak | A::OutputTamper | A::MemorySnoop) => P::Full,
+        (T::Sgx, A::HypervisorIntrospection) => P::Full,
+        (T::Sgx, A::InterconnectSnoop) => P::Full, // UPI is inline-encrypted
+        (T::Sgx, A::SupplyChainSwap) => P::Full,   // trusted-file hashes + attestation
+
+        // TDX / SEV-SNP: full protection but a larger trust boundary
+        // (the whole guest OS).
+        (T::Tdx | T::SevSnp, A::WeightTheft | A::PromptLeak | A::MemorySnoop) => P::Full,
+        (T::Tdx | T::SevSnp, A::OutputTamper) => P::Full,
+        (T::Tdx | T::SevSnp, A::HypervisorIntrospection) => P::Full,
+        (T::Tdx | T::SevSnp, A::InterconnectSnoop) => P::Full,
+        (T::Tdx | T::SevSnp, A::SupplyChainSwap) => P::Partial, // guest OS in TCB
+
+        // H100 cGPU: HBM is NOT encrypted; NVLink unprotected.
+        (T::GpuCc, A::WeightTheft | A::PromptLeak) => P::Partial, // plaintext HBM
+        (T::GpuCc, A::OutputTamper) => P::Full,                   // authenticated transfers
+        (T::GpuCc, A::MemorySnoop) => P::Partial,                 // HBM snooping possible
+        (T::GpuCc, A::HypervisorIntrospection) => P::Full,        // bounce buffer encrypted
+        (T::GpuCc, A::InterconnectSnoop) => P::Partial,           // PCIe yes, NVLink no
+        (T::GpuCc, A::SupplyChainSwap) => P::Full,                // GPU attestation
+    }
+}
+
+/// A platform's overall security score: fraction of attacks fully
+/// mitigated (used to rank platforms in the summary table).
+#[must_use]
+pub fn security_score(platform: TeeKind) -> f64 {
+    let attacks = Attack::all();
+    let total = attacks.len() as f64;
+    let score: f64 = attacks
+        .iter()
+        .map(|&a| match protection(platform, a) {
+            Protection::Full => 1.0,
+            Protection::Partial => 0.5,
+            Protection::None => 0.0,
+        })
+        .sum();
+    score / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_protect_nothing() {
+        for kind in [TeeKind::BareMetal, TeeKind::Vm, TeeKind::GpuNative] {
+            for attack in Attack::all() {
+                assert_eq!(protection(kind, attack), Protection::None);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_tees_stricter_than_h100() {
+        // Section V-D3: "CPU TEEs are more mature, and their security model
+        // is stricter than cGPUs".
+        assert!(security_score(TeeKind::Sgx) > security_score(TeeKind::GpuCc));
+        assert!(security_score(TeeKind::Tdx) > security_score(TeeKind::GpuCc));
+    }
+
+    #[test]
+    fn sgx_has_smallest_trust_boundary() {
+        assert!(security_score(TeeKind::Sgx) >= security_score(TeeKind::Tdx));
+    }
+
+    #[test]
+    fn h100_hbm_weakness_reflected() {
+        // H100 does not encrypt HBM -> memory snooping only partial.
+        assert_eq!(
+            protection(TeeKind::GpuCc, Attack::MemorySnoop),
+            Protection::Partial
+        );
+        assert_eq!(
+            protection(TeeKind::Sgx, Attack::MemorySnoop),
+            Protection::Full
+        );
+    }
+
+    #[test]
+    fn all_attacks_have_descriptions_and_glyphs() {
+        for a in Attack::all() {
+            assert!(!a.description().is_empty());
+        }
+        assert_eq!(Protection::Full.glyph(), "■");
+        assert_eq!(Protection::None.glyph(), "□");
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        for kind in [
+            TeeKind::BareMetal,
+            TeeKind::Vm,
+            TeeKind::Tdx,
+            TeeKind::Sgx,
+            TeeKind::GpuNative,
+            TeeKind::GpuCc,
+        ] {
+            let s = security_score(kind);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Model architecture configuration and parameter accounting.
+
+use cllm_hw::DType;
+use serde::{Deserialize, Serialize};
+
+/// MLP block style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MlpKind {
+    /// Gated SiLU MLP (Llama family): `down(silu(gate(x)) * up(x))`,
+    /// three weight matrices of `hidden x intermediate`.
+    GatedSilu,
+    /// Classic GELU MLP (GPT-J, Falcon): `down(gelu(up(x)))`,
+    /// two weight matrices.
+    Gelu,
+    /// Sparse mixture of experts over gated-SiLU experts (Mixtral /
+    /// Llama 4 style): each token is routed to `top_k` of `experts`
+    /// expert MLPs. All experts are resident in memory (footprint), but
+    /// only the routed ones are computed and streamed per token — the
+    /// access pattern that stresses TEE address translation hardest.
+    GatedMoe {
+        /// Total experts per layer.
+        experts: u64,
+        /// Experts active per token.
+        top_k: u64,
+    },
+}
+
+/// A dense-transformer architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Display name, e.g. `"Llama2 7B"`.
+    pub name: String,
+    /// Hidden (model) dimension.
+    pub hidden: u64,
+    /// Number of decoder blocks.
+    pub layers: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Key/value heads (< `heads` for grouped-query attention; Llama2 70B
+    /// uses 8 KV heads for 64 query heads).
+    pub kv_heads: u64,
+    /// MLP intermediate dimension.
+    pub intermediate: u64,
+    /// MLP style.
+    pub mlp: MlpKind,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Maximum supported context length.
+    pub max_seq: u64,
+}
+
+impl ModelConfig {
+    /// Per-head dimension.
+    #[must_use]
+    pub fn head_dim(&self) -> u64 {
+        self.hidden / self.heads
+    }
+
+    /// Combined K+V projection output dimension.
+    #[must_use]
+    pub fn kv_dim(&self) -> u64 {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// Number of MLP weight matrices resident per layer (3 per gated
+    /// expert, 2 for plain GELU).
+    #[must_use]
+    pub fn mlp_matrices(&self) -> u64 {
+        match self.mlp {
+            MlpKind::GatedSilu => 3,
+            MlpKind::Gelu => 2,
+            MlpKind::GatedMoe { experts, .. } => 3 * experts,
+        }
+    }
+
+    /// Experts a batch of `batch` tokens is expected to touch in one
+    /// decode step (coupon-collector coverage of `experts` bins with
+    /// `batch * top_k` draws); 1.0 for dense models.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn experts_touched(&self, batch: u64) -> f64 {
+        match self.mlp {
+            MlpKind::GatedSilu | MlpKind::Gelu => 1.0,
+            MlpKind::GatedMoe { experts, top_k } => {
+                let n = experts as f64;
+                let draws = (batch * top_k) as f64;
+                n * (1.0 - (1.0 - 1.0 / n).powf(draws))
+            }
+        }
+    }
+
+    /// Parameters in one decoder block.
+    #[must_use]
+    pub fn block_params(&self) -> u64 {
+        let attn = self.hidden * self.hidden        // Q proj
+            + 2 * self.hidden * self.kv_dim()       // K, V proj
+            + self.hidden * self.hidden; // output proj
+        let mlp = self.mlp_matrices() * self.hidden * self.intermediate;
+        let router = match self.mlp {
+            MlpKind::GatedMoe { experts, .. } => self.hidden * experts,
+            _ => 0,
+        };
+        let norms = 2 * self.hidden;
+        attn + mlp + router + norms
+    }
+
+    /// Total parameter count (embedding + blocks + final norm + LM head).
+    #[must_use]
+    pub fn param_count(&self) -> u64 {
+        let embed = self.vocab * self.hidden;
+        let lm_head = self.vocab * self.hidden;
+        embed + self.layers * self.block_params() + self.hidden + lm_head
+    }
+
+    /// Bytes of weights at the given data type (int8 keeps norm/embedding
+    /// scales negligible; we charge the nominal element size).
+    #[must_use]
+    pub fn weight_bytes(&self, dtype: DType) -> f64 {
+        self.param_count() as f64 * dtype.bytes()
+    }
+
+    /// Bytes of *decoder-block* weights streamed per decode step (the
+    /// embedding table is gather-accessed, not streamed; the LM head is).
+    #[must_use]
+    pub fn streamed_weight_bytes(&self, dtype: DType) -> f64 {
+        ((self.layers * self.block_params()) as f64 + (self.vocab * self.hidden) as f64)
+            * dtype.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::zoo;
+    use cllm_hw::DType;
+
+    #[test]
+    fn llama2_7b_param_count() {
+        let m = zoo::llama2_7b();
+        let p = m.param_count() as f64;
+        assert!((6.4e9..7.1e9).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn llama2_13b_param_count() {
+        let p = zoo::llama2_13b().param_count() as f64;
+        assert!((12.5e9..13.5e9).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn llama2_70b_param_count() {
+        let p = zoo::llama2_70b().param_count() as f64;
+        assert!((66.0e9..71.0e9).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_dim() {
+        let m = zoo::llama2_70b();
+        assert_eq!(m.heads, 64);
+        assert_eq!(m.kv_heads, 8);
+        assert_eq!(m.kv_dim(), 8 * m.head_dim());
+        assert!(m.kv_dim() < m.hidden);
+    }
+
+    #[test]
+    fn weight_bytes_scale_with_dtype() {
+        let m = zoo::llama2_7b();
+        let bf16 = m.weight_bytes(DType::Bf16);
+        let int8 = m.weight_bytes(DType::Int8);
+        let f32 = m.weight_bytes(DType::F32);
+        assert!((bf16 / int8 - 2.0).abs() < 1e-9);
+        assert!((f32 / bf16 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llama2_70b_does_not_fit_one_socket_memory() {
+        // Figure 5's premise: the 70B model exceeds single-socket memory.
+        let m = zoo::llama2_70b();
+        let socket_mem = cllm_hw::presets::emr1().dram_capacity_bytes;
+        assert!(m.weight_bytes(DType::Bf16) > socket_mem * 0.5);
+    }
+
+    #[test]
+    fn streamed_excludes_embedding() {
+        let m = zoo::llama2_7b();
+        assert!(m.streamed_weight_bytes(DType::Bf16) < m.weight_bytes(DType::Bf16));
+    }
+}

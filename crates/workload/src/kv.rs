@@ -1,0 +1,103 @@
+//! KV-cache sizing.
+//!
+//! Figure 10's input-size crossover is driven by the KV cache: "as we
+//! increase the input size, the KV cache size per new token also grows.
+//! Eventually ... each token causes a considerable cache miss rate, making
+//! the workload memory-bound."
+
+use crate::ModelConfig;
+use cllm_hw::DType;
+
+/// Bytes of KV cache held for one sequence of `seq_len` tokens.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn kv_bytes_per_sequence(model: &ModelConfig, seq_len: u64, dtype: DType) -> f64 {
+    // K and V, per layer, per token, kv_dim wide.
+    (2 * model.layers * model.kv_dim() * seq_len) as f64 * dtype.act_bytes()
+}
+
+/// Total KV footprint for a batch of sequences.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn kv_bytes_total(model: &ModelConfig, batch: u64, seq_len: u64, dtype: DType) -> f64 {
+    batch as f64 * kv_bytes_per_sequence(model, seq_len, dtype)
+}
+
+/// Full working-set footprint at a decode step: streamed weights + KV
+/// cache + a small activation slab. Drives TLB-reach and LLC decisions.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn working_set_bytes(
+    model: &ModelConfig,
+    batch: u64,
+    seq_len: u64,
+    dtype: DType,
+) -> f64 {
+    let acts = (batch * model.hidden * 8) as f64 * dtype.act_bytes();
+    model.streamed_weight_bytes(dtype) + kv_bytes_total(model, batch, seq_len, dtype) + acts
+}
+
+/// The sequence length at which the KV cache matches the weight footprint
+/// — roughly where Figure 10's overhead inflection appears (the workload
+/// turns memory-bound again).
+#[must_use]
+pub fn kv_weight_parity_seq(model: &ModelConfig, batch: u64, dtype: DType) -> u64 {
+    let weights = model.streamed_weight_bytes(dtype);
+    let per_token = kv_bytes_total(model, batch, 1, dtype);
+    if per_token <= 0.0 {
+        return u64::MAX;
+    }
+    (weights / per_token).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn llama2_7b_kv_per_token() {
+        // 2 * 32 layers * 4096 * 2 bytes = 512 KiB per token at bf16.
+        let m = zoo::llama2_7b();
+        let per_tok = kv_bytes_per_sequence(&m, 1, DType::Bf16);
+        assert!((per_tok - 524_288.0).abs() < 1.0, "got {per_tok}");
+    }
+
+    #[test]
+    fn kv_linear_in_batch_and_seq() {
+        let m = zoo::llama2_7b();
+        let base = kv_bytes_total(&m, 1, 100, DType::Bf16);
+        assert!((kv_bytes_total(&m, 2, 100, DType::Bf16) - 2.0 * base).abs() < 1.0);
+        assert!((kv_bytes_total(&m, 1, 200, DType::Bf16) - 2.0 * base).abs() < 1.0);
+    }
+
+    #[test]
+    fn parity_seq_in_figure10_range() {
+        // At batch 64 the paper sees the inflection around 2048 input
+        // tokens; KV/weight parity should be in the low hundreds-to-
+        // thousands range for batch 64.
+        let m = zoo::llama2_7b();
+        let parity = kv_weight_parity_seq(&m, 64, DType::Bf16);
+        assert!(
+            (100..3000).contains(&parity),
+            "parity at batch 64 is {parity}"
+        );
+    }
+
+    #[test]
+    fn working_set_exceeds_weights() {
+        let m = zoo::llama2_7b();
+        assert!(
+            working_set_bytes(&m, 8, 1024, DType::Bf16)
+                > m.streamed_weight_bytes(DType::Bf16)
+        );
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_eightfold() {
+        let m70 = zoo::llama2_70b();
+        let per_tok = kv_bytes_per_sequence(&m70, 1, DType::Bf16);
+        // 2 * 80 layers * (8 * 128) * 2 bytes = 320 KiB, despite 8192 hidden.
+        assert!((per_tok - 327_680.0).abs() < 1.0, "got {per_tok}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Dense-transformer inference workload model.
+//!
+//! The paper's figures are all driven by the same underlying quantity: how
+//! many floating-point operations and how many bytes of weight/activation/
+//! KV-cache traffic one inference step performs, as a function of model
+//! size, batch size, sequence lengths and data type. This crate computes
+//! those quantities exactly from the model architecture:
+//!
+//! * [`ModelConfig`] — architecture description (hidden size, layers,
+//!   grouped-query heads, gated-MLP width, vocabulary). [`zoo`] provides
+//!   the paper's models: Llama2 7B/13B/70B plus the Section III-C2
+//!   cross-check set (Llama3 8B, GPT-J 6B, Falcon 7B, Baichuan2 7B,
+//!   Qwen 7B).
+//! * [`ops`] — the per-decoder-block operator graph (input norm, QKV
+//!   projection, RoPE, attention scores/context, output projection,
+//!   gated SiLU MLP, down projection) with exact FLOP and byte counts per
+//!   operator — the basis of Figure 7's per-block breakdown.
+//! * [`phase`] — prefill vs decode request shaping: batch size, beam
+//!   width, input/output token counts (the sweep axes of Figures 4-13).
+//! * [`kv`] — KV-cache accounting (drives the input-size crossover of
+//!   Figure 10).
+//!
+//! # Example
+//!
+//! ```
+//! use cllm_workload::{zoo, phase::RequestSpec};
+//! use cllm_hw::DType;
+//!
+//! let model = zoo::llama2_7b();
+//! // ~6.7 billion parameters.
+//! assert!((model.param_count() as f64 - 6.7e9).abs() < 0.4e9);
+//!
+//! let req = RequestSpec::new(1, 1024, 128);
+//! let step = req.decode_step(&model, DType::Bf16, 0);
+//! // Decode is memory-bound: ~1 flop per weight byte streamed.
+//! assert!(step.arithmetic_intensity() < 16.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod kv;
+pub mod ops;
+pub mod phase;
+pub mod zoo;
+
+pub use config::{MlpKind, ModelConfig};

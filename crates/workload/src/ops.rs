@@ -1,0 +1,356 @@
+//! Per-operator FLOP and byte accounting for one decoder block.
+//!
+//! Figure 7 of the paper traces single-socket inference and breaks each
+//! decoder block into its layers, finding that self-attention and the
+//! linear-SiLU multiplication dominate raw time while the two layer norms
+//! carry the largest *relative* TEE overhead (but only ~3% of block time).
+//! This module provides the exact operator-level cost model behind that
+//! figure.
+
+use crate::ModelConfig;
+use cllm_hw::DType;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the attention score matrix that spills to memory.
+///
+/// Modern attention kernels (IPEX fused SDPA, vLLM paged attention,
+/// FlashAttention) tile the `B x heads x T x S` score matrix through
+/// caches instead of materializing it; only a small fraction reaches
+/// DRAM. Eager implementations that materialize it fully are charged via
+/// the framework activation-traffic factor instead.
+pub const ATTN_SPILL: f64 = 0.06;
+
+/// The operators of one decoder block, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockOp {
+    /// RMSNorm before attention (`input_layernorm`).
+    InputNorm,
+    /// Fused Q/K/V projection.
+    QkvProj,
+    /// Rotary position embedding on Q and K.
+    Rope,
+    /// Attention score computation `QK^T` + softmax.
+    AttnScores,
+    /// Attention context computation `softmax(..)V`.
+    AttnContext,
+    /// Attention output projection + residual add.
+    OProj,
+    /// RMSNorm after attention (`post_attention_layernorm`).
+    PostAttnNorm,
+    /// Gate+up projections and SiLU multiply (`linear SiLU mult`).
+    GateUpSilu,
+    /// Down projection + residual add.
+    DownProj,
+}
+
+impl BlockOp {
+    /// All block operators in execution order.
+    #[must_use]
+    pub fn all() -> [BlockOp; 9] {
+        [
+            BlockOp::InputNorm,
+            BlockOp::QkvProj,
+            BlockOp::Rope,
+            BlockOp::AttnScores,
+            BlockOp::AttnContext,
+            BlockOp::OProj,
+            BlockOp::PostAttnNorm,
+            BlockOp::GateUpSilu,
+            BlockOp::DownProj,
+        ]
+    }
+
+    /// Label used on Figure 7's x-axis.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockOp::InputNorm => "input_norm",
+            BlockOp::QkvProj => "qkv_proj",
+            BlockOp::Rope => "rope",
+            BlockOp::AttnScores => "attn_scores",
+            BlockOp::AttnContext => "attn_context",
+            BlockOp::OProj => "o_proj",
+            BlockOp::PostAttnNorm => "post_attn_norm",
+            BlockOp::GateUpSilu => "gate_up_silu",
+            BlockOp::DownProj => "down_proj",
+        }
+    }
+
+    /// Whether the operator is a GEMM-class kernel (AMX-eligible).
+    #[must_use]
+    pub fn is_gemm(self) -> bool {
+        matches!(
+            self,
+            BlockOp::QkvProj
+                | BlockOp::AttnScores
+                | BlockOp::AttnContext
+                | BlockOp::OProj
+                | BlockOp::GateUpSilu
+                | BlockOp::DownProj
+        )
+    }
+}
+
+/// The cost of executing one operator once.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Multiply-accumulate work (1 MAC = 2 flops).
+    pub flops: f64,
+    /// Weight bytes streamed from memory.
+    pub weight_bytes: f64,
+    /// Activation bytes read + written.
+    pub act_bytes: f64,
+    /// KV-cache bytes read.
+    pub kv_read_bytes: f64,
+    /// KV-cache bytes written.
+    pub kv_write_bytes: f64,
+}
+
+impl OpCost {
+    /// Total bytes moved.
+    #[must_use]
+    pub fn total_bytes(&self) -> f64 {
+        self.weight_bytes + self.act_bytes + self.kv_read_bytes + self.kv_write_bytes
+    }
+
+    /// Arithmetic intensity in FLOP/byte.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.total_bytes();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.flops / b
+        }
+    }
+
+    /// Accumulate another cost.
+    pub fn add(&mut self, other: &OpCost) {
+        self.flops += other.flops;
+        self.weight_bytes += other.weight_bytes;
+        self.act_bytes += other.act_bytes;
+        self.kv_read_bytes += other.kv_read_bytes;
+        self.kv_write_bytes += other.kv_write_bytes;
+    }
+
+    /// Scale every component (e.g. by the number of layers).
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> OpCost {
+        OpCost {
+            flops: self.flops * k,
+            weight_bytes: self.weight_bytes * k,
+            act_bytes: self.act_bytes * k,
+            kv_read_bytes: self.kv_read_bytes * k,
+            kv_write_bytes: self.kv_write_bytes * k,
+        }
+    }
+}
+
+/// Cost of one [`BlockOp`] processing `new_tokens` fresh tokens per
+/// sequence with `past_tokens` of context, at batch size `batch`.
+///
+/// For prefill, `new_tokens` is the prompt length and `past_tokens` is 0;
+/// for decode, `new_tokens` is 1 and `past_tokens` grows per step.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn op_cost(
+    model: &ModelConfig,
+    op: BlockOp,
+    batch: u64,
+    new_tokens: u64,
+    past_tokens: u64,
+    dtype: DType,
+) -> OpCost {
+    let b = batch as f64;
+    let t = new_tokens as f64;
+    let s_total = (past_tokens + new_tokens) as f64;
+    let h = model.hidden as f64;
+    let kv = model.kv_dim() as f64;
+    let heads = model.heads as f64;
+    let d = model.head_dim() as f64;
+    let inter = model.intermediate as f64;
+    let e = dtype.bytes();
+    let a = dtype.act_bytes();
+    // Per-token active gate/up matrices (top_k experts for MoE), and the
+    // share of resident expert weights actually streamed this step.
+    let (gate_mats, compute_experts, touched) = match model.mlp {
+        crate::MlpKind::GatedSilu => (2.0, 1.0, 1.0),
+        crate::MlpKind::Gelu => (1.0, 1.0, 1.0),
+        crate::MlpKind::GatedMoe { top_k, .. } => (
+            2.0,
+            top_k as f64,
+            model.experts_touched(batch),
+        ),
+    };
+
+    match op {
+        BlockOp::InputNorm | BlockOp::PostAttnNorm => OpCost {
+            flops: 5.0 * b * t * h,
+            weight_bytes: h * e,
+            act_bytes: 2.0 * b * t * h * a,
+            ..OpCost::default()
+        },
+        BlockOp::QkvProj => OpCost {
+            flops: 2.0 * b * t * h * (h + 2.0 * kv),
+            weight_bytes: h * (h + 2.0 * kv) * e,
+            act_bytes: b * t * (h + (h + 2.0 * kv)) * a,
+            kv_write_bytes: b * t * 2.0 * kv * a,
+            ..OpCost::default()
+        },
+        BlockOp::Rope => OpCost {
+            flops: 4.0 * b * t * (h + kv),
+            act_bytes: 2.0 * b * t * (h + kv) * a,
+            ..OpCost::default()
+        },
+        BlockOp::AttnScores => OpCost {
+            // QK^T plus softmax.
+            flops: 2.0 * b * heads * t * s_total * d + 5.0 * b * heads * t * s_total,
+            act_bytes: b * t * h * a + ATTN_SPILL * b * heads * t * s_total * a,
+            kv_read_bytes: b * kv * s_total * a,
+            ..OpCost::default()
+        },
+        BlockOp::AttnContext => OpCost {
+            flops: 2.0 * b * heads * t * s_total * d,
+            act_bytes: ATTN_SPILL * b * heads * t * s_total * a + b * t * h * a,
+            kv_read_bytes: b * kv * s_total * a,
+            ..OpCost::default()
+        },
+        BlockOp::OProj => OpCost {
+            flops: 2.0 * b * t * h * h + b * t * h,
+            weight_bytes: h * h * e,
+            act_bytes: 3.0 * b * t * h * a, // in, residual, out
+            ..OpCost::default()
+        },
+        BlockOp::GateUpSilu => OpCost {
+            flops: compute_experts * (2.0 * b * t * h * gate_mats * inter + 4.0 * b * t * inter),
+            weight_bytes: touched * gate_mats * h * inter * e,
+            act_bytes: (b * t * h + compute_experts * gate_mats * b * t * inter) * a,
+            ..OpCost::default()
+        },
+        BlockOp::DownProj => OpCost {
+            flops: compute_experts * (2.0 * b * t * inter * h + b * t * h),
+            weight_bytes: touched * h * inter * e,
+            act_bytes: (compute_experts * b * t * inter + 2.0 * b * t * h) * a,
+            ..OpCost::default()
+        },
+    }
+}
+
+/// Cost of the input-embedding gather for `batch x new_tokens` tokens.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn embedding_cost(model: &ModelConfig, batch: u64, new_tokens: u64, dtype: DType) -> OpCost {
+    let gathered = (batch * new_tokens * model.hidden) as f64 * dtype.act_bytes();
+    OpCost {
+        act_bytes: 2.0 * gathered,
+        ..OpCost::default()
+    }
+}
+
+/// Cost of the final norm + LM head for `batch x new_tokens` tokens.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn lm_head_cost(model: &ModelConfig, batch: u64, new_tokens: u64, dtype: DType) -> OpCost {
+    let b = batch as f64;
+    let t = new_tokens as f64;
+    let h = model.hidden as f64;
+    let v = model.vocab as f64;
+    OpCost {
+        flops: 2.0 * b * t * h * v + 5.0 * b * t * h,
+        weight_bytes: v * h * dtype.bytes(),
+        act_bytes: (b * t * h + b * t * v) * dtype.act_bytes(),
+        ..OpCost::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn decode_gemv_intensity_is_about_batch() {
+        // For a weight-streaming GEMV, flops/weight-byte = 2*B/elem_size.
+        let m = zoo::llama2_7b();
+        for batch in [1u64, 4, 16] {
+            let c = op_cost(&m, BlockOp::QkvProj, batch, 1, 512, DType::Bf16);
+            let ai = c.flops / c.weight_bytes;
+            let expected = 2.0 * batch as f64 / 2.0;
+            assert!((ai - expected).abs() / expected < 0.05, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn attention_dominates_at_long_context() {
+        // KV reads grow with context; at 4096 past tokens the attention
+        // ops move more bytes than the QKV projection weights.
+        let m = zoo::llama2_7b();
+        let attn = op_cost(&m, BlockOp::AttnScores, 1, 1, 4096, DType::Bf16);
+        let qkv = op_cost(&m, BlockOp::QkvProj, 1, 1, 4096, DType::Bf16);
+        assert!(attn.kv_read_bytes > 0.3 * qkv.weight_bytes);
+    }
+
+    #[test]
+    fn block_flops_sum_matches_analytic() {
+        // Sum of block GEMM flops per decode token should be ~2 * block
+        // params (1 MAC per parameter, 2 flops per MAC).
+        let m = zoo::llama2_7b();
+        let mut total = OpCost::default();
+        for op in BlockOp::all() {
+            total.add(&op_cost(&m, op, 1, 1, 0, DType::Bf16));
+        }
+        let expected = 2.0 * m.block_params() as f64;
+        assert!(
+            (total.flops - expected).abs() / expected < 0.05,
+            "flops {} vs 2*params {}",
+            total.flops,
+            expected
+        );
+    }
+
+    #[test]
+    fn norms_are_tiny_fraction_of_block() {
+        // Figure 7: the two layer norms form only ~3% of block time; in
+        // byte terms they are an even smaller share at batch 4.
+        let m = zoo::llama2_7b();
+        let mut norm_bytes = 0.0;
+        let mut total_bytes = 0.0;
+        for op in BlockOp::all() {
+            let c = op_cost(&m, op, 4, 1, 128, DType::Bf16);
+            if matches!(op, BlockOp::InputNorm | BlockOp::PostAttnNorm) {
+                norm_bytes += c.total_bytes();
+            }
+            total_bytes += c.total_bytes();
+        }
+        assert!(norm_bytes / total_bytes < 0.05);
+    }
+
+    #[test]
+    fn prefill_is_compute_bound_decode_is_not() {
+        let m = zoo::llama2_7b();
+        let prefill = op_cost(&m, BlockOp::GateUpSilu, 1, 1024, 0, DType::Bf16);
+        let decode = op_cost(&m, BlockOp::GateUpSilu, 1, 1, 1024, DType::Bf16);
+        assert!(prefill.arithmetic_intensity() > 100.0);
+        assert!(decode.arithmetic_intensity() < 4.0);
+    }
+
+    #[test]
+    fn gqa_reduces_kv_traffic() {
+        let llama70 = zoo::llama2_70b();
+        let c = op_cost(&llama70, BlockOp::AttnScores, 1, 1, 1024, DType::Bf16);
+        // KV read with 8 kv-heads is 1/8 of what 64 full heads would read.
+        let full_kv = (llama70.hidden * 1025) as f64 * 2.0;
+        assert!(c.kv_read_bytes < full_kv / 4.0);
+    }
+
+    #[test]
+    fn scaled_and_add_are_linear() {
+        let m = zoo::llama2_7b();
+        let c = op_cost(&m, BlockOp::DownProj, 2, 1, 64, DType::Bf16);
+        let mut doubled = c;
+        doubled.add(&c);
+        let scaled = c.scaled(2.0);
+        assert!((doubled.flops - scaled.flops).abs() < 1e-6);
+        assert!((doubled.total_bytes() - scaled.total_bytes()).abs() < 1e-6);
+    }
+}

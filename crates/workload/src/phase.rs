@@ -1,0 +1,233 @@
+//! Request shaping: prefill and decode phases.
+//!
+//! The paper sweeps batch size (Figures 4, 8, 9, 11, 12), input length
+//! (Figures 10, 11, 13) and beam width (throughput runs use beam 4). This
+//! module turns a request specification into per-step workloads.
+
+use crate::ops::{self, BlockOp, OpCost};
+use crate::ModelConfig;
+use cllm_hw::DType;
+use serde::{Deserialize, Serialize};
+
+/// One inference request shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Number of sequences batched together.
+    pub batch: u64,
+    /// Prompt length in tokens.
+    pub input_tokens: u64,
+    /// Tokens to generate.
+    pub output_tokens: u64,
+    /// Beam width (beam search multiplies decode batch).
+    pub beam: u64,
+}
+
+impl RequestSpec {
+    /// A greedy-decoding request (beam 1).
+    #[must_use]
+    pub fn new(batch: u64, input_tokens: u64, output_tokens: u64) -> Self {
+        RequestSpec {
+            batch,
+            input_tokens,
+            output_tokens,
+            beam: 1,
+        }
+    }
+
+    /// Set the beam width (the paper's throughput runs use beam 4).
+    #[must_use]
+    pub fn with_beam(mut self, beam: u64) -> Self {
+        self.beam = beam.max(1);
+        self
+    }
+
+    /// Effective decode batch: each beam is a live sequence.
+    #[must_use]
+    pub fn decode_batch(&self) -> u64 {
+        self.batch * self.beam
+    }
+
+    /// The workload of the prefill phase (all prompt tokens at once).
+    #[must_use]
+    pub fn prefill_step(&self, model: &ModelConfig, dtype: DType) -> StepWorkload {
+        StepWorkload::build(model, dtype, self.batch, self.input_tokens, 0)
+    }
+
+    /// The workload of decode step `position` (0-based: the first
+    /// generated token sees `input_tokens` of context).
+    #[must_use]
+    pub fn decode_step(&self, model: &ModelConfig, dtype: DType, position: u64) -> StepWorkload {
+        StepWorkload::build(
+            model,
+            dtype,
+            self.decode_batch(),
+            1,
+            self.input_tokens + position,
+        )
+    }
+
+    /// Context length at the *median* decode step — a good single
+    /// operating point for steady-state throughput models.
+    #[must_use]
+    pub fn median_context(&self) -> u64 {
+        self.input_tokens + self.output_tokens / 2
+    }
+}
+
+/// Total cost of an arbitrary forward pass — convenience for simulators
+/// that do not need the per-operator breakdown.
+#[must_use]
+pub fn step_cost(
+    model: &ModelConfig,
+    dtype: DType,
+    batch: u64,
+    new_tokens: u64,
+    past_tokens: u64,
+) -> OpCost {
+    StepWorkload::build(model, dtype, batch, new_tokens, past_tokens).total()
+}
+
+/// The complete workload of one forward pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepWorkload {
+    /// Cost of each block operator for ONE decoder layer.
+    pub per_op: Vec<(BlockOp, OpCost)>,
+    /// Number of decoder layers.
+    pub layers: u64,
+    /// Embedding gather cost.
+    pub embedding: OpCost,
+    /// Final norm + LM head cost.
+    pub lm_head: OpCost,
+    /// Tokens produced by this step per sequence (prompt length for
+    /// prefill, 1 for decode).
+    pub new_tokens: u64,
+    /// Batch size of the step.
+    pub batch: u64,
+}
+
+impl StepWorkload {
+    fn build(
+        model: &ModelConfig,
+        dtype: DType,
+        batch: u64,
+        new_tokens: u64,
+        past_tokens: u64,
+    ) -> Self {
+        let per_op = BlockOp::all()
+            .into_iter()
+            .map(|op| (op, ops::op_cost(model, op, batch, new_tokens, past_tokens, dtype)))
+            .collect();
+        StepWorkload {
+            per_op,
+            layers: model.layers,
+            embedding: ops::embedding_cost(model, batch, new_tokens, dtype),
+            lm_head: ops::lm_head_cost(model, batch, new_tokens, dtype),
+            new_tokens,
+            batch,
+        }
+    }
+
+    /// Total cost of one decoder layer.
+    #[must_use]
+    pub fn block_total(&self) -> OpCost {
+        let mut t = OpCost::default();
+        for (_, c) in &self.per_op {
+            t.add(c);
+        }
+        t
+    }
+
+    /// Total cost of the whole forward pass.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn total(&self) -> OpCost {
+        let mut t = self.block_total().scaled(self.layers as f64);
+        t.add(&self.embedding);
+        t.add(&self.lm_head);
+        t
+    }
+
+    /// Arithmetic intensity of the full pass, FLOP/byte.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.total().arithmetic_intensity()
+    }
+
+    /// Fraction of total bytes attributable to decoder blocks (the paper
+    /// observes decoder blocks take 99.9% of time).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn block_byte_share(&self) -> f64 {
+        let blocks = self.block_total().scaled(self.layers as f64).total_bytes();
+        blocks / self.total().total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn decode_batch_multiplies_beam() {
+        let r = RequestSpec::new(6, 1024, 128).with_beam(4);
+        assert_eq!(r.decode_batch(), 24);
+    }
+
+    #[test]
+    fn beam_zero_clamped_to_one() {
+        let r = RequestSpec::new(1, 8, 8).with_beam(0);
+        assert_eq!(r.beam, 1);
+    }
+
+    #[test]
+    fn intensity_grows_with_batch() {
+        let m = zoo::llama2_7b();
+        let mut prev = 0.0;
+        for batch in [1u64, 4, 16, 64, 256] {
+            let step = RequestSpec::new(batch, 128, 128).decode_step(&m, DType::Bf16, 0);
+            let ai = step.arithmetic_intensity();
+            assert!(ai > prev, "batch {batch}: {ai} <= {prev}");
+            prev = ai;
+        }
+    }
+
+    #[test]
+    fn prefill_much_more_intense_than_decode() {
+        let m = zoo::llama2_7b();
+        let r = RequestSpec::new(1, 1024, 128);
+        let prefill = r.prefill_step(&m, DType::Bf16).arithmetic_intensity();
+        let decode = r.decode_step(&m, DType::Bf16, 0).arithmetic_intensity();
+        assert!(prefill > 20.0 * decode);
+    }
+
+    #[test]
+    fn blocks_dominate_bytes() {
+        // Paper: "decoder blocks take 99.9% of the time".
+        let m = zoo::llama2_7b();
+        let step = RequestSpec::new(4, 128, 128).decode_step(&m, DType::Bf16, 64);
+        assert!(step.block_byte_share() > 0.85);
+    }
+
+    #[test]
+    fn later_positions_cost_more_kv() {
+        let m = zoo::llama2_7b();
+        let r = RequestSpec::new(1, 512, 512);
+        let early = r.decode_step(&m, DType::Bf16, 0).total();
+        let late = r.decode_step(&m, DType::Bf16, 511).total();
+        assert!(late.kv_read_bytes > early.kv_read_bytes);
+        assert!(late.flops > early.flops);
+    }
+
+    #[test]
+    fn decode_bytes_near_weight_bytes_at_batch1() {
+        // At batch 1 with short context, decode streams approximately the
+        // model weights once per token.
+        let m = zoo::llama2_7b();
+        let step = RequestSpec::new(1, 128, 16).decode_step(&m, DType::Bf16, 0);
+        let total = step.total().total_bytes();
+        let weights = m.streamed_weight_bytes(DType::Bf16);
+        let ratio = total / weights;
+        assert!((0.9..1.6).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests on the workload cost model.
+
+use cllm_hw::DType;
+use cllm_workload::ops::{op_cost, BlockOp};
+use cllm_workload::phase::{step_cost, RequestSpec};
+use cllm_workload::zoo;
+use proptest::prelude::*;
+
+fn dtype_strategy() -> impl Strategy<Value = DType> {
+    prop_oneof![Just(DType::F32), Just(DType::Bf16), Just(DType::Int8)]
+}
+
+proptest! {
+    /// FLOPs scale exactly linearly with batch for every operator.
+    #[test]
+    fn flops_linear_in_batch(batch in 1u64..256, new in 1u64..64, past in 0u64..2048,
+                             dtype in dtype_strategy()) {
+        let m = zoo::llama2_7b();
+        for op in BlockOp::all() {
+            let one = op_cost(&m, op, 1, new, past, dtype).flops;
+            let many = op_cost(&m, op, batch, new, past, dtype).flops;
+            prop_assert!((many - one * batch as f64).abs() < one * batch as f64 * 1e-9 + 1.0,
+                "{op:?}: {many} vs {one}*{batch}");
+        }
+    }
+
+    /// Longer context never reduces any cost component.
+    #[test]
+    fn costs_monotone_in_context(batch in 1u64..64, past in 0u64..4096, extra in 1u64..512,
+                                 dtype in dtype_strategy()) {
+        let m = zoo::llama2_7b();
+        let a = step_cost(&m, dtype, batch, 1, past);
+        let b = step_cost(&m, dtype, batch, 1, past + extra);
+        prop_assert!(b.flops >= a.flops);
+        prop_assert!(b.kv_read_bytes >= a.kv_read_bytes);
+        prop_assert!(b.total_bytes() >= a.total_bytes());
+    }
+
+    /// Weight traffic is independent of batch (weights are shared); for
+    /// MoE it may grow with batch (expert coverage) but never beyond the
+    /// full expert set.
+    #[test]
+    fn weight_bytes_behaviour(batch in 2u64..256) {
+        let dense = zoo::llama2_7b();
+        let one = step_cost(&dense, DType::Bf16, 1, 1, 64).weight_bytes;
+        let many = step_cost(&dense, DType::Bf16, batch, 1, 64).weight_bytes;
+        prop_assert!((one - many).abs() < 1.0, "dense weights must not scale with batch");
+
+        let moe = zoo::mixtral_8x7b();
+        let m_one = step_cost(&moe, DType::Bf16, 1, 1, 64).weight_bytes;
+        let m_many = step_cost(&moe, DType::Bf16, batch, 1, 64).weight_bytes;
+        let m_full = step_cost(&moe, DType::Bf16, 10_000, 1, 64).weight_bytes;
+        prop_assert!(m_many >= m_one - 1.0);
+        prop_assert!(m_many <= m_full + 1.0);
+    }
+
+    /// Prefill cost of N tokens exceeds any single decode step, and
+    /// intensity of prefill exceeds decode.
+    #[test]
+    fn prefill_dominates_decode(input in 8u64..2048, batch in 1u64..16) {
+        let m = zoo::llama2_7b();
+        let req = RequestSpec::new(batch, input, 8);
+        let prefill = req.prefill_step(&m, DType::Bf16);
+        let decode = req.decode_step(&m, DType::Bf16, 0);
+        prop_assert!(prefill.total().flops > decode.total().flops);
+        prop_assert!(prefill.arithmetic_intensity() > decode.arithmetic_intensity());
+    }
+
+    /// Beam width multiplies decode batch exactly.
+    #[test]
+    fn beam_multiplies_decode(batch in 1u64..32, beam in 1u64..8) {
+        let req = RequestSpec::new(batch, 64, 8).with_beam(beam);
+        prop_assert_eq!(req.decode_batch(), batch * beam);
+    }
+}

@@ -1,0 +1,79 @@
+//! Capacity planner: given a traffic shape and a security policy, pick
+//! the cheapest confidential deployment — the Section V-D decision the
+//! paper's cost analysis (Figures 12/13) supports.
+//!
+//! ```text
+//! cargo run --example capacity_planner -- [batch] [input_tokens]
+//! ```
+
+use confidential_llms_in_tees::cost::{
+    cost_advantage_pct, cost_per_mtok, CpuPricing, GpuPricing,
+};
+use confidential_llms_in_tees::hw::DType;
+use confidential_llms_in_tees::perf::{simulate_cpu, simulate_gpu, CpuTarget};
+use confidential_llms_in_tees::tee::platform::{CpuTeeConfig, GpuTeeConfig};
+use confidential_llms_in_tees::workload::phase::RequestSpec;
+use confidential_llms_in_tees::workload::zoo;
+
+const MEMORY_GIB: f64 = 128.0;
+const VCPUS_PER_CORE: u32 = 2;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let batch: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let input: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(512);
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(batch, input, 128);
+    println!(
+        "planning for {}: batch {batch}, {input} input / 128 output tokens\n",
+        model.name
+    );
+
+    // --- CPU TEE (TDX on EMR2), sweep core counts -----------------------
+    let pricing = CpuPricing::gcp_spot_us_east1();
+    let mut best: Option<(u32, f64, f64)> = None; // (cores, tps, $/Mtok)
+    println!("TDX on EMR2 (GCP spot, {MEMORY_GIB} GiB):");
+    for cores in [4u32, 8, 16, 32, 48, 60] {
+        let target = CpuTarget::emr2_single_socket().with_cores(cores);
+        let sim = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx());
+        let price = pricing.instance_cost_per_hr(cores * VCPUS_PER_CORE, MEMORY_GIB);
+        let usd = cost_per_mtok(price, sim.e2e_tps);
+        println!(
+            "  {cores:>2} cores: {:>7.0} tok/s  ${price:.3}/hr  ${usd:.3}/Mtok  ({:.0} ms/token)",
+            sim.e2e_tps,
+            sim.summary.mean * 1e3
+        );
+        if best.is_none_or(|(_, _, b)| usd < b) {
+            best = Some((cores, sim.e2e_tps, usd));
+        }
+    }
+    let (cpu_cores, cpu_tps, cpu_usd) = best.expect("sweep is nonempty");
+
+    // --- confidential H100 ------------------------------------------------
+    let gpu = cllm_hw::presets::h100_nvl();
+    let sim = simulate_gpu(&model, &req, DType::Bf16, &gpu, &GpuTeeConfig::confidential());
+    let gpu_usd = cost_per_mtok(GpuPricing::azure_ncc_h100().per_hr, sim.e2e_tps);
+    println!(
+        "\ncGPU (Azure NCCads_H100_v5): {:>7.0} tok/s  ${:.2}/hr  ${gpu_usd:.3}/Mtok",
+        sim.e2e_tps,
+        GpuPricing::azure_ncc_h100().per_hr
+    );
+
+    // --- recommendation ----------------------------------------------------
+    let adv = cost_advantage_pct(cpu_usd, gpu_usd);
+    println!("\nrecommendation:");
+    if adv > 5.0 {
+        println!(
+            "  TDX with {cpu_cores} cores: ${cpu_usd:.3}/Mtok at {cpu_tps:.0} tok/s — {adv:.0}% cheaper than the cGPU"
+        );
+        println!("  (also the stricter security model: encrypted DRAM, Insight 11)");
+    } else if adv < -5.0 {
+        println!(
+            "  cGPU: ${gpu_usd:.3}/Mtok — the compute demand saturates the H100 ({:.0}% cheaper than CPU)",
+            -adv
+        );
+        println!("  (note: H100 HBM is unencrypted; check your threat model, Section V-D3)");
+    } else {
+        println!("  cost parity (within 5%) — choose by security policy: CPU TEE is stricter");
+    }
+}

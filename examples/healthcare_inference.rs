@@ -1,0 +1,92 @@
+//! Healthcare scenario: a hospital runs an LLM over confidential patient
+//! notes in the public cloud — the motivating use case of the paper's
+//! introduction (health records processed by a cloud-deployed LLM).
+//!
+//! The example demonstrates the full defensive posture:
+//!
+//! 1. Patient records are stored on a LUKS-like encrypted block device
+//!    (what TDX deployments must add themselves, Section III-B).
+//! 2. The model is sealed to the enclave identity; a tampered runtime
+//!    cannot obtain the key.
+//! 3. Platform choice is driven by policy: strictest security and small
+//!    batches → CPU TEE (Insight 11).
+//!
+//! ```text
+//! cargo run --example healthcare_inference
+//! ```
+
+use confidential_llms_in_tees::core::pipeline::{ConfidentialPipeline, DeploymentSpec};
+use confidential_llms_in_tees::crypto::drbg::HashDrbg;
+use confidential_llms_in_tees::tee::platform::{CpuTeeConfig, Platform, TeeKind};
+use confidential_llms_in_tees::tee::sealed::{BlockDevice, SECTOR_BYTES};
+use confidential_llms_in_tees::tee::threat::{security_score, Attack, protection};
+use confidential_llms_in_tees::workload::phase::RequestSpec;
+
+const PATIENT_NOTES: &[&str] = &[
+    "patient A: persistent cough, two weeks, no fever, prior asthma",
+    "patient B: elevated blood pressure, family history of stroke",
+    "patient C: post-operative check, knee arthroscopy, mild swelling",
+];
+
+fn main() {
+    // --- policy: choose the platform by security score ------------------
+    let candidates = [TeeKind::Tdx, TeeKind::Sgx, TeeKind::GpuCc];
+    for kind in candidates {
+        println!(
+            "candidate {:5} security score {:>4.0}%  (memory snooping: {:?})",
+            kind.label(),
+            security_score(kind) * 100.0,
+            protection(kind, Attack::MemorySnoop),
+        );
+    }
+    // Health records demand full memory encryption -> CPU TEE (H100 HBM
+    // is unencrypted, Section V-D3). Small per-patient batches also make
+    // the CPU TEE the cost-efficient choice (Insight 11).
+    let platform = Platform::Cpu(CpuTeeConfig::tdx());
+    println!("policy selected: {}\n", platform.label());
+
+    // --- encrypted record storage ---------------------------------------
+    let mut drbg = HashDrbg::new(b"hospital-disk-key");
+    let disk_key = drbg.gen_key16();
+    let mut disk = BlockDevice::format(&disk_key, 256);
+    let mut sectors = Vec::new();
+    let mut next = 0u64;
+    for note in PATIENT_NOTES {
+        let used = disk.write_bytes(next, note.as_bytes());
+        sectors.push((next, note.len()));
+        next += used;
+    }
+    // What the cloud provider sees on disk is ciphertext:
+    let raw = disk.raw_sector(0);
+    assert!(!raw.starts_with(b"patient"));
+    println!(
+        "stored {} records on encrypted device ({} sectors, {}B each, ciphertext at rest)",
+        PATIENT_NOTES.len(),
+        next,
+        SECTOR_BYTES
+    );
+
+    // --- confidential inference -----------------------------------------
+    let spec = DeploymentSpec::tiny_demo(platform);
+    let pipeline = ConfidentialPipeline::deploy(&spec).expect("hospital attests the enclave");
+    println!("enclave attested: {}", &pipeline.measurement_hex()[..16]);
+
+    for &(sector, len) in &sectors {
+        let note = String::from_utf8(disk.read_bytes(sector, len)).expect("utf8 notes");
+        let summary = pipeline.generate(&note, 12);
+        println!("  triage[{}..]: {} bytes of model output", &note[..9], summary.len());
+    }
+
+    // --- capacity estimate ------------------------------------------------
+    // Nightly batch job: summarize 6 notes at a time, 1024-token charts.
+    let req = RequestSpec::new(6, 1024, 128).with_beam(4);
+    let est = pipeline.estimate(&req);
+    println!(
+        "\nnightly batch estimate (Llama2-7B class): {:.1} tok/s, {:.0} ms/token, first token {:.2}s",
+        est.decode_tps,
+        est.token_latency_s * 1e3,
+        est.prefill_s
+    );
+    assert!(est.token_latency_s < 0.2, "stays under reading speed");
+    println!("service level: under the 200 ms/word reading-speed standard ✓");
+}

@@ -1,0 +1,36 @@
+//! Regenerate every table and figure of the paper in one run, printing
+//! each as a text table (the same data the `cllm-bench` `figN` binaries
+//! emit as JSON).
+//!
+//! ```text
+//! cargo run --release --example paper_figures            # everything
+//! cargo run --release --example paper_figures -- fig9    # one figure
+//! ```
+
+use confidential_llms_in_tees::core::experiments::{all_experiments, run_by_id};
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1);
+    match filter {
+        Some(id) => match run_by_id(&id) {
+            Some(result) => println!("{}", result.render()),
+            None => {
+                eprintln!(
+                    "unknown experiment '{id}'; available: {}",
+                    all_experiments()
+                        .iter()
+                        .map(|(i, _)| *i)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+        None => {
+            for (id, runner) in all_experiments() {
+                let _ = id;
+                println!("{}", runner().render());
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Facade crate for the *Confidential LLM Inference* reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use confidential_llms_in_tees::...`.
+
+#![forbid(unsafe_code)]
+
+pub use cllm_core as core;
+pub use cllm_cost as cost;
+pub use cllm_crypto as crypto;
+pub use cllm_hw as hw;
+pub use cllm_infer as infer;
+pub use cllm_perf as perf;
+pub use cllm_rag as rag;
+pub use cllm_retrieval as retrieval;
+pub use cllm_serve as serve;
+pub use cllm_tee as tee;
+pub use cllm_workload as workload;

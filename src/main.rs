@@ -1,0 +1,293 @@
+//! `cllm` — command-line interface to the confidential-LLM toolkit.
+//!
+//! ```text
+//! cllm figures [id]                      regenerate paper tables/figures
+//! cllm insights                          check the paper's 12 insights
+//! cllm deploy [--platform P]             attest + generate a demo completion
+//! cllm estimate [--platform P] [...]     predict perf for a request shape
+//! cllm plan [--batch N] [--input N]      CPU-vs-cGPU cost recommendation
+//! cllm serve [--rate R] [--platform P]   online serving SLO report
+//! ```
+
+use cllm_core::experiments::{all_experiments, run_by_id};
+use cllm_core::pipeline::{ConfidentialPipeline, DeploymentSpec};
+use cllm_cost::{cost_advantage_pct, cost_per_mtok, CpuPricing, GpuPricing};
+use cllm_hw::DType;
+use cllm_perf::{simulate_gpu, CpuTarget};
+use cllm_serve::sim::{simulate_serving, ServingConfig};
+use cllm_serve::slo::Slo;
+use cllm_serve::workload::ArrivalProcess;
+use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, Platform};
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::zoo;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        print_usage();
+        return ExitCode::from(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    match command {
+        "figures" => cmd_figures(args.get(1).filter(|a| !a.starts_with("--")).cloned()),
+        "insights" => cmd_insights(),
+        "deploy" => cmd_deploy(&flags),
+        "estimate" => cmd_estimate(&flags),
+        "plan" => cmd_plan(&flags),
+        "serve" => cmd_serve(&flags),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}\n");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "cllm — confidential LLM inference toolkit\n\n\
+         usage:\n  cllm figures [id]                 regenerate paper tables/figures\n  \
+         cllm insights                     check the paper's 12 insights\n  \
+         cllm deploy [--platform P]        attest an enclave and run a demo completion\n  \
+         cllm estimate [--platform P] [--dtype bf16|int8] [--batch N] [--input N] [--output N]\n  \
+         cllm plan [--batch N] [--input N] cost recommendation: TDX vs confidential H100\n  \
+         cllm serve [--rate R] [--platform P] [--duration S]  online SLO report\n\n\
+         platforms: bare, vm, tdx, sgx, sev-snp, gpu, cgpu"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(key.to_owned(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn platform_from(flags: &HashMap<String, String>) -> Result<Platform, String> {
+    let name = flags.get("platform").map_or("tdx", String::as_str);
+    Ok(match name {
+        "bare" => Platform::Cpu(CpuTeeConfig::bare_metal()),
+        "vm" => Platform::Cpu(CpuTeeConfig::vm()),
+        "tdx" => Platform::Cpu(CpuTeeConfig::tdx()),
+        "sgx" => Platform::Cpu(CpuTeeConfig::sgx()),
+        "sev-snp" | "sev" => Platform::Cpu(CpuTeeConfig::sev_snp()),
+        "gpu" => Platform::Gpu(GpuTeeConfig::native()),
+        "cgpu" => Platform::Gpu(GpuTeeConfig::confidential()),
+        other => return Err(format!("unknown platform {other:?}")),
+    })
+}
+
+fn num_flag(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_figures(id: Option<String>) -> ExitCode {
+    match id {
+        Some(id) => match run_by_id(&id) {
+            Some(result) => {
+                println!("{}", result.render());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment {id:?}; available: {}",
+                    all_experiments()
+                        .iter()
+                        .map(|(i, _)| *i)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                ExitCode::from(2)
+            }
+        },
+        None => {
+            for (_, runner) in all_experiments() {
+                println!("{}", runner().render());
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_insights() -> ExitCode {
+    let summary = cllm_core::summary::build();
+    println!("{}", summary.render());
+    let ok = summary.confirmed();
+    println!("{ok}/12 insights confirmed");
+    if ok == 12 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_deploy(flags: &HashMap<String, String>) -> ExitCode {
+    let platform = match platform_from(flags) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = DeploymentSpec::tiny_demo(platform);
+    match ConfidentialPipeline::deploy(&spec) {
+        Ok(pipeline) => {
+            println!("platform    : {}", pipeline.spec().platform.label());
+            println!("measurement : {}", pipeline.measurement_hex());
+            let prompt = flags
+                .get("prompt")
+                .map_or("confidential inference", String::as_str);
+            let out = pipeline.generate(prompt, 24);
+            println!("generated   : {} bytes from prompt {prompt:?}", out.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("deployment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_estimate(flags: &HashMap<String, String>) -> ExitCode {
+    let platform = match platform_from(flags) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dtype = match flags.get("dtype").map(String::as_str) {
+        Some("int8") => DType::Int8,
+        Some("f32") => DType::F32,
+        _ => DType::Bf16,
+    };
+    let req = RequestSpec::new(
+        num_flag(flags, "batch", 1),
+        num_flag(flags, "input", 1024),
+        num_flag(flags, "output", 128),
+    );
+    let mut spec = DeploymentSpec::tiny_demo(platform);
+    spec.dtype = dtype;
+    let pipeline = match ConfidentialPipeline::deploy(&spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("deployment failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let est = pipeline.estimate(&req);
+    println!(
+        "{} | {} | batch {} | {} in / {} out",
+        pipeline.spec().platform.label(),
+        dtype.label(),
+        req.batch,
+        req.input_tokens,
+        req.output_tokens
+    );
+    println!("first token : {:.3} s", est.prefill_s);
+    println!("per token   : {:.1} ms", est.token_latency_s * 1e3);
+    println!("decode rate : {:.1} tok/s", est.decode_tps);
+    println!("e2e rate    : {:.1} tok/s", est.e2e_tps);
+    ExitCode::SUCCESS
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> ExitCode {
+    let batch = num_flag(flags, "batch", 16);
+    let input = num_flag(flags, "input", 512);
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(batch, input, 128);
+
+    let pricing = CpuPricing::gcp_spot_us_east1();
+    let mut best: Option<(u32, f64)> = None;
+    for cores in [4u32, 8, 16, 32, 48, 60] {
+        let target = CpuTarget::emr2_single_socket().with_cores(cores);
+        let sim = cllm_perf::simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx());
+        let price = pricing.instance_cost_per_hr(cores * 2, 128.0);
+        let usd = cost_per_mtok(price, sim.e2e_tps);
+        if best.is_none_or(|(_, b)| usd < b) {
+            best = Some((cores, usd));
+        }
+    }
+    let (cpu_cores, cpu_usd) = best.expect("nonempty sweep");
+    let gpu = cllm_hw::presets::h100_nvl();
+    let sim = simulate_gpu(&model, &req, DType::Bf16, &gpu, &GpuTeeConfig::confidential());
+    let gpu_usd = cost_per_mtok(GpuPricing::azure_ncc_h100().per_hr, sim.e2e_tps);
+    let adv = cost_advantage_pct(cpu_usd, gpu_usd);
+
+    println!("shape       : batch {batch}, {input} in / 128 out ({})", model.name);
+    println!("TDX best    : ${cpu_usd:.3}/Mtok at {cpu_cores} cores");
+    println!("cGPU        : ${gpu_usd:.3}/Mtok");
+    if adv > 5.0 {
+        println!("recommend   : TDX ({adv:.0}% cheaper; stricter security model)");
+    } else if adv < -5.0 {
+        println!("recommend   : cGPU ({:.0}% cheaper; check HBM-encryption threat model)", -adv);
+    } else {
+        println!("recommend   : cost parity — decide by security policy (CPU TEE stricter)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
+    let rate = flags
+        .get("rate")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let duration = flags
+        .get("duration")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60.0);
+    let tee = match platform_from(flags) {
+        Ok(Platform::Cpu(tee)) => tee,
+        Ok(Platform::Gpu(_)) => {
+            eprintln!("serve simulates CPU platforms; use --platform bare|vm|tdx|sgx|sev-snp");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = ServingConfig {
+        arrivals: ArrivalProcess::chat(rate, 42),
+        duration_s: duration,
+        ..ServingConfig::small_test()
+    };
+    let report = simulate_serving(&cfg, &tee);
+    println!(
+        "platform {} | rate {rate}/s | {} requests over {duration}s",
+        tee.kind.label(),
+        report.arrivals
+    );
+    println!("goodput     : {:.1} tok/s", report.goodput_tps);
+    println!(
+        "TTFT        : p50 {:.2} s, p95 {:.2} s",
+        report.ttft_p50_s, report.ttft_p95_s
+    );
+    println!(
+        "TPOT        : p50 {:.0} ms, p95 {:.0} ms",
+        report.tpot_p50_s * 1e3,
+        report.tpot_p95_s * 1e3
+    );
+    println!(
+        "SLO (2s TTFT, 200ms/token): {:.1}% attainment",
+        report.slo_attainment(Slo::interactive()) * 100.0
+    );
+    ExitCode::SUCCESS
+}

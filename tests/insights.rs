@@ -1,0 +1,26 @@
+//! The paper's 12 insights, asserted end to end through the facade.
+
+use confidential_llms_in_tees::core::insights::check_all;
+use confidential_llms_in_tees::core::summary;
+
+#[test]
+fn all_twelve_insights_hold() {
+    let checks = check_all();
+    assert_eq!(checks.len(), 12);
+    let failed: Vec<String> = checks
+        .iter()
+        .filter(|c| !c.holds)
+        .map(|c| format!("insight {}: {} [{}]", c.id, c.statement, c.evidence))
+        .collect();
+    assert!(failed.is_empty(), "failed insights:\n{}", failed.join("\n"));
+}
+
+#[test]
+fn summary_renders_complete_report() {
+    let s = summary::build();
+    assert_eq!(s.confirmed(), 12);
+    let text = s.render();
+    for needle in ["Table I", "insight  1", "insight 12", "single-resource overhead"] {
+        assert!(text.contains(needle), "missing: {needle}");
+    }
+}

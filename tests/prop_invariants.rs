@@ -1,0 +1,111 @@
+//! Cross-crate property tests: invariants the simulator and substrates
+//! must satisfy for *any* valid input, not just the paper's operating
+//! points.
+
+use cllm_hw::DType;
+use cllm_perf::{simulate_cpu, CpuTarget};
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::phase::RequestSpec;
+use cllm_workload::{kv, zoo};
+use proptest::prelude::*;
+
+fn dtype_strategy() -> impl Strategy<Value = DType> {
+    prop_oneof![Just(DType::Bf16), Just(DType::Int8)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// TEEs never make inference faster: bare <= VM <= TDX in mean token
+    /// latency for any request shape.
+    #[test]
+    fn tee_ordering_holds_everywhere(
+        batch in 1u64..64,
+        input in prop_oneof![Just(32u64), Just(128), Just(1024)],
+        dtype in dtype_strategy(),
+    ) {
+        let model = zoo::llama2_7b();
+        let req = RequestSpec::new(batch, input, 16);
+        let target = CpuTarget::emr1_single_socket();
+        let bare = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
+        let vm = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::vm());
+        let tdx = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::tdx());
+        // Deterministic noise is a few percent; TEE gaps exceed it, but
+        // allow a 1% tolerance for the bare-vs-VM comparison.
+        prop_assert!(bare.summary.mean < vm.summary.mean * 1.01);
+        prop_assert!(vm.summary.mean < tdx.summary.mean);
+    }
+
+    /// More cores never reduce throughput (beyond the deterministic
+    /// noise model's jitter, washed out over 64 tokens).
+    #[test]
+    fn cores_monotone(batch in 1u64..128) {
+        let model = zoo::llama2_7b();
+        let req = RequestSpec::new(batch, 128, 64);
+        let mut prev = 0.0;
+        for cores in [4u32, 16, 60] {
+            let target = CpuTarget::emr2_single_socket().with_cores(cores);
+            let tps = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx())
+                .decode_tps;
+            prop_assert!(tps >= prev * 0.97, "cores {cores}: {tps} < {prev}");
+            prev = tps;
+        }
+    }
+
+    /// Larger batches never reduce total throughput.
+    #[test]
+    fn batch_monotone_throughput(input in prop_oneof![Just(64u64), Just(512)]) {
+        let model = zoo::llama2_7b();
+        let target = CpuTarget::emr2_single_socket();
+        let mut prev = 0.0;
+        for batch in [1u64, 8, 64, 256] {
+            let req = RequestSpec::new(batch, input, 64);
+            let tps = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::bare_metal())
+                .decode_tps;
+            prop_assert!(tps > prev, "batch {batch}: {tps} <= {prev}");
+            prev = tps;
+        }
+    }
+
+    /// KV accounting is exactly linear in batch and sequence length.
+    #[test]
+    fn kv_linearity(batch in 1u64..512, seq in 1u64..8192, dtype in dtype_strategy()) {
+        let model = zoo::llama2_70b();
+        let one = kv::kv_bytes_total(&model, 1, 1, dtype);
+        let total = kv::kv_bytes_total(&model, batch, seq, dtype);
+        let expected = one * batch as f64 * seq as f64;
+        prop_assert!((total - expected).abs() < expected * 1e-9 + 1.0);
+    }
+
+    /// Cost per token is inversely proportional to throughput.
+    #[test]
+    fn cost_inverse_throughput(tps in 1.0f64..1e5, price in 0.01f64..100.0) {
+        let c1 = cllm_cost::cost_per_mtok(price, tps);
+        let c2 = cllm_cost::cost_per_mtok(price, 2.0 * tps);
+        prop_assert!((c1 / c2 - 2.0).abs() < 1e-9);
+    }
+
+    /// Sealing round-trips for any payload; wrong measurement always fails.
+    #[test]
+    fn sealing_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..512),
+                         m1 in any::<[u8; 32]>(), m2 in any::<[u8; 32]>()) {
+        use cllm_tee::attestation::Measurement;
+        use cllm_tee::sealed::SealedBlob;
+        prop_assume!(m1 != m2);
+        let blob = SealedBlob::seal(b"hw", &Measurement(m1), "f", &payload, b"seed");
+        prop_assert_eq!(blob.unseal(b"hw", &Measurement(m1)).unwrap(), payload);
+        prop_assert!(blob.unseal(b"hw", &Measurement(m2)).is_err());
+    }
+
+    /// The simulator is deterministic: identical inputs, identical output.
+    #[test]
+    fn simulator_deterministic(batch in 1u64..32, dtype in dtype_strategy()) {
+        let model = zoo::llama2_7b();
+        let req = RequestSpec::new(batch, 128, 8);
+        let target = CpuTarget::emr1_single_socket();
+        let a = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::tdx());
+        let b = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::tdx());
+        prop_assert_eq!(a.token_latencies_s, b.token_latencies_s);
+        prop_assert_eq!(a.prefill_s, b.prefill_s);
+    }
+}
