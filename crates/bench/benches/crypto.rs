@@ -52,8 +52,16 @@ fn bench_kdf_and_drbg(c: &mut Criterion) {
     });
     let mut drbg = HashDrbg::new(b"bench");
     let mut out = [0u8; 256];
-    c.bench_function("drbg_fill_256B", |b| b.iter(|| drbg.fill(black_box(&mut out))));
+    c.bench_function("drbg_fill_256B", |b| {
+        b.iter(|| drbg.fill(black_box(&mut out)))
+    });
 }
 
-criterion_group!(benches, bench_sha256, bench_gcm, bench_ctr_and_device, bench_kdf_and_drbg);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_gcm,
+    bench_ctr_and_device,
+    bench_kdf_and_drbg
+);
 criterion_main!(benches);

@@ -55,7 +55,15 @@ fn bench_noise_ablation(c: &mut Criterion) {
     }
     let mut group = c.benchmark_group("ablation_noise_model");
     group.bench_function("with_noise", |b| {
-        b.iter(|| black_box(simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx())))
+        b.iter(|| {
+            black_box(simulate_cpu(
+                &model,
+                &req,
+                DType::Bf16,
+                &target,
+                &CpuTeeConfig::tdx(),
+            ))
+        })
     });
     group.bench_function("no_noise", |b| {
         b.iter(|| black_box(simulate_cpu(&model, &req, DType::Bf16, &target, &quiet_tdx)))
@@ -86,5 +94,10 @@ fn bench_epc_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulators, bench_noise_ablation, bench_epc_ablation);
+criterion_group!(
+    benches,
+    bench_simulators,
+    bench_noise_ablation,
+    bench_epc_ablation
+);
 criterion_main!(benches);

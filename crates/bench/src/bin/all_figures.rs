@@ -1,9 +1,63 @@
-//! Regenerate every table and figure of the paper in order, printing each
-//! table and writing JSON under `results/`.
+//! Regenerate every table and figure of the paper, printing each table
+//! and writing JSON under the results directory (`CLLM_RESULTS_DIR` or
+//! `results/`).
+//!
+//! The registry runs twice from a cold simulation cache — once
+//! sequentially, once across the parallel runner's worker pool — and the
+//! binary asserts the two runs render byte-identical JSON before
+//! persisting, then reports the wall-clock comparison.
+
+use std::time::Instant;
 
 fn main() {
-    for (id, _) in cllm_core::experiments::all_experiments() {
-        let _ = cllm_bench::run_and_emit(id);
+    let workers = cllm_core::runner::default_workers();
+
+    cllm_perf::cache::clear();
+    let t0 = Instant::now();
+    let sequential = cllm_core::runner::run_all_sequential();
+    let seq_wall = t0.elapsed();
+
+    cllm_perf::cache::clear();
+    let t1 = Instant::now();
+    let parallel = cllm_core::runner::run_all_parallel(workers);
+    let par_wall = t1.elapsed();
+    let cache = cllm_perf::cache::stats();
+
+    assert_eq!(
+        sequential.len(),
+        parallel.len(),
+        "runner dropped experiments"
+    );
+    for (seq, par) in sequential.iter().zip(&parallel) {
+        let seq_json = serde_json::to_string_pretty(seq.to_json()).expect("result serializes");
+        let par_json = serde_json::to_string_pretty(par.to_json()).expect("result serializes");
+        assert_eq!(
+            seq_json, par_json,
+            "parallel output for {} diverges from sequential",
+            seq.id
+        );
+    }
+
+    for result in &parallel {
+        println!("{}", result.render());
+        if let Err(e) = cllm_bench::persist(result) {
+            eprintln!("warning: could not write results JSON: {e}");
+        }
         println!();
     }
+
+    let speedup = seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9);
+    println!(
+        "all {} experiments verified byte-identical across runs",
+        parallel.len()
+    );
+    println!(
+        "sequential {:.2}s  |  parallel {:.2}s on {workers} workers  |  speedup {speedup:.2}x",
+        seq_wall.as_secs_f64(),
+        par_wall.as_secs_f64()
+    );
+    println!(
+        "simulation cache: {} hits / {} misses ({} cpu + {} gpu points)",
+        cache.hits, cache.misses, cache.cpu_entries, cache.gpu_entries
+    );
 }

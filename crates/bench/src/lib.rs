@@ -1,21 +1,23 @@
 //! Benchmark-harness support: shared runner for the per-figure binaries.
 //!
 //! Each `figN` binary regenerates one table/figure of the paper: it runs
-//! the corresponding `cllm-core` experiment, prints the aligned table the
-//! paper's plot encodes, and writes machine-readable JSON next to the
-//! repository's `results/` directory.
+//! the corresponding `cllm-core` experiment (through the parallel runner
+//! machinery — heavy grids fan out over `cllm_core::runner::par_map`),
+//! prints the aligned table the paper's plot encodes, and writes
+//! machine-readable JSON into the results directory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cllm_core::experiments::{run_by_id, ExperimentResult};
+use cllm_core::experiments::ExperimentResult;
+use cllm_core::runner;
 use std::path::PathBuf;
 
 /// Run one experiment by id, print its table, and persist JSON under
-/// `results/<id>.json`. Exits the process with an error message if the id
+/// [`results_dir`]. Exits the process with an error message if the id
 /// is unknown.
 pub fn run_and_emit(id: &str) -> ExperimentResult {
-    let Some(result) = run_by_id(id) else {
+    let Some(result) = runner::run_one(id) else {
         eprintln!("unknown experiment id: {id}");
         std::process::exit(2);
     };
@@ -26,28 +28,56 @@ pub fn run_and_emit(id: &str) -> ExperimentResult {
     result
 }
 
-fn persist(result: &ExperimentResult) -> std::io::Result<()> {
+/// Write one result's JSON to `<results_dir>/<id>.json`, reporting the
+/// chosen path on stdout.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable directory, full disk, ...).
+pub fn persist(result: &ExperimentResult) -> std::io::Result<()> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{}.json", result.id));
-    let json = serde_json::to_string_pretty(&result.to_json())?;
+    let json = serde_json::to_string_pretty(result.to_json())?;
     std::fs::write(&path, json)?;
     println!("wrote {}", path.display());
     Ok(())
 }
 
-fn results_dir() -> PathBuf {
-    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results")
+/// Directory results JSON is written to: the `CLLM_RESULTS_DIR`
+/// environment variable when set and non-empty, else `results/` at the
+/// repository root.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    match std::env::var_os("CLLM_RESULTS_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("results"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn results_dir_points_into_repo() {
+        // Note: no parallel test in this crate may set CLLM_RESULTS_DIR.
         let d = super::results_dir();
         assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn results_dir_honors_env_override() {
+        // The override also ends in "results" so the concurrent default
+        // test above stays true during this test's window.
+        let alt = std::path::Path::new("/tmp/cllm-alt/results");
+        std::env::set_var("CLLM_RESULTS_DIR", alt);
+        assert_eq!(super::results_dir(), alt);
+        // Empty override falls back to the repository default.
+        std::env::set_var("CLLM_RESULTS_DIR", "");
+        assert!(super::results_dir().to_string_lossy().contains("crates"));
+        std::env::remove_var("CLLM_RESULTS_DIR");
+        assert!(super::results_dir().ends_with("results"));
     }
 }

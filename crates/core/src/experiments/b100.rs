@@ -18,7 +18,13 @@ fn cc_overhead(gpu: &GpuModel, batch: u64, input: u64) -> f64 {
     let model = zoo::llama2_7b();
     let req = RequestSpec::new(batch, input, 128);
     let raw = simulate_gpu(&model, &req, DType::Bf16, gpu, &GpuTeeConfig::native());
-    let cc = simulate_gpu(&model, &req, DType::Bf16, gpu, &GpuTeeConfig::confidential());
+    let cc = simulate_gpu(
+        &model,
+        &req,
+        DType::Bf16,
+        gpu,
+        &GpuTeeConfig::confidential(),
+    );
     throughput_overhead_pct(raw.e2e_tps, cc.e2e_tps)
 }
 
@@ -40,15 +46,33 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "b100",
         "Blackwell projection: CC overhead with encrypted HBM vs H100",
-        &["batch", "input", "h100_cc_overhead", "b100_cc_overhead", "b100_speedup"],
+        &[
+            "batch",
+            "input",
+            "h100_cc_overhead",
+            "b100_cc_overhead",
+            "b100_speedup",
+        ],
     );
     let h100 = cllm_hw::presets::h100_nvl();
     let b100 = cllm_hw::presets::b100();
     let model = zoo::llama2_7b();
     for (batch, input) in [(1u64, 128u64), (8, 512), (32, 512), (128, 1024)] {
         let req = RequestSpec::new(batch, input, 128);
-        let h = simulate_gpu(&model, &req, DType::Bf16, &h100, &GpuTeeConfig::confidential());
-        let b = simulate_gpu(&model, &req, DType::Bf16, &b100, &GpuTeeConfig::confidential());
+        let h = simulate_gpu(
+            &model,
+            &req,
+            DType::Bf16,
+            &h100,
+            &GpuTeeConfig::confidential(),
+        );
+        let b = simulate_gpu(
+            &model,
+            &req,
+            DType::Bf16,
+            &b100,
+            &GpuTeeConfig::confidential(),
+        );
         r.push_row(vec![
             batch.to_string(),
             input.to_string(),

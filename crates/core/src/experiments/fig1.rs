@@ -21,7 +21,13 @@ pub fn run() -> ExperimentResult {
     let req = RequestSpec::new(6, 1024, 128).with_beam(4);
     let target = CpuTarget::emr1_single_socket();
 
-    let bare = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::bare_metal());
+    let bare = simulate_cpu(
+        &model,
+        &req,
+        DType::Bf16,
+        &target,
+        &CpuTeeConfig::bare_metal(),
+    );
     for tee in [CpuTeeConfig::tdx(), CpuTeeConfig::sgx()] {
         let sim = simulate_cpu(&model, &req, DType::Bf16, &target, &tee);
         r.push_row(vec![
@@ -34,7 +40,13 @@ pub fn run() -> ExperimentResult {
     let gpu = cllm_hw::presets::h100_nvl();
     let gpu_req = RequestSpec::new(6, 1024, 128);
     let raw = simulate_gpu(&model, &gpu_req, DType::Bf16, &gpu, &GpuTeeConfig::native());
-    let cc = simulate_gpu(&model, &gpu_req, DType::Bf16, &gpu, &GpuTeeConfig::confidential());
+    let cc = simulate_gpu(
+        &model,
+        &gpu_req,
+        DType::Bf16,
+        &gpu,
+        &GpuTeeConfig::confidential(),
+    );
     r.push_row(vec![
         "cGPU (H100)".to_owned(),
         num(cc.decode_tps, 1),

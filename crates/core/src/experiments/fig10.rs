@@ -2,8 +2,9 @@
 //! (EMR2, single socket, batch 64, 128 output tokens).
 
 use super::{num, pct, ExperimentResult};
+use crate::runner;
 use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, throughput_overhead_pct, CpuTarget};
+use cllm_perf::{simulate_cpu_cached, throughput_overhead_pct, CpuTarget};
 use cllm_tee::platform::CpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
 use cllm_workload::zoo;
@@ -22,8 +23,8 @@ pub fn overheads(dtype: DType, input: u64) -> (f64, f64) {
     let model = zoo::llama2_7b();
     let req = RequestSpec::new(64, input, 128);
     let target = CpuTarget::emr2_single_socket();
-    let bare = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
-    let tdx = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::tdx());
+    let bare = simulate_cpu_cached(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
+    let tdx = simulate_cpu_cached(&model, &req, dtype, &target, &CpuTeeConfig::tdx());
     (
         throughput_overhead_pct(bare.decode_tps, tdx.decode_tps),
         throughput_overhead_pct(bare.e2e_tps, tdx.e2e_tps),
@@ -47,19 +48,23 @@ pub fn run() -> ExperimentResult {
         ],
     );
     let model = zoo::llama2_7b();
-    for dtype in [DType::Bf16, DType::Int8] {
-        for input in INPUTS {
-            let kv = cllm_workload::kv::kv_bytes_total(&model, 64, input + 128, dtype)
-                / cllm_hw::GIB;
-            let (decode, e2e) = overheads(dtype, input);
-            r.push_row(vec![
-                dtype.label().to_owned(),
-                input.to_string(),
-                pct(decode),
-                pct(e2e),
-                num(kv, 1),
-            ]);
-        }
+    let grid: Vec<(DType, u64)> = [DType::Bf16, DType::Int8]
+        .into_iter()
+        .flat_map(|dtype| INPUTS.into_iter().map(move |input| (dtype, input)))
+        .collect();
+    let rows = runner::par_map(&grid, runner::grid_workers(), |&(dtype, input)| {
+        let kv = cllm_workload::kv::kv_bytes_total(&model, 64, input + 128, dtype) / cllm_hw::GIB;
+        let (decode, e2e) = overheads(dtype, input);
+        vec![
+            dtype.label().to_owned(),
+            input.to_string(),
+            pct(decode),
+            pct(e2e),
+            num(kv, 1),
+        ]
+    });
+    for row in rows {
+        r.push_row(row);
     }
     r.note("paper: overhead decreases with input size until ~2048 tokens, then rises as the KV cache makes the workload memory-bound (TLB pressure)");
     r

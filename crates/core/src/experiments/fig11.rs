@@ -2,19 +2,21 @@
 //! cGPU overheads shrink as both grow (Insight 10).
 
 use super::{num, pct, ExperimentResult};
+use crate::runner;
 use cllm_hw::DType;
-use cllm_perf::{simulate_gpu, throughput_overhead_pct, GpuSimResult};
+use cllm_perf::{simulate_gpu_cached, throughput_overhead_pct, GpuSimResult};
 use cllm_tee::platform::GpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
 use cllm_workload::zoo;
+use std::sync::Arc;
 
-fn sim(confidential: bool, batch: u64, input: u64) -> GpuSimResult {
+fn sim(confidential: bool, batch: u64, input: u64) -> Arc<GpuSimResult> {
     let cfg = if confidential {
         GpuTeeConfig::confidential()
     } else {
         GpuTeeConfig::native()
     };
-    simulate_gpu(
+    simulate_gpu_cached(
         &zoo::llama2_7b(),
         &RequestSpec::new(batch, input, 128),
         DType::Bf16,
@@ -26,7 +28,10 @@ fn sim(confidential: bool, batch: u64, input: u64) -> GpuSimResult {
 /// cGPU generation-throughput overhead at one (batch, input) point.
 #[must_use]
 pub fn overhead(batch: u64, input: u64) -> f64 {
-    throughput_overhead_pct(sim(false, batch, input).e2e_tps, sim(true, batch, input).e2e_tps)
+    throughput_overhead_pct(
+        sim(false, batch, input).e2e_tps,
+        sim(true, batch, input).e2e_tps,
+    )
 }
 
 const BATCHES: [u64; 4] = [1, 8, 32, 128];
@@ -40,20 +45,27 @@ pub fn run() -> ExperimentResult {
         "H100 cGPU throughput and overhead vs batch and input size (Llama2-7B, vLLM)",
         &["batch", "input", "gpu_tps", "cgpu_tps", "cc_overhead"],
     );
-    for batch in BATCHES {
-        for input in INPUTS {
-            let raw = sim(false, batch, input);
-            let cc = sim(true, batch, input);
-            r.push_row(vec![
-                batch.to_string(),
-                input.to_string(),
-                num(raw.e2e_tps, 0),
-                num(cc.e2e_tps, 0),
-                pct(throughput_overhead_pct(raw.e2e_tps, cc.e2e_tps)),
-            ]);
-        }
+    let grid: Vec<(u64, u64)> = BATCHES
+        .into_iter()
+        .flat_map(|batch| INPUTS.into_iter().map(move |input| (batch, input)))
+        .collect();
+    let rows = runner::par_map(&grid, runner::grid_workers(), |&(batch, input)| {
+        let raw = sim(false, batch, input);
+        let cc = sim(true, batch, input);
+        vec![
+            batch.to_string(),
+            input.to_string(),
+            num(raw.e2e_tps, 0),
+            num(cc.e2e_tps, 0),
+            pct(throughput_overhead_pct(raw.e2e_tps, cc.e2e_tps)),
+        ]
+    });
+    for row in rows {
+        r.push_row(row);
     }
-    r.note("paper: cGPU overheads oscillate between 7.5% and 4.4%, shrinking as batch and input grow");
+    r.note(
+        "paper: cGPU overheads oscillate between 7.5% and 4.4%, shrinking as batch and input grow",
+    );
     r.note("paper: GPUs show lower noise than CPU TEEs — HBM is not encrypted");
     r
 }

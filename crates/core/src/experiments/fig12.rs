@@ -34,7 +34,14 @@ fn bare_e2e_tps(cores: u32, batch: u64) -> f64 {
     let model = zoo::llama2_7b();
     let req = RequestSpec::new(batch, 128, 128);
     let target = CpuTarget::emr2_single_socket().with_cores(cores);
-    simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::bare_metal()).e2e_tps
+    simulate_cpu(
+        &model,
+        &req,
+        DType::Bf16,
+        &target,
+        &CpuTeeConfig::bare_metal(),
+    )
+    .e2e_tps
 }
 
 /// cGPU $/Mtoken at a batch size (the orange line of Figure 12).
@@ -144,7 +151,10 @@ mod tests {
         assert!(b1 > 40.0, "batch-1 CPU advantage only {b1}%");
         assert!(b1 < 220.0, "batch-1 CPU advantage implausibly high: {b1}%");
         assert!(b64 < b1, "advantage must fade: b64 {b64} !< b1 {b1}");
-        assert!(b128 < 35.0, "near-parity expected at batch 128, got {b128}%");
+        assert!(
+            b128 < 35.0,
+            "near-parity expected at batch 128, got {b128}%"
+        );
         assert!(b128 < b64);
     }
 

@@ -61,7 +61,12 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig13",
         "Input-size scaling of the TDX-vs-cGPU cost comparison (batch 4, EMR2)",
-        &["input", "tdx_usd_per_mtok", "cgpu_usd_per_mtok", "cpu_advantage"],
+        &[
+            "input",
+            "tdx_usd_per_mtok",
+            "cgpu_usd_per_mtok",
+            "cpu_advantage",
+        ],
     );
     for input in INPUTS {
         r.push_row(vec![

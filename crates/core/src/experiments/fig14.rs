@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn bm25_fastest_method() {
         let bm25 = bare_eval_time_s(SearchMode::Bm25);
-        for mode in [SearchMode::RerankedBm25 { candidates: 50 }, SearchMode::Sbert] {
+        for mode in [
+            SearchMode::RerankedBm25 { candidates: 50 },
+            SearchMode::Sbert,
+        ] {
             assert!(bare_eval_time_s(mode) > bm25, "{}", mode.label());
         }
     }

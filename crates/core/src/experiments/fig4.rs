@@ -30,8 +30,20 @@ pub fn point(tee: &CpuTeeConfig, dtype: DType) -> Fig4Point {
     let thr_req = RequestSpec::new(6, 1024, 128).with_beam(4);
     let lat_req = RequestSpec::new(1, 1024, 128);
 
-    let bare_t = simulate_cpu(&model, &thr_req, dtype, &target, &CpuTeeConfig::bare_metal());
-    let bare_l = simulate_cpu(&model, &lat_req, dtype, &target, &CpuTeeConfig::bare_metal());
+    let bare_t = simulate_cpu(
+        &model,
+        &thr_req,
+        dtype,
+        &target,
+        &CpuTeeConfig::bare_metal(),
+    );
+    let bare_l = simulate_cpu(
+        &model,
+        &lat_req,
+        dtype,
+        &target,
+        &CpuTeeConfig::bare_metal(),
+    );
     let t = simulate_cpu(&model, &thr_req, dtype, &target, tee);
     let l = simulate_cpu(&model, &lat_req, dtype, &target, tee);
 

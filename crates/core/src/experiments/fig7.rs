@@ -21,7 +21,13 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig7",
         "Per-layer duration and TDX overhead, Llama2-7B decode block (EMR2, batch 4)",
-        &["layer", "bare_us", "tdx_us", "tdx_overhead", "share_of_block"],
+        &[
+            "layer",
+            "bare_us",
+            "tdx_us",
+            "tdx_overhead",
+            "share_of_block",
+        ],
     );
     let bare = trace(&CpuTeeConfig::bare_metal());
     let tdx = trace(&CpuTeeConfig::tdx());

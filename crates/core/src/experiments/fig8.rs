@@ -74,7 +74,10 @@ mod tests {
             / thr_tps(DType::Bf16, 1, false, &CpuTeeConfig::bare_metal());
         let large = thr_tps(DType::Bf16, 256, true, &CpuTeeConfig::bare_metal())
             / thr_tps(DType::Bf16, 256, false, &CpuTeeConfig::bare_metal());
-        assert!(small < 1.1, "batch-1 AMX advantage should be small: {small}");
+        assert!(
+            small < 1.1,
+            "batch-1 AMX advantage should be small: {small}"
+        );
         assert!(large > 1.3, "large-batch AMX advantage: {large}");
     }
 

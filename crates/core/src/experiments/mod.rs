@@ -32,6 +32,7 @@
 //! | [`tco`] | extension — rent vs buy on the paper's list prices |
 //! | [`moe`] | extension — mixture-of-experts (Mixtral) under TDX |
 
+pub mod b100;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -45,7 +46,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod b100;
 pub mod model_sizes;
 pub mod model_zoo;
 pub mod moe;
@@ -125,7 +125,9 @@ impl ExperimentResult {
         };
         out.push_str(&fmt_row(&self.columns));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));

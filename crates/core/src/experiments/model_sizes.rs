@@ -4,11 +4,13 @@
 //! socket's memory — the Figure 5 setting).
 
 use super::{num, pct, ExperimentResult};
+use crate::runner;
 use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, throughput_overhead_pct, CpuTarget, SimResult};
+use cllm_perf::{simulate_cpu_cached, throughput_overhead_pct, CpuTarget, SimResult};
 use cllm_tee::platform::CpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
 use cllm_workload::{zoo, ModelConfig};
+use std::sync::Arc;
 
 fn target_for(model: &ModelConfig) -> CpuTarget {
     // Loading a checkpoint transiently needs ~2x the weight bytes
@@ -23,9 +25,9 @@ fn target_for(model: &ModelConfig) -> CpuTarget {
     }
 }
 
-fn sim(model: &ModelConfig, tee: &CpuTeeConfig) -> SimResult {
+fn sim(model: &ModelConfig, tee: &CpuTeeConfig) -> Arc<SimResult> {
     let req = RequestSpec::new(6, 1024, 64).with_beam(4);
-    simulate_cpu(model, &req, DType::Bf16, &target_for(model), tee)
+    simulate_cpu_cached(model, &req, DType::Bf16, &target_for(model), tee)
 }
 
 /// TDX throughput overhead for one model size.
@@ -42,17 +44,27 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "model_sizes",
         "Llama2 size sweep under TDX (7B/13B one socket, 70B two sockets)",
-        &["model", "sockets", "tdx_tps", "tdx_latency_ms", "tdx_overhead"],
+        &[
+            "model",
+            "sockets",
+            "tdx_tps",
+            "tdx_latency_ms",
+            "tdx_overhead",
+        ],
     );
-    for model in zoo::llama2_family() {
-        let tdx = sim(&model, &CpuTeeConfig::tdx());
-        r.push_row(vec![
+    let family = zoo::llama2_family();
+    let rows = runner::par_map(&family, runner::grid_workers(), |model| {
+        let tdx = sim(model, &CpuTeeConfig::tdx());
+        vec![
             model.name.clone(),
-            target_for(&model).topology.sockets.to_string(),
+            target_for(model).topology.sockets.to_string(),
             num(tdx.decode_tps, 2),
             num(tdx.summary.mean * 1e3, 0),
-            pct(overhead(&model)),
-        ]);
+            pct(overhead(model)),
+        ]
+    });
+    for row in rows {
+        r.push_row(row);
     }
     r.note("paper: 7B/13B stay within the single-socket 4-10% band; 70B pays the multi-socket NUMA/interconnect penalty (Figure 5) and misses the 200 ms service level");
     r

@@ -14,7 +14,13 @@ use cllm_workload::{zoo, ModelConfig};
 pub fn overhead(model: &ModelConfig) -> f64 {
     let req = RequestSpec::new(6, 1024, 128).with_beam(4);
     let target = CpuTarget::emr1_single_socket();
-    let bare = simulate_cpu(model, &req, DType::Bf16, &target, &CpuTeeConfig::bare_metal());
+    let bare = simulate_cpu(
+        model,
+        &req,
+        DType::Bf16,
+        &target,
+        &CpuTeeConfig::bare_metal(),
+    );
     let tdx = simulate_cpu(model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx());
     throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
 }

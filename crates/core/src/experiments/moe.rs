@@ -18,7 +18,13 @@ fn sim(model: &ModelConfig, batch: u64, tee: &CpuTeeConfig) -> SimResult {
     // Mixtral's full expert set wants dual-socket memory headroom, like
     // the 70B dense model.
     let req = RequestSpec::new(batch, 512, 64);
-    simulate_cpu(model, &req, DType::Bf16, &CpuTarget::emr2_dual_socket(), tee)
+    simulate_cpu(
+        model,
+        &req,
+        DType::Bf16,
+        &CpuTarget::emr2_dual_socket(),
+        tee,
+    )
 }
 
 /// TDX overhead for a model at a batch size.

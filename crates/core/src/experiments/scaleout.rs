@@ -97,7 +97,10 @@ mod tests {
         let cpu = dual_socket_tdx_tps(batch);
         let native_adv = dual_gpu_tps(false, batch) / cpu;
         let cc_adv = dual_gpu_tps(true, batch) / cpu;
-        assert!(cc_adv < native_adv * 0.7, "native {native_adv:.1}x vs cc {cc_adv:.1}x");
+        assert!(
+            cc_adv < native_adv * 0.7,
+            "native {native_adv:.1}x vs cc {cc_adv:.1}x"
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn light_load_meets_slo_on_all_platforms() {
-        for tee in [CpuTeeConfig::bare_metal(), CpuTeeConfig::tdx(), CpuTeeConfig::sgx()] {
+        for tee in [
+            CpuTeeConfig::bare_metal(),
+            CpuTeeConfig::tdx(),
+            CpuTeeConfig::sgx(),
+        ] {
             let a = attainment(&tee, 0.5);
             assert!(a > 0.8, "{:?}: attainment {a}", tee.kind);
         }

@@ -51,7 +51,13 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "sev_snp",
         "SEV-SNP (Genoa) vs TDX (EMR1) throughput overheads, Llama2-7B",
-        &["dtype", "batch", "sev_snp_overhead", "tdx_overhead", "gap_pts"],
+        &[
+            "dtype",
+            "batch",
+            "sev_snp_overhead",
+            "tdx_overhead",
+            "gap_pts",
+        ],
     );
     for dtype in [DType::Bf16, DType::Int8] {
         for batch in [1u64, 6, 32] {

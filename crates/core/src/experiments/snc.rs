@@ -16,7 +16,13 @@ pub fn overhead(snc: SubNumaClustering) -> f64 {
     let req = RequestSpec::new(6, 1024, 128).with_beam(4);
     let mut target = CpuTarget::emr2_single_socket();
     target.topology.snc = snc;
-    let bare = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::bare_metal());
+    let bare = simulate_cpu(
+        &model,
+        &req,
+        DType::Bf16,
+        &target,
+        &CpuTeeConfig::bare_metal(),
+    );
     let tdx = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx());
     throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
 }

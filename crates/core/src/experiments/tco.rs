@@ -56,12 +56,7 @@ pub fn run() -> ExperimentResult {
     let cpu_rate = cpu_tps();
     let gpu_rate = gpu_tps();
     let rows: [(&str, f64, f64, Option<f64>); 4] = [
-        (
-            "EMR2 TDX (GCP spot)",
-            cpu_cloud_per_hr(),
-            cpu_rate,
-            None,
-        ),
+        ("EMR2 TDX (GCP spot)", cpu_cloud_per_hr(), cpu_rate, None),
         (
             "EMR2 TDX (owned)",
             OnPremCost::emr2_server().cost_per_hr(),

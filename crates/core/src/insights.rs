@@ -47,7 +47,8 @@ pub fn check_all() -> Vec<InsightCheck> {
         let holds = tdx < 15.0 && security_score(TeeKind::Tdx) > 0.8;
         out.push(InsightCheck {
             id: 1,
-            statement: "TEEs offer a practical balance between security, performance, and programmability",
+            statement:
+                "TEEs offer a practical balance between security, performance, and programmability",
             holds,
             evidence: format!(
                 "TDX overhead {tdx:.1}% with security score {:.0}% (vs HE's ~10,000x overheads)",
@@ -90,7 +91,13 @@ pub fn check_all() -> Vec<InsightCheck> {
     // 4. TDX/SGX overheads as low as 4-10%.
     {
         let tdx = tdx_thr_overhead(&emr1, &thr_req, DType::Bf16);
-        let bare = simulate_cpu(&model, &thr_req, DType::Bf16, &emr1, &CpuTeeConfig::bare_metal());
+        let bare = simulate_cpu(
+            &model,
+            &thr_req,
+            DType::Bf16,
+            &emr1,
+            &CpuTeeConfig::bare_metal(),
+        );
         let sgx = simulate_cpu(&model, &thr_req, DType::Bf16, &emr1, &CpuTeeConfig::sgx());
         let sgx_o = throughput_overhead_pct(bare.decode_tps, sgx.decode_tps);
         out.push(InsightCheck {
@@ -103,7 +110,13 @@ pub fn check_all() -> Vec<InsightCheck> {
 
     // 5. SGX more performant; TDX pays a 1-5% virtualization tax.
     {
-        let bare = simulate_cpu(&model, &thr_req, DType::Bf16, &emr1, &CpuTeeConfig::bare_metal());
+        let bare = simulate_cpu(
+            &model,
+            &thr_req,
+            DType::Bf16,
+            &emr1,
+            &CpuTeeConfig::bare_metal(),
+        );
         let vm = simulate_cpu(&model, &thr_req, DType::Bf16, &emr1, &CpuTeeConfig::vm());
         let sgx = simulate_cpu(&model, &thr_req, DType::Bf16, &emr1, &CpuTeeConfig::sgx());
         let tdx = simulate_cpu(&model, &thr_req, DType::Bf16, &emr1, &CpuTeeConfig::tdx());
@@ -158,7 +171,8 @@ pub fn check_all() -> Vec<InsightCheck> {
                 .summary
                 .mean
         };
-        let ovh_amx = lat(true, &CpuTeeConfig::tdx()) / lat(true, &CpuTeeConfig::bare_metal()) - 1.0;
+        let ovh_amx =
+            lat(true, &CpuTeeConfig::tdx()) / lat(true, &CpuTeeConfig::bare_metal()) - 1.0;
         let ovh_noamx =
             lat(false, &CpuTeeConfig::tdx()) / lat(false, &CpuTeeConfig::bare_metal()) - 1.0;
         out.push(InsightCheck {
@@ -242,7 +256,11 @@ mod tests {
         let checks = super::check_all();
         assert_eq!(checks.len(), 12);
         for c in &checks {
-            assert!(c.holds, "Insight {} failed: {} [{}]", c.id, c.statement, c.evidence);
+            assert!(
+                c.holds,
+                "Insight {} failed: {} [{}]",
+                c.id, c.statement, c.evidence
+            );
         }
     }
 

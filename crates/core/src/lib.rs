@@ -12,6 +12,9 @@
 //! * [`experiments`] — one runner per table/figure of the paper; each
 //!   regenerates the published result's shape from the simulator and
 //!   renders it as a table plus machine-readable JSON.
+//! * [`runner`] — executes the whole registry across a bounded worker
+//!   pool (backed by the `cllm-perf` simulation cache) with output
+//!   byte-identical to the sequential run.
 //! * [`insights`] — the paper's 12 insights as executable checks.
 //! * [`summary`] — Table I (the security/performance/cost matrix).
 //!
@@ -34,6 +37,7 @@ pub mod experiments;
 pub mod insights;
 pub mod owner;
 pub mod pipeline;
+pub mod runner;
 pub mod summary;
 
 pub use owner::{EncryptedModel, ModelOwner};

@@ -144,8 +144,13 @@ impl ModelOwner {
         key: &[u8; 16],
         encrypted: &EncryptedModel,
     ) -> Result<TinyModel, OwnerError> {
-        let bytes = aead_open(key, &encrypted.nonce, &encrypted.ciphertext, b"cllm-model-v1")
-            .map_err(OwnerError::Decrypt)?;
+        let bytes = aead_open(
+            key,
+            &encrypted.nonce,
+            &encrypted.ciphertext,
+            b"cllm-model-v1",
+        )
+        .map_err(OwnerError::Decrypt)?;
         model_from_bytes(&bytes).map_err(OwnerError::Serialize)
     }
 }

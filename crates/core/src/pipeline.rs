@@ -162,10 +162,9 @@ impl ConfidentialPipeline {
         let key_bytes = enclave_chan
             .recv(&key_record)
             .map_err(crate::owner::OwnerError::Session)?;
-        let key: [u8; 16] = key_bytes
-            .as_slice()
-            .try_into()
-            .map_err(|_| crate::owner::OwnerError::Session(cllm_tee::session::SessionError::BadRecord))?;
+        let key: [u8; 16] = key_bytes.as_slice().try_into().map_err(|_| {
+            crate::owner::OwnerError::Session(cllm_tee::session::SessionError::BadRecord)
+        })?;
 
         // Decrypt inside the enclave.
         let mut model = ModelOwner::decrypt_model(&key, &encrypted)?;
@@ -204,13 +203,7 @@ impl ConfidentialPipeline {
             ids.push(0);
         }
         let budget = self.model.config.max_seq.saturating_sub(ids.len() + 1);
-        let out = generate(
-            &self.model,
-            &ids,
-            max_new.min(budget),
-            Sampling::Greedy,
-            0,
-        );
+        let out = generate(&self.model, &ids, max_new.min(budget), Sampling::Greedy, 0);
         self.enclave.record_exits(1); // response leaves the enclave
         self.tokenizer.decode(&out)
     }

@@ -1,0 +1,205 @@
+//! Parallel experiment runner: executes the paper's experiment registry
+//! across a bounded pool of scoped worker threads while preserving the
+//! exact paper ordering (and therefore byte-identical output) of the
+//! sequential run.
+//!
+//! Two levels of parallelism compose here:
+//!
+//! * **Across experiments** — [`run_all_parallel`] distributes the 23
+//!   registry entries over a worker pool.
+//! * **Within an experiment** — heavy sweeps (fig9/fig10/fig11/
+//!   model_sizes) evaluate their grids through [`par_map`], which keeps
+//!   output order equal to input order regardless of completion order.
+//!
+//! Determinism: the simulator is seeded purely from its inputs and the
+//! `cllm-perf` memoization cache stores values keyed by those inputs, so
+//! thread scheduling cannot change any number — only wall-clock time.
+//! [`run_all_sequential`] additionally pins grid parallelism to one
+//! worker for the duration of the call, making it a true single-thread
+//! baseline for timing comparisons.
+
+use crate::experiments::{all_experiments, run_by_id, ExperimentResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Grid-parallelism override: 0 = use [`default_workers`], otherwise a
+/// fixed worker count. Set to 1 while [`run_all_sequential`] runs so the
+/// sequential baseline really is sequential.
+static GRID_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker count used by the runner and by in-experiment grids: the
+/// `CLLM_RUNNER_THREADS` environment variable if set to a positive
+/// integer, else the machine's available parallelism.
+#[must_use]
+pub fn default_workers() -> usize {
+    if let Some(n) = std::env::var("CLLM_RUNNER_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Worker count experiment grids should use *right now*: 1 while a
+/// sequential baseline is running, [`default_workers`] otherwise.
+#[must_use]
+pub fn grid_workers() -> usize {
+    match GRID_WORKERS.load(Ordering::Relaxed) {
+        0 => default_workers(),
+        n => n,
+    }
+}
+
+/// Restores the previous grid-parallelism override on drop.
+struct GridWorkersGuard(usize);
+
+impl GridWorkersGuard {
+    fn pin(workers: usize) -> Self {
+        GridWorkersGuard(GRID_WORKERS.swap(workers, Ordering::Relaxed))
+    }
+}
+
+impl Drop for GridWorkersGuard {
+    fn drop(&mut self) {
+        GRID_WORKERS.store(self.0, Ordering::Relaxed);
+    }
+}
+
+/// Map `f` over `items` on a bounded pool of `workers` scoped threads,
+/// returning outputs **in input order** no matter which worker finishes
+/// first. Work is distributed by an atomic cursor, so an expensive item
+/// never blocks cheap ones behind a static partition.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all workers have stopped.
+pub fn par_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let out = f(item);
+                    *slots[i].lock().expect("slot lock") = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload reaches the caller
+        // verbatim instead of the scope's generic message.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    })
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+/// Run every registered experiment one after another on the calling
+/// thread, with in-experiment grid parallelism pinned to one worker —
+/// the timing baseline for [`run_all_parallel`]. Results are in paper
+/// order.
+#[must_use]
+pub fn run_all_sequential() -> Vec<ExperimentResult> {
+    let _guard = GridWorkersGuard::pin(1);
+    all_experiments()
+        .into_iter()
+        .map(|(_, run)| run())
+        .collect()
+}
+
+/// Run every registered experiment across `workers` scoped threads.
+/// Results are in paper order and identical (to the byte, after JSON
+/// rendering) to [`run_all_sequential`]'s.
+#[must_use]
+pub fn run_all_parallel(workers: usize) -> Vec<ExperimentResult> {
+    let entries = all_experiments();
+    par_map(&entries, workers, |(_, run)| run())
+}
+
+/// Run a single experiment by id through the runner (grids inside it
+/// still parallelize via [`par_map`]). `None` for an unknown id.
+#[must_use]
+pub fn run_one(id: &str) -> Option<ExperimentResult> {
+    run_by_id(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, 8, |&x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(par_map(&[9u32], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn par_map_uneven_costs_still_ordered() {
+        // Early items sleep so later items finish first; order must hold.
+        let items: Vec<u64> = (0..12).collect();
+        let out = par_map(&items, 4, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid boom")]
+    fn par_map_propagates_worker_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = par_map(&items, 4, |&x| {
+            assert!(x != 5, "grid boom");
+            x
+        });
+    }
+
+    #[test]
+    fn run_one_matches_registry() {
+        let direct = crate::experiments::run_by_id("fig1").expect("fig1 exists");
+        let via_runner = run_one("fig1").expect("fig1 exists");
+        assert_eq!(direct, via_runner);
+        assert!(run_one("nope").is_none());
+    }
+
+    #[test]
+    fn sequential_pins_grid_workers() {
+        let _guard = GridWorkersGuard::pin(1);
+        assert_eq!(grid_workers(), 1);
+        drop(_guard);
+        assert!(grid_workers() >= 1);
+    }
+}

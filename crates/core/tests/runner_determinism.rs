@@ -1,0 +1,43 @@
+//! The parallel runner must be a pure wall-clock optimization: for every
+//! experiment in the registry, the parallel run's `ExperimentResult` rows
+//! and rendered JSON are identical to the sequential run's.
+
+use cllm_core::experiments::all_experiments;
+use cllm_core::runner;
+
+#[test]
+fn parallel_matches_sequential_for_all_experiments() {
+    let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
+
+    cllm_perf::cache::clear();
+    let sequential = runner::run_all_sequential();
+
+    cllm_perf::cache::clear();
+    let parallel = runner::run_all_parallel(4);
+
+    assert_eq!(sequential.len(), ids.len());
+    assert_eq!(parallel.len(), ids.len());
+    for ((id, seq), par) in ids.iter().zip(&sequential).zip(&parallel) {
+        assert_eq!(seq.id, *id, "sequential run out of paper order");
+        assert_eq!(par.id, *id, "parallel run out of paper order");
+        assert_eq!(seq.rows, par.rows, "{id}: rows diverge");
+        assert_eq!(seq, par, "{id}: results diverge");
+        let seq_json = serde_json::to_string_pretty(seq.to_json()).expect("serializes");
+        let par_json = serde_json::to_string_pretty(par.to_json()).expect("serializes");
+        assert_eq!(seq_json, par_json, "{id}: rendered JSON diverges");
+    }
+}
+
+#[test]
+fn warm_cache_changes_nothing() {
+    // Running an experiment again over a warm memoization cache must
+    // reproduce the cold-cache result exactly.
+    cllm_perf::cache::clear();
+    let cold = runner::run_one("fig9").expect("fig9 exists");
+    let warm = runner::run_one("fig9").expect("fig9 exists");
+    assert!(
+        cllm_perf::cache::stats().hits > 0,
+        "warm run should hit the cache"
+    );
+    assert_eq!(cold, warm);
+}

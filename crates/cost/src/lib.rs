@@ -271,16 +271,22 @@ mod tests {
     #[test]
     fn u_shape_detection() {
         // Synthetic U: costs fall then rise; cheapest must be the valley.
-        let pts: Vec<CostPoint> = [(4u64, 100.0), (8, 260.0), (16, 420.0), (32, 470.0), (60, 480.0)]
-            .iter()
-            .map(|&(c, tps)| {
-                CostPoint::new(
-                    c,
-                    tps,
-                    CpuPricing::gcp_spot_us_east1().instance_cost_per_hr(c as u32 * 2, 128.0),
-                )
-            })
-            .collect();
+        let pts: Vec<CostPoint> = [
+            (4u64, 100.0),
+            (8, 260.0),
+            (16, 420.0),
+            (32, 470.0),
+            (60, 480.0),
+        ]
+        .iter()
+        .map(|&(c, tps)| {
+            CostPoint::new(
+                c,
+                tps,
+                CpuPricing::gcp_spot_us_east1().instance_cost_per_hr(c as u32 * 2, 128.0),
+            )
+        })
+        .collect();
         let best = cheapest_point(&pts).unwrap();
         assert!(best.x > 4 && best.x < 60, "valley at {}", best.x);
     }
@@ -309,13 +315,17 @@ mod tests {
 
     #[test]
     fn gpu_server_costs_more_than_cpu_server() {
-        assert!(OnPremCost::h100_server_share().cost_per_hr()
-            > OnPremCost::emr2_server().cost_per_hr() * 0.8);
+        assert!(
+            OnPremCost::h100_server_share().cost_per_hr()
+                > OnPremCost::emr2_server().cost_per_hr() * 0.8
+        );
     }
 
     #[test]
     fn crossover_found() {
-        let a: Vec<CostPoint> = (0..5).map(|i| CostPoint::new(i, 100.0 + 0.0 * i as f64, 1.0)).collect();
+        let a: Vec<CostPoint> = (0..5)
+            .map(|i| CostPoint::new(i, 100.0 + 0.0 * i as f64, 1.0))
+            .collect();
         let b: Vec<CostPoint> = (0..5)
             .map(|i| CostPoint::new(i, 50.0 * (i + 1) as f64, 1.0))
             .collect();

@@ -99,7 +99,11 @@ impl DhKeyPair {
             return None;
         }
         let s = modpow(peer, self.secret, P);
-        Some((s % (1u128 << 127)).to_be_bytes()[0..16].try_into().expect("16 bytes"))
+        Some(
+            (s % (1u128 << 127)).to_be_bytes()[0..16]
+                .try_into()
+                .expect("16 bytes"),
+        )
     }
 }
 

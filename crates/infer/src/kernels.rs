@@ -19,10 +19,8 @@ pub fn gemv(x: &[f32], w: &Matrix, out: &mut [f32]) {
         let chunks = x.len() / 4 * 4;
         let mut i = 0;
         while i < chunks {
-            acc += x[i] * wr[i]
-                + x[i + 1] * wr[i + 1]
-                + x[i + 2] * wr[i + 2]
-                + x[i + 3] * wr[i + 3];
+            acc +=
+                x[i] * wr[i] + x[i + 1] * wr[i + 1] + x[i + 2] * wr[i + 2] + x[i + 3] * wr[i + 3];
             i += 4;
         }
         for j in chunks..x.len() {

@@ -77,8 +77,7 @@ impl<'a> Engine<'a> {
         let isa = fw.effective_isa(target.hw_isa(), dtype);
         let eff = fw.compute_efficiency(isa, dtype);
         let cores = target.total_cores();
-        let gemm_flops =
-            target.cpu.peak_flops(isa, dtype, cores) * eff / dtype.compute_tax();
+        let gemm_flops = target.cpu.peak_flops(isa, dtype, cores) * eff / dtype.compute_tax();
         let vector_isa = match target.hw_isa() {
             Isa::Amx | Isa::Avx512 => Isa::Avx512,
             other => other,
@@ -86,8 +85,9 @@ impl<'a> Engine<'a> {
         // Vector (norm/rope/softmax) ops run in f32 regardless of dtype.
         let vector_flops = target.cpu.peak_flops(vector_isa, DType::F32, cores) * 0.5;
 
-        let footprint = kv::working_set_bytes(model, req.decode_batch(), req.median_context(), dtype)
-            * fw.weight_bytes_factor(dtype);
+        let footprint =
+            kv::working_set_bytes(model, req.decode_batch(), req.median_context(), dtype)
+                * fw.weight_bytes_factor(dtype);
         let memsys = MemSystem::build(target, tee, footprint);
         let virt_tax = tee.virt.map_or(0.0, |v| v.cpu_tax);
 
@@ -294,8 +294,8 @@ pub fn simulate_cpu(
     // Prefill: all prompt tokens at once; exposure batch is huge (pure
     // streaming), so pass the token count.
     let prefill_step = req.prefill_step(model, dtype);
-    let prefill_s =
-        engine.step_time(&prefill_step, req.batch * req.input_tokens.max(1)) * noise_factor(&mut rng, tee);
+    let prefill_s = engine.step_time(&prefill_step, req.batch * req.input_tokens.max(1))
+        * noise_factor(&mut rng, tee);
 
     // Decode: one pass per generated token.
     let exposure_batch = req.decode_batch();
@@ -378,7 +378,11 @@ mod tests {
     #[test]
     fn latency_below_reading_speed() {
         // Section III-D: all systems stay under the 200 ms/word standard.
-        for tee in [CpuTeeConfig::bare_metal(), CpuTeeConfig::sgx(), CpuTeeConfig::tdx()] {
+        for tee in [
+            CpuTeeConfig::bare_metal(),
+            CpuTeeConfig::sgx(),
+            CpuTeeConfig::tdx(),
+        ] {
             let r = run(&tee, DType::Bf16, 1);
             assert!(r.summary.mean < 0.2, "{:?}: {}", tee.kind, r.summary.mean);
         }

@@ -64,11 +64,9 @@ fn step_time(
     // PCIe link.
     #[allow(clippy::cast_precision_loss)]
     let host_bytes = calib::GPU_STEP_HOST_BYTES_PER_SEQ * batch as f64 * new_tokens.max(1) as f64;
-    let t_pcie = gpu.host_link.transfer_time_s(
-        host_bytes,
-        calib::GPU_STEP_TRANSFERS,
-        cfg.confidential,
-    );
+    let t_pcie =
+        gpu.host_link
+            .transfer_time_s(host_bytes, calib::GPU_STEP_TRANSFERS, cfg.confidential);
 
     let mut core = t_compute.max(t_memory);
     if cfg.confidential {
@@ -96,8 +94,8 @@ pub fn simulate_gpu(
     // critical path) — Section V-C.
     let sigma = if cfg.confidential { 0.004 } else { 0.003 };
 
-    let prefill_s = step_time(model, gpu, cfg, dtype, req.batch, req.input_tokens, 0)
-        * jitter(&mut rng, sigma);
+    let prefill_s =
+        step_time(model, gpu, cfg, dtype, req.batch, req.input_tokens, 0) * jitter(&mut rng, sigma);
 
     let batch = req.decode_batch();
     let mut token_latencies_s = Vec::with_capacity(req.output_tokens as usize);
@@ -184,8 +182,10 @@ pub fn simulate_multi_gpu(
         }
         // Two allreduces per layer over the fabric (host detour under CC).
         #[allow(clippy::cast_precision_loss)]
-        let comm_bytes =
-            2.0 * model.layers as f64 * (batch * new_tokens * model.hidden) as f64 * dtype.act_bytes();
+        let comm_bytes = 2.0
+            * model.layers as f64
+            * (batch * new_tokens * model.hidden) as f64
+            * dtype.act_bytes();
         #[allow(clippy::cast_precision_loss)]
         let transfers = 2.0 * model.layers as f64;
         let t_comm = if num_gpus > 1 {
@@ -253,10 +253,7 @@ mod tests {
         let raw = run(false, 16, 512);
         let cc = run(true, 16, 512);
         let overhead = cc.summary.mean / raw.summary.mean - 1.0;
-        assert!(
-            (0.01..0.15).contains(&overhead),
-            "cGPU overhead {overhead}"
-        );
+        assert!((0.01..0.15).contains(&overhead), "cGPU overhead {overhead}");
     }
 
     #[test]
@@ -288,10 +285,15 @@ mod tests {
         let m70 = zoo::llama2_70b();
         let req = RequestSpec::new(64, 128, 32);
         let gpu = presets::h100_nvl();
-        let native2 =
-            simulate_multi_gpu(&m70, &req, DType::Bf16, &gpu, &GpuTeeConfig::native(), 2);
-        let cc2 =
-            simulate_multi_gpu(&m70, &req, DType::Bf16, &gpu, &GpuTeeConfig::confidential(), 2);
+        let native2 = simulate_multi_gpu(&m70, &req, DType::Bf16, &gpu, &GpuTeeConfig::native(), 2);
+        let cc2 = simulate_multi_gpu(
+            &m70,
+            &req,
+            DType::Bf16,
+            &gpu,
+            &GpuTeeConfig::confidential(),
+            2,
+        );
         let penalty = native2.decode_tps / cc2.decode_tps;
         assert!(
             penalty > 1.5,

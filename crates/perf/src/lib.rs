@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod calib;
 mod cpu;
 mod framework;
@@ -56,24 +57,71 @@ mod memsys;
 pub mod stats;
 mod target;
 
+pub use cache::{simulate_cpu_cached, simulate_gpu_cached, CacheStats};
 pub use cpu::{decode_step_time_s, prefill_time_s, simulate_cpu, OpTrace, SimResult};
 pub use framework::Framework;
 pub use gpu::{fits_on_gpus, simulate_gpu, simulate_multi_gpu, GpuSimResult};
 pub use memsys::MemSystem;
 pub use target::CpuTarget;
 
+/// Finite sentinel returned by [`overhead_pct`] and
+/// [`throughput_overhead_pct`] when the comparison is undefined (zero or
+/// non-finite baseline, non-finite observation). Large enough that any
+/// band assertion on a real overhead rejects it, finite so it survives
+/// arithmetic and JSON serialization (`serde_json` turns non-finite
+/// floats into `null`).
+pub const OVERHEAD_UNDEFINED_PCT: f64 = 1.0e12;
+
+/// Relative overhead of `observed` versus `baseline` in percent:
+/// positive means `observed` is slower / worse. `None` when the
+/// comparison is undefined — zero or non-finite `baseline`, or
+/// non-finite `observed`.
+#[must_use]
+pub fn try_overhead_pct(baseline: f64, observed: f64) -> Option<f64> {
+    if baseline == 0.0 || !baseline.is_finite() || !observed.is_finite() {
+        return None;
+    }
+    Some((observed / baseline - 1.0) * 100.0)
+}
+
 /// Relative overhead of `observed` versus `baseline` in percent:
 /// positive means `observed` is slower / worse.
+///
+/// Undefined comparisons (zero/non-finite baseline, non-finite
+/// observation) return the documented finite sentinel
+/// [`OVERHEAD_UNDEFINED_PCT`] instead of propagating `inf`/`NaN`; use
+/// [`try_overhead_pct`] to handle them explicitly.
 #[must_use]
 pub fn overhead_pct(baseline: f64, observed: f64) -> f64 {
-    (observed / baseline - 1.0) * 100.0
+    try_overhead_pct(baseline, observed).unwrap_or(OVERHEAD_UNDEFINED_PCT)
+}
+
+/// Relative throughput overhead in percent (throughput is
+/// higher-is-better, so the ratio flips). `None` when the comparison is
+/// undefined — zero or non-finite `baseline_tps`, zero or non-finite
+/// `observed_tps` (the denominator here).
+#[must_use]
+pub fn try_throughput_overhead_pct(baseline_tps: f64, observed_tps: f64) -> Option<f64> {
+    if baseline_tps == 0.0
+        || !baseline_tps.is_finite()
+        || observed_tps == 0.0
+        || !observed_tps.is_finite()
+    {
+        return None;
+    }
+    Some((baseline_tps / observed_tps - 1.0) * 100.0)
 }
 
 /// Relative throughput overhead in percent (throughput is
 /// higher-is-better, so the ratio flips).
+///
+/// Undefined comparisons (zero/non-finite baseline or observation)
+/// return the documented finite sentinel [`OVERHEAD_UNDEFINED_PCT`]
+/// instead of propagating `inf`/`NaN`; use
+/// [`try_throughput_overhead_pct`] to handle them explicitly.
 #[must_use]
 pub fn throughput_overhead_pct(baseline_tps: f64, observed_tps: f64) -> f64 {
-    (baseline_tps / observed_tps - 1.0) * 100.0
+    try_throughput_overhead_pct(baseline_tps, observed_tps).unwrap_or(OVERHEAD_UNDEFINED_PCT)
 }
 
 #[cfg(test)]
@@ -86,5 +134,63 @@ mod tests {
         assert!(overhead_pct(100.0, 90.0) < 0.0);
         assert!((throughput_overhead_pct(110.0, 100.0) - 10.0).abs() < 1e-9);
         assert!(throughput_overhead_pct(100.0, 110.0) < 0.0);
+    }
+
+    #[test]
+    fn try_variants_agree_on_defined_inputs() {
+        assert_eq!(
+            try_overhead_pct(100.0, 110.0),
+            Some(overhead_pct(100.0, 110.0))
+        );
+        assert_eq!(
+            try_throughput_overhead_pct(110.0, 100.0),
+            Some(throughput_overhead_pct(110.0, 100.0))
+        );
+    }
+
+    #[test]
+    fn zero_baseline_is_undefined() {
+        assert_eq!(try_overhead_pct(0.0, 5.0), None);
+        assert_eq!(overhead_pct(0.0, 5.0), OVERHEAD_UNDEFINED_PCT);
+        assert_eq!(try_throughput_overhead_pct(0.0, 5.0), None);
+        assert_eq!(throughput_overhead_pct(0.0, 5.0), OVERHEAD_UNDEFINED_PCT);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_undefined() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(try_overhead_pct(bad, 5.0), None, "baseline {bad}");
+            assert_eq!(try_overhead_pct(5.0, bad), None, "observed {bad}");
+            assert_eq!(
+                try_throughput_overhead_pct(bad, 5.0),
+                None,
+                "baseline {bad}"
+            );
+            assert_eq!(
+                try_throughput_overhead_pct(5.0, bad),
+                None,
+                "observed {bad}"
+            );
+            assert_eq!(overhead_pct(bad, 5.0), OVERHEAD_UNDEFINED_PCT);
+        }
+    }
+
+    #[test]
+    fn zero_observed_throughput_is_undefined_not_inf() {
+        // A stalled observation must not turn into a division by zero.
+        assert_eq!(try_throughput_overhead_pct(100.0, 0.0), None);
+        assert!(throughput_overhead_pct(100.0, 0.0).is_finite());
+        // A zero *latency* observation is a defined (−100%) overhead.
+        assert_eq!(try_overhead_pct(100.0, 0.0), Some(-100.0));
+    }
+
+    #[test]
+    fn sentinel_is_finite_and_out_of_band() {
+        let sentinel = overhead_pct(0.0, 5.0);
+        assert!(sentinel.is_finite());
+        assert!(
+            sentinel > 1e6,
+            "sentinel must sit far outside real overhead bands"
+        );
     }
 }

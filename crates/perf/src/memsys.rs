@@ -63,8 +63,7 @@ impl MemSystem {
         let remote_bw = (2.0 * link_bw).min(per_socket_bw) * calib::REMOTE_ACCESS_BW_FRACTION;
 
         let binding = tee.effective_binding();
-        let single_node_alloc =
-            tee.sgx.is_some_and(|s| !s.numa_aware) && sockets > 1;
+        let single_node_alloc = tee.sgx.is_some_and(|s| !s.numa_aware) && sockets > 1;
         let remote_fraction = if single_node_alloc {
             // Threads on the far socket see 100% remote; half the threads.
             0.5
@@ -95,9 +94,12 @@ impl MemSystem {
         // the mesh and each sub-domain's controllers serve foreign rows,
         // costing a large slice of effective bandwidth (the paper measured
         // ~5% -> ~42% overhead with SNC on).
-        let snc_broken = confidential
-            && target.topology.snc != cllm_hw::SubNumaClustering::Off;
-        let local_bw = if snc_broken { local_bw * 0.72 } else { local_bw };
+        let snc_broken = confidential && target.topology.snc != cllm_hw::SubNumaClustering::Off;
+        let local_bw = if snc_broken {
+            local_bw * 0.72
+        } else {
+            local_bw
+        };
 
         let latency_exposure_mult = if target.amx_enabled { 1.0 } else { 1.5 };
 
@@ -153,8 +155,7 @@ impl MemSystem {
         let t = if self.single_node_alloc {
             // Every byte is served by one socket's controllers, and the far
             // socket's half additionally crosses UPI with partial overlap.
-            bytes / self.per_socket_bw
-                + 0.5 * bytes * self.remote_fraction / self.remote_bw
+            bytes / self.per_socket_bw + 0.5 * bytes * self.remote_fraction / self.remote_bw
         } else {
             // Remote accesses serialize behind the narrower UPI path while
             // local traffic proceeds; the blend is a weighted harmonic sum.

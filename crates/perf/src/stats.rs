@@ -37,9 +37,16 @@ pub fn mean_std(samples: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-/// Percentile by linear interpolation on the sorted sample (`q` in 0..=1).
+/// Percentile by linear interpolation on the sorted sample (`q` in 0..=1,
+/// clamped). The input **must** be sorted ascending — debug builds check
+/// this; release builds trust the caller (the check is linear and this
+/// sits on the per-token hot path).
 #[must_use]
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile() requires ascending sorted input"
+    );
     if sorted.is_empty() {
         return f64::NAN;
     }
@@ -141,5 +148,55 @@ mod tests {
         let s = summarize(&[]);
         assert!(s.mean.is_nan());
         assert_eq!(s.n, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn percentile_rejects_unsorted_in_debug() {
+        let _ = percentile(&[3.0, 1.0, 2.0], 0.5);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        for q in [0.0, 0.05, 0.5, 0.95, 1.0] {
+            assert_eq!(percentile(&[7.0], q), 7.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_clamps_q_outside_unit_interval() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&s, -0.5), 1.0);
+        assert_eq!(percentile(&s, 1.5), 3.0);
+    }
+
+    #[test]
+    fn summarize_filtered_single_sample() {
+        let s = summarize_filtered(&[0.25]);
+        assert_eq!(s.n, 1);
+        for v in [s.mean, s.median, s.p5, s.p95, s.min, s.max] {
+            assert_eq!(v, 0.25);
+        }
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn summarize_filtered_all_equal_keeps_everything() {
+        let s = summarize_filtered(&[4.0; 32]);
+        assert_eq!(s.n, 32);
+        assert_eq!((s.p5, s.median, s.p95), (4.0, 4.0, 4.0));
+        assert_eq!((s.min, s.max, s.std), (4.0, 4.0, 0.0));
+    }
+
+    #[test]
+    fn summarize_filtered_handles_unsorted_input() {
+        // Callers hand summarize_filtered raw (unsorted) latencies; the
+        // q=0/q=1 boundary percentiles must still equal min and max.
+        let raw = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let s = summarize_filtered(&raw);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.0), s.min);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 1.0), s.max);
+        assert_eq!((s.min, s.max, s.median), (1.0, 5.0, 3.0));
     }
 }

@@ -97,7 +97,8 @@ impl RagPipeline {
     /// Retrieve the top-k documents for a query.
     #[must_use]
     pub fn retrieve(&self, query: &str) -> Vec<Hit> {
-        self.engine.search(query, self.config.method, self.config.top_k)
+        self.engine
+            .search(query, self.config.method, self.config.top_k)
     }
 
     /// Retrieve and concatenate document texts into the context block an

@@ -31,8 +31,8 @@ pub fn rag_slowdown_factor(target: &CpuTarget, tee: &CpuTeeConfig) -> f64 {
     let teed = MemSystem::build(target, tee, footprint);
     let mem_ratio = teed.memory_time(bytes, 4) / bare.memory_time(bytes, 4);
     let cpu_tax = 1.0 + tee.virt.map_or(0.0, |v| v.cpu_tax);
-    let blended = RAG_MEMORY_BOUND_FRACTION * mem_ratio
-        + (1.0 - RAG_MEMORY_BOUND_FRACTION) * cpu_tax;
+    let blended =
+        RAG_MEMORY_BOUND_FRACTION * mem_ratio + (1.0 - RAG_MEMORY_BOUND_FRACTION) * cpu_tax;
     // Per-query fixed costs (syscalls into the network stack, TD
     // transitions) are small relative to multi-millisecond queries.
     blended

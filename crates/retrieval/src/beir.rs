@@ -66,7 +66,16 @@ fn topic_vocab(topic: usize) -> Vec<String> {
     let stem = TOPIC_STEMS[topic % TOPIC_STEMS.len()];
     let round = topic / TOPIC_STEMS.len();
     (0..24)
-        .map(|i| format!("{stem}{}{i}", if round == 0 { String::new() } else { round.to_string() }))
+        .map(|i| {
+            format!(
+                "{stem}{}{i}",
+                if round == 0 {
+                    String::new()
+                } else {
+                    round.to_string()
+                }
+            )
+        })
         .collect()
 }
 

@@ -184,7 +184,10 @@ mod tests {
     fn search_scores_sorted() {
         let e = Embedder::new(64);
         let mut idx = VectorIndex::new();
-        for (i, t) in ["alpha beta", "beta gamma", "delta epsilon"].iter().enumerate() {
+        for (i, t) in ["alpha beta", "beta gamma", "delta epsilon"]
+            .iter()
+            .enumerate()
+        {
             idx.add(i as u64, e.embed(t));
         }
         let hits = idx.search(&e.embed("beta"), 3);

@@ -100,9 +100,11 @@ impl Engine {
             SearchMode::Bm25 => self.inverted.search(query, k),
             SearchMode::RerankedBm25 { candidates } => {
                 let pool = self.inverted.search(query, candidates.max(k));
-                let mut reranked = self.cross_encoder.rerank(query, &pool, &self.inverted, |d| {
-                    self.texts.get(&d).map_or("", String::as_str)
-                });
+                let mut reranked = self
+                    .cross_encoder
+                    .rerank(query, &pool, &self.inverted, |d| {
+                        self.texts.get(&d).map_or("", String::as_str)
+                    });
                 reranked.truncate(k);
                 reranked
             }
@@ -175,11 +177,7 @@ mod tests {
         let mut bm25 = 0.0;
         let mut rr = 0.0;
         for (qid, qtext) in &data.queries {
-            bm25 += ndcg_at_k(
-                &e.search(qtext, SearchMode::Bm25, 10),
-                &data.qrels[qid],
-                10,
-            );
+            bm25 += ndcg_at_k(&e.search(qtext, SearchMode::Bm25, 10), &data.qrels[qid], 10);
             rr += ndcg_at_k(
                 &e.search(qtext, SearchMode::RerankedBm25 { candidates: 20 }, 10),
                 &data.qrels[qid],

@@ -129,8 +129,7 @@ impl InvertedIndex {
             for p in postings {
                 let len = f64::from(self.doc_len[&p.doc]);
                 let tf = f64::from(p.tf);
-                let denom =
-                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * len / avg);
+                let denom = tf + self.params.k1 * (1.0 - self.params.b + self.params.b * len / avg);
                 let score = idf * tf * (self.params.k1 + 1.0) / denom;
                 *scores.entry(p.doc).or_insert(0.0) += score;
             }
@@ -232,6 +231,9 @@ mod tests {
         } else {
             (hits[1].score, hits[0].score)
         };
-        assert!(s_many / s_one < 3.0, "saturation failed: {s_many} vs {s_one}");
+        assert!(
+            s_many / s_one < 3.0,
+            "saturation failed: {s_many} vs {s_one}"
+        );
     }
 }

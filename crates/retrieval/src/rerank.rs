@@ -93,10 +93,10 @@ mod tests {
 
     fn corpus() -> (InvertedIndex, Vec<&'static str>) {
         let docs = vec![
-            "trusted execution environment protects llm weights",   // 0
-            "llm inference with large batch sizes on gpus",          // 1
-            "weights of the llm stay encrypted in the enclave",      // 2
-            "gardening tips for growing tomatoes",                   // 3
+            "trusted execution environment protects llm weights", // 0
+            "llm inference with large batch sizes on gpus",       // 1
+            "weights of the llm stay encrypted in the enclave",   // 2
+            "gardening tips for growing tomatoes",                // 3
         ];
         let mut idx = InvertedIndex::new();
         for (i, d) in docs.iter().enumerate() {

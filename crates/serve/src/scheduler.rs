@@ -110,11 +110,8 @@ impl ContinuousBatcher {
             let Some(front) = self.queue.front() else {
                 break;
             };
-            let need = kv::kv_bytes_per_sequence(
-                model,
-                front.prompt_tokens + front.output_tokens,
-                dtype,
-            );
+            let need =
+                kv::kv_bytes_per_sequence(model, front.prompt_tokens + front.output_tokens, dtype);
             if kv_reserved + need > self.limits.kv_budget_bytes {
                 break; // FIFO head-of-line blocking, like vLLM's default
             }

@@ -127,11 +127,7 @@ pub fn simulate_serving(cfg: &ServingConfig, tee: &CpuTeeConfig) -> ServingRepor
         // context length.
         let batch = scheduler.running().len() as u64;
         #[allow(clippy::cast_precision_loss)]
-        let mean_context = (scheduler
-            .running()
-            .iter()
-            .map(|a| a.context())
-            .sum::<u64>() as f64
+        let mean_context = (scheduler.running().iter().map(|a| a.context()).sum::<u64>() as f64
             / batch as f64)
             .round() as u64;
         now += decode_step_time_s(&cfg.model, cfg.dtype, &cfg.target, tee, batch, mean_context);

@@ -77,7 +77,11 @@ impl ArrivalProcess {
     }
 }
 
-#[allow(clippy::cast_precision_loss, clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_truncation
+)]
 fn log_uniform(rng: &mut StdRng, (lo, hi): (u64, u64)) -> u64 {
     if lo == hi {
         return lo;

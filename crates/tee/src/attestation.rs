@@ -115,7 +115,12 @@ pub fn report_data_for_nonce(nonce: &[u8]) -> [u8; 32] {
 
 /// Sign a report with the platform key, producing a quote.
 #[must_use]
-pub fn generate_quote(root_secret: &[u8], measurement: Measurement, svn: u16, nonce: &[u8]) -> Quote {
+pub fn generate_quote(
+    root_secret: &[u8],
+    measurement: Measurement,
+    svn: u16,
+    nonce: &[u8],
+) -> Quote {
     let report = Report {
         measurement,
         svn,

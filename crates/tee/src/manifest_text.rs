@@ -312,7 +312,9 @@ fs.mounts = [
     #[test]
     fn parsed_manifest_verifies_trusted_files() {
         let m = parse_manifest(&sample_text()).unwrap();
-        assert!(m.verify_trusted("/usr/lib/libtorch.so", b"library-bytes").is_ok());
+        assert!(m
+            .verify_trusted("/usr/lib/libtorch.so", b"library-bytes")
+            .is_ok());
         assert!(m.verify_trusted("/usr/lib/libtorch.so", b"evil").is_err());
     }
 

@@ -336,9 +336,7 @@ impl CpuTeeConfig {
     /// drivers that ignore explicit reservations (Insight 7).
     #[must_use]
     pub fn effective_page(&self) -> cllm_hw::PageSize {
-        let honours = self
-            .virt
-            .is_none_or(|v| v.honours_hugepage_reservations);
+        let honours = self.virt.is_none_or(|v| v.honours_hugepage_reservations);
         self.hugepage_policy.effective_page(honours)
     }
 

@@ -209,10 +209,7 @@ mod tests {
     #[test]
     fn ciphertext_hides_plaintext() {
         let blob = SealedBlob::seal(b"root", &m(1), "f", b"AAAAAAAAAAAAAAAA", b"seed");
-        assert!(!blob
-            .ciphertext
-            .windows(4)
-            .any(|w| w == b"AAAA"));
+        assert!(!blob.ciphertext.windows(4).any(|w| w == b"AAAA"));
     }
 
     #[test]

@@ -121,8 +121,8 @@ impl Verifier {
     /// Verify the enclave's response and derive the channel.
     pub fn finish(&self, response: &Response) -> Result<SecureChannel, SessionError> {
         let t = transcript(&self.nonce, self.keys.public, response.enclave_public);
-        let measured = verify_quote(&response.quote, &self.hw_root, &t)
-            .map_err(SessionError::Attestation)?;
+        let measured =
+            verify_quote(&response.quote, &self.hw_root, &t).map_err(SessionError::Attestation)?;
         if measured != self.golden {
             return Err(SessionError::WrongEnclave);
         }

@@ -27,12 +27,7 @@ pub fn kv_bytes_total(model: &ModelConfig, batch: u64, seq_len: u64, dtype: DTyp
 /// cache + a small activation slab. Drives TLB-reach and LLC decisions.
 #[must_use]
 #[allow(clippy::cast_precision_loss)]
-pub fn working_set_bytes(
-    model: &ModelConfig,
-    batch: u64,
-    seq_len: u64,
-    dtype: DType,
-) -> f64 {
+pub fn working_set_bytes(model: &ModelConfig, batch: u64, seq_len: u64, dtype: DType) -> f64 {
     let acts = (batch * model.hidden * 8) as f64 * dtype.act_bytes();
     model.streamed_weight_bytes(dtype) + kv_bytes_total(model, batch, seq_len, dtype) + acts
 }
@@ -87,10 +82,7 @@ mod tests {
     #[test]
     fn working_set_exceeds_weights() {
         let m = zoo::llama2_7b();
-        assert!(
-            working_set_bytes(&m, 8, 1024, DType::Bf16)
-                > m.streamed_weight_bytes(DType::Bf16)
-        );
+        assert!(working_set_bytes(&m, 8, 1024, DType::Bf16) > m.streamed_weight_bytes(DType::Bf16));
     }
 
     #[test]

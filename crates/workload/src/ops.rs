@@ -176,11 +176,7 @@ pub fn op_cost(
     let (gate_mats, compute_experts, touched) = match model.mlp {
         crate::MlpKind::GatedSilu => (2.0, 1.0, 1.0),
         crate::MlpKind::Gelu => (1.0, 1.0, 1.0),
-        crate::MlpKind::GatedMoe { top_k, .. } => (
-            2.0,
-            top_k as f64,
-            model.experts_touched(batch),
-        ),
+        crate::MlpKind::GatedMoe { top_k, .. } => (2.0, top_k as f64, model.experts_touched(batch)),
     };
 
     match op {

@@ -115,7 +115,12 @@ impl StepWorkload {
     ) -> Self {
         let per_op = BlockOp::all()
             .into_iter()
-            .map(|op| (op, ops::op_cost(model, op, batch, new_tokens, past_tokens, dtype)))
+            .map(|op| {
+                (
+                    op,
+                    ops::op_cost(model, op, batch, new_tokens, past_tokens, dtype),
+                )
+            })
             .collect();
         StepWorkload {
             per_op,

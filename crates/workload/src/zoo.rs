@@ -162,7 +162,13 @@ pub fn mixtral_8x7b() -> ModelConfig {
 /// The Section III-C3 cross-check set.
 #[must_use]
 pub fn cross_check_models() -> Vec<ModelConfig> {
-    vec![llama3_8b(), gptj_6b(), falcon_7b(), baichuan2_7b(), qwen_7b()]
+    vec![
+        llama3_8b(),
+        gptj_6b(),
+        falcon_7b(),
+        baichuan2_7b(),
+        qwen_7b(),
+    ]
 }
 
 /// All Llama2 sizes evaluated in the paper.

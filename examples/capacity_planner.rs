@@ -6,9 +6,7 @@
 //! cargo run --example capacity_planner -- [batch] [input_tokens]
 //! ```
 
-use confidential_llms_in_tees::cost::{
-    cost_advantage_pct, cost_per_mtok, CpuPricing, GpuPricing,
-};
+use confidential_llms_in_tees::cost::{cost_advantage_pct, cost_per_mtok, CpuPricing, GpuPricing};
 use confidential_llms_in_tees::hw::DType;
 use confidential_llms_in_tees::perf::{simulate_cpu, simulate_gpu, CpuTarget};
 use confidential_llms_in_tees::tee::platform::{CpuTeeConfig, GpuTeeConfig};
@@ -51,7 +49,13 @@ fn main() {
 
     // --- confidential H100 ------------------------------------------------
     let gpu = cllm_hw::presets::h100_nvl();
-    let sim = simulate_gpu(&model, &req, DType::Bf16, &gpu, &GpuTeeConfig::confidential());
+    let sim = simulate_gpu(
+        &model,
+        &req,
+        DType::Bf16,
+        &gpu,
+        &GpuTeeConfig::confidential(),
+    );
     let gpu_usd = cost_per_mtok(GpuPricing::azure_ncc_h100().per_hr, sim.e2e_tps);
     println!(
         "\ncGPU (Azure NCCads_H100_v5): {:>7.0} tok/s  ${:.2}/hr  ${gpu_usd:.3}/Mtok",

@@ -19,7 +19,7 @@ use confidential_llms_in_tees::core::pipeline::{ConfidentialPipeline, Deployment
 use confidential_llms_in_tees::crypto::drbg::HashDrbg;
 use confidential_llms_in_tees::tee::platform::{CpuTeeConfig, Platform, TeeKind};
 use confidential_llms_in_tees::tee::sealed::{BlockDevice, SECTOR_BYTES};
-use confidential_llms_in_tees::tee::threat::{security_score, Attack, protection};
+use confidential_llms_in_tees::tee::threat::{protection, security_score, Attack};
 use confidential_llms_in_tees::workload::phase::RequestSpec;
 
 const PATIENT_NOTES: &[&str] = &[
@@ -74,7 +74,11 @@ fn main() {
     for &(sector, len) in &sectors {
         let note = String::from_utf8(disk.read_bytes(sector, len)).expect("utf8 notes");
         let summary = pipeline.generate(&note, 12);
-        println!("  triage[{}..]: {} bytes of model output", &note[..9], summary.len());
+        println!(
+            "  triage[{}..]: {} bytes of model output",
+            &note[..9],
+            summary.len()
+        );
     }
 
     // --- capacity estimate ------------------------------------------------

@@ -1,18 +1,20 @@
 //! Regenerate every table and figure of the paper in one run, printing
 //! each as a text table (the same data the `cllm-bench` `figN` binaries
-//! emit as JSON).
+//! emit as JSON). The full sweep executes on the parallel experiment
+//! runner; tables still print in paper order.
 //!
 //! ```text
 //! cargo run --release --example paper_figures            # everything
 //! cargo run --release --example paper_figures -- fig9    # one figure
 //! ```
 
-use confidential_llms_in_tees::core::experiments::{all_experiments, run_by_id};
+use confidential_llms_in_tees::core::experiments::all_experiments;
+use confidential_llms_in_tees::core::runner;
 
 fn main() {
     let filter: Option<String> = std::env::args().nth(1);
     match filter {
-        Some(id) => match run_by_id(&id) {
+        Some(id) => match runner::run_one(&id) {
             Some(result) => println!("{}", result.render()),
             None => {
                 eprintln!(
@@ -27,9 +29,8 @@ fn main() {
             }
         },
         None => {
-            for (id, runner) in all_experiments() {
-                let _ = id;
-                println!("{}", runner().render());
+            for result in runner::run_all_parallel(runner::default_workers()) {
+                println!("{}", result.render());
             }
         }
     }

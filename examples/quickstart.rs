@@ -18,7 +18,10 @@ fn main() {
     //    attestation with a fresh nonce, releases the decryption key only
     //    on success, and decrypts the weights inside the enclave.
     let pipeline = ConfidentialPipeline::deploy(&spec).expect("attestation should succeed");
-    println!("deployed; enclave measurement = {}", pipeline.measurement_hex());
+    println!(
+        "deployed; enclave measurement = {}",
+        pipeline.measurement_hex()
+    );
 
     // 3. Generate text with the real in-enclave engine (a tiny Llama-
     //    architecture model; the API is the same at any scale).

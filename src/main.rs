@@ -118,8 +118,11 @@ fn cmd_figures(id: Option<String>) -> ExitCode {
             }
         },
         None => {
-            for (_, runner) in all_experiments() {
-                println!("{}", runner().render());
+            // Full sweep: fan out over the parallel runner; tables still
+            // print in paper order.
+            let workers = cllm_core::runner::default_workers();
+            for result in cllm_core::runner::run_all_parallel(workers) {
+                println!("{}", result.render());
             }
             ExitCode::SUCCESS
         }
@@ -227,17 +230,29 @@ fn cmd_plan(flags: &HashMap<String, String>) -> ExitCode {
     }
     let (cpu_cores, cpu_usd) = best.expect("nonempty sweep");
     let gpu = cllm_hw::presets::h100_nvl();
-    let sim = simulate_gpu(&model, &req, DType::Bf16, &gpu, &GpuTeeConfig::confidential());
+    let sim = simulate_gpu(
+        &model,
+        &req,
+        DType::Bf16,
+        &gpu,
+        &GpuTeeConfig::confidential(),
+    );
     let gpu_usd = cost_per_mtok(GpuPricing::azure_ncc_h100().per_hr, sim.e2e_tps);
     let adv = cost_advantage_pct(cpu_usd, gpu_usd);
 
-    println!("shape       : batch {batch}, {input} in / 128 out ({})", model.name);
+    println!(
+        "shape       : batch {batch}, {input} in / 128 out ({})",
+        model.name
+    );
     println!("TDX best    : ${cpu_usd:.3}/Mtok at {cpu_cores} cores");
     println!("cGPU        : ${gpu_usd:.3}/Mtok");
     if adv > 5.0 {
         println!("recommend   : TDX ({adv:.0}% cheaper; stricter security model)");
     } else if adv < -5.0 {
-        println!("recommend   : cGPU ({:.0}% cheaper; check HBM-encryption threat model)", -adv);
+        println!(
+            "recommend   : cGPU ({:.0}% cheaper; check HBM-encryption threat model)",
+            -adv
+        );
     } else {
         println!("recommend   : cost parity — decide by security policy (CPU TEE stricter)");
     }

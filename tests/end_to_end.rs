@@ -103,7 +103,10 @@ fn estimates_order_platforms_correctly() {
     let sgx = lat(Platform::Cpu(CpuTeeConfig::sgx()));
     let tdx = lat(Platform::Cpu(CpuTeeConfig::tdx()));
     let gpu = lat(ConfidentialPipeline::gpu_platform(true));
-    assert!(bare < vm && vm < sgx && sgx < tdx, "{bare} {vm} {sgx} {tdx}");
+    assert!(
+        bare < vm && vm < sgx && sgx < tdx,
+        "{bare} {vm} {sgx} {tdx}"
+    );
     assert!(gpu < bare / 3.0, "H100 should dominate raw CPU latency");
 }
 
@@ -183,8 +186,12 @@ fn manifest_text_drives_real_enclave() {
     );
     let manifest = parse_manifest(&text).unwrap();
     let enclave = Enclave::launch(&manifest, b"hw").unwrap();
-    assert!(enclave.open_trusted("/opt/runtime.so", b"runtime-bytes").is_ok());
-    assert!(enclave.open_trusted("/opt/runtime.so", b"tampered").is_err());
+    assert!(enclave
+        .open_trusted("/opt/runtime.so", b"runtime-bytes")
+        .is_ok());
+    assert!(enclave
+        .open_trusted("/opt/runtime.so", b"tampered")
+        .is_err());
     // The measurement derives from the parsed manifest and pins the text.
     let again = parse_manifest(&text).unwrap();
     assert_eq!(manifest.measurement(), again.measurement());

@@ -20,7 +20,12 @@ fn summary_renders_complete_report() {
     let s = summary::build();
     assert_eq!(s.confirmed(), 12);
     let text = s.render();
-    for needle in ["Table I", "insight  1", "insight 12", "single-resource overhead"] {
+    for needle in [
+        "Table I",
+        "insight  1",
+        "insight 12",
+        "single-resource overhead",
+    ] {
         assert!(text.contains(needle), "missing: {needle}");
     }
 }

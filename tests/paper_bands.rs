@@ -77,7 +77,10 @@ fn fig12_cost_story() {
     let cpu128 = cllm_cost::cheapest_point(&sweep128).unwrap().usd_per_mtok;
     let gpu128 = experiments::fig12::cgpu_usd_per_mtok(128);
     let adv128 = cllm_cost::cost_advantage_pct(cpu128, gpu128);
-    assert!(adv128 < 35.0, "batch-128 advantage {adv128}% (parity expected)");
+    assert!(
+        adv128 < 35.0,
+        "batch-128 advantage {adv128}% (parity expected)"
+    );
 }
 
 #[test]

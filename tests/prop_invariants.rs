@@ -109,3 +109,21 @@ proptest! {
         prop_assert_eq!(a.prefill_s, b.prefill_s);
     }
 }
+
+/// Pinned replay of the recorded proptest regression
+/// (`tests/prop_invariants.proptest-regressions`: "shrinks to batch = 95").
+/// The shrunk case hit `cores_monotone`, where throughput briefly dipped
+/// when growing the core count at an awkward batch size; keep the exact
+/// case as a deterministic test so it can never silently reappear.
+#[test]
+fn cores_monotone_regression_batch_95() {
+    let model = zoo::llama2_7b();
+    let req = RequestSpec::new(95, 128, 64);
+    let mut prev = 0.0;
+    for cores in [4u32, 16, 60] {
+        let target = CpuTarget::emr2_single_socket().with_cores(cores);
+        let tps = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx()).decode_tps;
+        assert!(tps >= prev * 0.97, "cores {cores}: {tps} < {prev}");
+        prev = tps;
+    }
+}

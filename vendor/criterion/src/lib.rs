@@ -1,0 +1,182 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Supports the bench surface this workspace uses: `Criterion`,
+//! `bench_function`, `benchmark_group` (with `sample_size`,
+//! `warm_up_time`, `measurement_time`, `finish`), `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple median-of-samples wall clock — enough to compare runs locally;
+//! no statistics, plots or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` too.
+pub use std::hint::black_box;
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    per_sample: Duration,
+    /// Median ns/iter of the last `iter` call.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Measure a closure: several timed samples, each running the closure
+    /// enough times to fill the per-sample budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in the per-sample budget?
+        let probe_start = Instant::now();
+        black_box(f());
+        let one = probe_start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample = (self.per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            per_iter_ns.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.result_ns = per_iter_ns[per_iter_ns.len() / 2];
+    }
+}
+
+fn run_one(name: &str, samples: usize, per_sample: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        per_sample,
+        result_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.result_ns.is_finite() {
+        println!("{name:<40} {:>14.1} ns/iter", b.result_ns);
+    } else {
+        println!("{name:<40} (no measurement)");
+    }
+}
+
+/// Benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(
+            name,
+            self.sample_size,
+            self.measurement_time / self.sample_size as u32,
+            &mut f,
+        );
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Warm-up budget (accepted for API compatibility; warm-up is the
+    /// calibration probe).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Run a named benchmark inside the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let total = self
+            .measurement_time
+            .unwrap_or(self.parent.measurement_time);
+        run_one(name.as_ref(), samples, total / samples as u32, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        group.bench_function(String::from("dyn"), |b| b.iter(|| 2 * 2));
+        group.finish();
+    }
+}

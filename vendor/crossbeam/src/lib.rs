@@ -1,0 +1,96 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 call shape
+//! (`scope(|s| ...) -> Result<R>`, `s.spawn(|_| ...)`), implemented on
+//! top of `std::thread::scope` (stable since Rust 1.63). Only the scoped
+//! thread API this workspace's parallel experiment runner uses is
+//! included.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Error payload of a panicked scope: the panic value of the first
+    /// panicking thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// A scope in which threads borrowing local state can be spawned.
+    pub struct Scope<'env, 'scope_ref> {
+        inner: &'scope_ref std::thread::Scope<'scope_ref, 'env>,
+    }
+
+    impl<'env, 'scope_ref> Scope<'env, 'scope_ref> {
+        /// Spawn a scoped thread. The closure receives `&Scope` for
+        /// crossbeam signature compatibility (nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope_ref, T>
+        where
+            F: FnOnce(&Scope<'env, 'scope_ref>) -> T + Send + 'scope_ref,
+            T: Send + 'scope_ref,
+            'env: 'scope_ref,
+        {
+            let reborrow = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&reborrow)),
+            }
+        }
+    }
+
+    /// Create a scope; all threads spawned within are joined before it
+    /// returns. Returns `Err` with the panic payload if the closure or
+    /// any un-joined thread panicked (crossbeam 0.8 semantics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope_ref> FnOnce(&Scope<'env, 'scope_ref>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let counter = AtomicUsize::new(0);
+            let out = super::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+                    .len()
+            })
+            .unwrap();
+            assert_eq!(out, 8);
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

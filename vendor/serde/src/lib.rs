@@ -1,0 +1,352 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no network access and an empty cargo
+//! registry, so the real `serde` cannot be fetched. This crate provides
+//! the exact surface the workspace uses — `#[derive(Serialize,
+//! Deserialize)]` plus trait bounds consumed by the vendored
+//! `serde_json` — over a simplified self-describing data model
+//! ([`Content`]) instead of the visitor-based serde core.
+//!
+//! The derive macros live in the sibling `serde_derive` proc-macro crate
+//! and generate impls of [`Serialize`]/[`Deserialize`] below. Field
+//! names, enum variant tags and the externally-tagged enum encoding all
+//! match serde's defaults, so JSON produced through `serde_json`
+//! round-trips the same way the real stack would.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized form: the intermediate every
+/// [`Serialize`] impl produces and every [`Deserialize`] impl consumes.
+///
+/// Mirrors the JSON data model (this workspace only serializes to/from
+/// JSON). Unsigned and signed integers are kept apart so `u64` values
+/// above 2^53 survive a round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also `None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, `Vec`).
+    Seq(Vec<Content>),
+    /// Map with string keys, in insertion order (struct fields).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Borrow as a map, if this is one.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a struct field in a map, erroring with the field name.
+    pub fn field<'a>(map: &'a [(String, Content)], name: &str) -> Result<&'a Content, DeError> {
+        map.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from a message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be serialized into [`Content`].
+pub trait Serialize {
+    /// Convert to the self-describing form.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be reconstructed from [`Content`].
+pub trait Deserialize: Sized {
+    /// Reconstruct from the self-describing form.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(u64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t)))),
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t)))),
+                    _ => Err(DeError::new(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        u64::from_content(c)
+            .and_then(|v| usize::try_from(v).map_err(|_| DeError::new("usize out of range")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = i64::from(*self);
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let wide: i64 = match c {
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::new("integer out of range"))?,
+                    Content::I64(v) => *v,
+                    _ => return Err(DeError::new(concat!("expected integer for ", stringify!($t)))),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        (*self as i64).to_content()
+    }
+}
+impl Deserialize for isize {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        i64::from_content(c)
+            .and_then(|v| isize::try_from(v).map_err(|_| DeError::new("isize out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            _ => Err(DeError::new("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+// ---- composite impls ------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::new("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v: Vec<T> = Vec::from_content(c)?;
+        let n = v.len();
+        v.try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let seq = c.as_seq().ok_or_else(|| DeError::new("expected tuple sequence"))?;
+                Ok(($($name::from_content(
+                    seq.get($idx).ok_or_else(|| DeError::new("tuple too short"))?)?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        let s = String::from("hello");
+        assert_eq!(String::from_content(&s.to_content()).unwrap(), s);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn arrays_and_options() {
+        let a: [u8; 4] = [1, 2, 3, 4];
+        assert_eq!(<[u8; 4]>::from_content(&a.to_content()).unwrap(), a);
+        let none: Option<u32> = None;
+        assert_eq!(
+            Option::<u32>::from_content(&none.to_content()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<u32>::from_content(&Some(9u32).to_content()).unwrap(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let v = u64::MAX - 1;
+        assert_eq!(u64::from_content(&v.to_content()).unwrap(), v);
+    }
+}

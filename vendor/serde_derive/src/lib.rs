@@ -1,0 +1,426 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually contains — non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple and struct variants) — without
+//! `syn`/`quote`, by walking the raw [`proc_macro::TokenStream`] and
+//! emitting impls of the simplified `serde::Serialize`/`serde::Deserialize`
+//! traits defined in the vendored `serde` crate.
+//!
+//! Encoding matches serde's JSON defaults: structs are maps keyed by field
+//! name, newtype structs are transparent, tuple structs/variants are
+//! sequences, unit variants are strings, and payload variants are
+//! externally tagged (`{"Variant": ...}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Count items separated by top-level commas, ignoring commas nested in
+/// `<...>` (angle brackets are not token groups) or delimiter groups.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut items = 0;
+    let mut saw_tokens = false;
+    let mut prev_dash = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    ',' if depth == 0 => {
+                        items += 1;
+                        saw_tokens = false;
+                        prev_dash = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            }
+            _ => prev_dash = false,
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        items += 1;
+    }
+    items
+}
+
+/// Parse `{ field: Type, ... }` contents into field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and doc comments.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility.
+        match iter.peek() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => {}
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        fields.push(name.to_string());
+        // Expect ':' then consume the type until a top-level ','.
+        let mut depth: i32 = 0;
+        let mut prev_dash = false;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) => {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' if !prev_dash => depth -= 1,
+                        ',' if depth == 0 => break,
+                        _ => {}
+                    }
+                    prev_dash = p.as_char() == '-';
+                }
+                _ => prev_dash = false,
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and doc comments.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                iter.next();
+                Fields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                iter.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+        // Skip any discriminant and the trailing comma.
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: unexpected token {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_items(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive stub: expected enum body, got {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Content::Null".to_owned(),
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let items: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push(format!(
+                        "{name}::{vname} => ::serde::Content::Str(String::from(\"{vname}\")),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push(format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(vec![(String::from(\"{vname}\"), {payload})]),",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Content::Map(vec![(String::from(\"{vname}\"), ::serde::Content::Map(vec![{}]))]),",
+                            fields.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ match self {{ {} }} }}\n}}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_content(__seq.get({i}).ok_or_else(|| ::serde::DeError::new(\"sequence too short for {name}\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __seq = __c.as_seq().ok_or_else(|| ::serde::DeError::new(\"expected sequence for {name}\"))?;\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let items: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(::serde::Content::field(__map, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __map = __c.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for {name}\"))?;\n\
+                         Ok({name} {{ {} }})",
+                        items.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &::serde::Content) -> Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push(format!("\"{vname}\" => Ok({name}::{vname}),"));
+                    }
+                    Fields::Tuple(1) => payload_arms.push(format!(
+                        "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_content(__v)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_content(__seq.get({i}).ok_or_else(|| ::serde::DeError::new(\"variant sequence too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{vname}\" => {{ let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::new(\"expected sequence variant\"))?; Ok({name}::{vname}({})) }},",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(::serde::Content::field(__m, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{vname}\" => {{ let __m = __v.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map variant\"))?; Ok({name}::{vname} {{ {} }}) }},",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                 match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit}\n_ => Err(::serde::DeError::new(format!(\"unknown variant `{{__s}}` of {name}\"))) }},\n\
+                 ::serde::Content::Map(__m0) if __m0.len() == 1 => {{\n\
+                 let (__tag, __v) = &__m0[0];\n\
+                 let _ = __v;\n\
+                 match __tag.as_str() {{\n{payload}\n_ => Err(::serde::DeError::new(format!(\"unknown variant `{{__tag}}` of {name}\"))) }}\n}},\n\
+                 _ => Err(::serde::DeError::new(\"expected variant for {name}\")),\n\
+                 }}\n}}\n}}",
+                unit = unit_arms.join("\n"),
+                payload = payload_arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (vendored data-model form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (vendored data-model form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
