@@ -7,37 +7,25 @@
 //! the B100's HBM path and compares the resulting CC overhead with the
 //! H100's (which leaves HBM unencrypted).
 
-use super::{num, pct, ExperimentResult};
-use cllm_hw::{DType, GpuModel};
-use cllm_perf::{simulate_gpu, throughput_overhead_pct};
-use cllm_tee::platform::GpuTeeConfig;
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{GpuScenario, Sweep};
+use cllm_hw::GpuModel;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
-fn cc_overhead(gpu: &GpuModel, batch: u64, input: u64) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, input, 128);
-    let raw = simulate_gpu(&model, &req, DType::Bf16, gpu, &GpuTeeConfig::native());
-    let cc = simulate_gpu(
-        &model,
-        &req,
-        DType::Bf16,
-        gpu,
-        &GpuTeeConfig::confidential(),
-    );
-    throughput_overhead_pct(raw.e2e_tps, cc.e2e_tps)
+fn scenario(gpu: &GpuModel, batch: u64, input: u64) -> GpuScenario {
+    GpuScenario::llama2_7b(RequestSpec::new(batch, input, 128)).with_gpu(gpu.clone())
 }
 
 /// CC overhead on the H100 at one shape.
 #[must_use]
 pub fn h100_overhead(batch: u64, input: u64) -> f64 {
-    cc_overhead(&cllm_hw::presets::h100_nvl(), batch, input)
+    scenario(&cllm_hw::presets::h100_nvl(), batch, input).e2e_overhead()
 }
 
 /// Projected CC overhead on the B100 at one shape.
 #[must_use]
 pub fn b100_overhead(batch: u64, input: u64) -> f64 {
-    cc_overhead(&cllm_hw::presets::b100(), batch, input)
+    scenario(&cllm_hw::presets::b100(), batch, input).e2e_overhead()
 }
 
 /// Run the experiment.
@@ -46,41 +34,28 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "b100",
         "Blackwell projection: CC overhead with encrypted HBM vs H100",
-        &[
-            "batch",
-            "input",
-            "h100_cc_overhead",
-            "b100_cc_overhead",
-            "b100_speedup",
+        vec![
+            Column::int("batch"),
+            Column::int("input"),
+            Column::pct("h100_cc_overhead"),
+            Column::pct("b100_cc_overhead"),
+            Column::float("b100_speedup", Unit::Speedup, 2),
         ],
     );
     let h100 = cllm_hw::presets::h100_nvl();
     let b100 = cllm_hw::presets::b100();
-    let model = zoo::llama2_7b();
-    for (batch, input) in [(1u64, 128u64), (8, 512), (32, 512), (128, 1024)] {
-        let req = RequestSpec::new(batch, input, 128);
-        let h = simulate_gpu(
-            &model,
-            &req,
-            DType::Bf16,
-            &h100,
-            &GpuTeeConfig::confidential(),
-        );
-        let b = simulate_gpu(
-            &model,
-            &req,
-            DType::Bf16,
-            &b100,
-            &GpuTeeConfig::confidential(),
-        );
-        r.push_row(vec![
-            batch.to_string(),
-            input.to_string(),
-            pct(h100_overhead(batch, input)),
-            pct(b100_overhead(batch, input)),
-            format!("{}x", num(b.e2e_tps / h.e2e_tps, 2)),
-        ]);
-    }
+    let sweep = Sweep::over(vec![(1u64, 128u64), (8, 512), (32, 512), (128, 1024)]);
+    r.extend_rows(sweep.rows(|&(batch, input)| {
+        let h = scenario(&h100, batch, input).simulate();
+        let b = scenario(&b100, batch, input).simulate();
+        vec![
+            Value::uint(batch),
+            Value::uint(input),
+            Value::pct(h100_overhead(batch, input)),
+            Value::pct(b100_overhead(batch, input)),
+            Value::float(b.e2e_tps / h.e2e_tps, Unit::Speedup, 2),
+        ]
+    }));
     r.note("paper expectation: B100's HBM/NVLink encryption will add non-negligible overhead over H100 results");
     r.note("the projection reuses the memory-encryption derate calibrated on the CPU side");
     r
@@ -101,22 +76,8 @@ mod tests {
 
     #[test]
     fn b100_still_faster_in_absolute_terms() {
-        let model = zoo::llama2_7b();
-        let req = RequestSpec::new(32, 512, 64);
-        let h = simulate_gpu(
-            &model,
-            &req,
-            DType::Bf16,
-            &cllm_hw::presets::h100_nvl(),
-            &GpuTeeConfig::confidential(),
-        );
-        let b = simulate_gpu(
-            &model,
-            &req,
-            DType::Bf16,
-            &cllm_hw::presets::b100(),
-            &GpuTeeConfig::confidential(),
-        );
+        let h = scenario(&cllm_hw::presets::h100_nvl(), 32, 512).simulate();
+        let b = scenario(&cllm_hw::presets::b100(), 32, 512).simulate();
         assert!(b.e2e_tps > h.e2e_tps);
     }
 

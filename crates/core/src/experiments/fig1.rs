@@ -1,13 +1,12 @@
 //! Figure 1: headline TEE overheads for Llama2-7B plus the attack
 //! taxonomy TEEs defend against.
 
-use super::{num, pct, ExperimentResult};
-use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, simulate_gpu, throughput_overhead_pct, CpuTarget};
-use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, TeeKind};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{CpuScenario, GpuScenario};
+use cllm_perf::CpuTarget;
+use cllm_tee::platform::{CpuTeeConfig, TeeKind};
 use cllm_tee::threat::{protection, Attack};
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
 /// Run the experiment.
 #[must_use]
@@ -15,42 +14,29 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig1",
         "Headline Llama2-7B throughput under CPU and GPU TEEs (1024 in / 128 out)",
-        &["platform", "throughput_tps", "overhead_vs_baseline"],
+        vec![
+            Column::str("platform"),
+            Column::float("throughput_tps", Unit::TokensPerSec, 1),
+            Column::pct("overhead_vs_baseline"),
+        ],
     );
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(6, 1024, 128).with_beam(4);
-    let target = CpuTarget::emr1_single_socket();
-
-    let bare = simulate_cpu(
-        &model,
-        &req,
-        DType::Bf16,
-        &target,
-        &CpuTeeConfig::bare_metal(),
-    );
+    let base = CpuScenario::llama2_7b(RequestSpec::new(6, 1024, 128).with_beam(4))
+        .with_target(CpuTarget::emr1_single_socket());
     for tee in [CpuTeeConfig::tdx(), CpuTeeConfig::sgx()] {
-        let sim = simulate_cpu(&model, &req, DType::Bf16, &target, &tee);
+        let label = format!("{} (CPU)", tee.kind.label());
+        let s = base.clone().with_tee(tee);
         r.push_row(vec![
-            format!("{} (CPU)", tee.kind.label()),
-            num(sim.decode_tps, 1),
-            pct(throughput_overhead_pct(bare.decode_tps, sim.decode_tps)),
+            Value::str(label),
+            Value::float(s.simulate().decode_tps, Unit::TokensPerSec, 1),
+            Value::pct(s.thr_overhead()),
         ]);
     }
 
-    let gpu = cllm_hw::presets::h100_nvl();
-    let gpu_req = RequestSpec::new(6, 1024, 128);
-    let raw = simulate_gpu(&model, &gpu_req, DType::Bf16, &gpu, &GpuTeeConfig::native());
-    let cc = simulate_gpu(
-        &model,
-        &gpu_req,
-        DType::Bf16,
-        &gpu,
-        &GpuTeeConfig::confidential(),
-    );
+    let gpu = GpuScenario::llama2_7b(RequestSpec::new(6, 1024, 128));
     r.push_row(vec![
-        "cGPU (H100)".to_owned(),
-        num(cc.decode_tps, 1),
-        pct(throughput_overhead_pct(raw.decode_tps, cc.decode_tps)),
+        Value::str("cGPU (H100)"),
+        Value::float(gpu.simulate().decode_tps, Unit::TokensPerSec, 1),
+        Value::pct(gpu.decode_overhead()),
     ]);
 
     r.note("paper: TEEs incur only 4-7% throughput reduction for cLLMs");
@@ -72,11 +58,11 @@ mod tests {
     fn headline_overheads_in_band() {
         let r = super::run();
         for row in &r.rows {
-            let ovh: f64 = row[2].trim_end_matches('%').parse().unwrap();
+            let ovh = row[2].as_f64().expect("overhead column is numeric");
             assert!(
                 (2.0..12.0).contains(&ovh),
                 "{}: headline overhead {ovh}% outside band",
-                row[0]
+                row[0].format()
             );
         }
     }

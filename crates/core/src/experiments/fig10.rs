@@ -1,11 +1,10 @@
 //! Figure 10: input-size scaling of TDX generation-throughput overhead
 //! (EMR2, single socket, batch 64, 128 output tokens).
 
-use super::{num, pct, ExperimentResult};
-use crate::runner;
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{grid2, CpuScenario, Sweep};
 use cllm_hw::DType;
-use cllm_perf::{simulate_cpu_cached, throughput_overhead_pct, CpuTarget};
-use cllm_tee::platform::CpuTeeConfig;
+use cllm_perf::throughput_overhead_pct;
 use cllm_workload::phase::RequestSpec;
 use cllm_workload::zoo;
 
@@ -20,14 +19,12 @@ use cllm_workload::zoo;
 /// steady-state decode rate.
 #[must_use]
 pub fn overheads(dtype: DType, input: u64) -> (f64, f64) {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(64, input, 128);
-    let target = CpuTarget::emr2_single_socket();
-    let bare = simulate_cpu_cached(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
-    let tdx = simulate_cpu_cached(&model, &req, dtype, &target, &CpuTeeConfig::tdx());
+    let tdx = CpuScenario::llama2_7b(RequestSpec::new(64, input, 128)).with_dtype(dtype);
+    let bare = tdx.baseline().simulate();
+    let sim = tdx.simulate();
     (
-        throughput_overhead_pct(bare.decode_tps, tdx.decode_tps),
-        throughput_overhead_pct(bare.e2e_tps, tdx.e2e_tps),
+        throughput_overhead_pct(bare.decode_tps, sim.decode_tps),
+        throughput_overhead_pct(bare.e2e_tps, sim.e2e_tps),
     )
 }
 
@@ -39,33 +36,27 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig10",
         "Input-size scaling of TDX overhead, Llama2-7B, batch 64 (EMR2)",
-        &[
-            "dtype",
-            "input_tokens",
-            "decode_overhead",
-            "e2e_overhead",
-            "kv_cache_gib",
+        vec![
+            Column::str("dtype"),
+            Column::int("input_tokens"),
+            Column::pct("decode_overhead"),
+            Column::pct("e2e_overhead"),
+            Column::float("kv_cache_gib", Unit::Gib, 1),
         ],
     );
     let model = zoo::llama2_7b();
-    let grid: Vec<(DType, u64)> = [DType::Bf16, DType::Int8]
-        .into_iter()
-        .flat_map(|dtype| INPUTS.into_iter().map(move |input| (dtype, input)))
-        .collect();
-    let rows = runner::par_map(&grid, runner::grid_workers(), |&(dtype, input)| {
+    let sweep = Sweep::over(grid2(&[DType::Bf16, DType::Int8], &INPUTS));
+    r.extend_rows(sweep.rows(|&(dtype, input)| {
         let kv = cllm_workload::kv::kv_bytes_total(&model, 64, input + 128, dtype) / cllm_hw::GIB;
         let (decode, e2e) = overheads(dtype, input);
         vec![
-            dtype.label().to_owned(),
-            input.to_string(),
-            pct(decode),
-            pct(e2e),
-            num(kv, 1),
+            Value::str(dtype.label()),
+            Value::uint(input),
+            Value::pct(decode),
+            Value::pct(e2e),
+            Value::float(kv, Unit::Gib, 1),
         ]
-    });
-    for row in rows {
-        r.push_row(row);
-    }
+    }));
     r.note("paper: overhead decreases with input size until ~2048 tokens, then rises as the KV cache makes the workload memory-bound (TLB pressure)");
     r
 }

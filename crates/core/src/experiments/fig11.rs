@@ -1,37 +1,25 @@
 //! Figure 11: GPU throughput as a function of batch and input sizes;
 //! cGPU overheads shrink as both grow (Insight 10).
 
-use super::{num, pct, ExperimentResult};
-use crate::runner;
-use cllm_hw::DType;
-use cllm_perf::{simulate_gpu_cached, throughput_overhead_pct, GpuSimResult};
-use cllm_tee::platform::GpuTeeConfig;
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{grid2, GpuScenario, Sweep};
+use cllm_perf::{throughput_overhead_pct, GpuSimResult};
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 use std::sync::Arc;
 
+fn scenario(batch: u64, input: u64) -> GpuScenario {
+    GpuScenario::llama2_7b(RequestSpec::new(batch, input, 128))
+}
+
 fn sim(confidential: bool, batch: u64, input: u64) -> Arc<GpuSimResult> {
-    let cfg = if confidential {
-        GpuTeeConfig::confidential()
-    } else {
-        GpuTeeConfig::native()
-    };
-    simulate_gpu_cached(
-        &zoo::llama2_7b(),
-        &RequestSpec::new(batch, input, 128),
-        DType::Bf16,
-        &cllm_hw::presets::h100_nvl(),
-        &cfg,
-    )
+    let s = scenario(batch, input);
+    if confidential { s } else { s.baseline() }.simulate()
 }
 
 /// cGPU generation-throughput overhead at one (batch, input) point.
 #[must_use]
 pub fn overhead(batch: u64, input: u64) -> f64 {
-    throughput_overhead_pct(
-        sim(false, batch, input).e2e_tps,
-        sim(true, batch, input).e2e_tps,
-    )
+    scenario(batch, input).e2e_overhead()
 }
 
 const BATCHES: [u64; 4] = [1, 8, 32, 128];
@@ -43,26 +31,26 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig11",
         "H100 cGPU throughput and overhead vs batch and input size (Llama2-7B, vLLM)",
-        &["batch", "input", "gpu_tps", "cgpu_tps", "cc_overhead"],
+        vec![
+            Column::int("batch"),
+            Column::int("input"),
+            Column::float("gpu_tps", Unit::TokensPerSec, 0),
+            Column::float("cgpu_tps", Unit::TokensPerSec, 0),
+            Column::pct("cc_overhead"),
+        ],
     );
-    let grid: Vec<(u64, u64)> = BATCHES
-        .into_iter()
-        .flat_map(|batch| INPUTS.into_iter().map(move |input| (batch, input)))
-        .collect();
-    let rows = runner::par_map(&grid, runner::grid_workers(), |&(batch, input)| {
+    let sweep = Sweep::over(grid2(&BATCHES, &INPUTS));
+    r.extend_rows(sweep.rows(|&(batch, input)| {
         let raw = sim(false, batch, input);
         let cc = sim(true, batch, input);
         vec![
-            batch.to_string(),
-            input.to_string(),
-            num(raw.e2e_tps, 0),
-            num(cc.e2e_tps, 0),
-            pct(throughput_overhead_pct(raw.e2e_tps, cc.e2e_tps)),
+            Value::uint(batch),
+            Value::uint(input),
+            Value::float(raw.e2e_tps, Unit::TokensPerSec, 0),
+            Value::float(cc.e2e_tps, Unit::TokensPerSec, 0),
+            Value::pct(throughput_overhead_pct(raw.e2e_tps, cc.e2e_tps)),
         ]
-    });
-    for row in rows {
-        r.push_row(row);
-    }
+    }));
     r.note(
         "paper: cGPU overheads oscillate between 7.5% and 4.4%, shrinking as batch and input grow",
     );
@@ -104,16 +92,9 @@ mod tests {
     #[test]
     fn gpu_noise_lower_than_cpu_tee() {
         // Section V-C: cGPUs show "lower noise" than CPU TEEs.
-        use cllm_perf::{simulate_cpu, CpuTarget};
-        use cllm_tee::platform::CpuTeeConfig;
+        use crate::scenario::CpuScenario;
         let gpu = sim(true, 8, 512);
-        let cpu = simulate_cpu(
-            &zoo::llama2_7b(),
-            &RequestSpec::new(8, 512, 128),
-            DType::Bf16,
-            &CpuTarget::emr2_single_socket(),
-            &CpuTeeConfig::tdx(),
-        );
+        let cpu = CpuScenario::llama2_7b(RequestSpec::new(8, 512, 128)).simulate();
         let gpu_cv = gpu.summary.std / gpu.summary.mean;
         let cpu_cv = cpu.summary.std / cpu.summary.mean;
         assert!(gpu_cv < cpu_cv, "gpu cv {gpu_cv} !< cpu cv {cpu_cv}");

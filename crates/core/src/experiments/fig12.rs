@@ -2,13 +2,11 @@
 //! (EMR2, Llama2-7B bf16, 128 in / 128 out, single socket, 128 GiB of
 //! memory held constant), with the cGPU cost line.
 
-use super::{num, pct, ExperimentResult};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{grid2, CpuScenario, GpuScenario, Sweep};
 use cllm_cost::{cost_per_mtok, CostPoint, CpuPricing, GpuPricing};
-use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, simulate_gpu, throughput_overhead_pct, CpuTarget};
-use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
+use cllm_perf::CpuTarget;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
 /// Hyperthreads billed per physical core (GCP bills vCPUs).
 pub const VCPUS_PER_CORE: u32 = 2;
@@ -20,42 +18,30 @@ pub const MEMORY_GIB: f64 = 128.0;
 /// Core counts swept (per socket).
 pub const CORES: [u32; 6] = [4, 8, 16, 32, 48, 60];
 
+fn scenario(cores: u32, batch: u64) -> CpuScenario {
+    CpuScenario::llama2_7b(RequestSpec::new(batch, 128, 128))
+        .with_target(CpuTarget::emr2_single_socket().with_cores(cores))
+}
+
 /// TDX generation throughput at a core count and batch size (e2e,
 /// includes first-token latency, as the figure caption specifies).
 #[must_use]
 pub fn tdx_e2e_tps(cores: u32, batch: u64) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, 128, 128);
-    let target = CpuTarget::emr2_single_socket().with_cores(cores);
-    simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx()).e2e_tps
+    scenario(cores, batch).simulate().e2e_tps
 }
 
 fn bare_e2e_tps(cores: u32, batch: u64) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, 128, 128);
-    let target = CpuTarget::emr2_single_socket().with_cores(cores);
-    simulate_cpu(
-        &model,
-        &req,
-        DType::Bf16,
-        &target,
-        &CpuTeeConfig::bare_metal(),
-    )
-    .e2e_tps
+    scenario(cores, batch).baseline().simulate().e2e_tps
+}
+
+fn tdx_overhead(cores: u32, batch: u64) -> f64 {
+    cllm_perf::throughput_overhead_pct(bare_e2e_tps(cores, batch), tdx_e2e_tps(cores, batch))
 }
 
 /// cGPU $/Mtoken at a batch size (the orange line of Figure 12).
 #[must_use]
 pub fn cgpu_usd_per_mtok(batch: u64) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, 128, 128);
-    let sim = simulate_gpu(
-        &model,
-        &req,
-        DType::Bf16,
-        &cllm_hw::presets::h100_nvl(),
-        &GpuTeeConfig::confidential(),
-    );
+    let sim = GpuScenario::llama2_7b(RequestSpec::new(batch, 128, 128)).simulate();
     cost_per_mtok(GpuPricing::azure_ncc_h100().per_hr, sim.e2e_tps)
 }
 
@@ -78,32 +64,29 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig12",
         "vCPU scaling and $/Mtoken, Llama2-7B bf16 on EMR2 vs confidential H100",
-        &[
-            "batch",
-            "cores",
-            "tdx_tps",
-            "tdx_overhead",
-            "usd_per_mtok",
-            "cgpu_usd_per_mtok",
+        vec![
+            Column::int("batch"),
+            Column::int("cores"),
+            Column::float("tdx_tps", Unit::TokensPerSec, 0),
+            Column::pct("tdx_overhead"),
+            Column::float("usd_per_mtok", Unit::UsdPerMtok, 3),
+            Column::float("cgpu_usd_per_mtok", Unit::UsdPerMtok, 3),
         ],
     );
-    for batch in [1u64, 16, 64, 128] {
-        let gpu_cost = cgpu_usd_per_mtok(batch);
-        for point in tdx_cost_sweep(batch) {
-            let cores = u32::try_from(point.x).expect("core counts are small");
-            r.push_row(vec![
-                batch.to_string(),
-                point.x.to_string(),
-                num(point.tokens_per_s, 0),
-                pct(throughput_overhead_pct(
-                    bare_e2e_tps(cores, batch),
-                    point.tokens_per_s,
-                )),
-                num(point.usd_per_mtok, 3),
-                num(gpu_cost, 3),
-            ]);
-        }
-    }
+    let pricing = CpuPricing::gcp_spot_us_east1();
+    let sweep = Sweep::over(grid2(&[1u64, 16, 64, 128], &CORES));
+    r.extend_rows(sweep.rows(|&(batch, cores)| {
+        let tps = tdx_e2e_tps(cores, batch);
+        let price = pricing.instance_cost_per_hr(cores * VCPUS_PER_CORE, MEMORY_GIB);
+        vec![
+            Value::uint(batch),
+            Value::int(i64::from(cores)),
+            Value::float(tps, Unit::TokensPerSec, 0),
+            Value::pct(tdx_overhead(cores, batch)),
+            Value::float(cost_per_mtok(price, tps), Unit::UsdPerMtok, 3),
+            Value::float(cgpu_usd_per_mtok(batch), Unit::UsdPerMtok, 3),
+        ]
+    }));
     r.note("paper: workload is compute-bound until ~32 cores, then memory-bound");
     r.note("paper: cGPUs are up to 100% more expensive at small batch; parity near batch 128");
     r
@@ -161,7 +144,7 @@ mod tests {
     #[test]
     fn overheads_moderate_across_core_counts() {
         for cores in CORES {
-            let ovh = throughput_overhead_pct(bare_e2e_tps(cores, 64), tdx_e2e_tps(cores, 64));
+            let ovh = tdx_overhead(cores, 64);
             assert!((2.0..14.0).contains(&ovh), "{cores} cores: {ovh}%");
         }
     }

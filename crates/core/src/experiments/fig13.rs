@@ -3,13 +3,11 @@
 //! sensitive to input size than cGPUs: attention grows quadratically with
 //! the input, which hits the compute-poor CPU much harder (Section V-D2).
 
-use super::{num, pct, ExperimentResult};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{CpuScenario, GpuScenario, Sweep};
 use cllm_cost::{cost_advantage_pct, cost_per_mtok, CpuPricing, GpuPricing};
-use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, simulate_gpu, CpuTarget};
-use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
+use cllm_perf::CpuTarget;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
 /// Inputs swept.
 pub const INPUTS: [u64; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
@@ -19,14 +17,13 @@ pub const BATCH: u64 = 4;
 
 fn cpu_usd_per_mtok(input: u64) -> f64 {
     // As in Figure 12, the operator picks the cost-optimal core count.
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(BATCH, input, 128);
     let pricing = CpuPricing::gcp_spot_us_east1();
     super::fig12::CORES
         .iter()
         .map(|&cores| {
-            let target = CpuTarget::emr2_single_socket().with_cores(cores);
-            let sim = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx());
+            let sim = CpuScenario::llama2_7b(RequestSpec::new(BATCH, input, 128))
+                .with_target(CpuTarget::emr2_single_socket().with_cores(cores))
+                .simulate();
             let price = pricing.instance_cost_per_hr(
                 cores * super::fig12::VCPUS_PER_CORE,
                 super::fig12::MEMORY_GIB,
@@ -37,15 +34,7 @@ fn cpu_usd_per_mtok(input: u64) -> f64 {
 }
 
 fn gpu_usd_per_mtok(input: u64) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(BATCH, input, 128);
-    let sim = simulate_gpu(
-        &model,
-        &req,
-        DType::Bf16,
-        &cllm_hw::presets::h100_nvl(),
-        &GpuTeeConfig::confidential(),
-    );
+    let sim = GpuScenario::llama2_7b(RequestSpec::new(BATCH, input, 128)).simulate();
     cost_per_mtok(GpuPricing::azure_ncc_h100().per_hr, sim.e2e_tps)
 }
 
@@ -61,21 +50,21 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig13",
         "Input-size scaling of the TDX-vs-cGPU cost comparison (batch 4, EMR2)",
-        &[
-            "input",
-            "tdx_usd_per_mtok",
-            "cgpu_usd_per_mtok",
-            "cpu_advantage",
+        vec![
+            Column::int("input"),
+            Column::float("tdx_usd_per_mtok", Unit::UsdPerMtok, 3),
+            Column::float("cgpu_usd_per_mtok", Unit::UsdPerMtok, 3),
+            Column::pct("cpu_advantage"),
         ],
     );
-    for input in INPUTS {
-        r.push_row(vec![
-            input.to_string(),
-            num(cpu_usd_per_mtok(input), 3),
-            num(gpu_usd_per_mtok(input), 3),
-            pct(advantage_pct(input)),
-        ]);
-    }
+    r.extend_rows(Sweep::over(INPUTS).rows(|&input| {
+        vec![
+            Value::uint(input),
+            Value::float(cpu_usd_per_mtok(input), Unit::UsdPerMtok, 3),
+            Value::float(gpu_usd_per_mtok(input), Unit::UsdPerMtok, 3),
+            Value::pct(advantage_pct(input)),
+        ]
+    }));
     r.note("paper: CPU cost advantage collapses when the input doubles (86% -> -10%), because attention compute grows quadratically with input but only linearly with batch");
     r.note("inputs beyond 4096 model long-context Llama2 variants; the crossover input is larger in our reproduction than in the paper (see EXPERIMENTS.md)");
     r

@@ -2,7 +2,7 @@
 //! SBERT) over a BEIR-like benchmark with the document store running
 //! bare versus inside TDX (EMR2).
 
-use super::{num, pct, ExperimentResult};
+use super::{Column, ExperimentResult, Unit, Value};
 use cllm_perf::CpuTarget;
 use cllm_rag::eval::evaluate;
 use cllm_rag::tee::{eval_time_under_tee, rag_slowdown_factor};
@@ -46,7 +46,13 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig14",
         "Mean RAG evaluation time per query, bare vs TDX (BEIR-like, EMR2)",
-        &["method", "bare_ms", "tdx_ms", "tdx_overhead", "ndcg@10"],
+        vec![
+            Column::str("method"),
+            Column::float("bare_ms", Unit::Millis, 2),
+            Column::float("tdx_ms", Unit::Millis, 2),
+            Column::pct("tdx_overhead"),
+            Column::float("ndcg@10", Unit::None, 3),
+        ],
     );
     let target = CpuTarget::emr2_single_socket();
     let tdx = CpuTeeConfig::tdx();
@@ -62,11 +68,11 @@ pub fn run() -> ExperimentResult {
         let bare = quality.work_units_per_query * S_PER_WORK_UNIT;
         let teed = eval_time_under_tee(bare, &target, &tdx);
         r.push_row(vec![
-            mode.label().to_owned(),
-            num(bare * 1e3, 2),
-            num(teed * 1e3, 2),
-            pct((teed / bare - 1.0) * 100.0),
-            num(quality.ndcg10, 3),
+            Value::str(mode.label()),
+            Value::float(bare * 1e3, Unit::Millis, 2),
+            Value::float(teed * 1e3, Unit::Millis, 2),
+            Value::pct((teed / bare - 1.0) * 100.0),
+            Value::float(quality.ndcg10, Unit::None, 3),
         ]);
     }
     r.note(format!(
@@ -104,8 +110,8 @@ mod tests {
     fn quality_is_reported_and_reasonable() {
         let r = run();
         for row in &r.rows {
-            let ndcg: f64 = row[4].parse().unwrap();
-            assert!(ndcg > 0.4, "{}: nDCG {ndcg}", row[0]);
+            let ndcg = row[4].as_f64().unwrap();
+            assert!(ndcg > 0.4, "{}: nDCG {ndcg}", row[0].format());
         }
     }
 
@@ -114,11 +120,7 @@ mod tests {
         // The TDX factor applies to the whole pipeline uniformly, as the
         // paper observes similar degradation across methods.
         let r = run();
-        let overheads: Vec<f64> = r
-            .rows
-            .iter()
-            .map(|row| row[3].trim_end_matches('%').parse().unwrap())
-            .collect();
+        let overheads: Vec<f64> = r.rows.iter().map(|row| row[3].as_f64().unwrap()).collect();
         let spread = overheads
             .iter()
             .fold(0.0f64, |m, &o| m.max((o - overheads[0]).abs()));

@@ -1,18 +1,22 @@
 //! Figure 3: CPU inference framework comparison on EMR1 (bare metal,
 //! single socket, Llama2-7B, 1024 in / 128 out, batch = beam = 1).
 
-use super::{num, ExperimentResult};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::CpuScenario;
 use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, CpuTarget, Framework};
+use cllm_perf::{CpuTarget, Framework};
 use cllm_tee::platform::CpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
-fn runtime_s(fw: Framework, dtype: DType) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(1, 1024, 128);
-    let target = CpuTarget::emr1_single_socket().with_framework(fw);
-    let sim = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
+/// Wall runtime of the figure's fixed request under one framework/dtype,
+/// through the simulation cache (Insight 3 re-reads the same points).
+#[must_use]
+pub fn runtime_s(fw: Framework, dtype: DType) -> f64 {
+    let sim = CpuScenario::llama2_7b(RequestSpec::new(1, 1024, 128))
+        .with_dtype(dtype)
+        .with_target(CpuTarget::emr1_single_socket().with_framework(fw))
+        .with_tee(CpuTeeConfig::bare_metal())
+        .simulate();
     sim.prefill_s + sim.token_latencies_s.iter().sum::<f64>()
 }
 
@@ -22,7 +26,12 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig3",
         "Framework/dtype wall runtime for Llama2-7B, 1024 in / 128 out, batch 1 (EMR1)",
-        &["framework", "dtype", "runtime_s", "vs_ipex"],
+        vec![
+            Column::str("framework"),
+            Column::str("dtype"),
+            Column::float("runtime_s", Unit::Seconds, 2),
+            Column::float("vs_ipex", Unit::Speedup, 2),
+        ],
     );
     let configs = [
         (Framework::HuggingFace, DType::F32),
@@ -36,10 +45,10 @@ pub fn run() -> ExperimentResult {
     for (fw, dtype) in configs {
         let t = runtime_s(fw, dtype);
         r.push_row(vec![
-            fw.label().to_owned(),
-            dtype.label().to_owned(),
-            num(t, 2),
-            format!("{:.2}x", t / ipex),
+            Value::str(fw.label()),
+            Value::str(dtype.label()),
+            Value::float(t, Unit::Seconds, 2),
+            Value::float(t / ipex, Unit::Speedup, 2),
         ]);
     }
     r.note("paper: IPEX fastest; vLLM ~50% slower; HuggingFace ~100% slower");

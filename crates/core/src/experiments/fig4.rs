@@ -2,12 +2,12 @@
 //! and TDX on EMR1 for bf16 and int8 (1024 in / 128 out; throughput at
 //! batch 6 / beam 4, latency at batch 1 / beam 1).
 
-use super::{num, pct, ExperimentResult};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::CpuScenario;
 use cllm_hw::DType;
-use cllm_perf::{overhead_pct, simulate_cpu, throughput_overhead_pct, CpuTarget};
+use cllm_perf::CpuTarget;
 use cllm_tee::platform::CpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
 /// One platform/dtype measurement.
 #[derive(Debug, Clone, Copy)]
@@ -22,36 +22,22 @@ pub struct Fig4Point {
     pub latency_ms: f64,
 }
 
-/// Compute the Figure 4 point for one TEE and dtype.
+/// Compute the Figure 4 point for one TEE and dtype. Both request shapes
+/// evaluate through the simulation cache, so Table I and the insight
+/// checks re-reading these points share the figure's simulations.
 #[must_use]
 pub fn point(tee: &CpuTeeConfig, dtype: DType) -> Fig4Point {
-    let model = zoo::llama2_7b();
-    let target = CpuTarget::emr1_single_socket();
-    let thr_req = RequestSpec::new(6, 1024, 128).with_beam(4);
-    let lat_req = RequestSpec::new(1, 1024, 128);
-
-    let bare_t = simulate_cpu(
-        &model,
-        &thr_req,
-        dtype,
-        &target,
-        &CpuTeeConfig::bare_metal(),
-    );
-    let bare_l = simulate_cpu(
-        &model,
-        &lat_req,
-        dtype,
-        &target,
-        &CpuTeeConfig::bare_metal(),
-    );
-    let t = simulate_cpu(&model, &thr_req, dtype, &target, tee);
-    let l = simulate_cpu(&model, &lat_req, dtype, &target, tee);
+    let thr = CpuScenario::llama2_7b(RequestSpec::new(6, 1024, 128).with_beam(4))
+        .with_dtype(dtype)
+        .with_target(CpuTarget::emr1_single_socket())
+        .with_tee(tee.clone());
+    let lat = thr.clone().with_req(RequestSpec::new(1, 1024, 128));
 
     Fig4Point {
-        thr_overhead_pct: throughput_overhead_pct(bare_t.decode_tps, t.decode_tps),
-        lat_overhead_pct: overhead_pct(bare_l.summary.mean, l.summary.mean),
-        throughput_tps: t.decode_tps,
-        latency_ms: l.summary.mean * 1e3,
+        thr_overhead_pct: thr.thr_overhead(),
+        lat_overhead_pct: lat.lat_overhead(),
+        throughput_tps: thr.simulate().decode_tps,
+        latency_ms: lat.simulate().summary.mean * 1e3,
     }
 }
 
@@ -61,25 +47,25 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig4",
         "Single-socket TEE overheads, Llama2-7B on EMR1",
-        &[
-            "platform",
-            "dtype",
-            "thr_overhead",
-            "lat_overhead",
-            "throughput_tps",
-            "latency_ms",
+        vec![
+            Column::str("platform"),
+            Column::str("dtype"),
+            Column::pct("thr_overhead"),
+            Column::pct("lat_overhead"),
+            Column::float("throughput_tps", Unit::TokensPerSec, 1),
+            Column::float("latency_ms", Unit::Millis, 1),
         ],
     );
     for dtype in [DType::Bf16, DType::Int8] {
         for tee in [CpuTeeConfig::vm(), CpuTeeConfig::sgx(), CpuTeeConfig::tdx()] {
             let p = point(&tee, dtype);
             r.push_row(vec![
-                tee.kind.label().to_owned(),
-                dtype.label().to_owned(),
-                pct(p.thr_overhead_pct),
-                pct(p.lat_overhead_pct),
-                num(p.throughput_tps, 1),
-                num(p.latency_ms, 1),
+                Value::str(tee.kind.label()),
+                Value::str(dtype.label()),
+                Value::pct(p.thr_overhead_pct),
+                Value::pct(p.lat_overhead_pct),
+                Value::float(p.throughput_tps, Unit::TokensPerSec, 1),
+                Value::float(p.latency_ms, Unit::Millis, 1),
             ]);
         }
     }

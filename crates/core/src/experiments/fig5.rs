@@ -2,18 +2,23 @@
 //! (`VM B`) and an unbound VM (`VM NB`). The 70B model does not fit in
 //! one socket's memory, so placement quality dominates (Insight 6).
 
-use super::{num, pct, ExperimentResult};
-use cllm_hw::DType;
-use cllm_perf::{overhead_pct, simulate_cpu, CpuTarget, SimResult};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::CpuScenario;
+use cllm_perf::{overhead_pct, CpuTarget, SimResult};
 use cllm_tee::platform::CpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
 use cllm_workload::zoo;
+use std::sync::Arc;
 
-fn sim(tee: &CpuTeeConfig) -> SimResult {
-    let model = zoo::llama2_70b();
-    let req = RequestSpec::new(1, 1024, 64);
-    let target = CpuTarget::emr1_dual_socket();
-    simulate_cpu(&model, &req, DType::Bf16, &target, tee)
+/// The figure's operating point under one TEE configuration, through the
+/// simulation cache (Insight 6 re-reads the same points).
+#[must_use]
+pub fn sim(tee: &CpuTeeConfig) -> Arc<SimResult> {
+    CpuScenario::llama2_7b(RequestSpec::new(1, 1024, 64))
+        .with_model(zoo::llama2_70b())
+        .with_target(CpuTarget::emr1_dual_socket())
+        .with_tee(tee.clone())
+        .simulate()
 }
 
 /// Run the experiment.
@@ -22,19 +27,24 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig5",
         "Llama2-70B on two EMR1 sockets: NUMA binding quality",
-        &["config", "latency_ms", "lat_vs_vm_bound", "throughput_tps"],
+        vec![
+            Column::str("config"),
+            Column::float("latency_ms", Unit::Millis, 0),
+            Column::pct("lat_vs_vm_bound"),
+            Column::float("throughput_tps", Unit::TokensPerSec, 2),
+        ],
     );
     let vm_b = sim(&CpuTeeConfig::vm());
     for (name, res) in [
-        ("VM B", &vm_b),
-        ("TDX", &sim(&CpuTeeConfig::tdx())),
-        ("VM NB", &sim(&CpuTeeConfig::vm_unbound())),
+        ("VM B", Arc::clone(&vm_b)),
+        ("TDX", sim(&CpuTeeConfig::tdx())),
+        ("VM NB", sim(&CpuTeeConfig::vm_unbound())),
     ] {
         r.push_row(vec![
-            name.to_owned(),
-            num(res.summary.mean * 1e3, 0),
-            pct(overhead_pct(vm_b.summary.mean, res.summary.mean)),
-            num(res.decode_tps, 2),
+            Value::str(name),
+            Value::float(res.summary.mean * 1e3, Unit::Millis, 0),
+            Value::pct(overhead_pct(vm_b.summary.mean, res.summary.mean)),
+            Value::float(res.decode_tps, Unit::TokensPerSec, 2),
         ]);
     }
     r.note("paper: TDX's KVM driver ignores QEMU NUMA bindings (Insight 6)");

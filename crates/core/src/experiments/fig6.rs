@@ -2,30 +2,17 @@
 //! 1 GiB pages (`VM FH`), VM with transparent 2 MiB pages (`VM TH`) and
 //! TDX (which silently falls back to 2 MiB THP, Insight 7).
 
-use super::{pct, ExperimentResult};
-use cllm_hw::DType;
-use cllm_perf::{overhead_pct, simulate_cpu, throughput_overhead_pct, CpuTarget, SimResult};
+use super::{Column, ExperimentResult, Value};
+use crate::scenario::CpuScenario;
+use cllm_perf::CpuTarget;
 use cllm_tee::platform::CpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
-fn sims(tee: &CpuTeeConfig) -> (SimResult, SimResult) {
-    let model = zoo::llama2_7b();
-    let target = CpuTarget::emr1_dual_socket();
-    let thr = simulate_cpu(
-        &model,
-        &RequestSpec::new(6, 1024, 128).with_beam(4),
-        DType::Bf16,
-        &target,
-        tee,
-    );
-    let lat = simulate_cpu(
-        &model,
-        &RequestSpec::new(1, 1024, 128),
-        DType::Bf16,
-        &target,
-        tee,
-    );
+fn scenarios(tee: &CpuTeeConfig) -> (CpuScenario, CpuScenario) {
+    let thr = CpuScenario::llama2_7b(RequestSpec::new(6, 1024, 128).with_beam(4))
+        .with_target(CpuTarget::emr1_dual_socket())
+        .with_tee(tee.clone());
+    let lat = thr.clone().with_req(RequestSpec::new(1, 1024, 128));
     (thr, lat)
 }
 
@@ -33,12 +20,8 @@ fn sims(tee: &CpuTeeConfig) -> (SimResult, SimResult) {
 /// config.
 #[must_use]
 pub fn overheads(tee: &CpuTeeConfig) -> (f64, f64) {
-    let (bare_t, bare_l) = sims(&CpuTeeConfig::bare_metal());
-    let (t, l) = sims(tee);
-    (
-        throughput_overhead_pct(bare_t.decode_tps, t.decode_tps),
-        overhead_pct(bare_l.summary.mean, l.summary.mean),
-    )
+    let (thr, lat) = scenarios(tee);
+    (thr.thr_overhead(), lat.lat_overhead())
 }
 
 /// Run the experiment.
@@ -47,7 +30,11 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig6",
         "Dual-socket hugepage configurations, Llama2-7B on EMR1",
-        &["config", "thr_overhead", "lat_overhead"],
+        vec![
+            Column::str("config"),
+            Column::pct("thr_overhead"),
+            Column::pct("lat_overhead"),
+        ],
     );
     for (name, tee) in [
         ("VM FH", CpuTeeConfig::vm()),
@@ -56,7 +43,7 @@ pub fn run() -> ExperimentResult {
         ("SGX", CpuTeeConfig::sgx()),
     ] {
         let (t, l) = overheads(&tee);
-        r.push_row(vec![name.to_owned(), pct(t), pct(l)]);
+        r.push_row(vec![Value::str(name), Value::pct(t), Value::pct(l)]);
     }
     r.note("paper: dual-socket TDX overhead 12.11-23.81%; TDX over VM TH stays 4-10%");
     r.note("paper: VM TH over VM FH quantifies missing 1G pages at 3.19-5.20%");

@@ -1,18 +1,18 @@
 //! Figure 7: per-decoder-block-layer duration and TDX overhead (EMR2,
 //! single socket, batch 4, 128 in / 128 out).
 
-use super::{num, pct, ExperimentResult};
-use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, CpuTarget, OpTrace};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::CpuScenario;
+use cllm_perf::OpTrace;
 use cllm_tee::platform::CpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
 fn trace(tee: &CpuTeeConfig) -> Vec<OpTrace> {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(4, 128, 128);
-    let target = CpuTarget::emr2_single_socket();
-    simulate_cpu(&model, &req, DType::Bf16, &target, tee).decode_trace
+    CpuScenario::llama2_7b(RequestSpec::new(4, 128, 128))
+        .with_tee(tee.clone())
+        .simulate()
+        .decode_trace
+        .clone()
 }
 
 /// Run the experiment.
@@ -21,12 +21,12 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig7",
         "Per-layer duration and TDX overhead, Llama2-7B decode block (EMR2, batch 4)",
-        &[
-            "layer",
-            "bare_us",
-            "tdx_us",
-            "tdx_overhead",
-            "share_of_block",
+        vec![
+            Column::str("layer"),
+            Column::float("bare_us", Unit::Micros, 1),
+            Column::float("tdx_us", Unit::Micros, 1),
+            Column::pct("tdx_overhead"),
+            Column::pct("share_of_block"),
         ],
     );
     let bare = trace(&CpuTeeConfig::bare_metal());
@@ -35,11 +35,11 @@ pub fn run() -> ExperimentResult {
     for (b, t) in bare.iter().zip(&tdx) {
         debug_assert_eq!(b.op, t.op);
         r.push_row(vec![
-            b.op.label().to_owned(),
-            num(b.time_s * 1e6, 1),
-            num(t.time_s * 1e6, 1),
-            pct((t.time_s / b.time_s - 1.0) * 100.0),
-            pct(b.time_s / total * 100.0),
+            Value::str(b.op.label()),
+            Value::float(b.time_s * 1e6, Unit::Micros, 1),
+            Value::float(t.time_s * 1e6, Unit::Micros, 1),
+            Value::pct((t.time_s / b.time_s - 1.0) * 100.0),
+            Value::pct(b.time_s / total * 100.0),
         ]);
     }
     r.note("paper: decoder blocks take 99.9% of inference time");

@@ -1,28 +1,51 @@
 //! Figure 8: AMX versus no-AMX across batch sizes (EMR2, Llama2-7B,
 //! 128 in / 128 out). Overheads are reported relative to a VM running
 //! AMX, exactly as the paper plots them. Latency is measured on two
-//! sockets, throughput on one.
+//! sockets, throughput on one — and the two-socket latency overheads vs
+//! bare metal are published as columns so Insight 8 asserts over the
+//! same cached points the figure prints.
 
-use super::{pct, ExperimentResult};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{grid2, CpuScenario, Sweep};
 use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, CpuTarget};
+use cllm_perf::{overhead_pct, CpuTarget};
 use cllm_tee::platform::CpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
+
+fn thr_scenario(dtype: DType, batch: u64, amx: bool, tee: &CpuTeeConfig) -> CpuScenario {
+    CpuScenario::llama2_7b(RequestSpec::new(batch, 128, 128))
+        .with_dtype(dtype)
+        .with_target(CpuTarget::emr2_single_socket().with_amx(amx))
+        .with_tee(tee.clone())
+}
 
 fn thr_tps(dtype: DType, batch: u64, amx: bool, tee: &CpuTeeConfig) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, 128, 128);
-    let target = CpuTarget::emr2_single_socket().with_amx(amx);
-    simulate_cpu(&model, &req, dtype, &target, tee).decode_tps
+    thr_scenario(dtype, batch, amx, tee).simulate().decode_tps
+}
+
+fn lat_scenario(dtype: DType, batch: u64, amx: bool, tee: &CpuTeeConfig) -> CpuScenario {
+    CpuScenario::llama2_7b(RequestSpec::new(batch, 128, 128))
+        .with_dtype(dtype)
+        .with_target(CpuTarget::emr2_dual_socket().with_amx(amx))
+        .with_tee(tee.clone())
 }
 
 fn lat_s(dtype: DType, batch: u64, amx: bool, tee: &CpuTeeConfig) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, 128, 128);
-    let target = CpuTarget::emr2_dual_socket().with_amx(amx);
-    simulate_cpu(&model, &req, dtype, &target, tee).summary.mean
+    lat_scenario(dtype, batch, amx, tee).simulate().summary.mean
 }
+
+/// Two-socket TDX next-token-latency overhead vs bare metal at the same
+/// AMX setting, percent (the figure's latency panel; Insight 8 compares
+/// the AMX-on and AMX-off values).
+#[must_use]
+pub fn lat_overhead(dtype: DType, batch: u64, amx: bool) -> f64 {
+    overhead_pct(
+        lat_s(dtype, batch, amx, &CpuTeeConfig::bare_metal()),
+        lat_s(dtype, batch, amx, &CpuTeeConfig::tdx()),
+    )
+}
+
+const BATCHES: [u64; 5] = [1, 4, 16, 64, 256];
 
 /// Run the experiment.
 #[must_use]
@@ -30,30 +53,33 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig8",
         "AMX vs no-AMX batch scaling, overheads relative to VM+AMX (EMR2)",
-        &[
-            "dtype",
-            "batch",
-            "amx_speedup",
-            "tdx_amx_vs_vm_amx",
-            "tdx_noamx_vs_vm_amx",
+        vec![
+            Column::str("dtype"),
+            Column::int("batch"),
+            Column::float("amx_speedup", Unit::Speedup, 2),
+            Column::pct("tdx_amx_vs_vm_amx"),
+            Column::pct("tdx_noamx_vs_vm_amx"),
+            Column::pct("lat_ovh_amx_2s"),
+            Column::pct("lat_ovh_noamx_2s"),
         ],
     );
-    for dtype in [DType::Bf16, DType::Int8] {
-        for batch in [1u64, 4, 16, 64, 256] {
-            let vm_amx = thr_tps(dtype, batch, true, &CpuTeeConfig::vm());
-            let tdx_amx = thr_tps(dtype, batch, true, &CpuTeeConfig::tdx());
-            let tdx_noamx = thr_tps(dtype, batch, false, &CpuTeeConfig::tdx());
-            let bare_amx = thr_tps(dtype, batch, true, &CpuTeeConfig::bare_metal());
-            let bare_noamx = thr_tps(dtype, batch, false, &CpuTeeConfig::bare_metal());
-            r.push_row(vec![
-                dtype.label().to_owned(),
-                batch.to_string(),
-                format!("{:.2}x", bare_amx / bare_noamx),
-                pct((vm_amx / tdx_amx - 1.0) * 100.0),
-                pct((vm_amx / tdx_noamx - 1.0) * 100.0),
-            ]);
-        }
-    }
+    let sweep = Sweep::over(grid2(&[DType::Bf16, DType::Int8], &BATCHES));
+    r.extend_rows(sweep.rows(|&(dtype, batch)| {
+        let vm_amx = thr_tps(dtype, batch, true, &CpuTeeConfig::vm());
+        let tdx_amx = thr_tps(dtype, batch, true, &CpuTeeConfig::tdx());
+        let tdx_noamx = thr_tps(dtype, batch, false, &CpuTeeConfig::tdx());
+        let bare_amx = thr_tps(dtype, batch, true, &CpuTeeConfig::bare_metal());
+        let bare_noamx = thr_tps(dtype, batch, false, &CpuTeeConfig::bare_metal());
+        vec![
+            Value::str(dtype.label()),
+            Value::uint(batch),
+            Value::float(bare_amx / bare_noamx, Unit::Speedup, 2),
+            Value::pct((vm_amx / tdx_amx - 1.0) * 100.0),
+            Value::pct((vm_amx / tdx_noamx - 1.0) * 100.0),
+            Value::pct(lat_overhead(dtype, batch, true)),
+            Value::pct(lat_overhead(dtype, batch, false)),
+        ]
+    }));
     r.note("paper: bf16 AMX advantage grows from 1-4% to hundreds of percent with batch size");
     r.note("paper: int8 without AMX collapses (no AVX path in IPEX): up to 96% thr / 1700% lat overheads");
     r.note(format!(
@@ -85,15 +111,11 @@ mod tests {
     fn amx_reduces_tdx_latency_overhead() {
         // Section IV-C: AMX lowers TDX overheads, most visibly in the
         // two-socket latency setup.
-        let bare_amx = lat_s(DType::Bf16, 1, true, &CpuTeeConfig::bare_metal());
-        let tdx_amx = lat_s(DType::Bf16, 1, true, &CpuTeeConfig::tdx());
-        let bare_noamx = lat_s(DType::Bf16, 1, false, &CpuTeeConfig::bare_metal());
-        let tdx_noamx = lat_s(DType::Bf16, 1, false, &CpuTeeConfig::tdx());
-        let ovh_amx = tdx_amx / bare_amx - 1.0;
-        let ovh_noamx = tdx_noamx / bare_noamx - 1.0;
+        let ovh_amx = lat_overhead(DType::Bf16, 1, true);
+        let ovh_noamx = lat_overhead(DType::Bf16, 1, false);
         assert!(
             ovh_amx < ovh_noamx,
-            "AMX overhead {ovh_amx} !< no-AMX {ovh_noamx}"
+            "AMX overhead {ovh_amx}% !< no-AMX {ovh_noamx}%"
         );
     }
 

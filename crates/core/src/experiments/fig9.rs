@@ -1,43 +1,34 @@
 //! Figure 9: batch-size scaling of TDX overheads (EMR2, Llama2-7B,
 //! 128 in / 128 out; latency on two sockets, throughput on one).
 
-use super::{num, pct, ExperimentResult};
-use crate::runner;
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{grid2, CpuScenario, Sweep};
 use cllm_hw::DType;
-use cllm_perf::{overhead_pct, simulate_cpu_cached, throughput_overhead_pct, CpuTarget};
-use cllm_tee::platform::CpuTeeConfig;
+use cllm_perf::CpuTarget;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
+
+fn thr_scenario(dtype: DType, batch: u64) -> CpuScenario {
+    CpuScenario::llama2_7b(RequestSpec::new(batch, 128, 128)).with_dtype(dtype)
+}
 
 /// Throughput overhead of TDX vs bare metal at one batch size. The
 /// bare-metal point is shared with [`bare_tps`] through the simulation
 /// cache instead of being simulated a second time.
 #[must_use]
 pub fn thr_overhead(dtype: DType, batch: u64) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, 128, 128);
-    let target = CpuTarget::emr2_single_socket();
-    let bare = simulate_cpu_cached(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
-    let tdx = simulate_cpu_cached(&model, &req, dtype, &target, &CpuTeeConfig::tdx());
-    throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
+    thr_scenario(dtype, batch).thr_overhead()
 }
 
 /// Bare-metal throughput at one batch size (for the saturation check).
 #[must_use]
 pub fn bare_tps(dtype: DType, batch: u64) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, 128, 128);
-    let target = CpuTarget::emr2_single_socket();
-    simulate_cpu_cached(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal()).decode_tps
+    thr_scenario(dtype, batch).baseline().simulate().decode_tps
 }
 
 fn lat_overhead(dtype: DType, batch: u64) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, 128, 128);
-    let target = CpuTarget::emr2_dual_socket();
-    let bare = simulate_cpu_cached(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
-    let tdx = simulate_cpu_cached(&model, &req, dtype, &target, &CpuTeeConfig::tdx());
-    overhead_pct(bare.summary.mean, tdx.summary.mean)
+    thr_scenario(dtype, batch)
+        .with_target(CpuTarget::emr2_dual_socket())
+        .lat_overhead()
 }
 
 const BATCHES: [u64; 7] = [1, 4, 16, 64, 128, 256, 512];
@@ -49,30 +40,24 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "fig9",
         "Batch-size scaling of TDX overheads, Llama2-7B on EMR2",
-        &[
-            "dtype",
-            "batch",
-            "bare_tps",
-            "thr_overhead",
-            "lat_overhead_2s",
+        vec![
+            Column::str("dtype"),
+            Column::int("batch"),
+            Column::float("bare_tps", Unit::TokensPerSec, 0),
+            Column::pct("thr_overhead"),
+            Column::pct("lat_overhead_2s"),
         ],
     );
-    let grid: Vec<(DType, u64)> = [DType::Bf16, DType::Int8]
-        .into_iter()
-        .flat_map(|dtype| BATCHES.into_iter().map(move |batch| (dtype, batch)))
-        .collect();
-    let rows = runner::par_map(&grid, runner::grid_workers(), |&(dtype, batch)| {
+    let sweep = Sweep::over(grid2(&[DType::Bf16, DType::Int8], &BATCHES));
+    r.extend_rows(sweep.rows(|&(dtype, batch)| {
         vec![
-            dtype.label().to_owned(),
-            batch.to_string(),
-            num(bare_tps(dtype, batch), 0),
-            pct(thr_overhead(dtype, batch)),
-            pct(lat_overhead(dtype, batch)),
+            Value::str(dtype.label()),
+            Value::uint(batch),
+            Value::float(bare_tps(dtype, batch), Unit::TokensPerSec, 0),
+            Value::pct(thr_overhead(dtype, batch)),
+            Value::pct(lat_overhead(dtype, batch)),
         ]
-    });
-    for row in rows {
-        r.push_row(row);
-    }
+    }));
     r.note("paper: overheads drop as batch grows (more arithmetic intensity, Insight 9)");
     r.note("paper: int8 saturates throughput near batch 64; bf16 near batch 512");
     r

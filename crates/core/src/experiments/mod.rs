@@ -56,113 +56,25 @@ pub mod snc;
 pub mod table1;
 pub mod tco;
 
-use serde::Serialize;
+pub use crate::table::{Column, ColumnKind, SchemaError, TypedResult, Unit, Value, SCHEMA_VERSION};
 
 /// A named experiment runner, as listed by [`all_experiments`].
 pub type ExperimentEntry = (&'static str, fn() -> ExperimentResult);
 
-/// A uniform experiment result: a titled table plus notes.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct ExperimentResult {
-    /// Short id, e.g. `"fig4"`.
-    pub id: String,
-    /// Human title.
-    pub title: String,
-    /// Column headers.
-    pub columns: Vec<String>,
-    /// Row cells (same arity as `columns`).
-    pub rows: Vec<Vec<String>>,
-    /// Free-form notes: paper bands, measured values, caveats.
-    pub notes: Vec<String>,
-}
+/// Every experiment returns a typed table; the historical name stays as
+/// an alias of [`crate::table::TypedResult`].
+pub type ExperimentResult = TypedResult;
 
-impl ExperimentResult {
-    /// Start a result.
-    #[must_use]
-    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
-        ExperimentResult {
-            id: id.to_owned(),
-            title: title.to_owned(),
-            columns: columns.iter().map(|&c| c.to_owned()).collect(),
-            rows: Vec::new(),
-            notes: Vec::new(),
-        }
-    }
-
-    /// Append a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the arity differs from the header.
-    pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Append a note.
-    pub fn note(&mut self, text: impl Into<String>) {
-        self.notes.push(text.into());
-    }
-
-    /// Render as an aligned text table.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
-        let fmt_row = |cells: &[String]| {
-            cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        out.push_str(&fmt_row(&self.columns));
-        out.push('\n');
-        out.push_str(
-            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
-        );
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row));
-            out.push('\n');
-        }
-        for note in &self.notes {
-            out.push_str(&format!("note: {note}\n"));
-        }
-        out
-    }
-
-    /// Serialize to a JSON value.
-    #[must_use]
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::to_value(self).expect("result serializes")
-    }
-
-    /// Find a cell by row key (first column) and column header.
-    #[must_use]
-    pub fn cell(&self, row_key: &str, column: &str) -> Option<&str> {
-        let col = self.columns.iter().position(|c| c == column)?;
-        self.rows
-            .iter()
-            .find(|r| r[0] == row_key)
-            .map(|r| r[col].as_str())
-    }
-}
-
-/// Format a percentage with one decimal.
+/// Format a percentage with one decimal — the string convention of the
+/// tables, for qualitative [`Value::Str`] cells and notes. Numeric
+/// columns should use [`Value::pct`] instead, which keeps the raw value.
 #[must_use]
 pub fn pct(v: f64) -> String {
     format!("{v:.1}%")
 }
 
-/// Format a float with `digits` decimals.
+/// Format a float with `digits` decimals (see [`pct`]; numeric columns
+/// should use [`Value::float`]).
 #[must_use]
 pub fn num(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")
@@ -213,8 +125,12 @@ mod tests {
 
     #[test]
     fn render_aligns_and_includes_notes() {
-        let mut r = ExperimentResult::new("t", "demo", &["a", "long_column"]);
-        r.push_row(vec!["x".into(), "1".into()]);
+        let mut r = ExperimentResult::new(
+            "t",
+            "demo",
+            vec![Column::str("a"), Column::str("long_column")],
+        );
+        r.push_row(vec![Value::str("x"), Value::str("1")]);
         r.note("hello");
         let s = r.render();
         assert!(s.contains("long_column"));
@@ -224,15 +140,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "row arity mismatch")]
     fn arity_checked() {
-        let mut r = ExperimentResult::new("t", "demo", &["a", "b"]);
-        r.push_row(vec!["only-one".into()]);
+        let mut r = ExperimentResult::new("t", "demo", vec![Column::str("a"), Column::str("b")]);
+        r.push_row(vec![Value::str("only-one")]);
     }
 
     #[test]
     fn cell_lookup() {
-        let mut r = ExperimentResult::new("t", "demo", &["key", "val"]);
-        r.push_row(vec!["k1".into(), "42".into()]);
-        assert_eq!(r.cell("k1", "val"), Some("42"));
+        let mut r =
+            ExperimentResult::new("t", "demo", vec![Column::str("key"), Column::int("val")]);
+        r.push_row(vec![Value::str("k1"), Value::int(42)]);
+        assert_eq!(r.cell("k1", "val").as_deref(), Some("42"));
+        assert_eq!(r.cell_i64("k1", "val"), Some(42));
         assert_eq!(r.cell("k2", "val"), None);
         assert_eq!(r.cell("k1", "nope"), None);
     }

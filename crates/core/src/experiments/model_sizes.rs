@@ -3,14 +3,12 @@
 //! 7B/13B run on one socket; 70B needs both (its weights exceed one
 //! socket's memory — the Figure 5 setting).
 
-use super::{num, pct, ExperimentResult};
-use crate::runner;
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{CpuScenario, Sweep};
 use cllm_hw::DType;
-use cllm_perf::{simulate_cpu_cached, throughput_overhead_pct, CpuTarget, SimResult};
-use cllm_tee::platform::CpuTeeConfig;
+use cllm_perf::CpuTarget;
 use cllm_workload::phase::RequestSpec;
 use cllm_workload::{zoo, ModelConfig};
-use std::sync::Arc;
 
 fn target_for(model: &ModelConfig) -> CpuTarget {
     // Loading a checkpoint transiently needs ~2x the weight bytes
@@ -25,17 +23,16 @@ fn target_for(model: &ModelConfig) -> CpuTarget {
     }
 }
 
-fn sim(model: &ModelConfig, tee: &CpuTeeConfig) -> Arc<SimResult> {
-    let req = RequestSpec::new(6, 1024, 64).with_beam(4);
-    simulate_cpu_cached(model, &req, DType::Bf16, &target_for(model), tee)
+fn scenario(model: &ModelConfig) -> CpuScenario {
+    CpuScenario::llama2_7b(RequestSpec::new(6, 1024, 64).with_beam(4))
+        .with_model(model.clone())
+        .with_target(target_for(model))
 }
 
 /// TDX throughput overhead for one model size.
 #[must_use]
 pub fn overhead(model: &ModelConfig) -> f64 {
-    let bare = sim(model, &CpuTeeConfig::bare_metal());
-    let tdx = sim(model, &CpuTeeConfig::tdx());
-    throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
+    scenario(model).thr_overhead()
 }
 
 /// Run the experiment.
@@ -44,28 +41,24 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "model_sizes",
         "Llama2 size sweep under TDX (7B/13B one socket, 70B two sockets)",
-        &[
-            "model",
-            "sockets",
-            "tdx_tps",
-            "tdx_latency_ms",
-            "tdx_overhead",
+        vec![
+            Column::str("model"),
+            Column::int("sockets"),
+            Column::float("tdx_tps", Unit::TokensPerSec, 2),
+            Column::float("tdx_latency_ms", Unit::Millis, 0),
+            Column::pct("tdx_overhead"),
         ],
     );
-    let family = zoo::llama2_family();
-    let rows = runner::par_map(&family, runner::grid_workers(), |model| {
-        let tdx = sim(model, &CpuTeeConfig::tdx());
+    r.extend_rows(Sweep::over(zoo::llama2_family()).rows(|model| {
+        let tdx = scenario(model).simulate();
         vec![
-            model.name.clone(),
-            target_for(model).topology.sockets.to_string(),
-            num(tdx.decode_tps, 2),
-            num(tdx.summary.mean * 1e3, 0),
-            pct(overhead(model)),
+            Value::str(model.name.clone()),
+            Value::int(i64::from(target_for(model).topology.sockets)),
+            Value::float(tdx.decode_tps, Unit::TokensPerSec, 2),
+            Value::float(tdx.summary.mean * 1e3, Unit::Millis, 0),
+            Value::pct(overhead(model)),
         ]
-    });
-    for row in rows {
-        r.push_row(row);
-    }
+    }));
     r.note("paper: 7B/13B stay within the single-socket 4-10% band; 70B pays the multi-socket NUMA/interconnect penalty (Figure 5) and misses the 200 ms service level");
     r
 }
@@ -92,16 +85,16 @@ mod tests {
 
     #[test]
     fn throughput_orders_by_size() {
-        let t7 = sim(&zoo::llama2_7b(), &CpuTeeConfig::tdx()).decode_tps;
-        let t13 = sim(&zoo::llama2_13b(), &CpuTeeConfig::tdx()).decode_tps;
-        let t70 = sim(&zoo::llama2_70b(), &CpuTeeConfig::tdx()).decode_tps;
+        let t7 = scenario(&zoo::llama2_7b()).simulate().decode_tps;
+        let t13 = scenario(&zoo::llama2_13b()).simulate().decode_tps;
+        let t70 = scenario(&zoo::llama2_70b()).simulate().decode_tps;
         assert!(t7 > t13);
         assert!(t13 > t70);
     }
 
     #[test]
     fn seventy_b_misses_service_level() {
-        let lat = sim(&zoo::llama2_70b(), &CpuTeeConfig::tdx()).summary.mean;
+        let lat = scenario(&zoo::llama2_70b()).simulate().summary.mean;
         assert!(lat > 0.2, "70B latency {lat}s should exceed 200 ms");
     }
 }

@@ -2,27 +2,19 @@
 //! (Llama3 8B, GPT-J 6B, Falcon 7B, Baichuan2 7B, Qwen 7B), expected to
 //! stay in line with Llama2-7B (paper: 3.1-13.1%).
 
-use super::{num, pct, ExperimentResult};
-use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, throughput_overhead_pct, CpuTarget};
-use cllm_tee::platform::CpuTeeConfig;
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{CpuScenario, Sweep};
+use cllm_perf::CpuTarget;
 use cllm_workload::phase::RequestSpec;
 use cllm_workload::{zoo, ModelConfig};
 
 /// TDX throughput overhead for one model.
 #[must_use]
 pub fn overhead(model: &ModelConfig) -> f64 {
-    let req = RequestSpec::new(6, 1024, 128).with_beam(4);
-    let target = CpuTarget::emr1_single_socket();
-    let bare = simulate_cpu(
-        model,
-        &req,
-        DType::Bf16,
-        &target,
-        &CpuTeeConfig::bare_metal(),
-    );
-    let tdx = simulate_cpu(model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx());
-    throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
+    CpuScenario::llama2_7b(RequestSpec::new(6, 1024, 128).with_beam(4))
+        .with_model(model.clone())
+        .with_target(CpuTarget::emr1_single_socket())
+        .thr_overhead()
 }
 
 /// Run the experiment.
@@ -31,17 +23,21 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "model_zoo",
         "TDX throughput overhead across dense-transformer LLMs (EMR1)",
-        &["model", "params_b", "tdx_overhead"],
+        vec![
+            Column::str("model"),
+            Column::float("params_b", Unit::BillionParams, 1),
+            Column::pct("tdx_overhead"),
+        ],
     );
     let mut models = vec![zoo::llama2_7b()];
     models.extend(zoo::cross_check_models());
-    for m in &models {
-        r.push_row(vec![
-            m.name.clone(),
-            num(m.param_count() as f64 / 1e9, 1),
-            pct(overhead(m)),
-        ]);
-    }
+    r.extend_rows(Sweep::over(models).rows(|m| {
+        vec![
+            Value::str(m.name.clone()),
+            Value::float(m.param_count() as f64 / 1e9, Unit::BillionParams, 1),
+            Value::pct(overhead(m)),
+        ]
+    }));
     r.note("paper: 3.1-13.1% overheads across Llama3 8B, GPT-J 6B, Falcon 7B, Baichuan2 7B, Qwen 7B — in line with Llama2-7B");
     r
 }

@@ -7,32 +7,29 @@
 //! experts per step (sparse traffic). The footprint/traffic ratio is what
 //! TEE address translation taxes, so MoE is a worst-ish case for VM TEEs.
 
-use super::{num, pct, ExperimentResult};
-use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, throughput_overhead_pct, CpuTarget, SimResult};
-use cllm_tee::platform::CpuTeeConfig;
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{CpuScenario, Sweep};
+use cllm_perf::{CpuTarget, SimResult};
 use cllm_workload::phase::RequestSpec;
 use cllm_workload::{zoo, ModelConfig};
+use std::sync::Arc;
 
-fn sim(model: &ModelConfig, batch: u64, tee: &CpuTeeConfig) -> SimResult {
+fn scenario(model: &ModelConfig, batch: u64) -> CpuScenario {
     // Mixtral's full expert set wants dual-socket memory headroom, like
     // the 70B dense model.
-    let req = RequestSpec::new(batch, 512, 64);
-    simulate_cpu(
-        model,
-        &req,
-        DType::Bf16,
-        &CpuTarget::emr2_dual_socket(),
-        tee,
-    )
+    CpuScenario::llama2_7b(RequestSpec::new(batch, 512, 64))
+        .with_model(model.clone())
+        .with_target(CpuTarget::emr2_dual_socket())
+}
+
+fn sim(model: &ModelConfig, batch: u64) -> Arc<SimResult> {
+    scenario(model, batch).simulate()
 }
 
 /// TDX overhead for a model at a batch size.
 #[must_use]
 pub fn overhead(model: &ModelConfig, batch: u64) -> f64 {
-    let bare = sim(model, batch, &CpuTeeConfig::bare_metal());
-    let tdx = sim(model, batch, &CpuTeeConfig::tdx());
-    throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
+    scenario(model, batch).thr_overhead()
 }
 
 /// Run the experiment.
@@ -41,26 +38,29 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "moe",
         "Mixture-of-experts under TDX: Mixtral 8x7B vs dense Llama2 (2 sockets)",
-        &[
-            "model",
-            "batch",
-            "experts_touched",
-            "tdx_tps",
-            "tdx_overhead",
+        vec![
+            Column::str("model"),
+            Column::int("batch"),
+            Column::float("experts_touched", Unit::None, 1),
+            Column::float("tdx_tps", Unit::TokensPerSec, 1),
+            Column::pct("tdx_overhead"),
         ],
     );
-    for model in [zoo::llama2_13b(), zoo::mixtral_8x7b()] {
-        for batch in [1u64, 8, 64] {
-            let tdx = sim(&model, batch, &CpuTeeConfig::tdx());
-            r.push_row(vec![
-                model.name.clone(),
-                batch.to_string(),
-                num(model.experts_touched(batch), 1),
-                num(tdx.decode_tps, 1),
-                pct(overhead(&model, batch)),
-            ]);
-        }
-    }
+    let models = [zoo::llama2_13b(), zoo::mixtral_8x7b()];
+    let points: Vec<(ModelConfig, u64)> = models
+        .iter()
+        .flat_map(|m| [1u64, 8, 64].into_iter().map(move |b| (m.clone(), b)))
+        .collect();
+    r.extend_rows(Sweep::over(points).rows(|(model, batch)| {
+        let tdx = sim(model, *batch);
+        vec![
+            Value::str(model.name.clone()),
+            Value::uint(*batch),
+            Value::float(model.experts_touched(*batch), Unit::None, 1),
+            Value::float(tdx.decode_tps, Unit::TokensPerSec, 1),
+            Value::pct(overhead(model, *batch)),
+        ]
+    }));
     r.note("MoE keeps all experts resident (footprint) but streams only routed experts (traffic); the widened footprint/traffic ratio is what TDX's 2 MiB-page translation taxes");
     r.note("extension beyond the paper, motivated by its intro's note on the Llama family's move to mixtures of experts");
     r
@@ -69,6 +69,7 @@ pub fn run() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cllm_tee::platform::CpuTeeConfig;
 
     #[test]
     fn moe_overhead_at_least_dense() {
@@ -82,14 +83,14 @@ mod tests {
     #[test]
     fn batch_activates_more_experts_and_traffic() {
         let m = zoo::mixtral_8x7b();
-        let t1 = sim(&m, 1, &CpuTeeConfig::tdx());
-        let t64 = sim(&m, 64, &CpuTeeConfig::tdx());
+        let t1 = sim(&m, 1);
+        let t64 = sim(&m, 64);
         // Throughput still improves with batch, but sublinearly versus a
         // dense model because expert traffic grows with coverage.
         let moe_scaling = t64.decode_tps / t1.decode_tps;
         let d = zoo::llama2_13b();
-        let d1 = sim(&d, 1, &CpuTeeConfig::tdx());
-        let d64 = sim(&d, 64, &CpuTeeConfig::tdx());
+        let d1 = sim(&d, 1);
+        let d64 = sim(&d, 64);
         let dense_scaling = d64.decode_tps / d1.decode_tps;
         assert!(moe_scaling > 1.5, "MoE must still batch: {moe_scaling}");
         assert!(
@@ -103,8 +104,12 @@ mod tests {
         // Sparse streaming: at batch 1, Mixtral (47B resident, ~13B
         // active) must decode much faster than a dense 70B and in the
         // same class as a dense 13B.
-        let moe = sim(&zoo::mixtral_8x7b(), 1, &CpuTeeConfig::bare_metal());
-        let dense70 = sim(&zoo::llama2_70b(), 1, &CpuTeeConfig::bare_metal());
+        let moe = scenario(&zoo::mixtral_8x7b(), 1)
+            .with_tee(CpuTeeConfig::bare_metal())
+            .simulate();
+        let dense70 = scenario(&zoo::llama2_70b(), 1)
+            .with_tee(CpuTeeConfig::bare_metal())
+            .simulate();
         assert!(moe.summary.mean < dense70.summary.mean * 0.6);
     }
 

@@ -6,14 +6,19 @@
 //! We run Llama2-70B (which fits neither one GPU nor one socket) on
 //! 2x H100 (native and CC) and on a dual-socket TDX host.
 
-use super::{num, pct, ExperimentResult};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{CpuScenario, Sweep};
 use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, simulate_multi_gpu, CpuTarget};
-use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
+use cllm_perf::{simulate_multi_gpu, CpuTarget};
+use cllm_tee::platform::GpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
 use cllm_workload::zoo;
 
 /// Decode throughput of 2x H100 at one batch size.
+///
+/// Multi-GPU simulation has no memoized variant (the tensor-parallel
+/// sweep is cheap and nothing else shares its points), so this calls
+/// [`simulate_multi_gpu`] directly.
 #[must_use]
 pub fn dual_gpu_tps(confidential: bool, batch: u64) -> f64 {
     let cfg = if confidential {
@@ -35,14 +40,11 @@ pub fn dual_gpu_tps(confidential: bool, batch: u64) -> f64 {
 /// Decode throughput of dual-socket TDX at one batch size.
 #[must_use]
 pub fn dual_socket_tdx_tps(batch: u64) -> f64 {
-    simulate_cpu(
-        &zoo::llama2_70b(),
-        &RequestSpec::new(batch, 512, 64),
-        DType::Bf16,
-        &CpuTarget::emr2_dual_socket(),
-        &CpuTeeConfig::tdx(),
-    )
-    .decode_tps
+    CpuScenario::llama2_7b(RequestSpec::new(batch, 512, 64))
+        .with_model(zoo::llama2_70b())
+        .with_target(CpuTarget::emr2_dual_socket())
+        .simulate()
+        .decode_tps
 }
 
 /// Run the experiment.
@@ -51,25 +53,26 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "scaleout",
         "Llama2-70B scale-out: 2x H100 (native/CC) vs dual-socket TDX",
-        &[
-            "batch",
-            "2xGPU_native_tps",
-            "2xGPU_cc_tps",
-            "cc_scaleout_penalty",
-            "2socket_TDX_tps",
+        vec![
+            Column::int("batch"),
+            Column::float("2xGPU_native_tps", Unit::TokensPerSec, 1),
+            Column::float("2xGPU_cc_tps", Unit::TokensPerSec, 1),
+            Column::pct("cc_scaleout_penalty"),
+            Column::float("2socket_TDX_tps", Unit::TokensPerSec, 2),
         ],
     );
-    for batch in [1u64, 8, 32, 64] {
+    let sweep = Sweep::over([1u64, 8, 32, 64]);
+    r.extend_rows(sweep.rows(|&batch| {
         let native = dual_gpu_tps(false, batch);
         let cc = dual_gpu_tps(true, batch);
-        r.push_row(vec![
-            batch.to_string(),
-            num(native, 1),
-            num(cc, 1),
-            pct((native / cc - 1.0) * 100.0),
-            num(dual_socket_tdx_tps(batch), 2),
-        ]);
-    }
+        vec![
+            Value::uint(batch),
+            Value::float(native, Unit::TokensPerSec, 1),
+            Value::float(cc, Unit::TokensPerSec, 1),
+            Value::pct((native / cc - 1.0) * 100.0),
+            Value::float(dual_socket_tdx_tps(batch), Unit::TokensPerSec, 2),
+        ]
+    }));
     r.note("paper: cGPU instances cap inter-GPU traffic at ~3 GB/s (no RDMA/GPUDirect), costly for tensor/pipeline parallelism");
     r.note("paper: CPU sockets scale up with transparently encrypted UPI; network protection (IPsec) would cost up to 90% on top of either platform for scale-out");
     r

@@ -4,7 +4,8 @@
 //! Poisson arrivals, TTFT/TPOT tails and SLO attainment against the
 //! 200 ms/word reading-speed standard the paper cites.
 
-use super::{num, pct, ExperimentResult};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{grid2, Sweep};
 use cllm_serve::sim::{simulate_serving, ServingConfig};
 use cllm_serve::slo::Slo;
 use cllm_serve::workload::ArrivalProcess;
@@ -30,32 +31,34 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "serving",
         "Online serving under TEEs: continuous batching, Llama2-7B on EMR2",
-        &[
-            "platform",
-            "rate_rps",
-            "goodput_tps",
-            "ttft_p95_s",
-            "tpot_p95_ms",
-            "slo_attainment",
+        vec![
+            Column::str("platform"),
+            Column::float("rate_rps", Unit::None, 1),
+            Column::float("goodput_tps", Unit::TokensPerSec, 1),
+            Column::float("ttft_p95_s", Unit::Seconds, 2),
+            Column::float("tpot_p95_ms", Unit::Millis, 0),
+            Column::pct("slo_attainment"),
         ],
     );
-    for rate in [0.5f64, 1.5, 3.0] {
-        for tee in [
-            CpuTeeConfig::bare_metal(),
-            CpuTeeConfig::tdx(),
-            CpuTeeConfig::sgx(),
-        ] {
-            let report = simulate_serving(&config(rate), &tee);
-            r.push_row(vec![
-                tee.kind.label().to_owned(),
-                format!("{rate}"),
-                num(report.goodput_tps, 1),
-                num(report.ttft_p95_s, 2),
-                num(report.tpot_p95_s * 1e3, 0),
-                pct(report.slo_attainment(Slo::interactive()) * 100.0),
-            ]);
-        }
-    }
+    use cllm_tee::platform::TeeKind;
+    let tees = [TeeKind::BareMetal, TeeKind::Tdx, TeeKind::Sgx];
+    let sweep = Sweep::over(grid2(&[0.5f64, 1.5, 3.0], &tees));
+    r.extend_rows(sweep.rows(|&(rate, kind)| {
+        let tee = match kind {
+            TeeKind::Tdx => CpuTeeConfig::tdx(),
+            TeeKind::Sgx => CpuTeeConfig::sgx(),
+            _ => CpuTeeConfig::bare_metal(),
+        };
+        let report = simulate_serving(&config(rate), &tee);
+        vec![
+            Value::str(tee.kind.label()),
+            Value::float(rate, Unit::None, 1),
+            Value::float(report.goodput_tps, Unit::TokensPerSec, 1),
+            Value::float(report.ttft_p95_s, Unit::Seconds, 2),
+            Value::float(report.tpot_p95_s * 1e3, Unit::Millis, 0),
+            Value::pct(report.slo_attainment(Slo::interactive()) * 100.0),
+        ]
+    }));
     r.note("SLO: 2 s to first token and the paper's 200 ms/word reading-speed bound per token");
     r.note("extension beyond the paper: iteration-level (vLLM-style) scheduling over the calibrated TEE roofline");
     r

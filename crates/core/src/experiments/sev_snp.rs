@@ -1,16 +1,16 @@
 //! AMD SEV-SNP cross-check (Section III: "AMD's TEE stack relies on
 //! similar security mechanisms to Intel's TDX, resulting in close
-//! benchmark overheads [55]").
+//! benchmark overheads \[55\]").
 //!
 //! We run the same Llama2-7B shapes on a Genoa host under SEV-SNP and
 //! compare against TDX on EMR1 — each relative to its own bare metal.
 
-use super::{num, pct, ExperimentResult};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{grid2, CpuScenario, Sweep};
 use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, throughput_overhead_pct, CpuTarget, Framework};
+use cllm_perf::{CpuTarget, Framework};
 use cllm_tee::platform::CpuTeeConfig;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
 fn genoa_target() -> CpuTarget {
     let cpu = cllm_hw::presets::genoa();
@@ -26,23 +26,20 @@ fn genoa_target() -> CpuTarget {
 /// SEV-SNP overhead on Genoa (vs Genoa bare metal).
 #[must_use]
 pub fn sev_overhead(dtype: DType, batch: u64) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, 1024, 128);
-    let target = genoa_target();
-    let bare = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
-    let sev = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::sev_snp());
-    throughput_overhead_pct(bare.decode_tps, sev.decode_tps)
+    CpuScenario::llama2_7b(RequestSpec::new(batch, 1024, 128))
+        .with_dtype(dtype)
+        .with_target(genoa_target())
+        .with_tee(CpuTeeConfig::sev_snp())
+        .thr_overhead()
 }
 
 /// TDX overhead on EMR1 (vs EMR1 bare metal), same shape.
 #[must_use]
 pub fn tdx_overhead(dtype: DType, batch: u64) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(batch, 1024, 128);
-    let target = CpuTarget::emr1_single_socket();
-    let bare = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::bare_metal());
-    let tdx = simulate_cpu(&model, &req, dtype, &target, &CpuTeeConfig::tdx());
-    throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
+    CpuScenario::llama2_7b(RequestSpec::new(batch, 1024, 128))
+        .with_dtype(dtype)
+        .with_target(CpuTarget::emr1_single_socket())
+        .thr_overhead()
 }
 
 /// Run the experiment.
@@ -51,27 +48,26 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "sev_snp",
         "SEV-SNP (Genoa) vs TDX (EMR1) throughput overheads, Llama2-7B",
-        &[
-            "dtype",
-            "batch",
-            "sev_snp_overhead",
-            "tdx_overhead",
-            "gap_pts",
+        vec![
+            Column::str("dtype"),
+            Column::int("batch"),
+            Column::pct("sev_snp_overhead"),
+            Column::pct("tdx_overhead"),
+            Column::float("gap_pts", Unit::Points, 1),
         ],
     );
-    for dtype in [DType::Bf16, DType::Int8] {
-        for batch in [1u64, 6, 32] {
-            let sev = sev_overhead(dtype, batch);
-            let tdx = tdx_overhead(dtype, batch);
-            r.push_row(vec![
-                dtype.label().to_owned(),
-                batch.to_string(),
-                pct(sev),
-                pct(tdx),
-                num(sev - tdx, 1),
-            ]);
-        }
-    }
+    let sweep = Sweep::over(grid2(&[DType::Bf16, DType::Int8], &[1u64, 6, 32]));
+    r.extend_rows(sweep.rows(|&(dtype, batch)| {
+        let sev = sev_overhead(dtype, batch);
+        let tdx = tdx_overhead(dtype, batch);
+        vec![
+            Value::str(dtype.label()),
+            Value::uint(batch),
+            Value::pct(sev),
+            Value::pct(tdx),
+            Value::float(sev - tdx, Unit::Points, 1),
+        ]
+    }));
     r.note("paper: AMD's TEE stack relies on similar mechanisms to TDX, resulting in close benchmark overheads (Misono et al.)");
     r.note("SEV-SNP honours 1G hugepage reservations, trading away TDX's THP fallback cost but keeping the RMP-walk latency");
     r
@@ -80,6 +76,7 @@ pub fn run() -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cllm_workload::zoo;
 
     #[test]
     fn sev_close_to_tdx() {
@@ -97,11 +94,11 @@ mod tests {
 
     #[test]
     fn sev_is_confidential_and_costs_more_than_raw_vm() {
-        let model = zoo::llama2_7b();
-        let req = RequestSpec::new(6, 1024, 64);
-        let target = genoa_target();
-        let vm = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::vm());
-        let sev = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::sev_snp());
+        let base = CpuScenario::llama2_7b(RequestSpec::new(6, 1024, 64))
+            .with_model(zoo::llama2_7b())
+            .with_target(genoa_target());
+        let vm = base.clone().with_tee(CpuTeeConfig::vm()).simulate();
+        let sev = base.with_tee(CpuTeeConfig::sev_snp()).simulate();
         assert!(sev.summary.mean > vm.summary.mean);
     }
 }

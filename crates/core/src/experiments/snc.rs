@@ -2,29 +2,20 @@
 //! sub-NUMA domains, so enabling SNC inflates TDX overhead from ~5% to
 //! ~42% — which is why the paper disables it.
 
-use super::{pct, ExperimentResult};
-use cllm_hw::{DType, SubNumaClustering};
-use cllm_perf::{simulate_cpu, throughput_overhead_pct, CpuTarget};
-use cllm_tee::platform::CpuTeeConfig;
+use super::{Column, ExperimentResult, Value};
+use crate::scenario::CpuScenario;
+use cllm_hw::SubNumaClustering;
+use cllm_perf::CpuTarget;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
 /// TDX throughput overhead with a given SNC setting.
 #[must_use]
 pub fn overhead(snc: SubNumaClustering) -> f64 {
-    let model = zoo::llama2_7b();
-    let req = RequestSpec::new(6, 1024, 128).with_beam(4);
     let mut target = CpuTarget::emr2_single_socket();
     target.topology.snc = snc;
-    let bare = simulate_cpu(
-        &model,
-        &req,
-        DType::Bf16,
-        &target,
-        &CpuTeeConfig::bare_metal(),
-    );
-    let tdx = simulate_cpu(&model, &req, DType::Bf16, &target, &CpuTeeConfig::tdx());
-    throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
+    CpuScenario::llama2_7b(RequestSpec::new(6, 1024, 128).with_beam(4))
+        .with_target(target)
+        .thr_overhead()
 }
 
 /// Run the experiment.
@@ -33,13 +24,13 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "snc",
         "Sub-NUMA clustering ablation: TDX overhead with SNC off/on (EMR2)",
-        &["snc", "tdx_overhead"],
+        vec![Column::str("snc"), Column::pct("tdx_overhead")],
     );
     for (name, snc) in [
         ("off", SubNumaClustering::Off),
         ("SNC-2", SubNumaClustering::Snc2),
     ] {
-        r.push_row(vec![name.to_owned(), pct(overhead(snc))]);
+        r.push_row(vec![Value::str(name), Value::pct(overhead(snc))]);
     }
     r.note("paper: enabling sub-NUMA domains increased overhead more than eight times, from ~5% to ~42%; we therefore disable SNC");
     r

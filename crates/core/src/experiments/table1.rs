@@ -1,7 +1,7 @@
 //! Table I: the summary matrix of evaluated systems — security,
 //! performance and cost characteristics per platform.
 
-use super::{pct, ExperimentResult};
+use super::{pct, Column, ExperimentResult, Value};
 use cllm_tee::platform::TeeKind;
 use cllm_tee::threat::{security_score, Attack};
 
@@ -13,28 +13,34 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "table1",
         "Summary of evaluated systems (Table I)",
-        &["property", "SGX (process TEE)", "TDX (VM TEE)", "H100 cGPU"],
+        vec![
+            Column::str("property"),
+            Column::str("SGX (process TEE)"),
+            Column::str("TDX (VM TEE)"),
+            Column::str("H100 cGPU"),
+        ],
     );
 
     let kinds = [TeeKind::Sgx, TeeKind::Tdx, TeeKind::GpuCc];
-    let glyph = |k: TeeKind, a: Attack| cllm_tee::threat::protection(k, a).glyph().to_owned();
+    let glyph = |k: TeeKind, a: Attack| Value::str(cllm_tee::threat::protection(k, a).glyph());
 
     for attack in Attack::all() {
         r.push_row(vec![
-            format!("security: {}", attack.description()),
+            Value::str(format!("security: {}", attack.description())),
             glyph(kinds[0], attack),
             glyph(kinds[1], attack),
             glyph(kinds[2], attack),
         ]);
     }
     r.push_row(vec![
-        "security score".to_owned(),
-        pct(security_score(TeeKind::Sgx) * 100.0),
-        pct(security_score(TeeKind::Tdx) * 100.0),
-        pct(security_score(TeeKind::GpuCc) * 100.0),
+        Value::str("security score"),
+        Value::str(pct(security_score(TeeKind::Sgx) * 100.0)),
+        Value::str(pct(security_score(TeeKind::Tdx) * 100.0)),
+        Value::str(pct(security_score(TeeKind::GpuCc) * 100.0)),
     ]);
 
-    // Performance rows measured by the other experiments.
+    // Performance rows measured by the other experiments (through the
+    // shared simulation cache).
     let fig4_sgx = super::fig4::point(
         &cllm_tee::platform::CpuTeeConfig::sgx(),
         cllm_hw::DType::Bf16,
@@ -45,46 +51,46 @@ pub fn run() -> ExperimentResult {
     );
     let gpu = super::fig11::overhead(8, 512);
     r.push_row(vec![
-        "single-resource overhead".to_owned(),
-        pct(fig4_sgx.thr_overhead_pct),
-        pct(fig4_tdx.thr_overhead_pct),
-        pct(gpu),
+        Value::str("single-resource overhead"),
+        Value::str(pct(fig4_sgx.thr_overhead_pct)),
+        Value::str(pct(fig4_tdx.thr_overhead_pct)),
+        Value::str(pct(gpu)),
     ]);
     r.push_row(vec![
-        "batch size up -> overhead".to_owned(),
-        "down".to_owned(),
-        "down".to_owned(),
-        "down".to_owned(),
+        Value::str("batch size up -> overhead"),
+        Value::str("down"),
+        Value::str("down"),
+        Value::str("down"),
     ]);
     r.push_row(vec![
-        "input size up -> overhead".to_owned(),
-        "down then up".to_owned(),
-        "down then up".to_owned(),
-        "down".to_owned(),
+        Value::str("input size up -> overhead"),
+        Value::str("down then up"),
+        Value::str("down then up"),
+        Value::str("down"),
     ]);
     r.push_row(vec![
-        "scale-up (multi-socket / multi-GPU)".to_owned(),
-        "prohibitive (no NUMA)".to_owned(),
-        "12-24% (bindings ignored)".to_owned(),
-        "host detour, ~3 GB/s".to_owned(),
+        Value::str("scale-up (multi-socket / multi-GPU)"),
+        Value::str("prohibitive (no NUMA)"),
+        Value::str("12-24% (bindings ignored)"),
+        Value::str("host detour, ~3 GB/s"),
     ]);
     r.push_row(vec![
-        "sources of overhead".to_owned(),
-        "EPC paging, enclave exits, memory, NUMA".to_owned(),
-        "virtualization tax, hugepages, memory, NUMA".to_owned(),
-        "PCIe transfers, kernel launch".to_owned(),
+        Value::str("sources of overhead"),
+        Value::str("EPC paging, enclave exits, memory, NUMA"),
+        Value::str("virtualization tax, hugepages, memory, NUMA"),
+        Value::str("PCIe transfers, kernel launch"),
     ]);
     r.push_row(vec![
-        "development effort".to_owned(),
-        "high (libOS, manifest)".to_owned(),
-        "low (standard VM)".to_owned(),
-        "low (unchanged CUDA)".to_owned(),
+        Value::str("development effort"),
+        Value::str("high (libOS, manifest)"),
+        Value::str("low (standard VM)"),
+        Value::str("low (unchanged CUDA)"),
     ]);
     r.push_row(vec![
-        "cost-efficient for".to_owned(),
-        "small inputs/batches".to_owned(),
-        "small inputs/batches".to_owned(),
-        "large inputs/batches".to_owned(),
+        Value::str("cost-efficient for"),
+        Value::str("small inputs/batches"),
+        Value::str("small inputs/batches"),
+        Value::str("large inputs/batches"),
     ]);
     r.note("glyphs: ■ full, ◪ partial, □ none (as in the paper)");
     r
@@ -102,7 +108,7 @@ mod tests {
         assert!(t
             .rows
             .iter()
-            .any(|row| row[0] == "single-resource overhead"));
+            .any(|row| row[0].as_str() == Some("single-resource overhead")));
     }
 
     #[test]
@@ -110,15 +116,17 @@ mod tests {
         // Table I: H100's HBM/NVLink gaps show as partial protection.
         let partial = Protection::Partial.glyph();
         let t = run();
+        let is_partial = |v: &Value| v.as_str() == Some(partial);
+        let is_security = |v: &Value| v.as_str().is_some_and(|s| s.starts_with("security:"));
         let gpu_partials = t
             .rows
             .iter()
-            .filter(|row| row[0].starts_with("security:") && row[3] == partial)
+            .filter(|row| is_security(&row[0]) && is_partial(&row[3]))
             .count();
         let sgx_partials = t
             .rows
             .iter()
-            .filter(|row| row[0].starts_with("security:") && row[1] == partial)
+            .filter(|row| is_security(&row[0]) && is_partial(&row[1]))
             .count();
         assert!(gpu_partials >= 2, "H100 should have partial cells");
         assert_eq!(sgx_partials, 0, "SGX should have no partial cells");
@@ -130,11 +138,12 @@ mod tests {
         let row = t
             .rows
             .iter()
-            .find(|row| row[0] == "single-resource overhead")
+            .find(|row| row[0].as_str() == Some("single-resource overhead"))
             .unwrap();
         for cell in &row[1..] {
-            let v: f64 = cell.trim_end_matches('%').parse().unwrap();
-            assert!((2.0..12.0).contains(&v), "{cell}");
+            let s = cell.as_str().unwrap();
+            let v: f64 = s.trim_end_matches('%').parse().unwrap();
+            assert!((2.0..12.0).contains(&v), "{s}");
         }
     }
 }

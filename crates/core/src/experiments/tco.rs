@@ -3,36 +3,25 @@
 //! GCP/Azure; this experiment closes the loop with an amortized
 //! total-cost-of-ownership comparison for sustained confidential serving.
 
-use super::{num, pct, ExperimentResult};
+use super::{Column, ExperimentResult, Unit, Value};
+use crate::scenario::{CpuScenario, GpuScenario};
 use cllm_cost::{cost_per_mtok, CpuPricing, GpuPricing, OnPremCost};
-use cllm_hw::DType;
-use cllm_perf::{simulate_cpu, simulate_gpu, CpuTarget};
-use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
+use cllm_perf::CpuTarget;
 use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
 /// Sustained TDX throughput of a dual-socket EMR2 server at batch 64.
 fn cpu_tps() -> f64 {
-    simulate_cpu(
-        &zoo::llama2_7b(),
-        &RequestSpec::new(64, 128, 128),
-        DType::Bf16,
-        &CpuTarget::emr2_dual_socket(),
-        &CpuTeeConfig::tdx(),
-    )
-    .e2e_tps
+    CpuScenario::llama2_7b(RequestSpec::new(64, 128, 128))
+        .with_target(CpuTarget::emr2_dual_socket())
+        .simulate()
+        .e2e_tps
 }
 
 /// Sustained cGPU throughput at batch 64.
 fn gpu_tps() -> f64 {
-    simulate_gpu(
-        &zoo::llama2_7b(),
-        &RequestSpec::new(64, 128, 128),
-        DType::Bf16,
-        &cllm_hw::presets::h100_nvl(),
-        &GpuTeeConfig::confidential(),
-    )
-    .e2e_tps
+    GpuScenario::llama2_7b(RequestSpec::new(64, 128, 128))
+        .simulate()
+        .e2e_tps
 }
 
 /// Cloud $/hr for the CPU config (both sockets' cores + 256 GiB).
@@ -46,11 +35,11 @@ pub fn run() -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "tco",
         "Rent vs buy for sustained confidential serving (Llama2-7B, batch 64)",
-        &[
-            "option",
-            "usd_per_hr",
-            "usd_per_mtok",
-            "break_even_utilization",
+        vec![
+            Column::str("option"),
+            Column::float("usd_per_hr", Unit::UsdPerHr, 3),
+            Column::float("usd_per_mtok", Unit::UsdPerMtok, 3),
+            Column::pct("break_even_utilization"),
         ],
     );
     let cpu_rate = cpu_tps();
@@ -81,10 +70,10 @@ pub fn run() -> ExperimentResult {
     ];
     for (name, per_hr, tps, break_even) in rows {
         r.push_row(vec![
-            name.to_owned(),
-            num(per_hr, 3),
-            num(cost_per_mtok(per_hr, tps), 3),
-            break_even.map_or_else(|| "-".to_owned(), |b| pct(b * 100.0)),
+            Value::str(name),
+            Value::float(per_hr, Unit::UsdPerHr, 3),
+            Value::float(cost_per_mtok(per_hr, tps), Unit::UsdPerMtok, 3),
+            break_even.map_or(Value::Missing, |b| Value::pct(b * 100.0)),
         ]);
     }
     r.note("break-even utilization: fraction of wall time the machine must be busy before owning beats renting");

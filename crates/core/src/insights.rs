@@ -3,13 +3,19 @@
 //! Each check re-derives its insight from the simulator (or the threat
 //! model) rather than hard-coding the answer; `tests/insights.rs` at the
 //! workspace root asserts all twelve hold.
+//!
+//! Every quantitative piece of evidence is read from the **same memoized
+//! simulation points the figures publish** (through
+//! [`crate::scenario`] / the figure modules' public accessors), so an
+//! insight can never drift from the table cell it cites — and running
+//! the insights after the figures adds no new simulations
+//! (`tests/cache_reuse.rs` asserts the hit rate).
 
+use crate::experiments::{fig11, fig12, fig3, fig4, fig5, fig6, fig8, fig9};
 use cllm_hw::{DType, SubNumaClustering};
-use cllm_perf::{simulate_cpu, throughput_overhead_pct, CpuTarget, Framework};
+use cllm_perf::{overhead_pct, CpuTarget, Framework};
 use cllm_tee::platform::{CpuTeeConfig, TeeKind};
 use cllm_tee::threat::security_score;
-use cllm_workload::phase::RequestSpec;
-use cllm_workload::zoo;
 
 /// One verified insight.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,26 +30,15 @@ pub struct InsightCheck {
     pub evidence: String,
 }
 
-fn tdx_thr_overhead(target: &CpuTarget, req: &RequestSpec, dtype: DType) -> f64 {
-    let model = zoo::llama2_7b();
-    let bare = simulate_cpu(&model, req, dtype, target, &CpuTeeConfig::bare_metal());
-    let tdx = simulate_cpu(&model, req, dtype, target, &CpuTeeConfig::tdx());
-    throughput_overhead_pct(bare.decode_tps, tdx.decode_tps)
-}
-
 /// Evaluate all 12 insights.
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn check_all() -> Vec<InsightCheck> {
     let mut out = Vec::with_capacity(12);
-    let model = zoo::llama2_7b();
-    let thr_req = RequestSpec::new(6, 1024, 128).with_beam(4);
-    let emr1 = CpuTarget::emr1_single_socket();
-    let emr2 = CpuTarget::emr2_single_socket();
 
     // 1. TEEs balance security, performance, programmability.
     {
-        let tdx = tdx_thr_overhead(&emr1, &thr_req, DType::Bf16);
+        let tdx = fig4::point(&CpuTeeConfig::tdx(), DType::Bf16).thr_overhead_pct;
         let holds = tdx < 15.0 && security_score(TeeKind::Tdx) > 0.8;
         out.push(InsightCheck {
             id: 1,
@@ -70,16 +65,11 @@ pub fn check_all() -> Vec<InsightCheck> {
         });
     }
 
-    // 3. IPEX (AMX + oneCCL) doubles CPU inference performance.
+    // 3. IPEX (AMX + oneCCL) doubles CPU inference performance — the
+    // Figure 3 runtimes, re-read from the cache.
     {
-        let req = RequestSpec::new(1, 1024, 128);
-        let run = |fw| {
-            let t = emr1.clone().with_framework(fw);
-            let s = simulate_cpu(&model, &req, DType::Bf16, &t, &CpuTeeConfig::bare_metal());
-            s.prefill_s + s.token_latencies_s.iter().sum::<f64>()
-        };
-        let ipex = run(Framework::Ipex);
-        let hf = run(Framework::HuggingFace);
+        let ipex = fig3::runtime_s(Framework::Ipex, DType::Bf16);
+        let hf = fig3::runtime_s(Framework::HuggingFace, DType::Bf16);
         out.push(InsightCheck {
             id: 3,
             statement: "Leveraging IPEX, and its AMX and oneCCL backends can double CPU inference performance",
@@ -88,18 +78,10 @@ pub fn check_all() -> Vec<InsightCheck> {
         });
     }
 
-    // 4. TDX/SGX overheads as low as 4-10%.
+    // 4. TDX/SGX overheads as low as 4-10% — the Figure 4 bf16 cells.
     {
-        let tdx = tdx_thr_overhead(&emr1, &thr_req, DType::Bf16);
-        let bare = simulate_cpu(
-            &model,
-            &thr_req,
-            DType::Bf16,
-            &emr1,
-            &CpuTeeConfig::bare_metal(),
-        );
-        let sgx = simulate_cpu(&model, &thr_req, DType::Bf16, &emr1, &CpuTeeConfig::sgx());
-        let sgx_o = throughput_overhead_pct(bare.decode_tps, sgx.decode_tps);
+        let tdx = fig4::point(&CpuTeeConfig::tdx(), DType::Bf16).thr_overhead_pct;
+        let sgx_o = fig4::point(&CpuTeeConfig::sgx(), DType::Bf16).thr_overhead_pct;
         out.push(InsightCheck {
             id: 4,
             statement: "TDX and SGX have overheads as low as 4-10% for cLLM inference, preserving acceptable service performance",
@@ -108,38 +90,28 @@ pub fn check_all() -> Vec<InsightCheck> {
         });
     }
 
-    // 5. SGX more performant; TDX pays a 1-5% virtualization tax.
+    // 5. SGX more performant; TDX pays a 1-5% virtualization tax — all
+    // three points are Figure 4 rows.
     {
-        let bare = simulate_cpu(
-            &model,
-            &thr_req,
-            DType::Bf16,
-            &emr1,
-            &CpuTeeConfig::bare_metal(),
-        );
-        let vm = simulate_cpu(&model, &thr_req, DType::Bf16, &emr1, &CpuTeeConfig::vm());
-        let sgx = simulate_cpu(&model, &thr_req, DType::Bf16, &emr1, &CpuTeeConfig::sgx());
-        let tdx = simulate_cpu(&model, &thr_req, DType::Bf16, &emr1, &CpuTeeConfig::tdx());
-        let virt_tax = throughput_overhead_pct(bare.decode_tps, vm.decode_tps);
+        let virt_tax = fig4::point(&CpuTeeConfig::vm(), DType::Bf16).thr_overhead_pct;
+        let sgx_tps = fig4::point(&CpuTeeConfig::sgx(), DType::Bf16).throughput_tps;
+        let tdx_tps = fig4::point(&CpuTeeConfig::tdx(), DType::Bf16).throughput_tps;
         out.push(InsightCheck {
             id: 5,
             statement: "Compared to SGX, TDX simplifies deployment but pays a virtualization tax of 1-5%, making SGX more performant",
-            holds: (1.0..5.5).contains(&virt_tax) && sgx.decode_tps > tdx.decode_tps,
+            holds: (1.0..5.5).contains(&virt_tax) && sgx_tps > tdx_tps,
             evidence: format!(
-                "virtualization tax {virt_tax:.1}%; SGX {:.1} vs TDX {:.1} tok/s",
-                sgx.decode_tps, tdx.decode_tps
+                "virtualization tax {virt_tax:.1}%; SGX {sgx_tps:.1} vs TDX {tdx_tps:.1} tok/s"
             ),
         });
     }
 
-    // 6. Broken NUMA support degrades performance badly.
+    // 6. Broken NUMA support degrades performance badly — the Figure 5
+    // operating point (70B, two sockets), TDX vs the NUMA-bound VM.
     {
-        let t2 = CpuTarget::emr1_dual_socket();
-        let m70 = zoo::llama2_70b();
-        let req = RequestSpec::new(1, 1024, 32);
-        let vm_b = simulate_cpu(&m70, &req, DType::Bf16, &t2, &CpuTeeConfig::vm());
-        let tdx = simulate_cpu(&m70, &req, DType::Bf16, &t2, &CpuTeeConfig::tdx());
-        let ovh = (tdx.summary.mean / vm_b.summary.mean - 1.0) * 100.0;
+        let vm_b = fig5::sim(&CpuTeeConfig::vm());
+        let tdx = fig5::sim(&CpuTeeConfig::tdx());
+        let ovh = overhead_pct(vm_b.summary.mean, tdx.summary.mean);
         out.push(InsightCheck {
             id: 6,
             statement: "TDX and SGX do not properly support NUMA bindings, considerably degrading performance for models that do not fit one socket",
@@ -148,11 +120,12 @@ pub fn check_all() -> Vec<InsightCheck> {
         });
     }
 
-    // 7. TDX ignores reserved 1G hugepages (costs up to ~5%).
+    // 7. TDX ignores reserved 1G hugepages (costs up to ~5%) — the
+    // Figure 6 VM-vs-VM-THP gap.
     {
         let page = CpuTeeConfig::tdx().effective_page();
-        let (fh, _) = crate::experiments::fig6::overheads(&CpuTeeConfig::vm());
-        let (th, _) = crate::experiments::fig6::overheads(&CpuTeeConfig::vm_thp());
+        let (fh, _) = fig6::overheads(&CpuTeeConfig::vm());
+        let (th, _) = fig6::overheads(&CpuTeeConfig::vm_thp());
         let gap = th - fh;
         out.push(InsightCheck {
             id: 7,
@@ -162,35 +135,26 @@ pub fn check_all() -> Vec<InsightCheck> {
         });
     }
 
-    // 8. AMX reduces TEE overheads.
+    // 8. AMX reduces TEE overheads — the Figure 8 two-socket latency
+    // columns at batch 1.
     {
-        let t2 = CpuTarget::emr2_dual_socket();
-        let req = RequestSpec::new(1, 128, 128);
-        let lat = |amx: bool, tee: &CpuTeeConfig| {
-            simulate_cpu(&model, &req, DType::Bf16, &t2.clone().with_amx(amx), tee)
-                .summary
-                .mean
-        };
-        let ovh_amx =
-            lat(true, &CpuTeeConfig::tdx()) / lat(true, &CpuTeeConfig::bare_metal()) - 1.0;
-        let ovh_noamx =
-            lat(false, &CpuTeeConfig::tdx()) / lat(false, &CpuTeeConfig::bare_metal()) - 1.0;
+        let ovh_amx = fig8::lat_overhead(DType::Bf16, 1, true);
+        let ovh_noamx = fig8::lat_overhead(DType::Bf16, 1, false);
         out.push(InsightCheck {
             id: 8,
             statement: "AMX lowers TEE overheads (in addition to raising raw performance)",
             holds: ovh_amx < ovh_noamx,
             evidence: format!(
-                "TDX latency overhead {:.1}% with AMX vs {:.1}% without",
-                ovh_amx * 100.0,
-                ovh_noamx * 100.0
+                "TDX latency overhead {ovh_amx:.1}% with AMX vs {ovh_noamx:.1}% without"
             ),
         });
     }
 
-    // 9. TDX has the lowest overhead when compute-bound.
+    // 9. TDX has the lowest overhead when compute-bound — the Figure 9
+    // batch-scaling endpoints.
     {
-        let small = tdx_thr_overhead(&emr2, &RequestSpec::new(1, 128, 128), DType::Bf16);
-        let large = tdx_thr_overhead(&emr2, &RequestSpec::new(512, 128, 128), DType::Bf16);
+        let small = fig9::thr_overhead(DType::Bf16, 1);
+        let large = fig9::thr_overhead(DType::Bf16, 512);
         out.push(InsightCheck {
             id: 9,
             statement: "TDX has the lowest overhead when the workload is compute-bound",
@@ -199,10 +163,11 @@ pub fn check_all() -> Vec<InsightCheck> {
         });
     }
 
-    // 10. GPU TEEs below 10%, shrinking with batch/input.
+    // 10. GPU TEEs below 10%, shrinking with batch/input — the Figure 11
+    // corner cells.
     {
-        let small = crate::experiments::fig11::overhead(1, 128);
-        let large = crate::experiments::fig11::overhead(128, 1024);
+        let small = fig11::overhead(1, 128);
+        let large = fig11::overhead(128, 1024);
         out.push(InsightCheck {
             id: 10,
             statement: "GPU TEEs achieve less than 10% overheads, which decrease with larger batch and input sizes",
@@ -211,12 +176,13 @@ pub fn check_all() -> Vec<InsightCheck> {
         });
     }
 
-    // 11. CPU TEEs pragmatic for strict security / small shapes.
+    // 11. CPU TEEs pragmatic for strict security / small shapes — the
+    // Figure 12 batch-1 cost columns.
     {
         let adv = {
-            let sweep = crate::experiments::fig12::tdx_cost_sweep(1);
+            let sweep = fig12::tdx_cost_sweep(1);
             let cpu = cllm_cost::cheapest_point(&sweep).unwrap().usd_per_mtok;
-            cllm_cost::cost_advantage_pct(cpu, crate::experiments::fig12::cgpu_usd_per_mtok(1))
+            cllm_cost::cost_advantage_pct(cpu, fig12::cgpu_usd_per_mtok(1))
         };
         let stricter = security_score(TeeKind::Tdx) > security_score(TeeKind::GpuCc);
         out.push(InsightCheck {
@@ -270,5 +236,38 @@ mod tests {
         for (i, c) in checks.iter().enumerate() {
             assert_eq!(usize::from(c.id), i + 1);
         }
+    }
+
+    #[test]
+    fn evidence_matches_figure_cells_exactly() {
+        // Insight 4's TDX number IS the fig4 bf16 TDX throughput-overhead
+        // cell; insight 6's number IS the fig5 TDX lat_vs_vm_bound cell.
+        use crate::experiments::{fig4, fig5};
+        use cllm_hw::DType;
+        use cllm_tee::platform::CpuTeeConfig;
+
+        let fig4_table = fig4::run();
+        let cell = fig4_table
+            .cell_f64("TDX", "thr_overhead")
+            .expect("fig4 TDX row");
+        let insight = fig4::point(&CpuTeeConfig::tdx(), DType::Bf16).thr_overhead_pct;
+        // cell_f64 returns the raw numeric behind the cell, and both sides
+        // read the same cached simulation — the match is exact.
+        assert!(
+            (cell - insight).abs() < 1e-12,
+            "fig4 cell {cell} vs insight {insight}"
+        );
+
+        let fig5_table = fig5::run();
+        let cell = fig5_table
+            .cell_f64("TDX", "lat_vs_vm_bound")
+            .expect("fig5 TDX row");
+        let vm_b = fig5::sim(&CpuTeeConfig::vm());
+        let tdx = fig5::sim(&CpuTeeConfig::tdx());
+        let insight = cllm_perf::overhead_pct(vm_b.summary.mean, tdx.summary.mean);
+        assert!(
+            (cell - insight).abs() < 1e-12,
+            "fig5 cell {cell} vs insight {insight}"
+        );
     }
 }

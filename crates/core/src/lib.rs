@@ -38,7 +38,9 @@ pub mod insights;
 pub mod owner;
 pub mod pipeline;
 pub mod runner;
+pub mod scenario;
 pub mod summary;
+pub mod table;
 
 pub use owner::{EncryptedModel, ModelOwner};
 pub use pipeline::{ConfidentialPipeline, DeploymentSpec, PipelineError};

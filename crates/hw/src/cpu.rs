@@ -9,7 +9,7 @@ pub enum CpuVendor {
     /// Intel (SGX + TDX + AMX).
     Intel,
     /// AMD (SEV-SNP; modelled for completeness, overheads close to TDX
-    /// per Misono et al. [55]).
+    /// per Misono et al. \[55\]).
     Amd,
 }
 

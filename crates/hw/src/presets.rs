@@ -85,7 +85,7 @@ pub fn spr() -> CpuModel {
 
 /// AMD EPYC 9654 "Genoa": the SEV-SNP counterpart (Zen 4 with AVX-512
 /// but no AMX — one reason the paper selects Intel). Used by the
-/// `sev_snp` cross-check experiment; Misono et al. [55] report SEV-SNP
+/// `sev_snp` cross-check experiment; Misono et al. \[55\] report SEV-SNP
 /// overheads close to TDX's.
 #[must_use]
 pub fn genoa() -> CpuModel {

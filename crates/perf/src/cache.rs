@@ -57,6 +57,33 @@ pub struct CacheStats {
     pub gpu_entries: usize,
 }
 
+/// The cache key of a CPU operating point: the `Debug` rendering of the
+/// full argument tuple. Public so higher layers (the `cllm-core`
+/// scenario builder) can identify a point without duplicating the key
+/// scheme.
+#[must_use]
+pub fn cpu_key(
+    model: &ModelConfig,
+    req: &RequestSpec,
+    dtype: DType,
+    target: &CpuTarget,
+    tee: &CpuTeeConfig,
+) -> String {
+    format!("{model:?}|{req:?}|{dtype:?}|{target:?}|{tee:?}")
+}
+
+/// The cache key of a GPU operating point (see [`cpu_key`]).
+#[must_use]
+pub fn gpu_key(
+    model: &ModelConfig,
+    req: &RequestSpec,
+    dtype: DType,
+    gpu: &GpuModel,
+    cfg: &GpuTeeConfig,
+) -> String {
+    format!("{model:?}|{req:?}|{dtype:?}|{gpu:?}|{cfg:?}")
+}
+
 /// Memoized [`simulate_cpu`]: identical arguments return the cached
 /// result without re-running the simulator.
 #[must_use]
@@ -67,7 +94,7 @@ pub fn simulate_cpu_cached(
     target: &CpuTarget,
     tee: &CpuTeeConfig,
 ) -> Arc<SimResult> {
-    let key = format!("{model:?}|{req:?}|{dtype:?}|{target:?}|{tee:?}");
+    let key = cpu_key(model, req, dtype, target, tee);
     if let Some(hit) = cpu_cache().lock().expect("cpu cache lock").get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(hit);
@@ -89,7 +116,7 @@ pub fn simulate_gpu_cached(
     gpu: &GpuModel,
     cfg: &GpuTeeConfig,
 ) -> Arc<GpuSimResult> {
-    let key = format!("{model:?}|{req:?}|{dtype:?}|{gpu:?}|{cfg:?}");
+    let key = gpu_key(model, req, dtype, gpu, cfg);
     if let Some(hit) = gpu_cache().lock().expect("gpu cache lock").get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(hit);

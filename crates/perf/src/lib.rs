@@ -57,7 +57,7 @@ mod memsys;
 pub mod stats;
 mod target;
 
-pub use cache::{simulate_cpu_cached, simulate_gpu_cached, CacheStats};
+pub use cache::{cpu_key, gpu_key, simulate_cpu_cached, simulate_gpu_cached, CacheStats};
 pub use cpu::{decode_step_time_s, prefill_time_s, simulate_cpu, OpTrace, SimResult};
 pub use framework::Framework;
 pub use gpu::{fits_on_gpus, simulate_gpu, simulate_multi_gpu, GpuSimResult};

@@ -30,7 +30,7 @@ pub enum TeeKind {
     Tdx,
     /// AMD Secure Encrypted Virtualization with Secure Nested Paging
     /// (`SEV-SNP`): the other mainstream VM TEE; the paper notes its
-    /// overheads are close to TDX's (Misono et al. [55]).
+    /// overheads are close to TDX's (Misono et al. \[55\]).
     SevSnp,
     /// Intel SGX via Gramine (`SGX`): process-based TEE on bare metal.
     Sgx,

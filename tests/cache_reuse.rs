@@ -1,0 +1,50 @@
+//! The provenance contract of the typed result layer: every insight cites
+//! simulation points the figures already published, so replaying the
+//! insight checks after the figure sweep must be answered entirely from
+//! the memoized simulation cache — zero new simulator runs.
+//!
+//! This lives in its own integration-test binary because the cache is
+//! process-global; running alone gives exact counter arithmetic.
+
+use confidential_llms_in_tees::core::{experiments, insights};
+use confidential_llms_in_tees::perf::cache;
+
+#[test]
+fn insights_add_no_simulations_after_figures() {
+    // 1. Run every registered experiment (the 23 figure/table sweeps).
+    for (id, runner) in experiments::all_experiments() {
+        let r = runner();
+        assert_eq!(r.id, id);
+    }
+    let after_figures = cache::stats();
+    assert!(
+        after_figures.misses > 0,
+        "figure sweeps must populate the cache"
+    );
+
+    // 2. Re-derive all 12 insights. Their quantitative evidence reads the
+    // same operating points the figures published, so the miss counter
+    // must not move.
+    let checks = insights::check_all();
+    assert_eq!(checks.len(), 12);
+    let after_insights = cache::stats();
+    assert_eq!(
+        after_insights.misses, after_figures.misses,
+        "insight evidence must be cache hits, not new simulations"
+    );
+    assert!(
+        after_insights.hits > after_figures.hits,
+        "insights must actually read cached points"
+    );
+
+    // 3. The figure sweeps themselves share baselines heavily: every
+    // overhead divides by a bare-metal/native point reused across
+    // metrics, figures and Table I.
+    let total = after_figures.hits + after_figures.misses;
+    let hit_rate = after_figures.hits as f64 / total as f64;
+    assert!(
+        hit_rate > 0.35,
+        "figure-sweep cache hit rate {hit_rate:.2} ({}/{total}) too low",
+        after_figures.hits
+    );
+}

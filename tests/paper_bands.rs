@@ -4,11 +4,8 @@
 use confidential_llms_in_tees::core::experiments;
 
 fn pct_cell(r: &experiments::ExperimentResult, row: &str, col: &str) -> f64 {
-    r.cell(row, col)
+    r.cell_f64(row, col)
         .unwrap_or_else(|| panic!("missing cell {row}/{col}"))
-        .trim_end_matches('%')
-        .parse()
-        .expect("percentage cell")
 }
 
 #[test]
@@ -97,8 +94,8 @@ fn model_zoo_band() {
     // Paper Section III-C3: 3.1-13.1% across five additional models.
     let r = experiments::model_zoo::run();
     for row in &r.rows {
-        let o: f64 = row[2].trim_end_matches('%').parse().unwrap();
-        assert!((3.0..13.5).contains(&o), "{}: {o}%", row[0]);
+        let o = row[2].as_f64().unwrap();
+        assert!((3.0..13.5).contains(&o), "{}: {o}%", row[0].format());
     }
 }
 
