@@ -1,0 +1,6 @@
+//! Resilience extension — serving under injected TEE faults: recovery,
+//! availability, degraded SLO attainment and effective $/Mtoken.
+
+fn main() {
+    let _ = cllm_bench::run_and_emit("resilience");
+}

@@ -31,6 +31,7 @@
 //! | [`serving`] | extension — online SLO attainment under TEEs |
 //! | [`tco`] | extension — rent vs buy on the paper's list prices |
 //! | [`moe`] | extension — mixture-of-experts (Mixtral) under TDX |
+//! | [`resilience`] | extension — serving under injected TEE faults |
 
 pub mod b100;
 pub mod fig1;
@@ -49,6 +50,7 @@ pub mod fig9;
 pub mod model_sizes;
 pub mod model_zoo;
 pub mod moe;
+pub mod resilience;
 pub mod scaleout;
 pub mod serving;
 pub mod sev_snp;
@@ -107,6 +109,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("serving", serving::run),
         ("tco", tco::run),
         ("moe", moe::run),
+        ("resilience", resilience::run),
     ]
 }
 
@@ -158,9 +161,10 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 23);
+        assert_eq!(ids.len(), 24);
         assert!(ids.contains(&"fig4"));
         assert!(ids.contains(&"table1"));
+        assert!(ids.contains(&"resilience"));
         assert!(run_by_id("nope").is_none());
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! Two levels of parallelism compose here:
 //!
-//! * **Across experiments** — [`run_all_parallel`] distributes the 23
+//! * **Across experiments** — [`run_all_parallel`] distributes the
 //!   registry entries over a worker pool.
 //! * **Within an experiment** — heavy sweeps (fig9/fig10/fig11/
 //!   model_sizes) evaluate their grids through [`par_map`], which keeps
@@ -17,10 +17,19 @@
 //! [`run_all_sequential`] additionally pins grid parallelism to one
 //! worker for the duration of the call, making it a true single-thread
 //! baseline for timing comparisons.
+//!
+//! # Isolation
+//!
+//! A panic in one experiment must not cost the other results their
+//! emission: [`run_entries_isolated`] fences every entry with
+//! `catch_unwind` and returns a typed [`ExperimentError`] per failure,
+//! so harness binaries can persist the partial results and report the
+//! failures instead of aborting wholesale.
 
-use crate::experiments::{all_experiments, run_by_id, ExperimentResult};
+use crate::experiments::{all_experiments, run_by_id, ExperimentEntry, ExperimentResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Grid-parallelism override: 0 = use [`default_workers`], otherwise a
 /// fixed worker count. Set to 1 while [`run_all_sequential`] runs so the
@@ -94,7 +103,12 @@ where
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
                     let out = f(item);
-                    *slots[i].lock().expect("slot lock") = Some(out);
+                    // A sibling worker's panic may have poisoned the slot
+                    // (e.g. while dropping a previous value). Recover the
+                    // guard: poisoning here carries no data invariant, and
+                    // panicking again would mask the original failure with
+                    // a double-panic abort.
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                 })
             })
             .collect();
@@ -110,11 +124,108 @@ where
     slots
         .into_iter()
         .map(|slot| {
+            // Same poison-recovery rationale as the worker store above:
+            // surface the real failure (a missing slot), never a
+            // secondary "slot lock" panic.
             slot.into_inner()
-                .expect("slot lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every slot filled by a worker")
         })
         .collect()
+}
+
+/// Run `f` with in-experiment grid parallelism pinned to `workers`; the
+/// previous setting is restored when `f` returns (or unwinds).
+pub fn with_grid_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = GridWorkersGuard::pin(workers);
+    f()
+}
+
+/// Why an experiment produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The experiment panicked; the payload message is preserved so the
+    /// harness can report the original failure.
+    Panicked {
+        /// Registry id of the failing experiment.
+        id: String,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// No experiment with the requested id is registered.
+    UnknownId(
+        /// The id that failed to resolve.
+        String,
+    ),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Panicked { id, message } => {
+                write!(f, "experiment '{id}' panicked: {message}")
+            }
+            ExperimentError::UnknownId(id) => write!(f, "unknown experiment id '{id}'"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Stringify a `catch_unwind` payload: the common `&str`/`String`
+/// payloads verbatim, anything else a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `entries` across `workers` scoped threads with each experiment
+/// fenced by `catch_unwind`: one panicking entry yields an
+/// [`ExperimentError::Panicked`] in its slot while every other entry
+/// still returns its result. Output order equals input order.
+#[must_use]
+pub fn run_entries_isolated(
+    entries: &[ExperimentEntry],
+    workers: usize,
+) -> Vec<(&'static str, Result<ExperimentResult, ExperimentError>)> {
+    par_map(entries, workers, |&(id, run)| {
+        let outcome =
+            catch_unwind(AssertUnwindSafe(run)).map_err(|payload| ExperimentError::Panicked {
+                id: id.to_string(),
+                message: panic_message(payload.as_ref()),
+            });
+        (id, outcome)
+    })
+}
+
+/// [`run_entries_isolated`] over the whole registry.
+#[must_use]
+pub fn run_all_isolated(
+    workers: usize,
+) -> Vec<(&'static str, Result<ExperimentResult, ExperimentError>)> {
+    run_entries_isolated(&all_experiments(), workers)
+}
+
+/// Run a single experiment by id with panic isolation.
+///
+/// # Errors
+///
+/// [`ExperimentError::UnknownId`] if `id` is not registered,
+/// [`ExperimentError::Panicked`] if the experiment panicked.
+pub fn run_one_isolated(id: &str) -> Result<ExperimentResult, ExperimentError> {
+    let entries = all_experiments();
+    let Some(&(found, run)) = entries.iter().find(|(eid, _)| *eid == id) else {
+        return Err(ExperimentError::UnknownId(id.to_string()));
+    };
+    catch_unwind(AssertUnwindSafe(run)).map_err(|payload| ExperimentError::Panicked {
+        id: found.to_string(),
+        message: panic_message(payload.as_ref()),
+    })
 }
 
 /// Run every registered experiment one after another on the calling
@@ -201,5 +312,91 @@ mod tests {
         assert_eq!(grid_workers(), 1);
         drop(_guard);
         assert!(grid_workers() >= 1);
+    }
+
+    #[test]
+    fn with_grid_workers_scopes_the_override() {
+        let outside = grid_workers();
+        let inside = with_grid_workers(1, grid_workers);
+        assert_eq!(inside, 1);
+        assert_eq!(grid_workers(), outside);
+    }
+
+    #[test]
+    fn with_grid_workers_restores_on_unwind() {
+        let outside = grid_workers();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            with_grid_workers(1, || panic!("boom inside override"))
+        }));
+        assert_eq!(grid_workers(), outside);
+    }
+
+    fn good() -> ExperimentResult {
+        crate::experiments::run_by_id("fig1").expect("fig1 exists")
+    }
+
+    fn bad() -> ExperimentResult {
+        panic!("injected failure for isolation test")
+    }
+
+    #[test]
+    fn isolated_run_survives_a_panicking_entry() {
+        let entries: Vec<ExperimentEntry> = vec![("fig1", good), ("boom", bad), ("fig1b", good)];
+        let out = run_entries_isolated(&entries, 2);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, "fig1");
+        assert!(out[0].1.is_ok(), "healthy entry before the failure");
+        assert!(out[2].1.is_ok(), "healthy entry after the failure");
+        match &out[1].1 {
+            Err(ExperimentError::Panicked { id, message }) => {
+                assert_eq!(id, "boom");
+                assert!(
+                    message.contains("injected failure"),
+                    "original payload surfaced, got: {message}"
+                );
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn isolated_single_runs() {
+        assert!(run_one_isolated("fig1").is_ok());
+        assert_eq!(
+            run_one_isolated("nope"),
+            Err(ExperimentError::UnknownId("nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn isolation_is_deterministic_across_workers() {
+        let entries: Vec<ExperimentEntry> = vec![("fig1", good), ("boom", bad)];
+        let seq = run_entries_isolated(&entries, 1);
+        let par = run_entries_isolated(&entries, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn experiment_error_displays_the_cause() {
+        let e = ExperimentError::Panicked {
+            id: "x".to_string(),
+            message: "why".to_string(),
+        };
+        assert_eq!(e.to_string(), "experiment 'x' panicked: why");
+        assert_eq!(
+            ExperimentError::UnknownId("y".to_string()).to_string(),
+            "unknown experiment id 'y'"
+        );
+    }
+
+    #[test]
+    fn panic_payload_stringification() {
+        let p = catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "static str");
+        let id = 7;
+        let p = catch_unwind(move || panic!("formatted {id}")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 7");
+        let p = catch_unwind(|| std::panic::panic_any(42u8)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
     }
 }

@@ -175,6 +175,83 @@ impl OnPremCost {
     }
 }
 
+/// Spot-instance interruption assumptions behind the paper's prices.
+///
+/// The Table 1 / Insight 12 cost story is built on *spot* prices, and
+/// spot capacity is reclaimable: GCP preempts Spot VMs with a 30-second
+/// notice, Azure evicts Spot instances on capacity pressure. A serving
+/// deployment on those instances therefore pays a reliability tax —
+/// lost KV caches, re-attestation, re-queued requests — that the
+/// steady-state $/Mtoken numbers hide. These parameters feed the
+/// `cllm-serve` fault injector so the tax can be simulated rather than
+/// assumed away.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotParams {
+    /// Mean preemptions per instance-hour (exponential interarrivals).
+    pub preemptions_per_hr: f64,
+    /// Advance warning the provider gives before reclaiming, seconds
+    /// (GCP: 30 s; too short to drain a long decode batch).
+    pub notice_s: f64,
+}
+
+impl SpotParams {
+    /// GCP Spot VM assumptions matching [`CpuPricing::gcp_spot_us_east1`]:
+    /// a few-percent hourly reclaim probability in a busy region.
+    #[must_use]
+    pub fn gcp_spot() -> Self {
+        SpotParams {
+            preemptions_per_hr: 0.05,
+            notice_s: 30.0,
+        }
+    }
+
+    /// Azure Spot assumptions for the confidential H100 instances
+    /// ([`GpuPricing::azure_ncc_h100`]); scarce cGPU capacity is
+    /// reclaimed more aggressively than commodity CPU machines.
+    #[must_use]
+    pub fn azure_spot_gpu() -> Self {
+        SpotParams {
+            preemptions_per_hr: 0.08,
+            notice_s: 30.0,
+        }
+    }
+
+    /// Reserved/on-demand capacity: never preempted.
+    #[must_use]
+    pub fn reserved() -> Self {
+        SpotParams {
+            preemptions_per_hr: 0.0,
+            notice_s: 0.0,
+        }
+    }
+
+    /// Mean preemptions per second — the rate the fault injector's
+    /// exponential interarrival sampler consumes.
+    #[must_use]
+    pub fn preemptions_per_s(&self) -> f64 {
+        self.preemptions_per_hr / 3600.0
+    }
+}
+
+/// Dollars per million tokens when the instance is only `availability`
+/// (0..=1] of the time able to generate: rent accrues over wall-clock
+/// time, tokens only over uptime.
+///
+/// Returns `f64::INFINITY` when throughput or availability is not
+/// positive. With `availability == 1.0` this is exactly
+/// [`cost_per_mtok`].
+#[must_use]
+pub fn availability_adjusted_cost_per_mtok(
+    cost_per_hr: f64,
+    tokens_per_s: f64,
+    availability: f64,
+) -> f64 {
+    if availability <= 0.0 {
+        return f64::INFINITY;
+    }
+    cost_per_mtok(cost_per_hr, tokens_per_s * availability.min(1.0))
+}
+
 /// One point of a cost sweep (Figures 12/13).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostPoint {
@@ -319,6 +396,32 @@ mod tests {
             OnPremCost::h100_server_share().cost_per_hr()
                 > OnPremCost::emr2_server().cost_per_hr() * 0.8
         );
+    }
+
+    #[test]
+    fn spot_params_rates_and_adjustment() {
+        let gcp = SpotParams::gcp_spot();
+        assert!(gcp.preemptions_per_hr > 0.0);
+        assert!((gcp.preemptions_per_s() - gcp.preemptions_per_hr / 3600.0).abs() < 1e-15);
+        // Scarce cGPU capacity is reclaimed more often than CPU spot.
+        assert!(SpotParams::azure_spot_gpu().preemptions_per_hr > gcp.preemptions_per_hr);
+        assert_eq!(SpotParams::reserved().preemptions_per_s(), 0.0);
+    }
+
+    #[test]
+    fn availability_adjustment_edges() {
+        // Full availability degenerates to the plain cost.
+        let full = availability_adjusted_cost_per_mtok(3.6, 1000.0, 1.0);
+        assert!((full - cost_per_mtok(3.6, 1000.0)).abs() < 1e-12);
+        // Half availability doubles the effective price.
+        let half = availability_adjusted_cost_per_mtok(3.6, 1000.0, 0.5);
+        assert!((half - 2.0 * full).abs() < 1e-9);
+        // Degenerate inputs stay NaN-free.
+        assert!(availability_adjusted_cost_per_mtok(3.6, 1000.0, 0.0).is_infinite());
+        assert!(availability_adjusted_cost_per_mtok(3.6, 0.0, 1.0).is_infinite());
+        // Availability above 1 is clamped, never a discount.
+        let clamped = availability_adjusted_cost_per_mtok(3.6, 1000.0, 1.5);
+        assert!((clamped - full).abs() < 1e-12);
     }
 
     #[test]

@@ -75,6 +75,45 @@ fn step_time(
     core + t_launch + t_pcie + calib::GPU_STEP_SOFTWARE_US * 1e-6
 }
 
+/// Time of a single decode step for `batch` sequences at `context`
+/// tokens of history on a (possibly confidential) GPU — the
+/// per-iteration cost a serving scheduler pays (noise-free; used by
+/// `cllm-serve`, mirroring [`crate::decode_step_time_s`] on CPUs).
+#[must_use]
+pub fn gpu_decode_step_time_s(
+    model: &ModelConfig,
+    dtype: DType,
+    gpu: &GpuModel,
+    cfg: &GpuTeeConfig,
+    batch: u64,
+    context: u64,
+) -> f64 {
+    step_time(model, gpu, cfg, dtype, batch.max(1), 1, context.max(1))
+}
+
+/// Time to prefill `prompt_tokens` for `batch` sequences on a GPU
+/// (noise-free; used by `cllm-serve` for admission/prefill charging,
+/// mirroring [`crate::prefill_time_s`] on CPUs).
+#[must_use]
+pub fn gpu_prefill_time_s(
+    model: &ModelConfig,
+    dtype: DType,
+    gpu: &GpuModel,
+    cfg: &GpuTeeConfig,
+    batch: u64,
+    prompt_tokens: u64,
+) -> f64 {
+    step_time(
+        model,
+        gpu,
+        cfg,
+        dtype,
+        batch.max(1),
+        prompt_tokens.max(1),
+        0,
+    )
+}
+
 /// Simulate one request on a GPU platform.
 #[must_use]
 pub fn simulate_gpu(
@@ -308,6 +347,25 @@ mod tests {
         assert!(!fits_on_gpus(&m70, DType::Bf16, &gpu, 1));
         assert!(fits_on_gpus(&m70, DType::Bf16, &gpu, 2));
         assert!(fits_on_gpus(&zoo::llama2_7b(), DType::Bf16, &gpu, 1));
+    }
+
+    #[test]
+    fn serving_step_helpers_are_noise_free_and_cc_taxed() {
+        let model = zoo::llama2_7b();
+        let gpu = presets::h100_nvl();
+        let native = GpuTeeConfig::native();
+        let cc = GpuTeeConfig::confidential();
+        let a = gpu_decode_step_time_s(&model, DType::Bf16, &gpu, &cc, 8, 512);
+        let b = gpu_decode_step_time_s(&model, DType::Bf16, &gpu, &cc, 8, 512);
+        assert_eq!(a, b, "step helper must be deterministic (no jitter)");
+        assert!(
+            a > gpu_decode_step_time_s(&model, DType::Bf16, &gpu, &native, 8, 512),
+            "confidential mode must cost decode time"
+        );
+        let p = gpu_prefill_time_s(&model, DType::Bf16, &gpu, &cc, 1, 256);
+        assert!(p > 0.0 && p.is_finite());
+        // Degenerate shapes clamp instead of dividing by zero.
+        assert!(gpu_decode_step_time_s(&model, DType::Bf16, &gpu, &cc, 0, 0).is_finite());
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! Deterministic, seeded injection of TEE-specific failure events.
+//!
+//! The paper's cost story is built on *spot* prices, and its TEE
+//! mechanisms — attestation, enclave exits, EPC paging, cGPU bounce
+//! buffers — are exactly the components that fail in production. This
+//! module models those failures as a pre-generated, seeded event stream
+//! the serving event loop consumes:
+//!
+//! * **Crash-class** events ([`FaultKind::EnclaveCrash`],
+//!   [`FaultKind::SpotPreemption`]) destroy the node's state: every
+//!   resident request loses its KV cache and is re-queued under the
+//!   bounded retry/backoff [`RecoveryPolicy`] (or aborted once the
+//!   retry budget is spent).
+//! * **Stall-class** events ([`FaultKind::AexStorm`],
+//!   [`FaultKind::TdExitStorm`], [`FaultKind::EpcPagingStall`],
+//!   [`FaultKind::BounceBufferStall`]) freeze the node for the event's
+//!   outage window; state survives but every latency tail inflates.
+//! * [`FaultKind::AttestationFailure`] models a quote-verification
+//!   failure at session setup: the verifier rejects, and the enclave
+//!   re-handshakes through the real `cllm_tee::session` state machine
+//!   (see [`attested_rehandshake`]) while the node is unavailable.
+//!
+//! Rates are per-platform ([`FaultRates::for_platform`]): SGX pays
+//! AEX/EPC events, TDX and SEV-SNP pay TD-exit storms, cGPUs pay bounce
+//! buffer stalls, and everything rented on spot capacity pays
+//! preemptions at the `cllm-cost` [`SpotParams`] rate. Schedules are
+//! deterministic in their seed — two generations (on any thread count)
+//! are byte-identical — and an **empty schedule is exactly the
+//! zero-failure world**: the simulator takes no fault-related branch.
+
+use cllm_cost::SpotParams;
+use cllm_tee::attestation::Measurement;
+use cllm_tee::platform::TeeKind;
+use cllm_tee::session::{enclave_respond, SessionError, Verifier};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The TEE-specific failure modes the injector can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Quote verification fails at session setup; the session is
+    /// re-established via a fresh attested handshake.
+    AttestationFailure,
+    /// The enclave process dies (SGX: EPC corruption, host kill, AEX
+    /// cascade). All resident KV state is lost.
+    EnclaveCrash,
+    /// A storm of asynchronous enclave exits (SGX interrupt pressure):
+    /// the node stalls, state survives.
+    AexStorm,
+    /// A storm of TD exits / SEAMCALL round trips (TDX, SEV-SNP VMEXIT
+    /// pressure): the node stalls, state survives.
+    TdExitStorm,
+    /// The SGX working set spills out of the EPC and pages synchronously.
+    EpcPagingStall,
+    /// The cGPU encrypted PCIe bounce buffer saturates and back-pressures
+    /// every host↔device transfer.
+    BounceBufferStall,
+    /// The cloud provider reclaims the spot instance; the replacement
+    /// node must re-provision and re-attest. All resident state is lost.
+    SpotPreemption,
+}
+
+impl FaultKind {
+    /// Every kind, in the deterministic order schedules are generated
+    /// and ties at equal timestamps are broken.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::AttestationFailure,
+        FaultKind::EnclaveCrash,
+        FaultKind::AexStorm,
+        FaultKind::TdExitStorm,
+        FaultKind::EpcPagingStall,
+        FaultKind::BounceBufferStall,
+        FaultKind::SpotPreemption,
+    ];
+
+    /// Whether the event destroys resident KV state (crash-class) as
+    /// opposed to merely stalling the node.
+    #[must_use]
+    pub fn loses_state(self) -> bool {
+        matches!(self, FaultKind::EnclaveCrash | FaultKind::SpotPreemption)
+    }
+
+    /// Short label used in reports and logs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::AttestationFailure => "attest-fail",
+            FaultKind::EnclaveCrash => "enclave-crash",
+            FaultKind::AexStorm => "aex-storm",
+            FaultKind::TdExitStorm => "td-exit-storm",
+            FaultKind::EpcPagingStall => "epc-paging",
+            FaultKind::BounceBufferStall => "bounce-stall",
+            FaultKind::SpotPreemption => "preemption",
+        }
+    }
+
+    /// Outage-duration band (seconds) the generator samples log-uniformly
+    /// from: how long the node is unavailable when this fault fires.
+    #[must_use]
+    pub fn outage_band_s(self) -> (f64, f64) {
+        match self {
+            // Re-handshake cost is charged from the policy instead.
+            FaultKind::AttestationFailure => (0.0, 0.0),
+            FaultKind::EnclaveCrash => (1.0, 5.0),
+            FaultKind::AexStorm | FaultKind::TdExitStorm => (0.05, 0.5),
+            FaultKind::EpcPagingStall | FaultKind::BounceBufferStall => (0.02, 0.2),
+            // Re-provision a replacement instance and re-attest it.
+            FaultKind::SpotPreemption => (10.0, 30.0),
+        }
+    }
+
+    fn seed_salt(self) -> u64 {
+        match self {
+            FaultKind::AttestationFailure => 0xA77E,
+            FaultKind::EnclaveCrash => 0xC4A5,
+            FaultKind::AexStorm => 0xAE05,
+            FaultKind::TdExitStorm => 0x7DE1,
+            FaultKind::EpcPagingStall => 0xE9C0,
+            FaultKind::BounceBufferStall => 0xB0B0,
+            FaultKind::SpotPreemption => 0x5907,
+        }
+    }
+}
+
+/// One scheduled failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulation time the fault fires, seconds.
+    pub at_s: f64,
+    /// What fails.
+    pub kind: FaultKind,
+    /// How long the node is unavailable, seconds (zero for attestation
+    /// failures, whose cost is the policy's re-handshake time).
+    pub outage_s: f64,
+}
+
+/// Mean event rates per hour of operation, per fault kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Quote-verification failures at session setup.
+    pub attestation_failures_per_hr: f64,
+    /// Enclave crashes (state-destroying).
+    pub enclave_crashes_per_hr: f64,
+    /// Asynchronous-exit storms (SGX).
+    pub aex_storms_per_hr: f64,
+    /// TD-exit storms (TDX / SEV-SNP).
+    pub td_exit_storms_per_hr: f64,
+    /// EPC paging stalls (SGX).
+    pub epc_paging_stalls_per_hr: f64,
+    /// Encrypted bounce-buffer stalls (cGPU).
+    pub bounce_stalls_per_hr: f64,
+    /// Spot-instance preemptions (state-destroying), from the
+    /// `cllm-cost` spot assumptions.
+    pub preemptions_per_hr: f64,
+}
+
+impl FaultRates {
+    /// The zero-failure world: generates an empty schedule.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultRates {
+            attestation_failures_per_hr: 0.0,
+            enclave_crashes_per_hr: 0.0,
+            aex_storms_per_hr: 0.0,
+            td_exit_storms_per_hr: 0.0,
+            epc_paging_stalls_per_hr: 0.0,
+            bounce_stalls_per_hr: 0.0,
+            preemptions_per_hr: 0.0,
+        }
+    }
+
+    /// Rates for one platform on spot capacity: each mechanism only
+    /// fails on the platforms that have it, and every spot-rented node
+    /// pays preemptions at the [`SpotParams`] rate.
+    #[must_use]
+    pub fn for_platform(kind: TeeKind, spot: &SpotParams) -> Self {
+        let mut r = FaultRates {
+            preemptions_per_hr: spot.preemptions_per_hr,
+            ..Self::none()
+        };
+        if kind.is_confidential() {
+            r.attestation_failures_per_hr = 0.2;
+        }
+        match kind {
+            TeeKind::Sgx => {
+                r.enclave_crashes_per_hr = 0.1;
+                r.aex_storms_per_hr = 2.0;
+                r.epc_paging_stalls_per_hr = 1.0;
+            }
+            TeeKind::Tdx | TeeKind::SevSnp => {
+                r.td_exit_storms_per_hr = 2.0;
+            }
+            TeeKind::GpuCc => {
+                r.bounce_stalls_per_hr = 2.0;
+            }
+            TeeKind::BareMetal | TeeKind::Vm | TeeKind::GpuNative => {}
+        }
+        r
+    }
+
+    /// Uniformly scale every rate — short simulated horizons use this to
+    /// surface events that at production rates would be hours apart.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        self.attestation_failures_per_hr *= factor;
+        self.enclave_crashes_per_hr *= factor;
+        self.aex_storms_per_hr *= factor;
+        self.td_exit_storms_per_hr *= factor;
+        self.epc_paging_stalls_per_hr *= factor;
+        self.bounce_stalls_per_hr *= factor;
+        self.preemptions_per_hr *= factor;
+        self
+    }
+
+    fn rate_per_hr(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::AttestationFailure => self.attestation_failures_per_hr,
+            FaultKind::EnclaveCrash => self.enclave_crashes_per_hr,
+            FaultKind::AexStorm => self.aex_storms_per_hr,
+            FaultKind::TdExitStorm => self.td_exit_storms_per_hr,
+            FaultKind::EpcPagingStall => self.epc_paging_stalls_per_hr,
+            FaultKind::BounceBufferStall => self.bounce_stalls_per_hr,
+            FaultKind::SpotPreemption => self.preemptions_per_hr,
+        }
+    }
+}
+
+/// Bounded retry with exponential backoff plus the re-attestation toll.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Re-queue attempts granted to a request whose node died; the
+    /// request is aborted once they are spent.
+    pub max_retries: u32,
+    /// Backoff before the first re-queue becomes eligible, seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied per additional attempt.
+    pub backoff_factor: f64,
+    /// Cost of one attested re-handshake (nonce + DH + quote + HKDF),
+    /// charged whenever a retried request is re-admitted and whenever a
+    /// session-setup attestation fails.
+    pub reattest_s: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_base_s: 0.25,
+            backoff_factor: 2.0,
+            reattest_s: 0.35,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff delay before re-queue attempt `attempt` (1-based) becomes
+    /// eligible: `base * factor^(attempt-1)`.
+    #[must_use]
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.backoff_base_s
+            * self
+                .backoff_factor
+                .powi(attempt.saturating_sub(1).min(30) as i32)
+    }
+}
+
+/// A complete fault plan: the pre-generated schedule plus the recovery
+/// policy the event loop applies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Events in strictly non-decreasing time order.
+    pub events: Vec<FaultEvent>,
+    /// How the serving loop recovers.
+    pub policy: RecoveryPolicy,
+}
+
+impl FaultPlan {
+    /// The empty plan: simulation behaviour is byte-identical to the
+    /// fault-free simulator.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            policy: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Generate the deterministic schedule for `rates` over a horizon of
+    /// `duration_s` seconds. Each kind is an independent Poisson process
+    /// (exponential interarrivals) on its own seed stream derived from
+    /// `seed`, so adding one kind never perturbs another's arrival
+    /// times; the merged stream is sorted by time with ties broken in
+    /// [`FaultKind::ALL`] order.
+    #[must_use]
+    pub fn seeded(rates: &FaultRates, duration_s: f64, seed: u64) -> Self {
+        let mut events: Vec<FaultEvent> = Vec::new();
+        for kind in FaultKind::ALL {
+            let rate_per_s = rates.rate_per_hr(kind) / 3600.0;
+            if rate_per_s <= 0.0 || duration_s <= 0.0 {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(seed ^ kind.seed_salt().wrapping_mul(0x9E37_79B9));
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                t += -u.ln() / rate_per_s;
+                if t >= duration_s {
+                    break;
+                }
+                let (lo, hi) = kind.outage_band_s();
+                let outage_s = if hi <= lo {
+                    lo
+                } else {
+                    // Log-uniform in the band: occasional long outages,
+                    // mostly short ones, like real incident data.
+                    (lo.ln() + rng.random::<f64>() * (hi.ln() - lo.ln())).exp()
+                };
+                events.push(FaultEvent {
+                    at_s: t,
+                    kind,
+                    outage_s,
+                });
+            }
+        }
+        events.sort_by(|a, b| {
+            a.at_s
+                .partial_cmp(&b.at_s)
+                .expect("finite event times")
+                .then_with(|| {
+                    let pos = |k| FaultKind::ALL.iter().position(|&x| x == k).expect("known");
+                    pos(a.kind).cmp(&pos(b.kind))
+                })
+        });
+        FaultPlan {
+            events,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Same plan with a different recovery policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Drive one failed-then-recovered attested session setup through the
+/// real `cllm_tee::session` state machine: the first response carries a
+/// rogue measurement and is rejected by the verifier, the re-handshake
+/// presents the golden measurement and must yield a working channel.
+///
+/// The serving simulator calls this on every
+/// [`FaultKind::AttestationFailure`] event, so recovery is exercised
+/// against the actual handshake logic rather than assumed; the time
+/// cost is [`RecoveryPolicy::reattest_s`].
+///
+/// # Errors
+///
+/// Returns the [`SessionError`] if the *re*-handshake fails — which
+/// would be a bug in the session layer, not an injected fault.
+pub fn attested_rehandshake(seed: u64) -> Result<(), SessionError> {
+    let golden = Measurement([0x5E; 32]);
+    let rogue = Measurement([0xBE; 32]);
+    let vseed = seed.to_be_bytes();
+    let eseed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_be_bytes();
+
+    // First attempt: the platform presents the wrong measurement — the
+    // injected quote-verification failure.
+    let (verifier, challenge) = Verifier::start(golden, b"hw-root", &vseed);
+    let (bad, _) = enclave_respond(b"hw-root", rogue, 7, &challenge, &eseed)?;
+    match verifier.finish(&bad) {
+        Err(SessionError::WrongEnclave) => {}
+        Ok(_) => unreachable!("rogue measurement must not verify"),
+        Err(e) => return Err(e),
+    }
+
+    // Re-handshake with a fresh challenge must succeed and carry records.
+    let (verifier, challenge) = Verifier::start(golden, b"hw-root", &eseed);
+    let (good, mut enclave_chan) = enclave_respond(b"hw-root", golden, 7, &challenge, &vseed)?;
+    let mut verifier_chan = verifier.finish(&good)?;
+    let record = verifier_chan.send(b"re-release the model key");
+    let opened = enclave_chan.recv(&record)?;
+    debug_assert_eq!(opened, b"re-release the model key");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdx_rates() -> FaultRates {
+        FaultRates::for_platform(TeeKind::Tdx, &SpotParams::gcp_spot()).scaled(600.0)
+    }
+
+    #[test]
+    fn schedules_are_deterministic_in_seed() {
+        let a = FaultPlan::seeded(&tdx_rates(), 120.0, 7);
+        let b = FaultPlan::seeded(&tdx_rates(), 120.0, 7);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(&tdx_rates(), 120.0, 8);
+        assert_ne!(a, c, "different seeds must shuffle the schedule");
+    }
+
+    #[test]
+    fn schedule_is_time_ordered_and_in_horizon() {
+        let plan = FaultPlan::seeded(&tdx_rates(), 90.0, 3);
+        assert!(!plan.is_empty(), "600x-scaled TDX rates must fire in 90s");
+        for w in plan.events.windows(2) {
+            assert!(w[0].at_s <= w[1].at_s);
+        }
+        for e in &plan.events {
+            assert!(e.at_s >= 0.0 && e.at_s < 90.0);
+            let (lo, hi) = e.kind.outage_band_s();
+            assert!(e.outage_s >= lo && e.outage_s <= hi.max(lo), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn zero_rates_generate_nothing() {
+        assert!(FaultPlan::seeded(&FaultRates::none(), 1e6, 1).is_empty());
+        assert!(FaultPlan::seeded(&tdx_rates(), 0.0, 1).is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn rates_follow_platform_mechanisms() {
+        let spot = SpotParams::gcp_spot();
+        let bare = FaultRates::for_platform(TeeKind::BareMetal, &spot);
+        assert_eq!(bare.attestation_failures_per_hr, 0.0);
+        assert_eq!(bare.aex_storms_per_hr, 0.0);
+        assert_eq!(bare.preemptions_per_hr, spot.preemptions_per_hr);
+
+        let sgx = FaultRates::for_platform(TeeKind::Sgx, &spot);
+        assert!(sgx.enclave_crashes_per_hr > 0.0);
+        assert!(sgx.aex_storms_per_hr > 0.0);
+        assert!(sgx.epc_paging_stalls_per_hr > 0.0);
+        assert_eq!(sgx.td_exit_storms_per_hr, 0.0);
+
+        let tdx = FaultRates::for_platform(TeeKind::Tdx, &spot);
+        assert!(tdx.td_exit_storms_per_hr > 0.0);
+        assert_eq!(tdx.aex_storms_per_hr, 0.0);
+
+        let cgpu = FaultRates::for_platform(TeeKind::GpuCc, &spot);
+        assert!(cgpu.bounce_stalls_per_hr > 0.0);
+        assert!(cgpu.attestation_failures_per_hr > 0.0);
+    }
+
+    #[test]
+    fn scaling_is_uniform() {
+        let base = FaultRates::for_platform(TeeKind::Sgx, &SpotParams::gcp_spot());
+        let scaled = base.scaled(10.0);
+        for kind in FaultKind::ALL {
+            assert!((scaled.rate_per_hr(kind) - 10.0 * base.rate_per_hr(kind)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RecoveryPolicy::default();
+        assert!((p.backoff_s(1) - p.backoff_base_s).abs() < 1e-12);
+        assert!((p.backoff_s(3) - p.backoff_base_s * 4.0).abs() < 1e-12);
+        assert!(p.backoff_s(100).is_finite(), "backoff exponent is capped");
+    }
+
+    #[test]
+    fn rehandshake_recovers_through_the_session_layer() {
+        for seed in 0..8 {
+            attested_rehandshake(seed).expect("re-handshake must succeed");
+        }
+    }
+
+    #[test]
+    fn crash_class_is_exactly_crash_and_preemption() {
+        for kind in FaultKind::ALL {
+            assert_eq!(
+                kind.loses_state(),
+                matches!(kind, FaultKind::EnclaveCrash | FaultKind::SpotPreemption),
+                "{kind:?}"
+            );
+            assert!(!kind.label().is_empty());
+        }
+    }
+}

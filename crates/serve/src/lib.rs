@@ -18,6 +18,11 @@
 //! * [`slo`] — time-to-first-token / time-per-output-token percentiles
 //!   and SLO attainment, comparable across bare metal, TDX, SGX and
 //!   cGPUs.
+//! * [`faults`] — deterministic, seeded injection of TEE-specific
+//!   failures (attestation failures, enclave crashes, AEX/TD-exit
+//!   storms, EPC-paging and bounce-buffer stalls, spot preemptions);
+//!   the event loop recovers with bounded retry, exponential backoff
+//!   and re-attestation tolls.
 //!
 //! # Example
 //!
@@ -34,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod scheduler;
 pub mod sim;
 pub mod slo;

@@ -156,6 +156,13 @@ impl ContinuousBatcher {
     pub fn idle(&self) -> bool {
         self.queue.is_empty() && self.running.is_empty()
     }
+
+    /// Remove and return the entire running batch: the node crashed and
+    /// every resident request lost its KV cache. Queued (not yet
+    /// admitted) requests are unaffected — they hold no enclave state.
+    pub fn drain_running(&mut self) -> Vec<ActiveRequest> {
+        std::mem::take(&mut self.running)
+    }
 }
 
 #[cfg(test)]

@@ -5,27 +5,47 @@
 //! performs one decode step priced by the calibrated `cllm-perf` roofline
 //! under the chosen TEE. Per-request records capture time to first token
 //! (TTFT) and time per output token (TPOT).
+//!
+//! # Faults and recovery
+//!
+//! [`simulate_serving_faulted`] additionally consumes a
+//! [`FaultPlan`]: stall-class events freeze the
+//! node for their outage window, crash-class events destroy the running
+//! batch's KV caches (victims re-queue under bounded retry with
+//! exponential backoff, paying a fresh attested handshake on
+//! re-admission, and are aborted once the retry budget is spent), and
+//! attestation failures drive a real fail-then-recover handshake through
+//! `cllm_tee::session`. An **empty plan takes no fault branch**:
+//! [`simulate_serving`] delegates to the faulted simulator with
+//! [`FaultPlan::none`] and is
+//! byte-identical to the historic fault-free loop.
 
+use crate::faults::{attested_rehandshake, FaultEvent, FaultPlan};
 use crate::scheduler::{ContinuousBatcher, SchedulerLimits};
 use crate::slo::{percentile_of, ServingReport};
 use crate::workload::{ArrivalProcess, Request};
-use cllm_hw::DType;
-use cllm_perf::{decode_step_time_s, prefill_time_s, CpuTarget};
-use cllm_tee::platform::CpuTeeConfig;
+use cllm_hw::{DType, GpuModel};
+use cllm_perf::CpuTarget;
+use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
 use cllm_workload::{zoo, ModelConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
 
 /// One completed request's timing record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RequestRecord {
     /// Request id.
     pub id: u64,
-    /// Time to first token (queueing + prefill), seconds.
+    /// Time to first token (queueing + prefill), seconds. For retried
+    /// requests this spans every failed attempt: the clock starts at the
+    /// original arrival.
     pub ttft_s: f64,
     /// Mean time per output token after the first, seconds.
     pub tpot_s: f64,
     /// End-to-end completion time, seconds.
     pub e2e_s: f64,
+    /// Times this request was re-queued after losing its node.
+    pub retries: u32,
 }
 
 /// Serving-simulation configuration.
@@ -35,7 +55,8 @@ pub struct ServingConfig {
     pub model: ModelConfig,
     /// Data type.
     pub dtype: DType,
-    /// Execution target.
+    /// Execution target (used by CPU nodes; GPU nodes carry their own
+    /// hardware model).
     pub target: CpuTarget,
     /// Scheduler limits.
     pub limits: SchedulerLimits,
@@ -79,44 +100,200 @@ impl ServingConfig {
     }
 }
 
-/// Run the discrete-event serving simulation under `tee`.
+/// The hardware a serving simulation runs on: per-step prefill and
+/// decode prices come from the matching `cllm-perf` roofline, so every
+/// TEE mechanism shapes the tail on CPUs and cGPUs alike.
+#[derive(Debug, Clone)]
+pub enum ServingNode {
+    /// A CPU deployment; steps are priced on the config's
+    /// [`ServingConfig::target`].
+    Cpu {
+        /// CPU TEE platform (bare metal, VM, TDX, SEV-SNP, SGX).
+        tee: CpuTeeConfig,
+    },
+    /// A GPU deployment; the config's CPU target is ignored.
+    Gpu {
+        /// GPU hardware model.
+        gpu: GpuModel,
+        /// GPU TEE mode (native or confidential).
+        tee: GpuTeeConfig,
+    },
+}
+
+impl ServingNode {
+    /// Prefill time for one request of `prompt_tokens` on this node.
+    #[must_use]
+    pub fn prefill_time_s(&self, cfg: &ServingConfig, prompt_tokens: u64) -> f64 {
+        match self {
+            ServingNode::Cpu { tee } => {
+                cllm_perf::prefill_time_s(&cfg.model, cfg.dtype, &cfg.target, tee, 1, prompt_tokens)
+            }
+            ServingNode::Gpu { gpu, tee } => {
+                cllm_perf::gpu_prefill_time_s(&cfg.model, cfg.dtype, gpu, tee, 1, prompt_tokens)
+            }
+        }
+    }
+
+    /// One decode iteration for `batch` sequences at `context` tokens.
+    #[must_use]
+    pub fn decode_step_time_s(&self, cfg: &ServingConfig, batch: u64, context: u64) -> f64 {
+        match self {
+            ServingNode::Cpu { tee } => cllm_perf::decode_step_time_s(
+                &cfg.model,
+                cfg.dtype,
+                &cfg.target,
+                tee,
+                batch,
+                context,
+            ),
+            ServingNode::Gpu { gpu, tee } => {
+                cllm_perf::gpu_decode_step_time_s(&cfg.model, cfg.dtype, gpu, tee, batch, context)
+            }
+        }
+    }
+}
+
+/// A request waiting out its backoff after losing its node.
+#[derive(Debug, Clone, Copy)]
+struct RetryEntry {
+    request: Request,
+    eligible_s: f64,
+}
+
+/// Run the discrete-event serving simulation under `tee` with no faults.
 ///
-/// # Panics
-///
-/// Panics if the arrival trace is empty.
+/// Degenerate configurations (non-positive arrival rate or horizon, or a
+/// trace that happens to contain no arrivals) return an empty, NaN-free
+/// [`ServingReport`] instead of panicking.
 #[must_use]
 pub fn simulate_serving(cfg: &ServingConfig, tee: &CpuTeeConfig) -> ServingReport {
+    simulate_serving_faulted(
+        cfg,
+        &ServingNode::Cpu { tee: tee.clone() },
+        &FaultPlan::none(),
+    )
+}
+
+/// Run the discrete-event serving simulation on `node` under `plan`.
+///
+/// The loop applies every scheduled [`FaultEvent`]
+/// at the first iteration boundary at or after its timestamp (outages
+/// serialize with compute, which is how a single-node deployment
+/// experiences them):
+///
+/// * **stall-class** — the clock and downtime advance by the outage;
+/// * **crash-class** — the running batch is drained; each victim either
+///   re-queues (attempt count below
+///   [`RecoveryPolicy::max_retries`](crate::faults::RecoveryPolicy),
+///   eligible after the outage plus exponential backoff) or is aborted;
+/// * **attestation failure** — a fail-then-recover handshake runs through
+///   the real `cllm_tee::session` machinery and the node pays
+///   [`RecoveryPolicy::reattest_s`](crate::faults::RecoveryPolicy).
+///
+/// Re-admitted victims pay a fresh attested handshake before their
+/// (repeated) prefill. The report satisfies the conservation invariant
+/// `completed + aborted == arrivals`.
+#[must_use]
+pub fn simulate_serving_faulted(
+    cfg: &ServingConfig,
+    node: &ServingNode,
+    plan: &FaultPlan,
+) -> ServingReport {
+    if cfg.arrivals.rate_per_s <= 0.0 || cfg.duration_s <= 0.0 {
+        return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0);
+    }
     let trace = cfg.arrivals.trace(cfg.duration_s);
-    assert!(!trace.is_empty(), "empty arrival trace");
-    let mut pending: std::collections::VecDeque<Request> = trace.iter().copied().collect();
+    if trace.is_empty() {
+        return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0);
+    }
+    let mut pending: VecDeque<Request> = trace.iter().copied().collect();
     let total_arrivals = pending.len();
     let mut scheduler = ContinuousBatcher::new(cfg.limits);
+    let mut retry_queue: Vec<RetryEntry> = Vec::new();
+    let mut attempts_of: HashMap<u64, u32> = HashMap::new();
     let mut now = 0.0f64;
     let mut records: Vec<RequestRecord> = Vec::with_capacity(total_arrivals);
-    let mut generated_tokens = 0u64;
+    let mut useful_tokens = 0u64;
+    let mut retries = 0u64;
+    let mut aborted = 0usize;
+    let mut downtime_s = 0.0f64;
+    let mut next_event = 0usize;
+    let mut handshake_seq = 0u64;
 
-    while !(pending.is_empty() && scheduler.idle()) {
+    loop {
+        // Apply faults that have fired by `now`, oldest first.
+        while plan.events.get(next_event).is_some_and(|e| e.at_s <= now) {
+            let ev = plan.events[next_event];
+            next_event += 1;
+            handshake_seq += 1;
+            apply_fault(
+                &ev,
+                plan,
+                handshake_seq,
+                &mut scheduler,
+                &mut retry_queue,
+                &mut attempts_of,
+                &mut now,
+                &mut downtime_s,
+                &mut retries,
+                &mut aborted,
+            );
+        }
+
         // Deliver arrivals that have happened by `now`.
         while pending.front().is_some_and(|r| r.arrival_s <= now) {
             scheduler.enqueue(pending.pop_front().expect("front checked"));
         }
-        // If nothing is runnable, jump to the next arrival.
-        if scheduler.idle() {
-            if let Some(next) = pending.front() {
-                now = next.arrival_s;
-                continue;
+        // Deliver retried requests whose backoff has elapsed, in
+        // deterministic (eligibility, id) order.
+        loop {
+            let next = retry_queue
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.eligible_s <= now)
+                .min_by(|(_, a), (_, b)| {
+                    a.eligible_s
+                        .partial_cmp(&b.eligible_s)
+                        .expect("finite eligibility")
+                        .then(a.request.id.cmp(&b.request.id))
+                })
+                .map(|(i, _)| i);
+            match next {
+                Some(i) => scheduler.enqueue(retry_queue.swap_remove(i).request),
+                None => break,
             }
-            break;
         }
 
-        // Admission + prefill at the iteration boundary.
+        // If nothing is runnable, jump to the next thing that can happen:
+        // an arrival, a retry becoming eligible, or a fault firing first.
+        if scheduler.idle() {
+            let mut target = f64::INFINITY;
+            if let Some(next) = pending.front() {
+                target = target.min(next.arrival_s);
+            }
+            for e in &retry_queue {
+                target = target.min(e.eligible_s);
+            }
+            if !target.is_finite() {
+                break; // no work left anywhere
+            }
+            match plan.events.get(next_event) {
+                Some(e) if e.at_s < target => now = e.at_s,
+                _ => now = target,
+            }
+            continue;
+        }
+
+        // Admission + prefill at the iteration boundary. A re-queued
+        // victim must re-attest its session before its repeated prefill.
         let admitted = scheduler.admit(&cfg.model, cfg.dtype, now);
         for r in admitted {
-            let t_prefill =
-                prefill_time_s(&cfg.model, cfg.dtype, &cfg.target, tee, 1, r.prompt_tokens);
+            if attempts_of.get(&r.id).copied().unwrap_or(0) > 0 {
+                now += plan.policy.reattest_s;
+            }
+            let t_prefill = node.prefill_time_s(cfg, r.prompt_tokens);
             now += t_prefill;
             scheduler.start(r, now);
-            generated_tokens += 1; // the prefill emits the first token
         }
 
         if scheduler.running().is_empty() {
@@ -130,45 +307,128 @@ pub fn simulate_serving(cfg: &ServingConfig, tee: &CpuTeeConfig) -> ServingRepor
         let mean_context = (scheduler.running().iter().map(|a| a.context()).sum::<u64>() as f64
             / batch as f64)
             .round() as u64;
-        now += decode_step_time_s(&cfg.model, cfg.dtype, &cfg.target, tee, batch, mean_context);
-        generated_tokens += batch;
+        now += node.decode_step_time_s(cfg, batch, mean_context);
 
         for fin in scheduler.step() {
             let ttft = fin.first_token_s - fin.request.arrival_s;
             let decode_span = now - fin.first_token_s;
             #[allow(clippy::cast_precision_loss)]
             let tpot = decode_span / (fin.request.output_tokens.saturating_sub(1).max(1)) as f64;
+            useful_tokens += fin.request.output_tokens;
             records.push(RequestRecord {
                 id: fin.request.id,
                 ttft_s: ttft,
                 tpot_s: tpot,
                 e2e_s: now - fin.request.arrival_s,
+                retries: attempts_of.get(&fin.request.id).copied().unwrap_or(0),
             });
         }
     }
 
-    build_report(total_arrivals, generated_tokens, now, records)
+    build_report(
+        total_arrivals,
+        useful_tokens,
+        now,
+        records,
+        retries,
+        aborted,
+        downtime_s,
+    )
+}
+
+/// Apply one fault event at an iteration boundary.
+#[allow(clippy::too_many_arguments)]
+fn apply_fault(
+    ev: &FaultEvent,
+    plan: &FaultPlan,
+    handshake_seq: u64,
+    scheduler: &mut ContinuousBatcher,
+    retry_queue: &mut Vec<RetryEntry>,
+    attempts_of: &mut HashMap<u64, u32>,
+    now: &mut f64,
+    downtime_s: &mut f64,
+    retries: &mut u64,
+    aborted: &mut usize,
+) {
+    use crate::faults::FaultKind;
+    if ev.kind == FaultKind::AttestationFailure {
+        // The quote was rejected; re-handshake through the real session
+        // state machine while the node is unavailable.
+        attested_rehandshake(handshake_seq).expect("re-handshake must recover the session");
+        *now += plan.policy.reattest_s;
+        *downtime_s += plan.policy.reattest_s;
+        return;
+    }
+    if ev.kind.loses_state() {
+        for victim in scheduler.drain_running() {
+            let n = attempts_of.entry(victim.request.id).or_insert(0);
+            *n += 1;
+            if *n > plan.policy.max_retries {
+                *aborted += 1;
+            } else {
+                *retries += 1;
+                retry_queue.push(RetryEntry {
+                    request: victim.request,
+                    eligible_s: ev.at_s + ev.outage_s + plan.policy.backoff_s(*n),
+                });
+            }
+        }
+    }
+    // Both crash- and stall-class events hold the node for the outage.
+    *now += ev.outage_s;
+    *downtime_s += ev.outage_s;
 }
 
 fn build_report(
     arrivals: usize,
-    generated_tokens: u64,
+    useful_tokens: u64,
     makespan_s: f64,
     mut records: Vec<RequestRecord>,
+    retries: u64,
+    aborted: usize,
+    downtime_s: f64,
 ) -> ServingReport {
     records.sort_by_key(|a| a.id);
     let ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
     let tpot: Vec<f64> = records.iter().map(|r| r.tpot_s).collect();
+    let availability = if makespan_s > 0.0 {
+        (1.0 - downtime_s / makespan_s).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
     #[allow(clippy::cast_precision_loss)]
     ServingReport {
         arrivals,
         completed: records.len(),
+        retries,
+        aborted,
+        availability,
         makespan_s,
-        goodput_tps: generated_tokens as f64 / makespan_s.max(1e-9),
-        ttft_p50_s: percentile_of(&ttft, 0.50),
-        ttft_p95_s: percentile_of(&ttft, 0.95),
-        tpot_p50_s: percentile_of(&tpot, 0.50),
-        tpot_p95_s: percentile_of(&tpot, 0.95),
+        goodput_tps: if records.is_empty() {
+            0.0
+        } else {
+            useful_tokens as f64 / makespan_s.max(1e-9)
+        },
+        ttft_p50_s: if ttft.is_empty() {
+            0.0
+        } else {
+            percentile_of(&ttft, 0.50)
+        },
+        ttft_p95_s: if ttft.is_empty() {
+            0.0
+        } else {
+            percentile_of(&ttft, 0.95)
+        },
+        tpot_p50_s: if tpot.is_empty() {
+            0.0
+        } else {
+            percentile_of(&tpot, 0.50)
+        },
+        tpot_p95_s: if tpot.is_empty() {
+            0.0
+        } else {
+            percentile_of(&tpot, 0.95)
+        },
         records,
     }
 }
@@ -176,6 +436,9 @@ fn build_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, FaultRates, RecoveryPolicy};
+    use cllm_cost::SpotParams;
+    use cllm_tee::platform::TeeKind;
 
     #[test]
     fn completes_all_requests() {
@@ -183,6 +446,9 @@ mod tests {
         let report = simulate_serving(&cfg, &CpuTeeConfig::bare_metal());
         assert_eq!(report.completed, report.arrivals);
         assert!(report.goodput_tps > 0.0);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.aborted, 0);
+        assert!((report.availability - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -258,5 +524,139 @@ mod tests {
             b.goodput_tps,
             s.goodput_tps
         );
+    }
+
+    #[test]
+    fn zero_rate_returns_empty_report() {
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess {
+                rate_per_s: 0.0,
+                ..ServingConfig::small_test().arrivals
+            },
+            ..ServingConfig::small_test()
+        };
+        let report = simulate_serving(&cfg, &CpuTeeConfig::tdx());
+        assert_eq!(report.arrivals, 0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.aborted, 0);
+        assert!(report.records.is_empty());
+        // Every field is finite — no NaN leaks into downstream tables.
+        for v in [
+            report.makespan_s,
+            report.goodput_tps,
+            report.ttft_p50_s,
+            report.ttft_p95_s,
+            report.tpot_p50_s,
+            report.tpot_p95_s,
+            report.availability,
+        ] {
+            assert!(v.is_finite(), "non-finite field {v}");
+        }
+    }
+
+    #[test]
+    fn zero_duration_returns_empty_report() {
+        let cfg = ServingConfig {
+            duration_s: 0.0,
+            ..ServingConfig::small_test()
+        };
+        let report = simulate_serving(&cfg, &CpuTeeConfig::bare_metal());
+        assert_eq!(report.arrivals, 0);
+        assert_eq!(report.completed, 0);
+        assert!(report.goodput_tps.is_finite());
+    }
+
+    fn faulted_small(kind: TeeKind, seed: u64) -> ServingReport {
+        let cfg = ServingConfig::small_test();
+        let rates = FaultRates::for_platform(kind, &SpotParams::gcp_spot()).scaled(600.0);
+        let plan = FaultPlan::seeded(&rates, cfg.duration_s, seed);
+        simulate_serving_faulted(
+            &cfg,
+            &ServingNode::Cpu {
+                tee: CpuTeeConfig::tdx(),
+            },
+            &plan,
+        )
+    }
+
+    #[test]
+    fn empty_plan_matches_fault_free_simulator() {
+        let cfg = ServingConfig::small_test();
+        let direct = simulate_serving(&cfg, &CpuTeeConfig::tdx());
+        let via_node = simulate_serving_faulted(
+            &cfg,
+            &ServingNode::Cpu {
+                tee: CpuTeeConfig::tdx(),
+            },
+            &FaultPlan::none(),
+        );
+        assert_eq!(direct, via_node);
+    }
+
+    #[test]
+    fn faults_conserve_requests() {
+        for seed in [1, 7, 23] {
+            let report = faulted_small(TeeKind::Tdx, seed);
+            assert_eq!(
+                report.completed + report.aborted,
+                report.arrivals,
+                "conservation violated at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn faults_degrade_availability_and_tails() {
+        let clean = faulted_small(TeeKind::BareMetal, 5); // preemptions only
+        let faulted = faulted_small(TeeKind::Sgx, 5);
+        assert!(faulted.availability < 1.0, "faults must cost downtime");
+        assert!(
+            faulted.retries > 0 || faulted.downtime_like() > 0.0,
+            "600x SGX rates must fire"
+        );
+        assert!(faulted.makespan_s >= clean.makespan_s * 0.5);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let a = faulted_small(TeeKind::Sgx, 9);
+        let b = faulted_small(TeeKind::Sgx, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn retry_budget_bounds_attempts() {
+        // With a zero retry budget, any request resident at a crash is
+        // aborted. Scan seeds so a crash is guaranteed to land mid-flight
+        // at least once; conservation must hold at every seed.
+        let cfg = ServingConfig::small_test();
+        let rates =
+            FaultRates::for_platform(TeeKind::Sgx, &SpotParams::azure_spot_gpu()).scaled(2_000.0);
+        let mut saw_abort = false;
+        for seed in 0..16 {
+            let plan =
+                FaultPlan::seeded(&rates, cfg.duration_s, seed).with_policy(RecoveryPolicy {
+                    max_retries: 0,
+                    ..RecoveryPolicy::default()
+                });
+            let report = simulate_serving_faulted(
+                &cfg,
+                &ServingNode::Cpu {
+                    tee: CpuTeeConfig::sgx(),
+                },
+                &plan,
+            );
+            assert_eq!(report.completed + report.aborted, report.arrivals);
+            assert!(report.records.iter().all(|r| r.retries == 0));
+            saw_abort |= report.aborted > 0;
+        }
+        assert!(saw_abort, "no seed produced a mid-flight crash abort");
+    }
+
+    impl ServingReport {
+        /// Test helper: downtime implied by availability.
+        fn downtime_like(&self) -> f64 {
+            (1.0 - self.availability) * self.makespan_s
+        }
     }
 }

@@ -10,6 +10,15 @@ pub struct ServingReport {
     pub arrivals: usize,
     /// Requests that completed.
     pub completed: usize,
+    /// Re-queue events: times any request was put back in the queue
+    /// after a crash-class fault destroyed its node's KV state.
+    pub retries: u64,
+    /// Requests abandoned after exhausting the retry budget. The
+    /// simulator maintains `completed + aborted == arrivals`.
+    pub aborted: usize,
+    /// Fraction of the makespan the node was serving rather than down
+    /// (1.0 in fault-free runs).
+    pub availability: f64,
     /// Wall time to drain the trace, seconds.
     pub makespan_s: f64,
     /// Generated tokens per second over the makespan.
@@ -50,23 +59,53 @@ impl Slo {
 }
 
 impl ServingReport {
-    /// Fraction of completed requests meeting the SLO.
+    /// Fraction of *completed* requests meeting the SLO.
+    ///
+    /// Edge cases are explicit: an empty record set attains `0.0` (there
+    /// is nothing to credit), a single record attains exactly `0.0` or
+    /// `1.0`, and the result is always finite.
     #[must_use]
     #[allow(clippy::cast_precision_loss)]
     pub fn slo_attainment(&self, slo: Slo) -> f64 {
         if self.records.is_empty() {
             return 0.0;
         }
-        let ok = self
-            .records
+        self.slo_ok_count(slo) as f64 / self.records.len() as f64
+    }
+
+    /// Degraded-mode SLO attainment: fraction of *arrivals* (not just
+    /// completions) that met the SLO. Aborted requests count as misses,
+    /// so a platform cannot improve its score by shedding load. Zero
+    /// arrivals attain `0.0`.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn degraded_slo_attainment(&self, slo: Slo) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        self.slo_ok_count(slo) as f64 / self.arrivals as f64
+    }
+
+    fn slo_ok_count(&self, slo: Slo) -> usize {
+        self.records
             .iter()
             .filter(|r| r.ttft_s <= slo.ttft_s && r.tpot_s <= slo.tpot_s)
-            .count();
-        ok as f64 / self.records.len() as f64
+            .count()
     }
 }
 
 /// Percentile by linear interpolation over an unsorted sample.
+///
+/// Edge cases are explicit: an empty sample returns `NaN` (callers that
+/// need a finite placeholder must substitute it themselves — the serving
+/// simulator reports `0.0` for empty reports), a single-element sample
+/// returns that element for every `q`, and finite inputs always produce
+/// a finite interpolated value.
+///
+/// # Panics
+///
+/// Panics if any sample is `NaN` (latencies are never NaN by
+/// construction).
 #[must_use]
 pub fn percentile_of(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
@@ -87,6 +126,7 @@ mod tests {
             ttft_s: ttft,
             tpot_s: tpot,
             e2e_s: ttft + tpot * 10.0,
+            retries: 0,
         }
     }
 
@@ -94,6 +134,9 @@ mod tests {
         ServingReport {
             arrivals: records.len(),
             completed: records.len(),
+            retries: 0,
+            aborted: 0,
+            availability: 1.0,
             makespan_s: 10.0,
             goodput_tps: 100.0,
             ttft_p50_s: 0.0,
@@ -126,5 +169,49 @@ mod tests {
         let p = percentile_of(&[3.0, 1.0, 2.0], 0.5);
         assert!((p - 2.0).abs() < 1e-12);
         assert!(percentile_of(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert!((percentile_of(&[4.2], q) - 4.2).abs() < 1e-12, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_finite_inputs_stay_finite() {
+        let samples = [0.1, 5.0, 2.5, 0.0, 9.9];
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let p = percentile_of(&samples, q);
+            assert!(p.is_finite(), "q={q} gave {p}");
+            assert!((0.0..=9.9).contains(&p), "q={q} gave {p}");
+        }
+    }
+
+    #[test]
+    fn single_record_attainment_is_all_or_nothing() {
+        let ok = report(vec![record(0, 0.5, 0.05)]);
+        let bad = report(vec![record(0, 5.0, 0.05)]);
+        assert_eq!(ok.slo_attainment(Slo::interactive()), 1.0);
+        assert_eq!(bad.slo_attainment(Slo::interactive()), 0.0);
+    }
+
+    #[test]
+    fn degraded_attainment_charges_aborts() {
+        // 2 completed (1 in SLO), 2 aborted, 4 arrivals.
+        let mut r = report(vec![record(0, 0.5, 0.05), record(1, 9.0, 0.05)]);
+        r.arrivals = 4;
+        r.aborted = 2;
+        let slo = Slo::interactive();
+        assert!((r.slo_attainment(slo) - 0.5).abs() < 1e-12);
+        assert!((r.degraded_slo_attainment(slo) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_attainment_empty_is_zero() {
+        let mut r = report(vec![]);
+        assert_eq!(r.degraded_slo_attainment(Slo::interactive()), 0.0);
+        r.arrivals = 0;
+        assert_eq!(r.slo_attainment(Slo::interactive()), 0.0);
     }
 }

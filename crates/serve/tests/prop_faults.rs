@@ -1,0 +1,123 @@
+//! Property tests on the fault-injection and recovery layer.
+
+use cllm_cost::SpotParams;
+use cllm_serve::faults::{FaultPlan, FaultRates, RecoveryPolicy};
+use cllm_serve::sim::{simulate_serving_faulted, ServingConfig, ServingNode};
+use cllm_serve::workload::ArrivalProcess;
+use cllm_tee::platform::{CpuTeeConfig, TeeKind};
+use proptest::prelude::*;
+
+fn cfg(rate: f64, seed: u64) -> ServingConfig {
+    ServingConfig {
+        arrivals: ArrivalProcess {
+            rate_per_s: rate,
+            prompt_range: (16, 128),
+            output_range: (4, 32),
+            seed,
+        },
+        duration_s: 20.0,
+        ..ServingConfig::small_test()
+    }
+}
+
+fn plan(kind: TeeKind, scale: f64, seed: u64, max_retries: u32) -> FaultPlan {
+    let rates = FaultRates::for_platform(kind, &SpotParams::gcp_spot()).scaled(scale);
+    FaultPlan::seeded(&rates, 20.0, seed).with_policy(RecoveryPolicy {
+        max_retries,
+        ..RecoveryPolicy::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation invariant under random fault schedules: every arrival
+    /// is either completed or aborted, never lost, for any platform,
+    /// intensity and retry budget.
+    #[test]
+    fn conservation_under_random_fault_schedules(
+        rate in 0.2f64..3.0,
+        arrival_seed in 0u64..30,
+        fault_seed in 0u64..30,
+        scale in 0.0f64..3000.0,
+        max_retries in 0u32..5,
+        kind_idx in 0usize..4,
+    ) {
+        let kind = [TeeKind::BareMetal, TeeKind::Tdx, TeeKind::Sgx, TeeKind::SevSnp][kind_idx];
+        let report = simulate_serving_faulted(
+            &cfg(rate, arrival_seed),
+            &ServingNode::Cpu { tee: CpuTeeConfig::tdx() },
+            &plan(kind, scale, fault_seed, max_retries),
+        );
+        prop_assert_eq!(
+            report.completed + report.aborted,
+            report.arrivals,
+            "lost requests: completed {} + aborted {} != arrivals {}",
+            report.completed,
+            report.aborted,
+            report.arrivals
+        );
+        prop_assert!(report.availability >= 0.0 && report.availability <= 1.0);
+        prop_assert!(report.makespan_s.is_finite());
+        for r in &report.records {
+            prop_assert!(r.ttft_s > 0.0, "id {}", r.id);
+            prop_assert!(r.e2e_s >= r.ttft_s);
+            prop_assert!(r.retries <= max_retries, "retry budget exceeded on {}", r.id);
+        }
+    }
+
+    /// A fixed seed pins the entire simulation: two runs are equal field
+    /// by field (byte-determinism of the serialized report follows).
+    #[test]
+    fn fault_injected_runs_are_deterministic(
+        arrival_seed in 0u64..20,
+        fault_seed in 0u64..20,
+        scale in 0.0f64..2000.0,
+    ) {
+        let run = || simulate_serving_faulted(
+            &cfg(1.5, arrival_seed),
+            &ServingNode::Cpu { tee: CpuTeeConfig::sgx() },
+            &plan(TeeKind::Sgx, scale, fault_seed, 3),
+        );
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        let ja = serde_json::to_string(&a).expect("report serializes");
+        let jb = serde_json::to_string(&b).expect("report serializes");
+        prop_assert_eq!(ja, jb, "serialized reports must be byte-identical");
+    }
+
+    /// Faults never mint throughput: the faulted run's goodput cannot
+    /// beat the fault-free run on the same trace by more than rounding.
+    #[test]
+    fn faults_never_increase_goodput(
+        arrival_seed in 0u64..20,
+        fault_seed in 0u64..20,
+        scale in 100.0f64..3000.0,
+    ) {
+        let node = ServingNode::Cpu { tee: CpuTeeConfig::tdx() };
+        let clean = simulate_serving_faulted(&cfg(1.5, arrival_seed), &node, &FaultPlan::none());
+        let faulted = simulate_serving_faulted(
+            &cfg(1.5, arrival_seed),
+            &node,
+            &plan(TeeKind::Sgx, scale, fault_seed, 3),
+        );
+        prop_assert!(
+            faulted.goodput_tps <= clean.goodput_tps * 1.0000001,
+            "faulted {} beat clean {}",
+            faulted.goodput_tps,
+            clean.goodput_tps
+        );
+    }
+
+    /// Schedule generation is deterministic in (rates, horizon, seed) and
+    /// independent per kind: doubling one platform's rates never moves
+    /// another kind's event times.
+    #[test]
+    fn schedules_are_seed_deterministic(seed in 0u64..100, scale in 1.0f64..5000.0) {
+        let rates = FaultRates::for_platform(TeeKind::Sgx, &SpotParams::gcp_spot()).scaled(scale);
+        let a = FaultPlan::seeded(&rates, 30.0, seed);
+        let b = FaultPlan::seeded(&rates, 30.0, seed);
+        prop_assert_eq!(a, b);
+    }
+}

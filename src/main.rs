@@ -7,14 +7,17 @@
 //! cllm estimate [--platform P] [...]     predict perf for a request shape
 //! cllm plan [--batch N] [--input N]      CPU-vs-cGPU cost recommendation
 //! cllm serve [--rate R] [--platform P]   online serving SLO report
+//!            [--faults S] [--fault-seed N]  ... under an injected fault schedule
 //! ```
 
 use cllm_core::experiments::{all_experiments, run_by_id};
 use cllm_core::pipeline::{ConfidentialPipeline, DeploymentSpec};
+use cllm_cost::SpotParams;
 use cllm_cost::{cost_advantage_pct, cost_per_mtok, CpuPricing, GpuPricing};
 use cllm_hw::DType;
 use cllm_perf::{simulate_gpu, CpuTarget};
-use cllm_serve::sim::{simulate_serving, ServingConfig};
+use cllm_serve::faults::{FaultPlan, FaultRates};
+use cllm_serve::sim::{simulate_serving_faulted, ServingConfig, ServingNode};
 use cllm_serve::slo::Slo;
 use cllm_serve::workload::ArrivalProcess;
 use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, Platform};
@@ -57,7 +60,9 @@ fn print_usage() {
          cllm deploy [--platform P]        attest an enclave and run a demo completion\n  \
          cllm estimate [--platform P] [--dtype bf16|int8] [--batch N] [--input N] [--output N]\n  \
          cllm plan [--batch N] [--input N] cost recommendation: TDX vs confidential H100\n  \
-         cllm serve [--rate R] [--platform P] [--duration S]  online SLO report\n\n\
+         cllm serve [--rate R] [--platform P] [--duration S]  online SLO report\n  \
+         cllm serve --faults S [--fault-seed N]  ... with a seeded fault schedule\n\
+         \x20                                   (S scales the platform's fault rates)\n\n\
          platforms: bare, vm, tdx, sgx, sev-snp, gpu, cgpu"
     );
 }
@@ -279,17 +284,45 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let fault_scale = flags
+        .get("faults")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.0);
+    let fault_seed = num_flag(flags, "fault-seed", 42);
+    let plan = if fault_scale > 0.0 {
+        let rates = FaultRates::for_platform(tee.kind, &SpotParams::gcp_spot()).scaled(fault_scale);
+        FaultPlan::seeded(&rates, duration, fault_seed)
+    } else {
+        FaultPlan::none()
+    };
     let cfg = ServingConfig {
         arrivals: ArrivalProcess::chat(rate, 42),
         duration_s: duration,
         ..ServingConfig::small_test()
     };
-    let report = simulate_serving(&cfg, &tee);
+    let node = ServingNode::Cpu { tee: tee.clone() };
+    let report = simulate_serving_faulted(&cfg, &node, &plan);
     println!(
         "platform {} | rate {rate}/s | {} requests over {duration}s",
         tee.kind.label(),
         report.arrivals
     );
+    if fault_scale > 0.0 {
+        println!(
+            "faults      : {} injected (rate scale {fault_scale}, seed {fault_seed})",
+            plan.events.len()
+        );
+        println!(
+            "resilience  : {} retries, {} aborted, availability {:.1}%",
+            report.retries,
+            report.aborted,
+            report.availability * 100.0
+        );
+        println!(
+            "degraded SLO: {:.1}% attainment over all arrivals",
+            report.degraded_slo_attainment(Slo::interactive()) * 100.0
+        );
+    }
     println!("goodput     : {:.1} tok/s", report.goodput_tps);
     println!(
         "TTFT        : p50 {:.2} s, p95 {:.2} s",

@@ -11,7 +11,7 @@ use confidential_llms_in_tees::perf::cache;
 
 #[test]
 fn insights_add_no_simulations_after_figures() {
-    // 1. Run every registered experiment (the 23 figure/table sweeps).
+    // 1. Run every registered experiment (the 24 figure/table sweeps).
     for (id, runner) in experiments::all_experiments() {
         let r = runner();
         assert_eq!(r.id, id);
