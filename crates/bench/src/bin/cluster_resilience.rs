@@ -1,0 +1,6 @@
+//! Cluster-resilience extension — multi-node TEE fleets under correlated
+//! preemption waves: failover, admission control and effective cost.
+
+fn main() {
+    let _ = cllm_bench::run_and_emit("cluster_resilience");
+}

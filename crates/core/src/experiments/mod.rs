@@ -32,8 +32,10 @@
 //! | [`tco`] | extension — rent vs buy on the paper's list prices |
 //! | [`moe`] | extension — mixture-of-experts (Mixtral) under TDX |
 //! | [`resilience`] | extension — serving under injected TEE faults |
+//! | [`cluster_resilience`] | extension — multi-node fleets under correlated preemption waves |
 
 pub mod b100;
+pub mod cluster_resilience;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -110,6 +112,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("tco", tco::run),
         ("moe", moe::run),
         ("resilience", resilience::run),
+        ("cluster_resilience", cluster_resilience::run),
     ]
 }
 
@@ -161,10 +164,11 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 24);
+        assert_eq!(ids.len(), 25);
         assert!(ids.contains(&"fig4"));
         assert!(ids.contains(&"table1"));
         assert!(ids.contains(&"resilience"));
+        assert!(ids.contains(&"cluster_resilience"));
         assert!(run_by_id("nope").is_none());
     }
 }

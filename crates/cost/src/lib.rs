@@ -233,6 +233,57 @@ impl SpotParams {
     }
 }
 
+/// The toll a request pays when failover re-plans it on a *different
+/// platform class* than the one that lost it (cGPU → CPU TEE or back).
+///
+/// The paper's CPU-vs-GPU comparison runs the same model at different
+/// dtypes and kernel paths per platform, so a spilled request cannot
+/// reuse anything: its prompt must be re-processed under the target's
+/// dtype (weights there are laid out for AMX/int8 tiles, not cuBLAS
+/// bf16), and the KV cache it lost was in the wrong layout anyway. The
+/// cluster simulator charges `requant_s` once at re-admission and
+/// stretches the repeated prefill by `prefill_factor`; the resulting
+/// goodput loss is then priced through [`cost_per_mtok`] like any other
+/// downtime, which is how the spill shows up in effective $/Mtoken.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpillPenalty {
+    /// One-time dtype/layout conversion charged at re-admission on the
+    /// foreign platform, seconds.
+    pub requant_s: f64,
+    /// Multiplier on the repeated prefill: the foreign platform runs the
+    /// prompt under its own dtype path, without the warm caches the
+    /// origin had.
+    pub prefill_factor: f64,
+}
+
+impl SpillPenalty {
+    /// No penalty: spilling is free (same-platform failover).
+    #[must_use]
+    pub fn none() -> Self {
+        SpillPenalty {
+            requant_s: 0.0,
+            prefill_factor: 1.0,
+        }
+    }
+
+    /// Default cross-platform toll for cGPU ↔ CPU-TEE spills: ~half a
+    /// second of weight/KV-layout conversion plus a 25% slower repeated
+    /// prefill on the foreign dtype path.
+    #[must_use]
+    pub fn cross_platform() -> Self {
+        SpillPenalty {
+            requant_s: 0.5,
+            prefill_factor: 1.25,
+        }
+    }
+
+    /// Whether the penalty is exactly free.
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        self.requant_s == 0.0 && self.prefill_factor == 1.0
+    }
+}
+
 /// Dollars per million tokens when the instance is only `availability`
 /// (0..=1] of the time able to generate: rent accrues over wall-clock
 /// time, tokens only over uptime.
@@ -422,6 +473,18 @@ mod tests {
         // Availability above 1 is clamped, never a discount.
         let clamped = availability_adjusted_cost_per_mtok(3.6, 1000.0, 1.5);
         assert!((clamped - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spill_penalty_shapes() {
+        assert!(SpillPenalty::none().is_free());
+        let x = SpillPenalty::cross_platform();
+        assert!(!x.is_free());
+        assert!(x.requant_s > 0.0);
+        assert!(
+            x.prefill_factor > 1.0,
+            "spill must slow the redo, never speed it"
+        );
     }
 
     #[test]

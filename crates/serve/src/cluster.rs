@@ -1,0 +1,931 @@
+//! Multi-node TEE serving cluster: failover router, admission control,
+//! and correlated-fault survival.
+//!
+//! The single-node simulator ([`crate::sim`]) answers "what does one
+//! faulted box look like"; this module answers the deployment question
+//! the paper's cost story raises: **is a fleet of cheap spot cGPU nodes
+//! with failover better than reserved CPU TEEs?** N heterogeneous
+//! [`ServingNode`]s — each with its own seeded [`FaultPlan`] — sit
+//! behind a router that:
+//!
+//! * **bounds admission** ([`AdmissionPolicy`]): per-node queue caps and
+//!   per-request deadlines introduce a third terminal state, `Rejected`,
+//!   and conservation becomes
+//!   `completed + aborted + rejected == arrivals`;
+//! * **trips per-node circuit breakers**
+//!   ([`CircuitBreaker`]): every fault event is an error sample, every
+//!   completion a success; a tripped node takes no new work until a
+//!   half-open probe completes, and closing pays a real attested
+//!   re-handshake through `cllm_tee::session`;
+//! * **fails requests over**: crash-class victims re-queue onto
+//!   surviving nodes (bounded retry + backoff); a victim landing on the
+//!   other platform class (cGPU → CPU TEE or back) is a **spill** and
+//!   pays the [`SpillPenalty`] — a one-time re-quantisation plus a
+//!   prefill slowdown for the dtype/layout conversion;
+//! * **injects correlated faults** ([`WaveModel`]): preemption waves
+//!   hit a configurable fraction of the *spot* nodes simultaneously,
+//!   layered onto each node's independent Poisson streams via the
+//!   order-preserving [`FaultPlan::merge`].
+//!
+//! Everything is deterministic in its seeds: two runs of the same
+//! [`ClusterConfig`] are byte-identical on any thread count.
+
+use crate::faults::{attested_rehandshake, FaultEvent, FaultKind, FaultPlan, FaultRates};
+use crate::router::{AdmissionPolicy, BreakerConfig, BreakerState, CircuitBreaker};
+use crate::scheduler::ContinuousBatcher;
+use crate::sim::{RequestRecord, ServingConfig, ServingNode};
+use crate::slo::percentile_of;
+use crate::workload::Request;
+use cllm_cost::SpillPenalty;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One node in the fleet: its hardware/TEE identity, how it is rented,
+/// and its private fault environment.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// The hardware + TEE the node serves on.
+    pub node: ServingNode,
+    /// Whether the node is rented on spot capacity — only spot nodes are
+    /// eligible victims of correlated preemption waves.
+    pub spot: bool,
+    /// Mean per-kind fault rates for this node's independent streams.
+    pub rates: FaultRates,
+    /// Seed for the node's private fault schedule.
+    pub seed: u64,
+    /// Hand-scheduled events (time-ordered) merged into the seeded
+    /// stream — deterministic what-if injections and test fixtures.
+    pub extra_events: Vec<FaultEvent>,
+}
+
+impl NodeSpec {
+    /// A node with no hand-scheduled extra events.
+    #[must_use]
+    pub fn new(node: ServingNode, spot: bool, rates: FaultRates, seed: u64) -> Self {
+        NodeSpec {
+            node,
+            spot,
+            rates,
+            seed,
+            extra_events: Vec::new(),
+        }
+    }
+}
+
+/// Correlated preemption waves: the provider reclaims a slice of the
+/// spot pool at once (capacity crunches hit zones, not single VMs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveModel {
+    /// Mean wave arrivals per hour (Poisson).
+    pub waves_per_hr: f64,
+    /// Fraction of the fleet's spot nodes each wave preempts, rounded
+    /// up; clamped to `[0, 1]`.
+    pub frac: f64,
+    /// Seed for wave times and victim selection.
+    pub seed: u64,
+}
+
+impl WaveModel {
+    /// No correlated waves; only the nodes' independent streams fire.
+    #[must_use]
+    pub fn none() -> Self {
+        WaveModel {
+            waves_per_hr: 0.0,
+            frac: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Generate each spot node's share of the wave schedule: element `i`
+    /// holds the [`FaultKind::SpotPreemption`] events for the fleet's
+    /// `i`-th spot node (in fleet order). Wave times are Poisson; each
+    /// wave picks `ceil(frac * n_spot)` distinct victims by seeded
+    /// partial shuffle and samples each victim's outage log-uniformly
+    /// from the preemption band.
+    #[must_use]
+    pub fn events_per_spot_node(&self, n_spot: usize, duration_s: f64) -> Vec<Vec<FaultEvent>> {
+        let mut per_node: Vec<Vec<FaultEvent>> = vec![Vec::new(); n_spot];
+        let rate_per_s = self.waves_per_hr / 3600.0;
+        if rate_per_s <= 0.0 || duration_s <= 0.0 || n_spot == 0 || self.frac <= 0.0 {
+            return per_node;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        #[allow(clippy::cast_possible_truncation)]
+        let victims_per_wave = ((self.frac.min(1.0) * n_spot as f64).ceil() as usize).min(n_spot);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x57A6_E5EE_D000_0001);
+        let (lo, hi) = FaultKind::SpotPreemption.outage_band_s();
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            t += -u.ln() / rate_per_s;
+            if t >= duration_s {
+                break;
+            }
+            // Seeded partial Fisher–Yates: the first `victims_per_wave`
+            // entries are this wave's distinct victims.
+            let mut ids: Vec<usize> = (0..n_spot).collect();
+            for i in 0..victims_per_wave {
+                let j = i + rng.random_range(0..n_spot - i);
+                ids.swap(i, j);
+            }
+            for &v in &ids[..victims_per_wave] {
+                let outage_s = (lo.ln() + rng.random::<f64>() * (hi.ln() - lo.ln())).exp();
+                per_node[v].push(FaultEvent {
+                    at_s: t,
+                    kind: FaultKind::SpotPreemption,
+                    outage_s,
+                });
+            }
+        }
+        per_node
+    }
+}
+
+/// A complete cluster simulation configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Shared workload, model, scheduler limits and horizon; each node
+    /// gets its own [`ContinuousBatcher`] with these limits.
+    pub serving: ServingConfig,
+    /// The fleet.
+    pub nodes: Vec<NodeSpec>,
+    /// Router admission bounds.
+    pub admission: AdmissionPolicy,
+    /// Circuit-breaker tuning (one breaker per node).
+    pub breaker: BreakerConfig,
+    /// Correlated preemption waves over the spot subset.
+    pub wave: WaveModel,
+    /// Whether crash-class victims may re-queue onto *other* nodes. With
+    /// failover off they retry only on their origin node, like N
+    /// independent single-node deployments behind one arrival stream.
+    pub failover: bool,
+    /// Cost of failing a request over across platform classes
+    /// (cGPU ↔ CPU TEE).
+    pub spill: SpillPenalty,
+}
+
+/// Per-node slice of a [`ClusterReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Requests this node completed.
+    pub completed: usize,
+    /// Seconds the node was unavailable (outages + re-attestation).
+    pub downtime_s: f64,
+    /// `1 - downtime / cluster makespan`, clamped to `[0, 1]`.
+    pub availability: f64,
+    /// Times the node's breaker tripped open.
+    pub breaker_trips: u64,
+    /// Times a half-open probe closed the breaker (each paid a
+    /// re-attestation toll).
+    pub breaker_closes: u64,
+    /// Breaker position when the simulation drained.
+    pub breaker_final: BreakerState,
+    /// Deepest this node's admission queue got.
+    pub queue_depth_peak: usize,
+}
+
+/// The outcome of one cluster simulation. Conservation holds by
+/// construction: `completed + aborted + rejected == arrivals`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Requests that arrived at the router.
+    pub arrivals: usize,
+    /// Requests that completed on some node.
+    pub completed: usize,
+    /// Requests abandoned after exhausting the retry budget.
+    pub aborted: usize,
+    /// Requests the router shed: no accepting node at arrival, or a
+    /// queued request passed its deadline.
+    pub rejected: usize,
+    /// Re-queue events across the fleet.
+    pub retries: u64,
+    /// Failovers that crossed platform classes and paid the
+    /// [`SpillPenalty`].
+    pub spills: u64,
+    /// Mean per-node availability over the cluster makespan.
+    pub availability: f64,
+    /// Wall time to drain the trace, seconds (max over node clocks).
+    pub makespan_s: f64,
+    /// Generated tokens per second over the makespan.
+    pub goodput_tps: f64,
+    /// Median time to first token, seconds (from original arrival, so
+    /// failed-over requests carry their full story).
+    pub ttft_p50_s: f64,
+    /// 99th-percentile time to first token, seconds — the tail the
+    /// admission controller and breakers exist to protect.
+    pub ttft_p99_s: f64,
+    /// Per-node reports, in fleet order.
+    pub nodes: Vec<NodeReport>,
+    /// Per-request records (sorted by id).
+    pub records: Vec<RequestRecord>,
+}
+
+/// A crash victim waiting out its backoff before re-routing.
+#[derive(Debug, Clone, Copy)]
+struct ClusterRetry {
+    request: Request,
+    eligible_s: f64,
+    origin: usize,
+    origin_gpu: bool,
+}
+
+/// Live state of one node during the simulation.
+struct NodeState {
+    node: ServingNode,
+    scheduler: ContinuousBatcher,
+    breaker: CircuitBreaker,
+    plan: FaultPlan,
+    next_event: usize,
+    now: f64,
+    downtime_s: f64,
+    handshake_seq: u64,
+    useful_tokens: u64,
+    completed: usize,
+}
+
+impl NodeState {
+    fn depth(&self) -> usize {
+        self.scheduler.queued() + self.scheduler.running().len()
+    }
+
+    fn is_gpu(&self) -> bool {
+        matches!(self.node, ServingNode::Gpu { .. })
+    }
+}
+
+/// Handshake seed unique per (node, sequence) so every re-attestation
+/// drives a distinct, deterministic session transcript.
+fn hs_seed(node_idx: usize, seq: u64) -> u64 {
+    ((node_idx as u64) << 32) ^ seq
+}
+
+/// Run the deterministic multi-node serving simulation.
+///
+/// Time advances node-locally: each node has its own clock, and the loop
+/// repeatedly either (a) dispatches the globally next arrival/retry to a
+/// node chosen by the router, or (b) advances the runnable node with the
+/// smallest clock by one batching iteration (ties broken by node id) —
+/// whichever is earlier. Fault events apply lazily at iteration
+/// boundaries with outages clamped at the horizon, exactly like the
+/// single-node simulator, so a one-node cluster with unbounded admission
+/// reproduces single-node behaviour.
+///
+/// Fresh arrivals that no node accepts (breaker open or queue at cap)
+/// are `rejected`; queued requests past the admission deadline are shed
+/// as `rejected` at the next boundary. Retries are always placeable —
+/// with failover they fall back to the least-loaded node even past
+/// breakers and caps (shedding, not starving, bounds the system), and
+/// without failover they return to their origin node.
+///
+/// # Panics
+///
+/// Panics if the fleet is empty.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
+    assert!(!cfg.nodes.is_empty(), "cluster needs at least one node");
+    let horizon_s = cfg.serving.duration_s;
+
+    // Build per-node state; spot nodes get their slice of the wave
+    // schedule merged into their independent base streams, and every
+    // node gets its hand-scheduled extras.
+    let n_spot = cfg.nodes.iter().filter(|s| s.spot).count();
+    let wave_events = cfg.wave.events_per_spot_node(n_spot, horizon_s);
+    let mut spot_ord = 0usize;
+    let mut nodes: Vec<NodeState> = cfg
+        .nodes
+        .iter()
+        .map(|spec| {
+            let base = FaultPlan::seeded(&spec.rates, horizon_s, spec.seed);
+            let policy = base.policy;
+            let mut plan = base.merge(FaultPlan {
+                events: spec.extra_events.clone(),
+                policy,
+            });
+            if spec.spot {
+                plan = plan.merge(FaultPlan {
+                    events: wave_events[spot_ord].clone(),
+                    policy,
+                });
+                spot_ord += 1;
+            }
+            NodeState {
+                node: spec.node.clone(),
+                scheduler: ContinuousBatcher::new(cfg.serving.limits),
+                breaker: CircuitBreaker::new(cfg.breaker),
+                plan,
+                next_event: 0,
+                now: 0.0,
+                downtime_s: 0.0,
+                handshake_seq: 0,
+                useful_tokens: 0,
+                completed: 0,
+            }
+        })
+        .collect();
+
+    if cfg.serving.arrivals.rate_per_s <= 0.0 || horizon_s <= 0.0 {
+        return drain_report(nodes, 0, 0, 0, 0, 0, Vec::new());
+    }
+    let trace = cfg.serving.arrivals.trace(horizon_s);
+    if trace.is_empty() {
+        return drain_report(nodes, 0, 0, 0, 0, 0, Vec::new());
+    }
+
+    let mut pending: VecDeque<Request> = trace.iter().copied().collect();
+    let total_arrivals = pending.len();
+    let mut retry_queue: Vec<ClusterRetry> = Vec::new();
+    let mut attempts_of: HashMap<u64, u32> = HashMap::new();
+    let mut spilled: HashSet<u64> = HashSet::new();
+    let mut records: Vec<RequestRecord> = Vec::with_capacity(total_arrivals);
+    let mut rejected = 0usize;
+    let mut aborted = 0usize;
+    let mut retries = 0u64;
+    let mut spills = 0u64;
+
+    loop {
+        // The globally next dispatchable item: arrivals win ties over
+        // retries; retries order by (eligibility, id).
+        let t_arrival = pending.front().map(|r| r.arrival_s);
+        let next_retry = retry_queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.eligible_s
+                    .partial_cmp(&b.eligible_s)
+                    .expect("finite eligibility")
+                    .then(a.request.id.cmp(&b.request.id))
+            })
+            .map(|(i, e)| (i, e.eligible_s));
+        let t_dispatch = match (t_arrival, next_retry) {
+            (Some(a), Some((_, r))) => Some(a.min(r)),
+            (Some(a), None) => Some(a),
+            (None, Some((_, r))) => Some(r),
+            (None, None) => None,
+        };
+
+        // The runnable node with the smallest clock (id breaks ties).
+        let runnable = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.scheduler.idle())
+            .min_by(|(i, a), (j, b)| {
+                a.now
+                    .partial_cmp(&b.now)
+                    .expect("finite clocks")
+                    .then(i.cmp(j))
+            })
+            .map(|(i, n)| (i, n.now));
+
+        let do_dispatch = match (t_dispatch, runnable) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(t), Some((_, node_now))) => t <= node_now,
+        };
+
+        if do_dispatch {
+            let arrival_first = match (t_arrival, next_retry) {
+                (Some(a), Some((_, r))) => a <= r,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if arrival_first {
+                let r = pending.pop_front().expect("arrival checked");
+                let t = r.arrival_s;
+                let mut candidates = Vec::with_capacity(nodes.len());
+                for (i, n) in nodes.iter_mut().enumerate() {
+                    if n.scheduler.queued() < cfg.admission.queue_cap && n.breaker.accepts(t) {
+                        candidates.push((i, n.depth()));
+                    }
+                }
+                match crate::router::route_least_loaded(&candidates) {
+                    Some(i) => place(&mut nodes[i], r, t),
+                    None => rejected += 1, // load shed at the front door
+                }
+            } else {
+                let (idx, t) = next_retry.expect("retry checked");
+                let e = retry_queue.swap_remove(idx);
+                let target = if cfg.failover {
+                    let mut candidates = Vec::with_capacity(nodes.len());
+                    for (i, n) in nodes.iter_mut().enumerate() {
+                        if n.scheduler.queued() < cfg.admission.queue_cap && n.breaker.accepts(t) {
+                            candidates.push((i, n.depth()));
+                        }
+                    }
+                    // Retries are always placeable: if every breaker is
+                    // open / every queue full, fall back to the least
+                    // loaded node anyway — the deadline shed, not the
+                    // router, is what bounds a hopeless request.
+                    crate::router::route_least_loaded(&candidates).unwrap_or_else(|| {
+                        let all: Vec<(usize, usize)> =
+                            nodes.iter().map(|n| n.depth()).enumerate().collect();
+                        crate::router::route_least_loaded(&all).expect("fleet is non-empty")
+                    })
+                } else {
+                    e.origin
+                };
+                if nodes[target].is_gpu() != e.origin_gpu {
+                    spills += 1;
+                    spilled.insert(e.request.id);
+                }
+                place(&mut nodes[target], e.request, t);
+            }
+            continue;
+        }
+
+        // Advance the chosen node by one batching iteration.
+        let (i, _) = runnable.expect("advance branch requires a runnable node");
+        let n = &mut nodes[i];
+
+        // Faults due by the node clock, oldest first.
+        while n
+            .plan
+            .events
+            .get(n.next_event)
+            .is_some_and(|e| e.at_s <= n.now)
+        {
+            let ev = n.plan.events[n.next_event];
+            n.next_event += 1;
+            apply_node_fault(
+                &ev,
+                n,
+                i,
+                horizon_s,
+                &mut attempts_of,
+                &mut retry_queue,
+                &mut retries,
+                &mut aborted,
+            );
+        }
+
+        // Admission control: shed queued requests past their deadline.
+        if cfg.admission.deadline_s.is_finite() {
+            let now = n.now;
+            let deadline_s = cfg.admission.deadline_s;
+            rejected += n.scheduler.shed(|r| now - r.arrival_s > deadline_s).len();
+        }
+
+        // Admit + prefill. A retried victim re-attests first; a spilled
+        // victim additionally pays re-quantisation and a slower prefill
+        // on the foreign platform class.
+        let admitted = n
+            .scheduler
+            .admit(&cfg.serving.model, cfg.serving.dtype, n.now);
+        for r in admitted {
+            if attempts_of.get(&r.id).copied().unwrap_or(0) > 0 {
+                n.now += n.plan.policy.reattest_s;
+            }
+            let mut t_prefill = n.node.prefill_time_s(&cfg.serving, r.prompt_tokens);
+            if spilled.remove(&r.id) {
+                n.now += cfg.spill.requant_s;
+                t_prefill *= cfg.spill.prefill_factor;
+            }
+            n.now += t_prefill;
+            n.scheduler.start(r, n.now);
+        }
+
+        if n.scheduler.running().is_empty() {
+            continue;
+        }
+
+        let batch = n.scheduler.running().len() as u64;
+        #[allow(clippy::cast_precision_loss)]
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let mean_context = (n
+            .scheduler
+            .running()
+            .iter()
+            .map(|a| a.context())
+            .sum::<u64>() as f64
+            / batch as f64)
+            .round() as u64;
+        n.now += n.node.decode_step_time_s(&cfg.serving, batch, mean_context);
+
+        for fin in n.scheduler.step() {
+            let ttft = fin.first_token_s - fin.request.arrival_s;
+            let decode_span = n.now - fin.first_token_s;
+            #[allow(clippy::cast_precision_loss)]
+            let tpot = decode_span / (fin.request.output_tokens.saturating_sub(1).max(1)) as f64;
+            n.useful_tokens += fin.request.output_tokens;
+            n.completed += 1;
+            records.push(RequestRecord {
+                id: fin.request.id,
+                ttft_s: ttft,
+                tpot_s: tpot,
+                e2e_s: n.now - fin.request.arrival_s,
+                retries: attempts_of.get(&fin.request.id).copied().unwrap_or(0),
+            });
+            if n.breaker.record_success() {
+                // The half-open probe completed: close the breaker and
+                // pay the attested re-handshake through the real
+                // session layer before taking full traffic again.
+                n.handshake_seq += 1;
+                attested_rehandshake(hs_seed(i, n.handshake_seq))
+                    .expect("re-handshake must recover the session");
+                n.now += n.plan.policy.reattest_s;
+                n.downtime_s += n.plan.policy.reattest_s;
+            }
+        }
+    }
+
+    drain_report(
+        nodes,
+        total_arrivals,
+        rejected,
+        aborted,
+        retries,
+        spills,
+        records,
+    )
+}
+
+/// Route one request onto a node, waking an idle node's clock forward to
+/// the dispatch time (clocks never run backward).
+fn place(n: &mut NodeState, request: Request, t: f64) {
+    if n.scheduler.idle() {
+        n.now = n.now.max(t);
+    }
+    n.scheduler.enqueue_at(request, t);
+}
+
+/// Apply one fault event at a node's iteration boundary. Mirrors the
+/// single-node semantics (horizon-clamped outages, bounded retry with
+/// backoff, real re-handshake on attestation failure) and additionally
+/// feeds every event into the node's breaker as an error sample.
+#[allow(clippy::too_many_arguments)]
+fn apply_node_fault(
+    ev: &FaultEvent,
+    n: &mut NodeState,
+    node_idx: usize,
+    horizon_s: f64,
+    attempts_of: &mut HashMap<u64, u32>,
+    retry_queue: &mut Vec<ClusterRetry>,
+    retries: &mut u64,
+    aborted: &mut usize,
+) {
+    n.breaker.record_error(n.now);
+    if ev.kind == FaultKind::AttestationFailure {
+        n.handshake_seq += 1;
+        attested_rehandshake(hs_seed(node_idx, n.handshake_seq))
+            .expect("re-handshake must recover the session");
+        n.now += n.plan.policy.reattest_s;
+        n.downtime_s += n.plan.policy.reattest_s;
+        return;
+    }
+    let outage_s = ev.outage_s.min((horizon_s - ev.at_s).max(0.0));
+    if ev.kind.loses_state() {
+        let origin_gpu = n.is_gpu();
+        for victim in n.scheduler.drain_running() {
+            let a = attempts_of.entry(victim.request.id).or_insert(0);
+            *a += 1;
+            if *a > n.plan.policy.max_retries {
+                *aborted += 1;
+            } else {
+                *retries += 1;
+                retry_queue.push(ClusterRetry {
+                    request: victim.request,
+                    eligible_s: ev.at_s + outage_s + n.plan.policy.backoff_s(*a),
+                    origin: node_idx,
+                    origin_gpu,
+                });
+            }
+        }
+    }
+    n.now += outage_s;
+    n.downtime_s += outage_s;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drain_report(
+    nodes: Vec<NodeState>,
+    arrivals: usize,
+    rejected: usize,
+    aborted: usize,
+    retries: u64,
+    spills: u64,
+    mut records: Vec<RequestRecord>,
+) -> ClusterReport {
+    records.sort_by_key(|r| r.id);
+    let makespan_s = nodes.iter().map(|n| n.now).fold(0.0f64, f64::max);
+    let useful_tokens: u64 = nodes.iter().map(|n| n.useful_tokens).sum();
+    let node_reports: Vec<NodeReport> = nodes
+        .iter()
+        .map(|n| {
+            let availability = if makespan_s > 0.0 {
+                (1.0 - n.downtime_s / makespan_s).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            NodeReport {
+                completed: n.completed,
+                downtime_s: n.downtime_s,
+                availability,
+                breaker_trips: n.breaker.trips,
+                breaker_closes: n.breaker.closes,
+                breaker_final: n.breaker.state(),
+                queue_depth_peak: n.scheduler.queue_stats().depth_peak,
+            }
+        })
+        .collect();
+    #[allow(clippy::cast_precision_loss)]
+    let availability = if node_reports.is_empty() {
+        1.0
+    } else {
+        node_reports.iter().map(|n| n.availability).sum::<f64>() / node_reports.len() as f64
+    };
+    let ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
+    let completed = records.len();
+    debug_assert_eq!(
+        completed + aborted + rejected,
+        arrivals,
+        "cluster conservation violated"
+    );
+    #[allow(clippy::cast_precision_loss)]
+    ClusterReport {
+        arrivals,
+        completed,
+        aborted,
+        rejected,
+        retries,
+        spills,
+        availability,
+        makespan_s,
+        goodput_tps: if completed == 0 {
+            0.0
+        } else {
+            useful_tokens as f64 / makespan_s.max(1e-9)
+        },
+        ttft_p50_s: if ttft.is_empty() {
+            0.0
+        } else {
+            percentile_of(&ttft, 0.50)
+        },
+        ttft_p99_s: if ttft.is_empty() {
+            0.0
+        } else {
+            percentile_of(&ttft, 0.99)
+        },
+        nodes: node_reports,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cllm_cost::SpotParams;
+    use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, TeeKind};
+
+    fn tdx_node(seed: u64, spot: bool) -> NodeSpec {
+        let spot_params = if spot {
+            SpotParams::gcp_spot()
+        } else {
+            SpotParams::reserved()
+        };
+        NodeSpec::new(
+            ServingNode::Cpu {
+                tee: CpuTeeConfig::tdx(),
+            },
+            spot,
+            FaultRates::for_platform(TeeKind::Tdx, &spot_params).scaled(600.0),
+            seed,
+        )
+    }
+
+    fn cgpu_node(seed: u64) -> NodeSpec {
+        NodeSpec::new(
+            ServingNode::Gpu {
+                gpu: cllm_hw::presets::h100_nvl(),
+                tee: GpuTeeConfig::confidential(),
+            },
+            true,
+            FaultRates::for_platform(TeeKind::GpuCc, &SpotParams::azure_spot_gpu()).scaled(600.0),
+            seed,
+        )
+    }
+
+    fn small_cluster(nodes: Vec<NodeSpec>, wave: WaveModel, failover: bool) -> ClusterConfig {
+        ClusterConfig {
+            serving: ServingConfig::small_test(),
+            nodes,
+            admission: AdmissionPolicy::default(),
+            breaker: BreakerConfig::default(),
+            wave,
+            failover,
+            spill: SpillPenalty::cross_platform(),
+        }
+    }
+
+    fn quiet_node(seed: u64) -> NodeSpec {
+        NodeSpec {
+            rates: FaultRates::none(),
+            ..tdx_node(seed, false)
+        }
+    }
+
+    #[test]
+    fn fault_free_cluster_completes_everything() {
+        let cfg = small_cluster(vec![quiet_node(1), quiet_node(2)], WaveModel::none(), true);
+        let report = simulate_cluster(&cfg);
+        assert!(report.arrivals > 0);
+        assert_eq!(report.completed, report.arrivals);
+        assert_eq!(report.rejected + report.aborted, 0);
+        assert_eq!(report.retries + report.spills, 0);
+        assert!((report.availability - 1.0).abs() < 1e-12);
+        assert!(report.goodput_tps > 0.0);
+        // Both nodes took work: least-loaded routing spreads the trace.
+        assert!(report.nodes.iter().all(|n| n.completed > 0));
+    }
+
+    #[test]
+    fn cluster_conserves_requests_under_faults_and_waves() {
+        let wave = WaveModel {
+            waves_per_hr: 120.0,
+            frac: 0.75,
+            seed: 5,
+        };
+        for failover in [false, true] {
+            let cfg = small_cluster(
+                vec![cgpu_node(1), cgpu_node(2), tdx_node(3, true), quiet_node(4)],
+                wave,
+                failover,
+            );
+            let r = simulate_cluster(&cfg);
+            assert_eq!(
+                r.completed + r.aborted + r.rejected,
+                r.arrivals,
+                "conservation violated (failover={failover})"
+            );
+            assert!(r.makespan_s.is_finite() && r.makespan_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let wave = WaveModel {
+            waves_per_hr: 90.0,
+            frac: 0.5,
+            seed: 9,
+        };
+        let cfg = small_cluster(vec![cgpu_node(1), tdx_node(2, false)], wave, true);
+        let a = simulate_cluster(&cfg);
+        let b = simulate_cluster(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_quiet_node_matches_single_node_simulator() {
+        // One node, unbounded admission, no faults: the cluster loop is
+        // the single-node loop with a router in front.
+        let mut cfg = small_cluster(vec![quiet_node(1)], WaveModel::none(), true);
+        cfg.admission = AdmissionPolicy::unbounded();
+        let cluster = simulate_cluster(&cfg);
+        let single = crate::sim::simulate_serving(&cfg.serving, &CpuTeeConfig::tdx());
+        assert_eq!(cluster.records, single.records);
+        assert_eq!(cluster.completed, single.completed);
+    }
+
+    #[test]
+    fn overload_with_tight_admission_sheds_load() {
+        let mut cfg = small_cluster(vec![quiet_node(1)], WaveModel::none(), true);
+        cfg.serving.arrivals.rate_per_s = 12.0;
+        cfg.admission = AdmissionPolicy {
+            queue_cap: 2,
+            deadline_s: 5.0,
+        };
+        let r = simulate_cluster(&cfg);
+        assert!(r.rejected > 0, "overload past a cap of 2 must shed");
+        assert_eq!(r.completed + r.aborted + r.rejected, r.arrivals);
+        assert!(
+            r.ttft_p99_s <= 5.0 + 30.0,
+            "deadline shedding bounds the wait tail"
+        );
+    }
+
+    #[test]
+    fn waves_hit_only_spot_nodes() {
+        // Quiet base rates + crash-only waves: every trip and all
+        // downtime must land on the spot subset.
+        let wave = WaveModel {
+            waves_per_hr: 240.0,
+            frac: 1.0,
+            seed: 3,
+        };
+        let spot = NodeSpec {
+            rates: FaultRates::none(),
+            ..tdx_node(1, true)
+        };
+        let cfg = small_cluster(vec![spot, quiet_node(2)], wave, true);
+        let r = simulate_cluster(&cfg);
+        assert!(
+            r.nodes[0].downtime_s > 0.0,
+            "full-fraction waves must preempt the spot node"
+        );
+        assert_eq!(r.nodes[1].downtime_s, 0.0, "reserved node rides it out");
+        assert!(r.nodes[1].breaker_trips == 0);
+        assert_eq!(r.completed + r.aborted + r.rejected, r.arrivals);
+    }
+
+    #[test]
+    fn failover_spills_cross_platform_and_pays_for_it() {
+        // Two cGPU nodes under a dense, hand-scheduled preemption burst
+        // plus one healthy CPU node. Long outputs keep requests resident
+        // across crash times, so victims must exist; with the cGPU
+        // breakers tripped, retries land on the CPU node — a spill.
+        let crashes: Vec<FaultEvent> = (0..40)
+            .map(|k| FaultEvent {
+                at_s: 0.5 + 0.5 * f64::from(k),
+                kind: FaultKind::SpotPreemption,
+                outage_s: 0.5,
+            })
+            .collect();
+        let mut cgpu_a = cgpu_node(1);
+        cgpu_a.rates = FaultRates::none();
+        cgpu_a.extra_events = crashes.clone();
+        let mut cgpu_b = cgpu_node(2);
+        cgpu_b.rates = FaultRates::none();
+        cgpu_b.extra_events = crashes;
+        let mut cfg = small_cluster(vec![cgpu_a, cgpu_b, quiet_node(3)], WaveModel::none(), true);
+        cfg.serving.arrivals.rate_per_s = 4.0;
+        cfg.serving.arrivals.prompt_range = (256, 512);
+        cfg.serving.arrivals.output_range = (256, 512);
+        let with = simulate_cluster(&cfg);
+        assert!(with.retries > 0, "crashes must displace running requests");
+        assert!(
+            with.spills > 0,
+            "cGPU victims must spill to the CPU node under failover"
+        );
+        cfg.failover = false;
+        let without = simulate_cluster(&cfg);
+        assert_eq!(without.spills, 0, "no failover, no cross-platform spill");
+    }
+
+    #[test]
+    fn wave_schedule_is_deterministic_and_spot_scoped() {
+        let wave = WaveModel {
+            waves_per_hr: 60.0,
+            frac: 0.5,
+            seed: 11,
+        };
+        let a = wave.events_per_spot_node(4, 600.0);
+        let b = wave.events_per_spot_node(4, 600.0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        // frac 0.5 of 4 -> 2 victims per wave.
+        let total: usize = a.iter().map(Vec::len).sum();
+        let waves = total / 2;
+        assert!(waves > 0, "60/hr over 600s must produce waves");
+        assert_eq!(total, waves * 2);
+        for events in &a {
+            for w in events.windows(2) {
+                assert!(w[0].at_s <= w[1].at_s);
+            }
+            for e in events {
+                assert_eq!(e.kind, FaultKind::SpotPreemption);
+                let (lo, hi) = FaultKind::SpotPreemption.outage_band_s();
+                assert!(e.outage_s >= lo && e.outage_s <= hi);
+            }
+        }
+        assert!(WaveModel::none().events_per_spot_node(4, 600.0) == vec![Vec::new(); 4]);
+    }
+
+    #[test]
+    fn breaker_recloses_after_early_fault_burst() {
+        // All faults land in the first three seconds; the rest of the
+        // trace is clean, so the tripped breaker must end Closed
+        // (liveness: an open breaker cannot absorb the healthy tail).
+        let mut burst = quiet_node(1);
+        burst.extra_events = (0..4)
+            .map(|k| FaultEvent {
+                at_s: 1.0 + 0.5 * f64::from(k),
+                kind: FaultKind::EnclaveCrash,
+                outage_s: 1.0,
+            })
+            .collect();
+        let mut cfg = small_cluster(vec![burst, quiet_node(2)], WaveModel::none(), true);
+        cfg.serving.arrivals.rate_per_s = 2.0; // healthy tail of traffic
+        let r = simulate_cluster(&cfg);
+        assert!(
+            r.nodes[0].breaker_trips > 0,
+            "four crashes in the window must trip"
+        );
+        for (i, n) in r.nodes.iter().enumerate() {
+            assert_eq!(
+                n.breaker_final,
+                BreakerState::Closed,
+                "node {i} breaker stuck ({} trips, {} closes)",
+                n.breaker_trips,
+                n.breaker_closes
+            );
+            // A burst event landing mid-probe re-opens the breaker, so
+            // trips may exceed closes; ending Closed still requires the
+            // final probe to have closed.
+            assert!(n.breaker_trips >= n.breaker_closes);
+        }
+        assert!(r.nodes[0].breaker_closes >= 1);
+        assert_eq!(r.completed + r.aborted + r.rejected, r.arrivals);
+    }
+}

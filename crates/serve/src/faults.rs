@@ -258,14 +258,26 @@ impl Default for RecoveryPolicy {
 }
 
 impl RecoveryPolicy {
+    /// Largest exponent the backoff doubling may reach: caps the
+    /// `factor^(attempt-1)` growth *before* the multiply so huge attempt
+    /// counts (or huge factors) can never overflow to infinity.
+    pub const MAX_BACKOFF_EXPONENT: u32 = 30;
+
+    /// Ceiling on any single backoff delay, seconds. One hour: past
+    /// that, waiting longer carries no information — the node is gone.
+    pub const MAX_BACKOFF_S: f64 = 3600.0;
+
     /// Backoff delay before re-queue attempt `attempt` (1-based) becomes
-    /// eligible: `base * factor^(attempt-1)`.
+    /// eligible: `base * factor^(attempt-1)`, with the exponent capped at
+    /// [`Self::MAX_BACKOFF_EXPONENT`] and the product clamped to
+    /// [`Self::MAX_BACKOFF_S`] — finite for every `attempt` up to
+    /// `u32::MAX` and every finite factor.
     #[must_use]
     pub fn backoff_s(&self, attempt: u32) -> f64 {
-        self.backoff_base_s
-            * self
-                .backoff_factor
-                .powi(attempt.saturating_sub(1).min(30) as i32)
+        let exponent = attempt.saturating_sub(1).min(Self::MAX_BACKOFF_EXPONENT);
+        #[allow(clippy::cast_possible_wrap)] // exponent <= 30
+        let delay = self.backoff_base_s * self.backoff_factor.powi(exponent as i32);
+        delay.min(Self::MAX_BACKOFF_S)
     }
 }
 
@@ -347,6 +359,39 @@ impl FaultPlan {
     pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Stable two-way merge: interleave `other`'s events into this plan
+    /// by event time, preserving the *relative order* of each input
+    /// stream exactly (ties go to `self`'s event). The cluster layer
+    /// merges correlated-wave preemptions into a node's independent base
+    /// schedule this way, so layering a wave never reorders the node's
+    /// own Poisson streams. The merged plan keeps `self`'s policy.
+    #[must_use]
+    pub fn merge(self, other: FaultPlan) -> FaultPlan {
+        let mut events = Vec::with_capacity(self.events.len() + other.events.len());
+        let (mut a, mut b) = (
+            self.events.into_iter().peekable(),
+            other.events.into_iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.at_s <= y.at_s {
+                        events.push(a.next().expect("peeked"));
+                    } else {
+                        events.push(b.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => events.push(a.next().expect("peeked")),
+                (None, Some(_)) => events.push(b.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        FaultPlan {
+            events,
+            policy: self.policy,
+        }
     }
 
     /// Whether the plan injects anything at all.
@@ -472,6 +517,52 @@ mod tests {
         assert!((p.backoff_s(1) - p.backoff_base_s).abs() < 1e-12);
         assert!((p.backoff_s(3) - p.backoff_base_s * 4.0).abs() < 1e-12);
         assert!(p.backoff_s(100).is_finite(), "backoff exponent is capped");
+    }
+
+    #[test]
+    fn backoff_is_finite_past_the_exponent_boundary() {
+        // attempt = 63 is past the exponent cap: the doubling must stop
+        // at MAX_BACKOFF_EXPONENT, never overflow, and clamp to the
+        // delay ceiling. Same for the absolute u32 boundary.
+        let p = RecoveryPolicy::default();
+        for attempt in [63, 64, u32::MAX] {
+            let d = p.backoff_s(attempt);
+            assert!(d.is_finite(), "attempt {attempt} gave {d}");
+            assert!(
+                d <= RecoveryPolicy::MAX_BACKOFF_S,
+                "attempt {attempt} gave {d}"
+            );
+            assert_eq!(
+                d,
+                p.backoff_s(RecoveryPolicy::MAX_BACKOFF_EXPONENT + 1),
+                "capped attempts must all share the ceiling delay"
+            );
+        }
+        // A pathological factor cannot smuggle an infinity past the cap.
+        let hot = RecoveryPolicy {
+            backoff_factor: 1e300,
+            ..RecoveryPolicy::default()
+        };
+        assert!(hot.backoff_s(63).is_finite());
+        assert!(hot.backoff_s(63) <= RecoveryPolicy::MAX_BACKOFF_S);
+    }
+
+    #[test]
+    fn merge_interleaves_by_time_and_keeps_left_policy() {
+        let a = FaultPlan::seeded(&tdx_rates(), 60.0, 1).with_policy(RecoveryPolicy {
+            max_retries: 7,
+            ..RecoveryPolicy::default()
+        });
+        let b = FaultPlan::seeded(&tdx_rates(), 60.0, 2);
+        let merged = a.clone().merge(b.clone());
+        assert_eq!(merged.events.len(), a.events.len() + b.events.len());
+        assert_eq!(merged.policy.max_retries, 7);
+        for w in merged.events.windows(2) {
+            assert!(w[0].at_s <= w[1].at_s, "merge must stay time-ordered");
+        }
+        // Merging the empty plan is the identity on events.
+        let same = a.clone().merge(FaultPlan::none());
+        assert_eq!(same.events, a.events);
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   storms, EPC-paging and bounce-buffer stalls, spot preemptions);
 //!   the event loop recovers with bounded retry, exponential backoff
 //!   and re-attestation tolls.
+//! * [`router`] — cluster admission control (queue caps, deadlines, a
+//!   `Rejected` terminal state) and per-node circuit breakers whose
+//!   close pays a real attested re-handshake.
+//! * [`cluster`] — the multi-node simulation: heterogeneous fleets
+//!   behind a failover router surviving correlated preemption waves,
+//!   with cross-platform spills priced via `cllm-cost`.
 //!
 //! # Example
 //!
@@ -39,7 +45,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod faults;
+pub mod router;
 pub mod scheduler;
 pub mod sim;
 pub mod slo;

@@ -1,0 +1,286 @@
+//! Cluster front door: bounded admission and per-node circuit breakers.
+//!
+//! A single faulted node degrades; a *fleet* behind a router survives —
+//! but only if the router refuses work it cannot serve (bounded
+//! admission with a `Rejected` terminal state) and stops feeding nodes
+//! that are failing (circuit breakers). Both mechanisms are plain
+//! deterministic state machines here, driven entirely by simulation
+//! time, so cluster runs stay byte-reproducible.
+//!
+//! # Breaker state machine
+//!
+//! ```text
+//!             error rate over window
+//!   Closed ───────────────────────────▶ Open
+//!     ▲                                  │ cooloff elapses
+//!     │ probe completes                  ▼
+//!     └─────────────────────────────  HalfOpen
+//!              (re-attestation toll)     │ error during probe
+//!                                        └──────▶ Open again
+//! ```
+//!
+//! Closing the breaker is not free: the node re-attests through the
+//! real `cllm_tee::session` handshake (see
+//! [`attested_rehandshake`](crate::faults::attested_rehandshake)), and
+//! the cluster charges
+//! [`RecoveryPolicy::reattest_s`](crate::faults::RecoveryPolicy) — the
+//! recovery toll both H100-CC measurement studies flag as the dominant
+//! rejoin cost.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Bounded admission: how much waiting work the router may park on a
+/// node, and how stale a request may get before it is shed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Maximum queued (not yet running) requests per node; a fresh
+    /// arrival finding every queue at the cap is `Rejected`.
+    pub queue_cap: usize,
+    /// Per-request deadline, seconds from original arrival: a request
+    /// still waiting in a queue past its deadline is shed as `Rejected`
+    /// (it would miss any interactive SLO anyway).
+    pub deadline_s: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            queue_cap: 32,
+            deadline_s: 30.0,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// No bounds: every arrival is queued, nothing is ever shed. Makes a
+    /// cluster run conservative-compatible with the single-node
+    /// simulator (`rejected == 0`).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        AdmissionPolicy {
+            queue_cap: usize::MAX,
+            deadline_s: f64::INFINITY,
+        }
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Sliding window of recent outcomes (fault events and request
+    /// completions) the error rate is judged over.
+    pub window: usize,
+    /// Errors within the window that trip the breaker open.
+    pub trip_errors: usize,
+    /// How long an open breaker refuses traffic before letting one probe
+    /// through, seconds.
+    pub cooloff_s: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            trip_errors: 3,
+            cooloff_s: 5.0,
+        }
+    }
+}
+
+/// Breaker position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: traffic flows.
+    Closed,
+    /// Tripped: no new work until the cooloff elapses.
+    Open,
+    /// Cooloff elapsed: one probe admitted; its outcome decides.
+    HalfOpen,
+}
+
+/// Per-node circuit breaker: error-rate window → open → half-open probe
+/// → close, with the close paying a fresh attested handshake.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    open_until_s: f64,
+    recent: VecDeque<bool>, // true = error
+    /// Times the breaker tripped open.
+    pub trips: u64,
+    /// Times a half-open probe closed the breaker.
+    pub closes: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with an empty window.
+    #[must_use]
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            open_until_s: 0.0,
+            recent: VecDeque::new(),
+            trips: 0,
+            closes: 0,
+        }
+    }
+
+    /// Current position.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    fn push(&mut self, error: bool) {
+        self.recent.push_back(error);
+        while self.recent.len() > self.cfg.window {
+            self.recent.pop_front();
+        }
+    }
+
+    /// Record a fault on the node at `now_s`. Trips the breaker when the
+    /// window's error count reaches the threshold; any error during a
+    /// half-open probe re-opens immediately.
+    pub fn record_error(&mut self, now_s: f64) {
+        self.push(true);
+        let errors = self.recent.iter().filter(|&&e| e).count();
+        let trip = match self.state {
+            BreakerState::HalfOpen => true, // failed probe
+            BreakerState::Closed => errors >= self.cfg.trip_errors,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.state = BreakerState::Open;
+            self.open_until_s = now_s + self.cfg.cooloff_s;
+            self.recent.clear();
+            self.trips += 1;
+        }
+    }
+
+    /// Record a successful completion on the node. In half-open state
+    /// the probe succeeded: the breaker closes and the caller must
+    /// charge the re-attestation toll. Returns `true` exactly when this
+    /// call closed the breaker.
+    pub fn record_success(&mut self) -> bool {
+        self.push(false);
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            self.closes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the router may send new work to the node at `now_s`.
+    /// An open breaker whose cooloff has elapsed transitions to
+    /// half-open here (and admits the probe).
+    pub fn accepts(&mut self, now_s: f64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_s >= self.open_until_s {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Pick the routing target among candidate nodes: the accepting node
+/// with the shallowest queue, ties to the lowest id. `depths` pairs each
+/// candidate node id with its current queue depth (queued + running);
+/// `accepts` must already reflect breaker + capacity checks. Returns
+/// `None` when no candidate accepts — the caller sheds or falls back.
+#[must_use]
+pub fn route_least_loaded(candidates: &[(usize, usize)]) -> Option<usize> {
+    candidates
+        .iter()
+        .min_by_key(|&&(id, depth)| (depth, id))
+        .map(|&(id, _)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_trips_on_error_rate_and_reprobes() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            trip_errors: 2,
+            cooloff_s: 10.0,
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_error(1.0);
+        assert_eq!(b.state(), BreakerState::Closed, "one error is tolerated");
+        b.record_error(2.0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips, 1);
+        assert!(!b.accepts(5.0), "cooloff still running");
+        assert!(b.accepts(12.0), "cooloff elapsed admits the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.record_success(), "probe success closes the breaker");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.closes, 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            trip_errors: 2,
+            cooloff_s: 10.0,
+        });
+        b.record_error(0.0);
+        b.record_error(0.0);
+        assert!(b.accepts(11.0));
+        b.record_error(11.5); // the probe's node faulted again
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips, 2);
+        assert!(!b.accepts(12.0));
+        assert!(b.accepts(25.0));
+        assert!(b.record_success());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn successes_age_errors_out_of_the_window() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            window: 3,
+            trip_errors: 2,
+            cooloff_s: 1.0,
+        });
+        b.record_error(0.0);
+        assert!(!b.record_success());
+        assert!(!b.record_success());
+        assert!(!b.record_success()); // the error has left the window
+        b.record_error(1.0);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "a lone error in a healthy window must not trip"
+        );
+    }
+
+    #[test]
+    fn routing_prefers_shallow_queue_then_low_id() {
+        assert_eq!(route_least_loaded(&[(0, 5), (1, 2), (2, 2)]), Some(1));
+        assert_eq!(route_least_loaded(&[(3, 0)]), Some(3));
+        assert_eq!(route_least_loaded(&[]), None);
+    }
+
+    #[test]
+    fn unbounded_admission_never_sheds() {
+        let p = AdmissionPolicy::unbounded();
+        assert_eq!(p.queue_cap, usize::MAX);
+        assert!(p.deadline_s.is_infinite());
+        let d = AdmissionPolicy::default();
+        assert!(d.queue_cap < usize::MAX && d.deadline_s.is_finite());
+    }
+}

@@ -44,12 +44,25 @@ pub struct SchedulerLimits {
     pub kv_budget_bytes: f64,
 }
 
+/// Queue-pressure statistics the batcher accumulates so shedding
+/// decisions are observable even in fault-free runs: the deepest the
+/// admission queue ever got, and the waits (enqueue → admission) of
+/// every admitted request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueueStats {
+    /// Deepest the admission queue got, in requests.
+    pub depth_peak: usize,
+    /// Per-admission queue waits, seconds, in admission order.
+    pub waits_s: Vec<f64>,
+}
+
 /// The continuous batcher: a FIFO admission queue plus the running batch.
 #[derive(Debug)]
 pub struct ContinuousBatcher {
     limits: SchedulerLimits,
-    queue: VecDeque<Request>,
+    queue: VecDeque<(Request, f64)>, // (request, enqueue time)
     running: Vec<ActiveRequest>,
+    stats: QueueStats,
 }
 
 impl ContinuousBatcher {
@@ -60,18 +73,50 @@ impl ContinuousBatcher {
             limits,
             queue: VecDeque::new(),
             running: Vec::new(),
+            stats: QueueStats::default(),
         }
     }
 
-    /// Enqueue an arriving request.
+    /// Enqueue an arriving request; its queue wait is measured from its
+    /// own arrival time.
     pub fn enqueue(&mut self, request: Request) {
-        self.queue.push_back(request);
+        let at_s = request.arrival_s;
+        self.enqueue_at(request, at_s);
+    }
+
+    /// Enqueue a request whose wait clock starts at `at_s` — retried
+    /// victims re-enter the queue long after their original arrival.
+    pub fn enqueue_at(&mut self, request: Request, at_s: f64) {
+        self.queue.push_back((request, at_s));
+        self.stats.depth_peak = self.stats.depth_peak.max(self.queue.len());
     }
 
     /// Requests waiting for admission.
     #[must_use]
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Queue-pressure statistics accumulated so far.
+    #[must_use]
+    pub fn queue_stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    /// Remove and return every queued request matching `pred` (admission
+    /// control: deadline shedding). Running requests are untouched.
+    pub fn shed(&mut self, pred: impl Fn(&Request) -> bool) -> Vec<Request> {
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        let mut shed = Vec::new();
+        for (request, at_s) in self.queue.drain(..) {
+            if pred(&request) {
+                shed.push(request);
+            } else {
+                kept.push_back((request, at_s));
+            }
+        }
+        self.queue = kept;
+        shed
     }
 
     /// The running batch.
@@ -107,7 +152,7 @@ impl ContinuousBatcher {
             })
             .sum();
         while self.running.len() + admitted.len() < self.limits.max_batch {
-            let Some(front) = self.queue.front() else {
+            let Some((front, _)) = self.queue.front() else {
                 break;
             };
             let need =
@@ -116,9 +161,9 @@ impl ContinuousBatcher {
                 break; // FIFO head-of-line blocking, like vLLM's default
             }
             kv_reserved += need;
-            let request = self.queue.pop_front().expect("front checked");
+            let (request, enqueued_s) = self.queue.pop_front().expect("front checked");
+            self.stats.waits_s.push((now_s - enqueued_s).max(0.0));
             admitted.push(request);
-            let _ = now_s;
         }
         admitted
     }
@@ -254,6 +299,41 @@ mod tests {
         let admitted = s.admit(&model, DType::Bf16, 0.2);
         assert_eq!(admitted.len(), 1);
         assert_eq!(admitted[0].id, 2);
+    }
+
+    #[test]
+    fn queue_stats_track_depth_and_waits() {
+        let model = zoo::llama2_7b();
+        let mut s = ContinuousBatcher::new(limits(2, 100.0));
+        for i in 0..4 {
+            s.enqueue(req(i, 16, 4)); // arrival_s = 0.0
+        }
+        assert_eq!(s.queue_stats().depth_peak, 4);
+        let admitted = s.admit(&model, DType::Bf16, 0.5);
+        assert_eq!(admitted.len(), 2);
+        // Both admissions waited 0.5 s from their arrival at t=0.
+        assert_eq!(s.queue_stats().waits_s, vec![0.5, 0.5]);
+        // A retry enqueued late measures its wait from the re-enqueue.
+        s.enqueue_at(req(9, 16, 4), 10.0);
+        let _ = s.step(); // nothing running; no-op
+        assert_eq!(s.queue_stats().depth_peak, 4, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn shed_removes_only_matching_queued_requests() {
+        let model = zoo::llama2_7b();
+        let mut s = ContinuousBatcher::new(limits(1, 100.0));
+        for i in 0..3 {
+            s.enqueue(req(i, 16, 4));
+        }
+        for r in s.admit(&model, DType::Bf16, 0.0) {
+            s.start(r, 0.1);
+        }
+        let shed = s.shed(|r| r.id == 2);
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].id, 2);
+        assert_eq!(s.queued(), 1);
+        assert_eq!(s.running().len(), 1, "running batch untouched by shed");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! byte-identical to the historic fault-free loop.
 
 use crate::faults::{attested_rehandshake, FaultEvent, FaultPlan};
-use crate::scheduler::{ContinuousBatcher, SchedulerLimits};
+use crate::scheduler::{ContinuousBatcher, QueueStats, SchedulerLimits};
 use crate::slo::{percentile_of, ServingReport};
 use crate::workload::{ArrivalProcess, Request};
 use cllm_hw::{DType, GpuModel};
@@ -200,11 +200,11 @@ pub fn simulate_serving_faulted(
     plan: &FaultPlan,
 ) -> ServingReport {
     if cfg.arrivals.rate_per_s <= 0.0 || cfg.duration_s <= 0.0 {
-        return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0);
+        return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default());
     }
     let trace = cfg.arrivals.trace(cfg.duration_s);
     if trace.is_empty() {
-        return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0);
+        return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default());
     }
     let mut pending: VecDeque<Request> = trace.iter().copied().collect();
     let total_arrivals = pending.len();
@@ -229,6 +229,7 @@ pub fn simulate_serving_faulted(
             apply_fault(
                 &ev,
                 plan,
+                cfg.duration_s,
                 handshake_seq,
                 &mut scheduler,
                 &mut retry_queue,
@@ -259,7 +260,10 @@ pub fn simulate_serving_faulted(
                 })
                 .map(|(i, _)| i);
             match next {
-                Some(i) => scheduler.enqueue(retry_queue.swap_remove(i).request),
+                // The retry's queue-wait clock starts at re-delivery, not
+                // at its original arrival — the spent time is already in
+                // its TTFT.
+                Some(i) => scheduler.enqueue_at(retry_queue.swap_remove(i).request, now),
                 None => break,
             }
         }
@@ -333,14 +337,21 @@ pub fn simulate_serving_faulted(
         retries,
         aborted,
         downtime_s,
+        scheduler.queue_stats(),
     )
 }
 
-/// Apply one fault event at an iteration boundary.
+/// Apply one fault event at an iteration boundary. An outage whose tail
+/// extends past the arrival horizon `horizon_s` is clamped at the
+/// horizon: the simulation stops charging unavailable time beyond the
+/// last instant the trace could still demand service, so a late long
+/// preemption cannot inflate the makespan (and depress availability)
+/// with downtime no request ever observed.
 #[allow(clippy::too_many_arguments)]
 fn apply_fault(
     ev: &FaultEvent,
     plan: &FaultPlan,
+    horizon_s: f64,
     handshake_seq: u64,
     scheduler: &mut ContinuousBatcher,
     retry_queue: &mut Vec<RetryEntry>,
@@ -359,6 +370,7 @@ fn apply_fault(
         *downtime_s += plan.policy.reattest_s;
         return;
     }
+    let outage_s = ev.outage_s.min((horizon_s - ev.at_s).max(0.0));
     if ev.kind.loses_state() {
         for victim in scheduler.drain_running() {
             let n = attempts_of.entry(victim.request.id).or_insert(0);
@@ -369,16 +381,17 @@ fn apply_fault(
                 *retries += 1;
                 retry_queue.push(RetryEntry {
                     request: victim.request,
-                    eligible_s: ev.at_s + ev.outage_s + plan.policy.backoff_s(*n),
+                    eligible_s: ev.at_s + outage_s + plan.policy.backoff_s(*n),
                 });
             }
         }
     }
     // Both crash- and stall-class events hold the node for the outage.
-    *now += ev.outage_s;
-    *downtime_s += ev.outage_s;
+    *now += outage_s;
+    *downtime_s += outage_s;
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_report(
     arrivals: usize,
     useful_tokens: u64,
@@ -387,6 +400,7 @@ fn build_report(
     retries: u64,
     aborted: usize,
     downtime_s: f64,
+    queue: &QueueStats,
 ) -> ServingReport {
     records.sort_by_key(|a| a.id);
     let ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
@@ -408,6 +422,17 @@ fn build_report(
             0.0
         } else {
             useful_tokens as f64 / makespan_s.max(1e-9)
+        },
+        queue_depth_peak: queue.depth_peak,
+        queue_wait_mean_s: if queue.waits_s.is_empty() {
+            0.0
+        } else {
+            queue.waits_s.iter().sum::<f64>() / queue.waits_s.len() as f64
+        },
+        queue_wait_p99_s: if queue.waits_s.is_empty() {
+            0.0
+        } else {
+            percentile_of(&queue.waits_s, 0.99)
         },
         ttft_p50_s: if ttft.is_empty() {
             0.0
@@ -658,5 +683,60 @@ mod tests {
         fn downtime_like(&self) -> f64 {
             (1.0 - self.availability) * self.makespan_s
         }
+    }
+
+    #[test]
+    fn queue_stats_surface_without_faults() {
+        // Heavy load queues requests even in a fault-free run; the report
+        // must expose depth and wait statistics for shedding decisions.
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess {
+                rate_per_s: 12.0,
+                ..ServingConfig::small_test().arrivals
+            },
+            ..ServingConfig::small_test()
+        };
+        let report = simulate_serving(&cfg, &CpuTeeConfig::tdx());
+        assert!(report.queue_depth_peak > 1, "overload must queue");
+        assert!(report.queue_wait_mean_s > 0.0);
+        assert!(report.queue_wait_p99_s >= report.queue_wait_mean_s);
+        // Light load keeps the fields finite and small but present.
+        let light = simulate_serving(&ServingConfig::small_test(), &CpuTeeConfig::tdx());
+        assert!(light.queue_wait_mean_s.is_finite());
+        assert!(light.queue_depth_peak >= 1);
+    }
+
+    #[test]
+    fn outage_past_horizon_is_clamped() {
+        // A preemption at 29 s whose raw outage runs 1000 s past the 30 s
+        // horizon must charge only one second of downtime: availability
+        // stays pinned at <= 1.0 by construction and the makespan is not
+        // inflated by unavailable time no request could observe.
+        use crate::faults::{FaultEvent, FaultKind, RecoveryPolicy};
+        let cfg = ServingConfig::small_test();
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 29.0,
+                kind: FaultKind::SpotPreemption,
+                outage_s: 1000.0,
+            }],
+            policy: RecoveryPolicy::default(),
+        };
+        let node = ServingNode::Cpu {
+            tee: CpuTeeConfig::tdx(),
+        };
+        let report = simulate_serving_faulted(&cfg, &node, &plan);
+        assert_eq!(report.completed + report.aborted, report.arrivals);
+        assert!(
+            report.makespan_s < 100.0,
+            "makespan {} carries over-horizon downtime",
+            report.makespan_s
+        );
+        assert!(report.availability <= 1.0);
+        assert!(
+            report.availability > 0.9,
+            "availability {} charged beyond the horizon",
+            report.availability
+        );
     }
 }

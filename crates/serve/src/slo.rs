@@ -23,6 +23,13 @@ pub struct ServingReport {
     pub makespan_s: f64,
     /// Generated tokens per second over the makespan.
     pub goodput_tps: f64,
+    /// Deepest the admission queue ever got, in requests — the signal an
+    /// admission controller sheds on.
+    pub queue_depth_peak: usize,
+    /// Mean queue wait (enqueue → admission) across admissions, seconds.
+    pub queue_wait_mean_s: f64,
+    /// 99th-percentile queue wait across admissions, seconds.
+    pub queue_wait_p99_s: f64,
     /// Median time to first token, seconds.
     pub ttft_p50_s: f64,
     /// 95th-percentile time to first token, seconds.
@@ -139,6 +146,9 @@ mod tests {
             availability: 1.0,
             makespan_s: 10.0,
             goodput_tps: 100.0,
+            queue_depth_peak: 0,
+            queue_wait_mean_s: 0.0,
+            queue_wait_p99_s: 0.0,
             ttft_p50_s: 0.0,
             ttft_p95_s: 0.0,
             tpot_p50_s: 0.0,

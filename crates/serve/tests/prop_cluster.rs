@@ -1,0 +1,187 @@
+//! Property tests on the multi-node cluster simulation: cluster-wide
+//! conservation, determinism, and breaker liveness.
+
+use cllm_cost::{SpillPenalty, SpotParams};
+use cllm_serve::cluster::{simulate_cluster, ClusterConfig, NodeSpec, WaveModel};
+use cllm_serve::faults::{FaultEvent, FaultKind, FaultRates};
+use cllm_serve::router::{AdmissionPolicy, BreakerConfig, BreakerState};
+use cllm_serve::sim::{ServingConfig, ServingNode};
+use cllm_serve::workload::ArrivalProcess;
+use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, TeeKind};
+use proptest::prelude::*;
+
+fn serving(rate: f64, seed: u64) -> ServingConfig {
+    ServingConfig {
+        arrivals: ArrivalProcess {
+            rate_per_s: rate,
+            prompt_range: (16, 128),
+            output_range: (4, 32),
+            seed,
+        },
+        duration_s: 20.0,
+        ..ServingConfig::small_test()
+    }
+}
+
+/// Build a random heterogeneous fleet: bit `i` of `gpu_mask` picks the
+/// platform class of node `i`, bit `i` of `spot_mask` its rental.
+fn fleet(n_nodes: usize, gpu_mask: u32, spot_mask: u32, node_seed: u64) -> Vec<NodeSpec> {
+    (0..n_nodes)
+        .map(|i| {
+            let gpu = gpu_mask & (1 << i) != 0;
+            let spot = spot_mask & (1 << i) != 0;
+            let spot_params = if spot {
+                SpotParams::gcp_spot()
+            } else {
+                SpotParams::reserved()
+            };
+            let (node, kind) = if gpu {
+                (
+                    ServingNode::Gpu {
+                        gpu: cllm_hw::presets::h100_nvl(),
+                        tee: GpuTeeConfig::confidential(),
+                    },
+                    TeeKind::GpuCc,
+                )
+            } else {
+                (
+                    ServingNode::Cpu {
+                        tee: CpuTeeConfig::tdx(),
+                    },
+                    TeeKind::Tdx,
+                )
+            };
+            NodeSpec::new(
+                node,
+                spot,
+                FaultRates::for_platform(kind, &spot_params).scaled(600.0),
+                node_seed.wrapping_add(i as u64),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cluster-wide conservation: across random fleet shapes, wave
+    /// intensities/fractions, admission bounds and failover settings,
+    /// every arrival ends in exactly one terminal state —
+    /// `completed + aborted + rejected == arrivals`.
+    #[test]
+    fn cluster_conservation_under_random_fleets(
+        n_nodes in 1usize..5,
+        gpu_mask in 0u32..16,
+        spot_mask in 0u32..16,
+        node_seed in 0u64..40,
+        waves_per_hr in 0.0f64..400.0,
+        frac in 0.0f64..1.0,
+        wave_seed in 0u64..40,
+        rate in 0.5f64..4.0,
+        arrival_seed in 0u64..30,
+        failover_bit in 0u32..2,
+        queue_cap in 1usize..40,
+    ) {
+        let cfg = ClusterConfig {
+            serving: serving(rate, arrival_seed),
+            nodes: fleet(n_nodes, gpu_mask, spot_mask, node_seed),
+            admission: AdmissionPolicy { queue_cap, deadline_s: 15.0 },
+            breaker: BreakerConfig::default(),
+            wave: WaveModel { waves_per_hr, frac, seed: wave_seed },
+            failover: failover_bit == 1,
+            spill: SpillPenalty::cross_platform(),
+        };
+        let r = simulate_cluster(&cfg);
+        prop_assert_eq!(
+            r.completed + r.aborted + r.rejected,
+            r.arrivals,
+            "lost requests: {} + {} + {} != {}",
+            r.completed,
+            r.aborted,
+            r.rejected,
+            r.arrivals
+        );
+        prop_assert!(r.availability >= 0.0 && r.availability <= 1.0);
+        prop_assert!(r.makespan_s.is_finite());
+        prop_assert_eq!(r.nodes.len(), n_nodes);
+        prop_assert_eq!(r.completed, r.nodes.iter().map(|n| n.completed).sum::<usize>());
+        for n in &r.nodes {
+            prop_assert!(n.availability >= 0.0 && n.availability <= 1.0);
+        }
+        for rec in &r.records {
+            prop_assert!(rec.ttft_s > 0.0 && rec.e2e_s >= rec.ttft_s, "id {}", rec.id);
+        }
+    }
+
+    /// The whole cluster simulation is deterministic in its seeds: two
+    /// runs agree field by field and byte by byte once serialized.
+    #[test]
+    fn cluster_runs_are_deterministic(
+        n_nodes in 1usize..4,
+        gpu_mask in 0u32..8,
+        node_seed in 0u64..20,
+        waves_per_hr in 0.0f64..300.0,
+        frac in 0.0f64..1.0,
+        arrival_seed in 0u64..20,
+    ) {
+        let cfg = ClusterConfig {
+            serving: serving(1.5, arrival_seed),
+            nodes: fleet(n_nodes, gpu_mask, 0b1111, node_seed),
+            admission: AdmissionPolicy::default(),
+            breaker: BreakerConfig::default(),
+            wave: WaveModel { waves_per_hr, frac, seed: node_seed },
+            failover: true,
+            spill: SpillPenalty::cross_platform(),
+        };
+        let a = simulate_cluster(&cfg);
+        let b = simulate_cluster(&cfg);
+        prop_assert_eq!(&a, &b);
+        let ja = serde_json::to_string(&a.records).expect("records serialize");
+        let jb = serde_json::to_string(&b.records).expect("records serialize");
+        prop_assert_eq!(ja, jb, "serialized records must be byte-identical");
+    }
+
+    /// Breaker liveness: when every fault lands in the first seconds of
+    /// the trace and the tail is clean, the breaker cannot stay stuck —
+    /// it must probe, close (paying its re-attestation), and end Closed,
+    /// with every trip matched by a close.
+    #[test]
+    fn breaker_closes_after_an_early_only_burst(
+        burst_len in 3u32..12,
+        gap_ms in 50u64..400,
+        arrival_seed in 0u64..30,
+        gpu_bit in 0u32..2,
+    ) {
+        let mut node = fleet(1, gpu_bit, 0, 7).pop().expect("one node");
+        node.rates = FaultRates::none();
+        #[allow(clippy::cast_precision_loss)]
+        let burst: Vec<FaultEvent> = (0..burst_len)
+            .map(|k| FaultEvent {
+                at_s: 0.2 + f64::from(k) * (gap_ms as f64 / 1000.0),
+                kind: FaultKind::EnclaveCrash,
+                outage_s: 0.2,
+            })
+            .collect();
+        node.extra_events = burst;
+        let cfg = ClusterConfig {
+            serving: serving(2.0, arrival_seed),
+            nodes: vec![node],
+            admission: AdmissionPolicy::default(),
+            breaker: BreakerConfig::default(),
+            wave: WaveModel::none(),
+            failover: true,
+            spill: SpillPenalty::none(),
+        };
+        let r = simulate_cluster(&cfg);
+        prop_assert_eq!(r.completed + r.aborted + r.rejected, r.arrivals);
+        let n = &r.nodes[0];
+        prop_assert!(n.breaker_trips > 0, "a dense crash burst must trip");
+        prop_assert_eq!(n.breaker_final, BreakerState::Closed,
+            "breaker stuck after {} trips / {} closes", n.breaker_trips, n.breaker_closes);
+        // A failed probe re-opens (trip without a close), so trips can
+        // exceed closes — but ending Closed requires the last probe to
+        // have closed, and every close paid a re-attestation.
+        prop_assert!(n.breaker_closes >= 1);
+        prop_assert!(n.breaker_trips >= n.breaker_closes);
+    }
+}

@@ -120,4 +120,44 @@ proptest! {
         let b = FaultPlan::seeded(&rates, 30.0, seed);
         prop_assert_eq!(a, b);
     }
+
+    /// Merging two seeded plans — e.g. two disjoint nodes' independent
+    /// streams, or a node's base stream with its share of a correlated
+    /// wave — never reorders either side: each input's events appear in
+    /// the merged plan as a subsequence, in their original order, with
+    /// nothing dropped and the merged stream still time-sorted.
+    #[test]
+    fn merge_preserves_each_plans_event_order(
+        seed_a in 0u64..50,
+        seed_b in 0u64..50,
+        scale_a in 1.0f64..2000.0,
+        scale_b in 1.0f64..2000.0,
+        kind_a in 0usize..4,
+        kind_b in 0usize..4,
+    ) {
+        let kinds = [TeeKind::Tdx, TeeKind::Sgx, TeeKind::SevSnp, TeeKind::GpuCc];
+        let a = FaultPlan::seeded(
+            &FaultRates::for_platform(kinds[kind_a], &SpotParams::gcp_spot()).scaled(scale_a),
+            30.0,
+            seed_a,
+        );
+        let b = FaultPlan::seeded(
+            &FaultRates::for_platform(kinds[kind_b], &SpotParams::azure_spot_gpu()).scaled(scale_b),
+            30.0,
+            seed_b,
+        );
+        let merged = a.clone().merge(b.clone());
+        prop_assert_eq!(merged.events.len(), a.events.len() + b.events.len());
+        for w in merged.events.windows(2) {
+            prop_assert!(w[0].at_s <= w[1].at_s, "merge broke time order");
+        }
+        for side in [&a, &b] {
+            // Greedy subsequence match: if any event were reordered or
+            // dropped, the scan would run out of merged events.
+            let mut it = merged.events.iter();
+            for e in &side.events {
+                prop_assert!(it.any(|m| m == e), "event {e:?} lost or reordered");
+            }
+        }
+    }
 }

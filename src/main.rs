@@ -8,15 +8,19 @@
 //! cllm plan [--batch N] [--input N]      CPU-vs-cGPU cost recommendation
 //! cllm serve [--rate R] [--platform P]   online serving SLO report
 //!            [--faults S] [--fault-seed N]  ... under an injected fault schedule
+//!            [--nodes SPEC] [--failover on|off] [--waves W] [--wave-frac F]
+//!                                           ... on a multi-node cluster
 //! ```
 
 use cllm_core::experiments::{all_experiments, run_by_id};
 use cllm_core::pipeline::{ConfidentialPipeline, DeploymentSpec};
-use cllm_cost::SpotParams;
 use cllm_cost::{cost_advantage_pct, cost_per_mtok, CpuPricing, GpuPricing};
+use cllm_cost::{SpillPenalty, SpotParams};
 use cllm_hw::DType;
 use cllm_perf::{simulate_gpu, CpuTarget};
+use cllm_serve::cluster::{simulate_cluster, ClusterConfig, NodeSpec, WaveModel};
 use cllm_serve::faults::{FaultPlan, FaultRates};
+use cllm_serve::router::{AdmissionPolicy, BreakerConfig};
 use cllm_serve::sim::{simulate_serving_faulted, ServingConfig, ServingNode};
 use cllm_serve::slo::Slo;
 use cllm_serve::workload::ArrivalProcess;
@@ -62,7 +66,11 @@ fn print_usage() {
          cllm plan [--batch N] [--input N] cost recommendation: TDX vs confidential H100\n  \
          cllm serve [--rate R] [--platform P] [--duration S]  online SLO report\n  \
          cllm serve --faults S [--fault-seed N]  ... with a seeded fault schedule\n\
-         \x20                                   (S scales the platform's fault rates)\n\n\
+         \x20                                   (S scales the platform's fault rates)\n  \
+         cllm serve --nodes SPEC [--failover on|off] [--waves W] [--wave-frac F]\n\
+         \x20                                   multi-node cluster with admission control,\n\
+         \x20                                   circuit breakers and correlated preemption\n\
+         \x20                                   waves; SPEC like 2xcgpu-spot,2xtdx\n\n\
          platforms: bare, vm, tdx, sgx, sev-snp, gpu, cgpu"
     );
 }
@@ -273,6 +281,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         .get("duration")
         .and_then(|v| v.parse().ok())
         .unwrap_or(60.0);
+    if let Some(spec) = flags.get("nodes") {
+        return cmd_serve_cluster(flags, spec, rate, duration);
+    }
     let tee = match platform_from(flags) {
         Ok(Platform::Cpu(tee)) => tee,
         Ok(Platform::Gpu(_)) => {
@@ -337,5 +348,202 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         "SLO (2s TTFT, 200ms/token): {:.1}% attainment",
         report.slo_attainment(Slo::interactive()) * 100.0
     );
-    ExitCode::SUCCESS
+    if report.completed + report.aborted == report.arrivals {
+        println!(
+            "conservation : ok ({} arrivals accounted for)",
+            report.arrivals
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "conservation : VIOLATED ({} completed + {} aborted != {} arrivals)",
+            report.completed, report.aborted, report.arrivals
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Parse a fleet spec like `2xcgpu-spot,2xtdx` into node specs: each
+/// comma-separated group is `<count>x<platform>[-spot]`, with platforms
+/// named as in `--platform`.
+fn parse_fleet(spec: &str, fault_scale: f64, fault_seed: u64) -> Result<Vec<NodeSpec>, String> {
+    use cllm_tee::platform::TeeKind;
+    let mut nodes = Vec::new();
+    for group in spec.split(',') {
+        let (count, rest) = group
+            .split_once('x')
+            .ok_or_else(|| format!("bad node group {group:?}; expected <count>x<platform>"))?;
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("bad node count in {group:?}"))?;
+        let (name, spot) = rest
+            .strip_suffix("-spot")
+            .map_or((rest, false), |base| (base, true));
+        let (node, kind) = match name {
+            "bare" => (
+                ServingNode::Cpu {
+                    tee: CpuTeeConfig::bare_metal(),
+                },
+                TeeKind::BareMetal,
+            ),
+            "vm" => (
+                ServingNode::Cpu {
+                    tee: CpuTeeConfig::vm(),
+                },
+                TeeKind::Vm,
+            ),
+            "tdx" => (
+                ServingNode::Cpu {
+                    tee: CpuTeeConfig::tdx(),
+                },
+                TeeKind::Tdx,
+            ),
+            "sgx" => (
+                ServingNode::Cpu {
+                    tee: CpuTeeConfig::sgx(),
+                },
+                TeeKind::Sgx,
+            ),
+            "sev-snp" | "sev" => (
+                ServingNode::Cpu {
+                    tee: CpuTeeConfig::sev_snp(),
+                },
+                TeeKind::SevSnp,
+            ),
+            "gpu" => (
+                ServingNode::Gpu {
+                    gpu: cllm_hw::presets::h100_nvl(),
+                    tee: GpuTeeConfig::native(),
+                },
+                TeeKind::GpuNative,
+            ),
+            "cgpu" => (
+                ServingNode::Gpu {
+                    gpu: cllm_hw::presets::h100_nvl(),
+                    tee: GpuTeeConfig::confidential(),
+                },
+                TeeKind::GpuCc,
+            ),
+            other => return Err(format!("unknown platform {other:?} in {group:?}")),
+        };
+        let spot_params = match (spot, matches!(node, ServingNode::Gpu { .. })) {
+            (true, true) => SpotParams::azure_spot_gpu(),
+            (true, false) => SpotParams::gcp_spot(),
+            (false, _) => SpotParams::reserved(),
+        };
+        for _ in 0..count {
+            let rates = if fault_scale > 0.0 {
+                FaultRates::for_platform(kind, &spot_params).scaled(fault_scale)
+            } else {
+                FaultRates::none()
+            };
+            let seed = fault_seed.wrapping_add(nodes.len() as u64);
+            nodes.push(NodeSpec::new(node.clone(), spot, rates, seed));
+        }
+    }
+    if nodes.is_empty() {
+        return Err(format!("empty fleet spec {spec:?}"));
+    }
+    Ok(nodes)
+}
+
+fn cmd_serve_cluster(
+    flags: &HashMap<String, String>,
+    spec: &str,
+    rate: f64,
+    duration: f64,
+) -> ExitCode {
+    let fault_scale = flags
+        .get("faults")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.0);
+    let fault_seed = num_flag(flags, "fault-seed", 42);
+    let nodes = match parse_fleet(spec, fault_scale, fault_seed) {
+        Ok(nodes) => nodes,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let failover = match flags.get("failover").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            eprintln!("bad --failover {other:?}; expected on|off");
+            return ExitCode::from(2);
+        }
+    };
+    let waves_per_hr = flags
+        .get("waves")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.0);
+    let wave_frac = flags
+        .get("wave-frac")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.75);
+    let n_nodes = nodes.len();
+    let cfg = ClusterConfig {
+        serving: ServingConfig {
+            arrivals: ArrivalProcess::chat(rate, 42),
+            duration_s: duration,
+            ..ServingConfig::small_test()
+        },
+        nodes,
+        admission: AdmissionPolicy::default(),
+        breaker: BreakerConfig::default(),
+        wave: WaveModel {
+            waves_per_hr,
+            frac: wave_frac,
+            seed: fault_seed,
+        },
+        failover,
+        spill: SpillPenalty::cross_platform(),
+    };
+    let report = simulate_cluster(&cfg);
+    println!(
+        "fleet {spec} | {n_nodes} nodes | rate {rate}/s | {} requests over {duration}s",
+        report.arrivals
+    );
+    println!(
+        "failover     : {} | waves {waves_per_hr}/hr hitting {:.0}% of spot nodes (seed {fault_seed})",
+        if failover { "on" } else { "off" },
+        wave_frac * 100.0
+    );
+    println!(
+        "terminal     : {} completed, {} rejected, {} aborted",
+        report.completed, report.rejected, report.aborted
+    );
+    println!(
+        "failover work: {} retries, {} cross-platform spills",
+        report.retries, report.spills
+    );
+    println!("availability : {:.1}%", report.availability * 100.0);
+    println!("goodput      : {:.1} tok/s", report.goodput_tps);
+    println!(
+        "TTFT         : p50 {:.2} s, p99 {:.2} s",
+        report.ttft_p50_s, report.ttft_p99_s
+    );
+    for (i, n) in report.nodes.iter().enumerate() {
+        println!(
+            "node {i}       : {} completed | availability {:.1}% | breaker {} trips / {} closes | queue peak {}",
+            n.completed,
+            n.availability * 100.0,
+            n.breaker_trips,
+            n.breaker_closes,
+            n.queue_depth_peak
+        );
+    }
+    if report.completed + report.aborted + report.rejected == report.arrivals {
+        println!(
+            "conservation : ok ({} arrivals accounted for)",
+            report.arrivals
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "conservation : VIOLATED ({} + {} + {} != {})",
+            report.completed, report.rejected, report.aborted, report.arrivals
+        );
+        ExitCode::FAILURE
+    }
 }
