@@ -1,0 +1,6 @@
+//! Time-attribution extension — span-accounted makespan shares (prefill,
+//! decode, re-attestation, idle, outage) under the resilience fault plan.
+
+fn main() {
+    let _ = cllm_bench::run_and_emit("time_attribution");
+}

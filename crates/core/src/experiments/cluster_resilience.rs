@@ -125,6 +125,18 @@ pub fn report_for(fleet: &str) -> ClusterReport {
     simulate_cluster(&config_for(fleet))
 }
 
+/// Span trace of all three fleets: one lane per fleet shape, in
+/// [`FLEETS`] order, each covering every node, breaker transition,
+/// failover re-queue and spill of that fleet's run.
+#[must_use]
+pub fn trace() -> cllm_obs::Trace {
+    use cllm_serve::cluster::simulate_cluster_traced;
+    let lanes = crate::runner::par_map(&FLEETS, crate::runner::grid_workers(), |fleet| {
+        simulate_cluster_traced(&config_for(fleet)).1
+    });
+    cllm_obs::Trace::merge(lanes)
+}
+
 /// Summed hourly price of the fleet: Azure NCC H100 rates for cGPU
 /// nodes, GCP CPU rates for TDX sockets (same pricing anchors as the
 /// single-node `resilience` experiment).

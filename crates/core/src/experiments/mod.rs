@@ -33,6 +33,7 @@
 //! | [`moe`] | extension — mixture-of-experts (Mixtral) under TDX |
 //! | [`resilience`] | extension — serving under injected TEE faults |
 //! | [`cluster_resilience`] | extension — multi-node fleets under correlated preemption waves |
+//! | [`time_attribution`] | extension — span-accounted makespan shares under faults |
 
 pub mod b100;
 pub mod cluster_resilience;
@@ -59,6 +60,7 @@ pub mod sev_snp;
 pub mod snc;
 pub mod table1;
 pub mod tco;
+pub mod time_attribution;
 
 pub use crate::table::{Column, ColumnKind, SchemaError, TypedResult, Unit, Value, SCHEMA_VERSION};
 
@@ -113,6 +115,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("moe", moe::run),
         ("resilience", resilience::run),
         ("cluster_resilience", cluster_resilience::run),
+        ("time_attribution", time_attribution::run),
     ]
 }
 
@@ -123,6 +126,29 @@ pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
         .into_iter()
         .find(|(eid, _)| *eid == id)
         .map(|(_, f)| f())
+}
+
+/// Experiments that can export a span trace (`--trace`), in registry
+/// order. Offline roofline sweeps have no event loop to trace; only the
+/// serving-simulation experiments do.
+pub const TRACEABLE: [&str; 4] = [
+    "serving",
+    "resilience",
+    "cluster_resilience",
+    "time_attribution",
+];
+
+/// Build the span trace for a traceable experiment. `None` if `id` is
+/// unknown or the experiment has nothing to trace (see [`TRACEABLE`]).
+#[must_use]
+pub fn trace_by_id(id: &str) -> Option<cllm_obs::Trace> {
+    match id {
+        "serving" => Some(serving::trace()),
+        "resilience" => Some(resilience::trace()),
+        "cluster_resilience" => Some(cluster_resilience::trace()),
+        "time_attribution" => Some(time_attribution::trace()),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -164,11 +190,12 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 25);
+        assert_eq!(ids.len(), 26);
         assert!(ids.contains(&"fig4"));
         assert!(ids.contains(&"table1"));
         assert!(ids.contains(&"resilience"));
         assert!(ids.contains(&"cluster_resilience"));
+        assert!(ids.contains(&"time_attribution"));
         assert!(run_by_id("nope").is_none());
     }
 }

@@ -101,6 +101,30 @@ pub fn report_for(kind: TeeKind, faults: bool) -> ServingReport {
     simulate_serving_faulted(&cfg, &node_for(kind), &plan)
 }
 
+/// [`report_for`] under the fault plan, plus the span trace of the run —
+/// the input to the `time_attribution` experiment and the `--trace`
+/// export. Same config, plan and seed as `report_for(kind, true)`, so
+/// the report halves are byte-identical.
+#[must_use]
+pub fn traced_report_for(kind: TeeKind) -> (ServingReport, cllm_obs::Trace) {
+    let cfg = config();
+    let rates = FaultRates::for_platform(kind, &spot_for(kind)).scaled(RATE_SCALE);
+    let plan = FaultPlan::seeded(&rates, cfg.duration_s, SCHEDULE_SEED);
+    cllm_serve::sim::simulate_serving_traced(&cfg, &node_for(kind), &plan)
+}
+
+/// Span trace of the faulted half of the experiment: one lane per
+/// platform, in [`PLATFORMS`] order (the fault-free half traces as pure
+/// busy/idle and is omitted — the interesting story is recovery). Lanes
+/// run through the runner's worker pool; merge order pins the bytes.
+#[must_use]
+pub fn trace() -> cllm_obs::Trace {
+    let lanes = crate::runner::par_map(&PLATFORMS, crate::runner::grid_workers(), |&kind| {
+        traced_report_for(kind).1
+    });
+    cllm_obs::Trace::merge(lanes)
+}
+
 /// Effective $/Mtoken realized by a report: the platform's hourly price
 /// over its *delivered* goodput, which already carries retry waste and
 /// downtime.

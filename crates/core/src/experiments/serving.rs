@@ -25,6 +25,29 @@ pub fn attainment(tee: &CpuTeeConfig, rate: f64) -> f64 {
     simulate_serving(&config(rate), tee).slo_attainment(Slo::interactive())
 }
 
+/// Span trace of the experiment's full grid: one lane per
+/// (rate, platform) cell, in the table's row order. Lanes run through
+/// the runner's worker pool; [`cllm_obs::Trace::merge`] assigns lane
+/// ids by input order, so the bytes are thread-count independent.
+#[must_use]
+pub fn trace() -> cllm_obs::Trace {
+    use cllm_serve::faults::FaultPlan;
+    use cllm_serve::sim::{simulate_serving_traced, ServingNode};
+    use cllm_tee::platform::TeeKind;
+    let tees = [TeeKind::BareMetal, TeeKind::Tdx, TeeKind::Sgx];
+    let cells = grid2(&[0.5f64, 1.5, 3.0], &tees);
+    let lanes = crate::runner::par_map(&cells, crate::runner::grid_workers(), |&(rate, kind)| {
+        let tee = match kind {
+            TeeKind::Tdx => CpuTeeConfig::tdx(),
+            TeeKind::Sgx => CpuTeeConfig::sgx(),
+            _ => CpuTeeConfig::bare_metal(),
+        };
+        let node = ServingNode::Cpu { tee };
+        simulate_serving_traced(&config(rate), &node, &FaultPlan::none()).1
+    });
+    cllm_obs::Trace::merge(lanes)
+}
+
 /// Run the experiment.
 #[must_use]
 pub fn run() -> ExperimentResult {

@@ -211,6 +211,71 @@ pub fn run_all_isolated(
     run_entries_isolated(&all_experiments(), workers)
 }
 
+/// Wall-clock and memoization profile for one experiment run. Collected
+/// by [`run_entries_profiled`] and reported on stderr only — profiles
+/// depend on the host machine and thread schedule, so they are kept out
+/// of goldens and every other deterministic artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProfile {
+    /// Registry id of the experiment.
+    pub id: &'static str,
+    /// Wall-clock seconds spent inside the experiment closure.
+    pub wall_s: f64,
+    /// `cllm_perf` cache hits observed while the experiment ran. Exact
+    /// when `workers == 1`; with a parallel pool, concurrent siblings
+    /// share the global counters, so the delta attributes their traffic
+    /// too.
+    pub cache_hits: u64,
+    /// `cllm_perf` cache misses observed while the experiment ran (same
+    /// attribution caveat as [`RunProfile::cache_hits`]).
+    pub cache_misses: u64,
+}
+
+impl RunProfile {
+    /// One-line human-readable rendering for stderr reports.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{:<22} {:>8.3}s  cache {:>5} hit / {:>5} miss",
+            self.id, self.wall_s, self.cache_hits, self.cache_misses
+        )
+    }
+}
+
+/// [`run_entries_isolated`] plus a per-experiment [`RunProfile`]:
+/// wall-clock time and the `cllm_perf` cache hit/miss delta observed
+/// around each entry. Results (and their order) are identical to the
+/// unprofiled run; the profile rides alongside and must never feed a
+/// golden.
+#[must_use]
+pub fn run_entries_profiled(
+    entries: &[ExperimentEntry],
+    workers: usize,
+) -> Vec<(
+    &'static str,
+    Result<ExperimentResult, ExperimentError>,
+    RunProfile,
+)> {
+    par_map(entries, workers, |&(id, run)| {
+        let stats0 = cllm_perf::cache::stats();
+        let t0 = std::time::Instant::now();
+        let outcome =
+            catch_unwind(AssertUnwindSafe(run)).map_err(|payload| ExperimentError::Panicked {
+                id: id.to_string(),
+                message: panic_message(payload.as_ref()),
+            });
+        let wall_s = t0.elapsed().as_secs_f64();
+        let stats1 = cllm_perf::cache::stats();
+        let profile = RunProfile {
+            id,
+            wall_s,
+            cache_hits: stats1.hits.saturating_sub(stats0.hits),
+            cache_misses: stats1.misses.saturating_sub(stats0.misses),
+        };
+        (id, outcome, profile)
+    })
+}
+
 /// Run a single experiment by id with panic isolation.
 ///
 /// # Errors
@@ -357,6 +422,33 @@ mod tests {
             }
             other => panic!("expected Panicked, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn profiled_run_matches_isolated_results() {
+        let entries: Vec<ExperimentEntry> = vec![("fig1", good), ("boom", bad)];
+        let plain = run_entries_isolated(&entries, 1);
+        let profiled = run_entries_profiled(&entries, 1);
+        assert_eq!(profiled.len(), plain.len());
+        for ((pid, pres, profile), (id, res)) in profiled.iter().zip(plain.iter()) {
+            assert_eq!(pid, id, "profiling must not reorder entries");
+            assert_eq!(pres, res, "profiling must not change results");
+            assert_eq!(profile.id, *id);
+            assert!(profile.wall_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn profile_renders_one_line() {
+        let p = RunProfile {
+            id: "fig1",
+            wall_s: 0.25,
+            cache_hits: 3,
+            cache_misses: 1,
+        };
+        let line = p.render();
+        assert!(line.contains("fig1") && line.contains("hit") && line.contains("miss"));
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Time-attribution accounting and the conservation invariants behind it.
+//!
+//! The simulators emit exactly one node-scoped span for every advance of
+//! their simulated clock, so the invariants here are structural, not
+//! statistical: if a clock advance were ever missed or double-counted,
+//! [`check`] fails rather than producing a quietly-wrong attribution.
+
+use crate::span::{Scope, Span, SpanKind, TimeClass};
+use crate::Trace;
+
+/// Per-node makespan decomposition, in simulated seconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeTotals {
+    /// Simulation lane the node belongs to.
+    pub lane: u32,
+    /// Node index within the lane.
+    pub node: u32,
+    /// Earliest span start (should be 0: coverage starts at the epoch).
+    pub start_s: f64,
+    /// Latest span end — the node's makespan.
+    pub makespan_s: f64,
+    /// Busy-class time (prefill + decode + reattest + requant).
+    pub busy_s: f64,
+    /// Idle-class time.
+    pub idle_s: f64,
+    /// Outage-class time (matches the report's `downtime_s`).
+    pub outage_s: f64,
+    /// Busy sub-total: prompt prefill.
+    pub prefill_s: f64,
+    /// Busy sub-total: batched decode steps.
+    pub decode_s: f64,
+    /// Busy sub-total: re-attestation handshakes paid at admission.
+    pub reattest_s: f64,
+    /// Busy sub-total: cross-platform spill re-quantisation.
+    pub requant_s: f64,
+}
+
+impl NodeTotals {
+    /// `busy + idle + outage` — conserved against [`NodeTotals::makespan_s`].
+    #[must_use]
+    pub fn accounted_s(&self) -> f64 {
+        self.busy_s + self.idle_s + self.outage_s
+    }
+}
+
+/// Decompose every node's makespan, sorted by `(lane, node)`.
+#[must_use]
+pub fn node_totals(trace: &Trace) -> Vec<NodeTotals> {
+    let mut out: Vec<NodeTotals> = Vec::new();
+    for s in &trace.spans {
+        let Scope::Node(node) = s.scope else { continue };
+        let t = match out.iter_mut().find(|t| t.lane == s.lane && t.node == node) {
+            Some(t) => t,
+            None => {
+                out.push(NodeTotals {
+                    lane: s.lane,
+                    node,
+                    start_s: s.start_s,
+                    ..NodeTotals::default()
+                });
+                out.last_mut().expect("just pushed")
+            }
+        };
+        t.start_s = t.start_s.min(s.start_s);
+        t.makespan_s = t.makespan_s.max(s.end_s);
+        let dur = s.dur_s();
+        match s.kind.node_class() {
+            Some(TimeClass::Busy) => t.busy_s += dur,
+            Some(TimeClass::Idle) => t.idle_s += dur,
+            Some(TimeClass::Outage) => t.outage_s += dur,
+            None => {}
+        }
+        match s.kind {
+            SpanKind::Prefill => t.prefill_s += dur,
+            SpanKind::Decode => t.decode_s += dur,
+            SpanKind::Reattest => t.reattest_s += dur,
+            SpanKind::Requant => t.requant_s += dur,
+            _ => {}
+        }
+    }
+    out.sort_by_key(|t| (t.lane, t.node));
+    out
+}
+
+/// One request's span chain, summed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestChain {
+    /// Simulation lane the request belongs to.
+    pub lane: u32,
+    /// Request id within the lane.
+    pub id: u64,
+    /// Chain start (the request's arrival).
+    pub start_s: f64,
+    /// Chain end (final token, or abort).
+    pub end_s: f64,
+    /// Sum of span durations — conserved against `end_s - start_s`.
+    pub total_s: f64,
+}
+
+/// Sum every request's span chain, sorted by `(lane, id)`.
+#[must_use]
+pub fn request_chains(trace: &Trace) -> Vec<RequestChain> {
+    let mut out: Vec<RequestChain> = Vec::new();
+    for s in &trace.spans {
+        let Scope::Request(id) = s.scope else {
+            continue;
+        };
+        match out.iter_mut().find(|c| c.lane == s.lane && c.id == id) {
+            Some(c) => {
+                c.start_s = c.start_s.min(s.start_s);
+                c.end_s = c.end_s.max(s.end_s);
+                c.total_s += s.dur_s();
+            }
+            None => out.push(RequestChain {
+                lane: s.lane,
+                id,
+                start_s: s.start_s,
+                end_s: s.end_s,
+                total_s: s.dur_s(),
+            }),
+        }
+    }
+    out.sort_by_key(|c| (c.lane, c.id));
+    out
+}
+
+/// Outcome of a conservation check; `ok()` iff no invariant failed.
+#[derive(Debug, Clone, Default)]
+pub struct ConservationReport {
+    /// Nodes checked.
+    pub nodes: usize,
+    /// Request chains checked.
+    pub requests: usize,
+    /// Spans inspected.
+    pub spans: usize,
+    /// Human-readable invariant violations (empty means conserved).
+    pub errors: Vec<String>,
+}
+
+impl ConservationReport {
+    /// True when every invariant held.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+fn sorted_by_start(spans: Vec<&Span>) -> Vec<&Span> {
+    let mut spans = spans;
+    spans.sort_by(|a, b| {
+        a.start_s
+            .partial_cmp(&b.start_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    spans
+}
+
+/// Verify every conservation invariant over a trace.
+///
+/// With tolerance `eps` (absolute, per comparison; `1e-6` is ample for the
+/// horizons simulated here) this checks:
+///
+/// 1. every span is well-formed (`0 <= start <= end`, finite);
+/// 2. node-scoped spans carry a node accounting class, never overlap, and
+///    tile the node's timeline: coverage starts at 0 and
+///    `busy + idle + outage == makespan`;
+/// 3. request-scoped spans chain gaplessly (each span starts where the
+///    previous ended), so the chain sum equals end-to-end latency.
+#[must_use]
+pub fn check(trace: &Trace, eps: f64) -> ConservationReport {
+    let mut report = ConservationReport {
+        spans: trace.spans.len(),
+        ..ConservationReport::default()
+    };
+    for s in &trace.spans {
+        if !(s.start_s.is_finite() && s.end_s.is_finite()) || s.start_s < 0.0 || s.end_s < s.start_s
+        {
+            report
+                .errors
+                .push(format!("malformed span {s:?} (negative or non-finite)"));
+        }
+        if matches!(s.scope, Scope::Node(_)) && s.kind.node_class().is_none() {
+            report
+                .errors
+                .push(format!("request-only kind {:?} on node scope", s.kind));
+        }
+    }
+
+    let totals = node_totals(trace);
+    report.nodes = totals.len();
+    for t in &totals {
+        let spans = sorted_by_start(
+            trace
+                .spans
+                .iter()
+                .filter(|s| s.lane == t.lane && s.scope == Scope::Node(t.node))
+                .collect(),
+        );
+        for pair in spans.windows(2) {
+            if pair[1].start_s < pair[0].end_s - eps {
+                report.errors.push(format!(
+                    "lane {} node {}: spans overlap at {:.6}s ({:?} vs {:?})",
+                    t.lane, t.node, pair[1].start_s, pair[0].kind, pair[1].kind
+                ));
+            }
+        }
+        if t.start_s > eps {
+            report.errors.push(format!(
+                "lane {} node {}: coverage starts at {:.6}s, not 0",
+                t.lane, t.node, t.start_s
+            ));
+        }
+        if (t.accounted_s() - t.makespan_s).abs() > eps * t.makespan_s.max(1.0) {
+            report.errors.push(format!(
+                "lane {} node {}: busy+idle+outage = {:.9}s != makespan {:.9}s",
+                t.lane,
+                t.node,
+                t.accounted_s(),
+                t.makespan_s
+            ));
+        }
+    }
+
+    let chains = request_chains(trace);
+    report.requests = chains.len();
+    for c in &chains {
+        let spans = sorted_by_start(
+            trace
+                .spans
+                .iter()
+                .filter(|s| s.lane == c.lane && s.scope == Scope::Request(c.id))
+                .collect(),
+        );
+        for pair in spans.windows(2) {
+            if (pair[1].start_s - pair[0].end_s).abs() > eps {
+                report.errors.push(format!(
+                    "lane {} request {}: gap {:.6}s -> {:.6}s ({:?} to {:?})",
+                    c.lane, c.id, pair[0].end_s, pair[1].start_s, pair[0].kind, pair[1].kind
+                ));
+            }
+        }
+        let e2e = c.end_s - c.start_s;
+        if (c.total_s - e2e).abs() > eps * e2e.max(1.0) {
+            report.errors.push(format!(
+                "lane {} request {}: span sum {:.9}s != end-to-end {:.9}s",
+                c.lane, c.id, c.total_s, e2e
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+
+    fn tiled_node() -> TraceSink {
+        let mut sink = TraceSink::new();
+        sink.span(Scope::Node(0), SpanKind::Idle, 0.0, 1.0);
+        sink.span(Scope::Node(0), SpanKind::Prefill, 1.0, 1.5);
+        sink.span(Scope::Node(0), SpanKind::Decode, 1.5, 3.0);
+        sink.span_labeled(
+            Scope::Node(0),
+            SpanKind::Outage,
+            3.0,
+            4.0,
+            Some("enclave-crash"),
+        );
+        sink
+    }
+
+    #[test]
+    fn tiled_node_conserves() {
+        let trace = tiled_node().finish();
+        let report = check(&trace, 1e-9);
+        assert!(report.ok(), "{:?}", report.errors);
+        let totals = node_totals(&trace);
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].busy_s, 2.0);
+        assert_eq!(totals[0].idle_s, 1.0);
+        assert_eq!(totals[0].outage_s, 1.0);
+        assert_eq!(totals[0].makespan_s, 4.0);
+    }
+
+    #[test]
+    fn gap_in_node_coverage_fails() {
+        let mut sink = tiled_node();
+        sink.span(Scope::Node(0), SpanKind::Decode, 5.0, 6.0);
+        assert!(!check(&sink.finish(), 1e-9).ok());
+    }
+
+    #[test]
+    fn overlapping_node_spans_fail() {
+        let mut sink = tiled_node();
+        sink.span(Scope::Node(0), SpanKind::Prefill, 0.5, 1.2);
+        assert!(!check(&sink.finish(), 1e-9).ok());
+    }
+
+    #[test]
+    fn request_chain_sums_to_latency() {
+        let mut sink = TraceSink::new();
+        sink.span(Scope::Request(3), SpanKind::QueueWait, 1.0, 2.0);
+        sink.span(Scope::Request(3), SpanKind::Prefill, 2.0, 2.25);
+        sink.span(Scope::Request(3), SpanKind::Decode, 2.25, 5.0);
+        let trace = sink.finish();
+        let report = check(&trace, 1e-9);
+        assert!(report.ok(), "{:?}", report.errors);
+        let chains = request_chains(&trace);
+        assert_eq!(chains[0].total_s, 4.0);
+    }
+
+    #[test]
+    fn request_chain_gap_fails() {
+        let mut sink = TraceSink::new();
+        sink.span(Scope::Request(3), SpanKind::QueueWait, 1.0, 2.0);
+        sink.span(Scope::Request(3), SpanKind::Prefill, 2.5, 3.0);
+        assert!(!check(&sink.finish(), 1e-9).ok());
+    }
+
+    #[test]
+    fn request_only_kind_on_node_scope_fails() {
+        let mut sink = TraceSink::new();
+        sink.span(Scope::Node(0), SpanKind::QueueWait, 0.0, 1.0);
+        assert!(!check(&sink.finish(), 1e-9).ok());
+    }
+}

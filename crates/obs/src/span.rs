@@ -1,0 +1,125 @@
+//! The span/event model: scopes, span kinds, and their accounting classes.
+
+/// What a span or event is attached to.
+///
+/// A trace can hold many simulation *lanes* (grid points, platforms,
+/// fleets); scopes are unique only within a lane — see [`crate::Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scope {
+    /// The whole experiment (lane-level bookkeeping).
+    Experiment,
+    /// One serving node, by its index in the fleet (0 for single-node sims).
+    Node(u32),
+    /// One request, by its arrival id.
+    Request(u64),
+}
+
+/// How a node-scoped span counts toward the makespan decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeClass {
+    /// The node is doing useful (or at least necessary) work.
+    Busy,
+    /// The node is waiting for work.
+    Idle,
+    /// The node is unavailable; this is exactly what `downtime_s` counts.
+    Outage,
+}
+
+/// The taxonomy of spans emitted by the serving and cluster simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Request-scoped: from enqueue to batch admission.
+    QueueWait,
+    /// Re-attestation handshake. Busy on the node when paid at admission;
+    /// labelled `attest-fail` / `breaker-close` outages when it is downtime.
+    Reattest,
+    /// Cross-platform spill re-quantisation toll (cGPU -> TDX and back).
+    Requant,
+    /// Prompt prefill.
+    Prefill,
+    /// Token-by-token decode (node spans cover whole batch steps).
+    Decode,
+    /// Request-scoped: decode progress destroyed by a KV-losing fault.
+    DecodeLost,
+    /// Request-scoped: crash-to-redelivery retry backoff (includes the
+    /// outage itself from the request's point of view).
+    Backoff,
+    /// Node-scoped: clock jump while the scheduler had nothing to run.
+    Idle,
+    /// Node-scoped: fault outage or downtime-counted re-attestation toll.
+    Outage,
+}
+
+impl SpanKind {
+    /// Stable lower-case label used in exports and attribution tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::QueueWait => "queue-wait",
+            SpanKind::Reattest => "reattest",
+            SpanKind::Requant => "requant",
+            SpanKind::Prefill => "prefill",
+            SpanKind::Decode => "decode",
+            SpanKind::DecodeLost => "decode-lost",
+            SpanKind::Backoff => "backoff",
+            SpanKind::Idle => "idle",
+            SpanKind::Outage => "outage",
+        }
+    }
+
+    /// Accounting class when this kind appears on a [`Scope::Node`] span.
+    ///
+    /// `None` marks request-only kinds that must never be node-scoped.
+    #[must_use]
+    pub fn node_class(self) -> Option<TimeClass> {
+        match self {
+            SpanKind::Reattest | SpanKind::Requant | SpanKind::Prefill | SpanKind::Decode => {
+                Some(TimeClass::Busy)
+            }
+            SpanKind::Idle => Some(TimeClass::Idle),
+            SpanKind::Outage => Some(TimeClass::Outage),
+            SpanKind::QueueWait | SpanKind::DecodeLost | SpanKind::Backoff => None,
+        }
+    }
+}
+
+/// A closed interval of simulated time attached to a scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Simulation lane this span belongs to (assigned by [`crate::Trace::merge`]).
+    pub lane: u32,
+    /// What the span is attached to.
+    pub scope: Scope,
+    /// Which phase of work it covers.
+    pub kind: SpanKind,
+    /// Start, in simulated seconds.
+    pub start_s: f64,
+    /// End, in simulated seconds (`end_s >= start_s`).
+    pub end_s: f64,
+    /// Optional refinement, e.g. the fault kind behind an outage.
+    pub label: Option<&'static str>,
+}
+
+impl Span {
+    /// Span duration in simulated seconds.
+    #[must_use]
+    pub fn dur_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// An instantaneous occurrence: routing decisions, breaker transitions,
+/// failover re-queues, spills, handshake phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation lane (assigned by [`crate::Trace::merge`]).
+    pub lane: u32,
+    /// What the event is attached to.
+    pub scope: Scope,
+    /// Stable event name (e.g. `route`, `breaker-open`, `spill`).
+    pub name: &'static str,
+    /// When it happened, in simulated seconds.
+    pub at_s: f64,
+    /// Free-form detail (e.g. `req 42 -> node 1`). Empty when obvious.
+    pub detail: String,
+}

@@ -1,0 +1,229 @@
+//! Property tests on trace conservation: across random fleets, fault
+//! plans and admission bounds, the span trace must tile every node's
+//! timeline (`busy + idle + outage == makespan`), chain every request's
+//! latency, attribute 100% of the makespan, and never perturb the
+//! simulation it observes.
+
+use cllm_cost::{SpillPenalty, SpotParams};
+use cllm_obs::{check, node_totals, request_chains};
+use cllm_serve::cluster::{
+    simulate_cluster, simulate_cluster_traced, ClusterConfig, NodeSpec, WaveModel,
+};
+use cllm_serve::faults::{FaultPlan, FaultRates};
+use cllm_serve::router::AdmissionPolicy;
+use cllm_serve::router::BreakerConfig;
+use cllm_serve::sim::{
+    simulate_serving_faulted, simulate_serving_traced, ServingConfig, ServingNode,
+};
+use cllm_serve::workload::ArrivalProcess;
+use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, TeeKind};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-6;
+
+fn serving(rate: f64, seed: u64) -> ServingConfig {
+    ServingConfig {
+        arrivals: ArrivalProcess {
+            rate_per_s: rate,
+            prompt_range: (16, 128),
+            output_range: (4, 32),
+            seed,
+        },
+        duration_s: 20.0,
+        ..ServingConfig::small_test()
+    }
+}
+
+/// Random heterogeneous fleet, as in the cluster property tests: bit `i`
+/// of `gpu_mask` picks node `i`'s platform class, bit `i` of `spot_mask`
+/// its rental.
+fn fleet(n_nodes: usize, gpu_mask: u32, spot_mask: u32, node_seed: u64) -> Vec<NodeSpec> {
+    (0..n_nodes)
+        .map(|i| {
+            let gpu = gpu_mask & (1 << i) != 0;
+            let spot = spot_mask & (1 << i) != 0;
+            let spot_params = if spot {
+                SpotParams::gcp_spot()
+            } else {
+                SpotParams::reserved()
+            };
+            let (node, kind) = if gpu {
+                (
+                    ServingNode::Gpu {
+                        gpu: cllm_hw::presets::h100_nvl(),
+                        tee: GpuTeeConfig::confidential(),
+                    },
+                    TeeKind::GpuCc,
+                )
+            } else {
+                (
+                    ServingNode::Cpu {
+                        tee: CpuTeeConfig::tdx(),
+                    },
+                    TeeKind::Tdx,
+                )
+            };
+            NodeSpec::new(
+                node,
+                spot,
+                FaultRates::for_platform(kind, &spot_params).scaled(600.0),
+                node_seed.wrapping_add(i as u64),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cluster traces conserve time under random fleets, wave plans and
+    /// admission bounds: every invariant in [`cllm_obs::check`] holds,
+    /// per-node totals extend to the cluster makespan with outage equal
+    /// to the report's downtime, and tracing never changes the report.
+    #[test]
+    fn cluster_trace_conserves_under_random_fleets(
+        n_nodes in 1usize..5,
+        gpu_mask in 0u32..16,
+        spot_mask in 0u32..16,
+        node_seed in 0u64..40,
+        waves_per_hr in 0.0f64..400.0,
+        frac in 0.0f64..1.0,
+        wave_seed in 0u64..40,
+        rate in 0.5f64..4.0,
+        arrival_seed in 0u64..30,
+        failover_bit in 0u32..2,
+        queue_cap in 1usize..40,
+    ) {
+        let cfg = ClusterConfig {
+            serving: serving(rate, arrival_seed),
+            nodes: fleet(n_nodes, gpu_mask, spot_mask, node_seed),
+            admission: AdmissionPolicy { queue_cap, deadline_s: 15.0 },
+            breaker: BreakerConfig::default(),
+            wave: WaveModel { waves_per_hr, frac, seed: wave_seed },
+            failover: failover_bit == 1,
+            spill: SpillPenalty::cross_platform(),
+        };
+        let baseline = simulate_cluster(&cfg);
+        let (report, trace) = simulate_cluster_traced(&cfg);
+        prop_assert_eq!(&baseline, &report, "tracing perturbed the simulation");
+
+        let conservation = check(&trace, EPS);
+        prop_assert!(conservation.ok(), "violations: {:?}", conservation.errors);
+
+        let totals = node_totals(&trace);
+        prop_assert_eq!(totals.len(), n_nodes);
+        for (i, t) in totals.iter().enumerate() {
+            prop_assert!(
+                (t.makespan_s - report.makespan_s).abs() <= EPS * report.makespan_s.max(1.0),
+                "node {} extent {} != makespan {}", i, t.makespan_s, report.makespan_s
+            );
+            prop_assert!(
+                (t.outage_s - report.nodes[i].downtime_s).abs() <= EPS * report.makespan_s.max(1.0),
+                "node {} outage {} != downtime {}", i, t.outage_s, report.nodes[i].downtime_s
+            );
+            // Attribution: the five shares cover the whole timeline.
+            let accounted = t.prefill_s + t.decode_s + t.reattest_s + t.requant_s
+                + t.idle_s + t.outage_s;
+            prop_assert!(
+                (accounted - t.makespan_s).abs() <= EPS * t.makespan_s.max(1.0),
+                "node {} attribution {} != makespan {}", i, accounted, t.makespan_s
+            );
+            if t.makespan_s > 0.0 {
+                let pct = accounted / t.makespan_s * 100.0;
+                prop_assert!((pct - 100.0).abs() < 1e-3, "node {} shares sum to {}%", i, pct);
+            }
+        }
+
+        // Request chains: every recorded request's span chain sums to
+        // its end-to-end latency.
+        let chains = request_chains(&trace);
+        for rec in &report.records {
+            let chain = chains.iter().find(|c| c.id == rec.id);
+            let total = chain.map_or(0.0, |c| c.total_s);
+            prop_assert!(
+                (total - rec.e2e_s).abs() <= EPS * rec.e2e_s.max(1.0),
+                "request {} chain {} != e2e {}", rec.id, total, rec.e2e_s
+            );
+        }
+    }
+
+    /// Single-node faulted serving traces conserve time across random
+    /// rates, seeds and fault schedules.
+    #[test]
+    fn single_node_trace_conserves(
+        rate in 0.5f64..4.0,
+        arrival_seed in 0u64..30,
+        fault_seed in 0u64..30,
+        gpu_bit in 0u32..2,
+        scale in 1.0f64..900.0,
+    ) {
+        let (node, kind) = if gpu_bit == 1 {
+            (
+                ServingNode::Gpu {
+                    gpu: cllm_hw::presets::h100_nvl(),
+                    tee: GpuTeeConfig::confidential(),
+                },
+                TeeKind::GpuCc,
+            )
+        } else {
+            (
+                ServingNode::Cpu {
+                    tee: CpuTeeConfig::sgx(),
+                },
+                TeeKind::Sgx,
+            )
+        };
+        let cfg = serving(rate, arrival_seed);
+        let rates = FaultRates::for_platform(kind, &SpotParams::gcp_spot()).scaled(scale);
+        let plan = FaultPlan::seeded(&rates, cfg.duration_s, fault_seed);
+        let baseline = simulate_serving_faulted(&cfg, &node, &plan);
+        let (report, trace) = simulate_serving_traced(&cfg, &node, &plan);
+        prop_assert_eq!(&baseline, &report, "tracing perturbed the simulation");
+
+        let conservation = check(&trace, EPS);
+        prop_assert!(conservation.ok(), "violations: {:?}", conservation.errors);
+
+        let totals = node_totals(&trace);
+        prop_assert_eq!(totals.len(), 1);
+        let t = &totals[0];
+        prop_assert!(
+            (t.makespan_s - report.makespan_s).abs() <= EPS * report.makespan_s.max(1.0)
+        );
+        let chains = request_chains(&trace);
+        for rec in &report.records {
+            let total = chains.iter().find(|c| c.id == rec.id).map_or(0.0, |c| c.total_s);
+            prop_assert!(
+                (total - rec.e2e_s).abs() <= EPS * rec.e2e_s.max(1.0),
+                "request {} chain {} != e2e {}", rec.id, total, rec.e2e_s
+            );
+        }
+    }
+
+    /// The Chrome export is structurally sound for arbitrary traces from
+    /// real simulations: parses, and every event has non-negative
+    /// integer timestamps in non-decreasing order.
+    #[test]
+    fn chrome_export_is_well_formed(
+        rate in 0.5f64..3.0,
+        arrival_seed in 0u64..20,
+        fault_seed in 0u64..20,
+    ) {
+        let cfg = serving(rate, arrival_seed);
+        let rates = FaultRates::for_platform(TeeKind::Tdx, &SpotParams::gcp_spot()).scaled(600.0);
+        let plan = FaultPlan::seeded(&rates, cfg.duration_s, fault_seed);
+        let node = ServingNode::Cpu { tee: CpuTeeConfig::tdx() };
+        let (_, trace) = simulate_serving_traced(&cfg, &node, &plan);
+        let json = cllm_obs::chrome_trace_json(&trace);
+        let doc: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(serde_json::Value::as_array).unwrap();
+        let mut last = 0.0f64;
+        for ev in events {
+            let ts = ev.get("ts").and_then(serde_json::Value::as_f64).expect("ts");
+            prop_assert!(ts >= last, "ts regressed");
+            last = ts;
+            if let Some(dur) = ev.get("dur").and_then(serde_json::Value::as_f64) {
+                prop_assert!(dur >= 0.0);
+            }
+        }
+    }
+}

@@ -124,4 +124,65 @@ mod tests {
         assert_eq!(ndcg_at_k(&hits(&[1]), &q, 10), 0.0);
         assert_eq!(recall_at_k(&hits(&[1]), &q, 10), 0.0);
     }
+
+    #[test]
+    fn empty_qrels_dcg_and_rr_are_zero() {
+        let q = qrels(&[]);
+        assert_eq!(dcg_at_k(&hits(&[1, 2, 3]), &q, 10), 0.0);
+        assert_eq!(reciprocal_rank(&hits(&[1, 2, 3]), &q), 0.0);
+    }
+
+    #[test]
+    fn empty_ranking_safe() {
+        let q = qrels(&[(1, 2)]);
+        let none: Vec<Hit> = Vec::new();
+        assert_eq!(dcg_at_k(&none, &q, 10), 0.0);
+        assert_eq!(ndcg_at_k(&none, &q, 10), 0.0);
+        assert_eq!(recall_at_k(&none, &q, 10), 0.0);
+        assert_eq!(reciprocal_rank(&none, &q), 0.0);
+    }
+
+    #[test]
+    fn k_zero_scores_nothing() {
+        let q = qrels(&[(1, 3)]);
+        assert_eq!(dcg_at_k(&hits(&[1]), &q, 0), 0.0);
+        assert_eq!(ndcg_at_k(&hits(&[1]), &q, 0), 0.0);
+        assert_eq!(recall_at_k(&hits(&[1]), &q, 0), 0.0);
+    }
+
+    #[test]
+    fn single_doc_ranking_is_its_own_ideal() {
+        let q = qrels(&[(42, 3)]);
+        let r = hits(&[42]);
+        assert!((ndcg_at_k(&r, &q, 1) - 1.0).abs() < 1e-12);
+        assert!((recall_at_k(&r, &q, 1) - 1.0).abs() < 1e-12);
+        assert!((reciprocal_rank(&r, &q) - 1.0).abs() < 1e-12);
+        // DCG of a single grade-3 doc at rank 0: (2^3 - 1) / log2(2).
+        assert!((dcg_at_k(&r, &q, 1) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_scores_score_by_position_not_score() {
+        // Two rankings with identical (tied) scores but different order:
+        // the metrics are rank-based, so position decides.
+        let q = qrels(&[(1, 3)]);
+        let tied_first = vec![Hit { doc: 1, score: 5.0 }, Hit { doc: 2, score: 5.0 }];
+        let tied_second = vec![Hit { doc: 2, score: 5.0 }, Hit { doc: 1, score: 5.0 }];
+        assert!(dcg_at_k(&tied_first, &q, 10) > dcg_at_k(&tied_second, &q, 10));
+        assert!((reciprocal_rank(&tied_first, &q) - 1.0).abs() < 1e-12);
+        assert!((reciprocal_rank(&tied_second, &q) - 0.5).abs() < 1e-12);
+        // Recall ignores order entirely within the cutoff.
+        assert_eq!(
+            recall_at_k(&tied_first, &q, 2),
+            recall_at_k(&tied_second, &q, 2)
+        );
+    }
+
+    #[test]
+    fn k_beyond_ranking_length_is_harmless() {
+        let q = qrels(&[(1, 1), (2, 1)]);
+        let r = hits(&[1]);
+        assert!((recall_at_k(&r, &q, 100) - 0.5).abs() < 1e-12);
+        assert_eq!(dcg_at_k(&r, &q, 100), dcg_at_k(&r, &q, 1));
+    }
 }

@@ -30,17 +30,41 @@
 //! Everything is deterministic in its seeds: two runs of the same
 //! [`ClusterConfig`] are byte-identical on any thread count.
 
-use crate::faults::{attested_rehandshake, FaultEvent, FaultKind, FaultPlan, FaultRates};
+use crate::faults::{attested_rehandshake_phased, FaultEvent, FaultKind, FaultPlan, FaultRates};
 use crate::router::{AdmissionPolicy, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::scheduler::ContinuousBatcher;
 use crate::sim::{RequestRecord, ServingConfig, ServingNode};
 use crate::slo::percentile_of;
 use crate::workload::Request;
 use cllm_cost::SpillPenalty;
+use cllm_obs::{Scope, SpanKind, Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Trace scope for the fleet's `i`-th node.
+fn node_scope(i: usize) -> Scope {
+    Scope::Node(u32::try_from(i).unwrap_or(u32::MAX))
+}
+
+/// Stable event name for an observed breaker transition.
+fn breaker_event_name(s: BreakerState) -> &'static str {
+    match s {
+        BreakerState::Closed => "breaker-close",
+        BreakerState::Open => "breaker-open",
+        BreakerState::HalfOpen => "breaker-halfopen",
+    }
+}
+
+/// Emit a breaker-transition event iff the observed state changed since
+/// the last observation (`seen` is the per-node last-known state).
+fn note_breaker(sink: &mut TraceSink, seen: &mut BreakerState, i: usize, s: BreakerState, t: f64) {
+    if *seen != s {
+        *seen = s;
+        sink.event(node_scope(i), breaker_event_name(s), t, String::new());
+    }
+}
 
 /// One node in the fleet: its hardware/TEE identity, how it is rented,
 /// and its private fault environment.
@@ -283,8 +307,29 @@ fn hs_seed(node_idx: usize, seq: u64) -> u64 {
 ///
 /// Panics if the fleet is empty.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
+    run_cluster(cfg, &mut TraceSink::disabled())
+}
+
+/// Traced twin of [`simulate_cluster`]: byte-identical report (emission
+/// only reads node clocks), plus the recorded single-lane [`Trace`] —
+/// per-node busy/idle/outage spans tiling each node's timeline out to
+/// the cluster makespan, per-request chains across failovers, and
+/// events for routing decisions, breaker transitions, failover
+/// re-queues, spills, and handshake phases.
+///
+/// # Panics
+///
+/// Panics if the fleet is empty.
+#[must_use]
+pub fn simulate_cluster_traced(cfg: &ClusterConfig) -> (ClusterReport, Trace) {
+    let mut sink = TraceSink::new();
+    let report = run_cluster(cfg, &mut sink);
+    (report, sink.finish())
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
     assert!(!cfg.nodes.is_empty(), "cluster needs at least one node");
     let horizon_s = cfg.serving.duration_s;
 
@@ -344,6 +389,10 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
     let mut aborted = 0usize;
     let mut retries = 0u64;
     let mut spills = 0u64;
+    // Trace bookkeeping (untouched when the sink is disabled): where each
+    // request's next span starts, and each breaker's last observed state.
+    let mut req_cursor: HashMap<u64, f64> = HashMap::new();
+    let mut breaker_seen: Vec<BreakerState> = vec![BreakerState::Closed; nodes.len()];
 
     loop {
         // The globally next dispatchable item: arrivals win ties over
@@ -400,10 +449,20 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
                     if n.scheduler.queued() < cfg.admission.queue_cap && n.breaker.accepts(t) {
                         candidates.push((i, n.depth()));
                     }
+                    note_breaker(sink, &mut breaker_seen[i], i, n.breaker.state(), t);
                 }
                 match crate::router::route_least_loaded(&candidates) {
-                    Some(i) => place(&mut nodes[i], r, t),
-                    None => rejected += 1, // load shed at the front door
+                    Some(i) => {
+                        if sink.is_enabled() {
+                            req_cursor.insert(r.id, t);
+                            sink.event(node_scope(i), "route", t, format!("req {}", r.id));
+                        }
+                        place(&mut nodes[i], i, r, t, sink);
+                    }
+                    None => {
+                        rejected += 1; // load shed at the front door
+                        sink.event(Scope::Request(r.id), "reject", t, String::new());
+                    }
                 }
             } else {
                 let (idx, t) = next_retry.expect("retry checked");
@@ -414,6 +473,7 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
                         if n.scheduler.queued() < cfg.admission.queue_cap && n.breaker.accepts(t) {
                             candidates.push((i, n.depth()));
                         }
+                        note_breaker(sink, &mut breaker_seen[i], i, n.breaker.state(), t);
                     }
                     // Retries are always placeable: if every breaker is
                     // open / every queue full, fall back to the least
@@ -430,8 +490,33 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
                 if nodes[target].is_gpu() != e.origin_gpu {
                     spills += 1;
                     spilled.insert(e.request.id);
+                    if sink.is_enabled() {
+                        let dir = if e.origin_gpu {
+                            "cgpu->cpu"
+                        } else {
+                            "cpu->cgpu"
+                        };
+                        sink.event(
+                            node_scope(target),
+                            "spill",
+                            t,
+                            format!("req {} {dir}", e.request.id),
+                        );
+                    }
                 }
-                place(&mut nodes[target], e.request, t);
+                if sink.is_enabled() {
+                    if let Some(c) = req_cursor.get_mut(&e.request.id) {
+                        sink.span(Scope::Request(e.request.id), SpanKind::Backoff, *c, t);
+                        *c = t;
+                    }
+                    sink.event(
+                        node_scope(target),
+                        "failover",
+                        t,
+                        format!("req {} from node {}", e.request.id, e.origin),
+                    );
+                }
+                place(&mut nodes[target], target, e.request, t, sink);
             }
             continue;
         }
@@ -458,6 +543,9 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
                 &mut retry_queue,
                 &mut retries,
                 &mut aborted,
+                sink,
+                &mut req_cursor,
+                &mut breaker_seen[i],
             );
         }
 
@@ -465,7 +553,16 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
         if cfg.admission.deadline_s.is_finite() {
             let now = n.now;
             let deadline_s = cfg.admission.deadline_s;
-            rejected += n.scheduler.shed(|r| now - r.arrival_s > deadline_s).len();
+            let shed = n.scheduler.shed(|r| now - r.arrival_s > deadline_s);
+            rejected += shed.len();
+            if sink.is_enabled() {
+                for r in &shed {
+                    if let Some(c) = req_cursor.remove(&r.id) {
+                        sink.span(Scope::Request(r.id), SpanKind::QueueWait, c, now);
+                    }
+                    sink.event(Scope::Request(r.id), "shed", now, String::new());
+                }
+            }
         }
 
         // Admit + prefill. A retried victim re-attests first; a spilled
@@ -475,15 +572,32 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
             .scheduler
             .admit(&cfg.serving.model, cfg.serving.dtype, n.now);
         for r in admitted {
+            if sink.is_enabled() {
+                if let Some(c) = req_cursor.get(&r.id).copied() {
+                    sink.span(Scope::Request(r.id), SpanKind::QueueWait, c, n.now);
+                }
+            }
             if attempts_of.get(&r.id).copied().unwrap_or(0) > 0 {
+                let t0 = n.now;
                 n.now += n.plan.policy.reattest_s;
+                sink.span(node_scope(i), SpanKind::Reattest, t0, n.now);
+                sink.span(Scope::Request(r.id), SpanKind::Reattest, t0, n.now);
             }
             let mut t_prefill = n.node.prefill_time_s(&cfg.serving, r.prompt_tokens);
             if spilled.remove(&r.id) {
+                let t0 = n.now;
                 n.now += cfg.spill.requant_s;
+                sink.span(node_scope(i), SpanKind::Requant, t0, n.now);
+                sink.span(Scope::Request(r.id), SpanKind::Requant, t0, n.now);
                 t_prefill *= cfg.spill.prefill_factor;
             }
+            let t0 = n.now;
             n.now += t_prefill;
+            sink.span(node_scope(i), SpanKind::Prefill, t0, n.now);
+            sink.span(Scope::Request(r.id), SpanKind::Prefill, t0, n.now);
+            if sink.is_enabled() {
+                req_cursor.insert(r.id, n.now);
+            }
             n.scheduler.start(r, n.now);
         }
 
@@ -502,7 +616,9 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
             .sum::<u64>() as f64
             / batch as f64)
             .round() as u64;
+        let t0 = n.now;
         n.now += n.node.decode_step_time_s(&cfg.serving, batch, mean_context);
+        sink.span(node_scope(i), SpanKind::Decode, t0, n.now);
 
         for fin in n.scheduler.step() {
             let ttft = fin.first_token_s - fin.request.arrival_s;
@@ -511,6 +627,11 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
             let tpot = decode_span / (fin.request.output_tokens.saturating_sub(1).max(1)) as f64;
             n.useful_tokens += fin.request.output_tokens;
             n.completed += 1;
+            if sink.is_enabled() {
+                if let Some(c) = req_cursor.remove(&fin.request.id) {
+                    sink.span(Scope::Request(fin.request.id), SpanKind::Decode, c, n.now);
+                }
+            }
             records.push(RequestRecord {
                 id: fin.request.id,
                 ttft_s: ttft,
@@ -523,11 +644,32 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
                 // pay the attested re-handshake through the real
                 // session layer before taking full traffic again.
                 n.handshake_seq += 1;
-                attested_rehandshake(hs_seed(i, n.handshake_seq))
-                    .expect("re-handshake must recover the session");
+                let t0 = n.now;
+                attested_rehandshake_phased(hs_seed(i, n.handshake_seq), &mut |phase| {
+                    sink.event(node_scope(i), "handshake", t0, phase.label().to_string());
+                })
+                .expect("re-handshake must recover the session");
                 n.now += n.plan.policy.reattest_s;
                 n.downtime_s += n.plan.policy.reattest_s;
+                sink.span_labeled(
+                    node_scope(i),
+                    SpanKind::Outage,
+                    t0,
+                    n.now,
+                    Some("breaker-close"),
+                );
+                note_breaker(sink, &mut breaker_seen[i], i, n.breaker.state(), n.now);
             }
+        }
+    }
+
+    // Pad every node's timeline with trailing idle out to the cluster
+    // makespan, so per-node accounting sums to the same makespan the
+    // report publishes (a drained node really is idle at the end).
+    if sink.is_enabled() {
+        let makespan_s = nodes.iter().map(|n| n.now).fold(0.0f64, f64::max);
+        for (i, n) in nodes.iter().enumerate() {
+            sink.span(node_scope(i), SpanKind::Idle, n.now, makespan_s);
         }
     }
 
@@ -544,9 +686,10 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
 
 /// Route one request onto a node, waking an idle node's clock forward to
 /// the dispatch time (clocks never run backward).
-fn place(n: &mut NodeState, request: Request, t: f64) {
-    if n.scheduler.idle() {
-        n.now = n.now.max(t);
+fn place(n: &mut NodeState, idx: usize, request: Request, t: f64, sink: &mut TraceSink) {
+    if n.scheduler.idle() && t > n.now {
+        sink.span(node_scope(idx), SpanKind::Idle, n.now, t);
+        n.now = t;
     }
     n.scheduler.enqueue_at(request, t);
 }
@@ -565,26 +708,59 @@ fn apply_node_fault(
     retry_queue: &mut Vec<ClusterRetry>,
     retries: &mut u64,
     aborted: &mut usize,
+    sink: &mut TraceSink,
+    req_cursor: &mut HashMap<u64, f64>,
+    breaker_seen: &mut BreakerState,
 ) {
     n.breaker.record_error(n.now);
+    note_breaker(sink, breaker_seen, node_idx, n.breaker.state(), n.now);
     if ev.kind == FaultKind::AttestationFailure {
         n.handshake_seq += 1;
-        attested_rehandshake(hs_seed(node_idx, n.handshake_seq))
-            .expect("re-handshake must recover the session");
+        let t0 = n.now;
+        attested_rehandshake_phased(hs_seed(node_idx, n.handshake_seq), &mut |phase| {
+            sink.event(
+                node_scope(node_idx),
+                "handshake",
+                t0,
+                phase.label().to_string(),
+            );
+        })
+        .expect("re-handshake must recover the session");
         n.now += n.plan.policy.reattest_s;
         n.downtime_s += n.plan.policy.reattest_s;
+        sink.span_labeled(
+            node_scope(node_idx),
+            SpanKind::Outage,
+            t0,
+            n.now,
+            Some(ev.kind.label()),
+        );
         return;
     }
     let outage_s = ev.outage_s.min((horizon_s - ev.at_s).max(0.0));
     if ev.kind.loses_state() {
         let origin_gpu = n.is_gpu();
         for victim in n.scheduler.drain_running() {
-            let a = attempts_of.entry(victim.request.id).or_insert(0);
+            let id = victim.request.id;
+            let a = attempts_of.entry(id).or_insert(0);
             *a += 1;
             if *a > n.plan.policy.max_retries {
                 *aborted += 1;
+                if sink.is_enabled() {
+                    if let Some(c) = req_cursor.remove(&id) {
+                        sink.span(Scope::Request(id), SpanKind::DecodeLost, c, n.now);
+                    }
+                    sink.event(Scope::Request(id), "abort", n.now, String::new());
+                }
             } else {
                 *retries += 1;
+                if sink.is_enabled() {
+                    if let Some(c) = req_cursor.get_mut(&id) {
+                        sink.span(Scope::Request(id), SpanKind::DecodeLost, *c, n.now);
+                        *c = n.now;
+                    }
+                    sink.event(Scope::Request(id), "requeue", n.now, format!("attempt {a}"));
+                }
                 retry_queue.push(ClusterRetry {
                     request: victim.request,
                     eligible_s: ev.at_s + outage_s + n.plan.policy.backoff_s(*a),
@@ -594,8 +770,16 @@ fn apply_node_fault(
             }
         }
     }
+    let t0 = n.now;
     n.now += outage_s;
     n.downtime_s += outage_s;
+    sink.span_labeled(
+        node_scope(node_idx),
+        SpanKind::Outage,
+        t0,
+        n.now,
+        Some(ev.kind.label()),
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -927,5 +1111,79 @@ mod tests {
         }
         assert!(r.nodes[0].breaker_closes >= 1);
         assert_eq!(r.completed + r.aborted + r.rejected, r.arrivals);
+    }
+
+    fn faulty_cluster() -> ClusterConfig {
+        small_cluster(
+            vec![tdx_node(11, true), cgpu_node(12), quiet_node(13)],
+            WaveModel::none(),
+            true,
+        )
+    }
+
+    #[test]
+    fn traced_cluster_matches_untraced_report() {
+        let cfg = faulty_cluster();
+        let baseline = simulate_cluster(&cfg);
+        let (traced, trace) = simulate_cluster_traced(&cfg);
+        assert_eq!(baseline, traced, "tracing must be a pure observer");
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn cluster_trace_conserves_time() {
+        let cfg = faulty_cluster();
+        let (report, trace) = simulate_cluster_traced(&cfg);
+        let check = cllm_obs::check(&trace, 1e-6);
+        assert!(check.ok(), "conservation failed: {:?}", check.errors);
+
+        let totals = cllm_obs::node_totals(&trace);
+        assert_eq!(totals.len(), cfg.nodes.len());
+        for (i, t) in totals.iter().enumerate() {
+            assert!(
+                (t.makespan_s - report.makespan_s).abs() < 1e-9,
+                "node {i} extent {} != cluster makespan {}",
+                t.makespan_s,
+                report.makespan_s
+            );
+            assert!(
+                (t.outage_s - report.nodes[i].downtime_s).abs() < 1e-6,
+                "node {i} outage {} != downtime {}",
+                t.outage_s,
+                report.nodes[i].downtime_s
+            );
+        }
+
+        let chains = cllm_obs::request_chains(&trace);
+        let by_id: HashMap<u64, f64> = chains.iter().map(|c| (c.id, c.total_s)).collect();
+        for rec in &report.records {
+            let total = by_id.get(&rec.id).copied().unwrap_or(0.0);
+            assert!(
+                (total - rec.e2e_s).abs() < 1e-6,
+                "request {} chain {} != e2e {}",
+                rec.id,
+                total,
+                rec.e2e_s
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_trace_records_routing_decisions() {
+        let cfg = faulty_cluster();
+        let (report, trace) = simulate_cluster_traced(&cfg);
+        let routes = trace.events.iter().filter(|e| e.name == "route").count();
+        assert!(routes > 0, "router must emit route events");
+        if report.retries > 0 {
+            let failovers = trace.events.iter().filter(|e| e.name == "failover").count();
+            assert_eq!(failovers as u64, report.retries);
+        }
+        if report.spills > 0 {
+            let spills = trace.events.iter().filter(|e| e.name == "spill").count();
+            assert_eq!(spills as u64, report.spills);
+        }
+        if report.nodes.iter().any(|n| n.breaker_trips > 0) {
+            assert!(trace.events.iter().any(|e| e.name == "breaker-open"));
+        }
     }
 }

@@ -31,7 +31,7 @@
 use cllm_cost::SpotParams;
 use cllm_tee::attestation::Measurement;
 use cllm_tee::platform::TeeKind;
-use cllm_tee::session::{enclave_respond, SessionError, Verifier};
+use cllm_tee::session::{enclave_respond, HandshakePhase, SessionError, Verifier};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -416,6 +416,23 @@ impl FaultPlan {
 /// Returns the [`SessionError`] if the *re*-handshake fails — which
 /// would be a bug in the session layer, not an injected fault.
 pub fn attested_rehandshake(seed: u64) -> Result<(), SessionError> {
+    attested_rehandshake_phased(seed, &mut |_| {})
+}
+
+/// [`attested_rehandshake`] with phase observation: every
+/// [`HandshakePhase`] of both attempts
+/// (fail, then recover) is reported to `observe` as it happens. The
+/// traced serving simulators forward these into their span sink at the
+/// current simulated time; the untraced path passes a no-op observer.
+///
+/// # Errors
+///
+/// Returns the [`SessionError`] if the *re*-handshake fails — which
+/// would be a bug in the session layer, not an injected fault.
+pub fn attested_rehandshake_phased(
+    seed: u64,
+    observe: &mut dyn FnMut(HandshakePhase),
+) -> Result<(), SessionError> {
     let golden = Measurement([0x5E; 32]);
     let rogue = Measurement([0xBE; 32]);
     let vseed = seed.to_be_bytes();
@@ -423,21 +440,27 @@ pub fn attested_rehandshake(seed: u64) -> Result<(), SessionError> {
 
     // First attempt: the platform presents the wrong measurement — the
     // injected quote-verification failure.
+    observe(HandshakePhase::Challenge);
     let (verifier, challenge) = Verifier::start(golden, b"hw-root", &vseed);
+    observe(HandshakePhase::Respond);
     let (bad, _) = enclave_respond(b"hw-root", rogue, 7, &challenge, &eseed)?;
     match verifier.finish(&bad) {
-        Err(SessionError::WrongEnclave) => {}
+        Err(SessionError::WrongEnclave) => observe(HandshakePhase::Reject),
         Ok(_) => unreachable!("rogue measurement must not verify"),
         Err(e) => return Err(e),
     }
 
     // Re-handshake with a fresh challenge must succeed and carry records.
+    observe(HandshakePhase::Challenge);
     let (verifier, challenge) = Verifier::start(golden, b"hw-root", &eseed);
+    observe(HandshakePhase::Respond);
     let (good, mut enclave_chan) = enclave_respond(b"hw-root", golden, 7, &challenge, &vseed)?;
     let mut verifier_chan = verifier.finish(&good)?;
+    observe(HandshakePhase::Verify);
     let record = verifier_chan.send(b"re-release the model key");
     let opened = enclave_chan.recv(&record)?;
     debug_assert_eq!(opened, b"re-release the model key");
+    observe(HandshakePhase::Channel);
     Ok(())
 }
 

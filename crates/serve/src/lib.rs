@@ -30,6 +30,13 @@
 //!   behind a failover router surviving correlated preemption waves,
 //!   with cross-platform spills priced via `cllm-cost`.
 //!
+//! Both event loops are instrumented with `cllm-obs` span tracing as a
+//! pure observer of the simulated clock: `sim::simulate_serving_traced`
+//! and `cluster::simulate_cluster_traced` return the same report as
+//! their untraced twins plus a [`cllm_obs::Trace`] whose per-node spans
+//! tile the makespan (`busy + idle + outage`) and whose per-request
+//! chains sum to each end-to-end latency.
+//!
 //! # Example
 //!
 //! ```

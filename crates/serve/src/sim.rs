@@ -20,16 +20,20 @@
 //! [`FaultPlan::none`] and is
 //! byte-identical to the historic fault-free loop.
 
-use crate::faults::{attested_rehandshake, FaultEvent, FaultPlan};
+use crate::faults::{attested_rehandshake_phased, FaultEvent, FaultPlan};
 use crate::scheduler::{ContinuousBatcher, QueueStats, SchedulerLimits};
 use crate::slo::{percentile_of, ServingReport};
 use crate::workload::{ArrivalProcess, Request};
 use cllm_hw::{DType, GpuModel};
+use cllm_obs::{Scope, SpanKind, Trace, TraceSink};
 use cllm_perf::CpuTarget;
 use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
 use cllm_workload::{zoo, ModelConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+
+/// Single-node simulations always trace as node 0.
+const NODE0: Scope = Scope::Node(0);
 
 /// One completed request's timing record.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -199,6 +203,36 @@ pub fn simulate_serving_faulted(
     node: &ServingNode,
     plan: &FaultPlan,
 ) -> ServingReport {
+    run_faulted(cfg, node, plan, &mut TraceSink::disabled())
+}
+
+/// Traced twin of [`simulate_serving_faulted`]: byte-identical report
+/// (span emission only *reads* the simulated clock; it never changes the
+/// float arithmetic or branch structure), plus the recorded single-lane
+/// [`Trace`].
+///
+/// The trace tiles the node's timeline — every clock advance emits
+/// exactly one node-scoped span, so `busy + idle + outage == makespan`
+/// holds by construction — and chains each request's spans gaplessly
+/// from arrival to final token (or abort), so the per-request span sum
+/// equals its end-to-end latency.
+#[must_use]
+pub fn simulate_serving_traced(
+    cfg: &ServingConfig,
+    node: &ServingNode,
+    plan: &FaultPlan,
+) -> (ServingReport, Trace) {
+    let mut sink = TraceSink::new();
+    let report = run_faulted(cfg, node, plan, &mut sink);
+    (report, sink.finish())
+}
+
+fn run_faulted(
+    cfg: &ServingConfig,
+    node: &ServingNode,
+    plan: &FaultPlan,
+    sink: &mut TraceSink,
+) -> ServingReport {
     if cfg.arrivals.rate_per_s <= 0.0 || cfg.duration_s <= 0.0 {
         return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default());
     }
@@ -219,6 +253,9 @@ pub fn simulate_serving_faulted(
     let mut downtime_s = 0.0f64;
     let mut next_event = 0usize;
     let mut handshake_seq = 0u64;
+    // Trace bookkeeping: where each request's next span starts (see
+    // `simulate_serving_traced`). Untouched when the sink is disabled.
+    let mut req_cursor: HashMap<u64, f64> = HashMap::new();
 
     loop {
         // Apply faults that have fired by `now`, oldest first.
@@ -238,12 +275,18 @@ pub fn simulate_serving_faulted(
                 &mut downtime_s,
                 &mut retries,
                 &mut aborted,
+                sink,
+                &mut req_cursor,
             );
         }
 
         // Deliver arrivals that have happened by `now`.
         while pending.front().is_some_and(|r| r.arrival_s <= now) {
-            scheduler.enqueue(pending.pop_front().expect("front checked"));
+            let r = pending.pop_front().expect("front checked");
+            if sink.is_enabled() {
+                req_cursor.insert(r.id, r.arrival_s);
+            }
+            scheduler.enqueue(r);
         }
         // Deliver retried requests whose backoff has elapsed, in
         // deterministic (eligibility, id) order.
@@ -263,7 +306,16 @@ pub fn simulate_serving_faulted(
                 // The retry's queue-wait clock starts at re-delivery, not
                 // at its original arrival — the spent time is already in
                 // its TTFT.
-                Some(i) => scheduler.enqueue_at(retry_queue.swap_remove(i).request, now),
+                Some(i) => {
+                    let entry = retry_queue.swap_remove(i);
+                    if sink.is_enabled() {
+                        if let Some(c) = req_cursor.get_mut(&entry.request.id) {
+                            sink.span(Scope::Request(entry.request.id), SpanKind::Backoff, *c, now);
+                            *c = now;
+                        }
+                    }
+                    scheduler.enqueue_at(entry.request, now);
+                }
                 None => break,
             }
         }
@@ -281,10 +333,12 @@ pub fn simulate_serving_faulted(
             if !target.is_finite() {
                 break; // no work left anywhere
             }
+            let idle_from = now;
             match plan.events.get(next_event) {
                 Some(e) if e.at_s < target => now = e.at_s,
                 _ => now = target,
             }
+            sink.span(NODE0, SpanKind::Idle, idle_from, now);
             continue;
         }
 
@@ -292,11 +346,25 @@ pub fn simulate_serving_faulted(
         // victim must re-attest its session before its repeated prefill.
         let admitted = scheduler.admit(&cfg.model, cfg.dtype, now);
         for r in admitted {
+            if sink.is_enabled() {
+                if let Some(c) = req_cursor.get(&r.id).copied() {
+                    sink.span(Scope::Request(r.id), SpanKind::QueueWait, c, now);
+                }
+            }
             if attempts_of.get(&r.id).copied().unwrap_or(0) > 0 {
+                let t0 = now;
                 now += plan.policy.reattest_s;
+                sink.span(NODE0, SpanKind::Reattest, t0, now);
+                sink.span(Scope::Request(r.id), SpanKind::Reattest, t0, now);
             }
             let t_prefill = node.prefill_time_s(cfg, r.prompt_tokens);
+            let t0 = now;
             now += t_prefill;
+            sink.span(NODE0, SpanKind::Prefill, t0, now);
+            sink.span(Scope::Request(r.id), SpanKind::Prefill, t0, now);
+            if sink.is_enabled() {
+                req_cursor.insert(r.id, now);
+            }
             scheduler.start(r, now);
         }
 
@@ -311,7 +379,9 @@ pub fn simulate_serving_faulted(
         let mean_context = (scheduler.running().iter().map(|a| a.context()).sum::<u64>() as f64
             / batch as f64)
             .round() as u64;
+        let t0 = now;
         now += node.decode_step_time_s(cfg, batch, mean_context);
+        sink.span(NODE0, SpanKind::Decode, t0, now);
 
         for fin in scheduler.step() {
             let ttft = fin.first_token_s - fin.request.arrival_s;
@@ -319,6 +389,11 @@ pub fn simulate_serving_faulted(
             #[allow(clippy::cast_precision_loss)]
             let tpot = decode_span / (fin.request.output_tokens.saturating_sub(1).max(1)) as f64;
             useful_tokens += fin.request.output_tokens;
+            if sink.is_enabled() {
+                if let Some(c) = req_cursor.remove(&fin.request.id) {
+                    sink.span(Scope::Request(fin.request.id), SpanKind::Decode, c, now);
+                }
+            }
             records.push(RequestRecord {
                 id: fin.request.id,
                 ttft_s: ttft,
@@ -360,25 +435,46 @@ fn apply_fault(
     downtime_s: &mut f64,
     retries: &mut u64,
     aborted: &mut usize,
+    sink: &mut TraceSink,
+    req_cursor: &mut HashMap<u64, f64>,
 ) {
     use crate::faults::FaultKind;
     if ev.kind == FaultKind::AttestationFailure {
         // The quote was rejected; re-handshake through the real session
         // state machine while the node is unavailable.
-        attested_rehandshake(handshake_seq).expect("re-handshake must recover the session");
+        let t0 = *now;
+        attested_rehandshake_phased(handshake_seq, &mut |phase| {
+            sink.event(NODE0, "handshake", t0, phase.label().to_string());
+        })
+        .expect("re-handshake must recover the session");
         *now += plan.policy.reattest_s;
         *downtime_s += plan.policy.reattest_s;
+        sink.span_labeled(NODE0, SpanKind::Outage, t0, *now, Some(ev.kind.label()));
         return;
     }
     let outage_s = ev.outage_s.min((horizon_s - ev.at_s).max(0.0));
     if ev.kind.loses_state() {
         for victim in scheduler.drain_running() {
-            let n = attempts_of.entry(victim.request.id).or_insert(0);
+            let id = victim.request.id;
+            let n = attempts_of.entry(id).or_insert(0);
             *n += 1;
             if *n > plan.policy.max_retries {
                 *aborted += 1;
+                if sink.is_enabled() {
+                    if let Some(c) = req_cursor.remove(&id) {
+                        sink.span(Scope::Request(id), SpanKind::DecodeLost, c, *now);
+                    }
+                    sink.event(Scope::Request(id), "abort", *now, String::new());
+                }
             } else {
                 *retries += 1;
+                if sink.is_enabled() {
+                    if let Some(c) = req_cursor.get_mut(&id) {
+                        sink.span(Scope::Request(id), SpanKind::DecodeLost, *c, *now);
+                        *c = *now;
+                    }
+                    sink.event(Scope::Request(id), "requeue", *now, format!("attempt {n}"));
+                }
                 retry_queue.push(RetryEntry {
                     request: victim.request,
                     eligible_s: ev.at_s + outage_s + plan.policy.backoff_s(*n),
@@ -387,8 +483,10 @@ fn apply_fault(
         }
     }
     // Both crash- and stall-class events hold the node for the outage.
+    let t0 = *now;
     *now += outage_s;
     *downtime_s += outage_s;
+    sink.span_labeled(NODE0, SpanKind::Outage, t0, *now, Some(ev.kind.label()));
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -683,6 +781,100 @@ mod tests {
         fn downtime_like(&self) -> f64 {
             (1.0 - self.availability) * self.makespan_s
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_report() {
+        let cfg = ServingConfig::small_test();
+        let rates = FaultRates::for_platform(TeeKind::Sgx, &SpotParams::gcp_spot()).scaled(600.0);
+        let plan = FaultPlan::seeded(&rates, cfg.duration_s, 13);
+        let node = ServingNode::Cpu {
+            tee: CpuTeeConfig::sgx(),
+        };
+        let untraced = simulate_serving_faulted(&cfg, &node, &plan);
+        let (traced, trace) = simulate_serving_traced(&cfg, &node, &plan);
+        assert_eq!(untraced, traced, "tracing must not perturb the simulation");
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn trace_conserves_time_and_latency() {
+        let cfg = ServingConfig::small_test();
+        let rates = FaultRates::for_platform(TeeKind::Sgx, &SpotParams::gcp_spot()).scaled(600.0);
+        let plan = FaultPlan::seeded(&rates, cfg.duration_s, 13);
+        let node = ServingNode::Cpu {
+            tee: CpuTeeConfig::sgx(),
+        };
+        let (report, trace) = simulate_serving_traced(&cfg, &node, &plan);
+        let check = cllm_obs::check(&trace, 1e-6);
+        assert!(check.ok(), "conservation violated: {:?}", check.errors);
+
+        // Node accounting matches the report exactly: one node, whose
+        // makespan and outage time are what the report computed.
+        let totals = cllm_obs::node_totals(&trace);
+        assert_eq!(totals.len(), 1);
+        assert!((totals[0].makespan_s - report.makespan_s).abs() < 1e-9);
+        let downtime = (1.0 - report.availability) * report.makespan_s;
+        assert!(
+            (totals[0].outage_s - downtime).abs() < 1e-6,
+            "outage {} vs downtime {}",
+            totals[0].outage_s,
+            downtime
+        );
+
+        // Every completed request's span chain sums to its recorded
+        // end-to-end latency.
+        let chains = cllm_obs::request_chains(&trace);
+        for r in &report.records {
+            let chain = chains
+                .iter()
+                .find(|c| c.id == r.id)
+                .expect("completed request must be traced");
+            assert!(
+                (chain.total_s - r.e2e_s).abs() < 1e-6,
+                "request {}: chain {} vs e2e {}",
+                r.id,
+                chain.total_s,
+                r.e2e_s
+            );
+        }
+    }
+
+    #[test]
+    fn attestation_faults_emit_handshake_phases() {
+        use crate::faults::{FaultEvent, FaultKind, RecoveryPolicy};
+        let cfg = ServingConfig::small_test();
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 5.0,
+                kind: FaultKind::AttestationFailure,
+                outage_s: 0.0,
+            }],
+            policy: RecoveryPolicy::default(),
+        };
+        let node = ServingNode::Cpu {
+            tee: CpuTeeConfig::tdx(),
+        };
+        let (_, trace) = simulate_serving_traced(&cfg, &node, &plan);
+        let phases: Vec<&str> = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "handshake")
+            .map(|e| e.detail.as_str())
+            .collect();
+        assert_eq!(
+            phases,
+            [
+                "challenge",
+                "respond",
+                "reject",
+                "challenge",
+                "respond",
+                "verify",
+                "channel"
+            ],
+            "fail-then-recover handshake must surface both attempts"
+        );
     }
 
     #[test]

@@ -52,6 +52,39 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+/// Named phases of an attested session establishment, in protocol order.
+///
+/// The handshake functions themselves stay observer-free; callers that
+/// time or trace a handshake (e.g. the serving simulator's
+/// re-attestation path) report these phases to their own sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HandshakePhase {
+    /// Verifier emits nonce + ephemeral DH share ([`Verifier::start`]).
+    Challenge,
+    /// Enclave quotes the transcript and answers ([`enclave_respond`]).
+    Respond,
+    /// The verifier rejected the response (a failed attempt).
+    Reject,
+    /// Verifier checked the quote and derived keys ([`Verifier::finish`]).
+    Verify,
+    /// Both sides hold a working [`SecureChannel`].
+    Channel,
+}
+
+impl HandshakePhase {
+    /// Stable lower-case label for traces and logs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HandshakePhase::Challenge => "challenge",
+            HandshakePhase::Respond => "respond",
+            HandshakePhase::Reject => "reject",
+            HandshakePhase::Verify => "verify",
+            HandshakePhase::Channel => "channel",
+        }
+    }
+}
+
 /// The verifier's first flight.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Challenge {

@@ -10,6 +10,7 @@ pub use cllm_cost as cost;
 pub use cllm_crypto as crypto;
 pub use cllm_hw as hw;
 pub use cllm_infer as infer;
+pub use cllm_obs as obs;
 pub use cllm_perf as perf;
 pub use cllm_rag as rag;
 pub use cllm_retrieval as retrieval;

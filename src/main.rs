@@ -10,9 +10,11 @@
 //!            [--faults S] [--fault-seed N]  ... under an injected fault schedule
 //!            [--nodes SPEC] [--failover on|off] [--waves W] [--wave-frac F]
 //!                                           ... on a multi-node cluster
+//! cllm <experiment> [--trace out.json]   run one experiment; export its span
+//!                                        timeline as Chrome trace-event JSON
 //! ```
 
-use cllm_core::experiments::{all_experiments, run_by_id};
+use cllm_core::experiments::{all_experiments, run_by_id, trace_by_id, TRACEABLE};
 use cllm_core::pipeline::{ConfidentialPipeline, DeploymentSpec};
 use cllm_cost::{cost_advantage_pct, cost_per_mtok, CpuPricing, GpuPricing};
 use cllm_cost::{SpillPenalty, SpotParams};
@@ -49,10 +51,65 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("unknown command: {other}\n");
-            print_usage();
-            ExitCode::from(2)
+            // Experiment ids double as commands: `cllm serving --trace t.json`.
+            if all_experiments().iter().any(|(id, _)| *id == other) {
+                cmd_experiment(other, &flags)
+            } else {
+                eprintln!("unknown command: {other}\n");
+                print_usage();
+                ExitCode::from(2)
+            }
         }
+    }
+}
+
+/// Run one experiment by id, optionally exporting its span trace as
+/// Chrome trace-event JSON (`--trace out.json`) with the conservation
+/// invariants checked and reported.
+fn cmd_experiment(id: &str, flags: &HashMap<String, String>) -> ExitCode {
+    let result = run_by_id(id).expect("caller verified the id is registered");
+    println!("{}", result.render());
+    let Some(path) = flags.get("trace") else {
+        return ExitCode::SUCCESS;
+    };
+    if path.is_empty() {
+        eprintln!("--trace needs an output path");
+        return ExitCode::from(2);
+    }
+    let Some(trace) = trace_by_id(id) else {
+        eprintln!(
+            "experiment {id:?} has no span trace (offline sweep); traceable: {}",
+            TRACEABLE.join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    let conservation = cllm_obs::check(&trace, 1e-6);
+    let json = cllm_obs::chrome_trace_json(&trace);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace       : {} spans, {} events across {} lanes -> {path}",
+        trace.spans.len(),
+        trace.events.len(),
+        trace.lane_count()
+    );
+    if conservation.ok() {
+        println!(
+            "attribution : ok ({} nodes and {} request chains conserve time)",
+            conservation.nodes, conservation.requests
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &conservation.errors {
+            eprintln!("attribution violation: {e}");
+        }
+        println!(
+            "attribution : VIOLATED ({} invariant errors)",
+            conservation.errors.len()
+        );
+        ExitCode::FAILURE
     }
 }
 
@@ -70,8 +127,13 @@ fn print_usage() {
          cllm serve --nodes SPEC [--failover on|off] [--waves W] [--wave-frac F]\n\
          \x20                                   multi-node cluster with admission control,\n\
          \x20                                   circuit breakers and correlated preemption\n\
-         \x20                                   waves; SPEC like 2xcgpu-spot,2xtdx\n\n\
-         platforms: bare, vm, tdx, sgx, sev-snp, gpu, cgpu"
+         \x20                                   waves; SPEC like 2xcgpu-spot,2xtdx\n  \
+         cllm <experiment> [--trace out.json]   run one experiment; --trace exports the\n\
+         \x20                                   span timeline as Chrome trace-event JSON\n\
+         \x20                                   (load in chrome://tracing or Perfetto)\n\
+         \x20                                   and checks time-conservation invariants\n\n\
+         platforms: bare, vm, tdx, sgx, sev-snp, gpu, cgpu\n\
+         traceable experiments: serving, resilience, cluster_resilience, time_attribution"
     );
 }
 
@@ -132,12 +194,28 @@ fn cmd_figures(id: Option<String>) -> ExitCode {
         },
         None => {
             // Full sweep: fan out over the parallel runner; tables still
-            // print in paper order.
+            // print in paper order. Profiles (wall time + cache hits) go
+            // to stderr only — they are host-dependent and must never
+            // land in a golden.
             let workers = cllm_core::runner::default_workers();
-            for result in cllm_core::runner::run_all_parallel(workers) {
-                println!("{}", result.render());
+            let entries = all_experiments();
+            let mut failed = false;
+            for (_, outcome, profile) in cllm_core::runner::run_entries_profiled(&entries, workers)
+            {
+                match outcome {
+                    Ok(result) => println!("{}", result.render()),
+                    Err(e) => {
+                        failed = true;
+                        eprintln!("{e}");
+                    }
+                }
+                eprintln!("profile: {}", profile.render());
             }
-            ExitCode::SUCCESS
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
     }
 }
