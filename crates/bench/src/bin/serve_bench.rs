@@ -1,0 +1,315 @@
+//! Wall-clock throughput bench for the unified discrete-event kernel.
+//!
+//! Runs the `serve_scale` cluster (64 nodes) and reports kernel
+//! events/sec. Three modes:
+//!
+//! * default / `--out <path>` — run the **full** scale (1M+ requests,
+//!   520 s simulated horizon) and write `BENCH_serve.json`. When the
+//!   output file already exists with a pinned `floor_events_per_s`, the
+//!   pin is preserved; otherwise the floor is set to a quarter of the
+//!   measured rate so machine variance cannot flake CI.
+//! * `--smoke` — run the reduced **smoke** scale and print events/sec
+//!   without touching the pin. Fast enough for CI.
+//! * `--check <path>` — validate the `BENCH_serve.json` schema at
+//!   `path`, run the smoke scale, and exit non-zero if the measured
+//!   events/sec falls more than 30% below the pinned floor.
+//!
+//! Only this binary ever records wall time; the golden tables stay
+//! machine-independent.
+
+use cllm_core::experiments::serve_scale::{report, Scale};
+use serde_json::{Number, Value};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Schema fields every `BENCH_serve.json` must carry, with their JSON
+/// type class (`true` = number, `false` = string).
+const SCHEMA: [(&str, bool); 14] = [
+    ("schema_version", true),
+    ("scale", false),
+    ("nodes", true),
+    ("arrivals", true),
+    ("completed", true),
+    ("aborted", true),
+    ("rejected", true),
+    ("retries", true),
+    ("makespan_s", true),
+    ("goodput_tps", true),
+    ("kernel_events", true),
+    ("wall_s", true),
+    ("events_per_s", true),
+    ("floor_events_per_s", true),
+];
+
+fn int(v: u64) -> Value {
+    Value::Number(Number::PosInt(v))
+}
+
+fn float(v: f64) -> Value {
+    Value::Number(Number::Float(v))
+}
+
+/// Replace or append a field on an object document.
+fn set(doc: &mut Value, key: &str, value: Value) {
+    let Value::Object(fields) = doc else {
+        panic!("document is not an object");
+    };
+    if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+        slot.1 = value;
+    } else {
+        fields.push((key.to_string(), value));
+    }
+}
+
+fn field_f64(doc: &Value, key: &str) -> f64 {
+    doc.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+/// One timed run at `scale`, rendered as the BENCH_serve.json document
+/// (floor left at zero for the caller to pin) plus the measured rate.
+fn measure(scale: Scale) -> (Value, f64) {
+    let t0 = Instant::now();
+    let (rep, stats) = report(scale);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        rep.completed + rep.aborted + rep.rejected,
+        rep.arrivals,
+        "conservation violated at {} scale",
+        scale.label()
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let events_per_s = stats.events() as f64 / wall_s.max(1e-9);
+    let doc = Value::Object(vec![
+        ("schema_version".into(), int(1)),
+        ("scale".into(), Value::String(scale.label().into())),
+        ("nodes".into(), int(rep.nodes.len() as u64)),
+        ("arrivals".into(), int(rep.arrivals as u64)),
+        ("completed".into(), int(rep.completed as u64)),
+        ("aborted".into(), int(rep.aborted as u64)),
+        ("rejected".into(), int(rep.rejected as u64)),
+        ("retries".into(), int(rep.retries)),
+        ("makespan_s".into(), float(rep.makespan_s)),
+        ("goodput_tps".into(), float(rep.goodput_tps)),
+        ("kernel_events".into(), int(stats.events())),
+        ("wall_s".into(), float(wall_s)),
+        ("events_per_s".into(), float(events_per_s)),
+        ("floor_events_per_s".into(), float(0.0)),
+    ]);
+    (doc, events_per_s)
+}
+
+/// Validate the pinned document: every schema field present with the
+/// right JSON type, counts conserved, floor positive and honest.
+fn validate(doc: &Value) -> Result<(), String> {
+    if !matches!(doc, Value::Object(_)) {
+        return Err("document is not a JSON object".into());
+    }
+    for (key, numeric) in SCHEMA {
+        let v = doc
+            .get(key)
+            .ok_or_else(|| format!("missing field `{key}`"))?;
+        let ok = if numeric {
+            matches!(v, Value::Number(_))
+        } else {
+            matches!(v, Value::String(_))
+        };
+        if !ok {
+            let want = if numeric { "number" } else { "string" };
+            return Err(format!("field `{key}` must be a {want}"));
+        }
+    }
+    let arrivals = field_f64(doc, "arrivals");
+    let terminal =
+        field_f64(doc, "completed") + field_f64(doc, "aborted") + field_f64(doc, "rejected");
+    if (terminal - arrivals).abs() > 0.0 {
+        return Err("terminal states do not sum to arrivals".into());
+    }
+    let floor = field_f64(doc, "floor_events_per_s");
+    if floor.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err("floor_events_per_s must be positive".into());
+    }
+    if field_f64(doc, "events_per_s") < floor {
+        return Err("pinned events_per_s is below its own floor".into());
+    }
+    Ok(())
+}
+
+/// Default output path: the repository root, next to EXPERIMENTS.md.
+fn default_out() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+}
+
+fn read_floor(path: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc: Value = serde_json::from_str(&text).ok()?;
+    let floor = doc.get("floor_events_per_s")?.as_f64()?;
+    (floor > 0.0).then_some(floor)
+}
+
+fn run_full(out: &Path) -> ExitCode {
+    println!("running full scale (1M+ requests, 64 nodes)...");
+    let (mut doc, events_per_s) = measure(Scale::Full);
+    // Preserve an existing pin so reruns on faster machines don't
+    // silently raise the regression bar; the first run pins measured/4.
+    let floor = read_floor(out).unwrap_or(events_per_s / 4.0);
+    set(&mut doc, "floor_events_per_s", float(floor));
+    validate(&doc).expect("freshly measured document must be schema-valid");
+    let pretty = serde_json::to_string_pretty(&doc).expect("doc serializes");
+    std::fs::write(out, pretty + "\n").expect("write BENCH_serve.json");
+    println!(
+        "full: {:.0} arrivals, {:.0} kernel events in {:.2}s wall = {events_per_s:.0} events/s (floor {floor:.0})",
+        field_f64(&doc, "arrivals"),
+        field_f64(&doc, "kernel_events"),
+        field_f64(&doc, "wall_s"),
+    );
+    println!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+fn run_smoke() -> (f64, ExitCode) {
+    let (doc, events_per_s) = measure(Scale::Smoke);
+    println!(
+        "smoke: {:.0} arrivals, {:.0} kernel events in {:.3}s wall = {events_per_s:.0} events/s",
+        field_f64(&doc, "arrivals"),
+        field_f64(&doc, "kernel_events"),
+        field_f64(&doc, "wall_s"),
+    );
+    (events_per_s, ExitCode::SUCCESS)
+}
+
+fn run_check(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check failed: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc: Value = match serde_json::from_str(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("check failed: {} is not valid JSON: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate(&doc) {
+        eprintln!("check failed: schema error in {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    let floor = field_f64(&doc, "floor_events_per_s");
+    let (measured, _) = run_smoke();
+    let bar = floor * 0.7;
+    if measured < bar {
+        eprintln!(
+            "check failed: smoke events/sec {measured:.0} regressed >30% below pinned floor {floor:.0} (bar {bar:.0})"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("check ok: smoke {measured:.0} events/s >= 0.7 x floor {floor:.0}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => run_full(&default_out()),
+        Some("--out") => {
+            let path = args.get(1).map_or_else(default_out, PathBuf::from);
+            run_full(&path)
+        }
+        Some("--smoke") => run_smoke().1,
+        Some("--check") => match args.get(1) {
+            Some(p) => run_check(Path::new(p)),
+            None => {
+                eprintln!("--check requires a path to BENCH_serve.json");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!("unknown argument `{other}`; use --smoke, --check <path>, or --out <path>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::Object(vec![
+            ("schema_version".into(), int(1)),
+            ("scale".into(), Value::String("full".into())),
+            ("nodes".into(), int(64)),
+            ("arrivals".into(), int(1_040_000)),
+            ("completed".into(), int(1_030_000)),
+            ("aborted".into(), int(10_000)),
+            ("rejected".into(), int(0)),
+            ("retries".into(), int(5_000)),
+            ("makespan_s".into(), float(523.4)),
+            ("goodput_tps".into(), float(39_000.0)),
+            ("kernel_events".into(), int(25_000_000)),
+            ("wall_s".into(), float(3.2)),
+            ("events_per_s".into(), float(7_800_000.0)),
+            ("floor_events_per_s".into(), float(1_950_000.0)),
+        ])
+    }
+
+    #[test]
+    fn sample_document_is_schema_valid() {
+        validate(&sample()).expect("sample must validate");
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let Value::Object(mut fields) = sample() else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "events_per_s");
+        let err = validate(&Value::Object(fields)).unwrap_err();
+        assert!(err.contains("events_per_s"), "{err}");
+    }
+
+    #[test]
+    fn wrong_type_is_rejected() {
+        let mut doc = sample();
+        set(&mut doc, "nodes", Value::String("sixty-four".into()));
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("nodes"), "{err}");
+    }
+
+    #[test]
+    fn non_conserved_counts_are_rejected() {
+        let mut doc = sample();
+        set(&mut doc, "completed", int(1));
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("arrivals"), "{err}");
+    }
+
+    #[test]
+    fn zero_floor_is_rejected() {
+        let mut doc = sample();
+        set(&mut doc, "floor_events_per_s", float(0.0));
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("floor"), "{err}");
+    }
+
+    #[test]
+    fn round_trip_through_text_stays_valid() {
+        let pretty = serde_json::to_string_pretty(sample()).expect("serializes");
+        let back: Value = serde_json::from_str(&pretty).expect("parses");
+        validate(&back).expect("round-tripped document must validate");
+    }
+
+    #[test]
+    fn smoke_measure_is_conservative() {
+        let (mut doc, events_per_s) = measure(Scale::Smoke);
+        assert!(events_per_s > 0.0);
+        assert_eq!(doc.get("scale").and_then(Value::as_str), Some("smoke"));
+        assert_eq!(field_f64(&doc, "nodes") as u64, 64);
+        // Floor is the caller's to pin; everything else must be present.
+        set(&mut doc, "floor_events_per_s", float(1.0));
+        validate(&doc).expect("measured smoke doc must be schema-valid");
+    }
+}

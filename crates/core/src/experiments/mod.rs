@@ -34,6 +34,7 @@
 //! | [`resilience`] | extension — serving under injected TEE faults |
 //! | [`cluster_resilience`] | extension — multi-node fleets under correlated preemption waves |
 //! | [`time_attribution`] | extension — span-accounted makespan shares under faults |
+//! | [`serve_scale`] | extension — event-kernel scale smoke on a 64-node fleet |
 
 pub mod b100;
 pub mod cluster_resilience;
@@ -55,6 +56,7 @@ pub mod model_zoo;
 pub mod moe;
 pub mod resilience;
 pub mod scaleout;
+pub mod serve_scale;
 pub mod serving;
 pub mod sev_snp;
 pub mod snc;
@@ -116,6 +118,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("resilience", resilience::run),
         ("cluster_resilience", cluster_resilience::run),
         ("time_attribution", time_attribution::run),
+        ("serve_scale", serve_scale::run),
     ]
 }
 
@@ -190,12 +193,13 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 26);
+        assert_eq!(ids.len(), 27);
         assert!(ids.contains(&"fig4"));
         assert!(ids.contains(&"table1"));
         assert!(ids.contains(&"resilience"));
         assert!(ids.contains(&"cluster_resilience"));
         assert!(ids.contains(&"time_attribution"));
+        assert!(ids.contains(&"serve_scale"));
         assert!(run_by_id("nope").is_none());
     }
 }

@@ -48,6 +48,7 @@ impl TraceSink {
     /// Whether this sink records anything. Callers may skip building
     /// expensive details (cursor bookkeeping, event strings) when `false`.
     #[must_use]
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
@@ -55,11 +56,13 @@ impl TraceSink {
     /// Record a span. Zero-length spans are dropped; adjacent node-scoped
     /// spans of the same kind and label (e.g. consecutive decode steps)
     /// are coalesced into one run, which changes no accounting sums.
+    #[inline]
     pub fn span(&mut self, scope: Scope, kind: SpanKind, start_s: f64, end_s: f64) {
         self.span_labeled(scope, kind, start_s, end_s, None);
     }
 
     /// Record a span with a refining label (see [`Span::label`]).
+    #[inline]
     pub fn span_labeled(
         &mut self,
         scope: Scope,
@@ -92,6 +95,7 @@ impl TraceSink {
     }
 
     /// Record an instantaneous event.
+    #[inline]
     pub fn event(&mut self, scope: Scope, name: &'static str, at_s: f64, detail: String) {
         if !self.enabled {
             return;
@@ -102,6 +106,32 @@ impl TraceSink {
             name,
             at_s,
             detail,
+        });
+    }
+
+    /// Record an instantaneous event whose detail string is built lazily.
+    ///
+    /// The closure runs only when the sink records, so hot simulation
+    /// loops pay zero allocation on the golden-pinned untraced path —
+    /// this is what lets the serving kernel keep one code path for traced
+    /// and untraced runs without formatting strings it will drop.
+    #[inline]
+    pub fn event_fmt(
+        &mut self,
+        scope: Scope,
+        name: &'static str,
+        at_s: f64,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            lane: 0,
+            scope,
+            name,
+            at_s,
+            detail: detail(),
         });
     }
 
@@ -184,6 +214,21 @@ mod tests {
         sink.event(Scope::Experiment, "x", 0.5, String::new());
         assert!(!sink.is_enabled());
         assert!(sink.finish().is_empty());
+    }
+
+    #[test]
+    fn disabled_sink_never_builds_lazy_detail() {
+        let mut sink = TraceSink::disabled();
+        sink.event_fmt(Scope::Experiment, "x", 0.5, || {
+            panic!("detail closure must not run on a disabled sink")
+        });
+        assert!(sink.finish().is_empty());
+
+        let mut live = TraceSink::new();
+        live.event_fmt(Scope::Experiment, "y", 1.0, || "built".to_string());
+        let trace = live.finish();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0].detail, "built");
     }
 
     #[test]

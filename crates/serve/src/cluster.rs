@@ -31,17 +31,18 @@
 //! [`ClusterConfig`] are byte-identical on any thread count.
 
 use crate::faults::{attested_rehandshake_phased, FaultEvent, FaultKind, FaultPlan, FaultRates};
+use crate::kernel::{EventQueue, KernelStats, RequestSlab};
 use crate::router::{AdmissionPolicy, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::scheduler::ContinuousBatcher;
 use crate::sim::{RequestRecord, ServingConfig, ServingNode};
-use crate::slo::percentile_of;
+use crate::slo::sorted_percentile;
 use crate::workload::Request;
 use cllm_cost::SpillPenalty;
 use cllm_obs::{Scope, SpanKind, Trace, TraceSink};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Trace scope for the fleet's `i`-th node.
 fn node_scope(i: usize) -> Scope {
@@ -246,101 +247,54 @@ pub struct ClusterReport {
     pub records: Vec<RequestRecord>,
 }
 
-/// A crash victim waiting out its backoff before re-routing.
+/// A crash victim waiting out its backoff before re-routing. Its
+/// eligibility instant lives in the kernel event queue (the entry's
+/// `time`), not in the payload.
 #[derive(Debug, Clone, Copy)]
-struct ClusterRetry {
-    request: Request,
-    eligible_s: f64,
-    origin: usize,
-    origin_gpu: bool,
+pub(crate) struct ClusterRetry {
+    pub(crate) request: Request,
+    pub(crate) origin: usize,
+    pub(crate) origin_gpu: bool,
 }
 
 /// Live state of one node during the simulation.
-struct NodeState {
-    node: ServingNode,
-    scheduler: ContinuousBatcher,
-    breaker: CircuitBreaker,
-    plan: FaultPlan,
-    next_event: usize,
-    now: f64,
-    downtime_s: f64,
-    handshake_seq: u64,
-    useful_tokens: u64,
-    completed: usize,
+pub(crate) struct NodeState {
+    pub(crate) node: ServingNode,
+    pub(crate) scheduler: ContinuousBatcher,
+    pub(crate) breaker: CircuitBreaker,
+    pub(crate) plan: FaultPlan,
+    pub(crate) next_event: usize,
+    pub(crate) now: f64,
+    pub(crate) downtime_s: f64,
+    pub(crate) handshake_seq: u64,
+    pub(crate) useful_tokens: u64,
+    pub(crate) completed: usize,
 }
 
 impl NodeState {
-    fn depth(&self) -> usize {
+    pub(crate) fn depth(&self) -> usize {
         self.scheduler.queued() + self.scheduler.running().len()
     }
 
-    fn is_gpu(&self) -> bool {
+    pub(crate) fn is_gpu(&self) -> bool {
         matches!(self.node, ServingNode::Gpu { .. })
     }
 }
 
 /// Handshake seed unique per (node, sequence) so every re-attestation
 /// drives a distinct, deterministic session transcript.
-fn hs_seed(node_idx: usize, seq: u64) -> u64 {
+pub(crate) fn hs_seed(node_idx: usize, seq: u64) -> u64 {
     ((node_idx as u64) << 32) ^ seq
 }
 
-/// Run the deterministic multi-node serving simulation.
-///
-/// Time advances node-locally: each node has its own clock, and the loop
-/// repeatedly either (a) dispatches the globally next arrival/retry to a
-/// node chosen by the router, or (b) advances the runnable node with the
-/// smallest clock by one batching iteration (ties broken by node id) —
-/// whichever is earlier. Fault events apply lazily at iteration
-/// boundaries with outages clamped at the horizon, exactly like the
-/// single-node simulator, so a one-node cluster with unbounded admission
-/// reproduces single-node behaviour.
-///
-/// Fresh arrivals that no node accepts (breaker open or queue at cap)
-/// are `rejected`; queued requests past the admission deadline are shed
-/// as `rejected` at the next boundary. Retries are always placeable —
-/// with failover they fall back to the least-loaded node even past
-/// breakers and caps (shedding, not starving, bounds the system), and
-/// without failover they return to their origin node.
-///
-/// # Panics
-///
-/// Panics if the fleet is empty.
-#[must_use]
-pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
-    run_cluster(cfg, &mut TraceSink::disabled())
-}
-
-/// Traced twin of [`simulate_cluster`]: byte-identical report (emission
-/// only reads node clocks), plus the recorded single-lane [`Trace`] —
-/// per-node busy/idle/outage spans tiling each node's timeline out to
-/// the cluster makespan, per-request chains across failovers, and
-/// events for routing decisions, breaker transitions, failover
-/// re-queues, spills, and handshake phases.
-///
-/// # Panics
-///
-/// Panics if the fleet is empty.
-#[must_use]
-pub fn simulate_cluster_traced(cfg: &ClusterConfig) -> (ClusterReport, Trace) {
-    let mut sink = TraceSink::new();
-    let report = run_cluster(cfg, &mut sink);
-    (report, sink.finish())
-}
-
-#[allow(clippy::too_many_lines)]
-fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
-    assert!(!cfg.nodes.is_empty(), "cluster needs at least one node");
-    let horizon_s = cfg.serving.duration_s;
-
-    // Build per-node state; spot nodes get their slice of the wave
-    // schedule merged into their independent base streams, and every
-    // node gets its hand-scheduled extras.
+/// Build the fleet's live node states: every node's seeded base stream is
+/// merged with its hand-scheduled extras, and spot nodes additionally
+/// take their slice of the correlated wave schedule (in fleet order).
+pub(crate) fn build_nodes(cfg: &ClusterConfig, horizon_s: f64) -> Vec<NodeState> {
     let n_spot = cfg.nodes.iter().filter(|s| s.spot).count();
     let wave_events = cfg.wave.events_per_spot_node(n_spot, horizon_s);
     let mut spot_ord = 0usize;
-    let mut nodes: Vec<NodeState> = cfg
-        .nodes
+    cfg.nodes
         .iter()
         .map(|spec| {
             let base = FaultPlan::seeded(&spec.rates, horizon_s, spec.seed);
@@ -369,49 +323,106 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
                 completed: 0,
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Run the deterministic multi-node serving simulation.
+///
+/// Time advances node-locally: each node has its own clock, and the loop
+/// repeatedly either (a) dispatches the globally next arrival/retry to a
+/// node chosen by the router, or (b) advances the runnable node with the
+/// smallest clock by one batching iteration (ties broken by node id) —
+/// whichever is earlier. Fault events apply lazily at iteration
+/// boundaries with outages clamped at the horizon, exactly like the
+/// single-node simulator, so a one-node cluster with unbounded admission
+/// reproduces single-node behaviour.
+///
+/// Fresh arrivals that no node accepts (breaker open or queue at cap)
+/// are `rejected`; queued requests past the admission deadline are shed
+/// as `rejected` at the next boundary. Retries are always placeable —
+/// with failover they fall back to the least-loaded node even past
+/// breakers and caps (shedding, not starving, bounds the system), and
+/// without failover they return to their origin node.
+///
+/// # Panics
+///
+/// Panics if the fleet is empty.
+#[must_use]
+pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
+    simulate_cluster_stats(cfg).0
+}
+
+/// [`simulate_cluster`] plus the kernel's event counters — arrivals
+/// routed, retries delivered, faults applied, admissions, decode steps,
+/// completions and rejections — for throughput benchmarking
+/// (`serve_scale` divides `KernelStats::events` by wall time).
+///
+/// # Panics
+///
+/// Panics if the fleet is empty.
+#[must_use]
+pub fn simulate_cluster_stats(cfg: &ClusterConfig) -> (ClusterReport, KernelStats) {
+    run_cluster(cfg, &mut TraceSink::disabled())
+}
+
+/// Traced twin of [`simulate_cluster`]: byte-identical report (emission
+/// only reads node clocks), plus the recorded single-lane [`Trace`] —
+/// per-node busy/idle/outage spans tiling each node's timeline out to
+/// the cluster makespan, per-request chains across failovers, and
+/// events for routing decisions, breaker transitions, failover
+/// re-queues, spills, and handshake phases.
+///
+/// # Panics
+///
+/// Panics if the fleet is empty.
+#[must_use]
+pub fn simulate_cluster_traced(cfg: &ClusterConfig) -> (ClusterReport, Trace) {
+    let mut sink = TraceSink::new();
+    let (report, _) = run_cluster(cfg, &mut sink);
+    (report, sink.finish())
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> (ClusterReport, KernelStats) {
+    assert!(!cfg.nodes.is_empty(), "cluster needs at least one node");
+    let horizon_s = cfg.serving.duration_s;
+    let mut stats = KernelStats::default();
+    let mut nodes = build_nodes(cfg, horizon_s);
 
     if cfg.serving.arrivals.rate_per_s <= 0.0 || horizon_s <= 0.0 {
-        return drain_report(nodes, 0, 0, 0, 0, 0, Vec::new());
+        return (drain_report(nodes, 0, 0, 0, 0, 0, Vec::new()), stats);
     }
     let trace = cfg.serving.arrivals.trace(horizon_s);
     if trace.is_empty() {
-        return drain_report(nodes, 0, 0, 0, 0, 0, Vec::new());
+        return (drain_report(nodes, 0, 0, 0, 0, 0, Vec::new()), stats);
     }
 
     let mut pending: VecDeque<Request> = trace.iter().copied().collect();
     let total_arrivals = pending.len();
-    let mut retry_queue: Vec<ClusterRetry> = Vec::new();
-    let mut attempts_of: HashMap<u64, u32> = HashMap::new();
-    let mut spilled: HashSet<u64> = HashSet::new();
+    // Dynamic events (crash victims waiting out backoff) go through the
+    // kernel's heap, keyed by request id so same-eligibility pops match
+    // the (eligibility, id) order the old full-scan selection defined.
+    let mut retry_queue: EventQueue<ClusterRetry> = EventQueue::new();
+    // Per-request state — retry attempts, trace cursor, pending-spill
+    // flag — lives in a dense slab indexed by id, not hash maps.
+    let mut slab = RequestSlab::new(total_arrivals);
     let mut records: Vec<RequestRecord> = Vec::with_capacity(total_arrivals);
     let mut rejected = 0usize;
     let mut aborted = 0usize;
     let mut retries = 0u64;
     let mut spills = 0u64;
-    // Trace bookkeeping (untouched when the sink is disabled): where each
-    // request's next span starts, and each breaker's last observed state.
-    let mut req_cursor: HashMap<u64, f64> = HashMap::new();
+    // Each breaker's last observed state (trace bookkeeping only).
     let mut breaker_seen: Vec<BreakerState> = vec![BreakerState::Closed; nodes.len()];
 
     loop {
         // The globally next dispatchable item: arrivals win ties over
         // retries; retries order by (eligibility, id).
         let t_arrival = pending.front().map(|r| r.arrival_s);
-        let next_retry = retry_queue
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.eligible_s
-                    .partial_cmp(&b.eligible_s)
-                    .expect("finite eligibility")
-                    .then(a.request.id.cmp(&b.request.id))
-            })
-            .map(|(i, e)| (i, e.eligible_s));
+        let next_retry = retry_queue.peek_time();
         let t_dispatch = match (t_arrival, next_retry) {
-            (Some(a), Some((_, r))) => Some(a.min(r)),
+            (Some(a), Some(r)) => Some(a.min(r)),
             (Some(a), None) => Some(a),
-            (None, Some((_, r))) => Some(r),
+            (None, Some(r)) => Some(r),
             (None, None) => None,
         };
 
@@ -437,12 +448,13 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
 
         if do_dispatch {
             let arrival_first = match (t_arrival, next_retry) {
-                (Some(a), Some((_, r))) => a <= r,
+                (Some(a), Some(r)) => a <= r,
                 (Some(_), None) => true,
                 _ => false,
             };
             if arrival_first {
                 let r = pending.pop_front().expect("arrival checked");
+                stats.arrivals += 1;
                 let t = r.arrival_s;
                 let mut candidates = Vec::with_capacity(nodes.len());
                 for (i, n) in nodes.iter_mut().enumerate() {
@@ -454,19 +466,20 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
                 match crate::router::route_least_loaded(&candidates) {
                     Some(i) => {
                         if sink.is_enabled() {
-                            req_cursor.insert(r.id, t);
+                            slab.set_cursor(r.id, t);
                             sink.event(node_scope(i), "route", t, format!("req {}", r.id));
                         }
                         place(&mut nodes[i], i, r, t, sink);
                     }
                     None => {
                         rejected += 1; // load shed at the front door
+                        stats.rejections += 1;
                         sink.event(Scope::Request(r.id), "reject", t, String::new());
                     }
                 }
             } else {
-                let (idx, t) = next_retry.expect("retry checked");
-                let e = retry_queue.swap_remove(idx);
+                let (t, e) = retry_queue.pop().expect("retry checked");
+                stats.retries_delivered += 1;
                 let target = if cfg.failover {
                     let mut candidates = Vec::with_capacity(nodes.len());
                     for (i, n) in nodes.iter_mut().enumerate() {
@@ -489,7 +502,7 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
                 };
                 if nodes[target].is_gpu() != e.origin_gpu {
                     spills += 1;
-                    spilled.insert(e.request.id);
+                    slab.mark_spilled(e.request.id);
                     if sink.is_enabled() {
                         let dir = if e.origin_gpu {
                             "cgpu->cpu"
@@ -505,9 +518,9 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
                     }
                 }
                 if sink.is_enabled() {
-                    if let Some(c) = req_cursor.get_mut(&e.request.id) {
-                        sink.span(Scope::Request(e.request.id), SpanKind::Backoff, *c, t);
-                        *c = t;
+                    if let Some(c) = slab.cursor(e.request.id) {
+                        sink.span(Scope::Request(e.request.id), SpanKind::Backoff, c, t);
+                        slab.set_cursor(e.request.id, t);
                     }
                     sink.event(
                         node_scope(target),
@@ -534,17 +547,17 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
         {
             let ev = n.plan.events[n.next_event];
             n.next_event += 1;
+            stats.faults_applied += 1;
             apply_node_fault(
                 &ev,
                 n,
                 i,
                 horizon_s,
-                &mut attempts_of,
+                &mut slab,
                 &mut retry_queue,
                 &mut retries,
                 &mut aborted,
                 sink,
-                &mut req_cursor,
                 &mut breaker_seen[i],
             );
         }
@@ -555,9 +568,10 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
             let deadline_s = cfg.admission.deadline_s;
             let shed = n.scheduler.shed(|r| now - r.arrival_s > deadline_s);
             rejected += shed.len();
+            stats.rejections += shed.len() as u64;
             if sink.is_enabled() {
                 for r in &shed {
-                    if let Some(c) = req_cursor.remove(&r.id) {
+                    if let Some(c) = slab.take_cursor(r.id) {
                         sink.span(Scope::Request(r.id), SpanKind::QueueWait, c, now);
                     }
                     sink.event(Scope::Request(r.id), "shed", now, String::new());
@@ -572,19 +586,20 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
             .scheduler
             .admit(&cfg.serving.model, cfg.serving.dtype, n.now);
         for r in admitted {
+            stats.admissions += 1;
             if sink.is_enabled() {
-                if let Some(c) = req_cursor.get(&r.id).copied() {
+                if let Some(c) = slab.cursor(r.id) {
                     sink.span(Scope::Request(r.id), SpanKind::QueueWait, c, n.now);
                 }
             }
-            if attempts_of.get(&r.id).copied().unwrap_or(0) > 0 {
+            if slab.attempts(r.id) > 0 {
                 let t0 = n.now;
                 n.now += n.plan.policy.reattest_s;
                 sink.span(node_scope(i), SpanKind::Reattest, t0, n.now);
                 sink.span(Scope::Request(r.id), SpanKind::Reattest, t0, n.now);
             }
             let mut t_prefill = n.node.prefill_time_s(&cfg.serving, r.prompt_tokens);
-            if spilled.remove(&r.id) {
+            if slab.take_spilled(r.id) {
                 let t0 = n.now;
                 n.now += cfg.spill.requant_s;
                 sink.span(node_scope(i), SpanKind::Requant, t0, n.now);
@@ -596,7 +611,7 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
             sink.span(node_scope(i), SpanKind::Prefill, t0, n.now);
             sink.span(Scope::Request(r.id), SpanKind::Prefill, t0, n.now);
             if sink.is_enabled() {
-                req_cursor.insert(r.id, n.now);
+                slab.set_cursor(r.id, n.now);
             }
             n.scheduler.start(r, n.now);
         }
@@ -618,6 +633,7 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
             .round() as u64;
         let t0 = n.now;
         n.now += n.node.decode_step_time_s(&cfg.serving, batch, mean_context);
+        stats.decode_steps += 1;
         sink.span(node_scope(i), SpanKind::Decode, t0, n.now);
 
         for fin in n.scheduler.step() {
@@ -627,8 +643,9 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
             let tpot = decode_span / (fin.request.output_tokens.saturating_sub(1).max(1)) as f64;
             n.useful_tokens += fin.request.output_tokens;
             n.completed += 1;
+            stats.completions += 1;
             if sink.is_enabled() {
-                if let Some(c) = req_cursor.remove(&fin.request.id) {
+                if let Some(c) = slab.take_cursor(fin.request.id) {
                     sink.span(Scope::Request(fin.request.id), SpanKind::Decode, c, n.now);
                 }
             }
@@ -637,7 +654,7 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
                 ttft_s: ttft,
                 tpot_s: tpot,
                 e2e_s: n.now - fin.request.arrival_s,
-                retries: attempts_of.get(&fin.request.id).copied().unwrap_or(0),
+                retries: slab.attempts(fin.request.id),
             });
             if n.breaker.record_success() {
                 // The half-open probe completed: close the breaker and
@@ -646,7 +663,7 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
                 n.handshake_seq += 1;
                 let t0 = n.now;
                 attested_rehandshake_phased(hs_seed(i, n.handshake_seq), &mut |phase| {
-                    sink.event(node_scope(i), "handshake", t0, phase.label().to_string());
+                    sink.event_fmt(node_scope(i), "handshake", t0, || phase.label().to_string());
                 })
                 .expect("re-handshake must recover the session");
                 n.now += n.plan.policy.reattest_s;
@@ -673,20 +690,23 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> ClusterReport {
         }
     }
 
-    drain_report(
-        nodes,
-        total_arrivals,
-        rejected,
-        aborted,
-        retries,
-        spills,
-        records,
+    (
+        drain_report(
+            nodes,
+            total_arrivals,
+            rejected,
+            aborted,
+            retries,
+            spills,
+            records,
+        ),
+        stats,
     )
 }
 
 /// Route one request onto a node, waking an idle node's clock forward to
 /// the dispatch time (clocks never run backward).
-fn place(n: &mut NodeState, idx: usize, request: Request, t: f64, sink: &mut TraceSink) {
+pub(crate) fn place(n: &mut NodeState, idx: usize, request: Request, t: f64, sink: &mut TraceSink) {
     if n.scheduler.idle() && t > n.now {
         sink.span(node_scope(idx), SpanKind::Idle, n.now, t);
         n.now = t;
@@ -697,19 +717,21 @@ fn place(n: &mut NodeState, idx: usize, request: Request, t: f64, sink: &mut Tra
 /// Apply one fault event at a node's iteration boundary. Mirrors the
 /// single-node semantics (horizon-clamped outages, bounded retry with
 /// backoff, real re-handshake on attestation failure) and additionally
-/// feeds every event into the node's breaker as an error sample.
+/// feeds every event into the node's breaker as an error sample. The
+/// attestation re-handshake toll takes the identical horizon clamp every
+/// other outage gets — a failure in the last fraction of a second cannot
+/// charge downtime past the horizon.
 #[allow(clippy::too_many_arguments)]
 fn apply_node_fault(
     ev: &FaultEvent,
     n: &mut NodeState,
     node_idx: usize,
     horizon_s: f64,
-    attempts_of: &mut HashMap<u64, u32>,
-    retry_queue: &mut Vec<ClusterRetry>,
+    slab: &mut RequestSlab,
+    retry_queue: &mut EventQueue<ClusterRetry>,
     retries: &mut u64,
     aborted: &mut usize,
     sink: &mut TraceSink,
-    req_cursor: &mut HashMap<u64, f64>,
     breaker_seen: &mut BreakerState,
 ) {
     n.breaker.record_error(n.now);
@@ -718,16 +740,14 @@ fn apply_node_fault(
         n.handshake_seq += 1;
         let t0 = n.now;
         attested_rehandshake_phased(hs_seed(node_idx, n.handshake_seq), &mut |phase| {
-            sink.event(
-                node_scope(node_idx),
-                "handshake",
-                t0,
-                phase.label().to_string(),
-            );
+            sink.event_fmt(node_scope(node_idx), "handshake", t0, || {
+                phase.label().to_string()
+            });
         })
         .expect("re-handshake must recover the session");
-        n.now += n.plan.policy.reattest_s;
-        n.downtime_s += n.plan.policy.reattest_s;
+        let outage_s = n.plan.policy.reattest_s.min((horizon_s - ev.at_s).max(0.0));
+        n.now += outage_s;
+        n.downtime_s += outage_s;
         sink.span_labeled(
             node_scope(node_idx),
             SpanKind::Outage,
@@ -742,12 +762,11 @@ fn apply_node_fault(
         let origin_gpu = n.is_gpu();
         for victim in n.scheduler.drain_running() {
             let id = victim.request.id;
-            let a = attempts_of.entry(id).or_insert(0);
-            *a += 1;
-            if *a > n.plan.policy.max_retries {
+            let a = slab.bump_attempts(id);
+            if a > n.plan.policy.max_retries {
                 *aborted += 1;
                 if sink.is_enabled() {
-                    if let Some(c) = req_cursor.remove(&id) {
+                    if let Some(c) = slab.take_cursor(id) {
                         sink.span(Scope::Request(id), SpanKind::DecodeLost, c, n.now);
                     }
                     sink.event(Scope::Request(id), "abort", n.now, String::new());
@@ -755,18 +774,21 @@ fn apply_node_fault(
             } else {
                 *retries += 1;
                 if sink.is_enabled() {
-                    if let Some(c) = req_cursor.get_mut(&id) {
-                        sink.span(Scope::Request(id), SpanKind::DecodeLost, *c, n.now);
-                        *c = n.now;
+                    if let Some(c) = slab.cursor(id) {
+                        sink.span(Scope::Request(id), SpanKind::DecodeLost, c, n.now);
+                        slab.set_cursor(id, n.now);
                     }
                     sink.event(Scope::Request(id), "requeue", n.now, format!("attempt {a}"));
                 }
-                retry_queue.push(ClusterRetry {
-                    request: victim.request,
-                    eligible_s: ev.at_s + outage_s + n.plan.policy.backoff_s(*a),
-                    origin: node_idx,
-                    origin_gpu,
-                });
+                retry_queue.push_keyed(
+                    ev.at_s + outage_s + n.plan.policy.backoff_s(a),
+                    id,
+                    ClusterRetry {
+                        request: victim.request,
+                        origin: node_idx,
+                        origin_gpu,
+                    },
+                );
             }
         }
     }
@@ -783,7 +805,7 @@ fn apply_node_fault(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn drain_report(
+pub(crate) fn drain_report(
     nodes: Vec<NodeState>,
     arrivals: usize,
     rejected: usize,
@@ -820,7 +842,9 @@ fn drain_report(
     } else {
         node_reports.iter().map(|n| n.availability).sum::<f64>() / node_reports.len() as f64
     };
-    let ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
+    // Sort the TTFT samples once; both percentiles read the same slice.
+    let mut ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
+    ttft.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let completed = records.len();
     debug_assert_eq!(
         completed + aborted + rejected,
@@ -845,12 +869,12 @@ fn drain_report(
         ttft_p50_s: if ttft.is_empty() {
             0.0
         } else {
-            percentile_of(&ttft, 0.50)
+            sorted_percentile(&ttft, 0.50)
         },
         ttft_p99_s: if ttft.is_empty() {
             0.0
         } else {
-            percentile_of(&ttft, 0.99)
+            sorted_percentile(&ttft, 0.99)
         },
         nodes: node_reports,
         records,
@@ -862,6 +886,7 @@ mod tests {
     use super::*;
     use cllm_cost::SpotParams;
     use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, TeeKind};
+    use std::collections::HashMap;
 
     fn tdx_node(seed: u64, spot: bool) -> NodeSpec {
         let spot_params = if spot {
@@ -1119,6 +1144,45 @@ mod tests {
             WaveModel::none(),
             true,
         )
+    }
+
+    #[test]
+    fn near_horizon_attestation_failure_is_clamped() {
+        // Regression: the node-level attestation branch charged the full
+        // re-handshake toll even when the failure fired just before the
+        // horizon. A single hand-scheduled failure 0.05 s before the end
+        // must charge at most 0.05 s of downtime.
+        let horizon = ServingConfig::small_test().duration_s;
+        let mut node = quiet_node(1);
+        node.extra_events = vec![FaultEvent {
+            at_s: horizon - 0.05,
+            kind: FaultKind::AttestationFailure,
+            outage_s: 0.0,
+        }];
+        let cfg = small_cluster(vec![node], WaveModel::none(), true);
+        let r = simulate_cluster(&cfg);
+        assert!(
+            r.nodes[0].downtime_s <= 0.05 + 1e-9,
+            "near-horizon attestation failure charged {} s, clamp allows 0.05 s",
+            r.nodes[0].downtime_s
+        );
+        assert_eq!(r.completed + r.aborted + r.rejected, r.arrivals);
+
+        // Baseline: the same failure mid-trace charges the whole toll.
+        let mut mid = quiet_node(1);
+        mid.extra_events = vec![FaultEvent {
+            at_s: 5.0,
+            kind: FaultKind::AttestationFailure,
+            outage_s: 0.0,
+        }];
+        let cfg = small_cluster(vec![mid], WaveModel::none(), true);
+        let toll = FaultPlan::none().policy.reattest_s;
+        let r = simulate_cluster(&cfg);
+        assert!(
+            (r.nodes[0].downtime_s - toll).abs() < 1e-9,
+            "mid-trace failure charges the whole toll, got {}",
+            r.nodes[0].downtime_s
+        );
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! per-user bound. This crate closes that gap with a continuous-batching
 //! serving simulator in the style of vLLM/DeepSpeed-Inference schedulers:
 //!
+//! * [`kernel`] — the discrete-event core shared by the single-node and
+//!   cluster loops: a binary-heap event queue with deterministic
+//!   `(time, key, seq)` tie-breaking, slab-allocated per-request state
+//!   (dense indices, not hash lookups, on the hot path), and event
+//!   counters that make throughput measurable.
 //! * [`workload::ArrivalProcess`] — deterministic-seeded Poisson request
 //!   arrivals with configurable prompt/output length distributions.
 //! * [`scheduler::ContinuousBatcher`] — iteration-level scheduling:
@@ -54,6 +59,9 @@
 
 pub mod cluster;
 pub mod faults;
+pub mod kernel;
+#[doc(hidden)]
+pub mod legacy;
 pub mod router;
 pub mod scheduler;
 pub mod sim;

@@ -21,8 +21,9 @@
 //! byte-identical to the historic fault-free loop.
 
 use crate::faults::{attested_rehandshake_phased, FaultEvent, FaultPlan};
+use crate::kernel::{EventQueue, KernelStats, RequestSlab};
 use crate::scheduler::{ContinuousBatcher, QueueStats, SchedulerLimits};
-use crate::slo::{percentile_of, ServingReport};
+use crate::slo::{sorted_percentile, ServingReport};
 use crate::workload::{ArrivalProcess, Request};
 use cllm_hw::{DType, GpuModel};
 use cllm_obs::{Scope, SpanKind, Trace, TraceSink};
@@ -30,7 +31,7 @@ use cllm_perf::CpuTarget;
 use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
 use cllm_workload::{zoo, ModelConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Single-node simulations always trace as node 0.
 const NODE0: Scope = Scope::Node(0);
@@ -157,13 +158,6 @@ impl ServingNode {
     }
 }
 
-/// A request waiting out its backoff after losing its node.
-#[derive(Debug, Clone, Copy)]
-struct RetryEntry {
-    request: Request,
-    eligible_s: f64,
-}
-
 /// Run the discrete-event serving simulation under `tee` with no faults.
 ///
 /// Degenerate configurations (non-positive arrival rate or horizon, or a
@@ -203,6 +197,19 @@ pub fn simulate_serving_faulted(
     node: &ServingNode,
     plan: &FaultPlan,
 ) -> ServingReport {
+    simulate_serving_faulted_stats(cfg, node, plan).0
+}
+
+/// [`simulate_serving_faulted`] plus the kernel's event counters: the
+/// report is byte-identical, and the [`KernelStats`] sum is the exact
+/// number of discrete events the kernel processed (the numerator of the
+/// events/sec throughput `serve_scale` benchmarks).
+#[must_use]
+pub fn simulate_serving_faulted_stats(
+    cfg: &ServingConfig,
+    node: &ServingNode,
+    plan: &FaultPlan,
+) -> (ServingReport, KernelStats) {
     run_faulted(cfg, node, plan, &mut TraceSink::disabled())
 }
 
@@ -223,7 +230,7 @@ pub fn simulate_serving_traced(
     plan: &FaultPlan,
 ) -> (ServingReport, Trace) {
     let mut sink = TraceSink::new();
-    let report = run_faulted(cfg, node, plan, &mut sink);
+    let (report, _) = run_faulted(cfg, node, plan, &mut sink);
     (report, sink.finish())
 }
 
@@ -232,19 +239,32 @@ fn run_faulted(
     node: &ServingNode,
     plan: &FaultPlan,
     sink: &mut TraceSink,
-) -> ServingReport {
+) -> (ServingReport, KernelStats) {
+    let mut stats = KernelStats::default();
     if cfg.arrivals.rate_per_s <= 0.0 || cfg.duration_s <= 0.0 {
-        return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default());
+        return (
+            build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default()),
+            stats,
+        );
     }
     let trace = cfg.arrivals.trace(cfg.duration_s);
     if trace.is_empty() {
-        return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default());
+        return (
+            build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default()),
+            stats,
+        );
     }
     let mut pending: VecDeque<Request> = trace.iter().copied().collect();
     let total_arrivals = pending.len();
     let mut scheduler = ContinuousBatcher::new(cfg.limits);
-    let mut retry_queue: Vec<RetryEntry> = Vec::new();
-    let mut attempts_of: HashMap<u64, u32> = HashMap::new();
+    // Dynamically scheduled retry deliveries live in the kernel's heap,
+    // keyed by request id: pops come out in (eligibility, id) order —
+    // the same order the old per-delivery `min_by` rescan produced, at
+    // O(log n) instead of O(n) per delivered retry.
+    let mut retry_queue: EventQueue<Request> = EventQueue::new();
+    // Per-request attempt counts and span cursors, slab-indexed by the
+    // dense request id (cursors untouched when the sink is disabled).
+    let mut slab = RequestSlab::new(total_arrivals);
     let mut now = 0.0f64;
     let mut records: Vec<RequestRecord> = Vec::with_capacity(total_arrivals);
     let mut useful_tokens = 0u64;
@@ -253,9 +273,6 @@ fn run_faulted(
     let mut downtime_s = 0.0f64;
     let mut next_event = 0usize;
     let mut handshake_seq = 0u64;
-    // Trace bookkeeping: where each request's next span starts (see
-    // `simulate_serving_traced`). Untouched when the sink is disabled.
-    let mut req_cursor: HashMap<u64, f64> = HashMap::new();
 
     loop {
         // Apply faults that have fired by `now`, oldest first.
@@ -263,6 +280,7 @@ fn run_faulted(
             let ev = plan.events[next_event];
             next_event += 1;
             handshake_seq += 1;
+            stats.faults_applied += 1;
             apply_fault(
                 &ev,
                 plan,
@@ -270,54 +288,37 @@ fn run_faulted(
                 handshake_seq,
                 &mut scheduler,
                 &mut retry_queue,
-                &mut attempts_of,
+                &mut slab,
                 &mut now,
                 &mut downtime_s,
                 &mut retries,
                 &mut aborted,
                 sink,
-                &mut req_cursor,
             );
         }
 
         // Deliver arrivals that have happened by `now`.
         while pending.front().is_some_and(|r| r.arrival_s <= now) {
             let r = pending.pop_front().expect("front checked");
+            stats.arrivals += 1;
             if sink.is_enabled() {
-                req_cursor.insert(r.id, r.arrival_s);
+                slab.set_cursor(r.id, r.arrival_s);
             }
             scheduler.enqueue(r);
         }
-        // Deliver retried requests whose backoff has elapsed, in
-        // deterministic (eligibility, id) order.
-        loop {
-            let next = retry_queue
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.eligible_s <= now)
-                .min_by(|(_, a), (_, b)| {
-                    a.eligible_s
-                        .partial_cmp(&b.eligible_s)
-                        .expect("finite eligibility")
-                        .then(a.request.id.cmp(&b.request.id))
-                })
-                .map(|(i, _)| i);
-            match next {
-                // The retry's queue-wait clock starts at re-delivery, not
-                // at its original arrival — the spent time is already in
-                // its TTFT.
-                Some(i) => {
-                    let entry = retry_queue.swap_remove(i);
-                    if sink.is_enabled() {
-                        if let Some(c) = req_cursor.get_mut(&entry.request.id) {
-                            sink.span(Scope::Request(entry.request.id), SpanKind::Backoff, *c, now);
-                            *c = now;
-                        }
-                    }
-                    scheduler.enqueue_at(entry.request, now);
+        // Deliver retried requests whose backoff has elapsed; the heap
+        // pops them in deterministic (eligibility, id) order. A retry's
+        // queue-wait clock starts at re-delivery, not at its original
+        // arrival — the spent time is already in its TTFT.
+        while let Some(request) = retry_queue.pop_due(now) {
+            stats.retries_delivered += 1;
+            if sink.is_enabled() {
+                if let Some(c) = slab.cursor(request.id) {
+                    sink.span(Scope::Request(request.id), SpanKind::Backoff, c, now);
+                    slab.set_cursor(request.id, now);
                 }
-                None => break,
             }
+            scheduler.enqueue_at(request, now);
         }
 
         // If nothing is runnable, jump to the next thing that can happen:
@@ -327,8 +328,8 @@ fn run_faulted(
             if let Some(next) = pending.front() {
                 target = target.min(next.arrival_s);
             }
-            for e in &retry_queue {
-                target = target.min(e.eligible_s);
+            if let Some(t) = retry_queue.peek_time() {
+                target = target.min(t);
             }
             if !target.is_finite() {
                 break; // no work left anywhere
@@ -346,12 +347,13 @@ fn run_faulted(
         // victim must re-attest its session before its repeated prefill.
         let admitted = scheduler.admit(&cfg.model, cfg.dtype, now);
         for r in admitted {
+            stats.admissions += 1;
             if sink.is_enabled() {
-                if let Some(c) = req_cursor.get(&r.id).copied() {
+                if let Some(c) = slab.cursor(r.id) {
                     sink.span(Scope::Request(r.id), SpanKind::QueueWait, c, now);
                 }
             }
-            if attempts_of.get(&r.id).copied().unwrap_or(0) > 0 {
+            if slab.attempts(r.id) > 0 {
                 let t0 = now;
                 now += plan.policy.reattest_s;
                 sink.span(NODE0, SpanKind::Reattest, t0, now);
@@ -363,7 +365,7 @@ fn run_faulted(
             sink.span(NODE0, SpanKind::Prefill, t0, now);
             sink.span(Scope::Request(r.id), SpanKind::Prefill, t0, now);
             if sink.is_enabled() {
-                req_cursor.insert(r.id, now);
+                slab.set_cursor(r.id, now);
             }
             scheduler.start(r, now);
         }
@@ -381,6 +383,7 @@ fn run_faulted(
             .round() as u64;
         let t0 = now;
         now += node.decode_step_time_s(cfg, batch, mean_context);
+        stats.decode_steps += 1;
         sink.span(NODE0, SpanKind::Decode, t0, now);
 
         for fin in scheduler.step() {
@@ -389,8 +392,9 @@ fn run_faulted(
             #[allow(clippy::cast_precision_loss)]
             let tpot = decode_span / (fin.request.output_tokens.saturating_sub(1).max(1)) as f64;
             useful_tokens += fin.request.output_tokens;
+            stats.completions += 1;
             if sink.is_enabled() {
-                if let Some(c) = req_cursor.remove(&fin.request.id) {
+                if let Some(c) = slab.take_cursor(fin.request.id) {
                     sink.span(Scope::Request(fin.request.id), SpanKind::Decode, c, now);
                 }
             }
@@ -399,20 +403,23 @@ fn run_faulted(
                 ttft_s: ttft,
                 tpot_s: tpot,
                 e2e_s: now - fin.request.arrival_s,
-                retries: attempts_of.get(&fin.request.id).copied().unwrap_or(0),
+                retries: slab.attempts(fin.request.id),
             });
         }
     }
 
-    build_report(
-        total_arrivals,
-        useful_tokens,
-        now,
-        records,
-        retries,
-        aborted,
-        downtime_s,
-        scheduler.queue_stats(),
+    (
+        build_report(
+            total_arrivals,
+            useful_tokens,
+            now,
+            records,
+            retries,
+            aborted,
+            downtime_s,
+            scheduler.queue_stats(),
+        ),
+        stats,
     )
 }
 
@@ -421,7 +428,9 @@ fn run_faulted(
 /// horizon: the simulation stops charging unavailable time beyond the
 /// last instant the trace could still demand service, so a late long
 /// preemption cannot inflate the makespan (and depress availability)
-/// with downtime no request ever observed.
+/// with downtime no request ever observed. The attestation-failure
+/// re-handshake toll takes the identical clamp — it is an outage like
+/// any other, just priced by the policy instead of the event.
 #[allow(clippy::too_many_arguments)]
 fn apply_fault(
     ev: &FaultEvent,
@@ -429,14 +438,13 @@ fn apply_fault(
     horizon_s: f64,
     handshake_seq: u64,
     scheduler: &mut ContinuousBatcher,
-    retry_queue: &mut Vec<RetryEntry>,
-    attempts_of: &mut HashMap<u64, u32>,
+    retry_queue: &mut EventQueue<Request>,
+    slab: &mut RequestSlab,
     now: &mut f64,
     downtime_s: &mut f64,
     retries: &mut u64,
     aborted: &mut usize,
     sink: &mut TraceSink,
-    req_cursor: &mut HashMap<u64, f64>,
 ) {
     use crate::faults::FaultKind;
     if ev.kind == FaultKind::AttestationFailure {
@@ -444,11 +452,12 @@ fn apply_fault(
         // state machine while the node is unavailable.
         let t0 = *now;
         attested_rehandshake_phased(handshake_seq, &mut |phase| {
-            sink.event(NODE0, "handshake", t0, phase.label().to_string());
+            sink.event_fmt(NODE0, "handshake", t0, || phase.label().to_string());
         })
         .expect("re-handshake must recover the session");
-        *now += plan.policy.reattest_s;
-        *downtime_s += plan.policy.reattest_s;
+        let outage_s = plan.policy.reattest_s.min((horizon_s - ev.at_s).max(0.0));
+        *now += outage_s;
+        *downtime_s += outage_s;
         sink.span_labeled(NODE0, SpanKind::Outage, t0, *now, Some(ev.kind.label()));
         return;
     }
@@ -456,12 +465,11 @@ fn apply_fault(
     if ev.kind.loses_state() {
         for victim in scheduler.drain_running() {
             let id = victim.request.id;
-            let n = attempts_of.entry(id).or_insert(0);
-            *n += 1;
-            if *n > plan.policy.max_retries {
+            let n = slab.bump_attempts(id);
+            if n > plan.policy.max_retries {
                 *aborted += 1;
                 if sink.is_enabled() {
-                    if let Some(c) = req_cursor.remove(&id) {
+                    if let Some(c) = slab.take_cursor(id) {
                         sink.span(Scope::Request(id), SpanKind::DecodeLost, c, *now);
                     }
                     sink.event(Scope::Request(id), "abort", *now, String::new());
@@ -469,16 +477,17 @@ fn apply_fault(
             } else {
                 *retries += 1;
                 if sink.is_enabled() {
-                    if let Some(c) = req_cursor.get_mut(&id) {
-                        sink.span(Scope::Request(id), SpanKind::DecodeLost, *c, *now);
-                        *c = *now;
+                    if let Some(c) = slab.cursor(id) {
+                        sink.span(Scope::Request(id), SpanKind::DecodeLost, c, *now);
+                        slab.set_cursor(id, *now);
                     }
                     sink.event(Scope::Request(id), "requeue", *now, format!("attempt {n}"));
                 }
-                retry_queue.push(RetryEntry {
-                    request: victim.request,
-                    eligible_s: ev.at_s + outage_s + plan.policy.backoff_s(*n),
-                });
+                retry_queue.push_keyed(
+                    ev.at_s + outage_s + plan.policy.backoff_s(n),
+                    id,
+                    victim.request,
+                );
             }
         }
     }
@@ -490,7 +499,7 @@ fn apply_fault(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn build_report(
+pub(crate) fn build_report(
     arrivals: usize,
     useful_tokens: u64,
     makespan_s: f64,
@@ -501,8 +510,25 @@ fn build_report(
     queue: &QueueStats,
 ) -> ServingReport {
     records.sort_by_key(|a| a.id);
-    let ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
-    let tpot: Vec<f64> = records.iter().map(|r| r.tpot_s).collect();
+    // The queue-wait mean sums the *unsorted* samples: f64 addition is
+    // order-sensitive, and the mean must not move because the p99 below
+    // needed a sort.
+    #[allow(clippy::cast_precision_loss)]
+    let queue_wait_mean_s = if queue.waits_s.is_empty() {
+        0.0
+    } else {
+        queue.waits_s.iter().sum::<f64>() / queue.waits_s.len() as f64
+    };
+    // Sort each latency vector exactly once; every percentile then reads
+    // the sorted slice (the old helper cloned and re-sorted per call —
+    // five sorts over three vectors per report).
+    let sort = |v: &mut Vec<f64>| v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mut waits = queue.waits_s.clone();
+    sort(&mut waits);
+    let mut ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
+    sort(&mut ttft);
+    let mut tpot: Vec<f64> = records.iter().map(|r| r.tpot_s).collect();
+    sort(&mut tpot);
     let availability = if makespan_s > 0.0 {
         (1.0 - downtime_s / makespan_s).clamp(0.0, 1.0)
     } else {
@@ -522,35 +548,31 @@ fn build_report(
             useful_tokens as f64 / makespan_s.max(1e-9)
         },
         queue_depth_peak: queue.depth_peak,
-        queue_wait_mean_s: if queue.waits_s.is_empty() {
+        queue_wait_mean_s,
+        queue_wait_p99_s: if waits.is_empty() {
             0.0
         } else {
-            queue.waits_s.iter().sum::<f64>() / queue.waits_s.len() as f64
-        },
-        queue_wait_p99_s: if queue.waits_s.is_empty() {
-            0.0
-        } else {
-            percentile_of(&queue.waits_s, 0.99)
+            sorted_percentile(&waits, 0.99)
         },
         ttft_p50_s: if ttft.is_empty() {
             0.0
         } else {
-            percentile_of(&ttft, 0.50)
+            sorted_percentile(&ttft, 0.50)
         },
         ttft_p95_s: if ttft.is_empty() {
             0.0
         } else {
-            percentile_of(&ttft, 0.95)
+            sorted_percentile(&ttft, 0.95)
         },
         tpot_p50_s: if tpot.is_empty() {
             0.0
         } else {
-            percentile_of(&tpot, 0.50)
+            sorted_percentile(&tpot, 0.50)
         },
         tpot_p95_s: if tpot.is_empty() {
             0.0
         } else {
-            percentile_of(&tpot, 0.95)
+            sorted_percentile(&tpot, 0.95)
         },
         records,
     }
@@ -930,5 +952,89 @@ mod tests {
             "availability {} charged beyond the horizon",
             report.availability
         );
+    }
+
+    #[test]
+    fn attestation_outage_past_horizon_is_clamped() {
+        // Regression: an attestation failure charged the full 0.35 s
+        // re-handshake toll even when it fired within the last fraction
+        // of a second of the horizon — the one fault kind exempted from
+        // the clamp every other kind gets. A failure 0.1 s before the
+        // 30 s horizon must charge at most 0.1 s of downtime.
+        use crate::faults::{FaultEvent, FaultKind, RecoveryPolicy};
+        let cfg = ServingConfig::small_test();
+        let policy = RecoveryPolicy::default();
+        assert!(policy.reattest_s > 0.1, "toll must overhang for the test");
+        let node = ServingNode::Cpu {
+            tee: CpuTeeConfig::tdx(),
+        };
+        let event_at = |at_s: f64| FaultPlan {
+            events: vec![FaultEvent {
+                at_s,
+                kind: FaultKind::AttestationFailure,
+                outage_s: 0.0,
+            }],
+            policy,
+        };
+        // Baseline: the same failure mid-trace charges the full toll.
+        let mid = simulate_serving_faulted(&cfg, &node, &event_at(5.0));
+        let mid_downtime = (1.0 - mid.availability) * mid.makespan_s;
+        assert!(
+            (mid_downtime - policy.reattest_s).abs() < 1e-9,
+            "mid-trace failure charges the whole toll, got {mid_downtime}"
+        );
+        let late = simulate_serving_faulted(&cfg, &node, &event_at(cfg.duration_s - 0.1));
+        let late_downtime = (1.0 - late.availability) * late.makespan_s;
+        assert!(
+            late_downtime <= 0.1 + 1e-9,
+            "near-horizon failure charged {late_downtime} s, clamp allows 0.1 s"
+        );
+        assert_eq!(late.completed + late.aborted, late.arrivals);
+    }
+
+    #[test]
+    fn retry_delivery_order_is_eligibility_then_id() {
+        // One crash displaces the whole running batch at once: every
+        // victim shares the same outage and (first-attempt) backoff, so
+        // all become eligible at the same instant and must re-enter the
+        // queue in request-id order. FIFO admission then prefils them
+        // sequentially, so among the retried victims first tokens (and
+        // TTFTs measured from a shared history) rank by id.
+        use crate::faults::{FaultEvent, FaultKind, RecoveryPolicy};
+        let cfg = ServingConfig {
+            arrivals: ArrivalProcess {
+                rate_per_s: 3.0,
+                ..ServingConfig::small_test().arrivals
+            },
+            ..ServingConfig::small_test()
+        };
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 10.0,
+                kind: FaultKind::EnclaveCrash,
+                outage_s: 1.0,
+            }],
+            policy: RecoveryPolicy::default(),
+        };
+        let node = ServingNode::Cpu {
+            tee: CpuTeeConfig::tdx(),
+        };
+        let report = simulate_serving_faulted(&cfg, &node, &plan);
+        assert!(report.retries >= 2, "crash must displace a real batch");
+        let victims: Vec<&RequestRecord> =
+            report.records.iter().filter(|r| r.retries == 1).collect();
+        assert!(victims.len() >= 2);
+        // Records are id-sorted. Same-eligibility victims re-enter the
+        // FIFO queue in id order, so their first tokens after the crash
+        // arrive in id order too: TTFT must be non-decreasing across the
+        // retried cohort.
+        for w in victims.windows(2) {
+            assert!(
+                w[0].ttft_s <= w[1].ttft_s + 1e-12,
+                "victim {} got its first token after victim {}: delivery order broke id ordering",
+                w[0].id,
+                w[1].id
+            );
+        }
     }
 }

@@ -120,7 +120,23 @@ pub fn percentile_of(samples: &[f64], q: f64) -> f64 {
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    cllm_perf::stats::percentile(&sorted, q)
+    sorted_percentile(&sorted, q)
+}
+
+/// Percentile over an **already ascending-sorted** sample.
+///
+/// Report builders that take several percentiles of the same vector sort
+/// once and call this per quantile, instead of paying [`percentile_of`]'s
+/// clone-and-sort on every call. Same contract: `NaN` on empty, the sole
+/// element for singletons, linear interpolation otherwise — so for any
+/// sorted `v`, `sorted_percentile(&v, q) == percentile_of(&v, q)` bit for
+/// bit.
+#[must_use]
+pub fn sorted_percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    cllm_perf::stats::percentile(sorted, q)
 }
 
 #[cfg(test)]
@@ -179,6 +195,19 @@ mod tests {
         let p = percentile_of(&[3.0, 1.0, 2.0], 0.5);
         assert!((p - 2.0).abs() < 1e-12);
         assert!(percentile_of(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn sorted_percentile_matches_percentile_of_bit_for_bit() {
+        let unsorted = [3.0, 1.0, 7.5, 2.0, 2.0, 9.0, 0.25];
+        let mut sorted = unsorted.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for q in [0.0, 0.05, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let a = percentile_of(&unsorted, q);
+            let b = sorted_percentile(&sorted, q);
+            assert_eq!(a.to_bits(), b.to_bits(), "q={q}: {a} vs {b}");
+        }
+        assert!(sorted_percentile(&[], 0.5).is_nan());
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! The kernel's event order is a pure function of the pushed
+//! `(time, key, seq)` triples — never of runtime parallelism knobs. The
+//! experiment runner's `CLLM_RUNNER_THREADS` variable steers how many
+//! worker threads evaluate experiment grids, so this test pins that
+//! same-timestamp events pop in the identical deterministic sequence
+//! under every thread-count setting.
+//!
+//! Lives in its own single-test integration binary because it mutates
+//! the process-global environment; sharing a binary with other tests
+//! would race on it.
+
+use cllm_serve::kernel::EventQueue;
+
+fn pop_order_under(threads: &str) -> Vec<u64> {
+    std::env::set_var("CLLM_RUNNER_THREADS", threads);
+    let mut q = EventQueue::new();
+    // Same-timestamp entries with colliding and distinct keys, pushed in
+    // a scrambled order.
+    for (t, id) in [
+        (2.0, 11u64),
+        (1.0, 5),
+        (2.0, 4),
+        (1.0, 5), // same (time, key): seq must break the tie
+        (2.0, 4),
+        (1.0, 9),
+        (3.0, 0),
+    ] {
+        q.push_keyed(t, id, id);
+    }
+    let mut order = Vec::new();
+    while let Some((_, id)) = q.pop() {
+        order.push(id);
+    }
+    order
+}
+
+#[test]
+fn same_timestamp_pop_order_is_stable_across_runner_threads() {
+    let baseline = pop_order_under("1");
+    assert_eq!(
+        baseline,
+        [5, 5, 9, 4, 4, 11, 0],
+        "(time, key, seq) order: time first, then key, then insertion seq"
+    );
+    for threads in ["2", "4", "8", "13"] {
+        assert_eq!(
+            pop_order_under(threads),
+            baseline,
+            "pop order diverged under CLLM_RUNNER_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("CLLM_RUNNER_THREADS");
+}

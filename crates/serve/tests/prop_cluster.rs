@@ -113,6 +113,40 @@ proptest! {
         }
     }
 
+    /// The kernel-backed cluster loop reproduces the legacy full-scan
+    /// loop (clamp fix applied on both sides) across random fleet
+    /// shapes, wave models, admission bounds and failover settings.
+    #[test]
+    fn kernel_cluster_matches_legacy_cluster(
+        n_nodes in 1usize..5,
+        gpu_mask in 0u32..16,
+        spot_mask in 0u32..16,
+        node_seed in 0u64..40,
+        waves_per_hr in 0.0f64..400.0,
+        frac in 0.0f64..1.0,
+        wave_seed in 0u64..40,
+        rate in 0.5f64..4.0,
+        arrival_seed in 0u64..30,
+        failover_bit in 0u32..2,
+        queue_cap in 1usize..40,
+    ) {
+        let cfg = ClusterConfig {
+            serving: serving(rate, arrival_seed),
+            nodes: fleet(n_nodes, gpu_mask, spot_mask, node_seed),
+            admission: AdmissionPolicy { queue_cap, deadline_s: 15.0 },
+            breaker: BreakerConfig::default(),
+            wave: WaveModel { waves_per_hr, frac, seed: wave_seed },
+            failover: failover_bit == 1,
+            spill: SpillPenalty::cross_platform(),
+        };
+        let kernel = simulate_cluster(&cfg);
+        let legacy = cllm_serve::legacy::simulate_cluster(&cfg);
+        prop_assert_eq!(&kernel, &legacy, "kernel and legacy cluster loops diverged");
+        let jk = serde_json::to_string(&kernel).expect("report serializes");
+        let jl = serde_json::to_string(&legacy).expect("report serializes");
+        prop_assert_eq!(jk, jl, "serialized reports must be byte-identical");
+    }
+
     /// The whole cluster simulation is deterministic in its seeds: two
     /// runs agree field by field and byte by byte once serialized.
     #[test]

@@ -66,6 +66,32 @@ proptest! {
         }
     }
 
+    /// The kernel-backed simulator is a refactor, not a re-model: across
+    /// random arrival rates, fault platforms, intensities, seeds and
+    /// retry budgets it reproduces the legacy hand-rolled loop (with the
+    /// enumerated attestation-clamp fix applied on both sides) field by
+    /// field and byte for byte once serialized.
+    #[test]
+    fn kernel_loop_matches_legacy_loop(
+        rate in 0.2f64..3.0,
+        arrival_seed in 0u64..30,
+        fault_seed in 0u64..30,
+        scale in 0.0f64..3000.0,
+        max_retries in 0u32..5,
+        kind_idx in 0usize..4,
+    ) {
+        let kind = [TeeKind::BareMetal, TeeKind::Tdx, TeeKind::Sgx, TeeKind::SevSnp][kind_idx];
+        let c = cfg(rate, arrival_seed);
+        let p = plan(kind, scale, fault_seed, max_retries);
+        let node = ServingNode::Cpu { tee: CpuTeeConfig::tdx() };
+        let kernel = simulate_serving_faulted(&c, &node, &p);
+        let legacy = cllm_serve::legacy::simulate_serving_faulted(&c, &node, &p);
+        prop_assert_eq!(&kernel, &legacy, "kernel and legacy loops diverged");
+        let jk = serde_json::to_string(&kernel).expect("report serializes");
+        let jl = serde_json::to_string(&legacy).expect("report serializes");
+        prop_assert_eq!(jk, jl, "serialized reports must be byte-identical");
+    }
+
     /// A fixed seed pins the entire simulation: two runs are equal field
     /// by field (byte-determinism of the serialized report follows).
     #[test]
