@@ -1,0 +1,6 @@
+//! Paged-KV extension — KV policies under TEE memory pressure and the
+//! continuous-vs-static batching crossover.
+
+fn main() {
+    let _ = cllm_bench::run_and_emit("batching_pressure");
+}

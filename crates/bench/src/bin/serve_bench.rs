@@ -4,20 +4,22 @@
 //! events/sec. Three modes:
 //!
 //! * default / `--out <path>` — run the **full** scale (1M+ requests,
-//!   520 s simulated horizon) and write `BENCH_serve.json`. When the
-//!   output file already exists with a pinned `floor_events_per_s`, the
-//!   pin is preserved; otherwise the floor is set to a quarter of the
+//!   520 s simulated horizon) twice — once on the conservative KV
+//!   policy, once on paged-recompute with a small page pool — and write
+//!   `BENCH_serve.json`. When the output file already exists with
+//!   pinned `floor_events_per_s` / `floor_paged_events_per_s`, the pins
+//!   are preserved; otherwise each floor is set to a quarter of its
 //!   measured rate so machine variance cannot flake CI.
-//! * `--smoke` — run the reduced **smoke** scale and print events/sec
-//!   without touching the pin. Fast enough for CI.
+//! * `--smoke` — run the reduced **smoke** scale (both policies) and
+//!   print events/sec without touching the pins. Fast enough for CI.
 //! * `--check <path>` — validate the `BENCH_serve.json` schema at
-//!   `path`, run the smoke scale, and exit non-zero if the measured
-//!   events/sec falls more than 30% below the pinned floor.
+//!   `path`, run both smoke scales, and exit non-zero if either
+//!   measured events/sec falls more than 30% below its pinned floor.
 //!
 //! Only this binary ever records wall time; the golden tables stay
 //! machine-independent.
 
-use cllm_core::experiments::serve_scale::{report, Scale};
+use cllm_core::experiments::serve_scale::{paged_report, report, Scale};
 use serde_json::{Number, Value};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -25,7 +27,7 @@ use std::time::Instant;
 
 /// Schema fields every `BENCH_serve.json` must carry, with their JSON
 /// type class (`true` = number, `false` = string).
-const SCHEMA: [(&str, bool); 14] = [
+const SCHEMA: [(&str, bool); 19] = [
     ("schema_version", true),
     ("scale", false),
     ("nodes", true),
@@ -40,6 +42,11 @@ const SCHEMA: [(&str, bool); 14] = [
     ("wall_s", true),
     ("events_per_s", true),
     ("floor_events_per_s", true),
+    ("paged_preemptions", true),
+    ("paged_kernel_events", true),
+    ("paged_wall_s", true),
+    ("paged_events_per_s", true),
+    ("floor_paged_events_per_s", true),
 ];
 
 fn int(v: u64) -> Value {
@@ -99,6 +106,39 @@ fn measure(scale: Scale) -> (Value, f64) {
     (doc, events_per_s)
 }
 
+/// One timed run of the paged-recompute operating point at `scale`,
+/// returning the `paged_*` fields to append to the document (floor left
+/// at zero) plus the measured rate. A separate row because the paged
+/// path exercises the allocator, eviction and readmission code the
+/// conservative run never touches — a regression there must not hide
+/// behind the conservative floor.
+fn measure_paged(scale: Scale) -> (Vec<(String, Value)>, f64) {
+    let t0 = Instant::now();
+    let (rep, stats) = paged_report(scale);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        rep.completed + rep.aborted + rep.rejected,
+        rep.arrivals,
+        "paged conservation violated at {} scale",
+        scale.label()
+    );
+    assert!(
+        rep.preemptions > 0,
+        "paged bench must exercise the preemption path at {} scale",
+        scale.label()
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let events_per_s = stats.events() as f64 / wall_s.max(1e-9);
+    let fields = vec![
+        ("paged_preemptions".to_string(), int(rep.preemptions)),
+        ("paged_kernel_events".to_string(), int(stats.events())),
+        ("paged_wall_s".to_string(), float(wall_s)),
+        ("paged_events_per_s".to_string(), float(events_per_s)),
+        ("floor_paged_events_per_s".to_string(), float(0.0)),
+    ];
+    (fields, events_per_s)
+}
+
 /// Validate the pinned document: every schema field present with the
 /// right JSON type, counts conserved, floor positive and honest.
 fn validate(doc: &Value) -> Result<(), String> {
@@ -125,12 +165,17 @@ fn validate(doc: &Value) -> Result<(), String> {
     if (terminal - arrivals).abs() > 0.0 {
         return Err("terminal states do not sum to arrivals".into());
     }
-    let floor = field_f64(doc, "floor_events_per_s");
-    if floor.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-        return Err("floor_events_per_s must be positive".into());
-    }
-    if field_f64(doc, "events_per_s") < floor {
-        return Err("pinned events_per_s is below its own floor".into());
+    for (rate_key, floor_key) in [
+        ("events_per_s", "floor_events_per_s"),
+        ("paged_events_per_s", "floor_paged_events_per_s"),
+    ] {
+        let floor = field_f64(doc, floor_key);
+        if floor.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(format!("{floor_key} must be positive"));
+        }
+        if field_f64(doc, rate_key) < floor {
+            return Err(format!("pinned {rate_key} is below its own floor"));
+        }
     }
     Ok(())
 }
@@ -140,20 +185,28 @@ fn default_out() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
 }
 
-fn read_floor(path: &Path) -> Option<f64> {
+fn read_floor(path: &Path, key: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     let doc: Value = serde_json::from_str(&text).ok()?;
-    let floor = doc.get("floor_events_per_s")?.as_f64()?;
+    let floor = doc.get(key)?.as_f64()?;
     (floor > 0.0).then_some(floor)
 }
 
 fn run_full(out: &Path) -> ExitCode {
     println!("running full scale (1M+ requests, 64 nodes)...");
     let (mut doc, events_per_s) = measure(Scale::Full);
-    // Preserve an existing pin so reruns on faster machines don't
-    // silently raise the regression bar; the first run pins measured/4.
-    let floor = read_floor(out).unwrap_or(events_per_s / 4.0);
+    println!("running full scale again on the paged-recompute policy...");
+    let (paged_fields, paged_events_per_s) = measure_paged(Scale::Full);
+    for (key, value) in paged_fields {
+        set(&mut doc, &key, value);
+    }
+    // Preserve existing pins so reruns on faster machines don't
+    // silently raise the regression bar; a first run pins measured/4.
+    let floor = read_floor(out, "floor_events_per_s").unwrap_or(events_per_s / 4.0);
+    let paged_floor =
+        read_floor(out, "floor_paged_events_per_s").unwrap_or(paged_events_per_s / 4.0);
     set(&mut doc, "floor_events_per_s", float(floor));
+    set(&mut doc, "floor_paged_events_per_s", float(paged_floor));
     validate(&doc).expect("freshly measured document must be schema-valid");
     let pretty = serde_json::to_string_pretty(&doc).expect("doc serializes");
     std::fs::write(out, pretty + "\n").expect("write BENCH_serve.json");
@@ -163,11 +216,17 @@ fn run_full(out: &Path) -> ExitCode {
         field_f64(&doc, "kernel_events"),
         field_f64(&doc, "wall_s"),
     );
+    println!(
+        "paged: {:.0} preemptions, {:.0} kernel events in {:.2}s wall = {paged_events_per_s:.0} events/s (floor {paged_floor:.0})",
+        field_f64(&doc, "paged_preemptions"),
+        field_f64(&doc, "paged_kernel_events"),
+        field_f64(&doc, "paged_wall_s"),
+    );
     println!("wrote {}", out.display());
     ExitCode::SUCCESS
 }
 
-fn run_smoke() -> (f64, ExitCode) {
+fn run_smoke() -> ((f64, f64), ExitCode) {
     let (doc, events_per_s) = measure(Scale::Smoke);
     println!(
         "smoke: {:.0} arrivals, {:.0} kernel events in {:.3}s wall = {events_per_s:.0} events/s",
@@ -175,7 +234,14 @@ fn run_smoke() -> (f64, ExitCode) {
         field_f64(&doc, "kernel_events"),
         field_f64(&doc, "wall_s"),
     );
-    (events_per_s, ExitCode::SUCCESS)
+    let (paged_fields, paged_events_per_s) = measure_paged(Scale::Smoke);
+    let preemptions = paged_fields
+        .iter()
+        .find(|(k, _)| k == "paged_preemptions")
+        .and_then(|(_, v)| v.as_f64())
+        .unwrap_or(0.0);
+    println!("smoke paged: {preemptions:.0} preemptions = {paged_events_per_s:.0} events/s");
+    ((events_per_s, paged_events_per_s), ExitCode::SUCCESS)
 }
 
 fn run_check(path: &Path) -> ExitCode {
@@ -197,16 +263,21 @@ fn run_check(path: &Path) -> ExitCode {
         eprintln!("check failed: schema error in {}: {e}", path.display());
         return ExitCode::FAILURE;
     }
-    let floor = field_f64(&doc, "floor_events_per_s");
-    let (measured, _) = run_smoke();
-    let bar = floor * 0.7;
-    if measured < bar {
-        eprintln!(
-            "check failed: smoke events/sec {measured:.0} regressed >30% below pinned floor {floor:.0} (bar {bar:.0})"
-        );
-        return ExitCode::FAILURE;
+    let ((measured, paged_measured), _) = run_smoke();
+    for (label, rate, floor_key) in [
+        ("smoke", measured, "floor_events_per_s"),
+        ("smoke paged", paged_measured, "floor_paged_events_per_s"),
+    ] {
+        let floor = field_f64(&doc, floor_key);
+        let bar = floor * 0.7;
+        if rate < bar {
+            eprintln!(
+                "check failed: {label} events/sec {rate:.0} regressed >30% below pinned floor {floor:.0} (bar {bar:.0})"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("check ok: {label} {rate:.0} events/s >= 0.7 x floor {floor:.0}");
     }
-    println!("check ok: smoke {measured:.0} events/s >= 0.7 x floor {floor:.0}");
     ExitCode::SUCCESS
 }
 
@@ -253,6 +324,11 @@ mod tests {
             ("wall_s".into(), float(3.2)),
             ("events_per_s".into(), float(7_800_000.0)),
             ("floor_events_per_s".into(), float(1_950_000.0)),
+            ("paged_preemptions".into(), int(120_000)),
+            ("paged_kernel_events".into(), int(27_000_000)),
+            ("paged_wall_s".into(), float(3.6)),
+            ("paged_events_per_s".into(), float(7_500_000.0)),
+            ("floor_paged_events_per_s".into(), float(1_875_000.0)),
         ])
     }
 
@@ -296,6 +372,22 @@ mod tests {
     }
 
     #[test]
+    fn zero_paged_floor_is_rejected() {
+        let mut doc = sample();
+        set(&mut doc, "floor_paged_events_per_s", float(0.0));
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("floor_paged"), "{err}");
+    }
+
+    #[test]
+    fn paged_rate_below_its_floor_is_rejected() {
+        let mut doc = sample();
+        set(&mut doc, "paged_events_per_s", float(1.0));
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("paged_events_per_s"), "{err}");
+    }
+
+    #[test]
     fn round_trip_through_text_stays_valid() {
         let pretty = serde_json::to_string_pretty(sample()).expect("serializes");
         let back: Value = serde_json::from_str(&pretty).expect("parses");
@@ -308,8 +400,15 @@ mod tests {
         assert!(events_per_s > 0.0);
         assert_eq!(doc.get("scale").and_then(Value::as_str), Some("smoke"));
         assert_eq!(field_f64(&doc, "nodes") as u64, 64);
-        // Floor is the caller's to pin; everything else must be present.
+        let (paged_fields, paged_events_per_s) = measure_paged(Scale::Smoke);
+        assert!(paged_events_per_s > 0.0);
+        for (key, value) in paged_fields {
+            set(&mut doc, &key, value);
+        }
+        assert!(field_f64(&doc, "paged_preemptions") > 0.0);
+        // Floors are the caller's to pin; everything else must be present.
         set(&mut doc, "floor_events_per_s", float(1.0));
+        set(&mut doc, "floor_paged_events_per_s", float(1.0));
         validate(&doc).expect("measured smoke doc must be schema-valid");
     }
 }

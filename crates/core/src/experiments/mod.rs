@@ -35,8 +35,10 @@
 //! | [`cluster_resilience`] | extension — multi-node fleets under correlated preemption waves |
 //! | [`time_attribution`] | extension — span-accounted makespan shares under faults |
 //! | [`serve_scale`] | extension — event-kernel scale smoke on a 64-node fleet |
+//! | [`batching_pressure`] | extension — paged KV under TEE memory pressure: policies and the batching crossover |
 
 pub mod b100;
+pub mod batching_pressure;
 pub mod cluster_resilience;
 pub mod fig1;
 pub mod fig10;
@@ -119,6 +121,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("cluster_resilience", cluster_resilience::run),
         ("time_attribution", time_attribution::run),
         ("serve_scale", serve_scale::run),
+        ("batching_pressure", batching_pressure::run),
     ]
 }
 
@@ -193,13 +196,14 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 27);
+        assert_eq!(ids.len(), 28);
         assert!(ids.contains(&"fig4"));
         assert!(ids.contains(&"table1"));
         assert!(ids.contains(&"resilience"));
         assert!(ids.contains(&"cluster_resilience"));
         assert!(ids.contains(&"time_attribution"));
         assert!(ids.contains(&"serve_scale"));
+        assert!(ids.contains(&"batching_pressure"));
         assert!(run_by_id("nope").is_none());
     }
 }

@@ -28,6 +28,7 @@ use cllm_serve::cluster::{
 use cllm_serve::faults::FaultRates;
 use cllm_serve::kernel::KernelStats;
 use cllm_serve::router::{AdmissionPolicy, BreakerConfig};
+use cllm_serve::scheduler::{KvConfig, KvPolicy};
 use cllm_serve::sim::{ServingConfig, ServingNode};
 use cllm_serve::workload::ArrivalProcess;
 use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, TeeKind};
@@ -148,6 +149,33 @@ pub fn report(scale: Scale) -> (ClusterReport, KernelStats) {
     simulate_cluster_stats(&config(scale))
 }
 
+/// Per-node KV page-pool arena of the paged operating point, bytes.
+/// Under one full prompt+output extent at the bench's short chat shapes
+/// — small enough that any two concurrent sequences overflow it, so the
+/// timed run pays the allocator, eviction and readmission paths
+/// continually, not just admission.
+pub const PAGED_POOL_BYTES: f64 = 0.0625 * cllm_hw::GIB;
+
+/// The same fleet with every node on the paged-recompute KV policy and
+/// a deliberately small page pool (see [`PAGED_POOL_BYTES`]) — the
+/// configuration behind the `paged_*` rows of `BENCH_serve.json`.
+#[must_use]
+pub fn paged_config(scale: Scale) -> ClusterConfig {
+    let mut cfg = config(scale);
+    cfg.serving.limits.kv_budget_bytes = PAGED_POOL_BYTES;
+    cfg.serving.kv = KvConfig {
+        policy: KvPolicy::PagedRecompute,
+        ..KvConfig::default()
+    };
+    cfg
+}
+
+/// Run the paged operating point at `scale`.
+#[must_use]
+pub fn paged_report(scale: Scale) -> (ClusterReport, KernelStats) {
+    simulate_cluster_stats(&paged_config(scale))
+}
+
 /// Run the experiment (smoke scale only — see the module docs).
 #[must_use]
 #[allow(clippy::cast_possible_wrap)]
@@ -219,6 +247,22 @@ mod tests {
             stats.events() > stats.arrivals,
             "decode/admission events must dominate arrivals"
         );
+    }
+
+    #[test]
+    fn paged_smoke_preempts_and_stays_deterministic() {
+        let (a, sa) = paged_report(Scale::Smoke);
+        assert_eq!(a.completed + a.aborted + a.rejected, a.arrivals);
+        assert_eq!(a.rejected, 0);
+        assert!(
+            a.preemptions > 0,
+            "a 64 MiB pool under saturation must preempt"
+        );
+        assert!(sa.preemptions > 0);
+        assert_eq!(sa.swap_outs, 0, "recompute policy never swaps");
+        let (b, sb) = paged_report(Scale::Smoke);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
     }
 
     #[test]

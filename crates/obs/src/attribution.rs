@@ -19,7 +19,7 @@ pub struct NodeTotals {
     pub start_s: f64,
     /// Latest span end — the node's makespan.
     pub makespan_s: f64,
-    /// Busy-class time (prefill + decode + reattest + requant).
+    /// Busy-class time (prefill + decode + reattest + requant + swap).
     pub busy_s: f64,
     /// Idle-class time.
     pub idle_s: f64,
@@ -33,6 +33,9 @@ pub struct NodeTotals {
     pub reattest_s: f64,
     /// Busy sub-total: cross-platform spill re-quantisation.
     pub requant_s: f64,
+    /// Busy sub-total: KV pages swapped out of / back into protected
+    /// memory by preemption under the swap eviction policy.
+    pub swap_s: f64,
 }
 
 impl NodeTotals {
@@ -75,6 +78,7 @@ pub fn node_totals(trace: &Trace) -> Vec<NodeTotals> {
             SpanKind::Decode => t.decode_s += dur,
             SpanKind::Reattest => t.reattest_s += dur,
             SpanKind::Requant => t.requant_s += dur,
+            SpanKind::SwapOut | SpanKind::SwapIn => t.swap_s += dur,
             _ => {}
         }
     }
@@ -316,6 +320,24 @@ mod tests {
         sink.span(Scope::Request(3), SpanKind::QueueWait, 1.0, 2.0);
         sink.span(Scope::Request(3), SpanKind::Prefill, 2.5, 3.0);
         assert!(!check(&sink.finish(), 1e-9).ok());
+    }
+
+    #[test]
+    fn swap_spans_are_busy_with_their_own_subtotal() {
+        let mut sink = TraceSink::new();
+        sink.span(Scope::Node(0), SpanKind::Decode, 0.0, 1.0);
+        sink.span(Scope::Node(0), SpanKind::SwapOut, 1.0, 1.5);
+        sink.span(Scope::Node(0), SpanKind::SwapIn, 1.5, 2.0);
+        let trace = sink.finish();
+        let report = check(&trace, 1e-9);
+        assert!(report.ok(), "{:?}", report.errors);
+        let totals = node_totals(&trace);
+        assert_eq!(totals[0].busy_s, 2.0);
+        assert_eq!(totals[0].swap_s, 1.0);
+        // Preempted is request-only: on a node scope it must fail.
+        let mut bad = TraceSink::new();
+        bad.span(Scope::Node(0), SpanKind::Preempted, 0.0, 1.0);
+        assert!(!check(&bad.finish(), 1e-9).ok());
     }
 
     #[test]

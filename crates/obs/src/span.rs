@@ -41,6 +41,14 @@ pub enum SpanKind {
     Decode,
     /// Request-scoped: decode progress destroyed by a KV-losing fault.
     DecodeLost,
+    /// KV pages of a preempted sequence moving out of protected memory
+    /// through the priced EPC-paging / bounce-buffer path.
+    SwapOut,
+    /// Swapped KV pages moving back into protected memory on readmission.
+    SwapIn,
+    /// Request-scoped: time a preempted sequence spent evicted, waiting
+    /// to be readmitted (recompute re-queue or swapped-out residence).
+    Preempted,
     /// Request-scoped: crash-to-redelivery retry backoff (includes the
     /// outage itself from the request's point of view).
     Backoff,
@@ -61,6 +69,9 @@ impl SpanKind {
             SpanKind::Prefill => "prefill",
             SpanKind::Decode => "decode",
             SpanKind::DecodeLost => "decode-lost",
+            SpanKind::SwapOut => "swap-out",
+            SpanKind::SwapIn => "swap-in",
+            SpanKind::Preempted => "preempted",
             SpanKind::Backoff => "backoff",
             SpanKind::Idle => "idle",
             SpanKind::Outage => "outage",
@@ -73,12 +84,18 @@ impl SpanKind {
     #[must_use]
     pub fn node_class(self) -> Option<TimeClass> {
         match self {
-            SpanKind::Reattest | SpanKind::Requant | SpanKind::Prefill | SpanKind::Decode => {
-                Some(TimeClass::Busy)
-            }
+            SpanKind::Reattest
+            | SpanKind::Requant
+            | SpanKind::Prefill
+            | SpanKind::Decode
+            | SpanKind::SwapOut
+            | SpanKind::SwapIn => Some(TimeClass::Busy),
             SpanKind::Idle => Some(TimeClass::Idle),
             SpanKind::Outage => Some(TimeClass::Outage),
-            SpanKind::QueueWait | SpanKind::DecodeLost | SpanKind::Backoff => None,
+            SpanKind::QueueWait
+            | SpanKind::DecodeLost
+            | SpanKind::Preempted
+            | SpanKind::Backoff => None,
         }
     }
 }

@@ -110,6 +110,14 @@ pub const TDX_BARRIER_PENALTY: f64 = 0.45;
 /// paths that exit the enclave).
 pub const SGX_BARRIER_PENALTY: f64 = 0.30;
 
+/// Sustained bandwidth of a KV-cache swap between protected and ordinary
+/// DRAM on platforms without an EPC-style paging path (TDX/SEV/bare): a
+/// memcpy-class copy bounded by one socket's streaming bandwidth. SGX
+/// swaps instead pay the per-byte EPC paging cost, and GPUs the bounce-
+/// buffered PCIe link, so this constant only prices the VM-TEE/baseline
+/// arms of the preemption model.
+pub const KV_SWAP_BW_BYTES_PER_S: f64 = 50.0e9;
+
 /// Seed namespace for the deterministic noise model.
 pub const NOISE_SEED: u64 = 0x00C1_1A0F_EE5E_ED00;
 

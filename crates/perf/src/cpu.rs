@@ -276,6 +276,36 @@ pub fn prefill_time_s(
     engine.step_time(&step, batch.max(1) * prompt_tokens.max(1))
 }
 
+/// Stall a decode step pays when `excess_bytes` of resident KV pages sit
+/// beyond the platform's protected-residency budget. On SGX the excess
+/// is re-paged through the EPC (encrypt + verify) every pass — the same
+/// mechanism [`SgxParams::paging_ns_per_byte`] prices for oversized
+/// working sets. Platforms whose encrypted memory spans all of DRAM
+/// (TDX/SEV/bare/VM) have no residency cliff and pay nothing.
+///
+/// [`SgxParams::paging_ns_per_byte`]: cllm_tee::platform::SgxParams::paging_ns_per_byte
+#[must_use]
+pub fn kv_pressure_stall_s(tee: &CpuTeeConfig, excess_bytes: f64) -> f64 {
+    let excess = excess_bytes.max(0.0);
+    tee.sgx
+        .map_or(0.0, |sgx| excess * sgx.paging_ns_per_byte * 1e-9)
+}
+
+/// Time to move `bytes` of KV cache between protected and unprotected
+/// memory — the cost of swapping a preempted sequence out (or back in)
+/// under the `swap` eviction policy. On SGX this is the EPC paging path;
+/// elsewhere it is a DRAM copy at [`calib::KV_SWAP_BW_BYTES_PER_S`],
+/// derated by the memory-encryption engine when one is present.
+#[must_use]
+pub fn kv_swap_time_s(tee: &CpuTeeConfig, bytes: f64) -> f64 {
+    let bytes = bytes.max(0.0);
+    if let Some(sgx) = tee.sgx {
+        return bytes * sgx.paging_ns_per_byte * 1e-9;
+    }
+    let derate = tee.mee.map_or(1.0, |m| m.bandwidth_derate);
+    bytes / (calib::KV_SWAP_BW_BYTES_PER_S * derate)
+}
+
 /// Simulate one request end to end on a CPU platform.
 ///
 /// Returns per-token latencies (with the paper's noise/outlier model),
@@ -419,6 +449,28 @@ mod tests {
             .map(|t| t.time_s)
             .sum();
         assert!(attn + silu > 0.6 * total);
+    }
+
+    #[test]
+    fn kv_pressure_only_bites_on_sgx() {
+        let gib = 1024.0 * 1024.0 * 1024.0;
+        assert!(kv_pressure_stall_s(&CpuTeeConfig::sgx(), gib) > 0.0);
+        assert_eq!(kv_pressure_stall_s(&CpuTeeConfig::tdx(), gib), 0.0);
+        assert_eq!(kv_pressure_stall_s(&CpuTeeConfig::bare_metal(), gib), 0.0);
+        // Negative excess never credits time back.
+        assert_eq!(kv_pressure_stall_s(&CpuTeeConfig::sgx(), -gib), 0.0);
+    }
+
+    #[test]
+    fn kv_swap_is_priciest_on_sgx() {
+        let gib = 1024.0 * 1024.0 * 1024.0;
+        let sgx = kv_swap_time_s(&CpuTeeConfig::sgx(), gib);
+        let tdx = kv_swap_time_s(&CpuTeeConfig::tdx(), gib);
+        let bare = kv_swap_time_s(&CpuTeeConfig::bare_metal(), gib);
+        assert!(sgx > tdx, "EPC paging must cost more than a TDX copy");
+        assert!(tdx > bare, "MEE derate must cost over the bare copy");
+        assert!(bare > 0.0);
+        assert_eq!(kv_swap_time_s(&CpuTeeConfig::sgx(), 0.0), 0.0);
     }
 
     #[test]

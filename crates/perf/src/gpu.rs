@@ -167,6 +167,38 @@ pub fn fits_on_gpus(model: &ModelConfig, dtype: DType, gpu: &GpuModel, num_gpus:
     model.weight_bytes(dtype) * 1.1 <= gpu.hbm_capacity_bytes * f64::from(num_gpus)
 }
 
+/// HBM bytes left for the KV page pool after the weights (with the same
+/// 10% working margin [`fits_on_gpus`] reserves). Zero when the model
+/// does not fit on one device.
+#[must_use]
+pub fn gpu_kv_budget_bytes(model: &ModelConfig, dtype: DType, gpu: &GpuModel) -> f64 {
+    (gpu.hbm_capacity_bytes - model.weight_bytes(dtype) * 1.1).max(0.0)
+}
+
+/// Time to move `bytes` of KV cache between HBM and host memory — the
+/// cost of swapping a preempted sequence out (or back in) under the
+/// `swap` eviction policy. Under confidential compute the traffic
+/// detours through the encrypted PCIe bounce buffer, which is what makes
+/// swap-preemption expensive on cGPUs.
+#[must_use]
+pub fn gpu_kv_swap_time_s(gpu: &GpuModel, cfg: &GpuTeeConfig, bytes: f64) -> f64 {
+    gpu.host_link
+        .transfer_time_s(bytes.max(0.0), 1.0, cfg.confidential)
+}
+
+/// Stall a decode step pays when `excess_bytes` of resident KV exceed
+/// the HBM budget: the overflow is re-streamed over the (possibly
+/// bounce-buffered) host link every pass, mirroring the SGX EPC-paging
+/// model on the GPU side.
+#[must_use]
+pub fn gpu_kv_pressure_stall_s(gpu: &GpuModel, cfg: &GpuTeeConfig, excess_bytes: f64) -> f64 {
+    let excess = excess_bytes.max(0.0);
+    if excess <= 0.0 {
+        return 0.0;
+    }
+    gpu.host_link.transfer_time_s(excess, 1.0, cfg.confidential)
+}
+
 /// Simulate tensor-parallel inference across `num_gpus` devices.
 ///
 /// Each device holds `1/num_gpus` of the weights and KV cache; every
@@ -366,6 +398,32 @@ mod tests {
         assert!(p > 0.0 && p.is_finite());
         // Degenerate shapes clamp instead of dividing by zero.
         assert!(gpu_decode_step_time_s(&model, DType::Bf16, &gpu, &cc, 0, 0).is_finite());
+    }
+
+    #[test]
+    fn kv_budget_and_swap_pricing() {
+        let model = zoo::llama2_7b();
+        let gpu = presets::h100_nvl();
+        let budget = gpu_kv_budget_bytes(&model, DType::Bf16, &gpu);
+        assert!(budget > 0.0 && budget < gpu.hbm_capacity_bytes);
+        // A 70B at bf16 does not fit on one device: no KV budget at all.
+        assert_eq!(
+            gpu_kv_budget_bytes(&zoo::llama2_70b(), DType::Bf16, &gpu),
+            0.0
+        );
+
+        let gib = 1024.0 * 1024.0 * 1024.0;
+        let cc = gpu_kv_swap_time_s(&gpu, &GpuTeeConfig::confidential(), gib);
+        let native = gpu_kv_swap_time_s(&gpu, &GpuTeeConfig::native(), gib);
+        assert!(
+            cc > native,
+            "bounce buffer must make CC swaps dearer: {cc} !> {native}"
+        );
+        assert!(gpu_kv_pressure_stall_s(&gpu, &GpuTeeConfig::confidential(), gib) > 0.0);
+        assert_eq!(
+            gpu_kv_pressure_stall_s(&gpu, &GpuTeeConfig::native(), -1.0),
+            0.0
+        );
     }
 
     #[test]

@@ -58,11 +58,14 @@ pub mod stats;
 mod target;
 
 pub use cache::{cpu_key, gpu_key, simulate_cpu_cached, simulate_gpu_cached, CacheStats};
-pub use cpu::{decode_step_time_s, prefill_time_s, simulate_cpu, OpTrace, SimResult};
+pub use cpu::{
+    decode_step_time_s, kv_pressure_stall_s, kv_swap_time_s, prefill_time_s, simulate_cpu, OpTrace,
+    SimResult,
+};
 pub use framework::Framework;
 pub use gpu::{
-    fits_on_gpus, gpu_decode_step_time_s, gpu_prefill_time_s, simulate_gpu, simulate_multi_gpu,
-    GpuSimResult,
+    fits_on_gpus, gpu_decode_step_time_s, gpu_kv_budget_bytes, gpu_kv_pressure_stall_s,
+    gpu_kv_swap_time_s, gpu_prefill_time_s, simulate_gpu, simulate_multi_gpu, GpuSimResult,
 };
 pub use memsys::MemSystem;
 pub use target::CpuTarget;

@@ -33,12 +33,13 @@
 use crate::faults::{attested_rehandshake_phased, FaultEvent, FaultKind, FaultPlan, FaultRates};
 use crate::kernel::{EventQueue, KernelStats, RequestSlab};
 use crate::router::{AdmissionPolicy, BreakerConfig, BreakerState, CircuitBreaker};
-use crate::scheduler::ContinuousBatcher;
+use crate::scheduler::{Admission, ContinuousBatcher};
 use crate::sim::{RequestRecord, ServingConfig, ServingNode};
 use crate::slo::sorted_percentile;
 use crate::workload::Request;
 use cllm_cost::SpillPenalty;
 use cllm_obs::{Scope, SpanKind, Trace, TraceSink};
+use cllm_workload::kv;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -229,6 +230,13 @@ pub struct ClusterReport {
     /// Failovers that crossed platform classes and paid the
     /// [`SpillPenalty`].
     pub spills: u64,
+    /// Sequences evicted on KV page-pool pressure across the fleet
+    /// (zero under the conservative reservation policy).
+    pub preemptions: u64,
+    /// KV bytes paged out of protected memory by swap-policy evictions.
+    pub swap_out_bytes: f64,
+    /// KV bytes paged back into protected memory on readmission.
+    pub swap_in_bytes: f64,
     /// Mean per-node availability over the cluster makespan.
     pub availability: f64,
     /// Wall time to drain the trace, seconds (max over node clocks).
@@ -269,6 +277,15 @@ pub(crate) struct NodeState {
     pub(crate) handshake_seq: u64,
     pub(crate) useful_tokens: u64,
     pub(crate) completed: usize,
+    /// This node's protected KV residency budget (weights already
+    /// subtracted); resident pages past it price the per-step stall.
+    pub(crate) kv_budget_bytes: f64,
+    /// Sequences this node evicted on page-pool pressure.
+    pub(crate) preemptions: u64,
+    /// KV bytes this node paged out (swap policy).
+    pub(crate) swap_out_bytes: f64,
+    /// KV bytes this node paged back in on readmission.
+    pub(crate) swap_in_bytes: f64,
 }
 
 impl NodeState {
@@ -311,8 +328,9 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, horizon_s: f64) -> Vec<NodeState>
                 spot_ord += 1;
             }
             NodeState {
+                kv_budget_bytes: spec.node.kv_residency_budget_bytes(&cfg.serving),
                 node: spec.node.clone(),
-                scheduler: ContinuousBatcher::new(cfg.serving.limits),
+                scheduler: ContinuousBatcher::configured(cfg.serving.limits, cfg.serving.kv),
                 breaker: CircuitBreaker::new(cfg.breaker),
                 plan,
                 next_event: 0,
@@ -321,6 +339,9 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, horizon_s: f64) -> Vec<NodeState>
                 handshake_seq: 0,
                 useful_tokens: 0,
                 completed: 0,
+                preemptions: 0,
+                swap_out_bytes: 0.0,
+                swap_in_bytes: 0.0,
             }
         })
         .collect()
@@ -406,6 +427,11 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> (ClusterReport, Ker
     // Per-request state — retry attempts, trace cursor, pending-spill
     // flag — lives in a dense slab indexed by id, not hash maps.
     let mut slab = RequestSlab::new(total_arrivals);
+    // Pressure pricing inputs shared by every node; the per-node budget
+    // lives in NodeState. Unread under the conservative policy.
+    let per_token_bytes = kv::kv_bytes_per_sequence(&cfg.serving.model, 1, cfg.serving.dtype);
+    #[allow(clippy::cast_precision_loss)]
+    let block_bytes = per_token_bytes * cfg.serving.kv.block_tokens as f64;
     let mut records: Vec<RequestRecord> = Vec::with_capacity(total_arrivals);
     let mut rejected = 0usize;
     let mut aborted = 0usize;
@@ -581,43 +607,109 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> (ClusterReport, Ker
 
         // Admit + prefill. A retried victim re-attests first; a spilled
         // victim additionally pays re-quantisation and a slower prefill
-        // on the foreign platform class.
+        // on the foreign platform class; a swapped-out sequence resumes
+        // with its progress after a swap-in stall instead of a prefill.
         let admitted = n
             .scheduler
-            .admit(&cfg.serving.model, cfg.serving.dtype, n.now);
-        for r in admitted {
-            stats.admissions += 1;
-            if sink.is_enabled() {
-                if let Some(c) = slab.cursor(r.id) {
-                    sink.span(Scope::Request(r.id), SpanKind::QueueWait, c, n.now);
+            .admit_any(&cfg.serving.model, cfg.serving.dtype, n.now);
+        for adm in admitted {
+            match adm {
+                Admission::Fresh(r) => {
+                    stats.admissions += 1;
+                    if sink.is_enabled() {
+                        if let Some(c) = slab.cursor(r.id) {
+                            sink.span(Scope::Request(r.id), SpanKind::QueueWait, c, n.now);
+                        }
+                    }
+                    if slab.attempts(r.id) > 0 {
+                        let t0 = n.now;
+                        n.now += n.plan.policy.reattest_s;
+                        sink.span(node_scope(i), SpanKind::Reattest, t0, n.now);
+                        sink.span(Scope::Request(r.id), SpanKind::Reattest, t0, n.now);
+                    }
+                    let mut t_prefill = n.node.prefill_time_s(&cfg.serving, r.prompt_tokens);
+                    if slab.take_spilled(r.id) {
+                        let t0 = n.now;
+                        n.now += cfg.spill.requant_s;
+                        sink.span(node_scope(i), SpanKind::Requant, t0, n.now);
+                        sink.span(Scope::Request(r.id), SpanKind::Requant, t0, n.now);
+                        t_prefill *= cfg.spill.prefill_factor;
+                    }
+                    let t0 = n.now;
+                    n.now += t_prefill;
+                    sink.span(node_scope(i), SpanKind::Prefill, t0, n.now);
+                    sink.span(Scope::Request(r.id), SpanKind::Prefill, t0, n.now);
+                    if sink.is_enabled() {
+                        slab.set_cursor(r.id, n.now);
+                    }
+                    n.scheduler.start(r, n.now);
+                }
+                Admission::Resumed {
+                    request,
+                    swap_in_tokens,
+                } => {
+                    stats.swap_ins += 1;
+                    #[allow(clippy::cast_precision_loss)]
+                    let bytes = swap_in_tokens as f64 * per_token_bytes;
+                    n.swap_in_bytes += bytes;
+                    let t0 = n.now;
+                    if sink.is_enabled() {
+                        if let Some(c) = slab.cursor(request.id) {
+                            sink.span(Scope::Request(request.id), SpanKind::Preempted, c, t0);
+                        }
+                    }
+                    n.now += n.node.kv_swap_time_s(bytes);
+                    sink.span(node_scope(i), SpanKind::SwapIn, t0, n.now);
+                    sink.span(Scope::Request(request.id), SpanKind::SwapIn, t0, n.now);
+                    if sink.is_enabled() {
+                        slab.set_cursor(request.id, n.now);
+                    }
                 }
             }
-            if slab.attempts(r.id) > 0 {
-                let t0 = n.now;
-                n.now += n.plan.policy.reattest_s;
-                sink.span(node_scope(i), SpanKind::Reattest, t0, n.now);
-                sink.span(Scope::Request(r.id), SpanKind::Reattest, t0, n.now);
-            }
-            let mut t_prefill = n.node.prefill_time_s(&cfg.serving, r.prompt_tokens);
-            if slab.take_spilled(r.id) {
-                let t0 = n.now;
-                n.now += cfg.spill.requant_s;
-                sink.span(node_scope(i), SpanKind::Requant, t0, n.now);
-                sink.span(Scope::Request(r.id), SpanKind::Requant, t0, n.now);
-                t_prefill *= cfg.spill.prefill_factor;
-            }
-            let t0 = n.now;
-            n.now += t_prefill;
-            sink.span(node_scope(i), SpanKind::Prefill, t0, n.now);
-            sink.span(Scope::Request(r.id), SpanKind::Prefill, t0, n.now);
-            if sink.is_enabled() {
-                slab.set_cursor(r.id, n.now);
-            }
-            n.scheduler.start(r, n.now);
         }
 
         if n.scheduler.running().is_empty() {
             continue;
+        }
+
+        // Make the coming step fit this node's page pool: evictions come
+        // off the batch tail (recompute re-queues locally; swap victims
+        // page out through the node's priced path).
+        let prep = n.scheduler.prepare_step(n.now);
+        for victim in &prep.preempted_recompute {
+            stats.preemptions += 1;
+            n.preemptions += 1;
+            if sink.is_enabled() {
+                if let Some(c) = slab.cursor(victim.id) {
+                    sink.span(Scope::Request(victim.id), SpanKind::DecodeLost, c, n.now);
+                    slab.set_cursor(victim.id, n.now);
+                }
+            }
+        }
+        for victim in &prep.preempted_swap {
+            stats.preemptions += 1;
+            stats.swap_outs += 1;
+            n.preemptions += 1;
+            #[allow(clippy::cast_precision_loss)]
+            let bytes = victim.context() as f64 * per_token_bytes;
+            n.swap_out_bytes += bytes;
+            let t0 = n.now;
+            if sink.is_enabled() {
+                if let Some(c) = slab.cursor(victim.request.id) {
+                    sink.span(Scope::Request(victim.request.id), SpanKind::Decode, c, t0);
+                }
+            }
+            n.now += n.node.kv_swap_time_s(bytes);
+            sink.span(node_scope(i), SpanKind::SwapOut, t0, n.now);
+            sink.span(
+                Scope::Request(victim.request.id),
+                SpanKind::SwapOut,
+                t0,
+                n.now,
+            );
+            if sink.is_enabled() {
+                slab.set_cursor(victim.request.id, n.now);
+            }
         }
 
         let batch = n.scheduler.running().len() as u64;
@@ -632,7 +724,15 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> (ClusterReport, Ker
             / batch as f64)
             .round() as u64;
         let t0 = n.now;
-        n.now += n.node.decode_step_time_s(&cfg.serving, batch, mean_context);
+        let mut t_step = n.node.decode_step_time_s(&cfg.serving, batch, mean_context);
+        if prep.resident_pages > 0 {
+            #[allow(clippy::cast_precision_loss)]
+            let excess = prep.resident_pages as f64 * block_bytes - n.kv_budget_bytes;
+            if excess > 0.0 {
+                t_step += n.node.kv_pressure_stall_s(excess);
+            }
+        }
+        n.now += t_step;
         stats.decode_steps += 1;
         sink.span(node_scope(i), SpanKind::Decode, t0, n.now);
 
@@ -817,6 +917,9 @@ pub(crate) fn drain_report(
     records.sort_by_key(|r| r.id);
     let makespan_s = nodes.iter().map(|n| n.now).fold(0.0f64, f64::max);
     let useful_tokens: u64 = nodes.iter().map(|n| n.useful_tokens).sum();
+    let preemptions: u64 = nodes.iter().map(|n| n.preemptions).sum();
+    let swap_out_bytes: f64 = nodes.iter().map(|n| n.swap_out_bytes).sum();
+    let swap_in_bytes: f64 = nodes.iter().map(|n| n.swap_in_bytes).sum();
     let node_reports: Vec<NodeReport> = nodes
         .iter()
         .map(|n| {
@@ -859,6 +962,9 @@ pub(crate) fn drain_report(
         rejected,
         retries,
         spills,
+        preemptions,
+        swap_out_bytes,
+        swap_in_bytes,
         availability,
         makespan_s,
         goodput_tps: if completed == 0 {

@@ -17,8 +17,9 @@
 //!   on the hot path. Absent span cursors are a NaN sentinel, so the
 //!   slab costs three flat arrays and no hashing.
 //! * [`KernelStats`] — event counters (arrivals, retries, faults,
-//!   admissions, decode steps, completions, rejections) whose sum is
-//!   the kernel event count `serve_scale` benchmarks as events/sec.
+//!   admissions, decode steps, completions, rejections, preemptions,
+//!   swaps) whose sum is the kernel event count `serve_scale`
+//!   benchmarks as events/sec.
 //!
 //! Determinism contract: the queue's order is a *total* order — ties on
 //! time break by caller-chosen key (retries use the request id, so
@@ -268,6 +269,14 @@ pub struct KernelStats {
     pub completions: u64,
     /// Requests rejected: front-door shed plus deadline shed.
     pub rejections: u64,
+    /// Sequences evicted from a running batch on KV-pool pressure
+    /// (either policy). Zero under conservative reservation.
+    pub preemptions: u64,
+    /// Swap-policy evictions that paged their KV out through the priced
+    /// bounce-buffer / EPC-paging path.
+    pub swap_outs: u64,
+    /// Swapped sequences paged back in on readmission.
+    pub swap_ins: u64,
 }
 
 impl KernelStats {
@@ -281,6 +290,9 @@ impl KernelStats {
             + self.decode_steps
             + self.completions
             + self.rejections
+            + self.preemptions
+            + self.swap_outs
+            + self.swap_ins
     }
 }
 
@@ -391,8 +403,11 @@ mod tests {
             decode_steps: 5,
             completions: 6,
             rejections: 7,
+            preemptions: 8,
+            swap_outs: 9,
+            swap_ins: 10,
         };
-        assert_eq!(s.events(), 28);
+        assert_eq!(s.events(), 55);
         assert_eq!(KernelStats::default().events(), 0);
     }
 }

@@ -43,11 +43,35 @@ pub fn simulate_serving_faulted(
     plan: &FaultPlan,
 ) -> ServingReport {
     if cfg.arrivals.rate_per_s <= 0.0 || cfg.duration_s <= 0.0 {
-        return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default());
+        return build_report(
+            0,
+            0,
+            0.0,
+            Vec::new(),
+            0,
+            0,
+            0.0,
+            &QueueStats::default(),
+            0,
+            0.0,
+            0.0,
+        );
     }
     let trace = cfg.arrivals.trace(cfg.duration_s);
     if trace.is_empty() {
-        return build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default());
+        return build_report(
+            0,
+            0,
+            0.0,
+            Vec::new(),
+            0,
+            0,
+            0.0,
+            &QueueStats::default(),
+            0,
+            0.0,
+            0.0,
+        );
     }
     let mut pending: VecDeque<Request> = trace.iter().copied().collect();
     let total_arrivals = pending.len();
@@ -175,6 +199,9 @@ pub fn simulate_serving_faulted(
         aborted,
         downtime_s,
         scheduler.queue_stats(),
+        0,
+        0.0,
+        0.0,
     )
 }
 

@@ -15,7 +15,13 @@
 //!   arrivals with configurable prompt/output length distributions.
 //! * [`scheduler::ContinuousBatcher`] — iteration-level scheduling:
 //!   requests join the running batch between decode steps, bounded by a
-//!   batch cap and a KV-memory budget.
+//!   batch cap and a KV-memory budget. Three KV disciplines
+//!   ([`scheduler::KvPolicy`]): conservative full-extent reservation
+//!   (default), and two vLLM-style paged policies over a
+//!   `cllm_workload::kv::PagePool` — admit on prompt pages, grow
+//!   page-by-page, and under pressure preempt tail-first, either
+//!   dropping the victim's pages (recompute) or swapping them through
+//!   the platform's priced paging path (swap).
 //! * [`sim`] — the event loop: prefill admission, per-step decode timing
 //!   from the calibrated `cllm-perf` roofline (so every TEE mechanism —
 //!   memory encryption, hugepage fallback, TD transitions — shapes the

@@ -22,14 +22,14 @@
 
 use crate::faults::{attested_rehandshake_phased, FaultEvent, FaultPlan};
 use crate::kernel::{EventQueue, KernelStats, RequestSlab};
-use crate::scheduler::{ContinuousBatcher, QueueStats, SchedulerLimits};
+use crate::scheduler::{Admission, ContinuousBatcher, KvConfig, QueueStats, SchedulerLimits};
 use crate::slo::{sorted_percentile, ServingReport};
 use crate::workload::{ArrivalProcess, Request};
 use cllm_hw::{DType, GpuModel};
 use cllm_obs::{Scope, SpanKind, Trace, TraceSink};
 use cllm_perf::CpuTarget;
 use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig};
-use cllm_workload::{zoo, ModelConfig};
+use cllm_workload::{kv, zoo, ModelConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -65,6 +65,9 @@ pub struct ServingConfig {
     pub target: CpuTarget,
     /// Scheduler limits.
     pub limits: SchedulerLimits,
+    /// KV-memory policy (conservative reservation, paged-recompute or
+    /// paged-swap) and page size.
+    pub kv: KvConfig,
     /// Arrival process.
     pub arrivals: ArrivalProcess,
     /// Trace horizon, seconds of arrivals.
@@ -84,6 +87,7 @@ impl ServingConfig {
                 max_batch: 16,
                 kv_budget_bytes: 64.0 * cllm_hw::GIB,
             },
+            kv: KvConfig::default(),
             arrivals: ArrivalProcess {
                 rate_per_s: 1.0,
                 prompt_range: (32, 256),
@@ -153,6 +157,46 @@ impl ServingNode {
             ),
             ServingNode::Gpu { gpu, tee } => {
                 cllm_perf::gpu_decode_step_time_s(&cfg.model, cfg.dtype, gpu, tee, batch, context)
+            }
+        }
+    }
+
+    /// Bytes of KV that can stay resident in protected memory without
+    /// per-step paging stalls. SGX nodes get the EPC minus the streamed
+    /// weights; other CPU TEEs encrypt all of DRAM (no residency cliff),
+    /// so their budget is unbounded. GPU nodes get the HBM left after
+    /// the weights.
+    #[must_use]
+    pub fn kv_residency_budget_bytes(&self, cfg: &ServingConfig) -> f64 {
+        match self {
+            ServingNode::Cpu { tee } => tee.sgx.map_or(f64::INFINITY, |sgx| {
+                (sgx.epc_bytes - cfg.model.weight_bytes(cfg.dtype)).max(0.0)
+            }),
+            ServingNode::Gpu { gpu, .. } => {
+                cllm_perf::gpu_kv_budget_bytes(&cfg.model, cfg.dtype, gpu)
+            }
+        }
+    }
+
+    /// Time to swap `bytes` of KV in or out of protected memory on this
+    /// node (EPC paging on SGX, MEE-derated copy on other CPUs, the
+    /// bounce-buffered host link on GPUs).
+    #[must_use]
+    pub fn kv_swap_time_s(&self, bytes: f64) -> f64 {
+        match self {
+            ServingNode::Cpu { tee } => cllm_perf::kv_swap_time_s(tee, bytes),
+            ServingNode::Gpu { gpu, tee } => cllm_perf::gpu_kv_swap_time_s(gpu, tee, bytes),
+        }
+    }
+
+    /// Per-decode-step stall when `excess_bytes` of resident KV overflow
+    /// [`ServingNode::kv_residency_budget_bytes`].
+    #[must_use]
+    pub fn kv_pressure_stall_s(&self, excess_bytes: f64) -> f64 {
+        match self {
+            ServingNode::Cpu { tee } => cllm_perf::kv_pressure_stall_s(tee, excess_bytes),
+            ServingNode::Gpu { gpu, tee } => {
+                cllm_perf::gpu_kv_pressure_stall_s(gpu, tee, excess_bytes)
             }
         }
     }
@@ -243,20 +287,53 @@ fn run_faulted(
     let mut stats = KernelStats::default();
     if cfg.arrivals.rate_per_s <= 0.0 || cfg.duration_s <= 0.0 {
         return (
-            build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default()),
+            build_report(
+                0,
+                0,
+                0.0,
+                Vec::new(),
+                0,
+                0,
+                0.0,
+                &QueueStats::default(),
+                0,
+                0.0,
+                0.0,
+            ),
             stats,
         );
     }
     let trace = cfg.arrivals.trace(cfg.duration_s);
     if trace.is_empty() {
         return (
-            build_report(0, 0, 0.0, Vec::new(), 0, 0, 0.0, &QueueStats::default()),
+            build_report(
+                0,
+                0,
+                0.0,
+                Vec::new(),
+                0,
+                0,
+                0.0,
+                &QueueStats::default(),
+                0,
+                0.0,
+                0.0,
+            ),
             stats,
         );
     }
     let mut pending: VecDeque<Request> = trace.iter().copied().collect();
     let total_arrivals = pending.len();
-    let mut scheduler = ContinuousBatcher::new(cfg.limits);
+    let mut scheduler = ContinuousBatcher::configured(cfg.limits, cfg.kv);
+    // Pressure pricing inputs: bytes per KV token, bytes per page, and
+    // the node's protected-residency budget. All irrelevant (and unread)
+    // under the conservative policy, whose StepPrep is always empty.
+    let per_token_bytes = kv::kv_bytes_per_sequence(&cfg.model, 1, cfg.dtype);
+    #[allow(clippy::cast_precision_loss)]
+    let block_bytes = per_token_bytes * cfg.kv.block_tokens as f64;
+    let residency_budget = node.kv_residency_budget_bytes(cfg);
+    let mut swap_out_bytes = 0.0f64;
+    let mut swap_in_bytes = 0.0f64;
     // Dynamically scheduled retry deliveries live in the kernel's heap,
     // keyed by request id: pops come out in (eligibility, id) order —
     // the same order the old per-delivery `min_by` rescan produced, at
@@ -344,45 +421,120 @@ fn run_faulted(
         }
 
         // Admission + prefill at the iteration boundary. A re-queued
-        // victim must re-attest its session before its repeated prefill.
-        let admitted = scheduler.admit(&cfg.model, cfg.dtype, now);
-        for r in admitted {
-            stats.admissions += 1;
-            if sink.is_enabled() {
-                if let Some(c) = slab.cursor(r.id) {
-                    sink.span(Scope::Request(r.id), SpanKind::QueueWait, c, now);
+        // victim must re-attest its session before its repeated prefill;
+        // a swapped-out sequence resumes with its progress after paying
+        // the swap-in stall instead of a prefill.
+        let admitted = scheduler.admit_any(&cfg.model, cfg.dtype, now);
+        for adm in admitted {
+            match adm {
+                Admission::Fresh(r) => {
+                    stats.admissions += 1;
+                    if sink.is_enabled() {
+                        if let Some(c) = slab.cursor(r.id) {
+                            sink.span(Scope::Request(r.id), SpanKind::QueueWait, c, now);
+                        }
+                    }
+                    if slab.attempts(r.id) > 0 {
+                        let t0 = now;
+                        now += plan.policy.reattest_s;
+                        sink.span(NODE0, SpanKind::Reattest, t0, now);
+                        sink.span(Scope::Request(r.id), SpanKind::Reattest, t0, now);
+                    }
+                    let t_prefill = node.prefill_time_s(cfg, r.prompt_tokens);
+                    let t0 = now;
+                    now += t_prefill;
+                    sink.span(NODE0, SpanKind::Prefill, t0, now);
+                    sink.span(Scope::Request(r.id), SpanKind::Prefill, t0, now);
+                    if sink.is_enabled() {
+                        slab.set_cursor(r.id, now);
+                    }
+                    scheduler.start(r, now);
+                }
+                Admission::Resumed {
+                    request,
+                    swap_in_tokens,
+                } => {
+                    stats.swap_ins += 1;
+                    #[allow(clippy::cast_precision_loss)]
+                    let bytes = swap_in_tokens as f64 * per_token_bytes;
+                    swap_in_bytes += bytes;
+                    let t0 = now;
+                    if sink.is_enabled() {
+                        if let Some(c) = slab.cursor(request.id) {
+                            sink.span(Scope::Request(request.id), SpanKind::Preempted, c, t0);
+                        }
+                    }
+                    now += node.kv_swap_time_s(bytes);
+                    sink.span(NODE0, SpanKind::SwapIn, t0, now);
+                    sink.span(Scope::Request(request.id), SpanKind::SwapIn, t0, now);
+                    if sink.is_enabled() {
+                        slab.set_cursor(request.id, now);
+                    }
                 }
             }
-            if slab.attempts(r.id) > 0 {
-                let t0 = now;
-                now += plan.policy.reattest_s;
-                sink.span(NODE0, SpanKind::Reattest, t0, now);
-                sink.span(Scope::Request(r.id), SpanKind::Reattest, t0, now);
-            }
-            let t_prefill = node.prefill_time_s(cfg, r.prompt_tokens);
-            let t0 = now;
-            now += t_prefill;
-            sink.span(NODE0, SpanKind::Prefill, t0, now);
-            sink.span(Scope::Request(r.id), SpanKind::Prefill, t0, now);
-            if sink.is_enabled() {
-                slab.set_cursor(r.id, now);
-            }
-            scheduler.start(r, now);
         }
 
         if scheduler.running().is_empty() {
             continue;
         }
 
+        // Make the coming step fit in the page pool: on pressure the
+        // batcher evicts from the tail (recompute re-queues at the queue
+        // front; swap victims page out through the priced path).
+        let prep = scheduler.prepare_step(now);
+        for victim in &prep.preempted_recompute {
+            stats.preemptions += 1;
+            if sink.is_enabled() {
+                if let Some(c) = slab.cursor(victim.id) {
+                    sink.span(Scope::Request(victim.id), SpanKind::DecodeLost, c, now);
+                    slab.set_cursor(victim.id, now);
+                }
+            }
+        }
+        for victim in &prep.preempted_swap {
+            stats.preemptions += 1;
+            stats.swap_outs += 1;
+            #[allow(clippy::cast_precision_loss)]
+            let bytes = victim.context() as f64 * per_token_bytes;
+            swap_out_bytes += bytes;
+            let t0 = now;
+            if sink.is_enabled() {
+                if let Some(c) = slab.cursor(victim.request.id) {
+                    sink.span(Scope::Request(victim.request.id), SpanKind::Decode, c, t0);
+                }
+            }
+            now += node.kv_swap_time_s(bytes);
+            sink.span(NODE0, SpanKind::SwapOut, t0, now);
+            sink.span(
+                Scope::Request(victim.request.id),
+                SpanKind::SwapOut,
+                t0,
+                now,
+            );
+            if sink.is_enabled() {
+                slab.set_cursor(victim.request.id, now);
+            }
+        }
+
         // One decode iteration for the whole running batch at its mean
-        // context length.
+        // context length. Resident KV past the platform's protected
+        // budget pays the per-step paging/bounce stall instead of a flat
+        // admission cliff.
         let batch = scheduler.running().len() as u64;
         #[allow(clippy::cast_precision_loss)]
         let mean_context = (scheduler.running().iter().map(|a| a.context()).sum::<u64>() as f64
             / batch as f64)
             .round() as u64;
         let t0 = now;
-        now += node.decode_step_time_s(cfg, batch, mean_context);
+        let mut t_step = node.decode_step_time_s(cfg, batch, mean_context);
+        if prep.resident_pages > 0 {
+            #[allow(clippy::cast_precision_loss)]
+            let excess = prep.resident_pages as f64 * block_bytes - residency_budget;
+            if excess > 0.0 {
+                t_step += node.kv_pressure_stall_s(excess);
+            }
+        }
+        now += t_step;
         stats.decode_steps += 1;
         sink.span(NODE0, SpanKind::Decode, t0, now);
 
@@ -418,6 +570,9 @@ fn run_faulted(
             aborted,
             downtime_s,
             scheduler.queue_stats(),
+            stats.preemptions,
+            swap_out_bytes,
+            swap_in_bytes,
         ),
         stats,
     )
@@ -508,22 +663,25 @@ pub(crate) fn build_report(
     aborted: usize,
     downtime_s: f64,
     queue: &QueueStats,
+    preemptions: u64,
+    swap_out_bytes: f64,
+    swap_in_bytes: f64,
 ) -> ServingReport {
     records.sort_by_key(|a| a.id);
-    // The queue-wait mean sums the *unsorted* samples: f64 addition is
-    // order-sensitive, and the mean must not move because the p99 below
-    // needed a sort.
+    // The queue-wait mean uses the batcher's running sum, accumulated in
+    // admission order — bit-identical to summing an unsorted full vector,
+    // and immune to the sample cap bounding the percentile buffer below.
     #[allow(clippy::cast_precision_loss)]
-    let queue_wait_mean_s = if queue.waits_s.is_empty() {
+    let queue_wait_mean_s = if queue.wait_count() == 0 {
         0.0
     } else {
-        queue.waits_s.iter().sum::<f64>() / queue.waits_s.len() as f64
+        queue.wait_sum_s() / queue.wait_count() as f64
     };
     // Sort each latency vector exactly once; every percentile then reads
     // the sorted slice (the old helper cloned and re-sorted per call —
     // five sorts over three vectors per report).
     let sort = |v: &mut Vec<f64>| v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let mut waits = queue.waits_s.clone();
+    let mut waits = queue.wait_samples().to_vec();
     sort(&mut waits);
     let mut ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
     sort(&mut ttft);
@@ -574,6 +732,9 @@ pub(crate) fn build_report(
         } else {
             sorted_percentile(&tpot, 0.95)
         },
+        preemptions,
+        swap_out_bytes,
+        swap_in_bytes,
         records,
     }
 }

@@ -38,6 +38,13 @@ pub struct ServingReport {
     pub tpot_p50_s: f64,
     /// 95th-percentile time per output token, seconds.
     pub tpot_p95_s: f64,
+    /// Sequences evicted from the running batch on KV-pool pressure
+    /// (both paged policies; zero under conservative reservation).
+    pub preemptions: u64,
+    /// KV bytes paged out of protected memory by swap-policy evictions.
+    pub swap_out_bytes: f64,
+    /// KV bytes paged back into protected memory on readmission.
+    pub swap_in_bytes: f64,
     /// Per-request records (sorted by id).
     pub records: Vec<RequestRecord>,
 }
@@ -169,6 +176,9 @@ mod tests {
             ttft_p95_s: 0.0,
             tpot_p50_s: 0.0,
             tpot_p95_s: 0.0,
+            preemptions: 0,
+            swap_out_bytes: 0.0,
+            swap_in_bytes: 0.0,
             records,
         }
     }

@@ -1,0 +1,119 @@
+//! Property tests on the paged KV path: page-pool conservation under
+//! arbitrary reserve/release schedules, readmission liveness for both
+//! preemption policies, and kernel-vs-legacy equality when the pool is
+//! sized so pressure never fires.
+
+use cllm_serve::faults::FaultPlan;
+use cllm_serve::scheduler::{KvConfig, KvPolicy, SchedulerLimits};
+use cllm_serve::sim::{simulate_serving_faulted, ServingConfig, ServingNode};
+use cllm_serve::workload::ArrivalProcess;
+use cllm_tee::platform::CpuTeeConfig;
+use cllm_workload::kv::PagePool;
+use proptest::prelude::*;
+
+/// A single step of a random pool schedule, encoded as
+/// `(kind, id, tokens)`: kind 0 = best-effort reserve, 1 = clamped
+/// grow, 2 = release.
+type Op = (u8, u64, u64);
+
+fn apply(pool: &mut PagePool, (kind, id, tokens): Op) {
+    match kind {
+        0 => {
+            let _ = pool.try_reserve(id, tokens);
+        }
+        1 => pool.reserve_clamped(id, tokens),
+        _ => {
+            let _ = pool.release(id);
+        }
+    }
+}
+
+fn paged_cfg(policy: KvPolicy, rate: f64, seed: u64, pool_bytes: f64) -> ServingConfig {
+    ServingConfig {
+        limits: SchedulerLimits {
+            max_batch: 8,
+            kv_budget_bytes: pool_bytes,
+        },
+        kv: KvConfig {
+            policy,
+            ..KvConfig::default()
+        },
+        arrivals: ArrivalProcess {
+            rate_per_s: rate,
+            prompt_range: (16, 96),
+            output_range: (32, 128),
+            seed,
+        },
+        duration_s: 15.0,
+        ..ServingConfig::small_test()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pages are conserved across any schedule of reservations, clamped
+    /// growths and releases: `free + in_use == total` after every op,
+    /// and every resident page table stays within the pool.
+    #[test]
+    fn pool_conserves_pages_under_any_schedule(
+        total in 1u64..64,
+        block in 1u64..64,
+        ops in proptest::collection::vec((0u8..3, 0u64..12, 1u64..600), 1..80),
+    ) {
+        let mut pool = PagePool::new(total, block);
+        for op in ops {
+            apply(&mut pool, op);
+            prop_assert!(pool.conserved(), "pool lost pages after {op:?}");
+            prop_assert_eq!(pool.free_pages() + pool.pages_in_use(), pool.total_pages());
+            prop_assert!(pool.pages_in_use() <= pool.total_pages());
+        }
+    }
+
+    /// Fault-free paged runs terminate every arrival, under either
+    /// preemption policy and pools small enough to evict constantly:
+    /// preempted sequences always readmit and finish (no starvation).
+    #[test]
+    fn paged_runs_complete_every_arrival(
+        rate in 0.5f64..4.0,
+        seed in 0u64..40,
+        pool_mib in 24.0f64..512.0,
+        swap in 0u8..2,
+    ) {
+        let policy = if swap == 1 { KvPolicy::PagedSwap } else { KvPolicy::PagedRecompute };
+        let cfg = paged_cfg(policy, rate, seed, pool_mib * 1024.0 * 1024.0);
+        let node = ServingNode::Cpu { tee: CpuTeeConfig::tdx() };
+        let report = simulate_serving_faulted(&cfg, &node, &FaultPlan::none());
+        prop_assert_eq!(report.completed, report.arrivals, "paged {policy:?} starved");
+        prop_assert_eq!(report.aborted, 0);
+        for r in &report.records {
+            prop_assert!(r.ttft_s > 0.0, "id {}", r.id);
+            prop_assert!(r.e2e_s >= r.ttft_s);
+        }
+    }
+
+    /// With the pool sized far above the trace's peak working set no
+    /// preemption can fire, and the paged kernel run reproduces the
+    /// legacy conservative loop byte for byte once serialized — paging
+    /// is pay-for-what-you-use.
+    #[test]
+    fn unpressured_paged_run_matches_legacy(
+        rate in 0.5f64..3.0,
+        seed in 0u64..40,
+        swap in 0u8..2,
+    ) {
+        let policy = if swap == 1 { KvPolicy::PagedSwap } else { KvPolicy::PagedRecompute };
+        let cfg = paged_cfg(policy, rate, seed, 64.0 * cllm_hw::GIB);
+        let node = ServingNode::Cpu { tee: CpuTeeConfig::tdx() };
+        let kernel = simulate_serving_faulted(&cfg, &node, &FaultPlan::none());
+        prop_assert_eq!(kernel.preemptions, 0, "64 GiB pool must never pressure");
+        prop_assert_eq!(kernel.swap_out_bytes, 0.0);
+        // The legacy loop predates paging and always reserves full
+        // extents; an unpressured paged run must be indistinguishable.
+        let legacy = cllm_serve::legacy::simulate_serving_faulted(&cfg, &node, &FaultPlan::none());
+        prop_assert_eq!(&kernel, &legacy, "unpressured paged diverged from legacy");
+        let jk = serde_json::to_string(&kernel).expect("report serializes");
+        let jl = serde_json::to_string(&legacy).expect("report serializes");
+        prop_assert_eq!(jk, jl, "serialized reports must be byte-identical");
+    }
+}

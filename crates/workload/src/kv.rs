@@ -7,6 +7,7 @@
 
 use crate::ModelConfig;
 use cllm_hw::DType;
+use std::collections::BTreeMap;
 
 /// Bytes of KV cache held for one sequence of `seq_len` tokens.
 #[must_use]
@@ -43,6 +44,225 @@ pub fn kv_weight_parity_seq(model: &ModelConfig, batch: u64, dtype: DType) -> u6
         return u64::MAX;
     }
     (weights / per_token).ceil() as u64
+}
+
+/// One sequence's page table inside a [`PagePool`]: the physical pages it
+/// holds plus the logical token count mapped onto them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageTable {
+    pages: Vec<u32>,
+    tokens: u64,
+}
+
+impl PageTable {
+    /// Physical pages held.
+    #[must_use]
+    pub fn pages(&self) -> &[u32] {
+        &self.pages
+    }
+
+    /// Logical tokens mapped (may exceed page capacity only for a
+    /// clamped allocation — see [`PagePool::reserve_clamped`]).
+    #[must_use]
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+}
+
+/// A vLLM-style fixed-block KV-cache allocator.
+///
+/// The pool owns `total_pages` pages of `block_tokens` tokens each.
+/// Sequences reserve whole pages through a per-sequence [`PageTable`];
+/// the free list is fully deterministic — page ids are handed out in
+/// ascending order from a watermark and recycled LIFO — so two runs of
+/// the same schedule allocate byte-identically. The free list is lazy
+/// (a watermark plus a recycled stack), so memory stays proportional to
+/// the pages *live*, never the pool size; huge pools used to disable
+/// preemption in tests cost nothing.
+///
+/// Invariant, checked after every operation in debug builds:
+/// `free_pages() + pages_in_use() == total_pages()`.
+#[derive(Debug, Clone)]
+pub struct PagePool {
+    block_tokens: u64,
+    total_pages: u64,
+    /// Pages `[0, watermark)` have been handed out at least once.
+    watermark: u64,
+    /// Released pages awaiting reuse (LIFO).
+    recycled: Vec<u32>,
+    in_use: u64,
+    peak_in_use: u64,
+    tables: BTreeMap<u64, PageTable>,
+}
+
+impl PagePool {
+    /// An empty pool of `total_pages` pages of `block_tokens` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(total_pages: u64, block_tokens: u64) -> Self {
+        assert!(total_pages > 0, "pool must hold at least one page");
+        assert!(block_tokens > 0, "pages must hold at least one token");
+        PagePool {
+            block_tokens,
+            total_pages,
+            watermark: 0,
+            recycled: Vec::new(),
+            in_use: 0,
+            peak_in_use: 0,
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Tokens per page.
+    #[must_use]
+    pub fn block_tokens(&self) -> u64 {
+        self.block_tokens
+    }
+
+    /// Pool capacity in pages.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Pages currently free.
+    #[must_use]
+    pub fn free_pages(&self) -> u64 {
+        self.total_pages - self.in_use
+    }
+
+    /// Pages currently allocated to sequences.
+    #[must_use]
+    pub fn pages_in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark of [`PagePool::pages_in_use`].
+    #[must_use]
+    pub fn peak_pages_in_use(&self) -> u64 {
+        self.peak_in_use
+    }
+
+    /// Sequences currently holding pages.
+    #[must_use]
+    pub fn sequences(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Pages needed to hold `tokens` tokens (ceiling division; at least
+    /// one page so even an empty reservation is addressable).
+    #[must_use]
+    pub fn pages_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(self.block_tokens).max(1)
+    }
+
+    /// The page table of sequence `id`, if it holds pages.
+    #[must_use]
+    pub fn table(&self, id: u64) -> Option<&PageTable> {
+        self.tables.get(&id)
+    }
+
+    /// Internal fragmentation: tokens of page capacity allocated but not
+    /// (yet) occupied by mapped tokens, summed over all sequences.
+    #[must_use]
+    pub fn slack_tokens(&self) -> u64 {
+        self.tables
+            .values()
+            .map(|t| (t.pages.len() as u64 * self.block_tokens).saturating_sub(t.tokens))
+            .sum()
+    }
+
+    fn pop_free(&mut self) -> Option<u32> {
+        if let Some(p) = self.recycled.pop() {
+            return Some(p);
+        }
+        if self.watermark < self.total_pages {
+            #[allow(clippy::cast_possible_truncation)]
+            let p = (self.watermark % u64::from(u32::MAX)) as u32;
+            self.watermark += 1;
+            return Some(p);
+        }
+        None
+    }
+
+    /// Grow (or create) sequence `id` to hold `tokens` logical tokens.
+    /// Reservations only grow: shrinking a live sequence is not a KV
+    /// operation the serving model needs. Returns `false` — leaving the
+    /// pool untouched — when the free list cannot cover the growth.
+    pub fn try_reserve(&mut self, id: u64, tokens: u64) -> bool {
+        let target = self.pages_for(tokens);
+        let have = self.tables.get(&id).map_or(0, |t| t.pages.len() as u64);
+        let delta = target.saturating_sub(have);
+        if delta > self.free_pages() {
+            return false;
+        }
+        let mut grown = Vec::with_capacity(usize::try_from(delta).unwrap_or(0));
+        for _ in 0..delta {
+            grown.push(self.pop_free().expect("free count checked"));
+        }
+        self.in_use += delta;
+        self.peak_in_use = self.peak_in_use.max(self.in_use);
+        let entry = self.tables.entry(id).or_insert(PageTable {
+            pages: Vec::new(),
+            tokens: 0,
+        });
+        entry.pages.extend(grown);
+        entry.tokens = entry.tokens.max(tokens);
+        self.debug_check();
+        true
+    }
+
+    /// Grow sequence `id` toward `tokens`, taking at most what is free.
+    /// This is the liveness clamp: a sequence larger than the whole pool
+    /// still makes progress (running with a partial residency priced by
+    /// the pressure model) instead of deadlocking admission.
+    pub fn reserve_clamped(&mut self, id: u64, tokens: u64) {
+        let target = self.pages_for(tokens);
+        let have = self.tables.get(&id).map_or(0, |t| t.pages.len() as u64);
+        let delta = target.saturating_sub(have).min(self.free_pages());
+        let mut grown = Vec::with_capacity(usize::try_from(delta).unwrap_or(0));
+        for _ in 0..delta {
+            grown.push(self.pop_free().expect("free count checked"));
+        }
+        self.in_use += delta;
+        self.peak_in_use = self.peak_in_use.max(self.in_use);
+        let entry = self.tables.entry(id).or_insert(PageTable {
+            pages: Vec::new(),
+            tokens: 0,
+        });
+        entry.pages.extend(grown);
+        entry.tokens = entry.tokens.max(tokens);
+        self.debug_check();
+    }
+
+    /// Release every page sequence `id` holds (completion, preemption or
+    /// node loss). Pages return to the free list newest-first so reuse
+    /// order stays deterministic. Returns the number of pages freed.
+    pub fn release(&mut self, id: u64) -> u64 {
+        let Some(table) = self.tables.remove(&id) else {
+            return 0;
+        };
+        let freed = table.pages.len() as u64;
+        self.recycled.extend(table.pages.into_iter().rev());
+        self.in_use -= freed;
+        self.debug_check();
+        freed
+    }
+
+    /// The conservation invariant, as a queryable predicate (property
+    /// tests call this after every operation).
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        let held: u64 = self.tables.values().map(|t| t.pages.len() as u64).sum();
+        held == self.in_use && self.free_pages() + self.in_use == self.total_pages
+    }
+
+    fn debug_check(&self) {
+        debug_assert!(self.conserved(), "page pool lost track of pages");
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +311,77 @@ mod tests {
         let per_tok = kv_bytes_per_sequence(&m70, 1, DType::Bf16);
         // 2 * 80 layers * (8 * 128) * 2 bytes = 320 KiB, despite 8192 hidden.
         assert!((per_tok - 327_680.0).abs() < 1.0, "got {per_tok}");
+    }
+
+    #[test]
+    fn pool_reserve_release_conserves_pages() {
+        let mut pool = PagePool::new(8, 16);
+        assert!(pool.try_reserve(1, 33)); // 3 pages
+        assert!(pool.try_reserve(2, 16)); // 1 page
+        assert!(pool.conserved());
+        assert_eq!(pool.pages_in_use(), 4);
+        assert_eq!(pool.free_pages(), 4);
+        assert_eq!(pool.release(1), 3);
+        assert!(pool.conserved());
+        assert_eq!(pool.pages_in_use(), 1);
+        assert_eq!(pool.peak_pages_in_use(), 4);
+    }
+
+    #[test]
+    fn pool_reservation_failure_leaves_pool_untouched() {
+        let mut pool = PagePool::new(4, 16);
+        assert!(pool.try_reserve(1, 48)); // 3 pages
+        assert!(!pool.try_reserve(2, 32)); // needs 2, only 1 free
+        assert_eq!(pool.pages_in_use(), 3);
+        assert!(pool.table(2).is_none());
+        assert!(pool.try_reserve(2, 16)); // 1 page fits
+        assert_eq!(pool.free_pages(), 0);
+    }
+
+    #[test]
+    fn pool_growth_only_pays_the_delta() {
+        let mut pool = PagePool::new(8, 16);
+        assert!(pool.try_reserve(7, 20)); // 2 pages
+        assert!(pool.try_reserve(7, 40)); // 3 pages total, +1
+        assert_eq!(pool.pages_in_use(), 3);
+        assert_eq!(pool.table(7).unwrap().tokens(), 40);
+        // Shrinking requests are ignored: reservations only grow.
+        assert!(pool.try_reserve(7, 10));
+        assert_eq!(pool.pages_in_use(), 3);
+        assert_eq!(pool.table(7).unwrap().tokens(), 40);
+    }
+
+    #[test]
+    fn pool_allocation_order_is_deterministic() {
+        let run = || {
+            let mut pool = PagePool::new(6, 4);
+            assert!(pool.try_reserve(1, 8));
+            assert!(pool.try_reserve(2, 8));
+            pool.release(1);
+            assert!(pool.try_reserve(3, 12));
+            pool.table(3).unwrap().pages().to_vec()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        // Pages recycle LIFO: sequence 3 reuses sequence 1's pages first.
+        assert_eq!(a, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn pool_clamped_reservation_takes_what_is_free() {
+        let mut pool = PagePool::new(4, 16);
+        pool.reserve_clamped(9, 1000); // wants 63 pages, gets all 4
+        assert_eq!(pool.pages_in_use(), 4);
+        assert_eq!(pool.table(9).unwrap().tokens(), 1000);
+        assert!(pool.conserved());
+    }
+
+    #[test]
+    fn pool_slack_counts_internal_fragmentation() {
+        let mut pool = PagePool::new(8, 16);
+        assert!(pool.try_reserve(1, 17)); // 2 pages = 32 tokens capacity
+        assert_eq!(pool.slack_tokens(), 15);
+        assert!(pool.try_reserve(1, 32)); // fills the second page
+        assert_eq!(pool.slack_tokens(), 0);
     }
 }

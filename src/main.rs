@@ -7,6 +7,10 @@
 //! cllm estimate [--platform P] [...]     predict perf for a request shape
 //! cllm plan [--batch N] [--input N]      CPU-vs-cGPU cost recommendation
 //! cllm serve [--rate R] [--platform P]   online serving SLO report
+//!            [--kv-policy conservative|recompute|swap] [--kv-block-tokens N]
+//!            [--kv-pool-gib G]              ... paged KV cache with the chosen
+//!                                           preemption policy, page size and
+//!                                           page-pool arena
 //!            [--faults S] [--fault-seed N]  ... under an injected fault schedule
 //!            [--nodes SPEC] [--failover on|off] [--waves W] [--wave-frac F]
 //!                                           ... on a multi-node cluster
@@ -23,6 +27,7 @@ use cllm_perf::{simulate_gpu, CpuTarget};
 use cllm_serve::cluster::{simulate_cluster, ClusterConfig, NodeSpec, WaveModel};
 use cllm_serve::faults::{FaultPlan, FaultRates};
 use cllm_serve::router::{AdmissionPolicy, BreakerConfig};
+use cllm_serve::scheduler::{KvConfig, KvPolicy};
 use cllm_serve::sim::{simulate_serving_faulted, ServingConfig, ServingNode};
 use cllm_serve::slo::Slo;
 use cllm_serve::workload::ArrivalProcess;
@@ -122,6 +127,11 @@ fn print_usage() {
          cllm estimate [--platform P] [--dtype bf16|int8] [--batch N] [--input N] [--output N]\n  \
          cllm plan [--batch N] [--input N] cost recommendation: TDX vs confidential H100\n  \
          cllm serve [--rate R] [--platform P] [--duration S]  online SLO report\n  \
+         cllm serve --kv-policy conservative|recompute|swap [--kv-block-tokens N]\n\
+         \x20          [--kv-pool-gib G]       paged KV cache: admit on prompt pages,\n\
+         \x20                                   grow page-by-page, preempt on pressure\n\
+         \x20                                   (recompute drops pages, swap prices the\n\
+         \x20                                   platform's paging path; default page 16)\n  \
          cllm serve --faults S [--fault-seed N]  ... with a seeded fault schedule\n\
          \x20                                   (S scales the platform's fault rates)\n  \
          cllm serve --nodes SPEC [--failover on|off] [--waves W] [--wave-frac F]\n\
@@ -171,6 +181,19 @@ fn num_flag(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
         .get(key)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// KV-cache flags shared by the single-node and cluster serve paths:
+/// `--kv-policy conservative|recompute|swap` and `--kv-block-tokens N`.
+fn kv_from(flags: &HashMap<String, String>) -> Result<KvConfig, String> {
+    let mut kv = KvConfig::default();
+    if let Some(name) = flags.get("kv-policy") {
+        kv.policy = KvPolicy::from_flag(name).ok_or_else(|| {
+            format!("unknown --kv-policy {name:?}; expected conservative|recompute|swap")
+        })?;
+    }
+    kv.block_tokens = num_flag(flags, "kv-block-tokens", kv.block_tokens).max(1);
+    Ok(kv)
 }
 
 fn cmd_figures(id: Option<String>) -> ExitCode {
@@ -359,8 +382,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         .get("duration")
         .and_then(|v| v.parse().ok())
         .unwrap_or(60.0);
+    let kv = match kv_from(flags) {
+        Ok(kv) => kv,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     if let Some(spec) = flags.get("nodes") {
-        return cmd_serve_cluster(flags, spec, rate, duration);
+        return cmd_serve_cluster(flags, spec, rate, duration, kv);
     }
     let tee = match platform_from(flags) {
         Ok(Platform::Cpu(tee)) => tee,
@@ -384,11 +414,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
     } else {
         FaultPlan::none()
     };
-    let cfg = ServingConfig {
+    let mut cfg = ServingConfig {
         arrivals: ArrivalProcess::chat(rate, 42),
         duration_s: duration,
+        kv,
         ..ServingConfig::small_test()
     };
+    if let Some(gib) = flags.get("kv-pool-gib").and_then(|v| v.parse::<f64>().ok()) {
+        cfg.limits.kv_budget_bytes = gib * cllm_hw::GIB;
+    }
     let node = ServingNode::Cpu { tee: tee.clone() };
     let report = simulate_serving_faulted(&cfg, &node, &plan);
     println!(
@@ -396,6 +430,19 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         tee.kind.label(),
         report.arrivals
     );
+    println!(
+        "kv policy   : {} ({} tokens/page)",
+        kv.policy.label(),
+        kv.block_tokens
+    );
+    if kv.policy.is_paged() {
+        println!(
+            "kv pressure : {} preemptions, {:.2} GiB swapped out, {:.2} GiB swapped in",
+            report.preemptions,
+            report.swap_out_bytes / cllm_hw::GIB,
+            report.swap_in_bytes / cllm_hw::GIB
+        );
+    }
     if fault_scale > 0.0 {
         println!(
             "faults      : {} injected (rate scale {fault_scale}, seed {fault_seed})",
@@ -530,6 +577,7 @@ fn cmd_serve_cluster(
     spec: &str,
     rate: f64,
     duration: f64,
+    kv: KvConfig,
 ) -> ExitCode {
     let fault_scale = flags
         .get("faults")
@@ -564,6 +612,7 @@ fn cmd_serve_cluster(
         serving: ServingConfig {
             arrivals: ArrivalProcess::chat(rate, 42),
             duration_s: duration,
+            kv,
             ..ServingConfig::small_test()
         },
         nodes,
@@ -595,6 +644,15 @@ fn cmd_serve_cluster(
         "failover work: {} retries, {} cross-platform spills",
         report.retries, report.spills
     );
+    if kv.policy.is_paged() {
+        println!(
+            "kv pressure  : {} preemptions ({}), {:.2} GiB swapped out, {:.2} GiB swapped in",
+            report.preemptions,
+            kv.policy.label(),
+            report.swap_out_bytes / cllm_hw::GIB,
+            report.swap_in_bytes / cllm_hw::GIB
+        );
+    }
     println!("availability : {:.1}%", report.availability * 100.0);
     println!("goodput      : {:.1} tok/s", report.goodput_tps);
     println!(
