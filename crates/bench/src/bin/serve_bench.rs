@@ -19,7 +19,7 @@
 //! Only this binary ever records wall time; the golden tables stay
 //! machine-independent.
 
-use cllm_core::experiments::serve_scale::{paged_report, report, Scale};
+use cllm_core::experiments::serve_scale::{autoscale_report, paged_report, report, Scale};
 use serde_json::{Number, Value};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -27,7 +27,7 @@ use std::time::Instant;
 
 /// Schema fields every `BENCH_serve.json` must carry, with their JSON
 /// type class (`true` = number, `false` = string).
-const SCHEMA: [(&str, bool); 19] = [
+const SCHEMA: [(&str, bool); 24] = [
     ("schema_version", true),
     ("scale", false),
     ("nodes", true),
@@ -47,6 +47,11 @@ const SCHEMA: [(&str, bool); 19] = [
     ("paged_wall_s", true),
     ("paged_events_per_s", true),
     ("floor_paged_events_per_s", true),
+    ("autoscale_scale_ups", true),
+    ("autoscale_kernel_events", true),
+    ("autoscale_wall_s", true),
+    ("autoscale_events_per_s", true),
+    ("floor_autoscale_events_per_s", true),
 ];
 
 fn int(v: u64) -> Value {
@@ -139,6 +144,39 @@ fn measure_paged(scale: Scale) -> (Vec<(String, Value)>, f64) {
     (fields, events_per_s)
 }
 
+/// One timed run of the flash-crowd autoscale operating point at
+/// `scale`, returning the `autoscale_*` fields to append (floor left at
+/// zero) plus the measured rate. A separate row because the autoscale
+/// path layers generative tiered traffic, controller ticks, attested
+/// cold starts and drain scale-downs on top of the kernel — a
+/// regression there must not hide behind the cluster floors.
+fn measure_autoscale(scale: Scale) -> (Vec<(String, Value)>, f64) {
+    let t0 = Instant::now();
+    let (rep, stats) = autoscale_report(scale);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        rep.completed + rep.shed + rep.aborted,
+        rep.arrivals,
+        "autoscale conservation violated at {} scale",
+        scale.label()
+    );
+    assert!(
+        rep.scale_ups > 0,
+        "autoscale bench must exercise the scale-up path at {} scale",
+        scale.label()
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let events_per_s = stats.events() as f64 / wall_s.max(1e-9);
+    let fields = vec![
+        ("autoscale_scale_ups".to_string(), int(rep.scale_ups)),
+        ("autoscale_kernel_events".to_string(), int(stats.events())),
+        ("autoscale_wall_s".to_string(), float(wall_s)),
+        ("autoscale_events_per_s".to_string(), float(events_per_s)),
+        ("floor_autoscale_events_per_s".to_string(), float(0.0)),
+    ];
+    (fields, events_per_s)
+}
+
 /// Validate the pinned document: every schema field present with the
 /// right JSON type, counts conserved, floor positive and honest.
 fn validate(doc: &Value) -> Result<(), String> {
@@ -168,6 +206,7 @@ fn validate(doc: &Value) -> Result<(), String> {
     for (rate_key, floor_key) in [
         ("events_per_s", "floor_events_per_s"),
         ("paged_events_per_s", "floor_paged_events_per_s"),
+        ("autoscale_events_per_s", "floor_autoscale_events_per_s"),
     ] {
         let floor = field_f64(doc, floor_key);
         if floor.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
@@ -200,13 +239,25 @@ fn run_full(out: &Path) -> ExitCode {
     for (key, value) in paged_fields {
         set(&mut doc, &key, value);
     }
+    println!("running full scale on the flash-crowd autoscaler...");
+    let (autoscale_fields, autoscale_events_per_s) = measure_autoscale(Scale::Full);
+    for (key, value) in autoscale_fields {
+        set(&mut doc, &key, value);
+    }
     // Preserve existing pins so reruns on faster machines don't
     // silently raise the regression bar; a first run pins measured/4.
     let floor = read_floor(out, "floor_events_per_s").unwrap_or(events_per_s / 4.0);
     let paged_floor =
         read_floor(out, "floor_paged_events_per_s").unwrap_or(paged_events_per_s / 4.0);
+    let autoscale_floor =
+        read_floor(out, "floor_autoscale_events_per_s").unwrap_or(autoscale_events_per_s / 4.0);
     set(&mut doc, "floor_events_per_s", float(floor));
     set(&mut doc, "floor_paged_events_per_s", float(paged_floor));
+    set(
+        &mut doc,
+        "floor_autoscale_events_per_s",
+        float(autoscale_floor),
+    );
     validate(&doc).expect("freshly measured document must be schema-valid");
     let pretty = serde_json::to_string_pretty(&doc).expect("doc serializes");
     std::fs::write(out, pretty + "\n").expect("write BENCH_serve.json");
@@ -222,11 +273,17 @@ fn run_full(out: &Path) -> ExitCode {
         field_f64(&doc, "paged_kernel_events"),
         field_f64(&doc, "paged_wall_s"),
     );
+    println!(
+        "autoscale: {:.0} scale-ups, {:.0} kernel events in {:.2}s wall = {autoscale_events_per_s:.0} events/s (floor {autoscale_floor:.0})",
+        field_f64(&doc, "autoscale_scale_ups"),
+        field_f64(&doc, "autoscale_kernel_events"),
+        field_f64(&doc, "autoscale_wall_s"),
+    );
     println!("wrote {}", out.display());
     ExitCode::SUCCESS
 }
 
-fn run_smoke() -> ((f64, f64), ExitCode) {
+fn run_smoke() -> ((f64, f64, f64), ExitCode) {
     let (doc, events_per_s) = measure(Scale::Smoke);
     println!(
         "smoke: {:.0} arrivals, {:.0} kernel events in {:.3}s wall = {events_per_s:.0} events/s",
@@ -241,7 +298,17 @@ fn run_smoke() -> ((f64, f64), ExitCode) {
         .and_then(|(_, v)| v.as_f64())
         .unwrap_or(0.0);
     println!("smoke paged: {preemptions:.0} preemptions = {paged_events_per_s:.0} events/s");
-    ((events_per_s, paged_events_per_s), ExitCode::SUCCESS)
+    let (autoscale_fields, autoscale_events_per_s) = measure_autoscale(Scale::Smoke);
+    let scale_ups = autoscale_fields
+        .iter()
+        .find(|(k, _)| k == "autoscale_scale_ups")
+        .and_then(|(_, v)| v.as_f64())
+        .unwrap_or(0.0);
+    println!("smoke autoscale: {scale_ups:.0} scale-ups = {autoscale_events_per_s:.0} events/s");
+    (
+        (events_per_s, paged_events_per_s, autoscale_events_per_s),
+        ExitCode::SUCCESS,
+    )
 }
 
 fn run_check(path: &Path) -> ExitCode {
@@ -263,10 +330,15 @@ fn run_check(path: &Path) -> ExitCode {
         eprintln!("check failed: schema error in {}: {e}", path.display());
         return ExitCode::FAILURE;
     }
-    let ((measured, paged_measured), _) = run_smoke();
+    let ((measured, paged_measured, autoscale_measured), _) = run_smoke();
     for (label, rate, floor_key) in [
         ("smoke", measured, "floor_events_per_s"),
         ("smoke paged", paged_measured, "floor_paged_events_per_s"),
+        (
+            "smoke autoscale",
+            autoscale_measured,
+            "floor_autoscale_events_per_s",
+        ),
     ] {
         let floor = field_f64(&doc, floor_key);
         let bar = floor * 0.7;
@@ -329,6 +401,11 @@ mod tests {
             ("paged_wall_s".into(), float(3.6)),
             ("paged_events_per_s".into(), float(7_500_000.0)),
             ("floor_paged_events_per_s".into(), float(1_875_000.0)),
+            ("autoscale_scale_ups".into(), int(12)),
+            ("autoscale_kernel_events".into(), int(9_000_000)),
+            ("autoscale_wall_s".into(), float(2.1)),
+            ("autoscale_events_per_s".into(), float(4_300_000.0)),
+            ("floor_autoscale_events_per_s".into(), float(1_075_000.0)),
         ])
     }
 
@@ -388,6 +465,22 @@ mod tests {
     }
 
     #[test]
+    fn zero_autoscale_floor_is_rejected() {
+        let mut doc = sample();
+        set(&mut doc, "floor_autoscale_events_per_s", float(0.0));
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("floor_autoscale"), "{err}");
+    }
+
+    #[test]
+    fn autoscale_rate_below_its_floor_is_rejected() {
+        let mut doc = sample();
+        set(&mut doc, "autoscale_events_per_s", float(1.0));
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("autoscale_events_per_s"), "{err}");
+    }
+
+    #[test]
     fn round_trip_through_text_stays_valid() {
         let pretty = serde_json::to_string_pretty(sample()).expect("serializes");
         let back: Value = serde_json::from_str(&pretty).expect("parses");
@@ -406,9 +499,16 @@ mod tests {
             set(&mut doc, &key, value);
         }
         assert!(field_f64(&doc, "paged_preemptions") > 0.0);
+        let (autoscale_fields, autoscale_events_per_s) = measure_autoscale(Scale::Smoke);
+        assert!(autoscale_events_per_s > 0.0);
+        for (key, value) in autoscale_fields {
+            set(&mut doc, &key, value);
+        }
+        assert!(field_f64(&doc, "autoscale_scale_ups") > 0.0);
         // Floors are the caller's to pin; everything else must be present.
         set(&mut doc, "floor_events_per_s", float(1.0));
         set(&mut doc, "floor_paged_events_per_s", float(1.0));
+        set(&mut doc, "floor_autoscale_events_per_s", float(1.0));
         validate(&doc).expect("measured smoke doc must be schema-valid");
     }
 }

@@ -36,6 +36,7 @@
 //! | [`time_attribution`] | extension — span-accounted makespan shares under faults |
 //! | [`serve_scale`] | extension — event-kernel scale smoke on a 64-node fleet |
 //! | [`batching_pressure`] | extension — paged KV under TEE memory pressure: policies and the batching crossover |
+//! | [`flash_crowd`] | extension — flash-crowd survival: cold scale-up vs warm pool vs brownout per platform |
 
 pub mod b100;
 pub mod batching_pressure;
@@ -53,6 +54,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod flash_crowd;
 pub mod model_sizes;
 pub mod model_zoo;
 pub mod moe;
@@ -122,6 +124,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("time_attribution", time_attribution::run),
         ("serve_scale", serve_scale::run),
         ("batching_pressure", batching_pressure::run),
+        ("flash_crowd", flash_crowd::run),
     ]
 }
 
@@ -196,7 +199,7 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 28);
+        assert_eq!(ids.len(), 29);
         assert!(ids.contains(&"fig4"));
         assert!(ids.contains(&"table1"));
         assert!(ids.contains(&"resilience"));
@@ -204,6 +207,7 @@ mod tests {
         assert!(ids.contains(&"time_attribution"));
         assert!(ids.contains(&"serve_scale"));
         assert!(ids.contains(&"batching_pressure"));
+        assert!(ids.contains(&"flash_crowd"));
         assert!(run_by_id("nope").is_none());
     }
 }

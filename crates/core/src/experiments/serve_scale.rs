@@ -22,16 +22,22 @@
 
 use super::{Column, ExperimentResult, Unit, Value};
 use cllm_cost::{SpillPenalty, SpotParams};
+use cllm_serve::autoscale::{
+    simulate_autoscale_stats, AutoscaleConfig, AutoscaleReport, ControllerConfig, RentalSpec,
+};
 use cllm_serve::cluster::{
     simulate_cluster_stats, ClusterConfig, ClusterReport, NodeSpec, WaveModel,
 };
 use cllm_serve::faults::FaultRates;
 use cllm_serve::kernel::KernelStats;
-use cllm_serve::router::{AdmissionPolicy, BreakerConfig};
+use cllm_serve::router::{
+    AdmissionPolicy, BreakerConfig, BrownoutConfig, RetryBudget, TieredAdmission,
+};
 use cllm_serve::scheduler::{KvConfig, KvPolicy};
 use cllm_serve::sim::{ServingConfig, ServingNode};
 use cllm_serve::workload::ArrivalProcess;
 use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, TeeKind};
+use cllm_workload::trace::TrafficModel;
 
 /// Fixed seed for node fault schedules and the wave model.
 const SCHEDULE_SEED: u64 = 0x5CA1E;
@@ -174,6 +180,68 @@ pub fn paged_config(scale: Scale) -> ClusterConfig {
 #[must_use]
 pub fn paged_report(scale: Scale) -> (ClusterReport, KernelStats) {
     simulate_cluster_stats(&paged_config(scale))
+}
+
+/// The flash-crowd autoscale operating point — the configuration behind
+/// the `autoscale_*` rows of `BENCH_serve.json`. A deliberately small
+/// 8-node cGPU base fleet under generative tiered traffic (diurnal
+/// baseline, seeded 8x burst windows) with a reactive controller renting
+/// up to 16 extra nodes — undersized so the bursts force scale-ups: the
+/// timed run exercises arrival generation, tiered admission, controller
+/// ticks, attested cold starts, warm promotions and drain scale-downs on
+/// top of the same event kernel the cluster rows measure.
+#[must_use]
+pub fn autoscale_config(scale: Scale) -> AutoscaleConfig {
+    let node = ServingNode::Gpu {
+        gpu: cllm_hw::presets::h100_nvl(),
+        tee: GpuTeeConfig::confidential(),
+    };
+    let mut traffic = TrafficModel::flash_crowd(scale.rate_per_s() / 4.0, 8.0, 9);
+    traffic.bursts.bursts_per_hr = 240.0;
+    traffic.bursts.window_s = 15.0;
+    let base_fleet = (0..8u64)
+        .map(|i| {
+            NodeSpec::new(
+                node.clone(),
+                false,
+                FaultRates::none(),
+                SCHEDULE_SEED.wrapping_add(i),
+            )
+        })
+        .collect();
+    AutoscaleConfig {
+        serving: ServingConfig {
+            duration_s: scale.duration_s(),
+            ..ServingConfig::small_test()
+        },
+        traffic,
+        base_fleet,
+        base_price_per_hr: 3.0,
+        rental: RentalSpec {
+            node,
+            rates: FaultRates::none(),
+            price_per_hr: 4.5,
+            attest_s: 0.5,
+            seed: SCHEDULE_SEED,
+        },
+        warm_pool: 4,
+        controller: ControllerConfig {
+            control_interval_s: 2.0,
+            max_rented: CPU_NODES,
+            ..ControllerConfig::default()
+        },
+        tiers: TieredAdmission::default(),
+        retry: RetryBudget::default(),
+        brownout: None::<BrownoutConfig>,
+        breaker: BreakerConfig::default(),
+        spill: SpillPenalty::cross_platform(),
+    }
+}
+
+/// Run the autoscale operating point at `scale`.
+#[must_use]
+pub fn autoscale_report(scale: Scale) -> (AutoscaleReport, KernelStats) {
+    simulate_autoscale_stats(&autoscale_config(scale))
 }
 
 /// Run the experiment (smoke scale only — see the module docs).

@@ -1,0 +1,39 @@
+//! The flash_crowd experiment (9 autoscale arms across SGX/TDX/cGPU)
+//! must be byte-identical for its pinned seeds no matter how many
+//! runner threads the harness is configured with — the autoscaler is a
+//! single-threaded loop over the deterministic event kernel, and the
+//! generative traffic trace is seed-driven.
+//!
+//! This lives in its own single-test integration binary because it
+//! mutates the process-global `CLLM_RUNNER_THREADS` environment
+//! variable; sharing a binary with other tests would race on it.
+
+#[test]
+fn flash_crowd_is_byte_identical_across_thread_counts() {
+    let run_with = |threads: &str| {
+        std::env::set_var("CLLM_RUNNER_THREADS", threads);
+        let r = cllm_core::experiments::run_by_id("flash_crowd").expect("flash_crowd registered");
+        let json = serde_json::to_string_pretty(r.to_json()).expect("serializes");
+        (r.render(), json)
+    };
+    let (render_1, json_1) = run_with("1");
+    let (render_4, json_4) = run_with("4");
+    let (render_7, json_7) = run_with("7");
+    std::env::remove_var("CLLM_RUNNER_THREADS");
+
+    assert_eq!(
+        json_1, json_4,
+        "flash_crowd JSON diverges between 1 and 4 runner threads"
+    );
+    assert_eq!(
+        json_1, json_7,
+        "flash_crowd JSON diverges between 1 and 7 runner threads"
+    );
+    assert_eq!(render_1, render_4);
+    assert_eq!(render_1, render_7);
+
+    // And the isolated runner path reproduces the same bytes too.
+    let isolated = cllm_core::runner::run_one_isolated("flash_crowd").expect("runs clean");
+    let isolated_json = serde_json::to_string_pretty(isolated.to_json()).expect("serializes");
+    assert_eq!(json_1, isolated_json);
+}

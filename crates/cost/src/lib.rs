@@ -303,6 +303,35 @@ pub fn availability_adjusted_cost_per_mtok(
     cost_per_mtok(cost_per_hr, tokens_per_s * availability.min(1.0))
 }
 
+/// Billing for fleet nodes rented by an autoscaler: on-demand nodes
+/// accrue from rent start to retirement (cold start, drain and all —
+/// the attestation + unseal window is billed even though it serves
+/// nothing), warm-standby nodes accrue carrying cost for their entire
+/// standby life whether or not they are ever promoted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RentalBill {
+    /// Instance price, dollars/hour.
+    pub price_per_hr: f64,
+}
+
+impl RentalBill {
+    /// Rent for one node alive `lifetime_s` seconds (clamped at 0).
+    #[must_use]
+    pub fn node_cost_usd(&self, lifetime_s: f64) -> f64 {
+        self.price_per_hr * lifetime_s.max(0.0) / 3600.0
+    }
+
+    /// Carrying cost of `standby` pre-attested warm nodes held for
+    /// `horizon_s` seconds. Warm pools trade this steady burn for
+    /// skipping the attestation + unseal toll at promotion time.
+    #[must_use]
+    pub fn warm_pool_cost_usd(&self, standby: usize, horizon_s: f64) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let n = standby as f64;
+        n * self.node_cost_usd(horizon_s)
+    }
+}
+
 /// One point of a cost sweep (Figures 12/13).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostPoint {
@@ -485,6 +514,17 @@ mod tests {
             x.prefill_factor > 1.0,
             "spill must slow the redo, never speed it"
         );
+    }
+
+    #[test]
+    fn rental_bill_accrues_over_lifetime() {
+        let bill = RentalBill { price_per_hr: 7.2 };
+        assert!((bill.node_cost_usd(3600.0) - 7.2).abs() < 1e-12);
+        assert!((bill.node_cost_usd(900.0) - 1.8).abs() < 1e-12);
+        assert_eq!(bill.node_cost_usd(-5.0), 0.0, "negative lifetimes clamp");
+        // Two warm standbys for half an hour burn one node-hour.
+        assert!((bill.warm_pool_cost_usd(2, 1800.0) - 7.2).abs() < 1e-12);
+        assert_eq!(bill.warm_pool_cost_usd(0, 3600.0), 0.0);
     }
 
     #[test]

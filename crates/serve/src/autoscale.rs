@@ -1,0 +1,1450 @@
+//! Attestation-aware reactive autoscaling with graceful degradation.
+//!
+//! The paper prices confidential inference at steady state; this module
+//! answers the transient question its cost story raises: **what does a
+//! TEE scale-up actually cost when a flash crowd hits?** Every node an
+//! autoscaler rents must pay the attested handshake plus the
+//! weight-unseal copy through the platform's protected path *before it
+//! serves a single token* — on SGX that is an EPC-paged walk over the
+//! whole weight footprint. A pre-attested warm pool skips the toll at a
+//! steady carrying cost; the break-even between the two is the headline
+//! of the `flash_crowd` experiment.
+//!
+//! The driver reuses the PR-6 discrete-event kernel and the cluster
+//! loop's node machinery, adding:
+//!
+//! * **a dynamic fleet** — nodes progress through
+//!   `ColdStart → Attesting → Unsealing → Serving → Draining → Retired`;
+//!   a cold-started node joins routing only at its ready time, a
+//!   draining node takes no new work and retires when idle, and both the
+//!   cold-start downtime and the drain deadline are clamped to the
+//!   horizon (the PR-6 `reattest_s` clamp, applied to the new machinery);
+//! * **tiered overload protection** — per-tier queue caps and staleness
+//!   deadlines ([`TieredAdmission`]):
+//!   free is shed first, premium last;
+//! * **retry budgets with a storm circuit** —
+//!   [`RetryStormGuard`] bounds both the
+//!   per-request attempts and the fleet-wide retry rate, converting
+//!   metastable retry storms into bounded aborts;
+//! * **brownout** — [`Brownout`] degrades
+//!   output-length caps before any request is shed;
+//! * **billing** — rented lifetimes, warm-pool carrying cost and the
+//!   base fleet are priced through [`cllm_cost::RentalBill`], yielding
+//!   effective $/Mtok on *delivered* goodput.
+//!
+//! Everything is deterministic in the config's seeds: two runs are
+//! byte-identical on any `CLLM_RUNNER_THREADS`.
+
+use crate::cluster::{hs_seed, place, ClusterRetry, NodeSpec, NodeState};
+use crate::faults::{attested_rehandshake_phased, FaultEvent, FaultKind, FaultPlan, FaultRates};
+use crate::kernel::{EventQueue, KernelStats, RequestSlab};
+use crate::router::{
+    route_least_loaded, BreakerConfig, Brownout, BrownoutConfig, CircuitBreaker, RetryBudget,
+    RetryStormGuard, TieredAdmission,
+};
+use crate::scheduler::{Admission, ContinuousBatcher};
+use crate::sim::{RequestRecord, ServingConfig, ServingNode};
+use crate::slo::sorted_percentile;
+use crate::workload::Request;
+use cllm_cost::{RentalBill, SpillPenalty};
+use cllm_obs::TraceSink;
+use cllm_tee::attestation::Measurement;
+use cllm_tee::sealed::SealedBlob;
+use cllm_tee::session::{enclave_respond, Verifier};
+use cllm_workload::kv;
+use cllm_workload::trace::{Tier, TraceRequest, TrafficModel};
+use serde::{Deserialize, Serialize};
+
+/// Template for the nodes the autoscaler rents on scale-up: identical
+/// hardware, spot-class fault environment, and an hourly price.
+#[derive(Debug, Clone)]
+pub struct RentalSpec {
+    /// The hardware + TEE each rented node serves on.
+    pub node: ServingNode,
+    /// Mean per-kind fault rates for each rented node's seeded stream.
+    pub rates: FaultRates,
+    /// Instance price, dollars/hour — accrues from rent to retirement,
+    /// cold start included.
+    pub price_per_hr: f64,
+    /// Attested cold-start handshake time, seconds (nonce + DH + quote +
+    /// HKDF against the verifier), paid before the weight unseal.
+    pub attest_s: f64,
+    /// Base seed; each rented node derives its fault schedule from it.
+    pub seed: u64,
+}
+
+/// Reactive controller tuning. The controller runs at deterministic
+/// sim-time ticks (driven by arrival dispatch, never wall clock) and
+/// scales on aggregate queue backlog per serving node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Seconds between controller evaluations.
+    pub control_interval_s: f64,
+    /// Queued requests per serving node above which the controller rents.
+    pub up_depth_per_node: f64,
+    /// Queued requests per serving node below which a tick counts toward
+    /// scale-down.
+    pub down_depth_per_node: f64,
+    /// Nodes rented per over-threshold tick.
+    pub scale_up_step: usize,
+    /// Maximum rented nodes alive at once (warm promotions included).
+    pub max_rented: usize,
+    /// Consecutive under-threshold ticks before one node is drained.
+    pub scale_down_ticks: u32,
+    /// Grace period a draining node gets to finish its running batch
+    /// before the remainder is force-drained to the retry path, seconds.
+    /// The deadline is clamped to the horizon.
+    pub drain_window_s: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            control_interval_s: 5.0,
+            up_depth_per_node: 8.0,
+            down_depth_per_node: 1.0,
+            scale_up_step: 1,
+            max_rented: 8,
+            scale_down_ticks: 3,
+            drain_window_s: 20.0,
+        }
+    }
+}
+
+/// A complete autoscaling simulation configuration.
+#[derive(Debug, Clone)]
+pub struct AutoscaleConfig {
+    /// Model, dtype, target, scheduler limits, KV policy and horizon.
+    /// The embedded [`ServingConfig::arrivals`] process is **ignored** —
+    /// arrivals come from [`AutoscaleConfig::traffic`].
+    pub serving: ServingConfig,
+    /// The generative tiered traffic the fleet faces.
+    pub traffic: TrafficModel,
+    /// Always-on reserved nodes (never drained, never billed as rental).
+    /// Must be non-empty — the fleet needs somewhere to land retries.
+    pub base_fleet: Vec<NodeSpec>,
+    /// Hourly price of each base-fleet node (billed over the makespan).
+    pub base_price_per_hr: f64,
+    /// Template for scale-up rentals.
+    pub rental: RentalSpec,
+    /// Pre-attested standby nodes: promotion is instant (no handshake,
+    /// no unseal), carried at [`RentalSpec::price_per_hr`] for the whole
+    /// horizon whether or not they are ever promoted.
+    pub warm_pool: usize,
+    /// Controller tuning.
+    pub controller: ControllerConfig,
+    /// Per-tier queue caps, staleness deadlines and SLOs.
+    pub tiers: TieredAdmission,
+    /// Per-request retry budget and the global storm circuit.
+    pub retry: RetryBudget,
+    /// Optional brownout: degrade output length before shedding.
+    pub brownout: Option<BrownoutConfig>,
+    /// Circuit-breaker tuning (one breaker per node, rented included).
+    pub breaker: BreakerConfig,
+    /// Cost of failing a request over across platform classes.
+    pub spill: SpillPenalty,
+}
+
+/// Per-tier slice of an [`AutoscaleReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct TierReport {
+    /// Requests of this tier that arrived.
+    pub arrivals: usize,
+    /// Requests of this tier that completed.
+    pub completed: usize,
+    /// Requests of this tier shed (front door, tier cap, or deadline).
+    pub shed: usize,
+    /// Requests of this tier aborted (retry budget or storm circuit).
+    pub aborted: usize,
+    /// Completions that met this tier's SLO.
+    pub slo_met: usize,
+}
+
+impl TierReport {
+    /// Degraded SLO attainment: completions meeting the tier's SLO over
+    /// *arrivals*, so sheds and aborts count as misses. `1.0` when the
+    /// tier saw no traffic.
+    #[must_use]
+    pub fn slo_attainment(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 1.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.slo_met as f64 / self.arrivals as f64
+        }
+    }
+}
+
+/// The outcome of one autoscaling simulation. Conservation holds by
+/// construction: `completed + aborted + shed == arrivals`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleReport {
+    /// Requests the traffic model generated.
+    pub arrivals: usize,
+    /// Requests that completed on some node.
+    pub completed: usize,
+    /// Requests aborted by the retry budget or the storm circuit.
+    pub aborted: usize,
+    /// Requests shed: no eligible node, tier queue cap, or staleness
+    /// deadline.
+    pub shed: usize,
+    /// Re-queue events across the fleet.
+    pub retries: u64,
+    /// Retries refused by the global storm circuit (each became an
+    /// abort).
+    pub storm_drops: u64,
+    /// Failovers that crossed platform classes and paid the spill
+    /// penalty.
+    pub spills: u64,
+    /// Scale-up decisions executed (cold starts + warm promotions).
+    pub scale_ups: u64,
+    /// Scale-ups served instantly from the warm pool.
+    pub warm_promotions: u64,
+    /// Scale-ups that paid the full attested handshake + weight unseal.
+    pub cold_starts: u64,
+    /// Scale-down drains initiated.
+    pub scale_downs: u64,
+    /// Total cold-start time paid (attest + unseal), horizon-clamped,
+    /// seconds.
+    pub cold_start_s: f64,
+    /// Total weight-unseal time inside `cold_start_s`, seconds.
+    pub unseal_s: f64,
+    /// Brownout activations (0 when brownout is disabled).
+    pub brownout_activations: u64,
+    /// Output tokens trimmed by brownout caps.
+    pub tokens_trimmed: u64,
+    /// Wall time to drain the trace, seconds (max over node clocks).
+    pub makespan_s: f64,
+    /// Delivered tokens per second over the makespan.
+    pub goodput_tps: f64,
+    /// Tokens actually generated by completed requests.
+    pub delivered_tokens: u64,
+    /// Median time to first token, seconds (from original arrival).
+    pub ttft_p50_s: f64,
+    /// 99th-percentile time to first token, seconds.
+    pub ttft_p99_s: f64,
+    /// 99th-percentile TTFT over requests that *arrived inside a burst
+    /// window* — the flash-crowd tail the autoscaler exists to protect.
+    /// `0.0` when no completion arrived during a burst.
+    pub ttft_p99_burst_s: f64,
+    /// Per-tier outcomes, indexed free/standard/premium.
+    pub tiers: [TierReport; 3],
+    /// Rental bill over every rented node's clamped lifetime, dollars.
+    pub rental_cost_usd: f64,
+    /// Carrying cost of never-promoted warm standbys, dollars.
+    pub warm_pool_cost_usd: f64,
+    /// Base-fleet bill over the makespan, dollars.
+    pub base_cost_usd: f64,
+    /// `rental + warm pool + base`, dollars.
+    pub total_cost_usd: f64,
+    /// Effective dollars per million *delivered* tokens, attestation and
+    /// carrying cost included. `0.0` when nothing was delivered.
+    pub usd_per_mtok: f64,
+    /// Per-request records (sorted by id).
+    pub records: Vec<RequestRecord>,
+}
+
+/// One fleet member with its lifecycle envelope around the shared
+/// [`NodeState`] machinery.
+struct FleetNode {
+    st: NodeState,
+    /// When the node may first take work (cold start done). `0.0` for
+    /// the base fleet and promoted warm standbys.
+    ready_at_s: f64,
+    /// When rent started accruing (`0.0` for base and warm nodes).
+    rented_at_s: f64,
+    /// Whether the node bills at the rental price.
+    rented: bool,
+    draining: bool,
+    drain_deadline_s: f64,
+    retired: bool,
+    retired_at_s: f64,
+}
+
+impl FleetNode {
+    /// Whether the router may consider this node at time `t`.
+    fn eligible(&self, t: f64) -> bool {
+        !self.retired && !self.draining && self.ready_at_s <= t
+    }
+}
+
+/// Drive one *successful* cold-start secure boot through the real
+/// attestation and sealing layers: a golden-measurement handshake must
+/// verify, and a sealed weight-shard stand-in must round-trip under the
+/// attested identity. The simulated *time* cost is
+/// [`RentalSpec::attest_s`] plus
+/// [`ServingNode::weight_unseal_time_s`]; this function is the fidelity
+/// check that the boot the clock charges for actually works.
+///
+/// # Panics
+///
+/// Panics if the handshake or the unseal fails — a bug in the session
+/// or sealing layer, not an injected fault.
+pub fn cold_start_secure_boot(seed: u64) {
+    let golden = Measurement([0x5E; 32]);
+    let vseed = seed.to_be_bytes();
+    let eseed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_be_bytes();
+    let (verifier, challenge) = Verifier::start(golden, b"hw-root", &vseed);
+    let (response, _enclave_chan) = enclave_respond(b"hw-root", golden, 7, &challenge, &eseed)
+        .expect("cold-start respond must succeed");
+    verifier
+        .finish(&response)
+        .expect("cold-start handshake must verify");
+    let shard = seed.to_le_bytes();
+    let blob = SealedBlob::seal(b"hw-root", &golden, "weights-shard", &shard, &vseed);
+    let out = blob
+        .unseal(b"hw-root", &golden)
+        .expect("weight shard must unseal under the attested identity");
+    assert_eq!(out, shard, "unsealed weights must match what was sealed");
+}
+
+/// Run the deterministic autoscaling simulation.
+///
+/// # Panics
+///
+/// Panics if the base fleet is empty.
+#[must_use]
+pub fn simulate_autoscale(cfg: &AutoscaleConfig) -> AutoscaleReport {
+    simulate_autoscale_stats(cfg).0
+}
+
+/// [`simulate_autoscale`] plus the kernel's event counters, for
+/// throughput benchmarking (`serve_bench` divides
+/// [`KernelStats::events`] by wall time).
+///
+/// # Panics
+///
+/// Panics if the base fleet is empty.
+#[must_use]
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, KernelStats) {
+    assert!(!cfg.base_fleet.is_empty(), "autoscale needs a base fleet");
+    let horizon_s = cfg.serving.duration_s;
+    let mut stats = KernelStats::default();
+    let mut sink = TraceSink::disabled();
+
+    let trace: Vec<TraceRequest> = if horizon_s > 0.0 {
+        cfg.traffic.generate(horizon_s)
+    } else {
+        Vec::new()
+    };
+    let onsets = cfg.traffic.bursts.onsets(horizon_s.max(0.0));
+    if trace.is_empty() {
+        return (empty_report(), stats);
+    }
+    let tier_of: Vec<Tier> = trace.iter().map(|r| r.tier).collect();
+    let mut pending: std::collections::VecDeque<Request> = trace
+        .iter()
+        .map(|r| Request {
+            id: r.id,
+            arrival_s: r.arrival_s,
+            prompt_tokens: r.prompt_tokens,
+            output_tokens: r.output_tokens,
+        })
+        .collect();
+    let total_arrivals = pending.len();
+    let mut tiers_out = [TierReport::default(); 3];
+    for t in &tier_of {
+        tiers_out[t.index()].arrivals += 1;
+    }
+
+    // The fleet: base nodes first (always ready), rentals appended live.
+    let mut nodes: Vec<FleetNode> = cfg
+        .base_fleet
+        .iter()
+        .map(|spec| {
+            let base = FaultPlan::seeded(&spec.rates, horizon_s, spec.seed);
+            let policy = base.policy;
+            let plan = base.merge(FaultPlan {
+                events: spec.extra_events.clone(),
+                policy,
+            });
+            FleetNode {
+                st: new_node_state(cfg, spec.node.clone(), plan),
+                ready_at_s: 0.0,
+                rented_at_s: 0.0,
+                rented: false,
+                draining: false,
+                drain_deadline_s: f64::INFINITY,
+                retired: false,
+                retired_at_s: 0.0,
+            }
+        })
+        .collect();
+
+    let mut retry_queue: EventQueue<ClusterRetry> = EventQueue::new();
+    let mut slab = RequestSlab::new(total_arrivals);
+    let mut guard = RetryStormGuard::new(cfg.retry);
+    let mut brownout = cfg.brownout.map(Brownout::new);
+    let per_token_bytes = kv::kv_bytes_per_sequence(&cfg.serving.model, 1, cfg.serving.dtype);
+    let block_bytes = per_token_bytes * cfg.serving.kv.block_tokens as f64;
+
+    let mut records: Vec<RequestRecord> = Vec::with_capacity(total_arrivals);
+    let mut shed = 0usize;
+    let mut aborted = 0usize;
+    let mut retries = 0u64;
+    let mut spills = 0u64;
+    let mut scale_ups = 0u64;
+    let mut warm_promotions = 0u64;
+    let mut cold_starts = 0u64;
+    let mut scale_downs = 0u64;
+    let mut cold_start_s = 0.0f64;
+    let mut unseal_total_s = 0.0f64;
+    let mut warm_available = cfg.warm_pool;
+    let mut next_control_s = 0.0f64;
+    let mut low_ticks = 0u32;
+
+    loop {
+        let t_arrival = pending.front().map(|r| r.arrival_s);
+        let next_retry = retry_queue.peek_time();
+        let t_dispatch = match (t_arrival, next_retry) {
+            (Some(a), Some(r)) => Some(a.min(r)),
+            (Some(a), None) => Some(a),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        };
+
+        let runnable = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.retired && !n.st.scheduler.idle())
+            .min_by(|(i, a), (j, b)| {
+                a.st.now
+                    .partial_cmp(&b.st.now)
+                    .expect("finite clocks")
+                    .then(i.cmp(j))
+            })
+            .map(|(i, n)| (i, n.st.now));
+
+        let do_dispatch = match (t_dispatch, runnable) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(t), Some((_, node_now))) => t <= node_now,
+        };
+
+        if do_dispatch {
+            let arrival_first = match (t_arrival, next_retry) {
+                (Some(a), Some(r)) => a <= r,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if arrival_first {
+                let mut r = pending.pop_front().expect("arrival checked");
+                stats.arrivals += 1;
+                let t = r.arrival_s;
+                let tier = tier_of[usize::try_from(r.id).expect("dense id")];
+
+                // Controller tick (deterministic, sim-time driven).
+                if t >= next_control_s {
+                    next_control_s = t + cfg.controller.control_interval_s;
+                    run_controller(
+                        cfg,
+                        &mut nodes,
+                        t,
+                        horizon_s,
+                        &mut warm_available,
+                        &mut scale_ups,
+                        &mut warm_promotions,
+                        &mut cold_starts,
+                        &mut scale_downs,
+                        &mut cold_start_s,
+                        &mut unseal_total_s,
+                        &mut low_ticks,
+                        &mut sink,
+                    );
+                }
+
+                // Brownout: degrade output length before shedding.
+                if let Some(b) = brownout.as_mut() {
+                    let depth: usize = nodes
+                        .iter()
+                        .filter(|n| !n.retired)
+                        .map(|n| n.st.scheduler.queued())
+                        .sum();
+                    if b.observe_depth(depth) {
+                        r.output_tokens = b.cap_output(r.output_tokens);
+                    }
+                }
+
+                // Tier queue cap: count this tier's queued work fleet-wide.
+                let tier_queued: usize = nodes
+                    .iter()
+                    .filter(|n| !n.retired)
+                    .flat_map(|n| n.st.scheduler.queued_requests())
+                    .filter(|q| tier_of[usize::try_from(q.id).expect("dense id")] == tier)
+                    .count();
+                if tier_queued >= cfg.tiers.policy(tier).queue_cap {
+                    shed += 1;
+                    tiers_out[tier.index()].shed += 1;
+                    stats.rejections += 1;
+                    continue;
+                }
+
+                let mut candidates = Vec::with_capacity(nodes.len());
+                for (i, n) in nodes.iter_mut().enumerate() {
+                    if n.eligible(t) && n.st.breaker.accepts(t) {
+                        candidates.push((i, n.st.depth()));
+                    }
+                }
+                match route_least_loaded(&candidates) {
+                    Some(i) => place(&mut nodes[i].st, i, r, t, &mut sink),
+                    None => {
+                        shed += 1;
+                        tiers_out[tier.index()].shed += 1;
+                        stats.rejections += 1;
+                    }
+                }
+            } else {
+                let (t, e) = retry_queue.pop().expect("retry checked");
+                stats.retries_delivered += 1;
+                let mut candidates = Vec::with_capacity(nodes.len());
+                for (i, n) in nodes.iter_mut().enumerate() {
+                    if n.eligible(t) && n.st.breaker.accepts(t) {
+                        candidates.push((i, n.st.depth()));
+                    }
+                }
+                // Retries are always placeable among live nodes: fall
+                // back past breakers to the least-loaded eligible node
+                // (the base fleet is never draining, so one exists).
+                let target = route_least_loaded(&candidates).unwrap_or_else(|| {
+                    let all: Vec<(usize, usize)> = nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, n)| n.eligible(t))
+                        .map(|(i, n)| (i, n.st.depth()))
+                        .collect();
+                    route_least_loaded(&all).expect("base fleet is always eligible")
+                });
+                if nodes[target].st.is_gpu() != e.origin_gpu {
+                    spills += 1;
+                    slab.mark_spilled(e.request.id);
+                }
+                place(&mut nodes[target].st, target, e.request, t, &mut sink);
+            }
+            continue;
+        }
+
+        // Advance the chosen node by one batching iteration.
+        let (i, _) = runnable.expect("advance branch requires a runnable node");
+        let n = &mut nodes[i];
+
+        // Faults due by the node clock, oldest first.
+        while n
+            .st
+            .plan
+            .events
+            .get(n.st.next_event)
+            .is_some_and(|e| e.at_s <= n.st.now)
+        {
+            let ev = n.st.plan.events[n.st.next_event];
+            n.st.next_event += 1;
+            stats.faults_applied += 1;
+            apply_fault(
+                &ev,
+                &mut n.st,
+                i,
+                horizon_s,
+                &mut slab,
+                &mut retry_queue,
+                &mut guard,
+                &mut retries,
+                &mut aborted,
+                &mut tiers_out,
+                &tier_of,
+            );
+        }
+
+        // Drain deadline: a draining node out of grace force-drains its
+        // running batch to the retry path (bounded by the storm guard).
+        if n.draining && n.st.now >= n.drain_deadline_s && !n.st.scheduler.running().is_empty() {
+            let origin_gpu = n.st.is_gpu();
+            let now = n.st.now;
+            for victim in n.st.scheduler.drain_running() {
+                let id = victim.request.id;
+                let a = slab.bump_attempts(id);
+                if guard.admit_retry(now, a - 1) {
+                    retries += 1;
+                    retry_queue.push_keyed(
+                        now + n.st.plan.policy.backoff_s(a),
+                        id,
+                        ClusterRetry {
+                            request: victim.request,
+                            origin: i,
+                            origin_gpu,
+                        },
+                    );
+                } else {
+                    aborted += 1;
+                    tiers_out[tier_of[usize::try_from(id).expect("dense id")].index()].aborted += 1;
+                }
+            }
+        }
+        if n.draining && n.st.scheduler.idle() {
+            n.retired = true;
+            n.retired_at_s = n.st.now;
+            continue;
+        }
+
+        // Tier staleness deadlines: shed queued requests past their
+        // tier's patience.
+        {
+            let now = n.st.now;
+            let tiers = &cfg.tiers;
+            let tier_of_ref = &tier_of;
+            let dropped = n.st.scheduler.shed(|r| {
+                let tier = tier_of_ref[usize::try_from(r.id).expect("dense id")];
+                now - r.arrival_s > tiers.policy(tier).deadline_s
+            });
+            shed += dropped.len();
+            stats.rejections += dropped.len() as u64;
+            for r in &dropped {
+                tiers_out[tier_of[usize::try_from(r.id).expect("dense id")].index()].shed += 1;
+            }
+        }
+
+        // Admit + prefill (retried victims re-attest, spilled victims
+        // re-quantise, swapped-out sequences resume after a swap-in).
+        let admitted =
+            n.st.scheduler
+                .admit_any(&cfg.serving.model, cfg.serving.dtype, n.st.now);
+        for adm in admitted {
+            match adm {
+                Admission::Fresh(r) => {
+                    stats.admissions += 1;
+                    if slab.attempts(r.id) > 0 {
+                        n.st.now += n.st.plan.policy.reattest_s;
+                    }
+                    let mut t_prefill = n.st.node.prefill_time_s(&cfg.serving, r.prompt_tokens);
+                    if slab.take_spilled(r.id) {
+                        n.st.now += cfg.spill.requant_s;
+                        t_prefill *= cfg.spill.prefill_factor;
+                    }
+                    n.st.now += t_prefill;
+                    n.st.scheduler.start(r, n.st.now);
+                }
+                Admission::Resumed {
+                    request: _,
+                    swap_in_tokens,
+                } => {
+                    stats.swap_ins += 1;
+                    let bytes = swap_in_tokens as f64 * per_token_bytes;
+                    n.st.swap_in_bytes += bytes;
+                    n.st.now += n.st.node.kv_swap_time_s(bytes);
+                }
+            }
+        }
+
+        if n.st.scheduler.running().is_empty() {
+            continue;
+        }
+
+        // Page-pool pressure: evictions off the batch tail.
+        let prep = n.st.scheduler.prepare_step(n.st.now);
+        stats.preemptions += (prep.preempted_recompute.len() + prep.preempted_swap.len()) as u64;
+        n.st.preemptions += (prep.preempted_recompute.len() + prep.preempted_swap.len()) as u64;
+        for victim in &prep.preempted_swap {
+            stats.swap_outs += 1;
+            let bytes = victim.context() as f64 * per_token_bytes;
+            n.st.swap_out_bytes += bytes;
+            n.st.now += n.st.node.kv_swap_time_s(bytes);
+        }
+
+        let batch = n.st.scheduler.running().len() as u64;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let mean_context = (n
+            .st
+            .scheduler
+            .running()
+            .iter()
+            .map(|a| a.context())
+            .sum::<u64>() as f64
+            / batch as f64)
+            .round() as u64;
+        let mut t_step =
+            n.st.node
+                .decode_step_time_s(&cfg.serving, batch, mean_context);
+        if prep.resident_pages > 0 {
+            let excess = prep.resident_pages as f64 * block_bytes - n.st.kv_budget_bytes;
+            if excess > 0.0 {
+                t_step += n.st.node.kv_pressure_stall_s(excess);
+            }
+        }
+        n.st.now += t_step;
+        stats.decode_steps += 1;
+
+        for fin in n.st.scheduler.step() {
+            let ttft = fin.first_token_s - fin.request.arrival_s;
+            let decode_span = n.st.now - fin.first_token_s;
+            let tpot = decode_span / (fin.request.output_tokens.saturating_sub(1).max(1)) as f64;
+            n.st.useful_tokens += fin.request.output_tokens;
+            n.st.completed += 1;
+            stats.completions += 1;
+            let tier = tier_of[usize::try_from(fin.request.id).expect("dense id")];
+            tiers_out[tier.index()].completed += 1;
+            let slo = cfg.tiers.policy(tier).slo;
+            if ttft <= slo.ttft_s && tpot <= slo.tpot_s {
+                tiers_out[tier.index()].slo_met += 1;
+            }
+            records.push(RequestRecord {
+                id: fin.request.id,
+                ttft_s: ttft,
+                tpot_s: tpot,
+                e2e_s: n.st.now - fin.request.arrival_s,
+                retries: slab.attempts(fin.request.id),
+            });
+            if n.st.breaker.record_success() {
+                n.st.handshake_seq += 1;
+                attested_rehandshake_phased(hs_seed(i, n.st.handshake_seq), &mut |_| {})
+                    .expect("re-handshake must recover the session");
+                n.st.now += n.st.plan.policy.reattest_s;
+                n.st.downtime_s += n.st.plan.policy.reattest_s;
+            }
+        }
+    }
+
+    // Retire every node still draining (idle by construction once the
+    // loop exits) and clamp never-ready rentals to the horizon.
+    for n in &mut nodes {
+        if n.draining && !n.retired {
+            n.retired = true;
+            n.retired_at_s = n.st.now;
+        }
+        if n.rented && !n.retired && n.ready_at_s >= horizon_s {
+            // Rented against a burst so late it never became ready: the
+            // contract ends at the horizon, not at the phantom ready
+            // time.
+            n.retired = true;
+            n.retired_at_s = horizon_s.max(n.rented_at_s);
+        }
+    }
+
+    let makespan_s = nodes.iter().map(|n| n.st.now).fold(0.0f64, f64::max);
+
+    // Billing.
+    let bill = RentalBill {
+        price_per_hr: cfg.rental.price_per_hr,
+    };
+    let rental_cost_usd: f64 = nodes
+        .iter()
+        .filter(|n| n.rented)
+        .map(|n| {
+            let end = if n.retired {
+                n.retired_at_s
+            } else {
+                makespan_s
+            };
+            bill.node_cost_usd(end - n.rented_at_s)
+        })
+        .sum();
+    let warm_pool_cost_usd = bill.warm_pool_cost_usd(warm_available, horizon_s.max(0.0));
+    let base_bill = RentalBill {
+        price_per_hr: cfg.base_price_per_hr,
+    };
+    let base_cost_usd = base_bill.warm_pool_cost_usd(cfg.base_fleet.len(), makespan_s);
+    let total_cost_usd = rental_cost_usd + warm_pool_cost_usd + base_cost_usd;
+
+    records.sort_by_key(|r| r.id);
+    let delivered_tokens: u64 = nodes.iter().map(|n| n.st.useful_tokens).sum();
+    let completed = records.len();
+    debug_assert_eq!(
+        completed + aborted + shed,
+        total_arrivals,
+        "autoscale conservation violated"
+    );
+    let mut ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
+    ttft.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    // The burst tail is judged by *arrival* time; RequestRecord doesn't
+    // carry it, so recover it from the trace by id.
+    let in_burst = |t: f64| {
+        onsets
+            .iter()
+            .any(|&o| t >= o && t < o + cfg.traffic.bursts.window_s)
+    };
+    let mut burst_ttft: Vec<f64> = records
+        .iter()
+        .filter(|r| in_burst(trace[usize::try_from(r.id).expect("dense id")].arrival_s))
+        .map(|r| r.ttft_s)
+        .collect();
+    burst_ttft.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let usd_per_mtok = if delivered_tokens == 0 {
+        0.0
+    } else {
+        total_cost_usd / (delivered_tokens as f64 / 1.0e6)
+    };
+    let report = AutoscaleReport {
+        arrivals: total_arrivals,
+        completed,
+        aborted,
+        shed,
+        retries,
+        storm_drops: guard.storm_drops,
+        spills,
+        scale_ups,
+        warm_promotions,
+        cold_starts,
+        scale_downs,
+        cold_start_s,
+        unseal_s: unseal_total_s,
+        brownout_activations: brownout.as_ref().map_or(0, |b| b.activations),
+        tokens_trimmed: brownout.as_ref().map_or(0, |b| b.tokens_trimmed),
+        makespan_s,
+        goodput_tps: if completed == 0 {
+            0.0
+        } else {
+            delivered_tokens as f64 / makespan_s.max(1e-9)
+        },
+        delivered_tokens,
+        ttft_p50_s: percentile_or_zero(&ttft, 0.50),
+        ttft_p99_s: percentile_or_zero(&ttft, 0.99),
+        ttft_p99_burst_s: percentile_or_zero(&burst_ttft, 0.99),
+        tiers: tiers_out,
+        rental_cost_usd,
+        warm_pool_cost_usd,
+        base_cost_usd,
+        total_cost_usd,
+        usd_per_mtok,
+        records,
+    };
+    (report, stats)
+}
+
+fn percentile_or_zero(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        sorted_percentile(sorted, p)
+    }
+}
+
+fn empty_report() -> AutoscaleReport {
+    AutoscaleReport {
+        arrivals: 0,
+        completed: 0,
+        aborted: 0,
+        shed: 0,
+        retries: 0,
+        storm_drops: 0,
+        spills: 0,
+        scale_ups: 0,
+        warm_promotions: 0,
+        cold_starts: 0,
+        scale_downs: 0,
+        cold_start_s: 0.0,
+        unseal_s: 0.0,
+        brownout_activations: 0,
+        tokens_trimmed: 0,
+        makespan_s: 0.0,
+        goodput_tps: 0.0,
+        delivered_tokens: 0,
+        ttft_p50_s: 0.0,
+        ttft_p99_s: 0.0,
+        ttft_p99_burst_s: 0.0,
+        tiers: [TierReport::default(); 3],
+        rental_cost_usd: 0.0,
+        warm_pool_cost_usd: 0.0,
+        base_cost_usd: 0.0,
+        total_cost_usd: 0.0,
+        usd_per_mtok: 0.0,
+        records: Vec::new(),
+    }
+}
+
+/// A fresh [`NodeState`] on this config's scheduler limits.
+fn new_node_state(cfg: &AutoscaleConfig, node: ServingNode, plan: FaultPlan) -> NodeState {
+    NodeState {
+        kv_budget_bytes: node.kv_residency_budget_bytes(&cfg.serving),
+        node,
+        scheduler: ContinuousBatcher::configured(cfg.serving.limits, cfg.serving.kv),
+        breaker: CircuitBreaker::new(cfg.breaker),
+        plan,
+        next_event: 0,
+        now: 0.0,
+        downtime_s: 0.0,
+        handshake_seq: 0,
+        useful_tokens: 0,
+        completed: 0,
+        preemptions: 0,
+        swap_out_bytes: 0.0,
+        swap_in_bytes: 0.0,
+    }
+}
+
+/// One controller evaluation at time `t`: scale up against backlog
+/// (warm promotion first, then cold rentals paying the real attested
+/// boot), scale down after sustained calm by draining the newest rental.
+#[allow(clippy::too_many_arguments, clippy::cast_precision_loss)]
+fn run_controller(
+    cfg: &AutoscaleConfig,
+    nodes: &mut Vec<FleetNode>,
+    t: f64,
+    horizon_s: f64,
+    warm_available: &mut usize,
+    scale_ups: &mut u64,
+    warm_promotions: &mut u64,
+    cold_starts: &mut u64,
+    scale_downs: &mut u64,
+    cold_start_s: &mut f64,
+    unseal_total_s: &mut f64,
+    low_ticks: &mut u32,
+    sink: &mut TraceSink,
+) {
+    let _ = sink;
+    let serving = nodes.iter().filter(|n| n.eligible(t)).count().max(1);
+    let queued: usize = nodes
+        .iter()
+        .filter(|n| !n.retired)
+        .map(|n| n.st.scheduler.queued())
+        .sum();
+    let backlog_per_node = queued as f64 / serving as f64;
+    let rented_active = nodes
+        .iter()
+        .filter(|n| n.rented && !n.retired && !n.draining)
+        .count();
+
+    if backlog_per_node > cfg.controller.up_depth_per_node {
+        *low_ticks = 0;
+        for step in 0..cfg.controller.scale_up_step {
+            if rented_active + step >= cfg.controller.max_rented {
+                break;
+            }
+            let idx = nodes.len();
+            let mut plan = FaultPlan::seeded(
+                &cfg.rental.rates,
+                horizon_s,
+                cfg.rental.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let (ready_at_s, rented_at_s) = if *warm_available > 0 {
+                *warm_available -= 1;
+                *warm_promotions += 1;
+                // A promoted standby was attested and unsealed before
+                // the horizon started; its carrying cost since t=0 is
+                // what bought the instant readiness.
+                (t, 0.0)
+            } else {
+                *cold_starts += 1;
+                cold_start_secure_boot(hs_seed(idx, 0) ^ cfg.rental.seed);
+                let unseal_s = cfg.rental.node.weight_unseal_time_s(&cfg.serving);
+                let ready = t + cfg.rental.attest_s + unseal_s;
+                // Horizon clamp: a scale-up in the last seconds cannot
+                // charge cold-start time past the end of the run.
+                let charged = (ready - t).min((horizon_s - t).max(0.0));
+                *cold_start_s += charged;
+                *unseal_total_s += unseal_s.min(charged);
+                (ready, t)
+            };
+            plan.events.retain(|e: &FaultEvent| e.at_s >= ready_at_s);
+            let mut st = new_node_state(cfg, cfg.rental.node.clone(), plan);
+            st.now = ready_at_s.min(horizon_s.max(0.0));
+            st.downtime_s = (ready_at_s - rented_at_s).min((horizon_s - rented_at_s).max(0.0));
+            nodes.push(FleetNode {
+                st,
+                ready_at_s,
+                rented_at_s,
+                rented: true,
+                draining: false,
+                drain_deadline_s: f64::INFINITY,
+                retired: false,
+                retired_at_s: 0.0,
+            });
+            *scale_ups += 1;
+        }
+        return;
+    }
+
+    if backlog_per_node <= cfg.controller.down_depth_per_node && rented_active > 0 {
+        *low_ticks += 1;
+        if *low_ticks >= cfg.controller.scale_down_ticks {
+            *low_ticks = 0;
+            *scale_downs += 1;
+            // Drain the newest active rental: stop routing to it, move
+            // its queued work to the survivors, give the running batch a
+            // horizon-clamped grace window.
+            let victim = nodes
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, n)| n.rented && !n.retired && !n.draining && n.ready_at_s <= t)
+                .map(|(i, _)| i);
+            if let Some(v) = victim {
+                nodes[v].draining = true;
+                nodes[v].drain_deadline_s = (t + cfg.controller.drain_window_s).min(horizon_s);
+                let moved = nodes[v].st.scheduler.shed(|_| true);
+                for r in moved {
+                    let all: Vec<(usize, usize)> = nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, n)| *i != v && n.eligible(t))
+                        .map(|(i, n)| (i, n.st.depth()))
+                        .collect();
+                    let target = route_least_loaded(&all).expect("base fleet is always eligible");
+                    place(&mut nodes[target].st, target, r, t, sink);
+                }
+                if nodes[v].st.scheduler.idle() {
+                    nodes[v].retired = true;
+                    nodes[v].retired_at_s = t.max(nodes[v].st.now);
+                }
+            }
+        }
+    } else {
+        *low_ticks = 0;
+    }
+}
+
+/// Apply one fault event at a node's iteration boundary: mirrors the
+/// cluster semantics (horizon-clamped outages, real re-handshake on
+/// attestation failure) but routes crash victims through the retry
+/// budget + storm circuit instead of the bare per-node retry cap.
+#[allow(clippy::too_many_arguments)]
+fn apply_fault(
+    ev: &FaultEvent,
+    n: &mut NodeState,
+    node_idx: usize,
+    horizon_s: f64,
+    slab: &mut RequestSlab,
+    retry_queue: &mut EventQueue<ClusterRetry>,
+    guard: &mut RetryStormGuard,
+    retries: &mut u64,
+    aborted: &mut usize,
+    tiers_out: &mut [TierReport; 3],
+    tier_of: &[Tier],
+) {
+    n.breaker.record_error(n.now);
+    if ev.kind == FaultKind::AttestationFailure {
+        n.handshake_seq += 1;
+        attested_rehandshake_phased(hs_seed(node_idx, n.handshake_seq), &mut |_| {})
+            .expect("re-handshake must recover the session");
+        let outage_s = n.plan.policy.reattest_s.min((horizon_s - ev.at_s).max(0.0));
+        n.now += outage_s;
+        n.downtime_s += outage_s;
+        return;
+    }
+    let outage_s = ev.outage_s.min((horizon_s - ev.at_s).max(0.0));
+    if ev.kind.loses_state() {
+        let origin_gpu = n.is_gpu();
+        for victim in n.scheduler.drain_running() {
+            let id = victim.request.id;
+            let a = slab.bump_attempts(id);
+            if guard.admit_retry(n.now, a - 1) {
+                *retries += 1;
+                retry_queue.push_keyed(
+                    ev.at_s + outage_s + n.plan.policy.backoff_s(a),
+                    id,
+                    ClusterRetry {
+                        request: victim.request,
+                        origin: node_idx,
+                        origin_gpu,
+                    },
+                );
+            } else {
+                *aborted += 1;
+                tiers_out[tier_of[usize::try_from(id).expect("dense id")].index()].aborted += 1;
+            }
+        }
+    }
+    n.now += outage_s;
+    n.downtime_s += outage_s;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cllm_tee::platform::CpuTeeConfig;
+    use cllm_workload::trace::LognormalLen;
+
+    fn tdx_serving_node() -> ServingNode {
+        ServingNode::Cpu {
+            tee: CpuTeeConfig::tdx(),
+        }
+    }
+
+    /// Flash-crowd traffic with test-sized lengths so runs stay fast.
+    /// Production burst cadence is ~30/hr; a 30 s test window needs a
+    /// far denser schedule to see any burst at all.
+    fn small_traffic(rate: f64, multiplier: f64, seed: u64) -> TrafficModel {
+        let mut t = TrafficModel::flash_crowd(rate, multiplier, seed);
+        t.bursts.bursts_per_hr = 360.0;
+        t.bursts.window_s = 10.0;
+        t.prompt = LognormalLen {
+            mu_ln: 3.5,
+            sigma_ln: 0.5,
+            min_tokens: 16,
+            max_tokens: 128,
+        };
+        t.output = LognormalLen {
+            mu_ln: 2.5,
+            sigma_ln: 0.4,
+            min_tokens: 4,
+            max_tokens: 32,
+        };
+        t
+    }
+
+    fn quiet_base(seed: u64) -> NodeSpec {
+        NodeSpec::new(tdx_serving_node(), false, FaultRates::none(), seed)
+    }
+
+    fn base_cfg(traffic: TrafficModel) -> AutoscaleConfig {
+        AutoscaleConfig {
+            serving: ServingConfig::small_test(),
+            traffic,
+            base_fleet: vec![quiet_base(1)],
+            base_price_per_hr: 3.0,
+            rental: RentalSpec {
+                node: tdx_serving_node(),
+                rates: FaultRates::none(),
+                price_per_hr: 4.0,
+                attest_s: 0.5,
+                seed: 77,
+            },
+            warm_pool: 0,
+            controller: ControllerConfig {
+                control_interval_s: 1.0,
+                ..ControllerConfig::default()
+            },
+            tiers: TieredAdmission::default(),
+            retry: RetryBudget::default(),
+            brownout: None,
+            breaker: BreakerConfig::default(),
+            spill: SpillPenalty::cross_platform(),
+        }
+    }
+
+    #[test]
+    fn flash_crowd_scales_up_and_conserves() {
+        let cfg = base_cfg(small_traffic(4.0, 10.0, 3));
+        let r = simulate_autoscale(&cfg);
+        assert!(r.arrivals > 0);
+        assert_eq!(r.completed + r.aborted + r.shed, r.arrivals);
+        assert!(r.scale_ups >= 1, "a 10x burst on one node must scale up");
+        assert_eq!(r.cold_starts, r.scale_ups, "no warm pool: all cold");
+        assert!(r.cold_start_s > 0.0 && r.unseal_s > 0.0);
+        assert!(r.rental_cost_usd > 0.0);
+        assert!((r.warm_pool_cost_usd - 0.0).abs() < 1e-12);
+        assert!(r.total_cost_usd > r.base_cost_usd);
+        let tier_arrivals: usize = r.tiers.iter().map(|t| t.arrivals).sum();
+        assert_eq!(tier_arrivals, r.arrivals);
+        assert!(r.usd_per_mtok > 0.0);
+    }
+
+    #[test]
+    fn autoscale_runs_are_deterministic() {
+        let cfg = base_cfg(small_traffic(4.0, 10.0, 9));
+        let a = simulate_autoscale(&cfg);
+        let b = simulate_autoscale(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_pool_skips_the_cold_start_toll() {
+        let cold = simulate_autoscale(&base_cfg(small_traffic(4.0, 10.0, 3)));
+        let mut warm_cfg = base_cfg(small_traffic(4.0, 10.0, 3));
+        warm_cfg.warm_pool = warm_cfg.controller.max_rented;
+        let warm = simulate_autoscale(&warm_cfg);
+        assert!(warm.warm_promotions >= 1, "the burst must promote standbys");
+        assert_eq!(warm.cold_starts, 0, "pool covers max_rented: never cold");
+        assert!((warm.cold_start_s - 0.0).abs() < 1e-12);
+        assert!(warm.warm_pool_cost_usd > 0.0, "standbys carry a cost");
+        assert!(cold.cold_starts >= 1 && cold.cold_start_s > 0.0);
+    }
+
+    #[test]
+    fn calm_traffic_on_base_fleet_never_rents() {
+        let mut t = small_traffic(0.4, 1.0, 5);
+        t.bursts = cllm_workload::trace::BurstModel::none();
+        let r = simulate_autoscale(&base_cfg(t));
+        assert!(r.arrivals > 0);
+        assert_eq!(r.completed, r.arrivals, "a calm trace completes fully");
+        assert_eq!(r.scale_ups + r.cold_starts + r.scale_downs, 0);
+        assert!((r.rental_cost_usd + r.warm_pool_cost_usd).abs() < 1e-12);
+        assert!(r.base_cost_usd > 0.0);
+    }
+
+    #[test]
+    fn premium_outlives_free_under_shedding() {
+        // Heavy overload on a fixed fleet (no rentals): the tier table
+        // must shed free traffic before premium.
+        let mut cfg = base_cfg(small_traffic(12.0, 6.0, 7));
+        cfg.controller.max_rented = 0;
+        cfg.tiers.policy_mut(Tier::Free).queue_cap = 8;
+        let r = simulate_autoscale(&cfg);
+        assert_eq!(r.completed + r.aborted + r.shed, r.arrivals);
+        assert!(r.shed > 0, "overload on one node must shed");
+        let frac = |t: &TierReport| {
+            if t.arrivals == 0 {
+                1.0
+            } else {
+                t.completed as f64 / t.arrivals as f64
+            }
+        };
+        let free = &r.tiers[Tier::Free.index()];
+        let premium = &r.tiers[Tier::Premium.index()];
+        assert!(free.shed > 0, "free is the first tier to shed");
+        assert!(
+            frac(premium) >= frac(free),
+            "premium completion fraction ({}) must not fall below free ({})",
+            frac(premium),
+            frac(free)
+        );
+    }
+
+    #[test]
+    fn brownout_trims_output_before_shedding() {
+        let mut cfg = base_cfg(small_traffic(10.0, 8.0, 11));
+        cfg.controller.max_rented = 0;
+        cfg.brownout = Some(BrownoutConfig {
+            enter_depth: 8,
+            exit_depth: 2,
+            output_cap_tokens: 8,
+        });
+        let r = simulate_autoscale(&cfg);
+        assert!(r.brownout_activations >= 1, "overload must trip brownout");
+        assert!(r.tokens_trimmed > 0, "brownout must trim output budgets");
+        assert_eq!(r.completed + r.aborted + r.shed, r.arrivals);
+    }
+
+    #[test]
+    fn cold_start_charge_clamps_to_horizon() {
+        // Direct controller regression: a scale-up in the run's final
+        // second cannot charge the full attest+unseal time, and the
+        // rented node's clock parks at the horizon, not at its phantom
+        // ready time.
+        let cfg = base_cfg(small_traffic(4.0, 10.0, 3));
+        let horizon_s = cfg.serving.duration_s;
+        let boot_s = cfg.rental.attest_s + cfg.rental.node.weight_unseal_time_s(&cfg.serving);
+        assert!(boot_s > 0.3, "fixture needs a boot longer than the window");
+        let mut nodes = vec![FleetNode {
+            st: new_node_state(
+                &cfg,
+                tdx_serving_node(),
+                FaultPlan::seeded(&FaultRates::none(), horizon_s, 1),
+            ),
+            ready_at_s: 0.0,
+            rented_at_s: 0.0,
+            rented: false,
+            draining: false,
+            drain_deadline_s: f64::INFINITY,
+            retired: false,
+            retired_at_s: 0.0,
+        }];
+        let t = horizon_s - 0.5;
+        for id in 0..32 {
+            nodes[0].st.scheduler.enqueue_at(
+                Request {
+                    id,
+                    arrival_s: t,
+                    prompt_tokens: 32,
+                    output_tokens: 8,
+                },
+                t,
+            );
+        }
+        let (mut warm, mut ups, mut promos, mut colds, mut downs) =
+            (0usize, 0u64, 0u64, 0u64, 0u64);
+        let (mut cold_s, mut unseal_s, mut low) = (0.0f64, 0.0f64, 0u32);
+        let mut sink = TraceSink::disabled();
+        run_controller(
+            &cfg,
+            &mut nodes,
+            t,
+            horizon_s,
+            &mut warm,
+            &mut ups,
+            &mut promos,
+            &mut colds,
+            &mut downs,
+            &mut cold_s,
+            &mut unseal_s,
+            &mut low,
+            &mut sink,
+        );
+        assert_eq!(colds, 1);
+        assert!(
+            cold_s <= 0.5 + 1e-12,
+            "cold-start charge {cold_s} must clamp to the {} s left",
+            0.5
+        );
+        assert!(
+            cold_s < boot_s,
+            "regression: unclamped charge leaked through"
+        );
+        let rented = &nodes[1];
+        assert!(
+            rented.ready_at_s > horizon_s,
+            "this boot cannot finish in time"
+        );
+        assert!(
+            rented.st.now <= horizon_s + 1e-12,
+            "a never-ready node's clock must park at the horizon"
+        );
+        assert!(rented.st.downtime_s <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn drain_deadline_clamps_to_horizon() {
+        // Direct controller regression: an absurd drain window cannot
+        // push the force-drain deadline past the end of the run.
+        let mut cfg = base_cfg(small_traffic(4.0, 10.0, 3));
+        cfg.controller.scale_down_ticks = 1;
+        cfg.controller.drain_window_s = 1.0e9;
+        let horizon_s = cfg.serving.duration_s;
+        let mk = |rented: bool| FleetNode {
+            st: new_node_state(
+                &cfg,
+                tdx_serving_node(),
+                FaultPlan::seeded(&FaultRates::none(), horizon_s, 1),
+            ),
+            ready_at_s: 0.0,
+            rented_at_s: 0.0,
+            rented,
+            draining: false,
+            drain_deadline_s: f64::INFINITY,
+            retired: false,
+            retired_at_s: 0.0,
+        };
+        let mut nodes = vec![mk(false), mk(true)];
+        // Keep the rental busy so it drains instead of retiring on the
+        // spot (the deadline only exists for in-flight work).
+        nodes[1].st.scheduler.enqueue_at(
+            Request {
+                id: 0,
+                arrival_s: 0.0,
+                prompt_tokens: 32,
+                output_tokens: 8,
+            },
+            0.0,
+        );
+        let _ = nodes[1]
+            .st
+            .scheduler
+            .admit_any(&cfg.serving.model, cfg.serving.dtype, 0.0);
+        let t = horizon_s - 2.0;
+        let (mut warm, mut ups, mut promos, mut colds, mut downs) =
+            (0usize, 0u64, 0u64, 0u64, 0u64);
+        let (mut cold_s, mut unseal_s, mut low) = (0.0f64, 0.0f64, 0u32);
+        let mut sink = TraceSink::disabled();
+        run_controller(
+            &cfg,
+            &mut nodes,
+            t,
+            horizon_s,
+            &mut warm,
+            &mut ups,
+            &mut promos,
+            &mut colds,
+            &mut downs,
+            &mut cold_s,
+            &mut unseal_s,
+            &mut low,
+            &mut sink,
+        );
+        assert_eq!(downs, 1, "one calm tick at scale_down_ticks=1 must drain");
+        assert!(nodes[1].draining);
+        assert!(
+            nodes[1].drain_deadline_s <= horizon_s + 1e-12,
+            "regression: drain deadline {} leaked past the horizon {}",
+            nodes[1].drain_deadline_s,
+            horizon_s
+        );
+    }
+
+    fn storm_cfg(retry: RetryBudget) -> AutoscaleConfig {
+        let mut cfg = base_cfg(small_traffic(3.0, 1.0, 5));
+        // Long decodes keep requests in flight across several crash
+        // intervals, so attempts actually accumulate past the budget;
+        // long prompts make every requeue pay a real prefill, which is
+        // the capacity the storm burns.
+        cfg.traffic.prompt = LognormalLen {
+            mu_ln: 6.5,
+            sigma_ln: 0.3,
+            min_tokens: 512,
+            max_tokens: 2048,
+        };
+        cfg.traffic.output = LognormalLen {
+            mu_ln: 4.2,
+            sigma_ln: 0.3,
+            min_tokens: 48,
+            max_tokens: 192,
+        };
+        // Patient tiers: without deadlines shedding stale victims, the
+        // retry policy is the only thing standing between a crash-heavy
+        // fleet and a metastable requeue storm.
+        for tier in Tier::ALL {
+            cfg.tiers.policy_mut(tier).deadline_s = 15.0;
+            cfg.tiers.policy_mut(tier).queue_cap = usize::MAX;
+        }
+        // A crash-heavy fixed fleet: no rentals, so the retry policy is
+        // the only lever under test.
+        cfg.controller.max_rented = 0;
+        // Pure state-destroying crashes: every fault drains the running
+        // batch into the retry path, which is exactly the storm the
+        // budget exists to bound.
+        let rates = FaultRates {
+            enclave_crashes_per_hr: 900.0,
+            ..FaultRates::none()
+        };
+        cfg.base_fleet = vec![
+            NodeSpec::new(tdx_serving_node(), true, rates, 21),
+            NodeSpec::new(tdx_serving_node(), true, rates, 22),
+        ];
+        cfg.retry = retry;
+        cfg
+    }
+
+    #[test]
+    fn retry_budget_bounds_the_storm() {
+        let budget = RetryBudget {
+            per_request: 2,
+            storm_window_s: 10.0,
+            storm_max_retries: 16,
+        };
+        let budgeted = simulate_autoscale(&storm_cfg(budget));
+        let unbudgeted = simulate_autoscale(&storm_cfg(RetryBudget::unbudgeted()));
+        for r in [&budgeted, &unbudgeted] {
+            assert_eq!(r.completed + r.aborted + r.shed, r.arrivals);
+        }
+        assert!(
+            budgeted
+                .records
+                .iter()
+                .all(|r| r.retries <= budget.per_request),
+            "no completed request may exceed the per-request budget"
+        );
+        assert!(budgeted.aborted > 0, "the budget must bind in this storm");
+        assert!(
+            budgeted.storm_drops > 0,
+            "the global circuit must trip in this storm"
+        );
+        assert!(
+            budgeted.retries < unbudgeted.retries,
+            "the budget must cut retry volume ({} vs {})",
+            budgeted.retries,
+            unbudgeted.retries
+        );
+        // Service availability: the fraction of arrivals the fleet
+        // accepted and worked on (sheds are refusals). Unbounded retries
+        // churn reattest + long prefills through the queues, starving
+        // fresh arrivals into deadline sheds — the budget converts that
+        // amplification into a few bounded aborts and keeps the front
+        // door open.
+        let availability = |r: &AutoscaleReport| 1.0 - r.shed as f64 / r.arrivals as f64;
+        assert!(
+            availability(&budgeted) > availability(&unbudgeted),
+            "bounded retries must keep availability above the storm ({} vs {})",
+            availability(&budgeted),
+            availability(&unbudgeted)
+        );
+    }
+
+    #[test]
+    fn tier_caps_shed_at_the_front_door() {
+        let mut cfg = base_cfg(small_traffic(12.0, 6.0, 13));
+        cfg.controller.max_rented = 0;
+        cfg.tiers.policy_mut(Tier::Free).queue_cap = 1;
+        let r = simulate_autoscale(&cfg);
+        assert!(r.tiers[Tier::Free.index()].shed > 0, "cap of 1 must shed");
+        assert_eq!(r.completed + r.aborted + r.shed, r.arrivals);
+    }
+}

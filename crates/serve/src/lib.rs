@@ -40,6 +40,12 @@
 //! * [`cluster`] — the multi-node simulation: heterogeneous fleets
 //!   behind a failover router surviving correlated preemption waves,
 //!   with cross-platform spills priced via `cllm-cost`.
+//! * [`autoscale`] — a deterministic reactive autoscaler over the same
+//!   kernel: flash-crowd traffic from `cllm_workload::trace`, scale-ups
+//!   that pay the real attested handshake plus weight-unseal before
+//!   joining routing (optionally skipped by a pre-attested warm pool at
+//!   carrying cost), graceful scale-down drains, tiered shedding, retry
+//!   budgets with a global storm circuit, and brownout degradation.
 //!
 //! Both event loops are instrumented with `cllm-obs` span tracing as a
 //! pure observer of the simulated clock: `sim::simulate_serving_traced`
@@ -63,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod cluster;
 pub mod faults;
 pub mod kernel;

@@ -27,6 +27,8 @@
 //! recovery toll both H100-CC measurement studies flag as the dominant
 //! rejoin cost.
 
+use crate::slo::Slo;
+use cllm_workload::trace::Tier;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -192,6 +194,251 @@ impl CircuitBreaker {
     }
 }
 
+/// Per-tier admission bounds and SLO. The shedding order is fixed by
+/// [`Tier::ALL`] — free first, premium last — and the per-tier bounds
+/// here encode *how much* patience each tier buys: free riders get a
+/// short queue and a tight staleness deadline, premium gets a deep queue
+/// and the longest deadline, so under overload the free tier absorbs the
+/// shedding long before premium feels it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierPolicy {
+    /// Maximum queued (not yet running) requests of this tier across the
+    /// fleet; an arrival finding its tier at the cap is shed.
+    pub queue_cap: usize,
+    /// Staleness deadline, seconds from arrival: a request of this tier
+    /// still queued past it is shed.
+    pub deadline_s: f64,
+    /// The latency SLO this tier is judged against in reports.
+    pub slo: Slo,
+}
+
+/// The fleet's tiered admission table, indexed by [`Tier`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TieredAdmission {
+    tiers: [TierPolicy; 3],
+}
+
+impl Default for TieredAdmission {
+    /// Free: shallow queue (64), 6 s deadline, relaxed SLO (5 s TTFT).
+    /// Standard: 192-deep, 20 s deadline, interactive SLO.
+    /// Premium: 512-deep, 45 s deadline, interactive SLO.
+    fn default() -> Self {
+        TieredAdmission {
+            tiers: [
+                TierPolicy {
+                    queue_cap: 64,
+                    deadline_s: 6.0,
+                    slo: Slo {
+                        ttft_s: 5.0,
+                        tpot_s: 0.5,
+                    },
+                },
+                TierPolicy {
+                    queue_cap: 192,
+                    deadline_s: 20.0,
+                    slo: Slo::interactive(),
+                },
+                TierPolicy {
+                    queue_cap: 512,
+                    deadline_s: 45.0,
+                    slo: Slo::interactive(),
+                },
+            ],
+        }
+    }
+}
+
+impl TieredAdmission {
+    /// The policy for one tier.
+    #[must_use]
+    pub fn policy(&self, tier: Tier) -> &TierPolicy {
+        &self.tiers[tier.index()]
+    }
+
+    /// Mutable access, for experiment arms that tighten one tier.
+    pub fn policy_mut(&mut self, tier: Tier) -> &mut TierPolicy {
+        &mut self.tiers[tier.index()]
+    }
+}
+
+/// Retry budgeting: the per-request cap plus a global retry-rate circuit
+/// that kills metastable retry storms. Without the circuit, a burst of
+/// crash-class faults re-queues enough work that retries beget timeouts
+/// beget retries — the classic metastable failure. The guard bounds the
+/// *fleet-wide* retry rate over a sliding window; a retry arriving with
+/// the window full is converted into an abort (counted, conserved)
+/// instead of re-entering the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryBudget {
+    /// Maximum re-queues a single request may consume before it is
+    /// aborted (tighter than or equal to the node-level
+    /// [`RecoveryPolicy::max_retries`](crate::faults::RecoveryPolicy)).
+    pub per_request: u32,
+    /// Sliding window the global retry rate is judged over, seconds.
+    pub storm_window_s: f64,
+    /// Maximum retries admitted fleet-wide within any window.
+    pub storm_max_retries: usize,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            per_request: 3,
+            storm_window_s: 10.0,
+            storm_max_retries: 64,
+        }
+    }
+}
+
+impl RetryBudget {
+    /// No budget: per-request retries bounded only by the recovery
+    /// policy, no global circuit. The baseline the storm test beats.
+    #[must_use]
+    pub fn unbudgeted() -> Self {
+        RetryBudget {
+            per_request: u32::MAX,
+            storm_window_s: 1.0,
+            storm_max_retries: usize::MAX,
+        }
+    }
+}
+
+/// The global retry-rate circuit. Deterministic: driven entirely by
+/// simulated retry timestamps.
+#[derive(Debug, Clone)]
+pub struct RetryStormGuard {
+    cfg: RetryBudget,
+    recent_s: VecDeque<f64>,
+    /// Retries refused by the circuit (the caller aborts the request).
+    pub storm_drops: u64,
+}
+
+impl RetryStormGuard {
+    /// A fresh guard with an empty window.
+    #[must_use]
+    pub fn new(cfg: RetryBudget) -> Self {
+        RetryStormGuard {
+            cfg,
+            recent_s: VecDeque::new(),
+            storm_drops: 0,
+        }
+    }
+
+    /// The budget this guard enforces.
+    #[must_use]
+    pub fn budget(&self) -> &RetryBudget {
+        &self.cfg
+    }
+
+    /// May a request that has already been re-queued `attempts` times
+    /// retry again at `now_s`? `false` means the caller must abort it —
+    /// either its per-request budget is spent or the fleet-wide retry
+    /// rate is already at the circuit's cap (a storm; the drop is
+    /// counted in `storm_drops`).
+    pub fn admit_retry(&mut self, now_s: f64, attempts: u32) -> bool {
+        if attempts >= self.cfg.per_request {
+            return false;
+        }
+        while self
+            .recent_s
+            .front()
+            .is_some_and(|&t| t < now_s - self.cfg.storm_window_s)
+        {
+            self.recent_s.pop_front();
+        }
+        if self.recent_s.len() >= self.cfg.storm_max_retries {
+            self.storm_drops += 1;
+            return false;
+        }
+        self.recent_s.push_back(now_s);
+        true
+    }
+}
+
+/// Brownout: before shedding *requests*, shed *tokens*. When aggregate
+/// queue depth crosses `enter_depth` the controller caps every arriving
+/// request's output budget at `output_cap_tokens`; it releases the cap
+/// only once depth falls back under `exit_depth` (hysteresis, so the
+/// mode doesn't flap at the boundary). Degrading answer length first
+/// keeps availability up — a short answer beats a shed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrownoutConfig {
+    /// Aggregate queued-request depth that activates the brownout.
+    pub enter_depth: usize,
+    /// Depth below which the brownout deactivates (must be `<=
+    /// enter_depth` for the hysteresis to make sense).
+    pub exit_depth: usize,
+    /// Output-token cap applied to arrivals while active.
+    pub output_cap_tokens: u64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            enter_depth: 256,
+            exit_depth: 64,
+            output_cap_tokens: 32,
+        }
+    }
+}
+
+/// Brownout state machine (see [`BrownoutConfig`]).
+#[derive(Debug, Clone)]
+pub struct Brownout {
+    cfg: BrownoutConfig,
+    active: bool,
+    /// Times the brownout activated.
+    pub activations: u64,
+    /// Output tokens trimmed from arrivals while active.
+    pub tokens_trimmed: u64,
+}
+
+impl Brownout {
+    /// An inactive brownout controller.
+    #[must_use]
+    pub fn new(cfg: BrownoutConfig) -> Self {
+        Brownout {
+            cfg,
+            active: false,
+            activations: 0,
+            tokens_trimmed: 0,
+        }
+    }
+
+    /// Feed the current aggregate queue depth; returns whether the
+    /// brownout is active after the observation.
+    pub fn observe_depth(&mut self, depth: usize) -> bool {
+        if self.active {
+            if depth < self.cfg.exit_depth {
+                self.active = false;
+            }
+        } else if depth >= self.cfg.enter_depth {
+            self.active = true;
+            self.activations += 1;
+        }
+        self.active
+    }
+
+    /// Apply the cap to an arriving request's output budget. A no-op
+    /// while inactive; while active, trims to the cap and accounts the
+    /// trimmed tokens.
+    #[must_use]
+    pub fn cap_output(&mut self, output_tokens: u64) -> u64 {
+        if self.active && output_tokens > self.cfg.output_cap_tokens {
+            self.tokens_trimmed += output_tokens - self.cfg.output_cap_tokens;
+            self.cfg.output_cap_tokens
+        } else {
+            output_tokens
+        }
+    }
+
+    /// Whether the brownout is currently active.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.active
+    }
+}
+
 /// Pick the routing target among candidate nodes: the accepting node
 /// with the shallowest queue, ties to the lowest id. `depths` pairs each
 /// candidate node id with its current queue depth (queued + running);
@@ -282,5 +529,69 @@ mod tests {
         assert!(p.deadline_s.is_infinite());
         let d = AdmissionPolicy::default();
         assert!(d.queue_cap < usize::MAX && d.deadline_s.is_finite());
+    }
+
+    #[test]
+    fn tier_table_orders_patience_by_tier() {
+        let t = TieredAdmission::default();
+        let free = t.policy(Tier::Free);
+        let std_ = t.policy(Tier::Standard);
+        let prem = t.policy(Tier::Premium);
+        assert!(free.queue_cap < std_.queue_cap && std_.queue_cap < prem.queue_cap);
+        assert!(free.deadline_s < std_.deadline_s && std_.deadline_s < prem.deadline_s);
+        assert!(free.slo.ttft_s >= prem.slo.ttft_s, "premium SLO is tighter");
+        assert_eq!(Tier::ALL[0], Tier::Free, "free is shed first");
+    }
+
+    #[test]
+    fn storm_guard_enforces_both_budgets() {
+        let mut g = RetryStormGuard::new(RetryBudget {
+            per_request: 2,
+            storm_window_s: 10.0,
+            storm_max_retries: 3,
+        });
+        // Per-request cap: attempts at the budget are refused outright
+        // (not counted as storm drops — the request is simply spent).
+        assert!(!g.admit_retry(0.0, 2));
+        assert_eq!(g.storm_drops, 0);
+        // Global circuit: the 4th retry in the window is a storm drop.
+        assert!(g.admit_retry(1.0, 0));
+        assert!(g.admit_retry(1.5, 0));
+        assert!(g.admit_retry(2.0, 1));
+        assert!(!g.admit_retry(2.5, 0));
+        assert_eq!(g.storm_drops, 1);
+        // The window slides: 12.0 is > 10 s past the 1.0/1.5 entries.
+        assert!(g.admit_retry(12.0, 0));
+        assert_eq!(g.storm_drops, 1);
+    }
+
+    #[test]
+    fn unbudgeted_guard_never_drops() {
+        let mut g = RetryStormGuard::new(RetryBudget::unbudgeted());
+        for i in 0..1000 {
+            assert!(g.admit_retry(f64::from(i) * 1e-3, i as u32));
+        }
+        assert_eq!(g.storm_drops, 0);
+    }
+
+    #[test]
+    fn brownout_hysteresis_and_token_trim() {
+        let mut b = Brownout::new(BrownoutConfig {
+            enter_depth: 10,
+            exit_depth: 4,
+            output_cap_tokens: 16,
+        });
+        assert!(!b.observe_depth(9), "below enter stays off");
+        assert_eq!(b.cap_output(100), 100, "inactive is a no-op");
+        assert!(b.observe_depth(10), "enter threshold activates");
+        assert_eq!(b.cap_output(100), 16);
+        assert_eq!(b.cap_output(8), 8, "under-cap arrivals untouched");
+        assert_eq!(b.tokens_trimmed, 84);
+        assert!(b.observe_depth(7), "hysteresis: 7 >= exit keeps it on");
+        assert!(!b.observe_depth(3), "below exit releases");
+        assert_eq!(b.cap_output(100), 100);
+        assert_eq!(b.activations, 1);
+        assert!(b.observe_depth(11));
+        assert_eq!(b.activations, 2);
     }
 }

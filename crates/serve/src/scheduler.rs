@@ -141,30 +141,66 @@ pub const WAIT_SAMPLE_CAP: usize = 1 << 18;
 /// decisions are observable even in fault-free runs: the deepest the
 /// admission queue ever got, and the waits (enqueue → admission) of
 /// admitted requests.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueueStats {
     /// Deepest the admission queue got, in requests.
     pub depth_peak: usize,
     wait_count: u64,
     wait_sum_s: f64,
     wait_samples: Vec<f64>,
+    stride: u64,
+}
+
+impl Default for QueueStats {
+    fn default() -> Self {
+        QueueStats {
+            depth_peak: 0,
+            wait_count: 0,
+            wait_sum_s: 0.0,
+            wait_samples: Vec::new(),
+            stride: 1,
+        }
+    }
 }
 
 impl QueueStats {
     /// Record one admission wait. The mean is accumulated exactly (same
     /// addition order as summing a full vector in admission order), while
-    /// percentile samples are bounded: the first [`WAIT_SAMPLE_CAP`]
-    /// waits are kept verbatim and later ones only update the count and
-    /// sum. The keep-first policy is deterministic — two runs of the
-    /// same schedule retain identical samples — and at the million-
-    /// request bench scale it bounds memory at a few MiB instead of
-    /// growing one `f64` per admission forever.
+    /// percentile samples are bounded by deterministic stride decimation:
+    /// every `stride`-th wait is retained, and when the retained set hits
+    /// [`WAIT_SAMPLE_CAP`] the even-position half is kept and the stride
+    /// doubles. Unlike keep-first-N, the retained set always spans the
+    /// whole run uniformly, so late-run congestion moves the sampled
+    /// percentiles instead of being silently dropped. Below the cap the
+    /// behaviour is identical to keeping every wait (stride stays 1).
+    /// The policy is deterministic — two runs of the same schedule retain
+    /// identical samples — and at the million-request bench scale it
+    /// bounds memory at a few MiB instead of growing one `f64` per
+    /// admission forever.
     pub fn record_wait(&mut self, wait_s: f64) {
+        let index = self.wait_count;
         self.wait_count += 1;
         self.wait_sum_s += wait_s;
-        if self.wait_samples.len() < WAIT_SAMPLE_CAP {
-            self.wait_samples.push(wait_s);
+        if !index.is_multiple_of(self.stride) {
+            return;
         }
+        if self.wait_samples.len() == WAIT_SAMPLE_CAP {
+            // Decimate: keep even positions (global indices that remain
+            // multiples of the doubled stride). The cap is even, so the
+            // current index — a multiple of the old stride landing right
+            // after the last kept even position — stays aligned.
+            let mut keep = 0usize;
+            for i in (0..self.wait_samples.len()).step_by(2) {
+                self.wait_samples[keep] = self.wait_samples[i];
+                keep += 1;
+            }
+            self.wait_samples.truncate(keep);
+            self.stride *= 2;
+            if !index.is_multiple_of(self.stride) {
+                return;
+            }
+        }
+        self.wait_samples.push(wait_s);
     }
 
     /// Number of admission waits recorded.
@@ -179,11 +215,19 @@ impl QueueStats {
         self.wait_sum_s
     }
 
-    /// Retained wait samples, admission order (first
-    /// [`WAIT_SAMPLE_CAP`] admissions).
+    /// Retained wait samples, admission order: every `stride`-th wait,
+    /// where the stride doubles whenever the retained set would exceed
+    /// [`WAIT_SAMPLE_CAP`] — a uniform decimation over the whole run,
+    /// never just its prefix.
     #[must_use]
     pub fn wait_samples(&self) -> &[f64] {
         &self.wait_samples
+    }
+
+    /// Current decimation stride (1 until the sample cap is first hit).
+    #[must_use]
+    pub fn wait_sample_stride(&self) -> u64 {
+        self.stride
     }
 }
 
@@ -292,6 +336,13 @@ impl ContinuousBatcher {
     #[must_use]
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The queued (not yet admitted) requests, FIFO order — read-only,
+    /// for admission controllers that need per-class queue occupancy
+    /// (e.g. tiered caps) without shedding anything.
+    pub fn queued_requests(&self) -> impl Iterator<Item = &Request> + '_ {
+        self.queue.iter().map(|(r, _)| r)
     }
 
     /// Swapped-out sequences waiting to be paged back in.
@@ -698,6 +749,67 @@ mod tests {
         s.enqueue_at(req(9, 16, 4), 10.0);
         let _ = s.step(); // nothing running; no-op
         assert_eq!(s.queue_stats().depth_peak, 4, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn wait_sampler_sees_late_congestion() {
+        // Regression for the keep-first-N percentile bias: a schedule
+        // that is quiet for the first WAIT_SAMPLE_CAP admissions and
+        // congested afterwards must surface the late waits in the
+        // retained samples, not only in the mean.
+        let mut q = QueueStats::default();
+        for _ in 0..WAIT_SAMPLE_CAP {
+            q.record_wait(0.01);
+        }
+        for _ in 0..WAIT_SAMPLE_CAP {
+            q.record_wait(5.0);
+        }
+        let samples = q.wait_samples();
+        assert!(samples.len() <= WAIT_SAMPLE_CAP, "cap must hold");
+        assert!(q.wait_sample_stride() > 1, "cap overflow must decimate");
+        let late = samples.iter().filter(|&&w| w > 1.0).count();
+        // Half the run was congested, so roughly half the retained
+        // samples must come from it (keep-first-N retained zero).
+        assert!(
+            (late as f64) > 0.4 * samples.len() as f64,
+            "late congestion underrepresented: {late}/{}",
+            samples.len()
+        );
+        // Sampled p99 must reflect the congested half.
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(sorted[(sorted.len() * 99) / 100] > 1.0);
+        assert_eq!(q.wait_count(), 2 * WAIT_SAMPLE_CAP as u64);
+    }
+
+    #[test]
+    fn wait_sampler_is_exact_below_cap() {
+        let mut q = QueueStats::default();
+        for i in 0..1000 {
+            q.record_wait(f64::from(i) * 0.001);
+        }
+        assert_eq!(q.wait_samples().len(), 1000, "below cap keeps all");
+        assert_eq!(q.wait_sample_stride(), 1);
+        assert!((q.wait_samples()[999] - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_sampler_retains_uniform_stride_indices() {
+        // After decimation the retained set is exactly the global
+        // indices that are multiples of the final stride.
+        let mut q = QueueStats::default();
+        let n = WAIT_SAMPLE_CAP as u64 * 3;
+        for i in 0..n {
+            #[allow(clippy::cast_precision_loss)]
+            q.record_wait(i as f64);
+        }
+        let stride = q.wait_sample_stride();
+        assert!(stride >= 2);
+        for (j, &w) in q.wait_samples().iter().enumerate() {
+            #[allow(clippy::cast_precision_loss)]
+            let expect = (j as u64 * stride) as f64;
+            assert!((w - expect).abs() < 1e-9, "sample {j}: {w} != {expect}");
+        }
     }
 
     #[test]

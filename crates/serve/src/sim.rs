@@ -189,6 +189,18 @@ impl ServingNode {
         }
     }
 
+    /// Time for a cold-started node to unseal and load the model weights
+    /// into protected memory before it can serve a single token: the
+    /// full weight footprint moved through the platform's protected-copy
+    /// path (EPC paging on SGX — the mechanism that makes SGX cold
+    /// starts brutal — an MEE-derated DRAM copy on other CPU TEEs, the
+    /// encrypted PCIe bounce buffer on cGPUs). Paid once per scale-up
+    /// after the attested handshake, before the node joins routing.
+    #[must_use]
+    pub fn weight_unseal_time_s(&self, cfg: &ServingConfig) -> f64 {
+        self.kv_swap_time_s(cfg.model.weight_bytes(cfg.dtype))
+    }
+
     /// Per-decode-step stall when `excess_bytes` of resident KV overflow
     /// [`ServingNode::kv_residency_budget_bytes`].
     #[must_use]

@@ -19,6 +19,9 @@
 //!   width, input/output token counts (the sweep axes of Figures 4-13).
 //! * [`kv`] — KV-cache accounting (drives the input-size crossover of
 //!   Figure 10).
+//! * [`trace`] — generative multi-tenant traffic (diurnal load, seeded
+//!   flash crowds, heavy-tailed lognormal shapes, free/standard/premium
+//!   tiers) for the serving-layer autoscaling experiments.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ mod config;
 pub mod kv;
 pub mod ops;
 pub mod phase;
+pub mod trace;
 pub mod zoo;
 
 pub use config::{MlpKind, ModelConfig};

@@ -14,6 +14,10 @@
 //!            [--faults S] [--fault-seed N]  ... under an injected fault schedule
 //!            [--nodes SPEC] [--failover on|off] [--waves W] [--wave-frac F]
 //!                                           ... on a multi-node cluster
+//!            [--autoscale] [--warm-pool N] [--brownout] [--burst-mult M]
+//!            [--max-rented N] [--traffic-seed S]
+//!                                           ... flash-crowd traffic with an
+//!                                           attestation-aware autoscaler
 //! cllm <experiment> [--trace out.json]   run one experiment; export its span
 //!                                        timeline as Chrome trace-event JSON
 //! ```
@@ -24,15 +28,19 @@ use cllm_cost::{cost_advantage_pct, cost_per_mtok, CpuPricing, GpuPricing};
 use cllm_cost::{SpillPenalty, SpotParams};
 use cllm_hw::DType;
 use cllm_perf::{simulate_gpu, CpuTarget};
+use cllm_serve::autoscale::{simulate_autoscale, AutoscaleConfig, ControllerConfig, RentalSpec};
 use cllm_serve::cluster::{simulate_cluster, ClusterConfig, NodeSpec, WaveModel};
 use cllm_serve::faults::{FaultPlan, FaultRates};
-use cllm_serve::router::{AdmissionPolicy, BreakerConfig};
+use cllm_serve::router::{
+    AdmissionPolicy, BreakerConfig, BrownoutConfig, RetryBudget, TieredAdmission,
+};
 use cllm_serve::scheduler::{KvConfig, KvPolicy};
 use cllm_serve::sim::{simulate_serving_faulted, ServingConfig, ServingNode};
 use cllm_serve::slo::Slo;
 use cllm_serve::workload::ArrivalProcess;
 use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, Platform};
 use cllm_workload::phase::RequestSpec;
+use cllm_workload::trace::{Tier, TrafficModel};
 use cllm_workload::zoo;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -138,6 +146,14 @@ fn print_usage() {
          \x20                                   multi-node cluster with admission control,\n\
          \x20                                   circuit breakers and correlated preemption\n\
          \x20                                   waves; SPEC like 2xcgpu-spot,2xtdx\n  \
+         cllm serve --autoscale [--warm-pool N] [--brownout] [--burst-mult M]\n\
+         \x20          [--max-rented N] [--traffic-seed S] [--waves [S]]\n\
+         \x20                                   flash-crowd traffic (diurnal + bursts,\n\
+         \x20                                   free/standard/premium tiers) against a\n\
+         \x20                                   reactive autoscaler whose cold starts pay\n\
+         \x20                                   the real attested handshake + weight\n\
+         \x20                                   unseal; tiered shedding, retry budgets\n\
+         \x20                                   and optional brownout degradation\n  \
          cllm <experiment> [--trace out.json]   run one experiment; --trace exports the\n\
          \x20                                   span timeline as Chrome trace-event JSON\n\
          \x20                                   (load in chrome://tracing or Perfetto)\n\
@@ -152,9 +168,20 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
+            // A following "--flag" is the next flag, not this one's
+            // value — presence flags (`--autoscale --warm-pool 2`) must
+            // not swallow their successor.
+            let value = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    i += 2;
+                    v.clone()
+                }
+                _ => {
+                    i += 1;
+                    String::new()
+                }
+            };
             flags.insert(key.to_owned(), value);
-            i += 2;
         } else {
             i += 1;
         }
@@ -389,6 +416,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if flags.contains_key("autoscale") {
+        return cmd_serve_autoscale(flags, rate, duration);
+    }
     if let Some(spec) = flags.get("nodes") {
         return cmd_serve_cluster(flags, spec, rate, duration, kv);
     }
@@ -570,6 +600,147 @@ fn parse_fleet(spec: &str, fault_scale: f64, fault_seed: u64) -> Result<Vec<Node
         return Err(format!("empty fleet spec {spec:?}"));
     }
     Ok(nodes)
+}
+
+/// `cllm serve --autoscale`: flash-crowd traffic against a one-node
+/// base fleet with a reactive autoscaler renting attested TEE capacity.
+fn cmd_serve_autoscale(flags: &HashMap<String, String>, rate: f64, duration: f64) -> ExitCode {
+    let (node, kind) = match platform_from(flags) {
+        Ok(Platform::Cpu(tee)) => {
+            let kind = tee.kind;
+            (ServingNode::Cpu { tee }, kind)
+        }
+        Ok(Platform::Gpu(tee)) => {
+            let kind = tee.kind;
+            (
+                ServingNode::Gpu {
+                    gpu: cllm_hw::presets::h100_nvl(),
+                    tee,
+                },
+                kind,
+            )
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let burst_mult = flags
+        .get("burst-mult")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(10.0);
+    let traffic_seed = num_flag(flags, "traffic-seed", 9);
+    let mut traffic = TrafficModel::flash_crowd(rate, burst_mult, traffic_seed);
+    // Production burst cadence is ~30/hr; a demo-length run needs a
+    // denser schedule so a burst actually lands inside the horizon.
+    traffic.bursts.bursts_per_hr = 240.0;
+    traffic.bursts.window_s = 15.0;
+    // `--waves [S]` puts the whole fleet (base + rentals) under
+    // spot-class fault pressure scaled by S (default 60, the usual
+    // short-horizon compression factor).
+    let wave_scale = match flags.get("waves") {
+        None => 0.0,
+        Some(v) if v.is_empty() => 60.0,
+        Some(v) => v.parse::<f64>().unwrap_or(60.0),
+    };
+    let rates = if wave_scale > 0.0 {
+        FaultRates::for_platform(kind, &SpotParams::gcp_spot()).scaled(wave_scale)
+    } else {
+        FaultRates::none()
+    };
+    let warm_pool = num_flag(flags, "warm-pool", 0) as usize;
+    let cfg = AutoscaleConfig {
+        serving: ServingConfig {
+            duration_s: duration,
+            ..ServingConfig::small_test()
+        },
+        traffic,
+        base_fleet: vec![NodeSpec::new(node.clone(), false, rates, 1)],
+        base_price_per_hr: 3.0,
+        rental: RentalSpec {
+            node,
+            rates,
+            price_per_hr: 4.0,
+            attest_s: 0.5,
+            seed: 77,
+        },
+        warm_pool,
+        controller: ControllerConfig {
+            control_interval_s: 2.0,
+            max_rented: num_flag(flags, "max-rented", 6) as usize,
+            ..ControllerConfig::default()
+        },
+        tiers: TieredAdmission::default(),
+        retry: RetryBudget::default(),
+        // Demo-scale thresholds: the production default (enter at 256
+        // queued) never trips in a 60 s run against a 7-node fleet.
+        brownout: flags.contains_key("brownout").then_some(BrownoutConfig {
+            enter_depth: 48,
+            exit_depth: 16,
+            output_cap_tokens: 32,
+        }),
+        breaker: BreakerConfig::default(),
+        spill: SpillPenalty::cross_platform(),
+    };
+    let r = simulate_autoscale(&cfg);
+    println!(
+        "autoscale on {} | rate {rate}/s x{burst_mult} bursts | {} requests over {duration}s",
+        kind.label(),
+        r.arrivals
+    );
+    println!(
+        "fleet        : 1 base + {} rentals ({} warm promotions, {} cold starts, {} scale-downs)",
+        r.scale_ups, r.warm_promotions, r.cold_starts, r.scale_downs
+    );
+    println!(
+        "cold starts  : {} attested handshakes + weight unseals ({:.2} s paid, {:.2} s unsealing)",
+        r.cold_starts, r.cold_start_s, r.unseal_s
+    );
+    for tier in Tier::ALL {
+        let t = &r.tiers[tier.index()];
+        println!(
+            "tier {:<8}: {} arrived, {} completed, {} shed, {} aborted, SLO {:.1}%",
+            tier.label(),
+            t.arrivals,
+            t.completed,
+            t.shed,
+            t.aborted,
+            t.slo_attainment() * 100.0
+        );
+    }
+    if cfg.brownout.is_some() {
+        println!(
+            "brownout     : {} activations, {} output tokens trimmed",
+            r.brownout_activations, r.tokens_trimmed
+        );
+    }
+    println!(
+        "retries      : {} delivered, {} storm drops, {} aborted",
+        r.retries, r.storm_drops, r.aborted
+    );
+    println!("goodput      : {:.1} tok/s delivered", r.goodput_tps);
+    println!(
+        "TTFT         : p50 {:.2} s, p99 {:.2} s, burst p99 {:.2} s",
+        r.ttft_p50_s, r.ttft_p99_s, r.ttft_p99_burst_s
+    );
+    println!(
+        "cost         : ${:.4} total (${:.4} rental, ${:.4} warm pool, ${:.4} base) -> ${:.2}/Mtok delivered",
+        r.total_cost_usd, r.rental_cost_usd, r.warm_pool_cost_usd, r.base_cost_usd, r.usd_per_mtok
+    );
+    let conserved = r.completed + r.aborted + r.shed == r.arrivals;
+    if conserved {
+        println!(
+            "conservation : ok ({} completed + {} shed + {} aborted == {} arrivals)",
+            r.completed, r.shed, r.aborted, r.arrivals
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "conservation : VIOLATED ({} completed + {} shed + {} aborted != {} arrivals)",
+            r.completed, r.shed, r.aborted, r.arrivals
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_serve_cluster(
