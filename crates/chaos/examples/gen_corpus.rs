@@ -1,0 +1,67 @@
+//! Regenerate the checked-in chaos regression corpus:
+//!
+//! ```text
+//! cargo run -p cllm-chaos --example gen_corpus -- tests/chaos_corpus
+//! ```
+//!
+//! Writes one shrunken repro for the planted `forbid-aborts` violation
+//! plus one clean digest pin per serving path (the first sampled seed
+//! that drives each path). Every file is replayed as a tier-1
+//! regression test by `tests/chaos_replay.rs`: a digest drift there
+//! means simulator behaviour changed and the corpus (and likely the
+//! golden snapshots) must be regenerated deliberately.
+
+use cllm_chaos::point::{planted_demo, sample_point, PathSpec};
+use cllm_chaos::repro::Repro;
+use cllm_chaos::run::run_point;
+use cllm_chaos::shrink::shrink;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tests/chaos_corpus".to_string());
+    std::fs::create_dir_all(&dir).expect("corpus dir");
+
+    // The planted violation, shrunken to its minimal repro.
+    let (shrunk, outcome) = shrink(&planted_demo());
+    assert!(
+        !outcome.violations.is_empty(),
+        "the planted point must violate"
+    );
+    write(
+        &dir,
+        "planted-forbid-aborts",
+        &Repro::capture(shrunk, &outcome),
+    );
+
+    // One clean digest pin per path: the first sampled seed driving it.
+    let mut pinned: Vec<&'static str> = Vec::new();
+    for seed in 0.. {
+        let point = sample_point(seed);
+        let name = match &point.path {
+            PathSpec::Single(_) => "clean-pin-single",
+            PathSpec::Cluster(_) => "clean-pin-cluster",
+            PathSpec::Autoscale(_) => "clean-pin-autoscale",
+        };
+        if pinned.contains(&name) {
+            continue;
+        }
+        let outcome = run_point(&point);
+        assert!(
+            outcome.violations.is_empty(),
+            "seed {seed} unexpectedly violates: {:?}",
+            outcome.violations
+        );
+        write(&dir, name, &Repro::capture(point, &outcome));
+        pinned.push(name);
+        if pinned.len() == 3 {
+            break;
+        }
+    }
+}
+
+fn write(dir: &str, name: &str, repro: &Repro) {
+    let path = format!("{dir}/{name}.json");
+    std::fs::write(&path, repro.to_json()).expect("write corpus file");
+    println!("wrote {path}");
+}

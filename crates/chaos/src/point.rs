@@ -1,0 +1,560 @@
+//! The chaos search space: a fully serializable coordinate
+//! ([`ChaosPoint`]) in the joint space of serving path, fleet shape,
+//! TEE platform, KV policy, traffic, fault schedule and
+//! retry/admission tuning — plus the seeded sampler that draws one.
+//!
+//! The point stores *materialized* fault events (not rates), so the
+//! shrinker can drop individual events while everything else stays
+//! fixed. The simulator configs themselves are not serializable (they
+//! embed model/hardware tables); [`ChaosPoint`] keeps only the
+//! searched coordinates and rebuilds the configs on demand, so a
+//! repro file replays byte-identically as long as the hardware tables
+//! are unchanged.
+
+use cllm_serve::autoscale::{AutoscaleConfig, ControllerConfig, RentalSpec};
+use cllm_serve::cluster::{ClusterConfig, NodeSpec, WaveModel};
+use cllm_serve::faults::{FaultEvent, FaultPlan, FaultRates, RecoveryPolicy};
+use cllm_serve::router::{
+    AdmissionPolicy, BreakerConfig, BrownoutConfig, RetryBudget, TieredAdmission,
+};
+use cllm_serve::scheduler::{KvConfig, KvPolicy};
+use cllm_serve::sim::{ServingConfig, ServingNode};
+use cllm_serve::workload::ArrivalProcess;
+use cllm_tee::platform::{CpuTeeConfig, GpuTeeConfig, TeeKind};
+use cllm_workload::trace::{LognormalLen, TrafficModel};
+use serde::{Deserialize, Serialize};
+
+use crate::Rng;
+
+/// Serializable stand-in for [`ServingNode`]: the platform axis of the
+/// search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Unprotected bare-metal CPU host.
+    BareMetal,
+    /// Unprotected virtual machine.
+    Vm,
+    /// Intel TDX trust domain.
+    Tdx,
+    /// AMD SEV-SNP VM.
+    SevSnp,
+    /// Intel SGX enclave (Gramine).
+    Sgx,
+    /// GPU without confidential compute.
+    GpuNative,
+    /// NVIDIA confidential GPU.
+    GpuCc,
+}
+
+impl NodeKind {
+    /// Every platform, in sampling order.
+    pub const ALL: [NodeKind; 7] = [
+        NodeKind::BareMetal,
+        NodeKind::Vm,
+        NodeKind::Tdx,
+        NodeKind::SevSnp,
+        NodeKind::Sgx,
+        NodeKind::GpuNative,
+        NodeKind::GpuCc,
+    ];
+
+    /// The simulator node this kind materializes to.
+    #[must_use]
+    pub fn serving_node(self) -> ServingNode {
+        match self {
+            NodeKind::BareMetal => ServingNode::Cpu {
+                tee: CpuTeeConfig::bare_metal(),
+            },
+            NodeKind::Vm => ServingNode::Cpu {
+                tee: CpuTeeConfig::vm(),
+            },
+            NodeKind::Tdx => ServingNode::Cpu {
+                tee: CpuTeeConfig::tdx(),
+            },
+            NodeKind::SevSnp => ServingNode::Cpu {
+                tee: CpuTeeConfig::sev_snp(),
+            },
+            NodeKind::Sgx => ServingNode::Cpu {
+                tee: CpuTeeConfig::sgx(),
+            },
+            NodeKind::GpuNative => ServingNode::Gpu {
+                gpu: cllm_hw::presets::h100_nvl(),
+                tee: GpuTeeConfig::native(),
+            },
+            NodeKind::GpuCc => ServingNode::Gpu {
+                gpu: cllm_hw::presets::h100_nvl(),
+                tee: GpuTeeConfig::confidential(),
+            },
+        }
+    }
+
+    /// The platform's fault-rate preset key.
+    #[must_use]
+    pub fn tee_kind(self) -> TeeKind {
+        match self {
+            NodeKind::BareMetal => TeeKind::BareMetal,
+            NodeKind::Vm => TeeKind::Vm,
+            NodeKind::Tdx => TeeKind::Tdx,
+            NodeKind::SevSnp => TeeKind::SevSnp,
+            NodeKind::Sgx => TeeKind::Sgx,
+            NodeKind::GpuNative => TeeKind::GpuNative,
+            NodeKind::GpuCc => TeeKind::GpuCc,
+        }
+    }
+}
+
+/// One fleet member: a platform plus its materialized fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosNode {
+    /// Platform class.
+    pub kind: NodeKind,
+    /// Spot rental (subject to correlated preemption waves).
+    pub spot: bool,
+    /// The node's full fault schedule, pre-materialized so the
+    /// shrinker can drop individual events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl ChaosNode {
+    fn node_spec(&self) -> NodeSpec {
+        let mut spec = NodeSpec::new(self.kind.serving_node(), self.spot, FaultRates::none(), 0);
+        spec.extra_events = self.events.clone();
+        spec
+    }
+}
+
+/// Coordinates shared by every path: workload shape, horizon, KV
+/// management and recovery tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasePoint {
+    /// Poisson arrival process (single/cluster paths).
+    pub arrivals: ArrivalProcess,
+    /// Run horizon, seconds.
+    pub duration_s: f64,
+    /// Maximum concurrent sequences per batch.
+    pub max_batch: usize,
+    /// KV budget, GiB (the arena paged policies carve blocks from).
+    pub kv_budget_gib: f64,
+    /// KV management policy and paging grain.
+    pub kv: KvConfig,
+    /// Crash recovery: retry cap, backoff, re-attestation cost.
+    pub policy: RecoveryPolicy,
+}
+
+impl BasePoint {
+    /// Materialize into a [`ServingConfig`] (model and hardware tables
+    /// come from the repo's pinned `small_test` baseline).
+    #[must_use]
+    pub fn serving_config(&self) -> ServingConfig {
+        let mut cfg = ServingConfig::small_test();
+        cfg.arrivals = self.arrivals;
+        cfg.duration_s = self.duration_s;
+        cfg.limits.max_batch = self.max_batch;
+        cfg.limits.kv_budget_bytes = self.kv_budget_gib * cllm_hw::GIB;
+        cfg.kv = self.kv;
+        cfg
+    }
+}
+
+/// A single-node run: one platform, one fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SinglePoint {
+    /// Shared workload/KV/recovery coordinates.
+    pub base: BasePoint,
+    /// The node under test.
+    pub node: ChaosNode,
+}
+
+impl SinglePoint {
+    /// The fault plan this point drives through the single-node loop.
+    #[must_use]
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan {
+            events: self.node.events.clone(),
+            policy: self.base.policy,
+        }
+    }
+}
+
+/// A fixed-fleet cluster run: heterogeneous nodes behind the router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterPoint {
+    /// Shared workload/KV/recovery coordinates.
+    pub base: BasePoint,
+    /// The fleet; at least one node.
+    pub nodes: Vec<ChaosNode>,
+    /// Router admission bounds.
+    pub admission: AdmissionPolicy,
+    /// Correlated preemption waves over the spot subset.
+    pub wave: WaveModel,
+    /// Whether crash victims may re-queue onto other nodes.
+    pub failover: bool,
+}
+
+impl ClusterPoint {
+    /// Materialize into a [`ClusterConfig`].
+    #[must_use]
+    pub fn config(&self) -> ClusterConfig {
+        // Cluster nodes read their recovery policy from the seeded
+        // plan, which is the default policy for zero-rate specs — the
+        // sampled `base.policy` axis only drives the single path.
+        ClusterConfig {
+            serving: self.base.serving_config(),
+            nodes: self.nodes.iter().map(ChaosNode::node_spec).collect(),
+            admission: self.admission,
+            breaker: BreakerConfig::default(),
+            wave: self.wave,
+            failover: self.failover,
+            spill: cllm_cost::SpillPenalty::cross_platform(),
+        }
+    }
+}
+
+/// An autoscaled run: base fleet plus seeded rentals under flash-crowd
+/// traffic, tiered admission and a retry-storm circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalePoint {
+    /// Shared workload/KV/recovery coordinates (`arrivals` is unused —
+    /// the traffic model below drives the trace).
+    pub base: BasePoint,
+    /// Modulated multi-tenant traffic.
+    pub traffic: TrafficModel,
+    /// Always-on fleet; at least one node.
+    pub base_fleet: Vec<ChaosNode>,
+    /// Rented platform class.
+    pub rental_kind: NodeKind,
+    /// Per-kind fault rates for rented nodes (kept as rates: rentals
+    /// are created dynamically, so their schedules cannot be
+    /// materialized up front; the shrinker zeroes these as one pass).
+    pub rental_rates: FaultRates,
+    /// Pre-attested standbys.
+    pub warm_pool: usize,
+    /// Reactive controller tuning.
+    pub controller: ControllerConfig,
+    /// Retry budget + storm circuit.
+    pub retry: RetryBudget,
+    /// Token-shedding brownout, if enabled.
+    pub brownout: Option<BrownoutConfig>,
+    /// Planted rule for shrinker tests: treat any aborted request as
+    /// an invariant violation (`InvariantViolation::Forbidden`).
+    pub forbid_aborts: bool,
+}
+
+impl AutoscalePoint {
+    /// Materialize into an [`AutoscaleConfig`].
+    #[must_use]
+    pub fn config(&self) -> AutoscaleConfig {
+        AutoscaleConfig {
+            serving: self.base.serving_config(),
+            traffic: self.traffic,
+            base_fleet: self.base_fleet.iter().map(ChaosNode::node_spec).collect(),
+            base_price_per_hr: 3.0,
+            rental: RentalSpec {
+                node: self.rental_kind.serving_node(),
+                rates: self.rental_rates,
+                price_per_hr: 4.0,
+                attest_s: 0.5,
+                seed: 77,
+            },
+            warm_pool: self.warm_pool,
+            controller: self.controller,
+            tiers: TieredAdmission::default(),
+            retry: self.retry,
+            brownout: self.brownout,
+            breaker: BreakerConfig::default(),
+            spill: cllm_cost::SpillPenalty::cross_platform(),
+        }
+    }
+}
+
+/// Which serving path a point drives.
+// Variant sizes are dominated by the autoscale arm's controller and
+// traffic tables; points are sampled and cloned a handful of times per
+// run, so boxing would only complicate the repro JSON for no win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PathSpec {
+    /// `simulate_serving_faulted`: one node, one fault plan.
+    Single(SinglePoint),
+    /// `simulate_cluster`: fixed fleet behind the router.
+    Cluster(ClusterPoint),
+    /// `simulate_autoscale`: reactive fleet under modulated traffic.
+    Autoscale(AutoscalePoint),
+}
+
+/// One coordinate in the chaos search space. `seed` is provenance
+/// only: the point is self-contained and replays without it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPoint {
+    /// The seed this point was sampled from (0 for hand-built points).
+    pub seed: u64,
+    /// The path and its coordinates.
+    pub path: PathSpec,
+}
+
+/// Materialize a platform-rated fault schedule, gray kinds included.
+fn sample_events(rng: &mut Rng, kind: NodeKind, spot: bool, horizon_s: f64) -> Vec<FaultEvent> {
+    let spot_params = if spot {
+        cllm_cost::SpotParams::gcp_spot()
+    } else {
+        cllm_cost::SpotParams::reserved()
+    };
+    let mut rates =
+        FaultRates::for_platform(kind.tee_kind(), &spot_params).scaled(rng.range_f64(50.0, 900.0));
+    // Gray failures ride the same per-kind salted streams.
+    rates.degraded_windows_per_hr = rng.range_f64(0.0, 400.0);
+    rates.stuck_drains_per_hr = rng.range_f64(0.0, 200.0);
+    FaultPlan::seeded(&rates, horizon_s, rng.next_u64()).events
+}
+
+fn sample_base(rng: &mut Rng) -> BasePoint {
+    let duration_s = rng.range_f64(10.0, 30.0);
+    let policy_choices = [
+        KvPolicy::Conservative,
+        KvPolicy::PagedRecompute,
+        KvPolicy::PagedSwap,
+    ];
+    BasePoint {
+        arrivals: ArrivalProcess {
+            rate_per_s: rng.range_f64(0.5, 5.0),
+            prompt_range: (16, 16 + rng.range_usize(16, 240) as u64),
+            output_range: (4, 4 + rng.range_usize(4, 60) as u64),
+            seed: rng.next_u64() % 1000,
+        },
+        duration_s,
+        max_batch: rng.range_usize(2, 24),
+        kv_budget_gib: rng.range_f64(0.25, 64.0),
+        kv: KvConfig {
+            policy: policy_choices[rng.range_usize(0, 3)],
+            block_tokens: [8u64, 16, 32][rng.range_usize(0, 3)],
+            static_batching: rng.chance(0.15),
+        },
+        policy: RecoveryPolicy {
+            max_retries: rng.range_usize(0, 5) as u32,
+            backoff_base_s: rng.range_f64(0.05, 0.5),
+            backoff_factor: rng.range_f64(1.0, 3.0),
+            reattest_s: rng.range_f64(0.1, 1.0),
+        },
+    }
+}
+
+fn sample_node(rng: &mut Rng, horizon_s: f64) -> ChaosNode {
+    let kind = NodeKind::ALL[rng.range_usize(0, NodeKind::ALL.len())];
+    let spot = rng.chance(0.4);
+    ChaosNode {
+        kind,
+        spot,
+        events: sample_events(rng, kind, spot, horizon_s),
+    }
+}
+
+/// Small prompt/output shapes so sampled autoscale runs stay fast.
+fn sample_traffic(rng: &mut Rng) -> TrafficModel {
+    let mut t = TrafficModel::flash_crowd(
+        rng.range_f64(1.0, 8.0),
+        rng.range_f64(2.0, 10.0),
+        rng.next_u64() % 1000,
+    );
+    t.bursts.bursts_per_hr = rng.range_f64(60.0, 400.0);
+    t.bursts.window_s = rng.range_f64(5.0, 15.0);
+    t.diurnal_amplitude = rng.range_f64(0.0, 0.5);
+    t.prompt = LognormalLen {
+        mu_ln: 3.5,
+        sigma_ln: 0.5,
+        min_tokens: 16,
+        max_tokens: 128,
+    };
+    t.output = LognormalLen {
+        mu_ln: 2.5,
+        sigma_ln: 0.4,
+        min_tokens: 4,
+        max_tokens: 32,
+    };
+    t
+}
+
+/// Expand `seed` into a point. Pure: the same seed always yields the
+/// same point, and different seeds draw from independent SplitMix64
+/// streams.
+#[must_use]
+pub fn sample_point(seed: u64) -> ChaosPoint {
+    let mut rng = Rng::new(seed ^ 0xC4A0_5C11_AB1E_D0D0);
+    let base = sample_base(&mut rng);
+    let horizon_s = base.duration_s;
+    let path = match rng.range_usize(0, 3) {
+        0 => PathSpec::Single(SinglePoint {
+            base,
+            node: sample_node(&mut rng, horizon_s),
+        }),
+        1 => {
+            let n_nodes = rng.range_usize(1, 5);
+            PathSpec::Cluster(ClusterPoint {
+                base,
+                nodes: (0..n_nodes)
+                    .map(|_| sample_node(&mut rng, horizon_s))
+                    .collect(),
+                admission: AdmissionPolicy {
+                    queue_cap: rng.range_usize(2, 48),
+                    deadline_s: rng.range_f64(4.0, 20.0),
+                },
+                wave: WaveModel {
+                    waves_per_hr: rng.range_f64(0.0, 300.0),
+                    frac: rng.range_f64(0.0, 1.0),
+                    seed: rng.next_u64() % 1000,
+                },
+                failover: rng.chance(0.7),
+            })
+        }
+        _ => {
+            let n_base = rng.range_usize(1, 3);
+            let brownout = rng.chance(0.4).then(|| BrownoutConfig {
+                enter_depth: rng.range_usize(8, 64),
+                exit_depth: rng.range_usize(2, 8),
+                output_cap_tokens: rng.range_usize(4, 24) as u64,
+            });
+            PathSpec::Autoscale(AutoscalePoint {
+                base,
+                traffic: sample_traffic(&mut rng),
+                base_fleet: (0..n_base)
+                    .map(|_| sample_node(&mut rng, horizon_s))
+                    .collect(),
+                rental_kind: NodeKind::ALL[rng.range_usize(0, NodeKind::ALL.len())],
+                rental_rates: {
+                    let mut r =
+                        FaultRates::for_platform(TeeKind::Tdx, &cllm_cost::SpotParams::gcp_spot())
+                            .scaled(rng.range_f64(0.0, 600.0));
+                    r.stuck_drains_per_hr = rng.range_f64(0.0, 300.0);
+                    r.degraded_windows_per_hr = rng.range_f64(0.0, 300.0);
+                    r
+                },
+                warm_pool: rng.range_usize(0, 4),
+                controller: ControllerConfig {
+                    control_interval_s: rng.range_f64(0.5, 4.0),
+                    up_depth_per_node: rng.range_f64(2.0, 12.0),
+                    down_depth_per_node: rng.range_f64(0.5, 2.0),
+                    scale_up_step: rng.range_usize(1, 3),
+                    max_rented: rng.range_usize(0, 6),
+                    scale_down_ticks: rng.range_usize(1, 4) as u32,
+                    drain_window_s: rng.range_f64(2.0, 25.0),
+                },
+                retry: RetryBudget {
+                    per_request: rng.range_usize(0, 5) as u32,
+                    storm_window_s: rng.range_f64(2.0, 15.0),
+                    storm_max_retries: rng.range_usize(8, 128),
+                },
+                brownout,
+                forbid_aborts: false,
+            })
+        }
+    };
+    ChaosPoint { seed, path }
+}
+
+/// A hand-built point that intentionally violates the planted
+/// `forbid-aborts` rule: a zero retry budget, a single TDX node, and a
+/// dense crash schedule under steady traffic. Any one crash that
+/// catches a running request aborts it, so the shrinker has plenty of
+/// slack to cut — the shrinker's end-to-end test demands it reduce the
+/// 8 planted crashes to at most 3, and the checked-in regression
+/// corpus pins the shrunken repro.
+#[must_use]
+pub fn planted_demo() -> ChaosPoint {
+    let mut traffic = TrafficModel::steady(3.0, 7);
+    traffic.prompt = LognormalLen {
+        mu_ln: 3.5,
+        sigma_ln: 0.5,
+        min_tokens: 16,
+        max_tokens: 128,
+    };
+    traffic.output = LognormalLen {
+        mu_ln: 2.5,
+        sigma_ln: 0.4,
+        min_tokens: 4,
+        max_tokens: 32,
+    };
+    let crashes: Vec<FaultEvent> = (0..8)
+        .map(|i| FaultEvent {
+            at_s: 2.0 + f64::from(i),
+            kind: cllm_serve::faults::FaultKind::EnclaveCrash,
+            outage_s: 0.5,
+        })
+        .collect();
+    let small = ServingConfig::small_test();
+    ChaosPoint {
+        seed: 0,
+        path: PathSpec::Autoscale(AutoscalePoint {
+            base: BasePoint {
+                arrivals: ArrivalProcess {
+                    rate_per_s: 3.0,
+                    prompt_range: (16, 128),
+                    output_range: (4, 32),
+                    seed: 7,
+                },
+                duration_s: 12.0,
+                max_batch: small.limits.max_batch,
+                kv_budget_gib: 64.0,
+                kv: KvConfig::default(),
+                policy: RecoveryPolicy::default(),
+            },
+            traffic,
+            base_fleet: vec![ChaosNode {
+                kind: NodeKind::Tdx,
+                spot: false,
+                events: crashes,
+            }],
+            rental_kind: NodeKind::Tdx,
+            rental_rates: FaultRates::none(),
+            warm_pool: 0,
+            controller: ControllerConfig {
+                max_rented: 0,
+                ..ControllerConfig::default()
+            },
+            retry: RetryBudget {
+                per_request: 0,
+                ..RetryBudget::default()
+            },
+            brownout: None,
+            forbid_aborts: true,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        for seed in [0u64, 1, 17, 0xDEAD_BEEF] {
+            assert_eq!(sample_point(seed), sample_point(seed));
+        }
+    }
+
+    #[test]
+    fn sampling_covers_all_three_paths() {
+        let mut single = 0;
+        let mut cluster = 0;
+        let mut autoscale = 0;
+        for seed in 0..60 {
+            match sample_point(seed).path {
+                PathSpec::Single(_) => single += 1,
+                PathSpec::Cluster(_) => cluster += 1,
+                PathSpec::Autoscale(_) => autoscale += 1,
+            }
+        }
+        assert!(
+            single > 0 && cluster > 0 && autoscale > 0,
+            "60 seeds must hit every path: {single}/{cluster}/{autoscale}"
+        );
+    }
+
+    #[test]
+    fn points_serialize_round_trip() {
+        for seed in 0..12 {
+            let p = sample_point(seed);
+            let json = serde_json::to_string(&p).expect("point serializes");
+            let back: ChaosPoint = serde_json::from_str(&json).expect("point parses");
+            assert_eq!(p, back, "seed {seed} round-trips");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Delta-debugging shrinker: reduce a violating [`ChaosPoint`] to a
+//! minimal repro while the original violation keeps reproducing.
+//!
+//! The shrinker is deterministic and greedy. Passes, applied to a
+//! fixpoint:
+//!
+//! 1. **Event ddmin** — classic delta debugging over each materialized
+//!    fault-event list (complement removal with doubling granularity),
+//!    so the repro carries only the events that matter.
+//! 2. **Horizon halving** — shorter runs are easier to step through;
+//!    events past the new horizon are dropped with it.
+//! 3. **Fleet shrinking** — remove nodes one at a time (cluster and
+//!    autoscale base fleets keep at least one node).
+//! 4. **Subsystem stripping** — preemption waves, rental fault rates,
+//!    warm pool and brownout are zeroed out if the violation survives
+//!    without them.
+//!
+//! "Keeps reproducing" means the candidate still raises at least one
+//! violation with the same label (`InvariantViolation::label`) as the
+//! original first violation — shrinking may not trade a conservation
+//! bug for an unrelated finite-field bug.
+
+use cllm_serve::cluster::WaveModel;
+use cllm_serve::faults::{FaultEvent, FaultRates};
+
+use crate::point::{ChaosPoint, PathSpec};
+use crate::run::{run_point, RunOutcome};
+
+/// Does `candidate` still raise a violation with the target label?
+fn still_violates(candidate: &ChaosPoint, label: &str) -> bool {
+    run_point(candidate)
+        .violations
+        .iter()
+        .any(|v| v.label() == label)
+}
+
+/// Number of independently shrinkable fault-event lists in a point.
+fn event_list_count(point: &ChaosPoint) -> usize {
+    match &point.path {
+        PathSpec::Single(_) => 1,
+        PathSpec::Cluster(p) => p.nodes.len(),
+        PathSpec::Autoscale(p) => p.base_fleet.len(),
+    }
+}
+
+fn get_events(point: &ChaosPoint, idx: usize) -> Vec<FaultEvent> {
+    match &point.path {
+        PathSpec::Single(p) => p.node.events.clone(),
+        PathSpec::Cluster(p) => p.nodes[idx].events.clone(),
+        PathSpec::Autoscale(p) => p.base_fleet[idx].events.clone(),
+    }
+}
+
+fn set_events(point: &mut ChaosPoint, idx: usize, events: Vec<FaultEvent>) {
+    match &mut point.path {
+        PathSpec::Single(p) => p.node.events = events,
+        PathSpec::Cluster(p) => p.nodes[idx].events = events,
+        PathSpec::Autoscale(p) => p.base_fleet[idx].events = events,
+    }
+}
+
+/// Classic ddmin over one event list: repeatedly try removing chunks
+/// (complements), doubling granularity when stuck.
+fn ddmin_events(point: &ChaosPoint, idx: usize, label: &str) -> Vec<FaultEvent> {
+    let mut current = get_events(point, idx);
+    // Fast path: does the violation even need this list?
+    {
+        let mut cand = point.clone();
+        set_events(&mut cand, idx, Vec::new());
+        if still_violates(&cand, label) {
+            return Vec::new();
+        }
+    }
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut complement = Vec::with_capacity(current.len() - (end - start));
+            complement.extend_from_slice(&current[..start]);
+            complement.extend_from_slice(&current[end..]);
+            let mut cand = point.clone();
+            set_events(&mut cand, idx, complement.clone());
+            if still_violates(&cand, label) {
+                current = complement;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// Coarse structural passes; returns `true` if any pass stuck.
+fn structural_pass(point: &mut ChaosPoint, label: &str) -> bool {
+    let mut changed = false;
+
+    // Halve the horizon (dropping events past it) while it reproduces.
+    loop {
+        let mut cand = point.clone();
+        let halved = match &mut cand.path {
+            PathSpec::Single(p) => {
+                p.base.duration_s /= 2.0;
+                p.base.duration_s
+            }
+            PathSpec::Cluster(p) => {
+                p.base.duration_s /= 2.0;
+                p.base.duration_s
+            }
+            PathSpec::Autoscale(p) => {
+                p.base.duration_s /= 2.0;
+                p.base.duration_s
+            }
+        };
+        if halved < 2.0 {
+            break;
+        }
+        for idx in 0..event_list_count(&cand) {
+            let kept: Vec<FaultEvent> = get_events(&cand, idx)
+                .into_iter()
+                .filter(|e| e.at_s < halved)
+                .collect();
+            set_events(&mut cand, idx, kept);
+        }
+        if still_violates(&cand, label) {
+            *point = cand;
+            changed = true;
+        } else {
+            break;
+        }
+    }
+
+    // Drop whole nodes (keep at least one).
+    loop {
+        let n = match &point.path {
+            PathSpec::Single(_) => 1,
+            PathSpec::Cluster(p) => p.nodes.len(),
+            PathSpec::Autoscale(p) => p.base_fleet.len(),
+        };
+        if n <= 1 {
+            break;
+        }
+        let mut dropped = false;
+        for idx in (0..n).rev() {
+            let mut cand = point.clone();
+            match &mut cand.path {
+                PathSpec::Single(_) => {}
+                PathSpec::Cluster(p) => {
+                    p.nodes.remove(idx);
+                }
+                PathSpec::Autoscale(p) => {
+                    p.base_fleet.remove(idx);
+                }
+            }
+            if still_violates(&cand, label) {
+                *point = cand;
+                changed = true;
+                dropped = true;
+                break;
+            }
+        }
+        if !dropped {
+            break;
+        }
+    }
+
+    // Strip optional subsystems.
+    match &point.path {
+        PathSpec::Cluster(p) if p.wave.waves_per_hr > 0.0 => {
+            let mut cand = point.clone();
+            if let PathSpec::Cluster(c) = &mut cand.path {
+                c.wave = WaveModel::none();
+            }
+            if still_violates(&cand, label) {
+                *point = cand;
+                changed = true;
+            }
+        }
+        PathSpec::Autoscale(p) => {
+            let has_rates = p.rental_rates != FaultRates::none();
+            let has_warm = p.warm_pool > 0;
+            let has_brownout = p.brownout.is_some();
+            for strip in 0..3 {
+                if (strip == 0 && !has_rates)
+                    || (strip == 1 && !has_warm)
+                    || (strip == 2 && !has_brownout)
+                {
+                    continue;
+                }
+                let mut cand = point.clone();
+                if let PathSpec::Autoscale(a) = &mut cand.path {
+                    match strip {
+                        0 => a.rental_rates = FaultRates::none(),
+                        1 => a.warm_pool = 0,
+                        _ => a.brownout = None,
+                    }
+                }
+                if still_violates(&cand, label) {
+                    *point = cand;
+                    changed = true;
+                }
+            }
+        }
+        _ => {}
+    }
+
+    changed
+}
+
+/// Shrink a violating point to a minimal repro. Returns the shrunken
+/// point and its outcome. If `point` does not violate anything, it is
+/// returned unchanged.
+#[must_use]
+pub fn shrink(point: &ChaosPoint) -> (ChaosPoint, RunOutcome) {
+    let original = run_point(point);
+    let Some(first) = original.violations.first() else {
+        return (point.clone(), original);
+    };
+    let label = first.label();
+
+    let mut current = point.clone();
+    loop {
+        let mut changed = false;
+        for idx in 0..event_list_count(&current) {
+            let before = get_events(&current, idx).len();
+            let events = ddmin_events(&current, idx, label);
+            if events.len() < before {
+                set_events(&mut current, idx, events);
+                changed = true;
+            }
+        }
+        if structural_pass(&mut current, label) {
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    let outcome = run_point(&current);
+    debug_assert!(
+        outcome.violations.iter().any(|v| v.label() == label),
+        "shrinking lost the original violation"
+    );
+    (current, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::sample_point;
+
+    #[test]
+    fn clean_points_shrink_to_themselves() {
+        let p = sample_point(3);
+        let (shrunk, out) = shrink(&p);
+        assert_eq!(shrunk, p, "no violation, nothing to shrink");
+        assert!(out.violations.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! End-to-end shrinker proof: plant a violation, let the engine
+//! shrink it, and demand a minimal repro that replays byte-identically.
+
+use cllm_chaos::point::{planted_demo, PathSpec};
+use cllm_chaos::repro::Repro;
+use cllm_chaos::run::run_point;
+use cllm_chaos::shrink::shrink;
+
+#[test]
+fn planted_violation_shrinks_to_a_minimal_repro() {
+    let point = planted_demo();
+    let original = run_point(&point);
+    assert!(
+        original.violations.iter().any(|v| v.label() == "forbidden"),
+        "the planted rule must fire before shrinking: {:?}",
+        original.violations
+    );
+
+    let (shrunk, outcome) = shrink(&point);
+    let events = match &shrunk.path {
+        PathSpec::Autoscale(p) => p.base_fleet.iter().map(|n| n.events.len()).sum::<usize>(),
+        _ => unreachable!("shrinking never changes the path"),
+    };
+    assert!(
+        events <= 3,
+        "8 planted crashes must shrink to <= 3 events, got {events}"
+    );
+    assert!(
+        outcome.violations.iter().any(|v| v.label() == "forbidden"),
+        "the shrunken point must still violate the planted rule"
+    );
+
+    // The shrunken finding replays byte-identically through the repro
+    // path — the same check `cllm chaos --repro` performs.
+    let repro = Repro::capture(shrunk, &outcome);
+    let json = repro.to_json();
+    let back = Repro::from_json(&json).expect("repro parses");
+    let replayed = back.replay().expect("repro replays byte-identically");
+    assert_eq!(replayed.digest, outcome.digest);
+}

@@ -412,6 +412,7 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
             .min_by(|(i, a), (j, b)| {
                 a.st.now
                     .partial_cmp(&b.st.now)
+                    // infallible: sim clocks are sums of finite step times; the non-finite invariant would trip first
                     .expect("finite clocks")
                     .then(i.cmp(j))
             })
@@ -434,6 +435,7 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
                 let mut r = pending.pop_front().expect("arrival checked");
                 stats.arrivals += 1;
                 let t = r.arrival_s;
+                // infallible: request ids are dense trace indices (0..len), here and in every tier_of lookup below
                 let tier = tier_of[usize::try_from(r.id).expect("dense id")];
 
                 // Controller tick (deterministic, sim-time driven).
@@ -515,6 +517,7 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
                         .filter(|(_, n)| n.eligible(t))
                         .map(|(i, n)| (i, n.st.depth()))
                         .collect();
+                    // infallible: the base fleet never drains, so an eligible node always exists
                     route_least_loaded(&all).expect("base fleet is always eligible")
                 });
                 if nodes[target].st.is_gpu() != e.origin_gpu {
@@ -527,6 +530,7 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
         }
 
         // Advance the chosen node by one batching iteration.
+        // infallible: the advance branch is only taken when `runnable` is Some
         let (i, _) = runnable.expect("advance branch requires a runnable node");
         let n = &mut nodes[i];
 
@@ -582,8 +586,12 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
             }
         }
         if n.draining && n.st.scheduler.idle() {
+            // A gray StuckDrain window wedges the scale-down: the node
+            // keeps renting (billed until it actually retires) without
+            // serving. `drain_deadline_s` is horizon-clamped when the
+            // controller sets it, so the billed tail is bounded.
             n.retired = true;
-            n.retired_at_s = n.st.now;
+            n.retired_at_s = drain_retire_time(n.st.now, n.st.stuck_until_s, n.drain_deadline_s);
             continue;
         }
 
@@ -671,6 +679,11 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
                 t_step += n.st.node.kv_pressure_stall_s(excess);
             }
         }
+        // A step that begins inside a gray DegradedThroughput window
+        // runs at the derated rate — no breaker error, no downtime.
+        if n.st.now < n.st.derate_until_s {
+            t_step *= crate::faults::DEGRADED_THROUGHPUT_FACTOR;
+        }
         n.st.now += t_step;
         stats.decode_steps += 1;
 
@@ -697,6 +710,7 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
             if n.st.breaker.record_success() {
                 n.st.handshake_seq += 1;
                 attested_rehandshake_phased(hs_seed(i, n.st.handshake_seq), &mut |_| {})
+                    // infallible: simulated attestation over an in-process channel cannot fail; crashes charge recovery time, not handshake errors
                     .expect("re-handshake must recover the session");
                 n.st.now += n.st.plan.policy.reattest_s;
                 n.st.downtime_s += n.st.plan.policy.reattest_s;
@@ -705,11 +719,13 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
     }
 
     // Retire every node still draining (idle by construction once the
-    // loop exits) and clamp never-ready rentals to the horizon.
+    // loop exits) and clamp never-ready rentals to the horizon. A gray
+    // StuckDrain window wedges the drain: the node bills until the
+    // window clears or its force-retire deadline, whichever is first.
     for n in &mut nodes {
         if n.draining && !n.retired {
             n.retired = true;
-            n.retired_at_s = n.st.now;
+            n.retired_at_s = drain_retire_time(n.st.now, n.st.stuck_until_s, n.drain_deadline_s);
         }
         if n.rented && !n.retired && n.ready_at_s >= horizon_s {
             // Rented against a burst so late it never became ready: the
@@ -748,12 +764,8 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
     records.sort_by_key(|r| r.id);
     let delivered_tokens: u64 = nodes.iter().map(|n| n.st.useful_tokens).sum();
     let completed = records.len();
-    debug_assert_eq!(
-        completed + aborted + shed,
-        total_arrivals,
-        "autoscale conservation violated"
-    );
     let mut ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
+    // infallible: latencies are differences of finite sim clocks
     ttft.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     // The burst tail is judged by *arrival* time; RequestRecord doesn't
     // carry it, so recover it from the trace by id.
@@ -767,6 +779,7 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
         .filter(|r| in_burst(trace[usize::try_from(r.id).expect("dense id")].arrival_s))
         .map(|r| r.ttft_s)
         .collect();
+    // infallible: latencies are differences of finite sim clocks
     burst_ttft.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
 
     let usd_per_mtok = if delivered_tokens == 0 {
@@ -808,6 +821,15 @@ pub fn simulate_autoscale_stats(cfg: &AutoscaleConfig) -> (AutoscaleReport, Kern
         usd_per_mtok,
         records,
     };
+    #[cfg(debug_assertions)]
+    {
+        let v = crate::invariants::check_autoscale(&report);
+        debug_assert!(
+            v.is_empty(),
+            "autoscale invariants violated: {}",
+            crate::invariants::describe(&v)
+        );
+    }
     (report, stats)
 }
 
@@ -869,6 +891,8 @@ fn new_node_state(cfg: &AutoscaleConfig, node: ServingNode, plan: FaultPlan) -> 
         preemptions: 0,
         swap_out_bytes: 0.0,
         swap_in_bytes: 0.0,
+        derate_until_s: 0.0,
+        stuck_until_s: 0.0,
     }
 }
 
@@ -979,17 +1003,39 @@ fn run_controller(
                         .filter(|(i, n)| *i != v && n.eligible(t))
                         .map(|(i, n)| (i, n.st.depth()))
                         .collect();
+                    // infallible: the base fleet never drains, so an eligible node always exists
                     let target = route_least_loaded(&all).expect("base fleet is always eligible");
                     place(&mut nodes[target].st, target, r, t, sink);
                 }
                 if nodes[v].st.scheduler.idle() {
+                    // An idle victim retires on the spot — unless a
+                    // gray StuckDrain window is wedging it, in which
+                    // case it bills until the window clears or the
+                    // force-retire deadline, whichever comes first.
                     nodes[v].retired = true;
-                    nodes[v].retired_at_s = t.max(nodes[v].st.now);
+                    nodes[v].retired_at_s = drain_retire_time(
+                        t.max(nodes[v].st.now),
+                        nodes[v].st.stuck_until_s,
+                        nodes[v].drain_deadline_s,
+                    );
                 }
             }
         }
     } else {
         *low_ticks = 0;
+    }
+}
+
+/// When a draining node goes idle at `now`, the time at which it can
+/// actually retire: immediately when no stuck-drain window is active,
+/// at the window's end if the window clears before the drain deadline,
+/// or force-retired at the deadline when the drain stays wedged past
+/// it. Never earlier than `now`, so clocks only move forward.
+pub(crate) fn drain_retire_time(now: f64, stuck_until_s: f64, deadline_s: f64) -> f64 {
+    if now >= stuck_until_s {
+        now
+    } else {
+        stuck_until_s.min(deadline_s).max(now)
     }
 }
 
@@ -1011,10 +1057,29 @@ fn apply_fault(
     tiers_out: &mut [TierReport; 3],
     tier_of: &[Tier],
 ) {
+    if ev.kind.is_gray() {
+        // Gray failures are invisible to the breaker, charge no
+        // downtime, and lose no state: DegradedThroughput derates
+        // decode steps inside its window; StuckDrain wedges a
+        // scale-down so the drain only ends at the force-retire
+        // deadline (see `drain_retire_time`).
+        let window_s = ev.outage_s.min((horizon_s - ev.at_s).max(0.0));
+        match ev.kind {
+            FaultKind::DegradedThroughput => {
+                n.derate_until_s = n.derate_until_s.max(ev.at_s + window_s);
+            }
+            FaultKind::StuckDrain => {
+                n.stuck_until_s = n.stuck_until_s.max(ev.at_s + window_s);
+            }
+            _ => unreachable!("is_gray covers exactly the two gray kinds"),
+        }
+        return;
+    }
     n.breaker.record_error(n.now);
     if ev.kind == FaultKind::AttestationFailure {
         n.handshake_seq += 1;
         attested_rehandshake_phased(hs_seed(node_idx, n.handshake_seq), &mut |_| {})
+            // infallible: simulated attestation over an in-process channel cannot fail
             .expect("re-handshake must recover the session");
         let outage_s = n.plan.policy.reattest_s.min((horizon_s - ev.at_s).max(0.0));
         n.now += outage_s;
@@ -1347,6 +1412,69 @@ mod tests {
             "regression: drain deadline {} leaked past the horizon {}",
             nodes[1].drain_deadline_s,
             horizon_s
+        );
+    }
+
+    #[test]
+    fn stuck_drain_defers_retirement_to_the_deadline() {
+        // No active window: retire on the spot.
+        assert!((drain_retire_time(10.0, 5.0, 20.0) - 10.0).abs() < 1e-12);
+        // Window clears before the deadline: retire when it clears.
+        assert!((drain_retire_time(10.0, 15.0, 20.0) - 15.0).abs() < 1e-12);
+        // Window outlives the deadline: force-retire at the deadline.
+        assert!((drain_retire_time(10.0, 1.0e9, 20.0) - 20.0).abs() < 1e-12);
+        // Clocks never move backward, even past a stale deadline.
+        assert!((drain_retire_time(25.0, 1.0e9, 20.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_base_fleet_slows_but_conserves() {
+        let mk = |rates: FaultRates| {
+            let mut t = small_traffic(0.6, 1.0, 5);
+            t.bursts = cllm_workload::trace::BurstModel::none();
+            let mut cfg = base_cfg(t);
+            cfg.base_fleet = vec![NodeSpec::new(tdx_serving_node(), false, rates, 1)];
+            cfg
+        };
+        let clean = simulate_autoscale(&mk(FaultRates::none()));
+        let gray = simulate_autoscale(&mk(FaultRates {
+            degraded_windows_per_hr: 1200.0,
+            ..FaultRates::none()
+        }));
+        assert_eq!(gray.arrivals, clean.arrivals, "traffic is fault-blind");
+        assert_eq!(gray.completed + gray.aborted + gray.shed, gray.arrivals);
+        assert!(
+            gray.makespan_s > clean.makespan_s,
+            "dense derate windows must slow the fleet: {} vs {}",
+            gray.makespan_s,
+            clean.makespan_s
+        );
+    }
+
+    #[test]
+    fn stuck_drain_rentals_bill_through_the_wedged_drain() {
+        let mk = |stuck_per_hr: f64| {
+            let mut cfg = base_cfg(small_traffic(4.0, 10.0, 3));
+            cfg.controller.scale_down_ticks = 1;
+            cfg.rental.rates = FaultRates {
+                stuck_drains_per_hr: stuck_per_hr,
+                ..FaultRates::none()
+            };
+            cfg
+        };
+        let clean = simulate_autoscale(&mk(0.0));
+        let stuck = simulate_autoscale(&mk(3600.0));
+        assert!(
+            clean.scale_downs >= 1,
+            "this trace must scale down for the wedge to bite"
+        );
+        assert_eq!(stuck.arrivals, clean.arrivals);
+        assert_eq!(stuck.completed + stuck.aborted + stuck.shed, stuck.arrivals);
+        assert!(
+            stuck.rental_cost_usd > clean.rental_cost_usd,
+            "a wedged drain keeps renting until its deadline: {} vs {}",
+            stuck.rental_cost_usd,
+            clean.rental_cost_usd
         );
     }
 

@@ -286,6 +286,13 @@ pub(crate) struct NodeState {
     pub(crate) swap_out_bytes: f64,
     /// KV bytes this node paged back in on readmission.
     pub(crate) swap_in_bytes: f64,
+    /// End of the latest gray [`FaultKind::DegradedThroughput`] window
+    /// (horizon-clamped): decode steps starting before it are derated.
+    pub(crate) derate_until_s: f64,
+    /// End of the latest gray [`FaultKind::StuckDrain`] window
+    /// (horizon-clamped). Only the autoscaler has drains to wedge; the
+    /// fixed cluster records the window and carries on.
+    pub(crate) stuck_until_s: f64,
 }
 
 impl NodeState {
@@ -342,6 +349,8 @@ pub(crate) fn build_nodes(cfg: &ClusterConfig, horizon_s: f64) -> Vec<NodeState>
                 preemptions: 0,
                 swap_out_bytes: 0.0,
                 swap_in_bytes: 0.0,
+                derate_until_s: 0.0,
+                stuck_until_s: 0.0,
             }
         })
         .collect()
@@ -460,6 +469,7 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> (ClusterReport, Ker
             .min_by(|(i, a), (j, b)| {
                 a.now
                     .partial_cmp(&b.now)
+                    // infallible: sim clocks are sums of finite step times; the non-finite invariant would trip first
                     .expect("finite clocks")
                     .then(i.cmp(j))
             })
@@ -521,6 +531,7 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> (ClusterReport, Ker
                     crate::router::route_least_loaded(&candidates).unwrap_or_else(|| {
                         let all: Vec<(usize, usize)> =
                             nodes.iter().map(|n| n.depth()).enumerate().collect();
+                        // infallible: the fleet is non-empty by construction, so least-loaded always resolves
                         crate::router::route_least_loaded(&all).expect("fleet is non-empty")
                     })
                 } else {
@@ -561,6 +572,7 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> (ClusterReport, Ker
         }
 
         // Advance the chosen node by one batching iteration.
+        // infallible: the advance branch is only taken when `runnable` is Some
         let (i, _) = runnable.expect("advance branch requires a runnable node");
         let n = &mut nodes[i];
 
@@ -732,6 +744,12 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> (ClusterReport, Ker
                 t_step += n.node.kv_pressure_stall_s(excess);
             }
         }
+        // Steps beginning inside a gray DegradedThroughput window run
+        // derated: the node is up and routable (no breaker error, no
+        // downtime), just slow.
+        if n.now < n.derate_until_s {
+            t_step *= crate::faults::DEGRADED_THROUGHPUT_FACTOR;
+        }
         n.now += t_step;
         stats.decode_steps += 1;
         sink.span(node_scope(i), SpanKind::Decode, t0, n.now);
@@ -765,6 +783,7 @@ fn run_cluster(cfg: &ClusterConfig, sink: &mut TraceSink) -> (ClusterReport, Ker
                 attested_rehandshake_phased(hs_seed(i, n.handshake_seq), &mut |phase| {
                     sink.event_fmt(node_scope(i), "handshake", t0, || phase.label().to_string());
                 })
+                // infallible: simulated attestation over an in-process channel cannot fail; crashes charge recovery time, not handshake errors
                 .expect("re-handshake must recover the session");
                 n.now += n.plan.policy.reattest_s;
                 n.downtime_s += n.plan.policy.reattest_s;
@@ -834,6 +853,28 @@ fn apply_node_fault(
     sink: &mut TraceSink,
     breaker_seen: &mut BreakerState,
 ) {
+    if ev.kind.is_gray() {
+        // Gray failures are invisible to the breaker (no hard error
+        // fires — that is what makes them gray), charge no downtime,
+        // and emit no outage span. They only extend the matching
+        // horizon-clamped window on the node.
+        let window_s = ev.outage_s.min((horizon_s - ev.at_s).max(0.0));
+        match ev.kind {
+            FaultKind::DegradedThroughput => {
+                n.derate_until_s = n.derate_until_s.max(ev.at_s + window_s);
+            }
+            FaultKind::StuckDrain => {
+                // The fixed cluster never drains; the autoscaler reads
+                // this window when it retires draining rentals.
+                n.stuck_until_s = n.stuck_until_s.max(ev.at_s + window_s);
+            }
+            _ => unreachable!("is_gray covers exactly the two gray kinds"),
+        }
+        sink.event_fmt(node_scope(node_idx), "gray", n.now, || {
+            ev.kind.label().to_string()
+        });
+        return;
+    }
     n.breaker.record_error(n.now);
     note_breaker(sink, breaker_seen, node_idx, n.breaker.state(), n.now);
     if ev.kind == FaultKind::AttestationFailure {
@@ -844,6 +885,7 @@ fn apply_node_fault(
                 phase.label().to_string()
             });
         })
+        // infallible: simulated attestation over an in-process channel cannot fail
         .expect("re-handshake must recover the session");
         let outage_s = n.plan.policy.reattest_s.min((horizon_s - ev.at_s).max(0.0));
         n.now += outage_s;
@@ -947,15 +989,11 @@ pub(crate) fn drain_report(
     };
     // Sort the TTFT samples once; both percentiles read the same slice.
     let mut ttft: Vec<f64> = records.iter().map(|r| r.ttft_s).collect();
+    // infallible: latencies are differences of finite sim clocks
     ttft.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let completed = records.len();
-    debug_assert_eq!(
-        completed + aborted + rejected,
-        arrivals,
-        "cluster conservation violated"
-    );
     #[allow(clippy::cast_precision_loss)]
-    ClusterReport {
+    let report = ClusterReport {
         arrivals,
         completed,
         aborted,
@@ -984,7 +1022,17 @@ pub(crate) fn drain_report(
         },
         nodes: node_reports,
         records,
+    };
+    #[cfg(debug_assertions)]
+    {
+        let v = crate::invariants::check_cluster(&report);
+        debug_assert!(
+            v.is_empty(),
+            "cluster invariants violated: {}",
+            crate::invariants::describe(&v)
+        );
     }
+    report
 }
 
 #[cfg(test)]

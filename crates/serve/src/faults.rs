@@ -19,6 +19,15 @@
 //!   failure at session setup: the verifier rejects, and the enclave
 //!   re-handshakes through the real `cllm_tee::session` state machine
 //!   (see [`attested_rehandshake`]) while the node is unavailable.
+//! * **Gray-failure** events ([`FaultKind::DegradedThroughput`],
+//!   [`FaultKind::StuckDrain`]) never take the node down and never
+//!   destroy state — the node keeps serving, just *worse*. A degraded
+//!   window derates every decode step by
+//!   [`DEGRADED_THROUGHPUT_FACTOR`]; a stuck drain wedges an in-flight
+//!   scale-down so it cannot complete on its own and must be
+//!   force-retired at its (horizon-clamped) drain deadline. These are
+//!   the partial failures breakers and autoscalers handle worst,
+//!   because no hard error ever fires.
 //!
 //! Rates are per-platform ([`FaultRates::for_platform`]): SGX pays
 //! AEX/EPC events, TDX and SEV-SNP pay TD-exit storms, cGPUs pay bounce
@@ -59,12 +68,30 @@ pub enum FaultKind {
     /// The cloud provider reclaims the spot instance; the replacement
     /// node must re-provision and re-attest. All resident state is lost.
     SpotPreemption,
+    /// Gray failure: a slow-node window (thermal throttle, noisy
+    /// neighbour, degraded NIC). For `outage_s` seconds the node keeps
+    /// serving but every decode step is derated by
+    /// [`DEGRADED_THROUGHPUT_FACTOR`]; no downtime is charged and no
+    /// state is lost.
+    DegradedThroughput,
+    /// Gray failure: a scale-down drain wedges (stuck teardown hook,
+    /// un-acknowledged deregistration). A node whose drain falls inside
+    /// the `outage_s`-second window cannot confirm completion on its
+    /// own and is force-retired at its horizon-clamped drain deadline.
+    /// Paths without drains (single node, fixed cluster) record the
+    /// event and carry on — exactly a gray failure's signature.
+    StuckDrain,
 }
+
+/// Decode-step slowdown inside a [`FaultKind::DegradedThroughput`]
+/// window: a derated node generates tokens at `1/4` its healthy rate —
+/// slow enough to wreck tails, fast enough that nothing hard-fails.
+pub const DEGRADED_THROUGHPUT_FACTOR: f64 = 4.0;
 
 impl FaultKind {
     /// Every kind, in the deterministic order schedules are generated
     /// and ties at equal timestamps are broken.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::AttestationFailure,
         FaultKind::EnclaveCrash,
         FaultKind::AexStorm,
@@ -72,7 +99,22 @@ impl FaultKind {
         FaultKind::EpcPagingStall,
         FaultKind::BounceBufferStall,
         FaultKind::SpotPreemption,
+        // Gray-failure kinds are appended last so the generation and
+        // tie-break positions of the original seven never move — a
+        // schedule with zero gray rates is byte-identical to one
+        // generated before these kinds existed.
+        FaultKind::DegradedThroughput,
+        FaultKind::StuckDrain,
     ];
+
+    /// Whether the event is a gray failure: the node stays up and keeps
+    /// its state, only quality degrades. Gray events charge no
+    /// downtime, so they are invisible to availability — which is
+    /// exactly what makes them dangerous.
+    #[must_use]
+    pub fn is_gray(self) -> bool {
+        matches!(self, FaultKind::DegradedThroughput | FaultKind::StuckDrain)
+    }
 
     /// Whether the event destroys resident KV state (crash-class) as
     /// opposed to merely stalling the node.
@@ -92,6 +134,8 @@ impl FaultKind {
             FaultKind::EpcPagingStall => "epc-paging",
             FaultKind::BounceBufferStall => "bounce-stall",
             FaultKind::SpotPreemption => "preemption",
+            FaultKind::DegradedThroughput => "degraded-tput",
+            FaultKind::StuckDrain => "stuck-drain",
         }
     }
 
@@ -107,6 +151,10 @@ impl FaultKind {
             FaultKind::EpcPagingStall | FaultKind::BounceBufferStall => (0.02, 0.2),
             // Re-provision a replacement instance and re-attest it.
             FaultKind::SpotPreemption => (10.0, 30.0),
+            // Gray windows: `outage_s` is how long the degradation
+            // *lasts*, not downtime — the node never goes unavailable.
+            FaultKind::DegradedThroughput => (2.0, 20.0),
+            FaultKind::StuckDrain => (5.0, 60.0),
         }
     }
 
@@ -119,6 +167,8 @@ impl FaultKind {
             FaultKind::EpcPagingStall => 0xE9C0,
             FaultKind::BounceBufferStall => 0xB0B0,
             FaultKind::SpotPreemption => 0x5907,
+            FaultKind::DegradedThroughput => 0xD264,
+            FaultKind::StuckDrain => 0x57CD,
         }
     }
 }
@@ -153,6 +203,13 @@ pub struct FaultRates {
     /// Spot-instance preemptions (state-destroying), from the
     /// `cllm-cost` spot assumptions.
     pub preemptions_per_hr: f64,
+    /// Gray slow-node windows (no downtime, decode steps derated).
+    /// Zero by default and in every platform preset — gray failures
+    /// are opt-in so existing seeded schedules stay byte-identical.
+    pub degraded_windows_per_hr: f64,
+    /// Gray stuck-drain windows (scale-downs wedge until force-retire).
+    /// Zero by default and in every platform preset.
+    pub stuck_drains_per_hr: f64,
 }
 
 impl FaultRates {
@@ -167,6 +224,8 @@ impl FaultRates {
             epc_paging_stalls_per_hr: 0.0,
             bounce_stalls_per_hr: 0.0,
             preemptions_per_hr: 0.0,
+            degraded_windows_per_hr: 0.0,
+            stuck_drains_per_hr: 0.0,
         }
     }
 
@@ -214,6 +273,8 @@ impl FaultRates {
         self.epc_paging_stalls_per_hr *= factor;
         self.bounce_stalls_per_hr *= factor;
         self.preemptions_per_hr *= factor;
+        self.degraded_windows_per_hr *= factor;
+        self.stuck_drains_per_hr *= factor;
         self
     }
 
@@ -226,6 +287,8 @@ impl FaultRates {
             FaultKind::EpcPagingStall => self.epc_paging_stalls_per_hr,
             FaultKind::BounceBufferStall => self.bounce_stalls_per_hr,
             FaultKind::SpotPreemption => self.preemptions_per_hr,
+            FaultKind::DegradedThroughput => self.degraded_windows_per_hr,
+            FaultKind::StuckDrain => self.stuck_drains_per_hr,
         }
     }
 }
@@ -342,8 +405,10 @@ impl FaultPlan {
         events.sort_by(|a, b| {
             a.at_s
                 .partial_cmp(&b.at_s)
+                // infallible: event times are finite exponential gaps
                 .expect("finite event times")
                 .then_with(|| {
+                    // infallible: every generated kind is a member of ALL
                     let pos = |k| FaultKind::ALL.iter().position(|&x| x == k).expect("known");
                     pos(a.kind).cmp(&pos(b.kind))
                 })
@@ -605,5 +670,68 @@ mod tests {
             );
             assert!(!kind.label().is_empty());
         }
+    }
+
+    #[test]
+    fn gray_class_is_exactly_the_two_gray_kinds() {
+        for kind in FaultKind::ALL {
+            assert_eq!(
+                kind.is_gray(),
+                matches!(kind, FaultKind::DegradedThroughput | FaultKind::StuckDrain),
+                "{kind:?}"
+            );
+            // Gray failures never destroy state — that is the point.
+            assert!(!(kind.is_gray() && kind.loses_state()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn platform_presets_stay_gray_free() {
+        // Gray failures are opt-in: no platform preset schedules them,
+        // so every pre-existing seeded schedule (and golden snapshot)
+        // is byte-identical to before the kinds existed.
+        for kind in [
+            TeeKind::BareMetal,
+            TeeKind::Vm,
+            TeeKind::Tdx,
+            TeeKind::SevSnp,
+            TeeKind::Sgx,
+            TeeKind::GpuNative,
+            TeeKind::GpuCc,
+        ] {
+            let r = FaultRates::for_platform(kind, &SpotParams::gcp_spot());
+            assert_eq!(r.degraded_windows_per_hr, 0.0, "{kind:?}");
+            assert_eq!(r.stuck_drains_per_hr, 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn adding_gray_rates_never_perturbs_the_original_streams() {
+        // Per-kind independent seed streams: turning gray rates on must
+        // only *add* gray events — every original event keeps its exact
+        // time and outage.
+        let base = FaultPlan::seeded(&tdx_rates(), 120.0, 7);
+        let with_gray = FaultPlan::seeded(
+            &FaultRates {
+                degraded_windows_per_hr: 240.0,
+                stuck_drains_per_hr: 120.0,
+                ..tdx_rates()
+            },
+            120.0,
+            7,
+        );
+        let originals: Vec<&FaultEvent> = with_gray
+            .events
+            .iter()
+            .filter(|e| !e.kind.is_gray())
+            .collect();
+        assert_eq!(originals.len(), base.events.len());
+        for (a, b) in originals.iter().zip(&base.events) {
+            assert_eq!(**a, *b);
+        }
+        assert!(
+            with_gray.events.iter().any(|e| e.kind.is_gray()),
+            "gray rates this high must fire in 120s"
+        );
     }
 }

@@ -60,6 +60,7 @@ impl<T> Ord for Entry<T> {
         other
             .time
             .partial_cmp(&self.time)
+            // infallible: event times are sums of finite sim quantities; a NaN here is a kernel bug, not load-dependent state
             .expect("finite event time")
             .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))

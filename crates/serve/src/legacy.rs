@@ -86,6 +86,7 @@ pub fn simulate_serving_faulted(
     let mut downtime_s = 0.0f64;
     let mut next_event = 0usize;
     let mut handshake_seq = 0u64;
+    let mut derate_until_s = 0.0f64;
 
     loop {
         // Apply faults that have fired by `now`, oldest first.
@@ -103,6 +104,7 @@ pub fn simulate_serving_faulted(
                 &mut attempts_of,
                 &mut now,
                 &mut downtime_s,
+                &mut derate_until_s,
                 &mut retries,
                 &mut aborted,
             );
@@ -123,6 +125,7 @@ pub fn simulate_serving_faulted(
                 .min_by(|(_, a), (_, b)| {
                     a.eligible_s
                         .partial_cmp(&b.eligible_s)
+                        // infallible: eligibility times are finite backoff sums
                         .expect("finite eligibility")
                         .then(a.request.id.cmp(&b.request.id))
                 })
@@ -172,7 +175,11 @@ pub fn simulate_serving_faulted(
         let mean_context = (scheduler.running().iter().map(|a| a.context()).sum::<u64>() as f64
             / batch as f64)
             .round() as u64;
-        now += node.decode_step_time_s(cfg, batch, mean_context);
+        let mut t_step = node.decode_step_time_s(cfg, batch, mean_context);
+        if now < derate_until_s {
+            t_step *= crate::faults::DEGRADED_THROUGHPUT_FACTOR;
+        }
+        now += t_step;
 
         for fin in scheduler.step() {
             let ttft = fin.first_token_s - fin.request.arrival_s;
@@ -216,11 +223,22 @@ fn apply_fault(
     attempts_of: &mut HashMap<u64, u32>,
     now: &mut f64,
     downtime_s: &mut f64,
+    derate_until_s: &mut f64,
     retries: &mut u64,
     aborted: &mut usize,
 ) {
+    if ev.kind.is_gray() {
+        // Gray semantics mirrored from the kernel loop: no downtime,
+        // no state loss, only the horizon-clamped derate window.
+        if ev.kind == FaultKind::DegradedThroughput {
+            let window_s = ev.outage_s.min((horizon_s - ev.at_s).max(0.0));
+            *derate_until_s = derate_until_s.max(ev.at_s + window_s);
+        }
+        return;
+    }
     if ev.kind == FaultKind::AttestationFailure {
         attested_rehandshake_phased(handshake_seq, &mut |_| {})
+            // infallible: simulated attestation over an in-process channel cannot fail; crashes charge recovery time, not handshake errors
             .expect("re-handshake must recover the session");
         // Clamp fix applied: identical to every other outage.
         let outage_s = plan.policy.reattest_s.min((horizon_s - ev.at_s).max(0.0));
@@ -298,6 +316,7 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
             .min_by(|(_, a), (_, b)| {
                 a.eligible_s
                     .partial_cmp(&b.eligible_s)
+                    // infallible: eligibility times are finite backoff sums
                     .expect("finite eligibility")
                     .then(a.request.id.cmp(&b.request.id))
             })
@@ -316,6 +335,7 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
             .min_by(|(i, a), (j, b)| {
                 a.now
                     .partial_cmp(&b.now)
+                    // infallible: sim clocks are sums of finite step times
                     .expect("finite clocks")
                     .then(i.cmp(j))
             })
@@ -363,6 +383,7 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
                             .map(crate::cluster::NodeState::depth)
                             .enumerate()
                             .collect();
+                        // infallible: the fleet is non-empty by construction, so least-loaded always resolves
                         crate::router::route_least_loaded(&all).expect("fleet is non-empty")
                     })
                 } else {
@@ -377,6 +398,7 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
             continue;
         }
 
+        // infallible: the advance branch is only taken when `runnable` is Some
         let (i, _) = runnable.expect("advance branch requires a runnable node");
         let n = &mut nodes[i];
 
@@ -388,10 +410,26 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
         {
             let ev = n.plan.events[n.next_event];
             n.next_event += 1;
+            if ev.kind.is_gray() {
+                // Gray semantics mirrored from the kernel loop: no
+                // breaker error, no downtime; only the window state.
+                let window_s = ev.outage_s.min((horizon_s - ev.at_s).max(0.0));
+                match ev.kind {
+                    FaultKind::DegradedThroughput => {
+                        n.derate_until_s = n.derate_until_s.max(ev.at_s + window_s);
+                    }
+                    FaultKind::StuckDrain => {
+                        n.stuck_until_s = n.stuck_until_s.max(ev.at_s + window_s);
+                    }
+                    _ => unreachable!("is_gray covers exactly the two gray kinds"),
+                }
+                continue;
+            }
             n.breaker.record_error(n.now);
             if ev.kind == FaultKind::AttestationFailure {
                 n.handshake_seq += 1;
                 attested_rehandshake_phased(hs_seed(i, n.handshake_seq), &mut |_| {})
+                    // infallible: simulated attestation over an in-process channel cannot fail
                     .expect("re-handshake must recover the session");
                 // Clamp fix applied: identical to every other outage.
                 let outage_s = n.plan.policy.reattest_s.min((horizon_s - ev.at_s).max(0.0));
@@ -461,7 +499,11 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
             .sum::<u64>() as f64
             / batch as f64)
             .round() as u64;
-        n.now += n.node.decode_step_time_s(&cfg.serving, batch, mean_context);
+        let mut t_step = n.node.decode_step_time_s(&cfg.serving, batch, mean_context);
+        if n.now < n.derate_until_s {
+            t_step *= crate::faults::DEGRADED_THROUGHPUT_FACTOR;
+        }
+        n.now += t_step;
 
         for fin in n.scheduler.step() {
             let ttft = fin.first_token_s - fin.request.arrival_s;
@@ -480,6 +522,7 @@ pub fn simulate_cluster(cfg: &ClusterConfig) -> ClusterReport {
             if n.breaker.record_success() {
                 n.handshake_seq += 1;
                 attested_rehandshake_phased(hs_seed(i, n.handshake_seq), &mut |_| {})
+                    // infallible: simulated attestation over an in-process channel cannot fail
                     .expect("re-handshake must recover the session");
                 n.now += n.plan.policy.reattest_s;
                 n.downtime_s += n.plan.policy.reattest_s;

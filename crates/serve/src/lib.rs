@@ -34,6 +34,12 @@
 //!   storms, EPC-paging and bounce-buffer stalls, spot preemptions);
 //!   the event loop recovers with bounded retry, exponential backoff
 //!   and re-attestation tolls.
+//! * [`invariants`] — the unified invariant registry: one typed
+//!   definition of every correctness invariant (conservation, billing
+//!   identity, pool conservation, time attribution, retry budgets,
+//!   breaker accounting, finiteness), shared by the simulators' debug
+//!   asserts, the property tests, the CLI, and the `cllm-chaos` search
+//!   engine.
 //! * [`router`] — cluster admission control (queue caps, deadlines, a
 //!   `Rejected` terminal state) and per-node circuit breakers whose
 //!   close pays a real attested re-handshake.
@@ -72,6 +78,7 @@
 pub mod autoscale;
 pub mod cluster;
 pub mod faults;
+pub mod invariants;
 pub mod kernel;
 #[doc(hidden)]
 pub mod legacy;

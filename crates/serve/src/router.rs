@@ -335,6 +335,13 @@ impl RetryStormGuard {
     /// either its per-request budget is spent or the fleet-wide retry
     /// rate is already at the circuit's cap (a storm; the drop is
     /// counted in `storm_drops`).
+    ///
+    /// `now_s` may legitimately exceed the run horizon: a
+    /// horizon-clamped outage plus backoff can land a retry past the
+    /// end of the run while in-flight work drains. The sliding window
+    /// is purely relative (`now_s - storm_window_s`), so no horizon
+    /// clamp is needed here — admissions are translation-invariant in
+    /// time.
     pub fn admit_retry(&mut self, now_s: f64, attempts: u32) -> bool {
         if attempts >= self.cfg.per_request {
             return false;
@@ -455,6 +462,31 @@ pub fn route_least_loaded(candidates: &[(usize, usize)]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn storm_window_is_translation_invariant_past_the_horizon() {
+        // The guard has no horizon term: shifting every retry timestamp
+        // by a constant — including one that pushes the whole sequence
+        // past the end of a run — must produce the same admit/drop
+        // pattern and drop count.
+        let times = [0.0, 1.0, 2.5, 9.9, 10.05, 11.0, 25.0, 25.0];
+        let run = |offset: f64| {
+            let mut g = RetryStormGuard::new(RetryBudget {
+                per_request: 10,
+                storm_window_s: 10.0,
+                storm_max_retries: 3,
+            });
+            let admits: Vec<bool> = times
+                .iter()
+                .map(|&t| g.admit_retry(t + offset, 0))
+                .collect();
+            (admits, g.storm_drops)
+        };
+        let base = run(0.0);
+        assert!(base.1 > 0, "the sequence must exercise the circuit");
+        assert_eq!(base, run(30.0), "a horizon-sized shift changes nothing");
+        assert_eq!(base, run(1.0e6));
+    }
 
     #[test]
     fn breaker_trips_on_error_rate_and_reprobes() {

@@ -362,6 +362,9 @@ fn run_faulted(
     let mut downtime_s = 0.0f64;
     let mut next_event = 0usize;
     let mut handshake_seq = 0u64;
+    // End of the latest DegradedThroughput window (horizon-clamped):
+    // while `now` is inside it, every decode step is derated.
+    let mut derate_until_s = 0.0f64;
 
     loop {
         // Apply faults that have fired by `now`, oldest first.
@@ -380,6 +383,7 @@ fn run_faulted(
                 &mut slab,
                 &mut now,
                 &mut downtime_s,
+                &mut derate_until_s,
                 &mut retries,
                 &mut aborted,
                 sink,
@@ -546,6 +550,12 @@ fn run_faulted(
                 t_step += node.kv_pressure_stall_s(excess);
             }
         }
+        // A step that begins inside a gray DegradedThroughput window
+        // runs at the derated rate — the node is up (no downtime, no
+        // outage span), just slow.
+        if now < derate_until_s {
+            t_step *= crate::faults::DEGRADED_THROUGHPUT_FACTOR;
+        }
         now += t_step;
         stats.decode_steps += 1;
         sink.span(NODE0, SpanKind::Decode, t0, now);
@@ -609,11 +619,26 @@ fn apply_fault(
     slab: &mut RequestSlab,
     now: &mut f64,
     downtime_s: &mut f64,
+    derate_until_s: &mut f64,
     retries: &mut u64,
     aborted: &mut usize,
     sink: &mut TraceSink,
 ) {
     use crate::faults::FaultKind;
+    if ev.kind.is_gray() {
+        // Gray failures charge no downtime and emit no outage span —
+        // the node stays up. A degraded window extends the derate
+        // horizon (clamped like any outage tail, so a near-horizon
+        // window cannot derate steps the trace never demanded); a
+        // stuck drain has no scale-down to wedge on a single fixed
+        // node and is recorded as a no-op.
+        if ev.kind == FaultKind::DegradedThroughput {
+            let window_s = ev.outage_s.min((horizon_s - ev.at_s).max(0.0));
+            *derate_until_s = derate_until_s.max(ev.at_s + window_s);
+        }
+        sink.event_fmt(NODE0, "gray", *now, || ev.kind.label().to_string());
+        return;
+    }
     if ev.kind == FaultKind::AttestationFailure {
         // The quote was rejected; re-handshake through the real session
         // state machine while the node is unavailable.
@@ -621,6 +646,7 @@ fn apply_fault(
         attested_rehandshake_phased(handshake_seq, &mut |phase| {
             sink.event_fmt(NODE0, "handshake", t0, || phase.label().to_string());
         })
+        // infallible: simulated attestation over an in-process channel cannot fail; crashes charge recovery time, not handshake errors
         .expect("re-handshake must recover the session");
         let outage_s = plan.policy.reattest_s.min((horizon_s - ev.at_s).max(0.0));
         *now += outage_s;
@@ -692,6 +718,7 @@ pub(crate) fn build_report(
     // Sort each latency vector exactly once; every percentile then reads
     // the sorted slice (the old helper cloned and re-sorted per call —
     // five sorts over three vectors per report).
+    // infallible: latencies are differences of finite sim clocks
     let sort = |v: &mut Vec<f64>| v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let mut waits = queue.wait_samples().to_vec();
     sort(&mut waits);
@@ -705,7 +732,7 @@ pub(crate) fn build_report(
         1.0
     };
     #[allow(clippy::cast_precision_loss)]
-    ServingReport {
+    let report = ServingReport {
         arrivals,
         completed: records.len(),
         retries,
@@ -748,7 +775,17 @@ pub(crate) fn build_report(
         swap_out_bytes,
         swap_in_bytes,
         records,
+    };
+    #[cfg(debug_assertions)]
+    {
+        let v = crate::invariants::check_serving(&report);
+        debug_assert!(
+            v.is_empty(),
+            "serving invariants violated: {}",
+            crate::invariants::describe(&v)
+        );
     }
+    report
 }
 
 #[cfg(test)]
@@ -1070,6 +1107,97 @@ mod tests {
             ],
             "fail-then-recover handshake must surface both attempts"
         );
+    }
+
+    #[test]
+    fn degraded_throughput_slows_decode_without_downtime() {
+        use crate::faults::{FaultEvent, FaultKind, RecoveryPolicy};
+        let cfg = ServingConfig::small_test();
+        let node = ServingNode::Cpu {
+            tee: CpuTeeConfig::tdx(),
+        };
+        let clean = simulate_serving_faulted(&cfg, &node, &FaultPlan::none());
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 1.0,
+                kind: FaultKind::DegradedThroughput,
+                outage_s: 25.0,
+            }],
+            policy: RecoveryPolicy::default(),
+        };
+        let gray = simulate_serving_faulted(&cfg, &node, &plan);
+        assert_eq!(gray.arrivals, clean.arrivals, "traffic is fault-blind");
+        assert_eq!(gray.completed + gray.aborted, gray.arrivals);
+        assert!(
+            (gray.availability - 1.0).abs() < 1e-12,
+            "a gray window charges no downtime (availability {})",
+            gray.availability
+        );
+        // Light load lets idle jumps absorb wall-clock delay, so the
+        // derate shows up in per-token decode latency, not makespan.
+        assert!(
+            gray.tpot_p95_s > clean.tpot_p95_s,
+            "a 25 s derate window must slow decode: tpot p95 {} vs {}",
+            gray.tpot_p95_s,
+            clean.tpot_p95_s
+        );
+    }
+
+    #[test]
+    fn degraded_window_clamps_to_horizon() {
+        // Mirror of the reattest_s clamp regression: an absurd window
+        // length firing just before the end of the run must behave
+        // exactly like one that ends at the horizon — the derate tail
+        // cannot leak into the post-horizon drain.
+        use crate::faults::{FaultEvent, FaultKind, RecoveryPolicy};
+        let cfg = ServingConfig::small_test();
+        let node = ServingNode::Cpu {
+            tee: CpuTeeConfig::tdx(),
+        };
+        let mk = |outage_s: f64| FaultPlan {
+            events: vec![FaultEvent {
+                at_s: cfg.duration_s - 0.5,
+                kind: FaultKind::DegradedThroughput,
+                outage_s,
+            }],
+            policy: RecoveryPolicy::default(),
+        };
+        let absurd = simulate_serving_faulted(&cfg, &node, &mk(1.0e9));
+        let exact = simulate_serving_faulted(&cfg, &node, &mk(0.5));
+        assert_eq!(
+            absurd, exact,
+            "a 1e9 s window at t=29.5 must clamp to the horizon"
+        );
+    }
+
+    #[test]
+    fn stuck_drain_is_inert_for_a_single_node() {
+        // A fixed single node has no scale-down to wedge: StuckDrain
+        // events are recorded for the trace but must not perturb the
+        // report in any field.
+        use crate::faults::{FaultEvent, FaultKind, RecoveryPolicy};
+        let cfg = ServingConfig::small_test();
+        let node = ServingNode::Cpu {
+            tee: CpuTeeConfig::tdx(),
+        };
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at_s: 2.0,
+                    kind: FaultKind::StuckDrain,
+                    outage_s: 40.0,
+                },
+                FaultEvent {
+                    at_s: cfg.duration_s - 0.1,
+                    kind: FaultKind::StuckDrain,
+                    outage_s: 1.0e9,
+                },
+            ],
+            policy: RecoveryPolicy::default(),
+        };
+        let clean = simulate_serving_faulted(&cfg, &node, &FaultPlan::none());
+        let stuck = simulate_serving_faulted(&cfg, &node, &plan);
+        assert_eq!(stuck, clean);
     }
 
     #[test]

@@ -126,6 +126,7 @@ pub fn percentile_of(samples: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted = samples.to_vec();
+    // infallible: latencies are differences of finite sim clocks
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     sorted_percentile(&sorted, q)
 }

@@ -18,6 +18,11 @@
 //!            [--max-rented N] [--traffic-seed S]
 //!                                           ... flash-crowd traffic with an
 //!                                           attestation-aware autoscaler
+//! cllm chaos [--seeds N] [--seed-base S] [--out DIR]
+//!                                        deterministic chaos search over the
+//!                                        joint config/fault/traffic space;
+//!                                        violations shrink to minimal repros
+//! cllm chaos --repro FILE                replay a shrunken repro byte-identically
 //! cllm <experiment> [--trace out.json]   run one experiment; export its span
 //!                                        timeline as Chrome trace-event JSON
 //! ```
@@ -31,6 +36,7 @@ use cllm_perf::{simulate_gpu, CpuTarget};
 use cllm_serve::autoscale::{simulate_autoscale, AutoscaleConfig, ControllerConfig, RentalSpec};
 use cllm_serve::cluster::{simulate_cluster, ClusterConfig, NodeSpec, WaveModel};
 use cllm_serve::faults::{FaultPlan, FaultRates};
+use cllm_serve::invariants;
 use cllm_serve::router::{
     AdmissionPolicy, BreakerConfig, BrownoutConfig, RetryBudget, TieredAdmission,
 };
@@ -59,6 +65,7 @@ fn main() -> ExitCode {
         "estimate" => cmd_estimate(&flags),
         "plan" => cmd_plan(&flags),
         "serve" => cmd_serve(&flags),
+        "chaos" => cmd_chaos(&flags),
         "help" | "--help" | "-h" => {
             print_usage();
             ExitCode::SUCCESS
@@ -154,6 +161,13 @@ fn print_usage() {
          \x20                                   the real attested handshake + weight\n\
          \x20                                   unseal; tiered shedding, retry budgets\n\
          \x20                                   and optional brownout degradation\n  \
+         cllm chaos [--seeds N] [--seed-base S] [--out DIR]\n\
+         \x20                                   deterministic chaos search: sample N\n\
+         \x20                                   seeded points of the fleet x fault x\n\
+         \x20                                   traffic x KV x controller space, check\n\
+         \x20                                   the invariant registry, and shrink any\n\
+         \x20                                   violation to a minimal JSON repro\n  \
+         cllm chaos --repro FILE           replay a repro byte-identically\n  \
          cllm <experiment> [--trace out.json]   run one experiment; --trace exports the\n\
          \x20                                   span timeline as Chrome trace-event JSON\n\
          \x20                                   (load in chrome://tracing or Perfetto)\n\
@@ -503,7 +517,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         "SLO (2s TTFT, 200ms/token): {:.1}% attainment",
         report.slo_attainment(Slo::interactive()) * 100.0
     );
-    if report.completed + report.aborted == report.arrivals {
+    let violations = invariants::check_serving(&report);
+    if violations.is_empty() {
         println!(
             "conservation : ok ({} arrivals accounted for)",
             report.arrivals
@@ -511,10 +526,134 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!(
-            "conservation : VIOLATED ({} completed + {} aborted != {} arrivals)",
-            report.completed, report.aborted, report.arrivals
+            "conservation : VIOLATED ({})",
+            invariants::describe(&violations)
         );
         ExitCode::FAILURE
+    }
+}
+
+/// `cllm chaos` — deterministic simulation testing.
+///
+/// Search mode (`--seeds N [--seed-base S] [--out DIR]`): sample N
+/// points of the joint fleet x fault x traffic x KV x controller space,
+/// run each through the real simulators, and check the unified
+/// invariant registry. Any violation is delta-debug-shrunken to a
+/// minimal repro and written as JSON (to DIR, or printed). The final
+/// summary line folds every report digest, so two invocations with the
+/// same seeds must print byte-identical output on any machine or
+/// `CLLM_RUNNER_THREADS` setting.
+///
+/// Replay mode (`--repro FILE`): parse a repro file and demand the
+/// recorded digest and violations byte-for-byte.
+fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
+    use cllm_chaos::run::fnv1a_hex;
+    use cllm_chaos::{run_point, sample_point, shrink, Repro};
+
+    if let Some(path) = flags.get("repro") {
+        if path.is_empty() {
+            eprintln!("--repro needs a file path");
+            return ExitCode::from(2);
+        }
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let repro = match Repro::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        return match repro.replay() {
+            Ok(outcome) => {
+                println!(
+                    "repro        : ok (digest {}, {} recorded violation(s) reproduced exactly)",
+                    outcome.digest,
+                    outcome.violations.len()
+                );
+                for v in &outcome.violations {
+                    println!("  {}: {v:?}", v.label());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                println!("repro        : DRIFT ({e})");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let seeds = num_flag(flags, "seeds", 24);
+    let base = num_flag(flags, "seed-base", 0);
+    let out_dir = flags.get("out").filter(|p| !p.is_empty());
+    if let Some(dir) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed to create {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut found = 0usize;
+    let mut arrivals = 0usize;
+    let mut fold = String::new();
+    for seed in base..base + seeds {
+        let point = sample_point(seed);
+        let outcome = run_point(&point);
+        fold.push_str(&outcome.digest);
+        arrivals += outcome.arrivals;
+        if outcome.violations.is_empty() {
+            continue;
+        }
+        found += 1;
+        println!(
+            "seed {seed:>6} : VIOLATED ({})",
+            invariants::describe(&outcome.violations)
+        );
+        let (shrunk, shrunk_outcome) = shrink(&point);
+        let repro = Repro::capture(shrunk, &shrunk_outcome);
+        println!(
+            "             shrunken repro: {} fault event(s), digest {}",
+            repro_event_count(&repro),
+            shrunk_outcome.digest
+        );
+        if let Some(dir) = out_dir {
+            let path = format!("{dir}/repro-seed-{seed}.json");
+            if let Err(e) = std::fs::write(&path, repro.to_json()) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("             -> {path}");
+        } else {
+            println!("{}", repro.to_json());
+        }
+    }
+    println!(
+        "chaos        : {} seed(s) from base {}, {} arrival(s) simulated, {} violation(s) | digest {}",
+        seeds,
+        base,
+        arrivals,
+        found,
+        fnv1a_hex(fold.as_bytes())
+    );
+    if found == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Total planted fault events across a repro's node lists.
+fn repro_event_count(repro: &cllm_chaos::Repro) -> usize {
+    use cllm_chaos::point::PathSpec;
+    match &repro.point.path {
+        PathSpec::Single(p) => p.node.events.len(),
+        PathSpec::Cluster(p) => p.nodes.iter().map(|n| n.events.len()).sum(),
+        PathSpec::Autoscale(p) => p.base_fleet.iter().map(|n| n.events.len()).sum(),
     }
 }
 
@@ -727,8 +866,8 @@ fn cmd_serve_autoscale(flags: &HashMap<String, String>, rate: f64, duration: f64
         "cost         : ${:.4} total (${:.4} rental, ${:.4} warm pool, ${:.4} base) -> ${:.2}/Mtok delivered",
         r.total_cost_usd, r.rental_cost_usd, r.warm_pool_cost_usd, r.base_cost_usd, r.usd_per_mtok
     );
-    let conserved = r.completed + r.aborted + r.shed == r.arrivals;
-    if conserved {
+    let violations = invariants::check_autoscale(&r);
+    if violations.is_empty() {
         println!(
             "conservation : ok ({} completed + {} shed + {} aborted == {} arrivals)",
             r.completed, r.shed, r.aborted, r.arrivals
@@ -736,8 +875,8 @@ fn cmd_serve_autoscale(flags: &HashMap<String, String>, rate: f64, duration: f64
         ExitCode::SUCCESS
     } else {
         println!(
-            "conservation : VIOLATED ({} completed + {} shed + {} aborted != {} arrivals)",
-            r.completed, r.shed, r.aborted, r.arrivals
+            "conservation : VIOLATED ({})",
+            invariants::describe(&violations)
         );
         ExitCode::FAILURE
     }
@@ -840,7 +979,8 @@ fn cmd_serve_cluster(
             n.queue_depth_peak
         );
     }
-    if report.completed + report.aborted + report.rejected == report.arrivals {
+    let violations = invariants::check_cluster(&report);
+    if violations.is_empty() {
         println!(
             "conservation : ok ({} arrivals accounted for)",
             report.arrivals
@@ -848,8 +988,8 @@ fn cmd_serve_cluster(
         ExitCode::SUCCESS
     } else {
         println!(
-            "conservation : VIOLATED ({} + {} + {} != {})",
-            report.completed, report.rejected, report.aborted, report.arrivals
+            "conservation : VIOLATED ({})",
+            invariants::describe(&violations)
         );
         ExitCode::FAILURE
     }

@@ -1,0 +1,62 @@
+//! Replay the checked-in chaos regression corpus byte-identically.
+//!
+//! Each file under `tests/chaos_corpus/` is a shrunken minimal repro
+//! (or a clean digest pin) captured by the chaos engine: a
+//! self-contained `ChaosPoint` plus the report digest and violations
+//! it must reproduce. A drift here means simulator behaviour changed;
+//! regenerate deliberately with
+//! `cargo run -p cllm-chaos --example gen_corpus -- tests/chaos_corpus`.
+
+use cllm_chaos::Repro;
+
+#[test]
+fn chaos_corpus_replays_byte_identically() {
+    let dir = format!("{}/tests/chaos_corpus", env!("CARGO_MANIFEST_DIR"));
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/chaos_corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 4,
+        "corpus must hold the planted repro and one clean pin per path, found {}",
+        entries.len()
+    );
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("corpus file reads");
+        let repro = Repro::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let outcome = repro
+            .replay()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            outcome.digest,
+            repro.digest,
+            "{}: replay digest mismatch",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn planted_repro_in_corpus_is_minimal() {
+    use cllm_chaos::point::PathSpec;
+    let path = format!(
+        "{}/tests/chaos_corpus/planted-forbid-aborts.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let repro = Repro::from_json(&std::fs::read_to_string(path).expect("planted repro exists"))
+        .expect("planted repro parses");
+    assert!(
+        repro.violations.iter().any(|v| v.label() == "forbidden"),
+        "the planted repro records the forbid-aborts violation"
+    );
+    let events = match &repro.point.path {
+        PathSpec::Autoscale(p) => p.base_fleet.iter().map(|n| n.events.len()).sum::<usize>(),
+        other => panic!("planted repro must be an autoscale point, got {other:?}"),
+    };
+    assert!(
+        events <= 3,
+        "shrunken repro must stay minimal, has {events}"
+    );
+}
