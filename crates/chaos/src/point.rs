@@ -267,6 +267,52 @@ impl AutoscalePoint {
     }
 }
 
+/// A real-engine decode run: seeded speculative decoding on a tiny
+/// `cllm-infer` model, checked against the infer-loop invariants
+/// (`token-conservation`, `forbid-nonfinite-logits`). Unlike the
+/// simulator paths this executes actual matmuls, so the chaos search
+/// also exercises the kernels, the KV-cache rollback and the
+/// draft/verify ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferPoint {
+    /// Weight-initialization seed for the target model (the draft is
+    /// the int8-quantized target); doubles as the sampling RNG seed.
+    pub model_seed: u64,
+    /// Decoder blocks in the tiny model (1 or 2).
+    pub layers: usize,
+    /// Prompt token ids (within the tiny 64-token vocabulary).
+    pub prompt: Vec<usize>,
+    /// Tokens to generate.
+    pub max_new: usize,
+    /// Draft window per speculative round.
+    pub draft_k: usize,
+    /// Softmax temperature; `None` decodes greedily.
+    pub temperature: Option<f32>,
+    /// Planted rule for shrinker tests: poison one LM-head weight with
+    /// NaN so every post-prefill logit vector trips
+    /// `forbid-nonfinite-logits`.
+    pub plant_nan_lm_head: bool,
+}
+
+impl InferPoint {
+    /// The tiny model shape this point runs: fixed 32-hidden GQA so
+    /// sampled points stay fast, with only the layer count searched.
+    #[must_use]
+    pub fn config(&self) -> cllm_infer::model::TinyConfig {
+        cllm_infer::model::TinyConfig {
+            hidden: 32,
+            layers: self.layers,
+            heads: 4,
+            kv_heads: 2,
+            intermediate: 96,
+            vocab: 64,
+            max_seq: 128,
+            rope_theta: 10_000.0,
+            eps: 1e-5,
+        }
+    }
+}
+
 /// Which serving path a point drives.
 // Variant sizes are dominated by the autoscale arm's controller and
 // traffic tables; points are sampled and cloned a handful of times per
@@ -280,6 +326,9 @@ pub enum PathSpec {
     Cluster(ClusterPoint),
     /// `simulate_autoscale`: reactive fleet under modulated traffic.
     Autoscale(AutoscalePoint),
+    /// `speculative_generate`: a real tiny-model decode loop checked
+    /// against the infer-loop invariants.
+    Infer(InferPoint),
 }
 
 /// One coordinate in the chaos search space. `seed` is provenance
@@ -381,7 +430,7 @@ pub fn sample_point(seed: u64) -> ChaosPoint {
     let mut rng = Rng::new(seed ^ 0xC4A0_5C11_AB1E_D0D0);
     let base = sample_base(&mut rng);
     let horizon_s = base.duration_s;
-    let path = match rng.range_usize(0, 3) {
+    let path = match rng.range_usize(0, 4) {
         0 => PathSpec::Single(SinglePoint {
             base,
             node: sample_node(&mut rng, horizon_s),
@@ -405,7 +454,7 @@ pub fn sample_point(seed: u64) -> ChaosPoint {
                 failover: rng.chance(0.7),
             })
         }
-        _ => {
+        2 => {
             let n_base = rng.range_usize(1, 3);
             let brownout = rng.chance(0.4).then(|| BrownoutConfig {
                 enter_depth: rng.range_usize(8, 64),
@@ -444,6 +493,20 @@ pub fn sample_point(seed: u64) -> ChaosPoint {
                 },
                 brownout,
                 forbid_aborts: false,
+            })
+        }
+        _ => {
+            let n_prompt = rng.range_usize(1, 9);
+            #[allow(clippy::cast_possible_truncation)]
+            let temperature = rng.chance(0.5).then(|| rng.range_f64(0.5, 1.5) as f32);
+            PathSpec::Infer(InferPoint {
+                model_seed: rng.next_u64() % 1000,
+                layers: rng.range_usize(1, 3),
+                prompt: (0..n_prompt).map(|_| rng.range_usize(0, 64)).collect(),
+                max_new: rng.range_usize(1, 25),
+                draft_k: rng.range_usize(1, 5),
+                temperature,
+                plant_nan_lm_head: false,
             })
         }
     };
@@ -519,6 +582,28 @@ pub fn planted_demo() -> ChaosPoint {
     }
 }
 
+/// A hand-built infer point that violates the planted
+/// `forbid-nonfinite-logits` rule: one LM-head weight is poisoned with
+/// NaN, so every logit vector computed after the prefill carries
+/// non-finite entries. The generous prompt/horizon/draft-window give
+/// the shrinker slack to cut — its end-to-end test demands the repro
+/// collapse to a single emitted token from a one-token prompt.
+#[must_use]
+pub fn planted_infer_demo() -> ChaosPoint {
+    ChaosPoint {
+        seed: 0,
+        path: PathSpec::Infer(InferPoint {
+            model_seed: 7,
+            layers: 2,
+            prompt: vec![1, 2, 3, 4, 5],
+            max_new: 16,
+            draft_k: 4,
+            temperature: None,
+            plant_nan_lm_head: true,
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,21 +616,39 @@ mod tests {
     }
 
     #[test]
-    fn sampling_covers_all_three_paths() {
+    fn sampling_covers_all_four_paths() {
         let mut single = 0;
         let mut cluster = 0;
         let mut autoscale = 0;
+        let mut infer = 0;
         for seed in 0..60 {
             match sample_point(seed).path {
                 PathSpec::Single(_) => single += 1,
                 PathSpec::Cluster(_) => cluster += 1,
                 PathSpec::Autoscale(_) => autoscale += 1,
+                PathSpec::Infer(_) => infer += 1,
             }
         }
         assert!(
-            single > 0 && cluster > 0 && autoscale > 0,
-            "60 seeds must hit every path: {single}/{cluster}/{autoscale}"
+            single > 0 && cluster > 0 && autoscale > 0 && infer > 0,
+            "60 seeds must hit every path: {single}/{cluster}/{autoscale}/{infer}"
         );
+    }
+
+    #[test]
+    fn sampled_infer_points_are_well_formed() {
+        for seed in 0..200 {
+            if let PathSpec::Infer(p) = sample_point(seed).path {
+                assert!(p.layers >= 1 && p.layers <= 2, "seed {seed}");
+                assert!(!p.prompt.is_empty() && p.prompt.len() <= 8, "seed {seed}");
+                assert!(
+                    p.prompt.iter().all(|&t| t < p.config().vocab),
+                    "seed {seed}"
+                );
+                assert!(p.max_new >= 1 && p.draft_k >= 1, "seed {seed}");
+                assert!(!p.plant_nan_lm_head, "sampled points never plant faults");
+            }
+        }
     }
 
     #[test]

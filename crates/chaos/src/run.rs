@@ -98,6 +98,50 @@ pub fn run_point(point: &ChaosPoint) -> RunOutcome {
                 completed: report.completed,
             }
         }
+        PathSpec::Infer(p) => {
+            use cllm_infer::generate::Sampling;
+            use cllm_infer::model::{Linear, TinyModel};
+
+            let mut target = TinyModel::init(&p.config(), p.model_seed);
+            if p.plant_nan_lm_head {
+                if let Linear::F32(m) = &mut target.lm_head {
+                    m.set(0, 0, f32::NAN);
+                }
+            }
+            let draft = target.quantized();
+            let sampling = match p.temperature {
+                Some(t) => Sampling::Temperature(t),
+                None => Sampling::Greedy,
+            };
+            let (tokens, stats) = cllm_infer::speculative::speculative_generate(
+                &target,
+                &draft,
+                &p.prompt,
+                p.max_new,
+                p.draft_k,
+                sampling,
+                p.model_seed,
+            );
+            let report = invariants::InferLoopReport {
+                requested: p.max_new,
+                emitted: tokens.len(),
+                drafted: stats.drafted,
+                accepted: stats.accepted,
+                resampled: stats.resampled,
+                nonfinite_logits: stats.nonfinite_logits,
+            };
+            let violations = invariants::check_infer(&report);
+            RunOutcome {
+                // The emitted tokens are integer-exact (argmax/CDF
+                // indices), so hashing them alongside the ledger keeps
+                // the byte-identity witness without pinning any
+                // machine-dependent float formatting.
+                digest: digest_of(&(&tokens, &report)),
+                violations,
+                arrivals: p.max_new,
+                completed: tokens.len(),
+            }
+        }
     }
 }
 

@@ -13,7 +13,9 @@
 //!    autoscale base fleets keep at least one node).
 //! 4. **Subsystem stripping** — preemption waves, rental fault rates,
 //!    warm pool and brownout are zeroed out if the violation survives
-//!    without them.
+//!    without them. Infer points shrink along their own axes instead:
+//!    the decode budget is halved (floor 1) and the prompt, draft
+//!    window, layer count and temperature are reduced one at a time.
 //!
 //! "Keeps reproducing" means the candidate still raises at least one
 //! violation with the same label (`InvariantViolation::label`) as the
@@ -40,6 +42,7 @@ fn event_list_count(point: &ChaosPoint) -> usize {
         PathSpec::Single(_) => 1,
         PathSpec::Cluster(p) => p.nodes.len(),
         PathSpec::Autoscale(p) => p.base_fleet.len(),
+        PathSpec::Infer(_) => 0,
     }
 }
 
@@ -48,6 +51,7 @@ fn get_events(point: &ChaosPoint, idx: usize) -> Vec<FaultEvent> {
         PathSpec::Single(p) => p.node.events.clone(),
         PathSpec::Cluster(p) => p.nodes[idx].events.clone(),
         PathSpec::Autoscale(p) => p.base_fleet[idx].events.clone(),
+        PathSpec::Infer(_) => Vec::new(),
     }
 }
 
@@ -56,6 +60,7 @@ fn set_events(point: &mut ChaosPoint, idx: usize, events: Vec<FaultEvent>) {
         PathSpec::Single(p) => p.node.events = events,
         PathSpec::Cluster(p) => p.nodes[idx].events = events,
         PathSpec::Autoscale(p) => p.base_fleet[idx].events = events,
+        PathSpec::Infer(_) => {}
     }
 }
 
@@ -121,6 +126,9 @@ fn structural_pass(point: &mut ChaosPoint, label: &str) -> bool {
                 p.base.duration_s /= 2.0;
                 p.base.duration_s
             }
+            // The infer path has no time horizon; its `max_new` budget
+            // is halved in the path-specific pass below.
+            PathSpec::Infer(_) => break,
         };
         if halved < 2.0 {
             break;
@@ -143,7 +151,7 @@ fn structural_pass(point: &mut ChaosPoint, label: &str) -> bool {
     // Drop whole nodes (keep at least one).
     loop {
         let n = match &point.path {
-            PathSpec::Single(_) => 1,
+            PathSpec::Single(_) | PathSpec::Infer(_) => 1,
             PathSpec::Cluster(p) => p.nodes.len(),
             PathSpec::Autoscale(p) => p.base_fleet.len(),
         };
@@ -154,7 +162,7 @@ fn structural_pass(point: &mut ChaosPoint, label: &str) -> bool {
         for idx in (0..n).rev() {
             let mut cand = point.clone();
             match &mut cand.path {
-                PathSpec::Single(_) => {}
+                PathSpec::Single(_) | PathSpec::Infer(_) => {}
                 PathSpec::Cluster(p) => {
                     p.nodes.remove(idx);
                 }
@@ -211,6 +219,59 @@ fn structural_pass(point: &mut ChaosPoint, label: &str) -> bool {
                 }
             }
         }
+        PathSpec::Infer(_) => {
+            // Halve the decode budget while the violation reproduces
+            // (the infer analogue of horizon halving; floor of 1).
+            loop {
+                let cur = match &point.path {
+                    PathSpec::Infer(p) => p.max_new,
+                    _ => unreachable!("path cannot change mid-pass"),
+                };
+                if cur <= 1 {
+                    break;
+                }
+                let mut cand = point.clone();
+                if let PathSpec::Infer(p) = &mut cand.path {
+                    p.max_new = (p.max_new / 2).max(1);
+                }
+                if still_violates(&cand, label) {
+                    *point = cand;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+            // Strip the remaining axes one at a time: a one-token
+            // prompt, no speculation window, a single layer, greedy
+            // decoding.
+            for strip in 0..4 {
+                let applies = match &point.path {
+                    PathSpec::Infer(p) => match strip {
+                        0 => p.prompt.len() > 1,
+                        1 => p.draft_k > 1,
+                        2 => p.layers > 1,
+                        _ => p.temperature.is_some(),
+                    },
+                    _ => unreachable!("path cannot change mid-pass"),
+                };
+                if !applies {
+                    continue;
+                }
+                let mut cand = point.clone();
+                if let PathSpec::Infer(p) = &mut cand.path {
+                    match strip {
+                        0 => p.prompt.truncate(1),
+                        1 => p.draft_k = 1,
+                        2 => p.layers = 1,
+                        _ => p.temperature = None,
+                    }
+                }
+                if still_violates(&cand, label) {
+                    *point = cand;
+                    changed = true;
+                }
+            }
+        }
         _ => {}
     }
 
@@ -257,7 +318,7 @@ pub fn shrink(point: &ChaosPoint) -> (ChaosPoint, RunOutcome) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::point::sample_point;
+    use crate::point::{planted_infer_demo, sample_point};
 
     #[test]
     fn clean_points_shrink_to_themselves() {
@@ -265,5 +326,30 @@ mod tests {
         let (shrunk, out) = shrink(&p);
         assert_eq!(shrunk, p, "no violation, nothing to shrink");
         assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn planted_infer_violation_shrinks_to_one_token() {
+        // The planted NaN in the LM head trips forbid-nonfinite-logits
+        // on every post-prefill logit vector, so the shrinker can cut
+        // everything else: the repro must collapse to a single emitted
+        // token from a one-token prompt on a one-layer greedy model.
+        let demo = planted_infer_demo();
+        let (shrunk, out) = shrink(&demo);
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.label() == "forbid-nonfinite-logits"),
+            "shrunken repro keeps the planted violation"
+        );
+        let PathSpec::Infer(p) = &shrunk.path else {
+            panic!("shrinking must not change the path");
+        };
+        assert_eq!(p.max_new, 1, "decode budget shrinks to one token");
+        assert_eq!(p.prompt.len(), 1, "prompt shrinks to one token");
+        assert_eq!(p.draft_k, 1, "draft window shrinks to 1");
+        assert_eq!(p.layers, 1, "layer count shrinks to 1");
+        assert_eq!(p.temperature, None, "sampling shrinks to greedy");
+        assert!(p.plant_nan_lm_head, "the planted fault itself survives");
     }
 }

@@ -37,6 +37,7 @@
 //! | [`serve_scale`] | extension — event-kernel scale smoke on a 64-node fleet |
 //! | [`batching_pressure`] | extension — paged KV under TEE memory pressure: policies and the batching crossover |
 //! | [`flash_crowd`] | extension — flash-crowd survival: cold scale-up vs warm pool vs brownout per platform |
+//! | [`spec_decode`] | extension — speculative decoding priced per platform: small draft + chunked verify |
 
 pub mod b100;
 pub mod batching_pressure;
@@ -64,6 +65,7 @@ pub mod serve_scale;
 pub mod serving;
 pub mod sev_snp;
 pub mod snc;
+pub mod spec_decode;
 pub mod table1;
 pub mod tco;
 pub mod time_attribution;
@@ -125,6 +127,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("serve_scale", serve_scale::run),
         ("batching_pressure", batching_pressure::run),
         ("flash_crowd", flash_crowd::run),
+        ("spec_decode", spec_decode::run),
     ]
 }
 
@@ -199,7 +202,7 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 29);
+        assert_eq!(ids.len(), 30);
         assert!(ids.contains(&"fig4"));
         assert!(ids.contains(&"table1"));
         assert!(ids.contains(&"resilience"));
@@ -208,6 +211,7 @@ mod tests {
         assert!(ids.contains(&"serve_scale"));
         assert!(ids.contains(&"batching_pressure"));
         assert!(ids.contains(&"flash_crowd"));
+        assert!(ids.contains(&"spec_decode"));
         assert!(run_by_id("nope").is_none());
     }
 }

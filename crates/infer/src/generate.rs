@@ -14,6 +14,28 @@ pub enum Sampling {
     Temperature(f32),
 }
 
+/// Pick the next token from `logits` under `sampling`, consuming exactly
+/// one RNG draw for [`Sampling::Temperature`] and none for
+/// [`Sampling::Greedy`].
+///
+/// This is the **only** function that maps logits + RNG state to a
+/// token, shared by [`generate`] and `speculative::speculative_generate`
+/// — the per-emitted-token draw discipline is what makes speculative
+/// decoding reproduce vanilla decode draw-for-draw.
+pub(crate) fn next_token(logits: &[f32], sampling: Sampling, rng: &mut StdRng) -> usize {
+    match sampling {
+        Sampling::Greedy => argmax(logits),
+        Sampling::Temperature(temp) => {
+            let mut probs = logits.to_vec();
+            for p in probs.iter_mut() {
+                *p /= temp.max(1e-4);
+            }
+            softmax(&mut probs);
+            sample_index(&probs, rng.random::<f64>())
+        }
+    }
+}
+
 /// Generate `max_new` tokens after feeding `prompt`, returning only the
 /// newly generated tokens. `seed` drives temperature sampling (ignored
 /// for greedy).
@@ -37,17 +59,7 @@ pub fn generate(
     }
     let mut out = Vec::with_capacity(max_new);
     for _ in 0..max_new {
-        let next = match sampling {
-            Sampling::Greedy => argmax(&logits),
-            Sampling::Temperature(temp) => {
-                let mut probs = logits.clone();
-                for p in probs.iter_mut() {
-                    *p /= temp.max(1e-4);
-                }
-                softmax(&mut probs);
-                sample_index(&probs, rng.random::<f64>())
-            }
-        };
+        let next = next_token(&logits, sampling, &mut rng);
         out.push(next);
         logits = model.forward(next, &mut cache);
     }
@@ -55,7 +67,7 @@ pub fn generate(
 }
 
 /// Inverse-CDF sampling of an index from a probability vector.
-fn sample_index(probs: &[f32], u: f64) -> usize {
+pub(crate) fn sample_index(probs: &[f32], u: f64) -> usize {
     let mut acc = 0.0f64;
     for (i, &p) in probs.iter().enumerate() {
         acc += f64::from(p);

@@ -1,10 +1,158 @@
-//! Compute kernels: matmul, RMSNorm, softmax, SiLU, RoPE.
+//! Compute kernels: matmul (naive + tiled + batched), RMSNorm, softmax,
+//! SiLU, RoPE.
+//!
+//! Two matmul families live here:
+//!
+//! * [`gemv`] — the original scalar reference kernel: one chained
+//!   accumulator per output row. The chain serializes every add behind
+//!   the previous one, so the compiler cannot vectorize it; it runs at
+//!   FP-add latency, far below memory bandwidth. Kept as the correctness
+//!   oracle and the "naive" baseline in `bench_infer`.
+//! * [`gemv_tiled`] / [`gemm`] — the production path: both reduce each
+//!   `(output row, input row)` pair with the same `dot_lanes` routine
+//!   ([`LANES`] independent partial sums + a fixed pairwise reduction),
+//!   which the compiler auto-vectorizes. Because the per-pair summation
+//!   order is byte-for-byte shared, batched/chunked forwards built on
+//!   `gemm` are **bit-identical** to single-token forwards built on
+//!   `gemv_tiled`. Versus `gemv` the sum is reassociated, so results may
+//!   differ from the naive kernel by float rounding; the property suite
+//!   (`tests/prop_kernels.rs`) pins that drift to ≤1e-5 relative error.
 
 use crate::tensor::Matrix;
+
+/// Independent accumulator lanes in `dot_lanes`. Sixty-four f32 lanes
+/// give the compiler eight independent 8-wide (or four 16-wide) vector
+/// FMA chains — enough to hide FMA latency and saturate the load ports.
+/// A single vector register's worth of lanes would collapse back into
+/// one chain and run at FP-add latency instead of FMA throughput; more
+/// than one row's worth of 64-lane accumulators (e.g. a paired-row
+/// kernel) overflows the vector register file and spills the hot loop
+/// to the stack, which measures *slower* than single-row reduction.
+pub const LANES: usize = 64;
+
+/// Lane-parallel dot product with a fixed reduction order.
+///
+/// Element `i` always lands in lane `i % LANES` (the tail continues the
+/// same interleave), and lanes reduce with the fixed halving-fold tree
+/// of `reduce_lanes`. Keeping this order fixed is what makes every
+/// tiled/batched kernel bit-identical to every other: they all call
+/// this one routine per (row, input) pair.
+#[inline(always)]
+pub(crate) fn dot_lanes(x: &[f32], w: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), w.len());
+    let mut lanes = [0.0f32; LANES];
+    let mut xc = x.chunks_exact(LANES);
+    let mut wc = w.chunks_exact(LANES);
+    for (xs, ws) in (&mut xc).zip(&mut wc) {
+        // Fixed-size views (always exact from `chunks_exact`): the
+        // compiler sees the extent and drops per-element bounds checks.
+        let xs: &[f32; LANES] = xs.try_into().expect("lane block");
+        let ws: &[f32; LANES] = ws.try_into().expect("lane block");
+        for l in 0..LANES {
+            // Explicit fused multiply-add: one rounding per element and
+            // half the FP ops of mul+add. Rust never contracts
+            // implicitly, so this is the only way to reach the FMA
+            // units the roofline model assumes.
+            lanes[l] = xs[l].mul_add(ws[l], lanes[l]);
+        }
+    }
+    // Ragged tail: stage the products in a scratch block, then fold
+    // them in with constant lane indices. A dynamically-indexed write
+    // into `lanes` anywhere in this function would spill the whole
+    // accumulator array to the stack and serialize the hot loop above.
+    let (xr, wr) = (xc.remainder(), wc.remainder());
+    if !xr.is_empty() {
+        let mut tail = [0.0f32; LANES];
+        for ((t, xi), wi) in tail.iter_mut().zip(xr).zip(wr) {
+            *t = xi * wi;
+        }
+        merge_tail(&mut lanes, &tail, xr.len());
+    }
+    reduce_lanes(&lanes)
+}
+
+/// Fold a staged tail block into the lane accumulators. Only the first
+/// `n` entries are live; the guard (rather than a `0..n` bound) keeps
+/// every index constant so the accumulators stay in registers.
+#[inline(always)]
+pub(crate) fn merge_tail(lanes: &mut [f32; LANES], tail: &[f32; LANES], n: usize) {
+    for l in 0..LANES {
+        if l < n {
+            lanes[l] += tail[l];
+        }
+    }
+}
+
+/// Fixed tree reduction of the lane accumulators by halving folds:
+/// `buf[i] += buf[i + width]` for `width = 32, 16, .., 1`. Both
+/// operands of every level are contiguous runs, so each level is a
+/// plain vector add (a stride-2 pairwise tree would reduce scalarly).
+/// Cold epilogue, one call per (row, input) pair.
+#[inline(always)]
+pub(crate) fn reduce_lanes(lanes: &[f32; LANES]) -> f32 {
+    let mut buf = *lanes;
+    let mut width = LANES;
+    while width > 1 {
+        width /= 2;
+        for i in 0..width {
+            buf[i] += buf[i + width];
+        }
+    }
+    buf[0]
+}
+
+/// Output rows walked per tile in [`gemv_tiled`]: a small block of
+/// weight rows reduces back-to-back against the same (cache-hot) input
+/// vector before moving on, keeping the input resident in L1 while the
+/// weight stream provides all the memory traffic.
+pub const TILE_ROWS: usize = 4;
+
+/// Tiled `out = x · w^T`: same contract as [`gemv`], but weight rows are
+/// walked in [`TILE_ROWS`] blocks and each row reduces in the
+/// `dot_lanes` order. This is the kernel behind `Linear::F32`.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn gemv_tiled(x: &[f32], w: &Matrix, out: &mut [f32]) {
+    assert_eq!(x.len(), w.cols, "gemv input dim");
+    assert_eq!(out.len(), w.rows, "gemv output dim");
+    for (t, block) in out.chunks_mut(TILE_ROWS).enumerate() {
+        let base = t * TILE_ROWS;
+        for (i, o) in block.iter_mut().enumerate() {
+            *o = dot_lanes(x, w.row(base + i));
+        }
+    }
+}
+
+/// Cache-blocked batched matmul: `out[b] = xs[b] · w^T` for every input
+/// row `b`. The outer loop walks weight rows so each row of `w` is
+/// streamed from memory once and reused across the whole batch from
+/// cache — the weight-traffic amortization that batched decode buys.
+/// Every `(row, input)` pair reduces in the `dot_lanes` order, so
+/// `gemm` over a batch is bit-identical to [`gemv_tiled`] per input row.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn gemm(xs: &Matrix, w: &Matrix, out: &mut Matrix) {
+    assert_eq!(xs.cols, w.cols, "gemm input dim");
+    assert_eq!(out.rows, xs.rows, "gemm batch dim");
+    assert_eq!(out.cols, w.rows, "gemm output dim");
+    for r in 0..w.rows {
+        let wr = w.row(r);
+        for b in 0..xs.rows {
+            out.row_mut(b)[r] = dot_lanes(xs.row(b), wr);
+        }
+    }
+}
 
 /// `out = x · w^T` for a single input row `x` (`1 x in`), with `w` stored
 /// as `out_dim x in_dim` (each row of `w` is one output neuron) — the
 /// GEMV at the heart of decode.
+///
+/// This is the scalar **reference** kernel (chained accumulator, no lane
+/// parallelism); the hot path uses [`gemv_tiled`].
 ///
 /// # Panics
 ///
@@ -14,17 +162,12 @@ pub fn gemv(x: &[f32], w: &Matrix, out: &mut [f32]) {
     assert_eq!(out.len(), w.rows, "gemv output dim");
     for (row, o) in out.iter_mut().enumerate() {
         let wr = w.row(row);
+        // One strictly-ordered accumulator chain: every add waits on the
+        // previous one, so the kernel runs at FP-add latency — the
+        // textbook baseline the tiled kernel is measured against.
         let mut acc = 0.0f32;
-        // Unrolled-by-4 dot product: the scalar stand-in for AMX tiles.
-        let chunks = x.len() / 4 * 4;
-        let mut i = 0;
-        while i < chunks {
-            acc +=
-                x[i] * wr[i] + x[i + 1] * wr[i + 1] + x[i + 2] * wr[i + 2] + x[i + 3] * wr[i + 3];
-            i += 4;
-        }
-        for j in chunks..x.len() {
-            acc += x[j] * wr[j];
+        for (xi, wi) in x.iter().zip(wr) {
+            acc += xi * wi;
         }
         *o = acc;
     }
@@ -198,5 +341,64 @@ mod tests {
     fn argmax_basic() {
         assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
         assert_eq!(argmax(&[2.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn tiled_gemv_tracks_naive() {
+        // 13 cols: not a multiple of LANES; 6 rows: not a multiple of
+        // TILE_ROWS.
+        let w = Matrix::from_vec(6, 13, (0..78).map(|i| (i as f32 * 0.713).sin()).collect());
+        let x: Vec<f32> = (0..13).map(|i| (i as f32 * 0.29).cos()).collect();
+        let mut naive = vec![0.0; 6];
+        gemv(&x, &w, &mut naive);
+        let mut tiled = vec![0.0; 6];
+        gemv_tiled(&x, &w, &mut tiled);
+        for (n, t) in naive.iter().zip(&tiled) {
+            assert!(
+                (n - t).abs() <= 1e-5 * n.abs().max(1.0),
+                "naive {n} tiled {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_rows_bit_identical_to_tiled_gemv() {
+        let w = Matrix::from_vec(5, 19, (0..95).map(|i| (i as f32 * 0.37).sin()).collect());
+        let xs = Matrix::from_vec(3, 19, (0..57).map(|i| (i as f32 * 0.11).cos()).collect());
+        let mut out = Matrix::zeros(3, 5);
+        gemm(&xs, &w, &mut out);
+        for b in 0..3 {
+            let mut single = vec![0.0; 5];
+            gemv_tiled(xs.row(b), &w, &mut single);
+            assert_eq!(out.row(b), &single[..], "batch row {b} diverged");
+        }
+    }
+
+    #[test]
+    fn tiled_kernels_handle_empty_and_tiny_shapes() {
+        let w = Matrix::zeros(0, 7);
+        let x = vec![1.0; 7];
+        let mut out: Vec<f32> = Vec::new();
+        gemv_tiled(&x, &w, &mut out);
+        assert!(out.is_empty());
+
+        let w1 = Matrix::from_vec(1, 1, vec![2.5]);
+        let mut o1 = [0.0];
+        gemv_tiled(&[4.0], &w1, &mut o1);
+        assert_eq!(o1[0], 10.0);
+
+        let we = Matrix::zeros(3, 0);
+        let xe: Vec<f32> = Vec::new();
+        let mut oe = [9.0; 3];
+        gemv_tiled(&xe, &we, &mut oe);
+        assert_eq!(oe, [0.0; 3]);
+
+        let mut empty_batch = Matrix::zeros(0, 4);
+        gemm(
+            &Matrix::zeros(0, 7),
+            &Matrix::from_vec(4, 7, vec![1.0; 28]),
+            &mut empty_batch,
+        );
+        assert_eq!(empty_batch.rows, 0);
     }
 }

@@ -9,19 +9,27 @@
 //! It implements, from scratch:
 //!
 //! * [`tensor`] — a minimal row-major f32 tensor.
-//! * [`kernels`] — blocked matmul, RMSNorm, softmax, SiLU, rotary position
-//!   embeddings, and the attention primitive.
-//! * [`quant`] — per-row int8 weight quantization with f32 accumulation,
-//!   mirroring the paper's int8 deployments.
+//! * [`kernels`] — tiled/blocked matmul (lane-parallel GEMV, batched
+//!   GEMM, plus the scalar reference kernel), RMSNorm, softmax, SiLU,
+//!   rotary position embeddings, and the attention primitive.
+//! * [`quant`] — group-wise int8 and packed int4 weight quantization
+//!   with fused dequant kernels and f32 accumulation, mirroring the
+//!   paper's quantized deployments.
 //! * [`model`] — a Llama-architecture decoder (RMSNorm → QKV → RoPE →
 //!   attention with KV cache → gated SiLU MLP) at any size; deterministic
-//!   weight initialization for reproducible tests.
+//!   weight initialization for reproducible tests; single-token, chunked
+//!   and batched forwards that are bit-identical per token.
 //! * [`tokenizer`] — byte-level tokenizer with trainable BPE merges.
 //! * [`generate`] — greedy and temperature sampling loops.
+//! * [`speculative`] — draft-k/verify/accept-prefix speculative decoding,
+//!   token-identical to vanilla decode by construction.
 //!
-//! The engine is deliberately small-scale (tests run models with
-//! hidden sizes of 64-128), but architecturally faithful: the same
-//! operator sequence whose FLOP/byte counts `cllm-workload` prices.
+//! The engine runs small-scale in tests (hidden sizes of 64-128) but is
+//! architecturally faithful: the same operator sequence whose FLOP/byte
+//! counts `cllm-workload` prices. `bench_infer` (in `cllm-bench`) times
+//! the kernels at weight-bound shapes and pins tokens/sec floors in
+//! `BENCH_infer.json`, which `cllm_perf::calib::measured` compares
+//! against the analytical roofline.
 //!
 //! # Example
 //!
@@ -44,5 +52,6 @@ pub mod model;
 pub mod quant;
 pub mod sampling;
 pub mod serialize;
+pub mod speculative;
 pub mod tensor;
 pub mod tokenizer;

@@ -1,7 +1,20 @@
 //! A Llama-architecture decoder at arbitrary (tiny) scale.
+//!
+//! Decode has three entry points that are **bit-identical** per token
+//! (they all reduce every `(weight row, input row)` pair with the same
+//! lane-parallel dot product):
+//!
+//! * [`TinyModel::forward`] — one token, one sequence (a 1-token chunk).
+//! * [`TinyModel::forward_chunk`] — `n` consecutive tokens of one
+//!   sequence in a single pass per layer (prefill and speculative
+//!   verification); each weight matrix is streamed once per chunk
+//!   instead of once per token.
+//! * [`TinyModel::forward_batch`] — one token each for `B` independent
+//!   sequences (continuous batching); weights stream once per step
+//!   across the whole batch.
 
-use crate::kernels::{gemv, rmsnorm, rope, softmax};
-use crate::quant::QuantMatrix;
+use crate::kernels::{gemm, gemv, gemv_tiled, rmsnorm, rope, softmax};
+use crate::quant::{Quant4Matrix, QuantMatrix};
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -59,21 +72,48 @@ impl TinyConfig {
     }
 }
 
-/// A linear layer in either precision.
+/// A linear layer in one of four weight formats.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Linear {
-    /// Full-precision weights.
+    /// Full-precision weights on the tiled kernel path (the default).
     F32(Matrix),
-    /// Int8-quantized weights (per-row scales).
+    /// Full-precision weights on the scalar reference kernel — the
+    /// "naive" baseline `bench_infer` measures tiled speedups against.
+    /// Serializes identically to [`Linear::F32`] (and deserializes as
+    /// it); the variant only selects a kernel.
+    NaiveF32(Matrix),
+    /// Int8-quantized weights (group-wise scales, fused dequant).
     Int8(QuantMatrix),
+    /// Packed int4-quantized weights (group-wise scales, fused dequant).
+    Int4(Quant4Matrix),
 }
 
 impl Linear {
     /// `out = x · W^T`.
     pub fn apply(&self, x: &[f32], out: &mut [f32]) {
         match self {
-            Linear::F32(m) => gemv(x, m, out),
+            Linear::F32(m) => gemv_tiled(x, m, out),
+            Linear::NaiveF32(m) => gemv(x, m, out),
             Linear::Int8(q) => q.gemv(x, out),
+            Linear::Int4(q) => q.gemv(x, out),
+        }
+    }
+
+    /// Batched `out[b] = xs[b] · W^T`, bit-identical per row to
+    /// [`Linear::apply`]. The tiled and quantized formats stream each
+    /// weight row once across the batch; the naive format deliberately
+    /// re-runs the reference GEMV per row (no amortization), keeping the
+    /// baseline honest.
+    pub fn apply_batch(&self, xs: &Matrix, out: &mut Matrix) {
+        match self {
+            Linear::F32(m) => gemm(xs, m, out),
+            Linear::NaiveF32(m) => {
+                for b in 0..xs.rows {
+                    gemv(xs.row(b), m, out.row_mut(b));
+                }
+            }
+            Linear::Int8(q) => q.gemm(xs, out),
+            Linear::Int4(q) => q.gemm(xs, out),
         }
     }
 
@@ -81,8 +121,9 @@ impl Linear {
     #[must_use]
     pub fn rows(&self) -> usize {
         match self {
-            Linear::F32(m) => m.rows,
+            Linear::F32(m) | Linear::NaiveF32(m) => m.rows,
             Linear::Int8(q) => q.rows,
+            Linear::Int4(q) => q.rows,
         }
     }
 }
@@ -152,6 +193,20 @@ impl KvCache {
         self.k.iter().map(Vec::len).sum::<usize>() * 8
     }
 
+    /// Drop cached entries beyond the first `len` tokens. Speculative
+    /// decoding uses this to roll back a rejected draft suffix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len` (a cache cannot be truncated forward).
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.len, "cannot truncate cache forward");
+        for layer in self.k.iter_mut().chain(self.v.iter_mut()) {
+            layer.truncate(len * self.kv_dim);
+        }
+        self.len = len;
+    }
+
     /// Serialize the cache (for sealing/migrating a live session).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -215,6 +270,14 @@ impl KvCache {
     }
 }
 
+/// Identity `AsMut`, so batched forwards accept both owned slices
+/// (`&mut [KvCache]`) and gathered references (`&mut [&mut KvCache]`).
+impl AsMut<KvCache> for KvCache {
+    fn as_mut(&mut self) -> &mut KvCache {
+        self
+    }
+}
+
 fn init_matrix(rng: &mut StdRng, rows: usize, cols: usize, scale: f32) -> Matrix {
     let mut data = Vec::with_capacity(rows * cols);
     for _ in 0..rows * cols {
@@ -256,16 +319,9 @@ impl TinyModel {
         }
     }
 
-    /// Quantize all linear layers to int8 (embedding and norms stay f32,
-    /// as in the paper's deployments).
-    #[must_use]
-    pub fn quantized(&self) -> TinyModel {
-        fn q(l: &Linear) -> Linear {
-            match l {
-                Linear::F32(m) => Linear::Int8(QuantMatrix::quantize(m)),
-                Linear::Int8(qm) => Linear::Int8(qm.clone()),
-            }
-        }
+    /// Copy of the model with every linear layer mapped through `f`
+    /// (embedding and norms are shared structure and copied as-is).
+    fn map_linears(&self, f: impl Fn(&Linear) -> Linear) -> TinyModel {
         TinyModel {
             config: self.config.clone(),
             embed: self.embed.clone(),
@@ -274,19 +330,49 @@ impl TinyModel {
                 .iter()
                 .map(|b| BlockWeights {
                     input_norm: b.input_norm.clone(),
-                    wq: q(&b.wq),
-                    wk: q(&b.wk),
-                    wv: q(&b.wv),
-                    wo: q(&b.wo),
+                    wq: f(&b.wq),
+                    wk: f(&b.wk),
+                    wv: f(&b.wv),
+                    wo: f(&b.wo),
                     post_norm: b.post_norm.clone(),
-                    w_gate: q(&b.w_gate),
-                    w_up: q(&b.w_up),
-                    w_down: q(&b.w_down),
+                    w_gate: f(&b.w_gate),
+                    w_up: f(&b.w_up),
+                    w_down: f(&b.w_down),
                 })
                 .collect(),
             final_norm: self.final_norm.clone(),
-            lm_head: q(&self.lm_head),
+            lm_head: f(&self.lm_head),
         }
+    }
+
+    /// Quantize all linear layers to int8 (embedding and norms stay f32,
+    /// as in the paper's deployments). Already-quantized layers are kept.
+    #[must_use]
+    pub fn quantized(&self) -> TinyModel {
+        self.map_linears(|l| match l {
+            Linear::F32(m) | Linear::NaiveF32(m) => Linear::Int8(QuantMatrix::quantize(m)),
+            other => other.clone(),
+        })
+    }
+
+    /// Quantize all linear layers to packed int4 (group-wise scales).
+    /// Already-quantized layers are kept.
+    #[must_use]
+    pub fn quantized4(&self) -> TinyModel {
+        self.map_linears(|l| match l {
+            Linear::F32(m) | Linear::NaiveF32(m) => Linear::Int4(Quant4Matrix::quantize(m)),
+            other => other.clone(),
+        })
+    }
+
+    /// Copy of the model with full-precision layers pinned to the scalar
+    /// reference kernel — the naive baseline for `bench_infer`.
+    #[must_use]
+    pub fn naive(&self) -> TinyModel {
+        self.map_linears(|l| match l {
+            Linear::F32(m) | Linear::NaiveF32(m) => Linear::NaiveF32(m.clone()),
+            other => other.clone(),
+        })
     }
 
     /// Fresh KV cache.
@@ -296,99 +382,257 @@ impl TinyModel {
     }
 
     /// Process one token at position `cache.len`, append to the cache and
-    /// return the next-token logits.
+    /// return the next-token logits. This is a 1-token
+    /// [`TinyModel::forward_chunk`], so single-token decode is
+    /// bit-identical to chunked and batched decode.
     ///
     /// # Panics
     ///
     /// Panics if `token >= vocab` or the cache is full.
     #[must_use]
     pub fn forward(&self, token: usize, cache: &mut KvCache) -> Vec<f32> {
+        self.forward_chunk(&[token], cache).row(0).to_vec()
+    }
+
+    /// Attention for one query position against a cache prefix: scores
+    /// against all cached keys of each head's kv group, softmax, weighted
+    /// V sum. `seq` is the number of cached positions visible to this
+    /// query (its own K/V entry must already be appended).
+    fn attend(&self, layer: usize, q: &[f32], seq: usize, cache: &KvCache, out: &mut [f32]) {
         let cfg = &self.config;
-        assert!(token < cfg.vocab, "token {token} out of vocabulary");
-        assert!(cache.len < cfg.max_seq, "KV cache full");
-        let pos = cache.len;
-        let h = cfg.hidden;
         let hd = cfg.head_dim();
         let kvd = cfg.kv_dim();
         let group = cfg.heads / cfg.kv_heads;
+        #[allow(clippy::cast_precision_loss)]
+        let inv_sqrt_d = 1.0 / (hd as f32).sqrt();
+        for head in 0..cfg.heads {
+            let kv_head = head / group;
+            let qh = &q[head * hd..(head + 1) * hd];
+            // Scores against all cached keys of this kv head.
+            let mut scores = Vec::with_capacity(seq);
+            for t in 0..seq {
+                let kh = &cache.k[layer][t * kvd + kv_head * hd..t * kvd + (kv_head + 1) * hd];
+                // Same lane-parallel dot as the matmul kernels: a head
+                // dim of 64 is exactly one lane block, and the serial
+                // iterator sum was a visible slice of decode time.
+                let dot = crate::kernels::dot_lanes(qh, kh);
+                scores.push(dot * inv_sqrt_d);
+            }
+            softmax(&mut scores);
+            let oh = &mut out[head * hd..(head + 1) * hd];
+            for (t, w) in scores.iter().enumerate() {
+                let vh = &cache.v[layer][t * kvd + kv_head * hd..t * kvd + (kv_head + 1) * hd];
+                for (o, val) in oh.iter_mut().zip(vh) {
+                    *o += w * val;
+                }
+            }
+        }
+    }
 
-        let mut x: Vec<f32> = self.embed.row(token).to_vec();
+    /// Process `n` consecutive tokens of one sequence in a single pass
+    /// per layer, appending all of them to the cache; returns the `n x
+    /// vocab` logits (row `i` = next-token logits after `tokens[..=i]`).
+    ///
+    /// Each weight matrix is streamed from memory once per chunk via the
+    /// batched kernels, which is what makes prefill and speculative
+    /// verification fast; causality is preserved by appending K/V
+    /// position-by-position before attending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token is out of vocabulary or the chunk overflows
+    /// the cache.
+    #[must_use]
+    pub fn forward_chunk(&self, tokens: &[usize], cache: &mut KvCache) -> Matrix {
+        let cfg = &self.config;
+        let n = tokens.len();
+        for &t in tokens {
+            assert!(t < cfg.vocab, "token {t} out of vocabulary");
+        }
+        assert!(cache.len + n <= cfg.max_seq, "KV cache full");
+        let base = cache.len;
+        let h = cfg.hidden;
+        let hd = cfg.head_dim();
+        let kvd = cfg.kv_dim();
+        let inter = cfg.intermediate;
+
+        let mut x = Matrix::zeros(n, h);
+        for (i, &t) in tokens.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(self.embed.row(t));
+        }
 
         for (layer, block) in self.blocks.iter().enumerate() {
             // Attention sub-block.
             let mut normed = x.clone();
-            rmsnorm(&mut normed, &block.input_norm, cfg.eps);
-
-            let mut q = vec![0.0; h];
-            let mut k = vec![0.0; kvd];
-            let mut v = vec![0.0; kvd];
-            block.wq.apply(&normed, &mut q);
-            block.wk.apply(&normed, &mut k);
-            block.wv.apply(&normed, &mut v);
-
-            for head in 0..cfg.heads {
-                rope(&mut q[head * hd..(head + 1) * hd], pos, cfg.rope_theta);
+            for i in 0..n {
+                rmsnorm(normed.row_mut(i), &block.input_norm, cfg.eps);
             }
-            for head in 0..cfg.kv_heads {
-                rope(&mut k[head * hd..(head + 1) * hd], pos, cfg.rope_theta);
-            }
+            let mut q = Matrix::zeros(n, h);
+            let mut k = Matrix::zeros(n, kvd);
+            let mut v = Matrix::zeros(n, kvd);
+            block.wq.apply_batch(&normed, &mut q);
+            block.wk.apply_batch(&normed, &mut k);
+            block.wv.apply_batch(&normed, &mut v);
 
-            cache.k[layer].extend_from_slice(&k);
-            cache.v[layer].extend_from_slice(&v);
-            let seq = pos + 1;
-
-            let mut attn_out = vec![0.0; h];
-            #[allow(clippy::cast_precision_loss)]
-            let inv_sqrt_d = 1.0 / (hd as f32).sqrt();
-            for head in 0..cfg.heads {
-                let kv_head = head / group;
-                let qh = &q[head * hd..(head + 1) * hd];
-                // Scores against all cached keys of this kv head.
-                let mut scores = Vec::with_capacity(seq);
-                for t in 0..seq {
-                    let kh = &cache.k[layer][t * kvd + kv_head * hd..t * kvd + (kv_head + 1) * hd];
-                    let dot: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
-                    scores.push(dot * inv_sqrt_d);
+            for i in 0..n {
+                let pos = base + i;
+                let qr = q.row_mut(i);
+                for head in 0..cfg.heads {
+                    rope(&mut qr[head * hd..(head + 1) * hd], pos, cfg.rope_theta);
                 }
-                softmax(&mut scores);
-                let out = &mut attn_out[head * hd..(head + 1) * hd];
-                for (t, w) in scores.iter().enumerate() {
-                    let vh = &cache.v[layer][t * kvd + kv_head * hd..t * kvd + (kv_head + 1) * hd];
-                    for (o, val) in out.iter_mut().zip(vh) {
-                        *o += w * val;
-                    }
+                let kr = k.row_mut(i);
+                for head in 0..cfg.kv_heads {
+                    rope(&mut kr[head * hd..(head + 1) * hd], pos, cfg.rope_theta);
                 }
             }
 
-            let mut proj = vec![0.0; h];
-            block.wo.apply(&attn_out, &mut proj);
-            for (xi, p) in x.iter_mut().zip(&proj) {
-                *xi += p;
+            let mut attn = Matrix::zeros(n, h);
+            for i in 0..n {
+                cache.k[layer].extend_from_slice(k.row(i));
+                cache.v[layer].extend_from_slice(v.row(i));
+                self.attend(layer, q.row(i), base + i + 1, cache, attn.row_mut(i));
+            }
+
+            let mut proj = Matrix::zeros(n, h);
+            block.wo.apply_batch(&attn, &mut proj);
+            for i in 0..n {
+                for (xi, p) in x.row_mut(i).iter_mut().zip(proj.row(i)) {
+                    *xi += p;
+                }
             }
 
             // MLP sub-block.
             let mut normed = x.clone();
-            rmsnorm(&mut normed, &block.post_norm, cfg.eps);
-            let inter = cfg.intermediate;
-            let mut gate = vec![0.0; inter];
-            let mut up = vec![0.0; inter];
-            block.w_gate.apply(&normed, &mut gate);
-            block.w_up.apply(&normed, &mut up);
-            for (g, u) in gate.iter_mut().zip(&up) {
-                *g = crate::kernels::silu(*g) * u;
+            for i in 0..n {
+                rmsnorm(normed.row_mut(i), &block.post_norm, cfg.eps);
             }
-            let mut down = vec![0.0; h];
-            block.w_down.apply(&gate, &mut down);
-            for (xi, d) in x.iter_mut().zip(&down) {
-                *xi += d;
+            let mut gate = Matrix::zeros(n, inter);
+            let mut up = Matrix::zeros(n, inter);
+            block.w_gate.apply_batch(&normed, &mut gate);
+            block.w_up.apply_batch(&normed, &mut up);
+            for i in 0..n {
+                for (g, u) in gate.row_mut(i).iter_mut().zip(up.row(i)) {
+                    *g = crate::kernels::silu(*g) * u;
+                }
+            }
+            let mut down = Matrix::zeros(n, h);
+            block.w_down.apply_batch(&gate, &mut down);
+            for i in 0..n {
+                for (xi, d) in x.row_mut(i).iter_mut().zip(down.row(i)) {
+                    *xi += d;
+                }
             }
         }
 
-        cache.len += 1;
+        cache.len += n;
 
-        rmsnorm(&mut x, &self.final_norm, cfg.eps);
-        let mut logits = vec![0.0; cfg.vocab];
-        self.lm_head.apply(&x, &mut logits);
+        for i in 0..n {
+            rmsnorm(x.row_mut(i), &self.final_norm, cfg.eps);
+        }
+        let mut logits = Matrix::zeros(n, cfg.vocab);
+        self.lm_head.apply_batch(&x, &mut logits);
+        logits
+    }
+
+    /// Advance `B` independent sequences by one token each in a single
+    /// pass per layer; `tokens[b]` goes to `caches[b]` at its own
+    /// position (sequences may be at different lengths). Returns the
+    /// `B x vocab` logits. Weight traffic is amortized across the batch
+    /// exactly as the analytical model assumes for batched decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch, out-of-vocabulary tokens, or any full
+    /// cache.
+    #[must_use]
+    pub fn forward_batch<C: AsMut<KvCache>>(&self, tokens: &[usize], caches: &mut [C]) -> Matrix {
+        let cfg = &self.config;
+        let n = tokens.len();
+        assert_eq!(n, caches.len(), "one cache per sequence");
+        let mut caches: Vec<&mut KvCache> = caches.iter_mut().map(AsMut::as_mut).collect();
+        for (&t, c) in tokens.iter().zip(caches.iter()) {
+            assert!(t < cfg.vocab, "token {t} out of vocabulary");
+            assert!(c.len < cfg.max_seq, "KV cache full");
+        }
+        let h = cfg.hidden;
+        let hd = cfg.head_dim();
+        let inter = cfg.intermediate;
+
+        let mut x = Matrix::zeros(n, h);
+        for (i, &t) in tokens.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(self.embed.row(t));
+        }
+
+        for (layer, block) in self.blocks.iter().enumerate() {
+            let mut normed = x.clone();
+            for i in 0..n {
+                rmsnorm(normed.row_mut(i), &block.input_norm, cfg.eps);
+            }
+            let mut q = Matrix::zeros(n, h);
+            let mut k = Matrix::zeros(n, cfg.kv_dim());
+            let mut v = Matrix::zeros(n, cfg.kv_dim());
+            block.wq.apply_batch(&normed, &mut q);
+            block.wk.apply_batch(&normed, &mut k);
+            block.wv.apply_batch(&normed, &mut v);
+
+            for (i, cache) in caches.iter().enumerate() {
+                let pos = cache.len;
+                let qr = q.row_mut(i);
+                for head in 0..cfg.heads {
+                    rope(&mut qr[head * hd..(head + 1) * hd], pos, cfg.rope_theta);
+                }
+                let kr = k.row_mut(i);
+                for head in 0..cfg.kv_heads {
+                    rope(&mut kr[head * hd..(head + 1) * hd], pos, cfg.rope_theta);
+                }
+            }
+
+            let mut attn = Matrix::zeros(n, h);
+            for (i, cache) in caches.iter_mut().enumerate() {
+                cache.k[layer].extend_from_slice(k.row(i));
+                cache.v[layer].extend_from_slice(v.row(i));
+                self.attend(layer, q.row(i), cache.len + 1, cache, attn.row_mut(i));
+            }
+
+            let mut proj = Matrix::zeros(n, h);
+            block.wo.apply_batch(&attn, &mut proj);
+            for i in 0..n {
+                for (xi, p) in x.row_mut(i).iter_mut().zip(proj.row(i)) {
+                    *xi += p;
+                }
+            }
+
+            let mut normed = x.clone();
+            for i in 0..n {
+                rmsnorm(normed.row_mut(i), &block.post_norm, cfg.eps);
+            }
+            let mut gate = Matrix::zeros(n, inter);
+            let mut up = Matrix::zeros(n, inter);
+            block.w_gate.apply_batch(&normed, &mut gate);
+            block.w_up.apply_batch(&normed, &mut up);
+            for i in 0..n {
+                for (g, u) in gate.row_mut(i).iter_mut().zip(up.row(i)) {
+                    *g = crate::kernels::silu(*g) * u;
+                }
+            }
+            let mut down = Matrix::zeros(n, h);
+            block.w_down.apply_batch(&gate, &mut down);
+            for i in 0..n {
+                for (xi, d) in x.row_mut(i).iter_mut().zip(down.row(i)) {
+                    *xi += d;
+                }
+            }
+        }
+
+        for c in caches.iter_mut() {
+            c.len += 1;
+        }
+
+        for i in 0..n {
+            rmsnorm(x.row_mut(i), &self.final_norm, cfg.eps);
+        }
+        let mut logits = Matrix::zeros(n, cfg.vocab);
+        self.lm_head.apply_batch(&x, &mut logits);
         logits
     }
 
@@ -530,5 +774,104 @@ mod tests {
         let m = model();
         let p = m.param_count();
         assert!(p > 50_000 && p < 500_000, "params {p}");
+    }
+
+    #[test]
+    fn chunked_forward_bit_identical_to_sequential() {
+        let m = model();
+        let tokens = [3usize, 17, 99, 4, 200];
+        let mut seq_cache = m.new_cache();
+        let seq_logits: Vec<Vec<f32>> = tokens
+            .iter()
+            .map(|&t| m.forward(t, &mut seq_cache))
+            .collect();
+        let mut chunk_cache = m.new_cache();
+        let chunk_logits = m.forward_chunk(&tokens, &mut chunk_cache);
+        assert_eq!(chunk_cache.len, tokens.len());
+        for (i, sl) in seq_logits.iter().enumerate() {
+            assert_eq!(chunk_logits.row(i), &sl[..], "position {i} diverged");
+        }
+        // And the caches are byte-identical, so generation can continue
+        // from either.
+        assert_eq!(seq_cache.to_bytes(), chunk_cache.to_bytes());
+    }
+
+    #[test]
+    fn chunked_forward_matches_for_quantized_models() {
+        for m in [model().quantized(), model().quantized4(), model().naive()] {
+            let tokens = [8usize, 1, 77];
+            let mut seq_cache = m.new_cache();
+            let all: Vec<Vec<f32>> = tokens
+                .iter()
+                .map(|&t| m.forward(t, &mut seq_cache))
+                .collect();
+            let seq_last = all.last().unwrap().clone();
+            let mut chunk_cache = m.new_cache();
+            let chunk = m.forward_chunk(&tokens, &mut chunk_cache);
+            assert_eq!(chunk.row(tokens.len() - 1), &seq_last[..]);
+        }
+    }
+
+    #[test]
+    fn batched_forward_bit_identical_to_individual() {
+        let m = model();
+        // Three sequences at different lengths.
+        let prompts: [&[usize]; 3] = [&[1, 2], &[9], &[40, 41, 42]];
+        let mut caches: Vec<KvCache> = prompts
+            .iter()
+            .map(|p| {
+                let mut c = m.new_cache();
+                let _ = m.forward_chunk(p, &mut c);
+                c
+            })
+            .collect();
+        let mut individual = caches.clone();
+        let step = [7usize, 8, 9];
+        let batched = m.forward_batch(&step, &mut caches);
+        for (b, &t) in step.iter().enumerate() {
+            let single = m.forward(t, &mut individual[b]);
+            assert_eq!(batched.row(b), &single[..], "sequence {b} diverged");
+            assert_eq!(caches[b].len, individual[b].len);
+        }
+    }
+
+    #[test]
+    fn truncate_rolls_back_exactly() {
+        let m = model();
+        let mut reference = m.new_cache();
+        let _ = m.forward_chunk(&[5, 6], &mut reference);
+        let mut speculated = reference.clone();
+        let _ = m.forward_chunk(&[100, 101, 102], &mut speculated);
+        speculated.truncate(2);
+        assert_eq!(speculated.to_bytes(), reference.to_bytes());
+        // Continuing after rollback matches continuing the reference.
+        assert_eq!(
+            m.forward(33, &mut speculated),
+            m.forward(33, &mut reference)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "truncate cache forward")]
+    fn truncate_forward_rejected() {
+        let m = model();
+        let mut c = m.new_cache();
+        let _ = m.forward(1, &mut c);
+        c.truncate(2);
+    }
+
+    #[test]
+    fn int4_model_tracks_f32() {
+        let m = model();
+        let q = m.quantized4();
+        let mut cf = m.new_cache();
+        let mut cq = q.new_cache();
+        let lf = m.forward(42, &mut cf);
+        let lq = q.forward(42, &mut cq);
+        let dot: f32 = lf.iter().zip(&lq).map(|(a, b)| a * b).sum();
+        let nf: f32 = lf.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let nq: f32 = lq.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let corr = dot / (nf * nq);
+        assert!(corr > 0.90, "int4 correlation {corr}");
     }
 }

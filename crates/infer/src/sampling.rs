@@ -159,6 +159,14 @@ pub fn generate_with(
 /// Generate continuations for several prompts (each with its own KV
 /// cache), like a static-batched serving step. Returns one output
 /// sequence per prompt.
+///
+/// Prompts prefill through `forward_chunk` and the lockstep decode
+/// advances all live sequences with one `forward_batch` per step, so
+/// model weights stream from memory once per step instead of once per
+/// sequence — the amortization `cllm-perf` prices for batched decode.
+/// Results are bit-identical to per-sequence decoding (the batched
+/// kernels share the per-row reduction order), and the RNG draw order
+/// matches the previous per-sequence loop exactly.
 #[must_use]
 pub fn generate_batch(
     model: &TinyModel,
@@ -166,31 +174,57 @@ pub fn generate_batch(
     max_new: usize,
     params: &SamplingParams,
 ) -> Vec<Vec<usize>> {
-    let mut states: Vec<(KvCache, Vec<f32>, Vec<usize>)> = prompts
-        .iter()
-        .map(|prompt| {
-            let mut cache = model.new_cache();
-            let mut logits = vec![0.0; model.config.vocab];
-            for &t in prompt {
-                logits = model.forward(t, &mut cache);
-            }
-            (cache, logits, Vec::with_capacity(max_new))
-        })
-        .collect();
+    let mut caches: Vec<KvCache> = Vec::with_capacity(prompts.len());
+    let mut logits: Vec<Vec<f32>> = Vec::with_capacity(prompts.len());
+    let mut outs: Vec<Vec<usize>> = Vec::with_capacity(prompts.len());
+    for prompt in prompts {
+        let mut cache = model.new_cache();
+        let l = if prompt.is_empty() {
+            vec![0.0; model.config.vocab]
+        } else {
+            let rows = model.forward_chunk(prompt, &mut cache);
+            rows.row(prompt.len() - 1).to_vec()
+        };
+        caches.push(cache);
+        logits.push(l);
+        outs.push(Vec::with_capacity(max_new));
+    }
     let mut rng = StdRng::seed_from_u64(params.seed);
-    // Lockstep decode: one token per sequence per iteration (the batching
-    // pattern whose cost `cllm-perf` prices).
     for _ in 0..max_new {
-        for (cache, logits, out) in &mut states {
-            if cache.len >= model.config.max_seq {
+        // Sample every live sequence first — sequence order fixes the RNG
+        // draw order — then advance them all in one batched forward.
+        let mut live: Vec<usize> = Vec::with_capacity(prompts.len());
+        let mut step: Vec<usize> = Vec::with_capacity(prompts.len());
+        for i in 0..prompts.len() {
+            if caches[i].len >= model.config.max_seq {
                 continue;
             }
-            let next = sample_next(logits, out, params, &mut rng);
-            out.push(next);
-            *logits = model.forward(next, cache);
+            let next = sample_next(&logits[i], &outs[i], params, &mut rng);
+            outs[i].push(next);
+            live.push(i);
+            step.push(next);
+        }
+        if live.is_empty() {
+            break;
+        }
+        let mut gathered: Vec<&mut KvCache> = Vec::with_capacity(live.len());
+        {
+            let mut rest = &mut caches[..];
+            let mut offset = 0usize;
+            for &i in &live {
+                let (_, tail) = rest.split_at_mut(i - offset);
+                let (cache, tail) = tail.split_first_mut().expect("live index in range");
+                gathered.push(cache);
+                rest = tail;
+                offset = i + 1;
+            }
+        }
+        let rows = model.forward_batch(&step, &mut gathered);
+        for (slot, &i) in live.iter().enumerate() {
+            logits[i] = rows.row(slot).to_vec();
         }
     }
-    states.into_iter().map(|(_, _, out)| out).collect()
+    outs
 }
 
 #[cfg(test)]

@@ -37,8 +37,10 @@ impl std::error::Error for SerializeError {}
 
 fn linear_matrix(l: &Linear) -> Result<&Matrix, SerializeError> {
     match l {
-        Linear::F32(m) => Ok(m),
-        Linear::Int8(_) => Err(SerializeError::QuantizedModel),
+        // NaiveF32 is a kernel choice, not a weight format: it serializes
+        // as full precision and deserializes as the (tiled) F32 variant.
+        Linear::F32(m) | Linear::NaiveF32(m) => Ok(m),
+        Linear::Int8(_) | Linear::Int4(_) => Err(SerializeError::QuantizedModel),
     }
 }
 
@@ -206,6 +208,17 @@ mod tests {
     fn quantized_model_rejected() {
         let m = TinyModel::init(&TinyConfig::test_small(), 7).quantized();
         assert_eq!(model_to_bytes(&m), Err(SerializeError::QuantizedModel));
+        let m4 = TinyModel::init(&TinyConfig::test_small(), 7).quantized4();
+        assert_eq!(model_to_bytes(&m4), Err(SerializeError::QuantizedModel));
+    }
+
+    #[test]
+    fn naive_model_serializes_as_f32() {
+        let m = TinyModel::init(&TinyConfig::test_small(), 7);
+        let bytes_naive = model_to_bytes(&m.naive()).unwrap();
+        assert_eq!(bytes_naive, model_to_bytes(&m).unwrap());
+        // Deserializes back onto the tiled path.
+        assert_eq!(model_from_bytes(&bytes_naive).unwrap(), m);
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Seeded deterministic speculative decoding (draft-k / verify /
+//! accept-prefix), token-identical to vanilla decode by construction.
+//!
+//! A small draft model proposes `k` tokens greedily; the target model
+//! verifies the whole proposal in **one chunked forward**
+//! ([`crate::model::TinyModel::forward_chunk`]), streaming its weights
+//! once per round instead of once per token — the weight-traffic
+//! amortization that makes speculative decoding pay on memory-bound
+//! decode. Rejected suffixes are rolled back with
+//! [`crate::model::KvCache::truncate`].
+//!
+//! **Draw-aligned determinism.** Vanilla [`crate::generate::generate`]
+//! consumes exactly one RNG draw per emitted token (temperature) or none
+//! (greedy). This implementation preserves that discipline exactly: the
+//! `j`-th emitted token is always produced by
+//! `generate::next_token(logits after the j-token prefix, draw j)`,
+//! whether the token came from an accepted draft (the target's choice
+//! happened to equal the proposal) or a rejection (the target's choice
+//! is emitted directly, no extra draw). By induction the output is
+//! **token-identical to vanilla decode for any draft model and any k**
+//! — the draft only decides how many target forwards were batched
+//! together, never what gets emitted. The equivalence suite
+//! (`tests/spec_equivalence.rs`) pins this for greedy and temperature
+//! sampling across draft models of varying quality.
+
+use crate::generate::{next_token, Sampling};
+use crate::model::TinyModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counters from one speculative run; the raw material for the
+/// `token-conservation` and `forbid-nonfinite-logits` invariants in
+/// `cllm_serve::invariants` (see `InferLoopReport`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Draft-k/verify rounds executed.
+    pub rounds: usize,
+    /// Tokens the draft model proposed.
+    pub drafted: usize,
+    /// Proposals the target accepted (emitted verbatim).
+    pub accepted: usize,
+    /// Positions where the target disagreed and its own sample was
+    /// emitted instead.
+    pub resampled: usize,
+    /// Non-finite values observed across all logit vectors used for
+    /// emission decisions (must be 0 on a healthy model).
+    pub nonfinite_logits: usize,
+}
+
+impl SpecStats {
+    /// Tokens emitted: every emission is either an accepted draft or a
+    /// target resample, so `accepted + resampled` must equal the output
+    /// length — the token-conservation invariant.
+    #[must_use]
+    pub fn emitted(&self) -> usize {
+        self.accepted + self.resampled
+    }
+
+    /// Fraction of drafted tokens accepted (0 if nothing was drafted).
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.drafted == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.accepted as f64 / self.drafted as f64
+            }
+        }
+    }
+}
+
+/// Count non-finite entries of a logits vector into `stats`.
+fn scan_logits(logits: &[f32], stats: &mut SpecStats) {
+    stats.nonfinite_logits += logits.iter().filter(|v| !v.is_finite()).count();
+}
+
+/// Generate `max_new` tokens with speculative decoding: `draft` proposes
+/// up to `k` tokens per round (greedy), `target` verifies them in one
+/// chunked forward, and the accepted prefix is kept. Returns the emitted
+/// tokens and the round/acceptance counters.
+///
+/// Output is token-identical to
+/// `generate(target, prompt, max_new, sampling, seed)` for any draft
+/// and any `k >= 1`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, the draft and target vocabularies differ, or
+/// `prompt.len() + max_new + k` overflows either model's `max_seq`
+/// (verification briefly holds up to `k` unaccepted positions in the
+/// cache).
+#[must_use]
+pub fn speculative_generate(
+    target: &TinyModel,
+    draft: &TinyModel,
+    prompt: &[usize],
+    max_new: usize,
+    k: usize,
+    sampling: Sampling,
+    seed: u64,
+) -> (Vec<usize>, SpecStats) {
+    assert!(k >= 1, "draft window k must be at least 1");
+    assert_eq!(
+        target.config.vocab, draft.config.vocab,
+        "draft and target must share a vocabulary"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = SpecStats::default();
+    let mut tcache = target.new_cache();
+    let mut dcache = draft.new_cache();
+
+    // Prefill both models on the prompt in one chunked pass each. With an
+    // empty prompt, vanilla decode samples its first token from all-zero
+    // logits; mirror that exactly.
+    let zero_logits = vec![0.0f32; target.config.vocab];
+    let mut logits_t: Option<Vec<f32>> = if prompt.is_empty() {
+        Some(zero_logits.clone())
+    } else {
+        let rows = target.forward_chunk(prompt, &mut tcache);
+        Some(rows.row(prompt.len() - 1).to_vec())
+    };
+    let mut logits_d: Vec<f32> = if prompt.is_empty() {
+        vec![0.0f32; draft.config.vocab]
+    } else {
+        let rows = draft.forward_chunk(prompt, &mut dcache);
+        rows.row(prompt.len() - 1).to_vec()
+    };
+
+    let mut out = Vec::with_capacity(max_new);
+    // A token emitted by rejection that neither model has consumed yet;
+    // it rides at the front of the next verification chunk (target) and
+    // is fed to the draft at the top of the next round, so rejection
+    // costs no extra full forward.
+    let mut pending: Option<usize> = None;
+
+    while out.len() < max_new {
+        // Catch the draft up on last round's resampled token.
+        if let Some(t) = pending {
+            logits_d = draft.forward(t, &mut dcache);
+        }
+
+        // Draft proposes greedily. Verifying more than `remaining`
+        // positions could never emit anything, so clamp.
+        let kr = k.min(max_new - out.len());
+        let mut drafts = Vec::with_capacity(kr);
+        for _ in 0..kr {
+            let d = crate::kernels::argmax(&logits_d);
+            drafts.push(d);
+            logits_d = draft.forward(d, &mut dcache);
+        }
+        stats.drafted += kr;
+
+        // Target verifies the pending token (if any) plus the whole
+        // proposal in a single chunked forward.
+        let tbase = tcache.len;
+        let chunk: Vec<usize> = pending
+            .iter()
+            .copied()
+            .chain(drafts.iter().copied())
+            .collect();
+        let rows = target.forward_chunk(&chunk, &mut tcache);
+        let off = usize::from(pending.is_some());
+        let mut cur: Vec<f32> = if pending.is_some() {
+            rows.row(0).to_vec()
+        } else {
+            logits_t
+                .take()
+                .expect("logits available when nothing pending")
+        };
+        pending = None;
+
+        let emitted_before = out.len();
+        let mut accepted_this = 0usize;
+        let mut rejected = false;
+        for (i, &d) in drafts.iter().enumerate() {
+            scan_logits(&cur, &mut stats);
+            let t = next_token(&cur, sampling, &mut rng);
+            if t == d {
+                out.push(t);
+                stats.accepted += 1;
+                accepted_this += 1;
+                cur = rows.row(off + i).to_vec();
+            } else {
+                out.push(t);
+                stats.resampled += 1;
+                // Roll both caches back to the emitted prefix. The target
+                // keeps the accepted drafts (and last round's pending
+                // token); the draft keeps only its accepted proposals.
+                tcache.truncate(tbase + off + accepted_this);
+                dcache.truncate(prompt.len() + out.len() - 1);
+                pending = Some(t);
+                rejected = true;
+                break;
+            }
+        }
+        if !rejected {
+            logits_t = Some(cur);
+        }
+        stats.rounds += 1;
+        debug_assert_eq!(
+            out.len() - emitted_before,
+            accepted_this + usize::from(rejected)
+        );
+    }
+
+    debug_assert_eq!(stats.emitted(), out.len());
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use crate::model::TinyConfig;
+
+    fn target() -> TinyModel {
+        TinyModel::init(&TinyConfig::test_small(), 99)
+    }
+
+    #[test]
+    fn greedy_matches_vanilla_with_quantized_draft() {
+        let m = target();
+        let draft = m.quantized();
+        let vanilla = generate(&m, &[1, 2, 3], 12, Sampling::Greedy, 0);
+        let (spec, stats) =
+            speculative_generate(&m, &draft, &[1, 2, 3], 12, 4, Sampling::Greedy, 0);
+        assert_eq!(spec, vanilla);
+        assert_eq!(stats.emitted(), 12);
+        assert!(stats.accepted > 0, "int8 draft should agree sometimes");
+        assert_eq!(stats.nonfinite_logits, 0);
+    }
+
+    #[test]
+    fn hostile_draft_still_matches_vanilla() {
+        // A draft trained on nothing (different seed) proposes garbage;
+        // output must still be exactly vanilla.
+        let m = target();
+        let hostile = TinyModel::init(&TinyConfig::test_small(), 12345);
+        let vanilla = generate(&m, &[7], 10, Sampling::Greedy, 0);
+        let (spec, stats) = speculative_generate(&m, &hostile, &[7], 10, 3, Sampling::Greedy, 0);
+        assert_eq!(spec, vanilla);
+        assert_eq!(stats.emitted(), 10);
+    }
+
+    #[test]
+    fn temperature_matches_vanilla_draw_for_draw() {
+        let m = target();
+        let draft = m.quantized();
+        for seed in [0u64, 1, 7] {
+            let vanilla = generate(&m, &[4, 5], 14, Sampling::Temperature(1.2), seed);
+            let (spec, _) =
+                speculative_generate(&m, &draft, &[4, 5], 14, 3, Sampling::Temperature(1.2), seed);
+            assert_eq!(spec, vanilla, "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_prompt_matches_vanilla() {
+        let m = target();
+        let draft = m.quantized();
+        let vanilla = generate(&m, &[], 6, Sampling::Greedy, 0);
+        let (spec, _) = speculative_generate(&m, &draft, &[], 6, 2, Sampling::Greedy, 0);
+        assert_eq!(spec, vanilla);
+    }
+
+    #[test]
+    fn conservation_holds_across_k() {
+        let m = target();
+        let draft = m.quantized();
+        for k in 1..=5 {
+            let (out, stats) =
+                speculative_generate(&m, &draft, &[9, 8], 11, k, Sampling::Greedy, 0);
+            assert_eq!(out.len(), 11);
+            assert_eq!(stats.emitted(), out.len(), "k={k}");
+            assert!(stats.accepted <= stats.drafted, "k={k}");
+            assert!(stats.rounds >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let m = target();
+        let d = m.quantized();
+        let _ = speculative_generate(&m, &d, &[1], 4, 0, Sampling::Greedy, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Speculative-decoding equivalence suite: speculative output must be
+//! **token-identical** to vanilla autoregressive decode — for any draft
+//! model, any window `k`, greedy and temperature sampling alike.
+//!
+//! The contract rests on one discipline (see `cllm_infer::generate`):
+//! both decoders consume exactly one RNG draw per *emitted* token
+//! through the shared `next_token`, so the draft can only change *how
+//! fast* tokens appear, never *which* tokens appear. These tests sweep
+//! draft quality from faithful (the target's own int8/int4 quantization)
+//! to hostile (an unrelated random model) and pin the equivalence,
+//! the acceptance-quality ordering, and the token-conservation
+//! arithmetic the serve-layer invariants consume.
+//!
+//! The `CLLM_RUNNER_THREADS` pin lives here too: a single decode is a
+//! strictly sequential cache-mutating loop with no thread interaction,
+//! so the harness thread-count knob must not be able to change a single
+//! token. No other test in this binary reads the variable, so the
+//! process-global mutation cannot race.
+
+use cllm_infer::generate::{generate, Sampling};
+use cllm_infer::model::{TinyConfig, TinyModel};
+use cllm_infer::speculative::speculative_generate;
+
+fn target() -> TinyModel {
+    TinyModel::init(&TinyConfig::test_small(), 2024)
+}
+
+/// Drafts spanning the quality spectrum, best to worst: the target's
+/// own quantizations agree with it almost always, a differently-seeded
+/// model almost never.
+fn drafts(m: &TinyModel) -> Vec<(&'static str, TinyModel)> {
+    vec![
+        ("int8", m.quantized()),
+        ("int4", m.quantized4()),
+        ("naive-kernels", m.naive()),
+        ("hostile", TinyModel::init(&TinyConfig::test_small(), 777)),
+    ]
+}
+
+#[test]
+fn greedy_is_token_identical_for_every_draft_and_every_k() {
+    let m = target();
+    let prompt = [3usize, 1, 4, 1, 5];
+    let vanilla = generate(&m, &prompt, 16, Sampling::Greedy, 0);
+    for (name, draft) in drafts(&m) {
+        for k in 1..=6 {
+            let (spec, stats) =
+                speculative_generate(&m, &draft, &prompt, 16, k, Sampling::Greedy, 0);
+            assert_eq!(spec, vanilla, "draft {name}, k={k}: tokens diverged");
+            assert_eq!(stats.emitted(), 16, "draft {name}, k={k}");
+            assert_eq!(stats.nonfinite_logits, 0, "draft {name}, k={k}");
+        }
+    }
+}
+
+#[test]
+fn temperature_sampling_matches_draw_for_draw() {
+    // Under temperature sampling the emitted sequence is a function of
+    // the seed alone; acceptance/rejection must consume RNG draws in
+    // exactly the vanilla order or the tail of the sequence shears off.
+    let m = target();
+    let prompt = [9usize, 2, 6];
+    for temp in [0.7f32, 1.0, 1.3] {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let vanilla = generate(&m, &prompt, 12, Sampling::Temperature(temp), seed);
+            for (name, draft) in drafts(&m) {
+                let (spec, _) = speculative_generate(
+                    &m,
+                    &draft,
+                    &prompt,
+                    12,
+                    3,
+                    Sampling::Temperature(temp),
+                    seed,
+                );
+                assert_eq!(spec, vanilla, "draft {name}, temp {temp}, seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn draft_quality_orders_acceptance_and_round_count() {
+    // Equivalence holds regardless of draft quality; *throughput* is
+    // where quality shows. The target's own int8 quantization should be
+    // accepted far more often than an unrelated model, which in turn
+    // means fewer verification rounds for the same emitted tokens.
+    let m = target();
+    let prompt = [5usize, 5, 5];
+    let (_, good) = speculative_generate(&m, &m.quantized(), &prompt, 24, 4, Sampling::Greedy, 0);
+    let hostile = TinyModel::init(&TinyConfig::test_small(), 777);
+    let (_, bad) = speculative_generate(&m, &hostile, &prompt, 24, 4, Sampling::Greedy, 0);
+    assert!(
+        good.acceptance_rate() > bad.acceptance_rate(),
+        "int8 draft acceptance {:.2} should beat hostile {:.2}",
+        good.acceptance_rate(),
+        bad.acceptance_rate()
+    );
+    assert!(
+        good.rounds <= bad.rounds,
+        "better drafts cannot need more rounds: {} vs {}",
+        good.rounds,
+        bad.rounds
+    );
+}
+
+#[test]
+fn token_conservation_holds_for_every_draft_and_k() {
+    // Every emitted token is exactly one of {accepted draft, target
+    // resample} — the arithmetic the serve-layer token-conservation
+    // invariant audits. Resamples are bounded by rounds (at most one
+    // rejection ends each round).
+    let m = target();
+    for (name, draft) in drafts(&m) {
+        for k in [1usize, 2, 5] {
+            for max_new in [1usize, 7, 19] {
+                let (out, stats) =
+                    speculative_generate(&m, &draft, &[8, 0], max_new, k, Sampling::Greedy, 3);
+                let ctx = format!("draft {name}, k={k}, max_new={max_new}");
+                assert_eq!(out.len(), max_new, "{ctx}");
+                assert_eq!(stats.emitted(), out.len(), "{ctx}");
+                assert!(stats.accepted <= stats.drafted, "{ctx}");
+                assert!(stats.resampled <= stats.rounds, "{ctx}");
+                assert!(stats.rounds >= max_new.div_ceil(k + 1), "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_token_prompts_stay_equivalent() {
+    let m = target();
+    let draft = m.quantized();
+    for prompt in [&[][..], &[0usize][..], &[255usize][..]] {
+        let vanilla = generate(&m, prompt, 8, Sampling::Greedy, 0);
+        let (spec, _) = speculative_generate(&m, &draft, prompt, 8, 2, Sampling::Greedy, 0);
+        assert_eq!(spec, vanilla, "prompt {prompt:?}");
+    }
+}
+
+#[test]
+fn runner_thread_knob_cannot_change_a_token() {
+    // A single decode is a sequential loop over one KV cache; the
+    // harness-level CLLM_RUNNER_THREADS knob parallelizes *experiments*,
+    // never a decode, and this pins that a thread-count change can
+    // never alter generated tokens.
+    let m = target();
+    let draft = m.quantized();
+    let prompt = [1usize, 2, 3];
+    let run_both = |threads: &str| {
+        std::env::set_var("CLLM_RUNNER_THREADS", threads);
+        let vanilla = generate(&m, &prompt, 10, Sampling::Temperature(1.1), 9);
+        let (spec, _) =
+            speculative_generate(&m, &draft, &prompt, 10, 3, Sampling::Temperature(1.1), 9);
+        (vanilla, spec)
+    };
+    let (vanilla_1, spec_1) = run_both("1");
+    let (vanilla_8, spec_8) = run_both("8");
+    std::env::remove_var("CLLM_RUNNER_THREADS");
+    assert_eq!(
+        vanilla_1, vanilla_8,
+        "vanilla decode varies with thread knob"
+    );
+    assert_eq!(spec_1, spec_8, "speculative decode varies with thread knob");
+    assert_eq!(spec_1, vanilla_1, "speculative diverged from vanilla");
+}
+
+#[test]
+#[should_panic(expected = "share a vocabulary")]
+fn mismatched_vocabularies_are_rejected() {
+    let m = target();
+    let mut cfg = TinyConfig::test_small();
+    cfg.vocab = 128;
+    let alien = TinyModel::init(&cfg, 1);
+    let _ = speculative_generate(&m, &alien, &[1], 4, 2, Sampling::Greedy, 0);
+}

@@ -7,6 +7,8 @@
 //! in the simulator; these constants set the magnitudes that depend on
 //! unpublished micro-details of the testbed.
 
+pub mod measured;
+
 /// Fraction of DRAM page-walk latency *not* hidden by out-of-order
 /// execution and concurrent hardware walkers during streaming access.
 pub const WALK_EXPOSURE: f64 = 0.8;

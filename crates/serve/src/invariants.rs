@@ -21,6 +21,8 @@
 //! | per-request retry budget respected | [`check_retry_budget`] |
 //! | KV pool `free + in_use == total` | [`check_pool`] |
 //! | time attribution `busy + idle + outage == makespan` | [`check_trace`] |
+//! | infer token ledger `emitted == accepted + resampled` | [`check_infer`] |
+//! | no non-finite logit reaches an emission decision | [`check_infer`] |
 
 use crate::autoscale::AutoscaleReport;
 use crate::cluster::ClusterReport;
@@ -145,6 +147,27 @@ pub enum InvariantViolation {
         /// What was observed.
         detail: String,
     },
+    /// The functional infer loop emitted a token ledger that does not
+    /// balance: every emitted token must be either an accepted draft or
+    /// a target resample, and no more can be accepted than drafted.
+    TokenConservation {
+        /// Tokens emitted.
+        emitted: usize,
+        /// Draft proposals accepted.
+        accepted: usize,
+        /// Target resamples emitted on rejection.
+        resampled: usize,
+        /// Draft proposals made.
+        drafted: usize,
+    },
+    /// A logits vector used for an emission decision contained NaN/inf
+    /// — generation must never sample from a poisoned distribution.
+    NonFiniteLogit {
+        /// Non-finite entries observed across the run.
+        count: usize,
+        /// Tokens emitted by the run (for scale).
+        emitted: usize,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -225,6 +248,22 @@ impl fmt::Display for InvariantViolation {
             InvariantViolation::Forbidden { rule, detail } => {
                 write!(f, "planted rule {rule} violated: {detail}")
             }
+            InvariantViolation::TokenConservation {
+                emitted,
+                accepted,
+                resampled,
+                drafted,
+            } => write!(
+                f,
+                "token conservation: {emitted} emitted != {accepted} accepted \
+                 + {resampled} resampled (drafted {drafted})"
+            ),
+            InvariantViolation::NonFiniteLogit { count, emitted } => {
+                write!(
+                    f,
+                    "{count} non-finite logit entries across {emitted} emitted tokens"
+                )
+            }
         }
     }
 }
@@ -247,6 +286,8 @@ impl InvariantViolation {
             InvariantViolation::TierAccounting { .. } => "tier-accounting",
             InvariantViolation::TimeAttribution { .. } => "time-attribution",
             InvariantViolation::Forbidden { .. } => "forbidden",
+            InvariantViolation::TokenConservation { .. } => "token-conservation",
+            InvariantViolation::NonFiniteLogit { .. } => "forbid-nonfinite-logits",
         }
     }
 }
@@ -478,6 +519,54 @@ pub fn check_trace(trace: &Trace, eps: f64) -> Vec<InvariantViolation> {
         .collect()
 }
 
+/// Counters of one functional infer-loop run (vanilla, batched or
+/// speculative decode in `cllm-infer`), checked by [`check_infer`].
+/// Plain numbers so this crate needs no dependency on the engine; the
+/// chaos runner builds it from the engine's `SpecStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferLoopReport {
+    /// Tokens the caller asked for.
+    pub requested: usize,
+    /// Tokens actually emitted.
+    pub emitted: usize,
+    /// Draft proposals made (0 for non-speculative decode).
+    pub drafted: usize,
+    /// Draft proposals accepted verbatim.
+    pub accepted: usize,
+    /// Target resamples emitted on draft rejection. For non-speculative
+    /// decode every token counts as a resample, keeping the ledger total.
+    pub resampled: usize,
+    /// Non-finite entries observed across all emission logits.
+    pub nonfinite_logits: usize,
+}
+
+/// Check the infer loop's token ledger and logit health:
+/// `emitted == accepted + resampled`, `accepted <= drafted`,
+/// `emitted <= requested`, and no non-finite logit ever reached an
+/// emission decision (`forbid-nonfinite-logits`).
+#[must_use]
+pub fn check_infer(report: &InferLoopReport) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    if report.emitted != report.accepted + report.resampled
+        || report.accepted > report.drafted
+        || report.emitted > report.requested
+    {
+        out.push(InvariantViolation::TokenConservation {
+            emitted: report.emitted,
+            accepted: report.accepted,
+            resampled: report.resampled,
+            drafted: report.drafted,
+        });
+    }
+    if report.nonfinite_logits > 0 {
+        out.push(InvariantViolation::NonFiniteLogit {
+            count: report.nonfinite_logits,
+            emitted: report.emitted,
+        });
+    }
+    out
+}
+
 /// Render a violation list for an assert or log line. Empty input
 /// renders as `"ok"`.
 #[must_use]
@@ -570,6 +659,56 @@ mod tests {
     fn pool_conservation_passes_on_a_fresh_pool() {
         let pool = PagePool::new(64, 16);
         assert!(check_pool(&pool).is_empty());
+    }
+
+    #[test]
+    fn clean_infer_ledger_passes() {
+        let report = InferLoopReport {
+            requested: 16,
+            emitted: 16,
+            drafted: 20,
+            accepted: 11,
+            resampled: 5,
+            nonfinite_logits: 0,
+        };
+        assert!(check_infer(&report).is_empty());
+    }
+
+    #[test]
+    fn broken_infer_ledger_is_reported() {
+        let mut report = InferLoopReport {
+            requested: 16,
+            emitted: 16,
+            drafted: 20,
+            accepted: 11,
+            resampled: 5,
+            nonfinite_logits: 0,
+        };
+        report.emitted += 1; // a token appeared from nowhere
+        let v = check_infer(&report);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].label(), "token-conservation");
+
+        report.emitted -= 1;
+        report.accepted = 30; // more accepted than drafted
+        let v = check_infer(&report);
+        assert_eq!(v.len(), 1, "{}", describe(&v));
+    }
+
+    #[test]
+    fn nonfinite_logits_are_forbidden() {
+        let report = InferLoopReport {
+            requested: 8,
+            emitted: 8,
+            drafted: 0,
+            accepted: 0,
+            resampled: 8,
+            nonfinite_logits: 3,
+        };
+        let v = check_infer(&report);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].label(), "forbid-nonfinite-logits");
+        assert!(describe(&v).contains("non-finite logit"));
     }
 
     #[test]

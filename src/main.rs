@@ -654,6 +654,7 @@ fn repro_event_count(repro: &cllm_chaos::Repro) -> usize {
         PathSpec::Single(p) => p.node.events.len(),
         PathSpec::Cluster(p) => p.nodes.iter().map(|n| n.events.len()).sum(),
         PathSpec::Autoscale(p) => p.base_fleet.iter().map(|n| n.events.len()).sum(),
+        PathSpec::Infer(_) => 0,
     }
 }
 

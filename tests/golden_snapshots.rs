@@ -1,5 +1,5 @@
 //! Golden-snapshot test: the committed JSON under `tests/golden/` pins
-//! the exact serialized output (schema_version 2) of all 29 experiments.
+//! the exact serialized output (schema_version 2) of all 30 experiments.
 //! Any drift — a changed simulation, column, precision, or schema field —
 //! fails here with the experiment id, so table changes are always a
 //! reviewed diff, never an accident. Regenerate with
